@@ -1,0 +1,96 @@
+// Experiment E9 (DESIGN.md): graph-substrate microbenchmarks.
+//
+// The reduction engine spends its time in these primitives: cycle
+// detection, transitive closure, quotient construction, topological sort.
+// This bench pins their costs on front-sized random graphs so regressions
+// in the substrate are visible independently of the engine.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/cycle_finder.h"
+#include "graph/quotient.h"
+#include "graph/tarjan_scc.h"
+#include "graph/topological_sort.h"
+#include "graph/transitive_closure.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace comptx::graph;  // NOLINT
+
+Digraph RandomDag(size_t n, size_t edges, uint64_t seed) {
+  comptx::Rng rng(seed);
+  Digraph g(n);
+  for (size_t e = 0; e < edges; ++e) {
+    // Forward edges only: guaranteed acyclic.
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(n - 1));
+    uint32_t b =
+        a + 1 + static_cast<uint32_t>(rng.UniformInt(n - a - 1));
+    g.AddEdge(a, b);
+  }
+  return g;
+}
+
+Digraph RandomGraph(size_t n, size_t edges, uint64_t seed) {
+  comptx::Rng rng(seed);
+  Digraph g(n);
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<uint32_t>(rng.UniformInt(n)),
+              static_cast<uint32_t>(rng.UniformInt(n)));
+  }
+  return g;
+}
+
+void BM_FindCycleOnDag(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Digraph g = RandomDag(n, n * 4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindCycle(g));
+  }
+}
+BENCHMARK(BM_FindCycleOnDag)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TarjanScc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Digraph g = RandomGraph(n, n * 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TarjanScc(g));
+  }
+}
+BENCHMARK(BM_TarjanScc)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Digraph g = RandomDag(n, n * 4, 3);
+  for (auto _ : state) {
+    TransitiveClosure tc(g);
+    benchmark::DoNotOptimize(tc.Reaches(0, static_cast<uint32_t>(n - 1)));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TopologicalSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Digraph g = RandomDag(n, n * 4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopologicalSort(g));
+  }
+}
+BENCHMARK(BM_TopologicalSort)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_QuotientGraph(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Digraph g = RandomDag(n, n * 4, 5);
+  // Blocks of ~4 nodes, like grouping fan-out-4 transactions.
+  std::vector<uint32_t> block(n);
+  for (size_t v = 0; v < n; ++v) block[v] = static_cast<uint32_t>(v / 4);
+  const uint32_t blocks = static_cast<uint32_t>((n + 3) / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuotientGraph(g, block, blocks));
+  }
+}
+BENCHMARK(BM_QuotientGraph)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

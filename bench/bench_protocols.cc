@@ -1,0 +1,113 @@
+// Experiment E6 (DESIGN.md): which protocols produce correct composite
+// executions, by component-network shape.
+//
+// For each protocol and network shape, many seeded executions are run and
+// the recorded composite schedules judged by Comp-C.  The paper's
+// expected shape: serial, closed nesting, and validated open nesting are
+// always correct; *uncoordinated* open nesting loses correctness once the
+// configuration gives transactions multiple meeting points (DAG-like
+// networks), which is exactly the problem the composite theory exists to
+// characterize.
+
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "core/correctness.h"
+#include "runtime/system_executor.h"
+#include "util/logging.h"
+#include "workload/program_gen.h"
+
+namespace {
+
+using namespace comptx;           // NOLINT
+using namespace comptx::runtime;  // NOLINT
+
+struct Shape {
+  const char* name;
+  workload::RuntimeWorkloadSpec spec;
+};
+
+std::vector<Shape> MakeShapes() {
+  std::vector<Shape> shapes;
+  {
+    // Stack-ish: one component per layer, three layers deep.
+    workload::RuntimeWorkloadSpec spec;
+    spec.layers = 3;
+    spec.components_per_layer = 1;
+    spec.invoke_fraction = 0.6;
+    spec.num_roots = 6;
+    shapes.push_back({"pipeline(3x1)", spec});
+  }
+  {
+    // Fork-ish: one entry layer, wide bottom.
+    workload::RuntimeWorkloadSpec spec;
+    spec.layers = 2;
+    spec.components_per_layer = 4;
+    spec.invoke_fraction = 0.7;
+    spec.num_roots = 8;
+    shapes.push_back({"wide(2x4)", spec});
+  }
+  {
+    // General DAG: several components per layer, three layers — multiple
+    // meeting points between any two roots.
+    workload::RuntimeWorkloadSpec spec;
+    spec.layers = 3;
+    spec.components_per_layer = 2;
+    spec.invoke_fraction = 0.6;
+    spec.num_roots = 8;
+    shapes.push_back({"dag(3x2)", spec});
+  }
+  return shapes;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 60;
+  std::cout << "E6: protocol correctness by network shape (" << kTrials
+            << " executions per cell; items/component = 8, zipf 0.6)\n\n";
+  analysis::TextTable table({"shape", "protocol", "comp_c_rate",
+                             "deadlock_restarts", "validation_restarts",
+                             "avg_parallelism"});
+  bool expectations_hold = true;
+  for (Shape& shape : MakeShapes()) {
+    shape.spec.items_per_component = 8;
+    shape.spec.zipf_theta = 0.6;
+    for (Protocol protocol :
+         {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase,
+          Protocol::kOpenTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+      analysis::RateCounter correct;
+      analysis::RunningStats deadlocks, validations, parallelism;
+      for (int seed = 1; seed <= kTrials; ++seed) {
+        RuntimeSystem system =
+            workload::GenerateRuntimeWorkload(shape.spec, uint64_t(seed));
+        ExecutorOptions options;
+        options.protocol = protocol;
+        options.seed = uint64_t(seed) * 977;
+        auto result = ExecuteSystem(system, options);
+        COMPTX_CHECK(result.ok()) << result.status().ToString();
+        correct.Add(IsCompC(result->recorded));
+        deadlocks.Add(double(result->stats.deadlock_restarts));
+        validations.Add(double(result->stats.validation_restarts));
+        parallelism.Add(result->stats.avg_parallelism);
+      }
+      table.AddRow({shape.name, ProtocolToString(protocol),
+                    analysis::FormatDouble(correct.rate()),
+                    analysis::FormatDouble(deadlocks.mean(), 2),
+                    analysis::FormatDouble(validations.mean(), 2),
+                    analysis::FormatDouble(parallelism.mean(), 2)});
+      if (protocol != Protocol::kOpenTwoPhase && correct.rate() != 1.0) {
+        expectations_hold = false;
+      }
+    }
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << (expectations_hold
+                    ? "RESULT: serial/closed/validated protocols produced "
+                      "only Comp-C executions; any correctness loss is "
+                      "confined to uncoordinated open nesting.\n"
+                    : "RESULT: a supposedly-safe protocol produced an "
+                      "incorrect execution — bug!\n");
+  return expectations_hold ? 0 : 1;
+}

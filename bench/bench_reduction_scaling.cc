@@ -1,0 +1,92 @@
+// Experiment E5 (DESIGN.md): cost of the Comp-C decision procedure.
+//
+// google-benchmark over the reduction engine (Def 16 / Theorem 1): wall
+// time as a function of the number of root transactions, the tree depth,
+// and the fan-out — i.e., how the front sizes drive the cost of the
+// level-by-level abstraction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/correctness.h"
+#include "util/logging.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+CompositeSystem MakeSystem(workload::TopologyKind kind, uint32_t roots,
+                           uint32_t depth, uint32_t fanout, uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = kind;
+  spec.topology.depth = depth;
+  spec.topology.branches = 2;
+  spec.topology.roots = roots;
+  spec.topology.fanout = fanout;
+  spec.execution.conflict_prob = 0.1;
+  auto cs = workload::GenerateSystem(spec, seed);
+  COMPTX_CHECK(cs.ok()) << cs.status().ToString();
+  return std::move(cs).value();
+}
+
+void BM_ReductionVsRoots(benchmark::State& state) {
+  CompositeSystem cs =
+      MakeSystem(workload::TopologyKind::kStack,
+                 static_cast<uint32_t>(state.range(0)), 3, 2, 42);
+  ReductionOptions options;
+  options.keep_fronts = false;
+  for (auto _ : state) {
+    auto result = RunReduction(cs, options);
+    COMPTX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->comp_c);
+  }
+  state.counters["leaves"] = double(cs.Leaves().size());
+  state.counters["nodes"] = double(cs.NodeCount());
+}
+BENCHMARK(BM_ReductionVsRoots)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ReductionVsDepth(benchmark::State& state) {
+  CompositeSystem cs =
+      MakeSystem(workload::TopologyKind::kStack, 4,
+                 static_cast<uint32_t>(state.range(0)), 2, 43);
+  ReductionOptions options;
+  options.keep_fronts = false;
+  for (auto _ : state) {
+    auto result = RunReduction(cs, options);
+    COMPTX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->comp_c);
+  }
+  state.counters["leaves"] = double(cs.Leaves().size());
+}
+BENCHMARK(BM_ReductionVsDepth)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_ReductionVsFanout(benchmark::State& state) {
+  CompositeSystem cs =
+      MakeSystem(workload::TopologyKind::kLayeredDag, 4, 3,
+                 static_cast<uint32_t>(state.range(0)), 44);
+  ReductionOptions options;
+  options.keep_fronts = false;
+  for (auto _ : state) {
+    auto result = RunReduction(cs, options);
+    COMPTX_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->comp_c);
+  }
+  state.counters["leaves"] = double(cs.Leaves().size());
+}
+BENCHMARK(BM_ReductionVsFanout)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ValidateOnly(benchmark::State& state) {
+  CompositeSystem cs =
+      MakeSystem(workload::TopologyKind::kStack,
+                 static_cast<uint32_t>(state.range(0)), 3, 2, 45);
+  for (auto _ : state) {
+    Status status = cs.Validate();
+    COMPTX_CHECK(status.ok());
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_ValidateOnly)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E7 (DESIGN.md): the concurrency that semantic knowledge
+// buys — the paper's core motivation ("current models offer only
+// restricted degrees of parallelism", §2).
+//
+// Makespan (lock-step rounds) and effective parallelism of the four
+// protocols on one component network, as a function of how much semantic
+// commutativity the components declare (the probability that two services
+// of a component are *conflicting*; the rest commute).
+//
+// Expected shape: uncoordinated open nesting is fastest but unsafe (E6);
+// the safe protocols' cost tracks declared conflicts — with mostly
+// commuting services, validated open nesting approaches open nesting's
+// speed while staying Comp-C, which is precisely the trade the composite
+// theory is about.  Closed nesting pays root-lifetime locks regardless.
+
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "runtime/system_executor.h"
+#include "util/logging.h"
+#include "workload/program_gen.h"
+
+namespace {
+
+using namespace comptx;           // NOLINT
+using namespace comptx::runtime;  // NOLINT
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 40;
+  std::cout << "E7: protocol makespan vs declared service conflicts ("
+            << kTrials << " executions per cell; dag 3x2, 12 roots, 32 "
+            << "items/component, zipf 0.6)\n\n";
+  analysis::TextTable table({"svc_conflict_prob", "protocol", "rounds(mean)",
+                             "speedup_vs_serial", "parallelism",
+                             "restarts(mean)"});
+  for (double conflict_prob : {0.0, 0.3, 0.7}) {
+    workload::RuntimeWorkloadSpec spec;
+    spec.layers = 3;
+    spec.components_per_layer = 2;
+    spec.invoke_fraction = 0.6;
+    spec.num_roots = 12;
+    spec.items_per_component = 32;
+    spec.zipf_theta = 0.6;
+    spec.service_conflict_prob = conflict_prob;
+
+    double serial_rounds = 0.0;
+    for (Protocol protocol :
+         {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase,
+          Protocol::kOpenTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+      analysis::RunningStats rounds, parallelism, restarts;
+      for (int seed = 1; seed <= kTrials; ++seed) {
+        RuntimeSystem system =
+            workload::GenerateRuntimeWorkload(spec, uint64_t(seed));
+        ExecutorOptions options;
+        options.protocol = protocol;
+        options.seed = uint64_t(seed) * 31 + 7;
+        auto result = ExecuteSystem(system, options);
+        COMPTX_CHECK(result.ok()) << result.status().ToString();
+        rounds.Add(double(result->stats.rounds));
+        parallelism.Add(result->stats.avg_parallelism);
+        restarts.Add(double(result->stats.deadlock_restarts +
+                            result->stats.validation_restarts));
+      }
+      if (protocol == Protocol::kGlobalSerial) serial_rounds = rounds.mean();
+      table.AddRow({analysis::FormatDouble(conflict_prob, 1),
+                    ProtocolToString(protocol),
+                    analysis::FormatDouble(rounds.mean(), 1),
+                    analysis::FormatDouble(serial_rounds / rounds.mean(), 2),
+                    analysis::FormatDouble(parallelism.mean(), 2),
+                    analysis::FormatDouble(restarts.mean(), 2)});
+    }
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "RESULT: uncoordinated open nesting sets the concurrency "
+               "ceiling; among the safe protocols, top-down conservative "
+               "timestamp admission is the only one that beats global "
+               "serial at this contention (zero aborts by construction), "
+               "optimistic validation's cost tracks declared semantic "
+               "conflicts (fast when services commute, restart-bound as "
+               "conflicts grow), and closed nesting is slowest and cannot "
+               "exploit commutativity at all — coordination style and "
+               "semantic knowledge are the paper's levers.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Command-line checker: reads a composite execution from a comptx-trace
+// file (see workload/trace.h), validates it against the model rules
+// (Defs 2-4) and decides Comp-C, printing the reduction diagnosis.
+//
+// Usage: check_trace <trace-file>
+//        check_trace --demo      (writes and checks a demo trace)
+//
+// Exit codes: 0 = Comp-C, 1 = not Comp-C, 2 = unreadable/invalid input.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/figures.h"
+#include "analysis/printer.h"
+#include "core/correctness.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+int CheckText(const std::string& text) {
+  auto cs = workload::LoadTrace(text);
+  if (!cs.ok()) {
+    std::cerr << "trace parse error: " << cs.status() << "\n";
+    return 2;
+  }
+  if (Status valid = cs->Validate(); !valid.ok()) {
+    std::cerr << "model violation (Defs 2-4): " << valid << "\n";
+    return 2;
+  }
+  auto result = CheckCompC(*cs);
+  if (!result.ok()) {
+    std::cerr << "checker error: " << result.status() << "\n";
+    return 2;
+  }
+  std::cout << analysis::DescribeReduction(*cs, *result);
+  return result->correct ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: check_trace <trace-file> | --demo\n";
+    return 2;
+  }
+  std::string arg = argv[1];
+  if (arg == "--demo") {
+    auto text = workload::SaveTrace(analysis::MakeFigure4().system);
+    if (!text.ok()) {
+      std::cerr << "demo generation failed: " << text.status() << "\n";
+      return 2;
+    }
+    std::cout << "demo trace (Figure 4):\n" << *text << "\n";
+    return CheckText(*text);
+  }
+  std::ifstream in(arg);
+  if (!in) {
+    std::cerr << "cannot open " << arg << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CheckText(buffer.str());
+}

@@ -1,0 +1,69 @@
+// Interactive-style exploration of the reduction (Def 16): generates a
+// random composite execution and prints every front as the Reducer steps
+// from the leaves to the roots, showing the observed orders being pulled
+// up and forgotten.
+//
+// Usage: explore_reduction [seed] [conflict_prob]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/printer.h"
+#include "core/reduction.h"
+#include "workload/workload_spec.h"
+
+int main(int argc, char** argv) {
+  using namespace comptx;  // NOLINT
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  const double conflict =
+      argc > 2 ? std::strtod(argv[2], nullptr) : 0.15;
+
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 3;
+  spec.execution.conflict_prob = conflict;
+  spec.execution.disorder_prob = 0.5;
+
+  auto cs = workload::GenerateSystem(spec, seed);
+  if (!cs.ok()) {
+    std::cerr << "generation failed: " << cs.status() << "\n";
+    return 1;
+  }
+  std::cout << "random composite execution (seed " << seed
+            << ", conflict prob " << conflict << "):\n\n"
+            << analysis::DescribeSystem(*cs) << "\n";
+
+  auto reducer = Reducer::Create(*cs);
+  if (!reducer.ok()) {
+    std::cerr << "error: " << reducer.status() << "\n";
+    return 1;
+  }
+  std::cout << analysis::DescribeFront(*cs, reducer->current());
+  while (!reducer->Done()) {
+    const uint32_t next_level = reducer->current().level + 1;
+    std::cout << "\n-- reducing level " << next_level << " transactions:";
+    for (NodeId txn : reducer->TransactionsAtLevel(next_level)) {
+      std::cout << " " << analysis::NodeName(*cs, txn);
+    }
+    std::cout << "\n";
+    if (!reducer->Step()) break;
+    std::cout << analysis::DescribeFront(*cs, reducer->current());
+  }
+
+  if (reducer->Failed()) {
+    const auto& failure = *reducer->failure();
+    std::cout << "\nverdict: NOT Comp-C — failed at level " << failure.level
+              << " (" << ReductionFailureStepToString(failure.step)
+              << "): " << failure.witness.description << "\n  cycle:";
+    for (NodeId id : failure.witness.nodes) {
+      std::cout << " " << analysis::NodeName(*cs, id);
+    }
+    std::cout << "\n";
+    return 0;  // a rejection is a successful demonstration too.
+  }
+  std::cout << "\nverdict: Comp-C — the level " << reducer->order()
+            << " front holds only root transactions.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef COMPTX_ANALYSIS_BUILDER_H_
+#define COMPTX_ANALYSIS_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/composite_system.h"
+
+namespace comptx::analysis {
+
+/// Ergonomic construction wrapper around CompositeSystem for tests,
+/// examples and generators.  All mutators die on misuse (they wrap the
+/// Status-returning CompositeSystem API with COMPTX_CHECK), which keeps
+/// construction code linear; production call sites that handle untrusted
+/// input should use CompositeSystem directly.
+class CompositeSystemBuilder {
+ public:
+  CompositeSystemBuilder() = default;
+
+  ScheduleId Schedule(std::string name);
+  NodeId Root(ScheduleId scheduler, std::string name);
+  NodeId Sub(NodeId parent, ScheduleId scheduler, std::string name);
+  NodeId Leaf(NodeId parent, std::string name);
+
+  void Conflict(NodeId a, NodeId b);
+  void WeakOut(NodeId a, NodeId b);
+  void StrongOut(NodeId a, NodeId b);
+  void WeakIn(ScheduleId scheduler, NodeId t1, NodeId t2);
+  void StrongIn(ScheduleId scheduler, NodeId t1, NodeId t2);
+  void IntraWeak(NodeId txn, NodeId a, NodeId b);
+  void IntraStrong(NodeId txn, NodeId a, NodeId b);
+
+  /// Derives `scheduler`'s output orders from a temporal execution order
+  /// of its operations (a permutation of O_S):
+  ///   * conflicting operations of distinct transactions are weakly
+  ///     ordered in temporal order (Def 3.1);
+  ///   * each transaction's intra orders are copied into the outputs
+  ///     (Def 3.2);
+  ///   * strong input orders force strong output orders over all operation
+  ///     pairs (Def 3.3).
+  /// When `preserve_all_orders` is true the entire temporal order is
+  /// emitted as weak output (an order-preserving scheduler); otherwise
+  /// only the pairs above are emitted (a scheduler exploiting
+  /// commutativity — the paper's preferred behaviour).
+  void ExecuteInOrder(ScheduleId scheduler,
+                      const std::vector<NodeId>& temporal_ops,
+                      bool preserve_all_orders = false);
+
+  /// Applies Def 4.7 to every schedule: each (closed) output order over
+  /// operations that are transactions of one common callee is copied into
+  /// the callee's input orders.  Call top-down: after setting a schedule's
+  /// outputs and before deriving its callees' outputs.
+  void PropagateOrders();
+
+  /// Finds a node by its (unique) name; dies if absent or ambiguous.
+  NodeId NodeByName(const std::string& name) const;
+
+  const CompositeSystem& system() const { return cs_; }
+  CompositeSystem&& Take() { return std::move(cs_); }
+
+ private:
+  CompositeSystem cs_;
+};
+
+}  // namespace comptx::analysis
+
+#endif  // COMPTX_ANALYSIS_BUILDER_H_

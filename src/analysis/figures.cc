@@ -1,0 +1,207 @@
+#include "analysis/figures.h"
+
+#include "analysis/builder.h"
+#include "util/logging.h"
+
+namespace comptx::analysis {
+
+PaperFigure MakeFigure1() {
+  CompositeSystemBuilder b;
+  // Five schedules: one of level 3, two of level 2, two of level 1.
+  ScheduleId s1 = b.Schedule("S1");  // level 3
+  ScheduleId s2 = b.Schedule("S2");  // level 2
+  ScheduleId s3 = b.Schedule("S3");  // level 2
+  ScheduleId s4 = b.Schedule("S4");  // level 1
+  ScheduleId s5 = b.Schedule("S5");  // level 1
+
+  // Five composite transactions; T4 and T5 share no schedule, and roots
+  // exist at levels 3 (T1, T2), 2 (T3, T4) and 1 (T5).
+  NodeId t1 = b.Root(s1, "T1");
+  NodeId t2 = b.Root(s1, "T2");
+  NodeId t3 = b.Root(s2, "T3");
+  NodeId t4 = b.Root(s3, "T4");
+  NodeId t5 = b.Root(s4, "T5");
+
+  NodeId a1 = b.Sub(t1, s2, "a1");
+  NodeId b1 = b.Sub(t1, s3, "b1");
+  NodeId a2 = b.Sub(t2, s2, "a2");
+
+  NodeId c1 = b.Sub(a1, s4, "c1");
+  NodeId c2 = b.Sub(a2, s4, "c2");
+  NodeId c3 = b.Sub(t3, s4, "c3");
+
+  NodeId d1 = b.Sub(b1, s5, "d1");
+  NodeId d4 = b.Sub(t4, s5, "d4");
+
+  NodeId x1 = b.Leaf(c1, "x1");
+  NodeId x2 = b.Leaf(c2, "x2");
+  NodeId x3 = b.Leaf(c3, "x3");
+  b.Leaf(t5, "x5");
+  NodeId y1 = b.Leaf(d1, "y1");
+  NodeId y4 = b.Leaf(d4, "y4");
+
+  // Top-down orders, with Def 4.7 propagation made explicit.
+  b.Conflict(a1, a2);
+  b.WeakOut(a1, a2);
+  b.WeakIn(s2, a1, a2);
+
+  b.Conflict(c1, c2);
+  b.WeakOut(c1, c2);
+  b.WeakIn(s4, c1, c2);
+
+  b.Conflict(x1, x2);
+  b.WeakOut(x1, x2);
+  b.Conflict(x2, x3);
+  b.WeakOut(x2, x3);
+
+  b.Conflict(y1, y4);
+  b.WeakOut(y1, y4);
+
+  PaperFigure fig;
+  fig.system = std::move(b.Take());
+  fig.title = "Figure 1: a general composite system (order 3)";
+  fig.notes =
+      "Reconstruction of the paper's running example: five composite "
+      "transactions over five schedulers; T4 and T5 have no schedule in "
+      "common but are still comparable through transitive dependencies; "
+      "the execution is Comp-C.";
+  return fig;
+}
+
+PaperFigure MakeFigure2() {
+  CompositeSystemBuilder b;
+  ScheduleId s1 = b.Schedule("S1");  // level 2
+  ScheduleId s2 = b.Schedule("S2");  // level 2
+  ScheduleId s3 = b.Schedule("S3");  // level 2
+  ScheduleId s4 = b.Schedule("S4");  // the shared leaf schedule, level 1
+
+  NodeId t1 = b.Root(s1, "T1");
+  NodeId t2 = b.Root(s2, "T2");
+  NodeId t3 = b.Root(s3, "T3");
+
+  NodeId u1 = b.Sub(t1, s4, "u1");
+  NodeId u2 = b.Sub(t2, s4, "u2");
+  NodeId u3 = b.Sub(t3, s4, "u3");
+
+  NodeId o13 = b.Leaf(u1, "o13");
+  NodeId o25 = b.Leaf(u2, "o25");
+  NodeId o35 = b.Leaf(u3, "o35");
+
+  // The only interactions: conflicting leaf pairs on S4, both ordered
+  // after T1's operation.
+  b.Conflict(o13, o25);
+  b.WeakOut(o13, o25);
+  b.Conflict(o13, o35);
+  b.WeakOut(o13, o35);
+
+  PaperFigure fig;
+  fig.system = std::move(b.Take());
+  fig.title = "Figure 2: conflict and observed order pulled up";
+  fig.notes =
+      "o13 conflicts with o25 and o35 on the shared schedule S4; the "
+      "schedule orders o13 first, so (T1,T2) and (T1,T3) become related "
+      "by the observed order and the generalized conflict relation even "
+      "though the roots share no schedule.";
+  return fig;
+}
+
+namespace {
+
+/// Common two-branch shape of Figures 3 and 4: two roots at the level-3
+/// schedule S1, each with one subtransaction per branch; branch A
+/// serializes T1's work first, branch B serializes T2's work first.
+/// Whether this is correct hinges on what S1 says about (t11, t21).
+struct TwoBranchSystem {
+  CompositeSystemBuilder b;
+  ScheduleId s1;
+  NodeId t11, t12, t21, t22;
+};
+
+TwoBranchSystem MakeTwoBranchSystem() {
+  TwoBranchSystem sys;
+  CompositeSystemBuilder& b = sys.b;
+  sys.s1 = b.Schedule("S1");         // level 3
+  ScheduleId s2 = b.Schedule("S2");  // level 2, branch A
+  ScheduleId s3 = b.Schedule("S3");  // level 2, branch B
+  ScheduleId s4 = b.Schedule("S4");  // level 1, branch A
+  ScheduleId s5 = b.Schedule("S5");  // level 1, branch B
+
+  NodeId t1 = b.Root(sys.s1, "T1");
+  NodeId t2 = b.Root(sys.s1, "T2");
+  sys.t11 = b.Sub(t1, s2, "t11");
+  sys.t12 = b.Sub(t1, s3, "t12");
+  sys.t21 = b.Sub(t2, s2, "t21");
+  sys.t22 = b.Sub(t2, s3, "t22");
+
+  NodeId u11 = b.Sub(sys.t11, s4, "u11");
+  NodeId u21 = b.Sub(sys.t21, s4, "u21");
+  NodeId u12 = b.Sub(sys.t12, s5, "u12");
+  NodeId u22 = b.Sub(sys.t22, s5, "u22");
+
+  NodeId x11 = b.Leaf(u11, "x11");
+  NodeId x21 = b.Leaf(u21, "x21");
+  NodeId x12 = b.Leaf(u12, "x12");
+  NodeId x22 = b.Leaf(u22, "x22");
+
+  // Branch A: T1's operation first at every level.
+  b.Conflict(u11, u21);
+  b.WeakOut(u11, u21);
+  b.WeakIn(s4, u11, u21);
+  b.Conflict(x11, x21);
+  b.WeakOut(x11, x21);
+
+  // Branch B: T2's operation first at every level.
+  b.Conflict(u22, u12);
+  b.WeakOut(u22, u12);
+  b.WeakIn(s5, u22, u12);
+  b.Conflict(x22, x12);
+  b.WeakOut(x22, x12);
+  return sys;
+}
+
+}  // namespace
+
+PaperFigure MakeFigure3() {
+  TwoBranchSystem sys = MakeTwoBranchSystem();
+  // S1 declares both branch pairs conflicting: neither pulled-up order is
+  // forgotten, so the roots are observed-ordered both ways.
+  sys.b.Conflict(sys.t11, sys.t21);
+  sys.b.WeakOut(sys.t11, sys.t21);
+  sys.b.WeakIn(ScheduleId(1), sys.t11, sys.t21);  // Def 4.7 into S2.
+  sys.b.Conflict(sys.t22, sys.t12);
+  sys.b.WeakOut(sys.t22, sys.t12);
+  sys.b.WeakIn(ScheduleId(2), sys.t22, sys.t12);  // Def 4.7 into S3.
+
+  PaperFigure fig;
+  fig.system = std::move(sys.b.Take());
+  fig.title = "Figure 3: an execution that is not Comp-C";
+  fig.notes =
+      "Branch A serializes T1 before T2, branch B serializes T2 before "
+      "T1, and the level-3 schedule considers both pairs conflicting.  "
+      "The reduction pulls both orders up; at the last level no "
+      "calculation isolating T1 exists (Def 14) and the schedule is "
+      "rejected, as in the paper's §3.6.";
+  return fig;
+}
+
+PaperFigure MakeFigure4() {
+  TwoBranchSystem sys = MakeTwoBranchSystem();
+  // S1 knows (t11, t21) commute: only branch B's order survives.
+  sys.b.Conflict(sys.t22, sys.t12);
+  sys.b.WeakOut(sys.t22, sys.t12);
+  sys.b.WeakIn(ScheduleId(2), sys.t22, sys.t12);  // Def 4.7 into S3.
+
+  PaperFigure fig;
+  fig.system = std::move(sys.b.Take());
+  fig.title = "Figure 4: a correct execution (order forgotten)";
+  fig.notes =
+      "Same two-branch interaction as Figure 3, but the level-3 schedule "
+      "declares (t11, t21) non-conflicting.  The order pulled up through "
+      "branch A is forgotten at the common schedule (Def 10.3); only "
+      "T2 -> T1 survives and the reduction completes with serial witness "
+      "T2, T1, as in the paper's §3.7.  Disabling forgetting "
+      "(ReductionOptions) makes this execution incorrect.";
+  return fig;
+}
+
+}  // namespace comptx::analysis

@@ -1,0 +1,51 @@
+#ifndef COMPTX_ANALYSIS_FIGURES_H_
+#define COMPTX_ANALYSIS_FIGURES_H_
+
+#include <string>
+
+#include "core/composite_system.h"
+
+namespace comptx::analysis {
+
+/// One of the paper's worked examples, reconstructed as an executable
+/// composite system.  The paper prints these as drawings (Figures 1-4);
+/// the reconstructions preserve the documented structure and behaviour —
+/// see each factory's comment for the fidelity notes.
+struct PaperFigure {
+  CompositeSystem system;
+  std::string title;
+  std::string notes;
+};
+
+/// Figure 1: a general composite system of order 3 with five composite
+/// transactions over five schedules, where T4 and T5 share no schedule and
+/// roots exist at several levels.  Demonstrates Defs 4-9 (forest,
+/// invocation graph, levels); the execution is Comp-C.
+PaperFigure MakeFigure1();
+
+/// Figure 2: two composite transactions whose only interaction is a pair
+/// of conflicting leaf operations (o13, o25) on the shared leaf schedule
+/// S4.  Demonstrates how conflict and observed order are pulled up
+/// (Defs 10-11): the leaf order relates (T1, T2) at the roots.
+PaperFigure MakeFigure2();
+
+/// Figure 3: an incorrect execution.  Two roots interact through two
+/// disjoint branches whose conflicts are serialized in opposite
+/// directions, and the top schedule declares both branch pairs
+/// conflicting, so neither order is forgotten: the reduction reaches the
+/// last level and then no calculation isolating T1 exists (Def 14 fails;
+/// the paper's §3.6).
+PaperFigure MakeFigure3();
+
+/// Figure 4: a correct execution with the same two-branch shape as
+/// Figure 3, except the top schedule declares the first branch pair
+/// (t11, t21) non-conflicting.  The order pulled up for that pair is
+/// forgotten at the common schedule (Def 10.3, the paper's §3.7) and the
+/// reduction completes.  Running this system with
+/// ReductionOptions::forgetting = false makes it incorrect — the E8
+/// ablation.
+PaperFigure MakeFigure4();
+
+}  // namespace comptx::analysis
+
+#endif  // COMPTX_ANALYSIS_FIGURES_H_

@@ -1,0 +1,60 @@
+#ifndef COMPTX_ANALYSIS_MODELS_H_
+#define COMPTX_ANALYSIS_MODELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/composite_system.h"
+
+namespace comptx::analysis {
+
+/// A classical transaction model encoded as a composite system.  The
+/// paper's §4 claims the composite framework subsumes "federated
+/// transactions, the ticket method for federated transaction management,
+/// sagas and distributed transactions"; these factories make that claim
+/// executable — each produces a composite schedule whose Comp-C verdict
+/// matches the source model's own correctness notion (asserted in
+/// tests/test_models.cc).
+struct ModelSystem {
+  CompositeSystem system;
+  std::string title;
+  std::string notes;
+};
+
+/// Sagas: long-lived transactions broken into steps executed as open
+/// nested subtransactions on a shared step executor.  Saga semantics
+/// allow steps of different sagas to interleave (the saga manager
+/// declares step operations commuting), even though the steps conflict on
+/// data.  `interleaved == false` runs the sagas back-to-back.
+///
+/// Expected verdicts: Comp-C accepts both variants (the interleaved one
+/// via forgetting, exactly the saga relaxation); flat conflict
+/// serializability rejects the interleaved variant.
+ModelSystem MakeSagaModel(uint32_t sagas, uint32_t steps, bool interleaved);
+
+/// Federated database: global transactions submitted through a federation
+/// gateway fan out to site databases, which also execute purely local
+/// transactions.  Each site serializes independently.  With
+/// `consistent_sites == true` all sites serialize the global transactions
+/// in the same direction; otherwise two sites disagree — the classical
+/// indirect-conflict anomaly of federated transaction management, which
+/// no site can observe locally.
+///
+/// Expected verdicts: consistent → Comp-C; inconsistent → not Comp-C.
+/// The local transactions are roots of their own, so the pulled-up orders
+/// they mediate never meet a common schedule that could forget them —
+/// the disagreement becomes a cycle at the root front.
+ModelSystem MakeFederatedModel(uint32_t sites, bool consistent_sites);
+
+/// Distributed (flat) transactions with a two-phase-commit-style
+/// coordinator: each transaction runs one branch per site, the
+/// coordinator's phases impose *strong* (sequential) intra-transaction
+/// orders, and a global lock-step order between the transactions is
+/// encoded as strong input orders.  Demonstrates the strong-order half of
+/// Def 1; always Comp-C.
+ModelSystem MakeDistributedTransactionModel(uint32_t transactions,
+                                            uint32_t sites);
+
+}  // namespace comptx::analysis
+
+#endif  // COMPTX_ANALYSIS_MODELS_H_

@@ -1,0 +1,168 @@
+#include "analysis/printer.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/invocation_graph.h"
+#include "util/string_util.h"
+
+namespace comptx::analysis {
+
+std::string NodeName(const CompositeSystem& cs, NodeId id) {
+  const std::string& name = cs.node(id).name;
+  if (!name.empty()) return name;
+  return StrCat("node(", id.index(), ")");
+}
+
+namespace {
+
+void AppendRelation(const CompositeSystem& cs, const Relation& rel,
+                    const char* label, std::ostringstream& out) {
+  if (rel.empty()) return;
+  out << "    " << label << ":";
+  rel.ForEach([&](NodeId a, NodeId b) {
+    out << " " << NodeName(cs, a) << "<" << NodeName(cs, b);
+  });
+  out << "\n";
+}
+
+void AppendTree(const CompositeSystem& cs, NodeId id, int depth,
+                std::ostringstream& out) {
+  out << std::string(static_cast<size_t>(depth) * 2, ' ')
+      << NodeName(cs, id);
+  const Node& n = cs.node(id);
+  if (n.IsTransaction()) {
+    out << " [txn @" << cs.schedule(n.owner_schedule).name << "]";
+  } else {
+    out << " [leaf]";
+  }
+  out << "\n";
+  for (NodeId child : n.children) AppendTree(cs, child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string DescribeSystem(const CompositeSystem& cs) {
+  std::ostringstream out;
+  auto ig = BuildInvocationGraph(cs);
+  out << "composite system: " << cs.ScheduleCount() << " schedules, "
+      << cs.NodeCount() << " nodes";
+  if (ig.ok()) out << ", order " << ig->order;
+  out << "\n";
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    out << "  schedule " << sched.name;
+    if (ig.ok()) out << " (level " << ig->schedule_level[s] << ")";
+    out << ": " << sched.transactions.size() << " transactions, "
+        << sched.conflicts.PairCount() << " conflicts\n";
+    if (!sched.conflicts.empty()) {
+      out << "    conflicts:";
+      sched.conflicts.ForEach([&](NodeId a, NodeId b) {
+        out << " {" << NodeName(cs, a) << "," << NodeName(cs, b) << "}";
+      });
+      out << "\n";
+    }
+    AppendRelation(cs, sched.weak_output, "weak output", out);
+    AppendRelation(cs, sched.strong_output, "strong output", out);
+    AppendRelation(cs, sched.weak_input, "weak input", out);
+    AppendRelation(cs, sched.strong_input, "strong input", out);
+  }
+  out << "  forest:\n";
+  for (NodeId root : cs.Roots()) AppendTree(cs, root, 2, out);
+  return out.str();
+}
+
+std::string DescribeFront(const CompositeSystem& cs, const Front& front) {
+  std::ostringstream out;
+  out << "front level " << front.level << ": {";
+  bool first = true;
+  for (NodeId id : front.nodes) {
+    if (!first) out << ", ";
+    out << NodeName(cs, id);
+    first = false;
+  }
+  out << "}\n";
+  AppendRelation(cs, front.observed, "observed", out);
+  if (!front.conflicts.empty()) {
+    out << "    CON:";
+    front.conflicts.ForEach([&](NodeId a, NodeId b) {
+      out << " {" << NodeName(cs, a) << "," << NodeName(cs, b) << "}";
+    });
+    out << "\n";
+  }
+  AppendRelation(cs, front.weak_input, "weak input", out);
+  AppendRelation(cs, front.strong_input, "strong input", out);
+  return out.str();
+}
+
+std::string DescribeReduction(const CompositeSystem& cs,
+                              const CompCResult& result) {
+  std::ostringstream out;
+  for (const Front& front : result.reduction.fronts) {
+    out << DescribeFront(cs, front);
+  }
+  if (result.correct) {
+    out << "verdict: Comp-C (level " << result.order
+        << " front reached).  serial witness:";
+    for (NodeId root : result.serial_order) {
+      out << " " << NodeName(cs, root);
+    }
+    out << "\n";
+  } else if (result.failure) {
+    out << "verdict: NOT Comp-C.  failed at level " << result.failure->level
+        << ", step " << ReductionFailureStepToString(result.failure->step)
+        << ": " << result.failure->witness.description << "\n  cycle:";
+    for (NodeId id : result.failure->witness.nodes) {
+      out << " " << NodeName(cs, id);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string FrontToDot(const CompositeSystem& cs, const Front& front,
+                       const std::vector<NodeId>& highlight) {
+  std::unordered_set<uint32_t> highlighted;
+  for (NodeId id : highlight) highlighted.insert(id.index());
+  std::ostringstream out;
+  out << "digraph front_level_" << front.level << " {\n  rankdir=LR;\n";
+  for (NodeId id : front.nodes) {
+    out << "  n" << id.index() << " [label=\"" << NodeName(cs, id) << "\"";
+    if (highlighted.count(id.index()) > 0) {
+      out << ", style=filled, fillcolor=lightcoral";
+    }
+    out << "];\n";
+  }
+  front.observed.ForEach([&](NodeId a, NodeId b) {
+    out << "  n" << a.index() << " -> n" << b.index() << ";\n";
+  });
+  front.weak_input.ForEach([&](NodeId a, NodeId b) {
+    out << "  n" << a.index() << " -> n" << b.index()
+        << " [style=dashed];\n";
+  });
+  front.conflicts.ForEach([&](NodeId a, NodeId b) {
+    out << "  n" << a.index() << " -> n" << b.index()
+        << " [dir=none, color=red, constraint=false];\n";
+  });
+  out << "}\n";
+  return out.str();
+}
+
+std::string ForestToDot(const CompositeSystem& cs) {
+  std::ostringstream out;
+  out << "digraph forest {\n  rankdir=TB;\n";
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    out << "  n" << v << " [label=\"" << NodeName(cs, NodeId(v)) << "\""
+        << (n.IsLeaf() ? ", shape=box" : ", shape=ellipse") << "];\n";
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    for (NodeId child : cs.node(NodeId(v)).children) {
+      out << "  n" << v << " -> n" << child.index() << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace comptx::analysis

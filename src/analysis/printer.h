@@ -1,0 +1,39 @@
+#ifndef COMPTX_ANALYSIS_PRINTER_H_
+#define COMPTX_ANALYSIS_PRINTER_H_
+
+#include <string>
+
+#include "core/composite_system.h"
+#include "core/correctness.h"
+#include "core/front.h"
+
+namespace comptx::analysis {
+
+/// The node's name, or "node(i)" if unnamed.
+std::string NodeName(const CompositeSystem& cs, NodeId id);
+
+/// Multi-line human-readable description of a composite system: schedules
+/// with levels, the forest, conflicts and orders.
+std::string DescribeSystem(const CompositeSystem& cs);
+
+/// One-front summary: members, observed order, conflicts, input orders.
+std::string DescribeFront(const CompositeSystem& cs, const Front& front);
+
+/// Full reduction trace: per-level fronts plus the verdict or the failure
+/// diagnosis (witness cycle rendered with node names).
+std::string DescribeReduction(const CompositeSystem& cs,
+                              const CompCResult& result);
+
+/// Graphviz DOT of the computational forest (transaction trees), with
+/// leaf operations as boxes.
+std::string ForestToDot(const CompositeSystem& cs);
+
+/// Graphviz DOT of one front: solid edges are observed orders, dashed
+/// edges are input orders, red undirected edges are generalized
+/// conflicts.  Highlights `highlight` nodes (e.g., a failure witness).
+std::string FrontToDot(const CompositeSystem& cs, const Front& front,
+                       const std::vector<NodeId>& highlight = {});
+
+}  // namespace comptx::analysis
+
+#endif  // COMPTX_ANALYSIS_PRINTER_H_

@@ -1,0 +1,71 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace comptx::analysis {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  COMPTX_CHECK_EQ(row.size(), rows_.front().size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+          << rows_[r][c];
+    }
+    out << "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        out << std::string(widths[c], '-') << "  ";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace comptx::analysis

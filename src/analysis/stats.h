@@ -1,0 +1,66 @@
+#ifndef COMPTX_ANALYSIS_STATS_H_
+#define COMPTX_ANALYSIS_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comptx::analysis {
+
+/// Online mean / variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accept/reject counter that renders as a rate.
+class RateCounter {
+ public:
+  void Add(bool accepted) {
+    ++total_;
+    if (accepted) ++accepted_;
+  }
+  uint64_t total() const { return total_; }
+  uint64_t accepted() const { return accepted_; }
+  double rate() const { return total_ == 0 ? 0.0 : double(accepted_) / double(total_); }
+
+ private:
+  uint64_t total_ = 0;
+  uint64_t accepted_ = 0;
+};
+
+/// Minimal fixed-width text table for bench/experiment reports.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` fractional digits.
+std::string FormatDouble(double value, int digits = 3);
+
+}  // namespace comptx::analysis
+
+#endif  // COMPTX_ANALYSIS_STATS_H_

@@ -1,0 +1,43 @@
+#ifndef COMPTX_CORE_CALCULATION_H_
+#define COMPTX_CORE_CALCULATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/front.h"
+#include "core/indexing.h"
+#include "graph/digraph.h"
+
+namespace comptx {
+
+/// Builds the non-reorderability constraint graph of a front over
+/// `index` (one graph node per front node).  An edge a -> b means a must
+/// stay before b in any equivalent execution of the front:
+///   1. strong temporal orders (Def 16 step 1: "without switching operation
+///      pairs that are strongly ordered"),
+///   2. observed-order pairs that conflict under the generalized conflict
+///      relation (commuting pairs may be reordered, Def 14),
+///   3. schedule weak output orders over conflicting same-schedule pairs
+///      (the serialization decisions of not-yet-reduced schedules).
+graph::Digraph BuildCalculationConstraintGraph(const SystemContext& ctx,
+                                               const Front& front,
+                                               const NodeIndexMap& index);
+
+/// Decides whether every transaction in `group_transactions` admits a
+/// calculation in `front` (Def 14): an equivalent reordering of the front
+/// in which each transaction's operations appear contiguously, respecting
+/// both the constraint graph and each transaction's weak intra order.
+///
+/// Implemented as the standard grouping test: collapse each transaction's
+/// operation set to one block in the constraint graph; a calculation for
+/// all transactions exists iff the quotient graph and every intra-block
+/// graph (constraints ∪ the transaction's ≺_t) are acyclic.  Returns a
+/// witness cycle when the test fails (this is what fails at level 2 in the
+/// paper's Figure 3), std::nullopt when all calculations exist.
+std::optional<CycleWitness> FindCalculationViolation(
+    const SystemContext& ctx, const Front& front,
+    const std::vector<NodeId>& group_transactions);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_CALCULATION_H_

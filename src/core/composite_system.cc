@@ -1,0 +1,272 @@
+#include "core/composite_system.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comptx {
+
+CompositeSystem CompositeSystem::Clone() const {
+  CompositeSystem copy;
+  copy.nodes_ = nodes_;
+  copy.schedules_ = schedules_;
+  return copy;
+}
+
+ScheduleId CompositeSystem::AddSchedule(std::string name) {
+  ScheduleId id(static_cast<uint32_t>(schedules_.size()));
+  Schedule s;
+  s.id = id;
+  s.name = std::move(name);
+  schedules_.push_back(std::move(s));
+  return id;
+}
+
+StatusOr<NodeId> CompositeSystem::AddRootTransaction(ScheduleId scheduler,
+                                                     std::string name) {
+  if (!HasSchedule(scheduler)) {
+    return Status::InvalidArgument(
+        StrCat("unknown schedule ", scheduler, " for root ", name));
+  }
+  NodeId id(static_cast<uint32_t>(nodes_.size()));
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.kind = NodeKind::kTransaction;
+  n.owner_schedule = scheduler;
+  nodes_.push_back(std::move(n));
+  schedules_[scheduler.index()].transactions.push_back(id);
+  return id;
+}
+
+StatusOr<NodeId> CompositeSystem::AddSubtransaction(NodeId parent,
+                                                    ScheduleId scheduler,
+                                                    std::string name) {
+  if (!HasNode(parent) || !node(parent).IsTransaction()) {
+    return Status::InvalidArgument(
+        StrCat("parent ", parent, " is not a transaction"));
+  }
+  if (!HasSchedule(scheduler)) {
+    return Status::InvalidArgument(
+        StrCat("unknown schedule ", scheduler, " for subtransaction ", name));
+  }
+  if (node(parent).owner_schedule == scheduler) {
+    // A transaction's operation scheduled by the transaction's own
+    // scheduler would make the schedule invoke itself (Def 4.6 forbids all
+    // recursion; direct self-invocation is rejected eagerly, indirect
+    // recursion is caught by Validate()).
+    return Status::InvalidArgument(
+        StrCat("subtransaction ", name, " would make ", scheduler,
+               " invoke itself"));
+  }
+  NodeId id(static_cast<uint32_t>(nodes_.size()));
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.kind = NodeKind::kTransaction;
+  n.parent = parent;
+  n.owner_schedule = scheduler;
+  nodes_.push_back(std::move(n));
+  nodes_[parent.index()].children.push_back(id);
+  schedules_[scheduler.index()].transactions.push_back(id);
+  return id;
+}
+
+StatusOr<NodeId> CompositeSystem::AddLeaf(NodeId parent, std::string name) {
+  if (!HasNode(parent) || !node(parent).IsTransaction()) {
+    return Status::InvalidArgument(
+        StrCat("parent ", parent, " is not a transaction"));
+  }
+  NodeId id(static_cast<uint32_t>(nodes_.size()));
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.kind = NodeKind::kLeaf;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[parent.index()].children.push_back(id);
+  return id;
+}
+
+Status CompositeSystem::CheckOperationPair(NodeId a, NodeId b,
+                                           ScheduleId* host) const {
+  if (!HasNode(a) || !HasNode(b)) {
+    return Status::InvalidArgument(StrCat("unknown node in pair (", a, ", ",
+                                          b, ")"));
+  }
+  ScheduleId ha = HostScheduleOf(a);
+  ScheduleId hb = HostScheduleOf(b);
+  if (!ha.valid() || ha != hb) {
+    return Status::InvalidArgument(
+        StrCat("nodes ", a, " and ", b,
+               " are not operations of one common schedule"));
+  }
+  if (a == b) {
+    return Status::InvalidArgument(StrCat("pair (", a, ", ", b,
+                                          ") is reflexive"));
+  }
+  *host = ha;
+  return Status::OK();
+}
+
+Status CompositeSystem::AddConflict(NodeId a, NodeId b) {
+  ScheduleId host;
+  COMPTX_RETURN_IF_ERROR(CheckOperationPair(a, b, &host));
+  schedules_[host.index()].conflicts.Add(a, b);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddWeakOutput(NodeId a, NodeId b) {
+  ScheduleId host;
+  COMPTX_RETURN_IF_ERROR(CheckOperationPair(a, b, &host));
+  schedules_[host.index()].weak_output.Add(a, b);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddStrongOutput(NodeId a, NodeId b) {
+  ScheduleId host;
+  COMPTX_RETURN_IF_ERROR(CheckOperationPair(a, b, &host));
+  schedules_[host.index()].strong_output.Add(a, b);
+  schedules_[host.index()].weak_output.Add(a, b);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddWeakInput(ScheduleId scheduler, NodeId t1,
+                                     NodeId t2) {
+  if (!HasSchedule(scheduler)) {
+    return Status::InvalidArgument(StrCat("unknown schedule ", scheduler));
+  }
+  if (!HasNode(t1) || !HasNode(t2) || t1 == t2 ||
+      node(t1).owner_schedule != scheduler ||
+      node(t2).owner_schedule != scheduler) {
+    return Status::InvalidArgument(
+        StrCat("(", t1, ", ", t2, ") is not a pair of distinct transactions",
+               " of ", scheduler));
+  }
+  schedules_[scheduler.index()].weak_input.Add(t1, t2);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddStrongInput(ScheduleId scheduler, NodeId t1,
+                                       NodeId t2) {
+  COMPTX_RETURN_IF_ERROR(AddWeakInput(scheduler, t1, t2));
+  schedules_[scheduler.index()].strong_input.Add(t1, t2);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddIntraWeak(NodeId txn, NodeId a, NodeId b) {
+  if (!HasNode(txn) || !node(txn).IsTransaction()) {
+    return Status::InvalidArgument(StrCat(txn, " is not a transaction"));
+  }
+  if (!HasNode(a) || !HasNode(b) || a == b || node(a).parent != txn ||
+      node(b).parent != txn) {
+    return Status::InvalidArgument(
+        StrCat("(", a, ", ", b, ") is not a pair of distinct operations of ",
+               txn));
+  }
+  nodes_[txn.index()].weak_intra.Add(a, b);
+  return Status::OK();
+}
+
+Status CompositeSystem::AddIntraStrong(NodeId txn, NodeId a, NodeId b) {
+  COMPTX_RETURN_IF_ERROR(AddIntraWeak(txn, a, b));
+  nodes_[txn.index()].strong_intra.Add(a, b);
+  return Status::OK();
+}
+
+const Node& CompositeSystem::node(NodeId id) const {
+  COMPTX_CHECK(HasNode(id)) << "node id out of range: " << id;
+  return nodes_[id.index()];
+}
+
+const Schedule& CompositeSystem::schedule(ScheduleId id) const {
+  COMPTX_CHECK(HasSchedule(id)) << "schedule id out of range: " << id;
+  return schedules_[id.index()];
+}
+
+Node& CompositeSystem::mutable_node(NodeId id) {
+  COMPTX_CHECK(HasNode(id)) << "node id out of range: " << id;
+  return nodes_[id.index()];
+}
+
+Schedule& CompositeSystem::mutable_schedule(ScheduleId id) {
+  COMPTX_CHECK(HasSchedule(id)) << "schedule id out of range: " << id;
+  return schedules_[id.index()];
+}
+
+ScheduleId CompositeSystem::HostScheduleOf(NodeId id) const {
+  const Node& n = node(id);
+  if (!n.parent.valid()) return ScheduleId();
+  return node(n.parent).owner_schedule;
+}
+
+std::vector<NodeId> CompositeSystem::Roots() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.IsRoot()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> CompositeSystem::Leaves() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.IsLeaf()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> CompositeSystem::OperationsOf(ScheduleId scheduler) const {
+  std::vector<NodeId> out;
+  for (NodeId txn : schedule(scheduler).transactions) {
+    const Node& t = node(txn);
+    out.insert(out.end(), t.children.begin(), t.children.end());
+  }
+  return out;
+}
+
+std::vector<NodeId> CompositeSystem::Descendants(NodeId txn) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack(node(txn).children.rbegin(),
+                            node(txn).children.rend());
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const Node& n = node(cur);
+    stack.insert(stack.end(), n.children.rbegin(), n.children.rend());
+  }
+  return out;
+}
+
+NodeId CompositeSystem::RootOf(NodeId id) const {
+  NodeId cur = id;
+  while (node(cur).parent.valid()) cur = node(cur).parent;
+  return cur;
+}
+
+SubtreeIndex::SubtreeIndex(const CompositeSystem& cs)
+    : enter_(cs.NodeCount(), 0), exit_(cs.NodeCount(), 0) {
+  uint32_t clock = 0;
+  // Iterative preorder/postorder numbering per root.
+  for (NodeId root : cs.Roots()) {
+    // Frame: (node, entered?).
+    std::vector<std::pair<NodeId, bool>> stack;
+    stack.emplace_back(root, false);
+    while (!stack.empty()) {
+      auto [cur, entered] = stack.back();
+      stack.pop_back();
+      if (entered) {
+        exit_[cur.index()] = clock++;
+        continue;
+      }
+      enter_[cur.index()] = clock++;
+      stack.emplace_back(cur, true);
+      const Node& n = cs.node(cur);
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.emplace_back(*it, false);
+      }
+    }
+  }
+}
+
+}  // namespace comptx

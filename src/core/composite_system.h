@@ -1,0 +1,156 @@
+#ifndef COMPTX_CORE_COMPOSITE_SYSTEM_H_
+#define COMPTX_CORE_COMPOSITE_SYSTEM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "core/schedule.h"
+#include "util/status.h"
+#include "util/status_or.h"
+
+namespace comptx {
+
+/// A composite system together with one recorded composite schedule
+/// (paper Def 4): a set of component schedules whose transactions form a
+/// computational forest.  This is the library's central type; correctness
+/// checking (Comp-C, Def 20) operates on instances of it.
+///
+/// Construction is incremental: add schedules, then the forest
+/// (root transactions, internal subtransaction operations, leaf
+/// operations), then orders and conflicts.  Mutators validate local
+/// referential rules eagerly and return Status; the global model rules of
+/// Defs 3 and 4 (order containment, conflict ordering, recursion freedom,
+/// order propagation between schedules) are checked by Validate().
+class CompositeSystem {
+ public:
+  CompositeSystem() = default;
+
+  // Movable but not copyable by accident (instances can be large); use
+  // Clone() for an explicit deep copy.
+  CompositeSystem(const CompositeSystem&) = delete;
+  CompositeSystem& operator=(const CompositeSystem&) = delete;
+  CompositeSystem(CompositeSystem&&) = default;
+  CompositeSystem& operator=(CompositeSystem&&) = default;
+
+  /// Explicit deep copy.
+  CompositeSystem Clone() const;
+
+  // ---- Construction -----------------------------------------------------
+
+  /// Adds an empty schedule named `name` and returns its id.
+  ScheduleId AddSchedule(std::string name);
+
+  /// Adds a root transaction (element of R, Def 4.5) executed by schedule
+  /// `scheduler`.
+  StatusOr<NodeId> AddRootTransaction(ScheduleId scheduler, std::string name);
+
+  /// Adds an internal node (Def 4.4): an operation of `parent` that is in
+  /// turn a transaction of schedule `scheduler`.
+  StatusOr<NodeId> AddSubtransaction(NodeId parent, ScheduleId scheduler,
+                                     std::string name);
+
+  /// Adds a leaf operation (Def 4.3) as an operation of `parent`.
+  StatusOr<NodeId> AddLeaf(NodeId parent, std::string name);
+
+  /// Declares CON_S(a, b) for the host schedule of `a` and `b`; both must
+  /// be operations of the same schedule.
+  Status AddConflict(NodeId a, NodeId b);
+
+  /// Declares a weak output order pair a ≺_S b; both must be operations of
+  /// the same schedule S.
+  Status AddWeakOutput(NodeId a, NodeId b);
+
+  /// Declares a strong output order pair a ≪_S b (also added to the weak
+  /// output order, since ≪ ⊆ ≺).
+  Status AddStrongOutput(NodeId a, NodeId b);
+
+  /// Declares a weak input order pair t → t'; both must be transactions of
+  /// schedule `scheduler`.
+  Status AddWeakInput(ScheduleId scheduler, NodeId t1, NodeId t2);
+
+  /// Declares a strong input order pair t ⇒ t' (also added to the weak
+  /// input order).
+  Status AddStrongInput(ScheduleId scheduler, NodeId t1, NodeId t2);
+
+  /// Declares a weak intra-transaction order pair a ≺_t b; both must be
+  /// operations of transaction `txn`.
+  Status AddIntraWeak(NodeId txn, NodeId a, NodeId b);
+
+  /// Declares a strong intra-transaction order pair a ≪_t b (also added to
+  /// the weak intra order).
+  Status AddIntraStrong(NodeId txn, NodeId a, NodeId b);
+
+  // ---- Accessors ----------------------------------------------------------
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t ScheduleCount() const { return schedules_.size(); }
+
+  const Node& node(NodeId id) const;
+  const Schedule& schedule(ScheduleId id) const;
+
+  /// True iff `id` names an existing node.
+  bool HasNode(NodeId id) const { return id.index() < nodes_.size(); }
+  bool HasSchedule(ScheduleId id) const {
+    return id.index() < schedules_.size();
+  }
+
+  /// The schedule in whose operation set this node appears, i.e., the
+  /// owner schedule of its parent.  Invalid for roots.
+  ScheduleId HostScheduleOf(NodeId id) const;
+
+  /// All root transactions, in creation order (set R).
+  std::vector<NodeId> Roots() const;
+
+  /// All leaf operations, in creation order (set L).
+  std::vector<NodeId> Leaves() const;
+
+  /// O_S: the operations of `scheduler`'s transactions, in creation order.
+  std::vector<NodeId> OperationsOf(ScheduleId scheduler) const;
+
+  /// Act(T) of Def 4.6: all descendants of `txn` (excluding `txn` itself),
+  /// preorder.
+  std::vector<NodeId> Descendants(NodeId txn) const;
+
+  /// The root transaction of the execution tree containing `id`.
+  NodeId RootOf(NodeId id) const;
+
+  /// Checks all global model rules (Defs 2-4); see validate.cc for the
+  /// itemized list.  Analyses (reduction, criteria) require a valid system.
+  Status Validate() const;
+
+  // ---- Internal mutation (used by generators) ----------------------------
+
+  /// Mutable access for construction helpers; prefer the typed mutators.
+  Node& mutable_node(NodeId id);
+  Schedule& mutable_schedule(ScheduleId id);
+
+ private:
+  Status CheckOperationPair(NodeId a, NodeId b, ScheduleId* host) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Schedule> schedules_;
+};
+
+/// Preorder interval index over a CompositeSystem's forest, answering
+/// "is x in the subtree of a?" in O(1).  Build once per analysis pass;
+/// invalidated by any structural mutation of the system.
+class SubtreeIndex {
+ public:
+  explicit SubtreeIndex(const CompositeSystem& cs);
+
+  /// True iff `x` is `ancestor` itself or a descendant of it.
+  bool InSubtree(NodeId ancestor, NodeId x) const {
+    return enter_[ancestor.index()] <= enter_[x.index()] &&
+           exit_[x.index()] <= exit_[ancestor.index()];
+  }
+
+ private:
+  std::vector<uint32_t> enter_;
+  std::vector<uint32_t> exit_;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_COMPOSITE_SYSTEM_H_

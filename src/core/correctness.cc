@@ -1,0 +1,29 @@
+#include "core/correctness.h"
+
+#include "core/serial_front.h"
+
+namespace comptx {
+
+StatusOr<CompCResult> CheckCompC(const CompositeSystem& cs,
+                                 const ReductionOptions& options) {
+  CompCResult result;
+  COMPTX_ASSIGN_OR_RETURN(result.reduction, RunReduction(cs, options));
+  result.correct = result.reduction.comp_c;
+  result.order = result.reduction.order;
+  result.failure = result.reduction.failure;
+  if (result.correct) {
+    // A level-N front exists and is conflict consistent, so the
+    // topological sort cannot fail (Theorem 1).
+    COMPTX_ASSIGN_OR_RETURN(result.serial_order,
+                            SerializeFront(result.reduction.FinalFront()));
+  }
+  return result;
+}
+
+bool IsCompC(const CompositeSystem& cs) {
+  auto result = CheckCompC(cs);
+  COMPTX_CHECK(result.ok()) << result.status().ToString();
+  return result->correct;
+}
+
+}  // namespace comptx

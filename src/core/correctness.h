@@ -1,0 +1,46 @@
+#ifndef COMPTX_CORE_CORRECTNESS_H_
+#define COMPTX_CORE_CORRECTNESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/reduction.h"
+#include "util/status_or.h"
+
+namespace comptx {
+
+/// Verdict of the Comp-C decision procedure (Def 20 via Theorem 1), with a
+/// serial witness when correct and a failure diagnosis when not.
+struct CompCResult {
+  /// True iff the composite schedule is Comp-C.
+  bool correct = false;
+
+  /// The order N of the composite system.
+  uint32_t order = 0;
+
+  /// When correct: a total order of the root transactions such that the
+  /// serial front induced by it level-N-contains the reduced execution
+  /// (the construction in Theorem 1's proof).
+  std::vector<NodeId> serial_order;
+
+  /// When incorrect: where and why the reduction failed.
+  std::optional<ReductionFailure> failure;
+
+  /// The full reduction trace (fronts per level), for diagnostics and
+  /// figure regeneration.
+  ReductionResult reduction;
+};
+
+/// Decides Comp-C for `cs` (Def 20): runs the reduction of Def 16 and, on
+/// success, extracts a serial witness by topologically sorting the final
+/// front (Theorem 1).  Status errors indicate malformed input, not
+/// incorrect executions.
+StatusOr<CompCResult> CheckCompC(const CompositeSystem& cs,
+                                 const ReductionOptions& options = {});
+
+/// Convenience predicate; dies on malformed input.
+bool IsCompC(const CompositeSystem& cs);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_CORRECTNESS_H_

@@ -1,0 +1,132 @@
+#include "core/front.h"
+
+#include <algorithm>
+
+#include "core/indexing.h"
+#include "graph/cycle_finder.h"
+#include "util/string_util.h"
+
+namespace comptx {
+
+bool Front::ContainsNode(NodeId id) const {
+  return std::binary_search(nodes.begin(), nodes.end(), id);
+}
+
+SystemContext::SystemContext(const CompositeSystem& system)
+    : cs(system), subtree(system), ig([&] {
+        auto result = BuildInvocationGraph(system);
+        COMPTX_CHECK(result.ok())
+            << "SystemContext requires a recursion-free system: "
+            << result.status().ToString();
+        return std::move(result).value();
+      }()) {
+  const size_t schedule_count = cs.ScheduleCount();
+  closed_weak_output.reserve(schedule_count);
+  closed_strong_output.reserve(schedule_count);
+  closed_weak_input.reserve(schedule_count);
+  closed_strong_input.reserve(schedule_count);
+  for (uint32_t s = 0; s < schedule_count; ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    const std::vector<NodeId> ops = cs.OperationsOf(ScheduleId(s));
+    closed_weak_output.push_back(ClosureWithin(sched.weak_output, ops));
+    closed_strong_output.push_back(ClosureWithin(sched.strong_output, ops));
+    closed_weak_input.push_back(
+        ClosureWithin(sched.weak_input, sched.transactions));
+    closed_strong_input.push_back(
+        ClosureWithin(sched.strong_input, sched.transactions));
+  }
+  closed_weak_intra.resize(cs.NodeCount());
+  closed_strong_intra.resize(cs.NodeCount());
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    if (!n.IsTransaction()) continue;
+    closed_weak_intra[v] = ClosureWithin(n.weak_intra, n.children);
+    closed_strong_intra[v] = ClosureWithin(n.strong_intra, n.children);
+  }
+}
+
+namespace {
+
+/// Adds (x, y) for every front pair with x in subtree(a), y in subtree(b).
+/// This is the pull-down of a strong constraint a ≪ b to the front.
+void AddPulledDownPairs(const SystemContext& ctx,
+                        const std::vector<NodeId>& front_nodes, NodeId a,
+                        NodeId b, Relation& out) {
+  // Collect front members of each subtree (a front node is in at most one
+  // of them since a and b are siblings or co-scheduled transactions, whose
+  // subtrees are disjoint).
+  std::vector<NodeId> in_a;
+  std::vector<NodeId> in_b;
+  for (NodeId x : front_nodes) {
+    if (ctx.subtree.InSubtree(a, x)) {
+      in_a.push_back(x);
+    } else if (ctx.subtree.InSubtree(b, x)) {
+      in_b.push_back(x);
+    }
+  }
+  for (NodeId x : in_a) {
+    for (NodeId y : in_b) out.Add(x, y);
+  }
+}
+
+}  // namespace
+
+void ComputeFrontInputOrders(const SystemContext& ctx, Front& front) {
+  front.weak_input = Relation();
+  front.strong_input = Relation();
+  const CompositeSystem& cs = ctx.cs;
+
+  // Weak input orders: pairs directly in the front.
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    ctx.closed_weak_input[s].ForEach([&](NodeId t1, NodeId t2) {
+      if (front.ContainsNode(t1) && front.ContainsNode(t2)) {
+        front.weak_input.Add(t1, t2);
+      }
+    });
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    ctx.closed_weak_intra[v].ForEach([&](NodeId a, NodeId b) {
+      if (front.ContainsNode(a) && front.ContainsNode(b)) {
+        front.weak_input.Add(a, b);
+      }
+    });
+  }
+
+  // Strong temporal orders: pulled down from every strong constraint.
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    ctx.closed_strong_input[s].ForEach([&](NodeId t1, NodeId t2) {
+      AddPulledDownPairs(ctx, front.nodes, t1, t2, front.strong_input);
+    });
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    ctx.closed_strong_intra[v].ForEach([&](NodeId a, NodeId b) {
+      AddPulledDownPairs(ctx, front.nodes, a, b, front.strong_input);
+    });
+  }
+
+  // Strong orders are also weak orders (Def 1).
+  front.weak_input.UnionWith(front.strong_input);
+}
+
+std::optional<CycleWitness> FindConflictConsistencyViolation(
+    const Front& front) {
+  NodeIndexMap index(front.nodes);
+  graph::Digraph g = RelationToDigraph(front.observed, index);
+  g.UnionWith(RelationToDigraph(front.weak_input, index));
+  g.UnionWith(RelationToDigraph(front.strong_input, index));
+  auto cycle = graph::FindCycle(g);
+  if (!cycle) return std::nullopt;
+  CycleWitness witness;
+  witness.nodes.reserve(cycle->size());
+  for (uint32_t local : *cycle) witness.nodes.push_back(index.GlobalOf(local));
+  witness.description =
+      StrCat("front level ", front.level, " is not conflict consistent: ",
+             cycle->size(), "-node cycle in observed ∪ input orders");
+  return witness;
+}
+
+bool IsConflictConsistent(const Front& front) {
+  return !FindConflictConsistencyViolation(front).has_value();
+}
+
+}  // namespace comptx

@@ -1,0 +1,90 @@
+#ifndef COMPTX_CORE_IDS_H_
+#define COMPTX_CORE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace comptx {
+
+inline constexpr uint32_t kInvalidIndex = UINT32_MAX;
+
+/// Identifier of a node (transaction, internal subtransaction, or leaf
+/// operation) inside one CompositeSystem.  Ids are dense indices assigned in
+/// creation order; they are only meaningful relative to their owning system.
+class NodeId {
+ public:
+  /// Constructs the invalid id (used for "no parent" on root transactions).
+  constexpr NodeId() : index_(kInvalidIndex) {}
+  constexpr explicit NodeId(uint32_t index) : index_(index) {}
+
+  constexpr uint32_t index() const { return index_; }
+  constexpr bool valid() const { return index_ != kInvalidIndex; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return !(a == b); }
+  friend constexpr bool operator<(NodeId a, NodeId b) {
+    return a.index_ < b.index_;
+  }
+
+ private:
+  uint32_t index_;
+};
+
+/// Identifier of a schedule (one component scheduler) inside one
+/// CompositeSystem.
+class ScheduleId {
+ public:
+  constexpr ScheduleId() : index_(kInvalidIndex) {}
+  constexpr explicit ScheduleId(uint32_t index) : index_(index) {}
+
+  constexpr uint32_t index() const { return index_; }
+  constexpr bool valid() const { return index_ != kInvalidIndex; }
+
+  friend constexpr bool operator==(ScheduleId a, ScheduleId b) {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(ScheduleId a, ScheduleId b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(ScheduleId a, ScheduleId b) {
+    return a.index_ < b.index_;
+  }
+
+ private:
+  uint32_t index_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.valid()) return os << "node(-)";
+  return os << "node(" << id.index() << ")";
+}
+
+inline std::ostream& operator<<(std::ostream& os, ScheduleId id) {
+  if (!id.valid()) return os << "sched(-)";
+  return os << "sched(" << id.index() << ")";
+}
+
+}  // namespace comptx
+
+namespace std {
+
+template <>
+struct hash<comptx::NodeId> {
+  size_t operator()(comptx::NodeId id) const noexcept {
+    return std::hash<uint32_t>{}(id.index());
+  }
+};
+
+template <>
+struct hash<comptx::ScheduleId> {
+  size_t operator()(comptx::ScheduleId id) const noexcept {
+    return std::hash<uint32_t>{}(id.index());
+  }
+};
+
+}  // namespace std
+
+#endif  // COMPTX_CORE_IDS_H_

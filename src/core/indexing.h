@@ -1,0 +1,92 @@
+#ifndef COMPTX_CORE_INDEXING_H_
+#define COMPTX_CORE_INDEXING_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/relation.h"
+#include "graph/digraph.h"
+#include "graph/transitive_closure.h"
+#include "util/logging.h"
+
+namespace comptx {
+
+/// Bidirectional mapping between a set of NodeIds and dense local indices
+/// [0, size).  All graph algorithms work on dense indices; this is the
+/// bridge from the model's ids.
+class NodeIndexMap {
+ public:
+  explicit NodeIndexMap(const std::vector<NodeId>& nodes) : globals_(nodes) {
+    locals_.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      bool inserted =
+          locals_.emplace(nodes[i], static_cast<uint32_t>(i)).second;
+      COMPTX_CHECK(inserted) << "duplicate node in index map: " << nodes[i];
+    }
+  }
+
+  size_t size() const { return globals_.size(); }
+
+  bool Has(NodeId id) const { return locals_.count(id) > 0; }
+
+  uint32_t LocalOf(NodeId id) const {
+    auto it = locals_.find(id);
+    COMPTX_CHECK(it != locals_.end()) << "node not in index map: " << id;
+    return it->second;
+  }
+
+  std::optional<uint32_t> TryLocalOf(NodeId id) const {
+    auto it = locals_.find(id);
+    if (it == locals_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  NodeId GlobalOf(uint32_t local) const {
+    COMPTX_CHECK_LT(local, globals_.size());
+    return globals_[local];
+  }
+
+  const std::vector<NodeId>& nodes() const { return globals_; }
+
+ private:
+  std::vector<NodeId> globals_;
+  std::unordered_map<NodeId, uint32_t> locals_;
+};
+
+/// Converts `rel` into a digraph over `index`'s local ids.  Pairs with an
+/// endpoint outside the index are silently dropped (this is the common
+/// "restrict to a front" operation).
+inline graph::Digraph RelationToDigraph(const Relation& rel,
+                                        const NodeIndexMap& index) {
+  graph::Digraph g(index.size());
+  rel.ForEach([&](NodeId a, NodeId b) {
+    auto la = index.TryLocalOf(a);
+    auto lb = index.TryLocalOf(b);
+    if (la && lb) g.AddEdge(*la, *lb);
+  });
+  return g;
+}
+
+/// The transitive closure of `rel` restricted to `domain`, returned as a
+/// Relation over the original NodeIds.  Pairs leaving the domain are
+/// dropped before closing.
+inline Relation ClosureWithin(const Relation& rel,
+                              const std::vector<NodeId>& domain) {
+  NodeIndexMap index(domain);
+  graph::Digraph g = RelationToDigraph(rel, index);
+  graph::TransitiveClosure closure(g);
+  Relation out;
+  for (uint32_t a = 0; a < index.size(); ++a) {
+    for (uint32_t b = 0; b < index.size(); ++b) {
+      if (closure.Reaches(a, b)) out.Add(index.GlobalOf(a), index.GlobalOf(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_INDEXING_H_

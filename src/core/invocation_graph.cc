@@ -1,0 +1,47 @@
+#include "core/invocation_graph.h"
+
+#include <algorithm>
+
+#include "graph/topological_sort.h"
+#include "util/string_util.h"
+
+namespace comptx {
+
+uint32_t InvocationGraphResult::LevelOfTransaction(const CompositeSystem& cs,
+                                                   NodeId txn) const {
+  const Node& n = cs.node(txn);
+  COMPTX_CHECK(n.IsTransaction()) << txn << " is not a transaction";
+  return schedule_level[n.owner_schedule.index()];
+}
+
+StatusOr<InvocationGraphResult> BuildInvocationGraph(
+    const CompositeSystem& cs) {
+  InvocationGraphResult result;
+  result.graph = graph::Digraph(cs.ScheduleCount());
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    ScheduleId sid(s);
+    for (NodeId op : cs.OperationsOf(sid)) {
+      const Node& n = cs.node(op);
+      if (n.IsTransaction()) {
+        result.graph.AddEdge(s, n.owner_schedule.index());
+      }
+    }
+  }
+  auto longest = graph::LongestPathLengths(result.graph);
+  if (!longest.ok()) {
+    return Status::FailedPrecondition(
+        "invocation graph is cyclic: the composite system contains "
+        "recursion, which Def 4.6 forbids");
+  }
+  result.schedule_level.resize(cs.ScheduleCount());
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    result.schedule_level[s] = longest.value()[s] + 1;
+  }
+  result.order = 0;
+  for (uint32_t level : result.schedule_level) {
+    result.order = std::max(result.order, level);
+  }
+  return result;
+}
+
+}  // namespace comptx

@@ -1,0 +1,39 @@
+#ifndef COMPTX_CORE_INVOCATION_GRAPH_H_
+#define COMPTX_CORE_INVOCATION_GRAPH_H_
+
+#include <vector>
+
+#include "core/composite_system.h"
+#include "graph/digraph.h"
+#include "util/status_or.h"
+
+namespace comptx {
+
+/// The invocation graph of a composite system (Def 8) plus the derived
+/// schedule levels (Def 9).
+struct InvocationGraphResult {
+  /// Node i of the digraph is schedule i; edge S_i -> S_j iff S_i invokes
+  /// S_j (some operation of S_i is a transaction of S_j, Def 7).
+  graph::Digraph graph;
+
+  /// Level of each schedule: 1 + length of the longest path starting at it
+  /// (Def 9).  Leaf schedules have level 1.
+  std::vector<uint32_t> schedule_level;
+
+  /// The order N of the composite system: the maximum schedule level
+  /// (0 for an empty system).
+  uint32_t order = 0;
+
+  /// Level of a transaction/operation: the level of the schedule owning it
+  /// (transactions) — leaves have no level of their own.
+  uint32_t LevelOfTransaction(const CompositeSystem& cs, NodeId txn) const;
+};
+
+/// Builds the invocation graph; fails with FailedPrecondition if the system
+/// contains (indirect) recursion, i.e., the graph is cyclic, which Def 4.6
+/// forbids.
+StatusOr<InvocationGraphResult> BuildInvocationGraph(const CompositeSystem& cs);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_INVOCATION_GRAPH_H_

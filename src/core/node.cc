@@ -1,0 +1,4 @@
+#include "core/node.h"
+
+// Node is a passive aggregate; all behaviour lives in CompositeSystem.
+// This translation unit exists so the header has a home in the build graph.

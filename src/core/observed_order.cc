@@ -1,0 +1,72 @@
+#include "core/observed_order.h"
+
+#include <algorithm>
+
+namespace comptx {
+
+namespace {
+
+/// The host schedule of `id`, or an invalid id for roots.
+ScheduleId HostOf(const CompositeSystem& cs, NodeId id) {
+  return cs.HostScheduleOf(id);
+}
+
+}  // namespace
+
+void ApplyLeafRuleObserved(const SystemContext& ctx, Front& front) {
+  const CompositeSystem& cs = ctx.cs;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    ctx.closed_weak_output[s].ForEach([&](NodeId a, NodeId b) {
+      if (!front.ContainsNode(a) || !front.ContainsNode(b)) return;
+      if (cs.node(a).IsLeaf() || cs.node(b).IsLeaf()) {
+        front.observed.Add(a, b);
+      }
+    });
+  }
+}
+
+void ComputeGeneralizedConflicts(const SystemContext& ctx, Front& front) {
+  const CompositeSystem& cs = ctx.cs;
+  front.conflicts = SymmetricPairSet();
+  // Same-schedule pairs: the schedule's own conflict predicate (Def 11.1).
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    cs.schedule(ScheduleId(s)).conflicts.ForEach([&](NodeId a, NodeId b) {
+      if (front.ContainsNode(a) && front.ContainsNode(b)) {
+        front.conflicts.Add(a, b);
+      }
+    });
+  }
+  // Other pairs: pessimistically conflict iff observed-order related
+  // (Def 11.2).
+  front.observed.ForEach([&](NodeId a, NodeId b) {
+    if (a == b) return;
+    ScheduleId ha = HostOf(cs, a);
+    ScheduleId hb = HostOf(cs, b);
+    if (ha.valid() && ha == hb) return;  // governed by CON_S above.
+    front.conflicts.Add(a, b);
+  });
+}
+
+bool GeneralizedConflict(const SystemContext& ctx, const Front& front,
+                         NodeId a, NodeId b) {
+  const CompositeSystem& cs = ctx.cs;
+  ScheduleId ha = HostOf(cs, a);
+  ScheduleId hb = HostOf(cs, b);
+  if (ha.valid() && ha == hb) {
+    return cs.schedule(ha).conflicts.Contains(a, b);
+  }
+  return front.observed.Contains(a, b) || front.observed.Contains(b, a);
+}
+
+Front MakeLevelZeroFront(const SystemContext& ctx) {
+  Front front;
+  front.level = 0;
+  front.nodes = ctx.cs.Leaves();
+  std::sort(front.nodes.begin(), front.nodes.end());
+  ApplyLeafRuleObserved(ctx, front);
+  ComputeGeneralizedConflicts(ctx, front);
+  ComputeFrontInputOrders(ctx, front);
+  return front;
+}
+
+}  // namespace comptx

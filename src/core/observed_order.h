@@ -1,0 +1,34 @@
+#ifndef COMPTX_CORE_OBSERVED_ORDER_H_
+#define COMPTX_CORE_OBSERVED_ORDER_H_
+
+#include "core/front.h"
+
+namespace comptx {
+
+/// Builds the unique level 0 front (Def 15): all leaf operations, with the
+/// observed order seeded by the leaf atomicity rule (Def 10 point 1), the
+/// generalized conflicts restricted to leaf pairs (Def 11), and the input
+/// orders computed per ComputeFrontInputOrders.
+Front MakeLevelZeroFront(const SystemContext& ctx);
+
+/// Applies the leaf atomicity rule (Def 10 point 1) to `front`: for every
+/// schedule, every closed weak-output pair whose endpoints are both front
+/// members and at least one of which is a leaf becomes an observed-order
+/// pair.  Used at level 0 and again whenever new transaction nodes join a
+/// front next to leaf operations of the same schedule.
+void ApplyLeafRuleObserved(const SystemContext& ctx, Front& front);
+
+/// Recomputes the generalized conflict relation of `front` (Def 11): pairs
+/// of operations of one common schedule conflict iff that schedule's CON_S
+/// says so; all other pairs (different schedules, or a root involved)
+/// conflict iff they are observed-order related.  Must run after
+/// `front.observed` is final for the level.
+void ComputeGeneralizedConflicts(const SystemContext& ctx, Front& front);
+
+/// True under the generalized conflict relation of `front` (Def 11).
+bool GeneralizedConflict(const SystemContext& ctx, const Front& front,
+                         NodeId a, NodeId b);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_OBSERVED_ORDER_H_

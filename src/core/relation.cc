@@ -1,0 +1,78 @@
+#include "core/relation.h"
+
+#include "util/logging.h"
+
+namespace comptx {
+
+bool Relation::Add(NodeId a, NodeId b) {
+  COMPTX_CHECK(a.valid());
+  COMPTX_CHECK(b.valid());
+  bool inserted = adjacency_[a.index()].insert(b.index()).second;
+  if (inserted) ++pair_count_;
+  return inserted;
+}
+
+bool Relation::Contains(NodeId a, NodeId b) const {
+  auto it = adjacency_.find(a.index());
+  if (it == adjacency_.end()) return false;
+  return it->second.count(b.index()) > 0;
+}
+
+std::vector<NodeId> Relation::Successors(NodeId a) const {
+  std::vector<NodeId> out;
+  auto it = adjacency_.find(a.index());
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t to : it->second) out.push_back(NodeId(to));
+  return out;
+}
+
+void Relation::UnionWith(const Relation& other) {
+  other.ForEach([&](NodeId a, NodeId b) { Add(a, b); });
+}
+
+bool Relation::ContainsAllOf(const Relation& other) const {
+  bool all = true;
+  other.ForEach([&](NodeId a, NodeId b) {
+    if (!Contains(a, b)) all = false;
+  });
+  return all;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Relation::Pairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(pair_count_);
+  ForEach([&](NodeId a, NodeId b) { out.emplace_back(a, b); });
+  return out;
+}
+
+bool SymmetricPairSet::Add(NodeId a, NodeId b) {
+  COMPTX_CHECK(a.valid());
+  COMPTX_CHECK(b.valid());
+  COMPTX_CHECK(a != b) << "conflict pairs are irreflexive";
+  bool inserted = adjacency_[a.index()].insert(b.index()).second;
+  adjacency_[b.index()].insert(a.index());
+  if (inserted) ++pair_count_;
+  return inserted;
+}
+
+bool SymmetricPairSet::Contains(NodeId a, NodeId b) const {
+  auto it = adjacency_.find(a.index());
+  if (it == adjacency_.end()) return false;
+  return it->second.count(b.index()) > 0;
+}
+
+std::vector<NodeId> SymmetricPairSet::PeersOf(NodeId a) const {
+  std::vector<NodeId> out;
+  auto it = adjacency_.find(a.index());
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t peer : it->second) out.push_back(NodeId(peer));
+  return out;
+}
+
+void SymmetricPairSet::UnionWith(const SymmetricPairSet& other) {
+  other.ForEach([&](NodeId a, NodeId b) { Add(a, b); });
+}
+
+}  // namespace comptx

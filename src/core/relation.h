@@ -1,0 +1,118 @@
+#ifndef COMPTX_CORE_RELATION_H_
+#define COMPTX_CORE_RELATION_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace comptx {
+
+/// A binary relation over node ids (a set of ordered pairs).  Used for every
+/// order in the paper: weak/strong input and output orders (Def 3),
+/// intra-transaction orders (Def 2), and the observed order (Def 10).
+///
+/// Storage is an ordered adjacency map, so iteration is deterministic —
+/// important because failure witnesses and generated workloads must be
+/// reproducible bit-for-bit from a seed.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Adds the ordered pair (a, b).  Returns true if it was new.
+  bool Add(NodeId a, NodeId b);
+
+  /// True iff (a, b) is in the relation.
+  bool Contains(NodeId a, NodeId b) const;
+
+  /// Number of ordered pairs.
+  size_t PairCount() const { return pair_count_; }
+  bool empty() const { return pair_count_ == 0; }
+
+  /// Invokes `f(NodeId from, NodeId to)` for each pair, in (from, to)
+  /// lexicographic order.
+  template <typename F>
+  void ForEach(F f) const {
+    for (const auto& [from, tos] : adjacency_) {
+      for (uint32_t to : tos) f(NodeId(from), NodeId(to));
+    }
+  }
+
+  /// Successors of `a` in ascending id order (empty if none).
+  std::vector<NodeId> Successors(NodeId a) const;
+
+  /// Adds every pair of `other` into this relation.
+  void UnionWith(const Relation& other);
+
+  /// True iff every pair of `other` is also in this relation.
+  bool ContainsAllOf(const Relation& other) const;
+
+  /// The relation restricted to pairs whose endpoints satisfy `keep`.
+  template <typename Pred>
+  Relation RestrictedTo(Pred keep) const {
+    Relation out;
+    ForEach([&](NodeId a, NodeId b) {
+      if (keep(a) && keep(b)) out.Add(a, b);
+    });
+    return out;
+  }
+
+  /// All pairs in deterministic order.
+  std::vector<std::pair<NodeId, NodeId>> Pairs() const;
+
+  bool operator==(const Relation& other) const {
+    return adjacency_ == other.adjacency_;
+  }
+
+ private:
+  std::map<uint32_t, std::set<uint32_t>> adjacency_;
+  size_t pair_count_ = 0;
+};
+
+/// An irreflexive symmetric pair set, used for conflict predicates
+/// (Def 3's CON_S and Def 11's generalized CON).  Adding (a, b) also makes
+/// Contains(b, a) true; self-pairs are rejected.
+class SymmetricPairSet {
+ public:
+  SymmetricPairSet() = default;
+
+  /// Adds the unordered pair {a, b}; requires a != b.  Returns true if new.
+  bool Add(NodeId a, NodeId b);
+
+  /// True iff {a, b} is in the set.
+  bool Contains(NodeId a, NodeId b) const;
+
+  /// Number of unordered pairs.
+  size_t PairCount() const { return pair_count_; }
+  bool empty() const { return pair_count_ == 0; }
+
+  /// Peers of `a` in ascending id order.
+  std::vector<NodeId> PeersOf(NodeId a) const;
+
+  /// Invokes `f(a, b)` once per unordered pair with a.index() < b.index().
+  template <typename F>
+  void ForEach(F f) const {
+    for (const auto& [a, peers] : adjacency_) {
+      for (uint32_t b : peers) {
+        if (a < b) f(NodeId(a), NodeId(b));
+      }
+    }
+  }
+
+  void UnionWith(const SymmetricPairSet& other);
+
+  bool operator==(const SymmetricPairSet& other) const {
+    return adjacency_ == other.adjacency_;
+  }
+
+ private:
+  std::map<uint32_t, std::set<uint32_t>> adjacency_;
+  size_t pair_count_ = 0;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_RELATION_H_

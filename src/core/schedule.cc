@@ -1,0 +1,4 @@
+#include "core/schedule.h"
+
+// Schedule is a passive aggregate; construction and validation live in
+// CompositeSystem.  This translation unit anchors the header in the build.

@@ -1,0 +1,43 @@
+#ifndef COMPTX_CORE_SCHEDULE_H_
+#define COMPTX_CORE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/relation.h"
+
+namespace comptx {
+
+/// One component scheduler's schedule: the six-tuple of Def 3,
+/// S = (T, CON_S, weak/strong input orders, weak/strong output orders).
+///
+/// * `transactions` is T_S — the transactions this scheduler executed.
+/// * The operation set O_S is derived: the union of the children of the
+///   transactions in T_S (query via CompositeSystem::OperationsOf).
+/// * `conflicts` is CON_S, a symmetric predicate over O_S.
+/// * `weak_input` / `strong_input` are partial orders over T_S describing
+///   how callers asked the transactions to be ordered (strong ⊆ weak).
+/// * `weak_output` / `strong_output` are partial orders over O_S describing
+///   the net-effect order the scheduler produced (Def 3 conditions 1-4;
+///   checked by CompositeSystem::Validate, not by this struct).
+///
+/// Passive data; CompositeSystem's mutators maintain the cross-references.
+struct Schedule {
+  ScheduleId id;
+  std::string name;
+
+  std::vector<NodeId> transactions;
+
+  SymmetricPairSet conflicts;
+
+  Relation weak_input;
+  Relation strong_input;
+
+  Relation weak_output;
+  Relation strong_output;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_SCHEDULE_H_

@@ -1,0 +1,39 @@
+#ifndef COMPTX_CORE_SERIAL_FRONT_H_
+#define COMPTX_CORE_SERIAL_FRONT_H_
+
+#include <vector>
+
+#include "core/front.h"
+#include "util/status_or.h"
+
+namespace comptx {
+
+/// True iff `front` is serial (Def 17): its strong input order, closed,
+/// totally orders the front's nodes.
+bool IsSerialFront(const Front& front);
+
+/// Theorem 1 ("if" direction): topologically sorts the union of the
+/// observed order and the input orders of `front` into a total order.
+/// Fails with FailedPrecondition when the union is cyclic (the front is not
+/// conflict consistent).
+StatusOr<std::vector<NodeId>> SerializeFront(const Front& front);
+
+/// Builds the serial front obtained by strongly ordering `front`'s nodes
+/// according to `order` (which must be a permutation of the nodes).  The
+/// observed order and conflicts are carried over unchanged, so the result
+/// level-N-contains the original front whenever `order` came from
+/// SerializeFront.
+Front MakeSerialFront(const Front& front, const std::vector<NodeId>& order);
+
+/// Level-i-equivalence of two fronts (Def 18): same node set, same closed
+/// observed order, and same generalized conflict relation.
+bool FrontsEquivalent(const Front& a, const Front& b);
+
+/// Def 19: `container` level-contains `front` iff they are equivalent up to
+/// ordering and `container`'s strong order (closed) includes every observed
+/// and input order of `front`.
+bool LevelContains(const Front& container, const Front& front);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_SERIAL_FRONT_H_

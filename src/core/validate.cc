@@ -1,0 +1,198 @@
+#include <map>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "core/indexing.h"
+#include "core/invocation_graph.h"
+#include "graph/cycle_finder.h"
+#include "util/string_util.h"
+
+namespace comptx {
+
+namespace {
+
+/// Checks that `rel`, restricted to `domain`, is acyclic (i.e., a strict
+/// partial order after closure).
+Status CheckPartialOrder(const Relation& rel, const std::vector<NodeId>& domain,
+                         const std::string& what) {
+  NodeIndexMap index(domain);
+  graph::Digraph g = RelationToDigraph(rel, index);
+  if (auto cycle = graph::FindCycle(g)) {
+    return Status::FailedPrecondition(
+        StrCat(what, " is cyclic (", cycle->size(), "-node cycle)"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CompositeSystem::Validate() const {
+  // Recursion freedom (Def 4.6): the invocation graph must be acyclic.
+  COMPTX_RETURN_IF_ERROR(BuildInvocationGraph(*this).status());
+
+  // Intra-transaction orders (Def 2): partial orders with strong ⊆ weak.
+  for (const Node& n : nodes_) {
+    if (!n.IsTransaction()) continue;
+    COMPTX_RETURN_IF_ERROR(CheckPartialOrder(
+        n.weak_intra, n.children, StrCat("weak intra order of ", n.name)));
+    Relation weak_closed = ClosureWithin(n.weak_intra, n.children);
+    bool strong_in_weak = true;
+    n.strong_intra.ForEach([&](NodeId a, NodeId b) {
+      if (!weak_closed.Contains(a, b)) strong_in_weak = false;
+    });
+    if (!strong_in_weak) {
+      return Status::FailedPrecondition(
+          StrCat("transaction ", n.name,
+                 ": strong intra order not contained in weak intra order"));
+    }
+  }
+
+  for (const Schedule& s : schedules_) {
+    const std::vector<NodeId> ops = OperationsOf(s.id);
+
+    // Input orders are partial orders over T_S with strong ⊆ weak.
+    COMPTX_RETURN_IF_ERROR(CheckPartialOrder(
+        s.weak_input, s.transactions,
+        StrCat("weak input order of schedule ", s.name)));
+    Relation weak_in_closed = ClosureWithin(s.weak_input, s.transactions);
+    Relation strong_in_closed = ClosureWithin(s.strong_input, s.transactions);
+    if (!weak_in_closed.ContainsAllOf(s.strong_input)) {
+      return Status::FailedPrecondition(
+          StrCat("schedule ", s.name,
+                 ": strong input order not contained in weak input order"));
+    }
+
+    // Output orders are partial orders over O_S; Def 3.4: strong ⊆ weak.
+    COMPTX_RETURN_IF_ERROR(
+        CheckPartialOrder(s.weak_output, ops,
+                          StrCat("weak output order of schedule ", s.name)));
+    Relation weak_out_closed = ClosureWithin(s.weak_output, ops);
+    Relation strong_out_closed = ClosureWithin(s.strong_output, ops);
+    if (!weak_out_closed.ContainsAllOf(s.strong_output)) {
+      return Status::FailedPrecondition(
+          StrCat("schedule ", s.name,
+                 ": strong output order not contained in weak output order"));
+    }
+
+    // Def 3.1: conflicting operations of distinct transactions must be
+    // weak-output-ordered, and consistently with the weak input order.
+    bool conflict_rule_ok = true;
+    std::string conflict_msg;
+    s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+      NodeId t1 = node(o1).parent;
+      NodeId t2 = node(o2).parent;
+      if (t1 == t2) return;  // Def 3.1 quantifies over distinct transactions.
+      bool fwd = weak_out_closed.Contains(o1, o2);
+      bool bwd = weak_out_closed.Contains(o2, o1);
+      if (fwd && bwd) {
+        conflict_rule_ok = false;
+        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops ",
+                              node(o1).name, ", ", node(o2).name,
+                              " ordered both ways");
+        return;
+      }
+      if (!fwd && !bwd) {
+        conflict_rule_ok = false;
+        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops ",
+                              node(o1).name, ", ", node(o2).name,
+                              " left unordered (Def 3.1c)");
+        return;
+      }
+      if (weak_in_closed.Contains(t1, t2) && bwd) {
+        conflict_rule_ok = false;
+        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops of ",
+                              node(t1).name, " -> ", node(t2).name,
+                              " ordered against the weak input order");
+        return;
+      }
+      if (weak_in_closed.Contains(t2, t1) && fwd) {
+        conflict_rule_ok = false;
+        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops of ",
+                              node(t2).name, " -> ", node(t1).name,
+                              " ordered against the weak input order");
+      }
+    });
+    if (!conflict_rule_ok) return Status::FailedPrecondition(conflict_msg);
+
+    // Def 3.2: intra-transaction orders are honored by the output orders.
+    for (NodeId txn : s.transactions) {
+      const Node& t = node(txn);
+      bool ok = weak_out_closed.ContainsAllOf(t.weak_intra) &&
+                strong_out_closed.ContainsAllOf(t.strong_intra);
+      if (!ok) {
+        return Status::FailedPrecondition(
+            StrCat("schedule ", s.name, ": output orders do not honor the ",
+                   "intra-transaction orders of ", t.name, " (Def 3.2)"));
+      }
+    }
+
+    // Def 3.3: strong input order forces all operation pairs to be
+    // strongly ordered in the output.
+    bool strong_rule_ok = true;
+    std::string strong_msg;
+    strong_in_closed.ForEach([&](NodeId t1, NodeId t2) {
+      for (NodeId o1 : node(t1).children) {
+        for (NodeId o2 : node(t2).children) {
+          if (!strong_out_closed.Contains(o1, o2)) {
+            strong_rule_ok = false;
+            strong_msg =
+                StrCat("schedule ", s.name, ": strong input ", node(t1).name,
+                       " => ", node(t2).name, " not reflected by strong ",
+                       "output over ops ", node(o1).name, ", ",
+                       node(o2).name, " (Def 3.3)");
+            return;
+          }
+        }
+      }
+    });
+    if (!strong_rule_ok) return Status::FailedPrecondition(strong_msg);
+
+    // Def 4.7: output orders over operations that are transactions of one
+    // common schedule must be passed on as that schedule's input orders.
+    // The callee input closures are cached — recomputing them per pair
+    // would make validation quadratic in the closure size.
+    bool propagation_ok = true;
+    std::string propagation_msg;
+    std::map<uint32_t, Relation> weak_input_cache;
+    std::map<uint32_t, Relation> strong_input_cache;
+    auto closed_input_of = [&](const Schedule& callee,
+                               bool strong) -> const Relation& {
+      auto& cache = strong ? strong_input_cache : weak_input_cache;
+      auto it = cache.find(callee.id.index());
+      if (it == cache.end()) {
+        const Relation& input =
+            strong ? callee.strong_input : callee.weak_input;
+        it = cache.emplace(callee.id.index(),
+                           ClosureWithin(input, callee.transactions))
+                 .first;
+      }
+      return it->second;
+    };
+    auto check_propagation = [&](const Relation& out_closed,
+                                 bool strong) {
+      out_closed.ForEach([&](NodeId a, NodeId b) {
+        const Node& na = node(a);
+        const Node& nb = node(b);
+        if (!na.IsTransaction() || !nb.IsTransaction()) return;
+        if (na.owner_schedule != nb.owner_schedule) return;
+        const Schedule& callee = schedule(na.owner_schedule);
+        const Relation& input_closed = closed_input_of(callee, strong);
+        if (!input_closed.Contains(a, b)) {
+          propagation_ok = false;
+          propagation_msg = StrCat(
+              "schedule ", s.name, ": ", (strong ? "strong" : "weak"),
+              " output order ", na.name, " -> ", nb.name,
+              " not propagated as input order of schedule ", callee.name,
+              " (Def 4.7)");
+        }
+      });
+    };
+    check_propagation(weak_out_closed, /*strong=*/false);
+    if (propagation_ok) check_propagation(strong_out_closed, /*strong=*/true);
+    if (!propagation_ok) return Status::FailedPrecondition(propagation_msg);
+  }
+
+  return Status::OK();
+}
+
+}  // namespace comptx

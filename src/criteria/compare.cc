@@ -1,0 +1,50 @@
+#include "criteria/compare.h"
+
+#include "core/correctness.h"
+#include "criteria/csr.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/llsr.h"
+#include "criteria/opsr.h"
+#include "criteria/scc.h"
+#include "util/string_util.h"
+
+namespace comptx::criteria {
+
+std::string CriteriaVerdicts::ToString() const {
+  auto yn = [](bool b) { return b ? "yes" : "no"; };
+  std::string out = StrCat("comp_c=", yn(comp_c), " llsr=", yn(llsr),
+                           " opsr=", yn(opsr), " flat_csr=", yn(flat_csr));
+  if (scc) out += StrCat(" scc=", yn(*scc));
+  if (fcc) out += StrCat(" fcc=", yn(*fcc));
+  if (jcc) out += StrCat(" jcc=", yn(*jcc));
+  return out;
+}
+
+StatusOr<CriteriaVerdicts> EvaluateAllCriteria(const CompositeSystem& cs) {
+  COMPTX_RETURN_IF_ERROR(cs.Validate());
+  CriteriaVerdicts v;
+  ReductionOptions options;
+  options.validate = false;  // already validated above.
+  options.keep_fronts = false;
+  COMPTX_ASSIGN_OR_RETURN(CompCResult comp_c, CheckCompC(cs, options));
+  v.comp_c = comp_c.correct;
+  v.llsr = IsLevelByLevelSerializable(cs);
+  v.opsr = IsOrderPreservingSerializable(cs);
+  v.flat_csr = IsFlatConflictSerializable(cs);
+  if (IsStackSystem(cs)) {
+    COMPTX_ASSIGN_OR_RETURN(bool scc, IsStackConflictConsistent(cs));
+    v.scc = scc;
+  }
+  if (IsForkSystem(cs)) {
+    COMPTX_ASSIGN_OR_RETURN(bool fcc, IsForkConflictConsistent(cs));
+    v.fcc = fcc;
+  }
+  if (IsJoinSystem(cs)) {
+    COMPTX_ASSIGN_OR_RETURN(bool jcc, IsJoinConflictConsistent(cs));
+    v.jcc = jcc;
+  }
+  return v;
+}
+
+}  // namespace comptx::criteria

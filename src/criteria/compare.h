@@ -1,0 +1,34 @@
+#ifndef COMPTX_CRITERIA_COMPARE_H_
+#define COMPTX_CRITERIA_COMPARE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+
+namespace comptx::criteria {
+
+/// One execution judged by every criterion the library implements.
+/// Criteria that only apply to special configurations are nullopt when the
+/// system does not have that shape.
+struct CriteriaVerdicts {
+  bool comp_c = false;
+  bool llsr = false;
+  bool opsr = false;
+  bool flat_csr = false;
+  std::optional<bool> scc;   // stacks only (Def 22)
+  std::optional<bool> fcc;   // forks only (Def 24)
+  std::optional<bool> jcc;   // joins only (Def 27)
+
+  /// One-line "criterion=verdict" rendering for reports.
+  std::string ToString() const;
+};
+
+/// Runs every applicable criterion on `cs`.  Status errors indicate a
+/// malformed system.
+StatusOr<CriteriaVerdicts> EvaluateAllCriteria(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_COMPARE_H_

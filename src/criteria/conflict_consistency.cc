@@ -1,0 +1,54 @@
+#include "criteria/conflict_consistency.h"
+
+#include "core/indexing.h"
+#include "graph/cycle_finder.h"
+#include "util/string_util.h"
+
+namespace comptx::criteria {
+
+Relation ScheduleSerializationOrder(const CompositeSystem& cs,
+                                    ScheduleId sid) {
+  const Schedule& s = cs.schedule(sid);
+  Relation closed_output = ClosureWithin(s.weak_output, cs.OperationsOf(sid));
+  Relation ser;
+  s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+    NodeId t1 = cs.node(o1).parent;
+    NodeId t2 = cs.node(o2).parent;
+    if (t1 == t2) return;
+    if (closed_output.Contains(o1, o2)) ser.Add(t1, t2);
+    if (closed_output.Contains(o2, o1)) ser.Add(t2, t1);
+  });
+  return ser;
+}
+
+std::optional<CycleWitness> FindScheduleCCViolation(const CompositeSystem& cs,
+                                                    ScheduleId sid) {
+  const Schedule& s = cs.schedule(sid);
+  NodeIndexMap index(s.transactions);
+  graph::Digraph g = RelationToDigraph(ScheduleSerializationOrder(cs, sid),
+                                       index);
+  g.UnionWith(RelationToDigraph(s.weak_input, index));
+  auto cycle = graph::FindCycle(g);
+  if (!cycle) return std::nullopt;
+  CycleWitness witness;
+  for (uint32_t local : *cycle) witness.nodes.push_back(index.GlobalOf(local));
+  witness.description =
+      StrCat("schedule ", s.name, " is not conflict consistent: ",
+             cycle->size(), "-transaction cycle in serialization ∪ input");
+  return witness;
+}
+
+bool IsScheduleConflictConsistent(const CompositeSystem& cs, ScheduleId sid) {
+  return !FindScheduleCCViolation(cs, sid).has_value();
+}
+
+bool IsScheduleConflictSerializable(const CompositeSystem& cs,
+                                    ScheduleId sid) {
+  const Schedule& s = cs.schedule(sid);
+  NodeIndexMap index(s.transactions);
+  graph::Digraph g = RelationToDigraph(ScheduleSerializationOrder(cs, sid),
+                                       index);
+  return graph::IsAcyclic(g);
+}
+
+}  // namespace comptx::criteria

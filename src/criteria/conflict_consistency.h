@@ -1,0 +1,34 @@
+#ifndef COMPTX_CRITERIA_CONFLICT_CONSISTENCY_H_
+#define COMPTX_CRITERIA_CONFLICT_CONSISTENCY_H_
+
+#include <optional>
+
+#include "core/composite_system.h"
+#include "core/front.h"
+#include "core/relation.h"
+
+namespace comptx::criteria {
+
+/// The serialization order of one schedule: t <_ser t' iff some operation
+/// of t conflicts with some operation of t' and precedes it in the
+/// schedule's (closed) weak output order.  This is the classical
+/// serialization-graph edge relation, per component.
+Relation ScheduleSerializationOrder(const CompositeSystem& cs, ScheduleId sid);
+
+/// Conflict consistency of one schedule, per [ABFS97] (the paper's Def 13
+/// restricted to one scheduler): the union of the serialization order and
+/// the (closed) weak input order over T_S must be acyclic.  Returns the
+/// witness cycle (over transactions of S) when violated.
+std::optional<CycleWitness> FindScheduleCCViolation(const CompositeSystem& cs,
+                                                    ScheduleId sid);
+
+/// Convenience predicate for FindScheduleCCViolation.
+bool IsScheduleConflictConsistent(const CompositeSystem& cs, ScheduleId sid);
+
+/// Classical conflict serializability of one schedule in isolation: the
+/// serialization order alone must be acyclic (input orders ignored).
+bool IsScheduleConflictSerializable(const CompositeSystem& cs, ScheduleId sid);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_CONFLICT_CONSISTENCY_H_

@@ -1,0 +1,38 @@
+#include "criteria/csr.h"
+
+#include "core/indexing.h"
+#include "graph/cycle_finder.h"
+
+namespace comptx::criteria {
+
+bool IsFlatConflictSerializable(const CompositeSystem& cs) {
+  NodeIndexMap roots(cs.Roots());
+  graph::Digraph g(roots.size());
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    Relation closed_output =
+        ClosureWithin(sched.weak_output, cs.OperationsOf(ScheduleId(s)));
+    sched.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+      if (!cs.node(o1).IsLeaf() || !cs.node(o2).IsLeaf()) return;
+      NodeId r1 = cs.RootOf(o1);
+      NodeId r2 = cs.RootOf(o2);
+      if (r1 == r2) return;
+      if (closed_output.Contains(o1, o2)) {
+        g.AddEdge(roots.LocalOf(r1), roots.LocalOf(r2));
+      }
+      if (closed_output.Contains(o2, o1)) {
+        g.AddEdge(roots.LocalOf(r2), roots.LocalOf(r1));
+      }
+    });
+    // Weak input orders between root transactions are temporal/ordering
+    // requirements the flat scheduler must also honor.
+    sched.weak_input.ForEach([&](NodeId t1, NodeId t2) {
+      if (cs.node(t1).IsRoot() && cs.node(t2).IsRoot()) {
+        g.AddEdge(roots.LocalOf(t1), roots.LocalOf(t2));
+      }
+    });
+  }
+  return graph::IsAcyclic(g);
+}
+
+}  // namespace comptx::criteria

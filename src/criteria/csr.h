@@ -1,0 +1,22 @@
+#ifndef COMPTX_CRITERIA_CSR_H_
+#define COMPTX_CRITERIA_CSR_H_
+
+#include "core/composite_system.h"
+
+namespace comptx::criteria {
+
+/// Flat (classical) conflict serializability of the whole composite
+/// execution, as a scheduler with no knowledge of the component hierarchy
+/// would judge it: every leaf-level conflict induces a serialization edge
+/// between the *root* transactions involved, and the execution is accepted
+/// iff that root-level graph, together with the root schedules' weak input
+/// orders, is acyclic.
+///
+/// This is the baseline the paper's introduction argues against: it cannot
+/// exploit semantic commutativity declared at inner schedules, so it
+/// rejects executions that Comp-C accepts (experiment E4).
+bool IsFlatConflictSerializable(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_CSR_H_

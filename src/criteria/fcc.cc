@@ -1,0 +1,43 @@
+#include "criteria/fcc.h"
+
+#include "core/invocation_graph.h"
+#include "criteria/conflict_consistency.h"
+
+namespace comptx::criteria {
+
+bool IsForkSystem(const CompositeSystem& cs) {
+  auto ig = BuildInvocationGraph(cs);
+  if (!ig.ok()) return false;
+  if (cs.ScheduleCount() < 2 || ig->order != 2) return false;
+  // Exactly one level-2 schedule (the fork point); all others level 1.
+  uint32_t top_count = 0;
+  for (uint32_t level : ig->schedule_level) {
+    if (level == 2) {
+      ++top_count;
+    } else if (level != 1) {
+      return false;
+    }
+  }
+  if (top_count != 1) return false;
+  // The top schedule's operations must all be transactions (of the leaf
+  // schedules); leaf schedules' operations must all be leaves (level 1).
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const bool is_top = ig->schedule_level[s] == 2;
+    for (NodeId op : cs.OperationsOf(ScheduleId(s))) {
+      if (is_top != cs.node(op).IsTransaction()) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<bool> IsForkConflictConsistent(const CompositeSystem& cs) {
+  if (!IsForkSystem(cs)) {
+    return Status::FailedPrecondition("not a fork architecture (Def 23)");
+  }
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (!IsScheduleConflictConsistent(cs, ScheduleId(s))) return false;
+  }
+  return true;
+}
+
+}  // namespace comptx::criteria

@@ -1,0 +1,25 @@
+#ifndef COMPTX_CRITERIA_FCC_H_
+#define COMPTX_CRITERIA_FCC_H_
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+
+namespace comptx::criteria {
+
+/// True iff `cs` is a fork architecture (Def 23): one top schedule S_F
+/// whose operations are the transactions of n disjoint leaf schedules
+/// S_1..S_n; operations at different S_i never conflict (guaranteed by the
+/// model: conflicts are declared per schedule).
+bool IsForkSystem(const CompositeSystem& cs);
+
+/// Fork conflict consistency (Def 24): S_F is conflict consistent and each
+/// leaf schedule's serialization ∪ input order union is acyclic (i.e.,
+/// each S_i is conflict consistent; the branches share no transactions, so
+/// the union across branches is acyclic iff each branch is).  Fails with
+/// FailedPrecondition when `cs` is not a fork.  By Theorem 3, the verdict
+/// coincides with Comp-C.
+StatusOr<bool> IsForkConflictConsistent(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_FCC_H_

@@ -1,0 +1,105 @@
+#include "criteria/jcc.h"
+
+#include "core/indexing.h"
+#include "core/invocation_graph.h"
+#include "criteria/conflict_consistency.h"
+#include "graph/cycle_finder.h"
+
+namespace comptx::criteria {
+
+namespace {
+
+/// The unique non-empty level-1 schedule of a join, or invalid if not a
+/// join shape.  Schedules without transactions are inert (a generator may
+/// emit branches no root happened to use) and are ignored.
+ScheduleId BottomScheduleOf(const CompositeSystem& cs,
+                            const InvocationGraphResult& ig) {
+  ScheduleId bottom;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (cs.schedule(ScheduleId(s)).transactions.empty()) continue;
+    if (ig.schedule_level[s] == 1) {
+      if (bottom.valid()) return ScheduleId();  // more than one bottom.
+      bottom = ScheduleId(s);
+    }
+  }
+  return bottom;
+}
+
+}  // namespace
+
+bool IsJoinSystem(const CompositeSystem& cs) {
+  auto ig = BuildInvocationGraph(cs);
+  if (!ig.ok()) return false;
+  if (cs.ScheduleCount() < 2 || ig->order != 2) return false;
+  ScheduleId bottom = BottomScheduleOf(cs, *ig);
+  if (!bottom.valid()) return false;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (cs.schedule(ScheduleId(s)).transactions.empty()) continue;
+    if (ig->schedule_level[s] == 1) continue;
+    if (ig->schedule_level[s] != 2) return false;
+    // Every operation of a top schedule is a transaction of the bottom.
+    for (NodeId op : cs.OperationsOf(ScheduleId(s))) {
+      const Node& node = cs.node(op);
+      if (!node.IsTransaction() || node.owner_schedule != bottom) return false;
+    }
+  }
+  return true;
+}
+
+Relation JoinGhostGraph(const CompositeSystem& cs) {
+  auto ig = BuildInvocationGraph(cs);
+  COMPTX_CHECK(ig.ok()) << ig.status().ToString();
+  ScheduleId bottom = BottomScheduleOf(cs, *ig);
+  COMPTX_CHECK(bottom.valid()) << "not a join system";
+
+  Relation ghost;
+  // The bottom schedule's serialization order relates its transactions
+  // (children of top-level transactions); project each edge onto the
+  // parents when they belong to different top schedules (Def 26's i != j).
+  ScheduleSerializationOrder(cs, bottom).ForEach([&](NodeId t, NodeId tp) {
+    NodeId parent_a = cs.node(t).parent;
+    NodeId parent_b = cs.node(tp).parent;
+    if (!parent_a.valid() || !parent_b.valid() || parent_a == parent_b) return;
+    if (cs.node(parent_a).owner_schedule ==
+        cs.node(parent_b).owner_schedule) {
+      return;
+    }
+    ghost.Add(parent_a, parent_b);
+  });
+  return ghost;
+}
+
+StatusOr<bool> IsJoinConflictConsistent(const CompositeSystem& cs) {
+  if (!IsJoinSystem(cs)) {
+    return Status::FailedPrecondition("not a join architecture (Def 25)");
+  }
+  auto ig = BuildInvocationGraph(cs);
+  COMPTX_RETURN_IF_ERROR(ig.status());
+  ScheduleId bottom = BottomScheduleOf(cs, *ig);
+
+  if (!IsScheduleConflictConsistent(cs, bottom)) return false;
+
+  // Union over all top-level transactions: ghost graph + each top
+  // schedule's serialization and weak input orders.
+  std::vector<NodeId> top_transactions;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (ig->schedule_level[s] != 2) continue;
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    top_transactions.insert(top_transactions.end(),
+                            sched.transactions.begin(),
+                            sched.transactions.end());
+  }
+  NodeIndexMap index(top_transactions);
+  graph::Digraph g = RelationToDigraph(JoinGhostGraph(cs), index);
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (ig->schedule_level[s] != 2) continue;
+    g.UnionWith(
+        RelationToDigraph(ScheduleSerializationOrder(cs, ScheduleId(s)),
+                          index));
+    g.UnionWith(
+        RelationToDigraph(cs.schedule(ScheduleId(s)).weak_input, index));
+  }
+  return graph::IsAcyclic(g);
+}
+
+}  // namespace comptx::criteria

@@ -1,0 +1,31 @@
+#ifndef COMPTX_CRITERIA_JCC_H_
+#define COMPTX_CRITERIA_JCC_H_
+
+#include "core/composite_system.h"
+#include "core/relation.h"
+#include "util/status_or.h"
+
+namespace comptx::criteria {
+
+/// True iff `cs` is a join architecture (Def 25): n top schedules
+/// S_1..S_n (level 2) whose operations are all transactions of one shared
+/// bottom schedule S_J (level 1).
+bool IsJoinSystem(const CompositeSystem& cs);
+
+/// The ghost graph of a join (Def 26): for transactions T, T' of
+/// *different* top schedules, T ~G~> T' iff some child of T precedes some
+/// child of T' in the bottom schedule's serialization order.  This is how
+/// transactions that share no schedule become comparable — the join's
+/// instance of the paper's observed order.
+Relation JoinGhostGraph(const CompositeSystem& cs);
+
+/// Join conflict consistency (Def 27): the bottom schedule is conflict
+/// consistent, and the union of the ghost graph with every top schedule's
+/// serialization and input orders is acyclic.  Fails with
+/// FailedPrecondition when `cs` is not a join.  By Theorem 4 the verdict
+/// coincides with Comp-C.
+StatusOr<bool> IsJoinConflictConsistent(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_JCC_H_

@@ -1,0 +1,32 @@
+#ifndef COMPTX_CRITERIA_LLSR_H_
+#define COMPTX_CRITERIA_LLSR_H_
+
+#include "core/composite_system.h"
+#include "core/relation.h"
+#include "graph/digraph.h"
+
+namespace comptx::criteria {
+
+/// Lifts every pair of `base` to all ancestor levels: for (a, b) in `base`,
+/// adds (a, b), (parent(a), parent(b)), (parent²(a), parent²(b)), ...,
+/// stopping when the endpoints coincide or both are roots.  Returns the
+/// resulting digraph over *all* nodes of the system (dense node indices).
+///
+/// This is the "pull conflicts up unconditionally" semantics shared by the
+/// LLSR and OPSR baselines — precisely what the paper's forgetting rule
+/// (Def 10.3) improves on.
+graph::Digraph PulledUpOrderGraph(const CompositeSystem& cs,
+                                  const Relation& base);
+
+/// Level-by-level serializability [Wei91], the multilevel-transaction
+/// baseline: every schedule's serialization order is pulled up through all
+/// ancestor levels, unioned with every schedule's weak input order, and
+/// the execution is accepted iff the resulting graph is acyclic.  Under
+/// LLSR's own model assumption (a conflict at one level implies conflicts
+/// at all lower levels) this coincides with multilevel serializability;
+/// the paper shows it is a proper subset of SCC and hence of Comp-C.
+bool IsLevelByLevelSerializable(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_LLSR_H_

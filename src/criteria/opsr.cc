@@ -1,0 +1,24 @@
+#include "criteria/opsr.h"
+
+#include "core/indexing.h"
+#include "criteria/llsr.h"
+#include "graph/cycle_finder.h"
+
+namespace comptx::criteria {
+
+bool IsOrderPreservingSerializable(const CompositeSystem& cs) {
+  Relation base;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    Relation closed_output =
+        ClosureWithin(sched.weak_output, cs.OperationsOf(ScheduleId(s)));
+    // Every produced order is preserved, conflicting or not — including
+    // orders between operations of one transaction (program order).  The
+    // pull-up walks from the operations themselves to their ancestors.
+    closed_output.ForEach([&](NodeId o1, NodeId o2) { base.Add(o1, o2); });
+    base.UnionWith(sched.weak_input);
+  }
+  return graph::IsAcyclic(PulledUpOrderGraph(cs, base));
+}
+
+}  // namespace comptx::criteria

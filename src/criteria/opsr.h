@@ -1,0 +1,19 @@
+#ifndef COMPTX_CRITERIA_OPSR_H_
+#define COMPTX_CRITERIA_OPSR_H_
+
+#include "core/composite_system.h"
+
+namespace comptx::criteria {
+
+/// Order-preserving serializability [BBG89] as a checker over composite
+/// executions: like LLSR, but the *entire* weak output order of every
+/// schedule (projected onto distinct parent transactions) is pulled up
+/// through all ancestor levels — not only the conflicting pairs.  An
+/// order-preserving scheduler must keep the produced order of its
+/// operations even when they commute, which is exactly the extra
+/// restriction [ABFS97] shows makes OPSR a proper subset of SCC.
+bool IsOrderPreservingSerializable(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_OPSR_H_

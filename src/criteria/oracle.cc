@@ -1,0 +1,120 @@
+#include "criteria/oracle.h"
+
+#include <map>
+
+#include "core/indexing.h"
+#include "criteria/conflict_consistency.h"
+#include "graph/cycle_finder.h"
+
+namespace comptx::criteria {
+
+namespace {
+
+/// Demand accumulator: per meet transaction (by node id) and one extra
+/// bucket for the root level.
+struct Demands {
+  std::map<NodeId, Relation> per_transaction;
+  Relation root_level;
+};
+
+/// Walks the ordering requirement a-before-b up the parent chains and
+/// records the surviving demand at the meet.  `can_die` enables the
+/// forgetting rule for intermediate common-schedule commuting pairs.
+void WalkUp(const CompositeSystem& cs, NodeId a, NodeId b, bool can_die,
+            Demands& demands) {
+  bool first = true;
+  while (true) {
+    if (a == b) return;  // requirement internal to one node; vacuous.
+    const Node& na = cs.node(a);
+    const Node& nb = cs.node(b);
+    const bool a_root = !na.parent.valid();
+    const bool b_root = !nb.parent.valid();
+    if (a_root && b_root) {
+      demands.root_level.Add(a, b);
+      return;
+    }
+    if (!first && can_die) {
+      ScheduleId ha = cs.HostScheduleOf(a);
+      ScheduleId hb = cs.HostScheduleOf(b);
+      if (ha.valid() && ha == hb &&
+          !cs.schedule(ha).conflicts.Contains(a, b)) {
+        // One common schedule vouches that a and b commute: the order is
+        // irrelevant above this point (forgetting).
+        return;
+      }
+    }
+    NodeId pa = a_root ? a : na.parent;
+    NodeId pb = b_root ? b : nb.parent;
+    if (pa == pb) {
+      demands.per_transaction[pa].Add(a, b);
+      return;
+    }
+    a = pa;
+    b = pb;
+    first = false;
+  }
+}
+
+}  // namespace
+
+StatusOr<bool> HierarchicalSerializabilityOracle(const CompositeSystem& cs) {
+  COMPTX_RETURN_IF_ERROR(cs.Validate());
+
+  // Local consistency first: every component schedule must be conflict
+  // consistent on its own (Def 13 applies to every front, so a
+  // serialization-vs-input cycle at one schedule is fatal no matter what
+  // upper levels declare commutative).
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (!IsScheduleConflictConsistent(cs, ScheduleId(s))) return false;
+  }
+
+  Demands demands;
+
+  for (uint32_t si = 0; si < cs.ScheduleCount(); ++si) {
+    const ScheduleId sid(si);
+    const Schedule& s = cs.schedule(sid);
+    const std::vector<NodeId> ops = cs.OperationsOf(sid);
+    Relation weak_out = ClosureWithin(s.weak_output, ops);
+    Relation strong_out = ClosureWithin(s.strong_output, ops);
+
+    // Conflicting pairs demand their recorded direction (forgettable).
+    s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+      if (weak_out.Contains(o1, o2)) WalkUp(cs, o1, o2, true, demands);
+      if (weak_out.Contains(o2, o1)) WalkUp(cs, o2, o1, true, demands);
+    });
+
+    // Strong output orders are absolute temporal facts (never forgotten).
+    strong_out.ForEach(
+        [&](NodeId a, NodeId b) { WalkUp(cs, a, b, false, demands); });
+
+    // Strong input orders: the callers demanded strict sequencing.
+    ClosureWithin(s.strong_input, s.transactions)
+        .ForEach([&](NodeId a, NodeId b) { WalkUp(cs, a, b, false, demands); });
+
+    // Weak input orders: net-effect order requirements; demanded at the
+    // meet (see the exactness caveat in the header).
+    ClosureWithin(s.weak_input, s.transactions)
+        .ForEach([&](NodeId a, NodeId b) { WalkUp(cs, a, b, true, demands); });
+  }
+
+  // Intra-transaction requirements and per-meet demands must be jointly
+  // satisfiable at each transaction.
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    if (!n.IsTransaction() || n.children.size() < 2) continue;
+    Relation combined = n.weak_intra;
+    auto it = demands.per_transaction.find(NodeId(v));
+    if (it != demands.per_transaction.end()) combined.UnionWith(it->second);
+    NodeIndexMap index(n.children);
+    if (!graph::IsAcyclic(RelationToDigraph(combined, index))) return false;
+  }
+
+  // Root-level demands must admit a total root order.
+  NodeIndexMap roots(cs.Roots());
+  if (!graph::IsAcyclic(RelationToDigraph(demands.root_level, roots))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace comptx::criteria

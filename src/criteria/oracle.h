@@ -1,0 +1,45 @@
+#ifndef COMPTX_CRITERIA_ORACLE_H_
+#define COMPTX_CRITERIA_ORACLE_H_
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+
+namespace comptx::criteria {
+
+/// Independent ground-truth checker for composite correctness, implemented
+/// with a completely different algorithm than the paper's front reduction:
+/// hierarchical demand analysis.
+///
+/// A composite execution is correct iff there exists a *serial forest
+/// execution* — the roots in some total order, each transaction's subtree
+/// executed contiguously and depth-first — that is equivalent to the
+/// recorded one.  Because serial executions are fully hierarchical, every
+/// ordering requirement between two nodes surfaces as a demanded order
+/// between two children of their meet (their lowest common ancestor
+/// transaction, or the root level).  The checker therefore:
+///
+///   1. walks every ordering requirement up the two parent chains:
+///      * conflicting operation pairs, in their schedule's weak output
+///        direction — the walk *dies* if an intermediate ancestor pair
+///        lies in one common schedule that declares it non-conflicting
+///        (the paper's forgetting, Def 10.3);
+///      * strong constraints (strong input, intra, output orders) — these
+///        are absolute temporal facts and never die;
+///   2. records the surviving demand at the meet;
+///   3. accepts iff at every transaction the demands joined with its weak
+///      intra order are acyclic, and at the root level the demands joined
+///      with the root schedules' weak input orders are acyclic.
+///
+/// Relationship to Comp-C (measured in tests/test_oracle.cc and
+/// bench_forgetting): Comp-C implies oracle-correctness — the reduction is
+/// sound.  The converse holds on the single-meet configurations (stack,
+/// fork, join) but not on general DAGs: Def 11.2 *pessimistically* treats
+/// cross-schedule observed pairs as conflicts, so the level-by-level
+/// reduction may reject an execution whose pulled-up order a schedule
+/// further up would have declared irrelevant.  The oracle, which walks
+/// each requirement to its meet before deciding, accepts those.
+StatusOr<bool> HierarchicalSerializabilityOracle(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_ORACLE_H_

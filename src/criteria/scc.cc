@@ -1,0 +1,54 @@
+#include "criteria/scc.h"
+
+#include <algorithm>
+
+#include "core/invocation_graph.h"
+#include "criteria/conflict_consistency.h"
+
+namespace comptx::criteria {
+
+bool IsStackSystem(const CompositeSystem& cs) {
+  auto ig = BuildInvocationGraph(cs);
+  if (!ig.ok()) return false;
+  const size_t n = cs.ScheduleCount();
+  if (n == 0) return false;
+  // Levels must be a permutation of 1..n (a path), with each schedule
+  // invoking only the schedule one level below.
+  std::vector<uint32_t> seen(n + 1, 0);
+  for (uint32_t level : ig->schedule_level) {
+    if (level > n) return false;
+    seen[level]++;
+  }
+  for (uint32_t level = 1; level <= n; ++level) {
+    if (seen[level] != 1) return false;
+  }
+  // Every operation of a level-l schedule (l > 1) must be a transaction of
+  // the level-(l-1) schedule, and level-1 operations must all be leaves.
+  for (uint32_t s = 0; s < n; ++s) {
+    const uint32_t level = ig->schedule_level[s];
+    for (NodeId op : cs.OperationsOf(ScheduleId(s))) {
+      const Node& node = cs.node(op);
+      if (level == 1) {
+        if (!node.IsLeaf()) return false;
+      } else {
+        if (!node.IsTransaction()) return false;
+        if (ig->schedule_level[node.owner_schedule.index()] != level - 1) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<bool> IsStackConflictConsistent(const CompositeSystem& cs) {
+  if (!IsStackSystem(cs)) {
+    return Status::FailedPrecondition("not a stack architecture (Def 21)");
+  }
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    if (!IsScheduleConflictConsistent(cs, ScheduleId(s))) return false;
+  }
+  return true;
+}
+
+}  // namespace comptx::criteria

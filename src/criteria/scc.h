@@ -1,0 +1,23 @@
+#ifndef COMPTX_CRITERIA_SCC_H_
+#define COMPTX_CRITERIA_SCC_H_
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+
+namespace comptx::criteria {
+
+/// True iff `cs` is a stack architecture (Def 21): the invocation graph is
+/// a single path, every non-bottom schedule's operations are exactly the
+/// next schedule's transactions, and (per Def 21's order conditions, which
+/// Validate() enforces as containment) orders flow from each schedule into
+/// the next.
+bool IsStackSystem(const CompositeSystem& cs);
+
+/// Stack conflict consistency (Def 22): every individual schedule of the
+/// stack is conflict consistent.  Fails with FailedPrecondition when `cs`
+/// is not a stack.  By Theorem 2, the verdict coincides with Comp-C.
+StatusOr<bool> IsStackConflictConsistent(const CompositeSystem& cs);
+
+}  // namespace comptx::criteria
+
+#endif  // COMPTX_CRITERIA_SCC_H_

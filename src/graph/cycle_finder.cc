@@ -1,0 +1,57 @@
+#include "graph/cycle_finder.h"
+
+#include <algorithm>
+
+namespace comptx::graph {
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+
+}  // namespace
+
+std::optional<std::vector<NodeIndex>> FindCycle(const Digraph& g) {
+  const size_t n = g.NodeCount();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeIndex> parent(n, 0);
+
+  // Iterative DFS; frame = (node, next out-neighbor index to visit).
+  std::vector<std::pair<NodeIndex, size_t>> stack;
+  for (NodeIndex root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const auto& out = g.OutNeighbors(v);
+      if (next < out.size()) {
+        NodeIndex w = out[next++];
+        if (color[w] == Color::kGray) {
+          // Back edge v -> w: reconstruct the cycle w ... v.
+          std::vector<NodeIndex> cycle;
+          NodeIndex cur = v;
+          cycle.push_back(cur);
+          while (cur != w) {
+            cur = parent[cur];
+            cycle.push_back(cur);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          parent[w] = v;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsAcyclic(const Digraph& g) { return !FindCycle(g).has_value(); }
+
+}  // namespace comptx::graph

@@ -1,0 +1,25 @@
+#ifndef COMPTX_GRAPH_CYCLE_FINDER_H_
+#define COMPTX_GRAPH_CYCLE_FINDER_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace comptx::graph {
+
+/// Returns a directed cycle of `g` as a node sequence [v0, v1, ..., vk]
+/// where each consecutive pair is an edge and vk -> v0 closes the cycle,
+/// or std::nullopt if `g` is acyclic.  A self-loop yields a one-node cycle.
+///
+/// The witness is what makes correctness diagnostics actionable: when a
+/// front fails conflict consistency, the cycle names the transactions whose
+/// pulled-up orders clash (cf. paper §3.6).
+std::optional<std::vector<NodeIndex>> FindCycle(const Digraph& g);
+
+/// True iff `g` has no directed cycle.
+bool IsAcyclic(const Digraph& g);
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_CYCLE_FINDER_H_

@@ -1,0 +1,51 @@
+#include "graph/digraph.h"
+
+#include "util/logging.h"
+
+namespace comptx::graph {
+
+Digraph::Digraph(size_t node_count) : out_(node_count), in_(node_count) {}
+
+NodeIndex Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeIndex>(out_.size() - 1);
+}
+
+bool Digraph::AddEdge(NodeIndex from, NodeIndex to) {
+  COMPTX_CHECK_LT(from, out_.size());
+  COMPTX_CHECK_LT(to, out_.size());
+  if (!edges_.insert(EdgeKey(from, to)).second) return false;
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++edge_count_;
+  return true;
+}
+
+bool Digraph::HasEdge(NodeIndex from, NodeIndex to) const {
+  return edges_.count(EdgeKey(from, to)) > 0;
+}
+
+bool Digraph::HasSelfLoop() const {
+  for (NodeIndex v = 0; v < out_.size(); ++v) {
+    if (HasEdge(v, v)) return true;
+  }
+  return false;
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph r(NodeCount());
+  for (NodeIndex v = 0; v < out_.size(); ++v) {
+    for (NodeIndex w : out_[v]) r.AddEdge(w, v);
+  }
+  return r;
+}
+
+void Digraph::UnionWith(const Digraph& other) {
+  COMPTX_CHECK_EQ(NodeCount(), other.NodeCount());
+  for (NodeIndex v = 0; v < other.out_.size(); ++v) {
+    for (NodeIndex w : other.out_[v]) AddEdge(v, w);
+  }
+}
+
+}  // namespace comptx::graph

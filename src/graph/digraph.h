@@ -1,0 +1,72 @@
+#ifndef COMPTX_GRAPH_DIGRAPH_H_
+#define COMPTX_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace comptx::graph {
+
+/// Index of a node inside a Digraph.
+using NodeIndex = uint32_t;
+
+/// A simple directed graph over dense node indices [0, NodeCount()).
+///
+/// Parallel edges are collapsed (AddEdge is idempotent); self-loops are
+/// allowed and are reported by HasSelfLoop().  This is the common currency
+/// for all order-theoretic algorithms in the library: observed orders,
+/// serialization graphs, invocation graphs and ghost graphs are all built as
+/// Digraphs and analyzed with the free functions in the sibling headers.
+class Digraph {
+ public:
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit Digraph(size_t node_count = 0);
+
+  /// Adds one node and returns its index.
+  NodeIndex AddNode();
+
+  /// Adds the edge `from -> to`; both endpoints must exist.  Returns true
+  /// if the edge is new, false if it was already present.
+  bool AddEdge(NodeIndex from, NodeIndex to);
+
+  /// True iff the edge `from -> to` is present.
+  bool HasEdge(NodeIndex from, NodeIndex to) const;
+
+  size_t NodeCount() const { return out_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+
+  /// Successors of `node`, in insertion order.
+  const std::vector<NodeIndex>& OutNeighbors(NodeIndex node) const {
+    return out_[node];
+  }
+
+  /// Predecessors of `node`, in insertion order.
+  const std::vector<NodeIndex>& InNeighbors(NodeIndex node) const {
+    return in_[node];
+  }
+
+  /// True iff any node has an edge to itself.
+  bool HasSelfLoop() const;
+
+  /// Returns the graph with every edge reversed.
+  Digraph Reversed() const;
+
+  /// Merges all edges of `other` into this graph; the two graphs must have
+  /// the same node count.
+  void UnionWith(const Digraph& other);
+
+ private:
+  static uint64_t EdgeKey(NodeIndex from, NodeIndex to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  std::vector<std::vector<NodeIndex>> out_;
+  std::vector<std::vector<NodeIndex>> in_;
+  std::unordered_set<uint64_t> edges_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_DIGRAPH_H_

@@ -1,0 +1,50 @@
+#include "graph/dot.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace comptx::graph {
+
+namespace {
+
+std::string EscapeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g, const std::vector<std::string>& labels,
+                  const DotOptions& options) {
+  if (!labels.empty()) COMPTX_CHECK_EQ(labels.size(), g.NodeCount());
+  std::unordered_set<NodeIndex> highlighted(options.highlighted.begin(),
+                                            options.highlighted.end());
+  std::ostringstream out;
+  out << "digraph " << options.name << " {\n";
+  for (NodeIndex v = 0; v < g.NodeCount(); ++v) {
+    out << "  n" << v;
+    out << " [label=\""
+        << (labels.empty() ? std::to_string(v) : EscapeLabel(labels[v]))
+        << "\"";
+    if (highlighted.count(v) > 0) {
+      out << ", style=filled, fillcolor=lightcoral";
+    }
+    out << "];\n";
+  }
+  for (NodeIndex v = 0; v < g.NodeCount(); ++v) {
+    for (NodeIndex w : g.OutNeighbors(v)) {
+      out << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace comptx::graph

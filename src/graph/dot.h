@@ -1,0 +1,26 @@
+#ifndef COMPTX_GRAPH_DOT_H_
+#define COMPTX_GRAPH_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace comptx::graph {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  /// Graph name emitted in the `digraph <name> { ... }` header.
+  std::string name = "g";
+  /// Nodes to highlight (drawn filled); used to color cycle witnesses.
+  std::vector<NodeIndex> highlighted;
+};
+
+/// Renders `g` as Graphviz DOT.  `labels` may be empty (node indices are
+/// used) or must have one entry per node.
+std::string ToDot(const Digraph& g, const std::vector<std::string>& labels,
+                  const DotOptions& options = {});
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_DOT_H_

@@ -1,0 +1,41 @@
+#include "graph/quotient.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace comptx::graph {
+
+Digraph QuotientGraph(const Digraph& g, const std::vector<uint32_t>& block_of,
+                      uint32_t block_count) {
+  COMPTX_CHECK_EQ(block_of.size(), g.NodeCount());
+  Digraph q(block_count);
+  for (NodeIndex v = 0; v < g.NodeCount(); ++v) {
+    COMPTX_CHECK_LT(block_of[v], block_count);
+    for (NodeIndex w : g.OutNeighbors(v)) {
+      if (block_of[v] != block_of[w]) q.AddEdge(block_of[v], block_of[w]);
+    }
+  }
+  return q;
+}
+
+Digraph InducedSubgraph(const Digraph& g,
+                        const std::vector<NodeIndex>& members) {
+  std::unordered_map<NodeIndex, NodeIndex> local;
+  local.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    local[members[i]] = static_cast<NodeIndex>(i);
+  }
+  Digraph sub(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (NodeIndex w : g.OutNeighbors(members[i])) {
+      auto it = local.find(w);
+      if (it != local.end()) {
+        sub.AddEdge(static_cast<NodeIndex>(i), it->second);
+      }
+    }
+  }
+  return sub;
+}
+
+}  // namespace comptx::graph

@@ -1,0 +1,26 @@
+#ifndef COMPTX_GRAPH_QUOTIENT_H_
+#define COMPTX_GRAPH_QUOTIENT_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace comptx::graph {
+
+/// Collapses `g` along a block assignment: nodes u, v with
+/// block_of[u] == block_of[v] become one node.  Edges between different
+/// blocks are kept (deduplicated); intra-block edges are dropped (they are
+/// checked separately by the calculation machinery, Def 14).
+///
+/// `block_of[v]` must be < `block_count` for every v.
+Digraph QuotientGraph(const Digraph& g, const std::vector<uint32_t>& block_of,
+                      uint32_t block_count);
+
+/// The subgraph of `g` induced by one block: returns the digraph over
+/// `members` (re-indexed 0..members.size()-1 in the given order) containing
+/// the edges of `g` whose endpoints are both in `members`.
+Digraph InducedSubgraph(const Digraph& g, const std::vector<NodeIndex>& members);
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_QUOTIENT_H_

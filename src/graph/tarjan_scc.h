@@ -1,0 +1,33 @@
+#ifndef COMPTX_GRAPH_TARJAN_SCC_H_
+#define COMPTX_GRAPH_TARJAN_SCC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace comptx::graph {
+
+/// Strongly connected components of a digraph.
+struct SccResult {
+  /// component_of[v] is the component index of node v; component indices
+  /// are in reverse topological order of the condensation (component 0 is a
+  /// sink in the condensation).
+  std::vector<uint32_t> component_of;
+  /// Members of each component.
+  std::vector<std::vector<NodeIndex>> components;
+
+  size_t ComponentCount() const { return components.size(); }
+
+  /// True iff every component is a single node without a self-loop, i.e.,
+  /// the graph is acyclic.
+  bool AllTrivial(const Digraph& g) const;
+};
+
+/// Computes strongly connected components with an iterative Tarjan
+/// algorithm (no recursion, safe for graphs with long paths).
+SccResult TarjanScc(const Digraph& g);
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_TARJAN_SCC_H_

@@ -1,0 +1,50 @@
+#include "graph/topological_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace comptx::graph {
+
+StatusOr<std::vector<NodeIndex>> TopologicalSort(const Digraph& g) {
+  const size_t n = g.NodeCount();
+  std::vector<uint32_t> in_degree(n, 0);
+  for (NodeIndex v = 0; v < n; ++v) {
+    for (NodeIndex w : g.OutNeighbors(v)) ++in_degree[w];
+  }
+  // Min-heap over node index keeps the order canonical.
+  std::priority_queue<NodeIndex, std::vector<NodeIndex>,
+                      std::greater<NodeIndex>>
+      ready;
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  std::vector<NodeIndex> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeIndex v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeIndex w : g.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) {
+    return Status::FailedPrecondition("graph is cyclic; no topological order");
+  }
+  return order;
+}
+
+StatusOr<std::vector<uint32_t>> LongestPathLengths(const Digraph& g) {
+  COMPTX_ASSIGN_OR_RETURN(std::vector<NodeIndex> order, TopologicalSort(g));
+  std::vector<uint32_t> longest(g.NodeCount(), 0);
+  // Process in reverse topological order so successors are final.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeIndex v = *it;
+    for (NodeIndex w : g.OutNeighbors(v)) {
+      longest[v] = std::max(longest[v], longest[w] + 1);
+    }
+  }
+  return longest;
+}
+
+}  // namespace comptx::graph

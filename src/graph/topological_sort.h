@@ -1,0 +1,25 @@
+#ifndef COMPTX_GRAPH_TOPOLOGICAL_SORT_H_
+#define COMPTX_GRAPH_TOPOLOGICAL_SORT_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status_or.h"
+
+namespace comptx::graph {
+
+/// Returns the nodes of `g` in a topological order (Kahn's algorithm), or
+/// FailedPrecondition if `g` is cyclic.  Ties are broken by node index so
+/// the result is deterministic; Theorem 1's serial-front construction uses
+/// this to produce a canonical witness.
+StatusOr<std::vector<NodeIndex>> TopologicalSort(const Digraph& g);
+
+/// For each node, the length (edge count) of the longest path starting at
+/// that node.  Requires `g` acyclic (FailedPrecondition otherwise).  The
+/// paper's level of a schedule (Def 9) is this value + 1 on the invocation
+/// graph.
+StatusOr<std::vector<uint32_t>> LongestPathLengths(const Digraph& g);
+
+}  // namespace comptx::graph
+
+#endif  // COMPTX_GRAPH_TOPOLOGICAL_SORT_H_

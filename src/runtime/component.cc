@@ -1,0 +1,84 @@
+#include "runtime/component.h"
+
+#include "graph/cycle_finder.h"
+#include "graph/digraph.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comptx::runtime {
+
+Component::Component(uint32_t id, std::string name, size_t item_count,
+                     std::vector<Program> services,
+                     std::vector<std::vector<bool>> service_conflicts)
+    : id_(id),
+      name_(std::move(name)),
+      store_(item_count),
+      services_(std::move(services)),
+      service_conflicts_(std::move(service_conflicts)),
+      locks_([this](uint32_t resource, uint32_t mode_a, uint32_t mode_b) {
+        if (resource == ServiceResource()) {
+          return ServicesConflict(mode_a, mode_b);
+        }
+        return OpsConflict(static_cast<OpType>(mode_a),
+                           static_cast<OpType>(mode_b));
+      }) {
+  COMPTX_CHECK_EQ(service_conflicts_.size(), services_.size());
+  for (size_t i = 0; i < service_conflicts_.size(); ++i) {
+    COMPTX_CHECK_EQ(service_conflicts_[i].size(), services_.size());
+    for (size_t j = 0; j < service_conflicts_[i].size(); ++j) {
+      COMPTX_CHECK_EQ(service_conflicts_[i][j], service_conflicts_[j][i])
+          << "service conflict matrix must be symmetric";
+    }
+  }
+}
+
+Status ValidateNetwork(const RuntimeSystem& system) {
+  const size_t n = system.components.size();
+  graph::Digraph invokes(n);
+  for (size_t c = 0; c < n; ++c) {
+    const Component& component = *system.components[c];
+    for (uint32_t s = 0; s < component.service_count(); ++s) {
+      for (const ProgramStep& step : component.service(s).steps) {
+        if (step.kind != ProgramStep::Kind::kInvoke) {
+          if (step.item >= component.store().item_count()) {
+            return Status::InvalidArgument(
+                StrCat("component ", component.name(), " service ", s,
+                       " touches out-of-range item ", step.item));
+          }
+          continue;
+        }
+        if (step.callee_component >= n) {
+          return Status::InvalidArgument(
+              StrCat("component ", component.name(), " invokes unknown ",
+                     "component ", step.callee_component));
+        }
+        if (step.callee_component == c) {
+          return Status::InvalidArgument(
+              StrCat("component ", component.name(), " invokes itself"));
+        }
+        const Component& callee = *system.components[step.callee_component];
+        if (step.callee_service >= callee.service_count()) {
+          return Status::InvalidArgument(
+              StrCat("component ", component.name(), " invokes unknown ",
+                     "service ", step.callee_service, " of ", callee.name()));
+        }
+        invokes.AddEdge(static_cast<uint32_t>(c), step.callee_component);
+      }
+    }
+  }
+  if (!graph::IsAcyclic(invokes)) {
+    return Status::InvalidArgument(
+        "component invocation graph is cyclic (recursion is forbidden, "
+        "Def 4.6)");
+  }
+  for (const auto& root : system.roots) {
+    if (root.component >= n ||
+        root.service >= system.components[root.component]->service_count()) {
+      return Status::InvalidArgument("root request references unknown "
+                                     "component or service");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace comptx::runtime

@@ -1,0 +1,78 @@
+#ifndef COMPTX_RUNTIME_COMPONENT_H_
+#define COMPTX_RUNTIME_COMPONENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/data_store.h"
+#include "runtime/lock_manager.h"
+#include "runtime/program.h"
+#include "util/status.h"
+
+namespace comptx::runtime {
+
+/// One transactional component: a named scheduler with a local data store,
+/// a semantic lock manager, a set of service programs, and a declared
+/// service commutativity matrix (the semantic knowledge the paper's
+/// schedules exploit — conflicting services are serialized and their order
+/// is pulled up; commuting services are not).
+class Component {
+ public:
+  /// `service_conflicts[i][j]` — true iff invocations of services i and j
+  /// must be treated as conflicting operations of this component.  Must be
+  /// square (services × services) and symmetric.
+  Component(uint32_t id, std::string name, size_t item_count,
+            std::vector<Program> services,
+            std::vector<std::vector<bool>> service_conflicts);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  size_t service_count() const { return services_.size(); }
+  const Program& service(uint32_t index) const { return services_[index]; }
+
+  bool ServicesConflict(uint32_t a, uint32_t b) const {
+    return service_conflicts_[a][b];
+  }
+
+  DataStore& store() { return store_; }
+  const DataStore& store() const { return store_; }
+  LockManager& locks() { return locks_; }
+
+  /// Resource id used by the lock manager for data item `item`.
+  uint32_t ItemResource(uint32_t item) const { return item; }
+
+  /// Pseudo-resource on which service invocations are locked (mode =
+  /// service index, compatibility = !ServicesConflict).
+  uint32_t ServiceResource() const {
+    return static_cast<uint32_t>(store_.item_count());
+  }
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  DataStore store_;
+  std::vector<Program> services_;
+  std::vector<std::vector<bool>> service_conflicts_;
+  LockManager locks_;
+};
+
+/// A component network plus the client workload driving it.
+struct RuntimeSystem {
+  std::vector<std::unique_ptr<Component>> components;
+
+  /// Client root requests: (entry component, service).
+  struct RootRequest {
+    uint32_t component;
+    uint32_t service;
+  };
+  std::vector<RootRequest> roots;
+};
+
+/// Checks a network: service/program references in range, and the
+/// component invocation graph acyclic (no recursion, mirroring Def 4.6).
+Status ValidateNetwork(const RuntimeSystem& system);
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_COMPONENT_H_

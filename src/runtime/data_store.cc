@@ -1,0 +1,57 @@
+#include "runtime/data_store.h"
+
+#include "util/logging.h"
+
+namespace comptx::runtime {
+
+const char* OpTypeToString(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "r";
+    case OpType::kWrite:
+      return "w";
+    case OpType::kAdd:
+      return "a";
+  }
+  return "?";
+}
+
+bool OpsConflict(OpType a, OpType b) {
+  if (a == OpType::kRead && b == OpType::kRead) return false;
+  if (a == OpType::kAdd && b == OpType::kAdd) return false;
+  return true;
+}
+
+void DataStore::Apply(OpType type, uint32_t item, int64_t operand,
+                      std::vector<UndoEntry>& undo) {
+  COMPTX_CHECK_LT(item, values_.size());
+  undo.push_back(UndoEntry{item, type, values_[item], operand});
+  switch (type) {
+    case OpType::kRead:
+      break;  // reads have no effect; the undo entry is a no-op.
+    case OpType::kWrite:
+      values_[item] = operand;
+      break;
+    case OpType::kAdd:
+      values_[item] += operand;
+      break;
+  }
+}
+
+void DataStore::Rollback(std::vector<UndoEntry>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    switch (it->op) {
+      case OpType::kRead:
+        break;
+      case OpType::kWrite:
+        values_[it->item] = it->previous_value;
+        break;
+      case OpType::kAdd:
+        values_[it->item] -= it->operand;  // semantic compensation.
+        break;
+    }
+  }
+  undo.clear();
+}
+
+}  // namespace comptx::runtime

@@ -1,0 +1,62 @@
+#ifndef COMPTX_RUNTIME_DATA_STORE_H_
+#define COMPTX_RUNTIME_DATA_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace comptx::runtime {
+
+/// Primitive data operation types of the simulated components.  `kAdd` is
+/// the classic commutative increment: two adds to the same item commute,
+/// which is the semantic knowledge higher-level schedulers exploit.
+enum class OpType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAdd = 2,
+};
+
+const char* OpTypeToString(OpType type);
+
+/// True iff two operations of the given types on the *same* item conflict:
+/// read/read and add/add commute, every other combination conflicts.
+bool OpsConflict(OpType a, OpType b);
+
+/// One undo record.  Undo is *semantic* where possible: an add is
+/// compensated by the inverse add (correct even when other adds
+/// interleaved after the lock was released — the open-nesting
+/// compensation discipline); reads and writes restore the before-image
+/// (exact while conflicting writers are excluded, which the write lock
+/// guarantees until release).
+struct UndoEntry {
+  uint32_t item;
+  OpType op;
+  int64_t previous_value;  // before-image (kRead/kWrite compensation).
+  int64_t operand;         // the delta (kAdd compensation).
+};
+
+/// A component's local store: dense integer registers with undo support so
+/// aborted transaction attempts can be rolled back.
+class DataStore {
+ public:
+  explicit DataStore(size_t item_count) : values_(item_count, 0) {}
+
+  size_t item_count() const { return values_.size(); }
+
+  int64_t Read(uint32_t item) const { return values_[item]; }
+
+  /// Applies `type` with `operand` to `item`; appends the matching undo
+  /// record so the caller can compensate.
+  void Apply(OpType type, uint32_t item, int64_t operand,
+             std::vector<UndoEntry>& undo);
+
+  /// Compensates the entries of `undo` in reverse order and clears it.
+  void Rollback(std::vector<UndoEntry>& undo);
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_DATA_STORE_H_

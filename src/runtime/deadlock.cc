@@ -1,0 +1,20 @@
+#include "runtime/deadlock.h"
+
+#include "graph/cycle_finder.h"
+#include "util/logging.h"
+
+namespace comptx::runtime {
+
+std::optional<uint32_t> FindDeadlockVictim(const graph::Digraph& waits_for,
+                                           const std::vector<uint64_t>& ages) {
+  COMPTX_CHECK_EQ(ages.size(), waits_for.NodeCount());
+  auto cycle = graph::FindCycle(waits_for);
+  if (!cycle) return std::nullopt;
+  uint32_t victim = cycle->front();
+  for (uint32_t member : *cycle) {
+    if (ages[member] > ages[victim]) victim = member;
+  }
+  return victim;
+}
+
+}  // namespace comptx::runtime

@@ -1,0 +1,21 @@
+#ifndef COMPTX_RUNTIME_DEADLOCK_H_
+#define COMPTX_RUNTIME_DEADLOCK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace comptx::runtime {
+
+/// Picks a deadlock victim from a waits-for graph over threads: if a cycle
+/// exists, the youngest member of the cycle (largest `age`, i.e., the most
+/// recently (re)started attempt) is chosen, which guarantees older
+/// attempts eventually finish.  Returns nullopt when the graph is acyclic.
+std::optional<uint32_t> FindDeadlockVictim(const graph::Digraph& waits_for,
+                                           const std::vector<uint64_t>& ages);
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_DEADLOCK_H_

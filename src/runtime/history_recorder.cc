@@ -1,0 +1,219 @@
+#include "runtime/history_recorder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/indexing.h"
+#include "core/invocation_graph.h"
+#include "graph/topological_sort.h"
+#include "util/string_util.h"
+
+namespace comptx::runtime {
+
+HistoryRecorder::Record& HistoryRecorder::record(Handle h) {
+  COMPTX_CHECK_LT(h, records_.size());
+  return records_[h];
+}
+
+HistoryRecorder::Handle HistoryRecorder::BeginRoot(uint32_t root_index,
+                                                   uint32_t component,
+                                                   uint32_t service) {
+  if (live_root_.size() <= root_index) {
+    live_root_.resize(root_index + 1, kNoHandle);
+  }
+  COMPTX_CHECK_EQ(live_root_[root_index], kNoHandle)
+      << "root " << root_index << " already has a live staging";
+  Record r;
+  r.component = component;
+  r.service = service;
+  r.root_index = root_index;
+  r.root = true;
+  records_.push_back(r);
+  Handle h = records_.size() - 1;
+  live_root_[root_index] = h;
+  return h;
+}
+
+HistoryRecorder::Handle HistoryRecorder::BeginSub(Handle parent,
+                                                  uint32_t component,
+                                                  uint32_t service) {
+  Record r;
+  r.component = component;
+  r.service = service;
+  r.parent = parent;
+  r.root_index = record(parent).root_index;
+  records_.push_back(r);
+  Handle h = records_.size() - 1;
+  record(parent).children.push_back(h);
+  return h;
+}
+
+void HistoryRecorder::RecordLocalOp(Handle parent, OpType op, uint32_t item,
+                                    uint64_t seq) {
+  Record r;
+  r.is_leaf = true;
+  r.component = record(parent).component;
+  r.op = op;
+  r.item = item;
+  r.seq_commit = seq;
+  r.parent = parent;
+  r.root_index = record(parent).root_index;
+  records_.push_back(r);
+  record(parent).children.push_back(records_.size() - 1);
+}
+
+void HistoryRecorder::CommitNode(Handle handle, uint64_t seq) {
+  record(handle).seq_commit = seq;
+}
+
+void HistoryRecorder::MarkSubtree(Handle h, bool committed, bool dead) {
+  Record& r = record(h);
+  r.committed = committed;
+  r.dead = dead;
+  for (Handle child : r.children) MarkSubtree(child, committed, dead);
+}
+
+void HistoryRecorder::AbortRoot(uint32_t root_index) {
+  COMPTX_CHECK_LT(root_index, live_root_.size());
+  COMPTX_CHECK_NE(live_root_[root_index], kNoHandle);
+  MarkSubtree(live_root_[root_index], /*committed=*/false, /*dead=*/true);
+  live_root_[root_index] = kNoHandle;
+}
+
+void HistoryRecorder::CommitRoot(uint32_t root_index) {
+  COMPTX_CHECK_LT(root_index, live_root_.size());
+  COMPTX_CHECK_NE(live_root_[root_index], kNoHandle);
+  MarkSubtree(live_root_[root_index], /*committed=*/true, /*dead=*/false);
+  live_root_[root_index] = kNoHandle;
+}
+
+StatusOr<CompositeSystem> HistoryRecorder::BuildSystem() const {
+  CompositeSystem cs;
+  for (const auto& component : system_.components) {
+    cs.AddSchedule(component->name());
+  }
+
+  // Create the forest: committed records in staging order (parents always
+  // precede children).
+  std::vector<NodeId> node_of(records_.size(), NodeId());
+  for (Handle h = 0; h < records_.size(); ++h) {
+    const Record& r = records_[h];
+    if (!r.committed || r.dead) continue;
+    if (r.is_leaf) {
+      COMPTX_ASSIGN_OR_RETURN(
+          node_of[h],
+          cs.AddLeaf(node_of[r.parent],
+                     StrCat(OpTypeToString(r.op), "(c",
+                            r.component, ".i", r.item, ")#", h)));
+    } else if (r.root) {
+      COMPTX_ASSIGN_OR_RETURN(
+          node_of[h], cs.AddRootTransaction(ScheduleId(r.component),
+                                            StrCat("R", r.root_index)));
+    } else {
+      COMPTX_ASSIGN_OR_RETURN(
+          node_of[h],
+          cs.AddSubtransaction(node_of[r.parent], ScheduleId(r.component),
+                               StrCat("R", r.root_index, ".", h)));
+    }
+  }
+
+  // Sequential programs: strong intra chains, mirrored into the host
+  // schedule's output orders (Def 3.2).
+  for (Handle h = 0; h < records_.size(); ++h) {
+    const Record& r = records_[h];
+    if (!r.committed || r.dead || r.is_leaf) continue;
+    for (size_t i = 0; i + 1 < r.children.size(); ++i) {
+      NodeId a = node_of[r.children[i]];
+      NodeId b = node_of[r.children[i + 1]];
+      COMPTX_RETURN_IF_ERROR(cs.AddIntraStrong(node_of[h], a, b));
+      COMPTX_RETURN_IF_ERROR(cs.AddStrongOutput(a, b));
+    }
+  }
+
+  // Conflicts + weak output orders per component, by execution instants.
+  for (uint32_t c = 0; c < system_.components.size(); ++c) {
+    // Collect this component's committed operations (children of its
+    // transactions): leaves and sub-invocations.
+    std::vector<Handle> ops;
+    for (Handle h = 0; h < records_.size(); ++h) {
+      const Record& r = records_[h];
+      if (!r.committed || r.dead || r.root) continue;
+      if (records_[r.parent].component == c && !records_[r.parent].is_leaf) {
+        ops.push_back(h);
+      }
+    }
+    for (size_t i = 0; i < ops.size(); ++i) {
+      for (size_t j = i + 1; j < ops.size(); ++j) {
+        const Record& a = records_[ops[i]];
+        const Record& b = records_[ops[j]];
+        if (a.parent == b.parent) continue;  // intra chain already orders.
+        bool conflict = false;
+        if (a.is_leaf && b.is_leaf) {
+          conflict = a.item == b.item && OpsConflict(a.op, b.op);
+        } else if (!a.is_leaf && !b.is_leaf) {
+          // Invocation pair: conflicting iff same callee and the callee's
+          // service matrix says so.
+          const Component& callee = *system_.components[a.component];
+          conflict = a.component == b.component &&
+                     callee.ServicesConflict(a.service, b.service);
+        }
+        if (!conflict) continue;
+        Handle first = a.seq_commit <= b.seq_commit ? ops[i] : ops[j];
+        Handle second = first == ops[i] ? ops[j] : ops[i];
+        COMPTX_RETURN_IF_ERROR(
+            cs.AddConflict(node_of[ops[i]], node_of[ops[j]]));
+        COMPTX_RETURN_IF_ERROR(
+            cs.AddWeakOutput(node_of[first], node_of[second]));
+      }
+    }
+  }
+
+  // Def 4.7 propagation top-down, then Def 3.3 completion (strong inputs
+  // force strong outputs over all operation pairs), cascading downward.
+  COMPTX_ASSIGN_OR_RETURN(InvocationGraphResult ig, BuildInvocationGraph(cs));
+  std::vector<uint32_t> by_level(cs.ScheduleCount());
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) by_level[s] = s;
+  std::sort(by_level.begin(), by_level.end(), [&](uint32_t x, uint32_t y) {
+    return ig.schedule_level[x] > ig.schedule_level[y];
+  });
+  for (uint32_t s : by_level) {
+    const ScheduleId sid(s);
+    const std::vector<NodeId> ops = cs.OperationsOf(sid);
+    // Def 3.3 first: strong inputs of this schedule (propagated from the
+    // callers processed earlier) force strong outputs here.
+    Relation strong_in = ClosureWithin(cs.schedule(sid).strong_input,
+                                       cs.schedule(sid).transactions);
+    Status status = Status::OK();
+    strong_in.ForEach([&](NodeId t1, NodeId t2) {
+      if (!status.ok()) return;
+      for (NodeId o1 : cs.node(t1).children) {
+        for (NodeId o2 : cs.node(t2).children) {
+          status = cs.AddStrongOutput(o1, o2);
+          if (!status.ok()) return;
+        }
+      }
+    });
+    COMPTX_RETURN_IF_ERROR(status);
+
+    Relation weak_out = ClosureWithin(cs.schedule(sid).weak_output, ops);
+    Relation strong_out = ClosureWithin(cs.schedule(sid).strong_output, ops);
+    auto propagate = [&](const Relation& rel, bool is_strong) -> Status {
+      Status st = Status::OK();
+      rel.ForEach([&](NodeId x, NodeId y) {
+        if (!st.ok()) return;
+        const Node& nx = cs.node(x);
+        const Node& ny = cs.node(y);
+        if (!nx.IsTransaction() || !ny.IsTransaction()) return;
+        if (nx.owner_schedule != ny.owner_schedule) return;
+        st = is_strong ? cs.AddStrongInput(nx.owner_schedule, x, y)
+                       : cs.AddWeakInput(nx.owner_schedule, x, y);
+      });
+      return st;
+    };
+    COMPTX_RETURN_IF_ERROR(propagate(weak_out, /*is_strong=*/false));
+    COMPTX_RETURN_IF_ERROR(propagate(strong_out, /*is_strong=*/true));
+  }
+  return cs;
+}
+
+}  // namespace comptx::runtime

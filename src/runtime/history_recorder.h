@@ -1,0 +1,85 @@
+#ifndef COMPTX_RUNTIME_HISTORY_RECORDER_H_
+#define COMPTX_RUNTIME_HISTORY_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "runtime/component.h"
+#include "util/status_or.h"
+
+namespace comptx::runtime {
+
+/// Records the committed execution of a RuntimeSystem and converts it into
+/// a formal CompositeSystem (one schedule per component, one transaction
+/// per committed service activation, one leaf per data operation), so the
+/// Comp-C machinery can judge what the protocol produced.
+///
+/// Staging discipline: every root attempt is staged; AbortRoot discards
+/// the attempt (the executor rolls the data back), CommitRoot freezes it.
+/// Only frozen attempts appear in the built system.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(const RuntimeSystem& system) : system_(system) {}
+
+  /// Handle of a staged transaction record.
+  using Handle = uint64_t;
+
+  /// Starts staging a new attempt of root `root_index` entering
+  /// `component` with `service`.  Discards any previous staging for the
+  /// root implicitly? No — call AbortRoot first; this CHECKs there is no
+  /// live staging for the root.
+  Handle BeginRoot(uint32_t root_index, uint32_t component, uint32_t service);
+
+  /// Stages a subtransaction activation under `parent`.
+  Handle BeginSub(Handle parent, uint32_t component, uint32_t service);
+
+  /// Stages one executed data operation under `parent`; `seq` is the
+  /// global execution instant.
+  void RecordLocalOp(Handle parent, OpType op, uint32_t item, uint64_t seq);
+
+  /// Marks the staged transaction committed at instant `seq`.
+  void CommitNode(Handle handle, uint64_t seq);
+
+  /// Discards the live staging of `root_index` (root restart).
+  void AbortRoot(uint32_t root_index);
+
+  /// Freezes the live staging of `root_index` into the committed history.
+  void CommitRoot(uint32_t root_index);
+
+  /// Builds the formal composite schedule of everything committed:
+  /// conflicts per item overlap / service matrix, output orders per
+  /// execution instants, strong intra chains for the sequential programs,
+  /// and Def 4.7 input-order propagation.  The result passes Validate().
+  StatusOr<CompositeSystem> BuildSystem() const;
+
+ private:
+  struct Record {
+    bool is_leaf = false;
+    uint32_t component = 0;
+    uint32_t service = 0;    // transactions only
+    OpType op = OpType::kRead;  // leaves only
+    uint32_t item = 0;          // leaves only
+    uint64_t seq_commit = 0;    // commit instant (txns) or op instant
+    Handle parent = 0;
+    uint32_t root_index = 0;
+    bool root = false;
+    std::vector<Handle> children;
+    bool committed = false;  // frozen into history
+    bool dead = false;       // discarded attempt
+  };
+
+  const RuntimeSystem& system_;
+  std::vector<Record> records_;
+  // Live (uncommitted, undiscarded) staging root handle per root index;
+  // kNoHandle when none.
+  static constexpr Handle kNoHandle = UINT64_MAX;
+  std::vector<Handle> live_root_;
+
+  Record& record(Handle h);
+  void MarkSubtree(Handle h, bool committed, bool dead);
+};
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_HISTORY_RECORDER_H_

@@ -1,0 +1,129 @@
+#include "runtime/lock_manager.h"
+
+#include <algorithm>
+
+namespace comptx::runtime {
+
+bool LockManager::TryAcquire(LockOwner owner, uint32_t resource,
+                             uint32_t mode) {
+  auto& grants = holders_[resource];
+  auto& queue = waiters_[resource];
+
+  // The owner's own queued entry (if any) determines its priority; it
+  // defers only to waiters that arrived before it.
+  uint64_t my_ticket = UINT64_MAX;
+  for (const Waiter& w : queue) {
+    if (w.owner == owner && w.mode == mode) {
+      my_ticket = w.ticket;
+      break;
+    }
+  }
+
+  bool grantable = true;
+  for (const Grant& g : grants) {
+    if (g.owner == owner) continue;
+    if (conflicts_(resource, g.mode, mode)) {
+      grantable = false;
+      break;
+    }
+  }
+  if (grantable) {
+    for (const Waiter& w : queue) {
+      if (w.owner == owner) continue;
+      if (w.ticket < my_ticket && conflicts_(resource, w.mode, mode)) {
+        grantable = false;
+        break;
+      }
+    }
+  }
+
+  if (!grantable) {
+    if (my_ticket == UINT64_MAX) {
+      queue.push_back(Waiter{owner, mode, next_ticket_++});
+    }
+    return false;
+  }
+
+  // Grant: dequeue the satisfied request and record the grant once.
+  queue.erase(std::remove_if(queue.begin(), queue.end(),
+                             [&](const Waiter& w) {
+                               return w.owner == owner && w.mode == mode;
+                             }),
+              queue.end());
+  for (const Grant& g : grants) {
+    if (g.owner == owner && g.mode == mode) return true;
+  }
+  grants.push_back(Grant{owner, mode});
+  return true;
+}
+
+void LockManager::ReleaseAll(LockOwner owner) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    auto& grants = it->second;
+    grants.erase(std::remove_if(
+                     grants.begin(), grants.end(),
+                     [&](const Grant& g) { return g.owner == owner; }),
+                 grants.end());
+    if (grants.empty()) {
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    auto& queue = it->second;
+    queue.erase(std::remove_if(
+                    queue.begin(), queue.end(),
+                    [&](const Waiter& w) { return w.owner == owner; }),
+                queue.end());
+    if (queue.empty()) {
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<LockOwner> LockManager::Blockers(LockOwner owner,
+                                             uint32_t resource,
+                                             uint32_t mode) const {
+  std::vector<LockOwner> blockers;
+  auto hit = holders_.find(resource);
+  if (hit != holders_.end()) {
+    for (const Grant& g : hit->second) {
+      if (g.owner == owner) continue;
+      if (conflicts_(resource, g.mode, mode)) blockers.push_back(g.owner);
+    }
+  }
+  auto wit = waiters_.find(resource);
+  if (wit != waiters_.end()) {
+    uint64_t my_ticket = UINT64_MAX;
+    for (const Waiter& w : wit->second) {
+      if (w.owner == owner && w.mode == mode) {
+        my_ticket = w.ticket;
+        break;
+      }
+    }
+    for (const Waiter& w : wit->second) {
+      if (w.owner == owner) continue;
+      if (w.ticket < my_ticket && conflicts_(resource, w.mode, mode)) {
+        blockers.push_back(w.owner);
+      }
+    }
+  }
+  return blockers;
+}
+
+size_t LockManager::GrantCount() const {
+  size_t count = 0;
+  for (const auto& [resource, grants] : holders_) count += grants.size();
+  return count;
+}
+
+size_t LockManager::WaiterCount() const {
+  size_t count = 0;
+  for (const auto& [resource, queue] : waiters_) count += queue.size();
+  return count;
+}
+
+}  // namespace comptx::runtime

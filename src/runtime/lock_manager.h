@@ -1,0 +1,75 @@
+#ifndef COMPTX_RUNTIME_LOCK_MANAGER_H_
+#define COMPTX_RUNTIME_LOCK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace comptx::runtime {
+
+/// Owner of a lock: a transaction-instance id assigned by the executor
+/// (the subtransaction instance under open nesting, the root instance
+/// under closed nesting).
+using LockOwner = uint64_t;
+
+/// A semantic lock manager for one component with *fair queueing*.
+/// Resources are dense ids (data items plus one pseudo-resource for the
+/// service table); modes are interpreted by the compatibility predicate
+/// the component supplies, so the same manager serves read/write/add item
+/// locks and service-matrix locks.
+///
+/// Fairness: a TryAcquire that cannot be granted enqueues the request.
+/// Later requests by other owners are granted only if they are compatible
+/// with the holders *and* with every earlier waiter — so a queued lock
+/// upgrade (read -> add) cannot be starved by a stream of new readers.
+/// This is what makes deadlock-victim restarts convergent in the executor.
+class LockManager {
+ public:
+  /// `conflicts(resource, mode_a, mode_b)` must return true when the two
+  /// modes are incompatible on that resource.
+  explicit LockManager(
+      std::function<bool(uint32_t, uint32_t, uint32_t)> conflicts)
+      : conflicts_(std::move(conflicts)) {}
+
+  /// Attempts to acquire `resource` in `mode` for `owner`.  On success the
+  /// grant is recorded and any waiting entry of this owner for the same
+  /// request is removed.  On failure the request is enqueued (idempotent)
+  /// and false is returned; retry by calling TryAcquire again.
+  bool TryAcquire(LockOwner owner, uint32_t resource, uint32_t mode);
+
+  /// Releases all grants *and* queued requests of `owner`.
+  void ReleaseAll(LockOwner owner);
+
+  /// The owners blocking `owner`'s (re)acquisition of `resource` in
+  /// `mode`: conflicting holders plus conflicting earlier waiters.
+  std::vector<LockOwner> Blockers(LockOwner owner, uint32_t resource,
+                                  uint32_t mode) const;
+
+  /// Number of (owner, resource, mode) grants outstanding.
+  size_t GrantCount() const;
+
+  /// Number of queued (waiting) requests.
+  size_t WaiterCount() const;
+
+ private:
+  struct Grant {
+    LockOwner owner;
+    uint32_t mode;
+  };
+  struct Waiter {
+    LockOwner owner;
+    uint32_t mode;
+    uint64_t ticket;  // global arrival order; smaller = earlier.
+  };
+
+  std::function<bool(uint32_t, uint32_t, uint32_t)> conflicts_;
+  std::map<uint32_t, std::vector<Grant>> holders_;
+  std::map<uint32_t, std::vector<Waiter>> waiters_;
+  uint64_t next_ticket_ = 0;
+};
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_LOCK_MANAGER_H_

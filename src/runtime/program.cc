@@ -1,0 +1,4 @@
+#include "runtime/program.h"
+
+// ProgramStep and Program are passive aggregates; validation of a whole
+// component network lives in runtime/component.cc (ValidateNetwork).

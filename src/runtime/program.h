@@ -1,0 +1,56 @@
+#ifndef COMPTX_RUNTIME_PROGRAM_H_
+#define COMPTX_RUNTIME_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/data_store.h"
+#include "util/status.h"
+
+namespace comptx::runtime {
+
+/// One step of a service program: either a local data operation on the
+/// executing component's store or a synchronous invocation of a service on
+/// another component (which becomes a subtransaction in the recorded
+/// composite schedule).
+struct ProgramStep {
+  enum class Kind : uint8_t { kLocal, kInvoke };
+
+  Kind kind = Kind::kLocal;
+
+  // kLocal:
+  OpType op = OpType::kRead;
+  uint32_t item = 0;
+  int64_t operand = 0;
+
+  // kInvoke:
+  uint32_t callee_component = 0;
+  uint32_t callee_service = 0;
+
+  static ProgramStep Local(OpType op, uint32_t item, int64_t operand = 1) {
+    ProgramStep s;
+    s.kind = Kind::kLocal;
+    s.op = op;
+    s.item = item;
+    s.operand = operand;
+    return s;
+  }
+
+  static ProgramStep Invoke(uint32_t component, uint32_t service) {
+    ProgramStep s;
+    s.kind = Kind::kInvoke;
+    s.callee_component = component;
+    s.callee_service = service;
+    return s;
+  }
+};
+
+/// A service program.  Programs are sequential: the executor runs the
+/// steps one after another (recorded as a strong intra-transaction chain).
+struct Program {
+  std::vector<ProgramStep> steps;
+};
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_PROGRAM_H_

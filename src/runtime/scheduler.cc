@@ -1,0 +1,39 @@
+#include "runtime/scheduler.h"
+
+namespace comptx::runtime {
+
+const char* ProtocolToString(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kGlobalSerial:
+      return "global_serial";
+    case Protocol::kClosedTwoPhase:
+      return "closed_2pl";
+    case Protocol::kOpenTwoPhase:
+      return "open_2pl";
+    case Protocol::kOpenValidated:
+      return "open_validated";
+    case Protocol::kConservativeTimestamp:
+      return "conservative_ts";
+  }
+  return "unknown";
+}
+
+bool IsSerialProtocol(Protocol protocol) {
+  return protocol == Protocol::kGlobalSerial;
+}
+
+bool ReleasesLocksAtSubCommit(Protocol protocol) {
+  return protocol == Protocol::kOpenTwoPhase ||
+         protocol == Protocol::kOpenValidated ||
+         protocol == Protocol::kConservativeTimestamp;
+}
+
+bool ValidatesRootOrder(Protocol protocol) {
+  return protocol == Protocol::kOpenValidated;
+}
+
+bool UsesConservativeAdmission(Protocol protocol) {
+  return protocol == Protocol::kConservativeTimestamp;
+}
+
+}  // namespace comptx::runtime

@@ -1,0 +1,68 @@
+#ifndef COMPTX_RUNTIME_SCHEDULER_H_
+#define COMPTX_RUNTIME_SCHEDULER_H_
+
+#include <cstdint>
+
+namespace comptx::runtime {
+
+/// Concurrency-control protocols for executing a composite system.  These
+/// are the implementation strategies sketched in the paper's §1/§4
+/// (combinations of open and closed nested transactions, plus the ticket
+/// method for cross-component order validation).
+enum class Protocol : uint8_t {
+  /// One root transaction at a time; the trivially correct baseline.
+  kGlobalSerial,
+
+  /// Closed nesting: strict two-phase locking where every lock (item and
+  /// service) is held by the root until root commit.  Globally
+  /// serializable, always Comp-C, but minimal inter-transaction
+  /// parallelism.
+  kClosedTwoPhase,
+
+  /// Open nesting: strict two-phase locking per subtransaction — locks are
+  /// released when the subtransaction commits.  Maximal parallelism; each
+  /// component alone stays conflict consistent, but nothing coordinates
+  /// serialization orders across components, so join/DAG topologies can
+  /// produce executions that are not Comp-C (experiment E6).
+  kOpenTwoPhase,
+
+  /// Open nesting plus ticket-style validation: each subtransaction
+  /// commit registers its component-level serialization edges (over root
+  /// transactions) in a global order manager; a commit that would close a
+  /// cycle aborts and restarts its root.  Keeps open nesting's
+  /// parallelism while producing only Comp-C executions.
+  kOpenValidated,
+
+  /// Open nesting with *conservative timestamp admission*: roots carry a
+  /// fixed total order, every root's per-component visit counts are
+  /// predeclared (statically derivable because service programs are
+  /// straight-line), and a component admits a transaction only when no
+  /// smaller-timestamp root still has visits pending there.  Every
+  /// component then serializes in timestamp order, so the execution is
+  /// Comp-C by construction with *zero aborts* — the top-down enforcement
+  /// family the paper's §3 alludes to ("practical protocols may work
+  /// top-down, by enforcing restrictions on how the subtransactions can
+  /// be executed"), paid for with admission delays.
+  kConservativeTimestamp,
+};
+
+const char* ProtocolToString(Protocol protocol);
+
+/// True iff `protocol` runs at most one root at a time.
+bool IsSerialProtocol(Protocol protocol);
+
+/// True iff locks are released at subtransaction commit (open nesting)
+/// rather than held until root commit.
+bool ReleasesLocksAtSubCommit(Protocol protocol);
+
+/// True iff subtransaction commits are validated against the global root
+/// order.
+bool ValidatesRootOrder(Protocol protocol);
+
+/// True iff components admit transactions in root-timestamp order using
+/// predeclared visit counts.
+bool UsesConservativeAdmission(Protocol protocol);
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,559 @@
+#include "runtime/system_executor.h"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runtime/cc_scheduler.h"
+#include "runtime/deadlock.h"
+#include "runtime/history_recorder.h"
+#include "runtime/two_phase_locking.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace comptx::runtime {
+
+namespace {
+
+/// One access performed by a frame at its component (for validation).
+struct Access {
+  uint32_t item;
+  OpType op;
+};
+
+/// Activation record of one (sub)transaction execution.
+struct Frame {
+  uint32_t component = 0;
+  uint32_t service = 0;
+  size_t step = 0;
+  LockOwner instance = 0;
+  HistoryRecorder::Handle record = 0;
+  std::vector<Access> accesses;
+  // Child instance id reserved for the invoke at the current step (0 if
+  // none).  Reserved on the first (possibly blocking) attempt so the lock
+  // queue entry stays attached to the same owner across retries.
+  LockOwner pending_child = 0;
+};
+
+/// One root transaction attempt driven as a sequential logical thread.
+struct Thread {
+  uint32_t root_index = 0;
+  LockOwner root_instance = 0;
+  std::vector<Frame> stack;
+  bool done = false;
+  // Data undo across the whole attempt (open nesting compensates committed
+  // subtransactions by physically restoring values).
+  std::vector<std::pair<uint32_t, UndoEntry>> undo_log;
+  // All lock-owner instances created by the current attempt.
+  std::vector<LockOwner> instances;
+  // Restart bookkeeping: restarted attempts back off so the surviving
+  // side of a deadlock can take the contested locks first (otherwise the
+  // lockstep rounds recreate the same deadlock forever).
+  uint32_t restarts = 0;
+  uint64_t backoff_until_round = 0;
+  // Failure injection: abandon the root after this many actions
+  // (UINT64_MAX = never).  Persists across restarts of the same root.
+  uint64_t abort_after_actions = UINT64_MAX;
+  uint64_t actions_done = 0;
+  // When blocked: what the thread is waiting for.
+  bool blocked = false;
+  uint32_t wait_component = 0;
+  uint32_t wait_resource = 0;
+  uint32_t wait_mode = 0;
+  LockOwner wait_owner = 0;
+};
+
+/// Everything a committed subtransaction leaves behind for validation.
+struct CommittedTxn {
+  uint32_t root = 0;
+  uint32_t service = 0;
+  std::vector<Access> accesses;
+};
+
+enum class StepOutcome { kProgress, kBlocked, kValidationAbort };
+
+class Executor {
+ public:
+  Executor(const RuntimeSystem& system, const ExecutorOptions& options)
+      : system_(system),
+        options_(options),
+        rng_(options.seed),
+        recorder_(system),
+        committed_per_component_(system.components.size()) {}
+
+  StatusOr<ExecutionResult> Run();
+
+ private:
+  Thread MakeThread(uint32_t root_index);
+  StepOutcome Advance(Thread& thread);
+  void RestartRoot(Thread& thread, bool validation);
+  void AbandonRoot(Thread& thread);
+  void RollBackAttempt(Thread& thread);
+  void ReleaseEverywhere(LockOwner owner);
+  Status HandleStall(const std::vector<uint32_t>& alive, bool any_backing_off);
+
+  // Conservative timestamp admission (kConservativeTimestamp): roots are
+  // ordered by index; `remaining_visits_[r][c]` counts the component-c
+  // transactions root r will still commit.  A root may start work at a
+  // component only when no smaller root has visits pending there.
+  void PrecomputeVisitCounts();
+  bool AdmissionBlocked(uint32_t root_index, uint32_t component) const;
+  void FinishVisit(uint32_t root_index, uint32_t component);
+
+  const RuntimeSystem& system_;
+  const ExecutorOptions& options_;
+  Rng rng_;
+  HistoryRecorder recorder_;
+  RootOrderManager root_order_;
+  std::vector<std::vector<CommittedTxn>> committed_per_component_;
+  std::vector<Thread> threads_;
+  LockOwner next_instance_ = 1;
+  uint64_t seq_ = 0;
+  ExecutionStats stats_;
+  // remaining_visits_[root][component]; empty unless the protocol uses
+  // conservative admission.  declared_visits_ keeps the pristine counts
+  // so a restarted root can re-declare its whole access plan.
+  std::vector<std::vector<uint32_t>> remaining_visits_;
+  std::vector<std::vector<uint32_t>> declared_visits_;
+};
+
+void Executor::PrecomputeVisitCounts() {
+  const size_t components = system_.components.size();
+  // visits[(component, service)] -> per-component transaction counts for
+  // one activation, including nested invocations.  Programs are
+  // straight-line and the invocation graph is acyclic, so a memoized DFS
+  // terminates and the counts are exact.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> memo;
+  auto counts = [&](auto&& self, uint32_t component,
+                    uint32_t service) -> const std::vector<uint32_t>& {
+    auto key = std::make_pair(component, service);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    std::vector<uint32_t> total(components, 0);
+    total[component] += 1;  // this activation itself.
+    for (const ProgramStep& step :
+         system_.components[component]->service(service).steps) {
+      if (step.kind != ProgramStep::Kind::kInvoke) continue;
+      const std::vector<uint32_t>& nested =
+          self(self, step.callee_component, step.callee_service);
+      for (size_t c = 0; c < components; ++c) total[c] += nested[c];
+    }
+    return memo.emplace(key, std::move(total)).first->second;
+  };
+  declared_visits_.clear();
+  for (const auto& request : system_.roots) {
+    declared_visits_.push_back(counts(counts, request.component,
+                                      request.service));
+  }
+  remaining_visits_ = declared_visits_;
+}
+
+bool Executor::AdmissionBlocked(uint32_t root_index,
+                                uint32_t component) const {
+  for (uint32_t r = 0; r < root_index; ++r) {
+    if (remaining_visits_[r][component] > 0) return true;
+  }
+  return false;
+}
+
+void Executor::FinishVisit(uint32_t root_index, uint32_t component) {
+  COMPTX_CHECK_GT(remaining_visits_[root_index][component], 0u);
+  --remaining_visits_[root_index][component];
+}
+
+Thread Executor::MakeThread(uint32_t root_index) {
+  const auto& request = system_.roots[root_index];
+  Thread thread;
+  thread.root_index = root_index;
+  thread.root_instance = next_instance_++;
+  thread.instances.push_back(thread.root_instance);
+  Frame frame;
+  frame.component = request.component;
+  frame.service = request.service;
+  frame.instance = thread.root_instance;
+  frame.record =
+      recorder_.BeginRoot(root_index, request.component, request.service);
+  thread.stack.push_back(std::move(frame));
+  return thread;
+}
+
+void Executor::ReleaseEverywhere(LockOwner owner) {
+  for (const auto& component : system_.components) {
+    component->locks().ReleaseAll(owner);
+  }
+}
+
+StepOutcome Executor::Advance(Thread& thread) {
+  Frame& frame = thread.stack.back();
+  Component& component = *system_.components[frame.component];
+  const Program& program = component.service(frame.service);
+
+  // Conservative admission: before the root's first action, its entry
+  // component must have no smaller-timestamp roots with pending visits.
+  if (UsesConservativeAdmission(options_.protocol) &&
+      thread.stack.size() == 1 && frame.step == 0 &&
+      frame.accesses.empty() &&
+      AdmissionBlocked(thread.root_index, frame.component) &&
+      frame.step < program.steps.size()) {
+    thread.blocked = true;
+    thread.wait_component = frame.component;
+    thread.wait_resource = component.ServiceResource();
+    thread.wait_mode = frame.service;
+    thread.wait_owner = frame.instance;
+    return StepOutcome::kBlocked;
+  }
+
+  if (frame.step < program.steps.size()) {
+    const ProgramStep& step = program.steps[frame.step];
+    if (step.kind == ProgramStep::Kind::kLocal) {
+      const LockOwner owner = LockOwnerForFrame(
+          options_.protocol, thread.root_instance, frame.instance);
+      const uint32_t resource = component.ItemResource(step.item);
+      const uint32_t mode = static_cast<uint32_t>(step.op);
+      if (!component.locks().TryAcquire(owner, resource, mode)) {
+        if (options_.trace && !thread.blocked) {
+          std::cerr << "[round " << stats_.rounds << "] root "
+                    << thread.root_index << " blocked on item " << step.item
+                    << " @ " << component.name() << "\n";
+        }
+        thread.blocked = true;
+        thread.wait_component = frame.component;
+        thread.wait_resource = resource;
+        thread.wait_mode = mode;
+        thread.wait_owner = owner;
+        return StepOutcome::kBlocked;
+      }
+      std::vector<UndoEntry> undo;
+      component.store().Apply(step.op, step.item, step.operand, undo);
+      for (const UndoEntry& entry : undo) {
+        thread.undo_log.emplace_back(frame.component, entry);
+      }
+      recorder_.RecordLocalOp(frame.record, step.op, step.item, ++seq_);
+      frame.accesses.push_back(Access{step.item, step.op});
+      ++frame.step;
+      thread.blocked = false;
+      return StepOutcome::kProgress;
+    }
+
+    // kInvoke: acquire the callee's service lock, then push a frame.
+    Component& callee = *system_.components[step.callee_component];
+    if (UsesConservativeAdmission(options_.protocol) &&
+        AdmissionBlocked(thread.root_index, step.callee_component)) {
+      thread.blocked = true;
+      thread.wait_component = step.callee_component;
+      thread.wait_resource = callee.ServiceResource();
+      thread.wait_mode = step.callee_service;
+      thread.wait_owner = 0;
+      return StepOutcome::kBlocked;
+    }
+    if (frame.pending_child == 0) {
+      frame.pending_child = next_instance_++;
+      thread.instances.push_back(frame.pending_child);
+    }
+    const LockOwner child_instance = frame.pending_child;
+    const LockOwner owner = LockOwnerForFrame(
+        options_.protocol, thread.root_instance, child_instance);
+    if (!callee.locks().TryAcquire(owner, callee.ServiceResource(),
+                                   step.callee_service)) {
+      if (options_.trace && !thread.blocked) {
+        std::cerr << "[round " << stats_.rounds << "] root "
+                  << thread.root_index << " blocked on service "
+                  << step.callee_service << " @ " << callee.name() << "\n";
+      }
+      thread.blocked = true;
+      thread.wait_component = step.callee_component;
+      thread.wait_resource = callee.ServiceResource();
+      thread.wait_mode = step.callee_service;
+      thread.wait_owner = owner;
+      return StepOutcome::kBlocked;
+    }
+    frame.pending_child = 0;
+    Frame child;
+    child.component = step.callee_component;
+    child.service = step.callee_service;
+    child.instance = child_instance;
+    child.record = recorder_.BeginSub(frame.record, step.callee_component,
+                                      step.callee_service);
+    ++frame.step;
+    thread.stack.push_back(std::move(child));
+    thread.blocked = false;
+    return StepOutcome::kProgress;
+  }
+
+  // Frame complete: commit the (sub)transaction.  A root whose client
+  // scheduled an abandonment never commits — if the walk-away point was
+  // not reached mid-run, it fires now, before the commit.
+  if (thread.stack.size() == 1 &&
+      thread.abort_after_actions != UINT64_MAX) {
+    AbandonRoot(thread);
+    return StepOutcome::kProgress;
+  }
+  if (ValidatesRootOrder(options_.protocol)) {
+    // Register the component-level serialization edges this commit
+    // establishes over root transactions; abort the root on a cycle.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (const CommittedTxn& prior :
+         committed_per_component_[frame.component]) {
+      if (prior.root == thread.root_index) continue;
+      bool conflict =
+          component.ServicesConflict(prior.service, frame.service);
+      if (!conflict) {
+        for (const Access& a : prior.accesses) {
+          for (const Access& b : frame.accesses) {
+            if (a.item == b.item && OpsConflict(a.op, b.op)) {
+              conflict = true;
+              break;
+            }
+          }
+          if (conflict) break;
+        }
+      }
+      if (conflict) edges.emplace_back(prior.root, thread.root_index);
+    }
+    if (!root_order_.TryAddEdges(edges)) {
+      return StepOutcome::kValidationAbort;
+    }
+  }
+  committed_per_component_[frame.component].push_back(
+      CommittedTxn{thread.root_index, frame.service, frame.accesses});
+  recorder_.CommitNode(frame.record, ++seq_);
+  if (UsesConservativeAdmission(options_.protocol)) {
+    FinishVisit(thread.root_index, frame.component);
+  }
+  if (ReleasesLocksAtSubCommit(options_.protocol)) {
+    ReleaseEverywhere(frame.instance);
+  }
+  thread.stack.pop_back();
+  if (thread.stack.empty()) {
+    ReleaseEverywhere(thread.root_instance);
+    recorder_.CommitRoot(thread.root_index);
+    thread.done = true;
+  }
+  thread.blocked = false;
+  return StepOutcome::kProgress;
+}
+
+void Executor::RestartRoot(Thread& thread, bool validation) {
+  if (options_.trace) {
+    std::cerr << "[round " << stats_.rounds << "] restart root "
+              << thread.root_index << " ("
+              << (validation ? "validation" : "deadlock") << "), attempt "
+              << thread.restarts + 1 << "\n";
+  }
+  if (validation) {
+    ++stats_.validation_restarts;
+  } else {
+    ++stats_.deadlock_restarts;
+  }
+  RollBackAttempt(thread);
+  if (UsesConservativeAdmission(options_.protocol)) {
+    // The restarted attempt re-declares its whole access plan.
+    remaining_visits_[thread.root_index] =
+        declared_visits_[thread.root_index];
+  }
+
+  const uint32_t root_index = thread.root_index;
+  const uint32_t restarts = thread.restarts + 1;
+  const uint64_t abort_after = thread.abort_after_actions;
+  thread = MakeThread(root_index);
+  thread.restarts = restarts;
+  thread.abort_after_actions = abort_after;
+  thread.backoff_until_round =
+      stats_.rounds + (uint64_t{4} << std::min<uint32_t>(restarts, 7));
+}
+
+void Executor::RollBackAttempt(Thread& thread) {
+  // Physically undo all data effects of the attempt, newest first.
+  for (auto it = thread.undo_log.rbegin(); it != thread.undo_log.rend();
+       ++it) {
+    std::vector<UndoEntry> one = {it->second};
+    // Rollback() clears the vector; apply entries individually to keep the
+    // strict reverse order across components.
+    system_.components[it->first]->store().Rollback(one);
+  }
+  thread.undo_log.clear();
+  for (LockOwner owner : thread.instances) ReleaseEverywhere(owner);
+  for (auto& committed : committed_per_component_) {
+    committed.erase(std::remove_if(committed.begin(), committed.end(),
+                                   [&](const CommittedTxn& t) {
+                                     return t.root == thread.root_index;
+                                   }),
+                    committed.end());
+  }
+  root_order_.RemoveRoot(thread.root_index);
+  recorder_.AbortRoot(thread.root_index);
+}
+
+void Executor::AbandonRoot(Thread& thread) {
+  if (options_.trace) {
+    std::cerr << "[round " << stats_.rounds << "] client abandons root "
+              << thread.root_index << "\n";
+  }
+  ++stats_.client_aborts;
+  RollBackAttempt(thread);
+  if (UsesConservativeAdmission(options_.protocol)) {
+    // An abandoned root will never return: release its declarations so
+    // larger-timestamp roots are not blocked forever.
+    std::fill(remaining_visits_[thread.root_index].begin(),
+              remaining_visits_[thread.root_index].end(), 0u);
+  }
+  thread.done = true;
+  thread.blocked = false;
+  thread.stack.clear();
+}
+
+Status Executor::HandleStall(const std::vector<uint32_t>& alive,
+                             bool any_backing_off) {
+  // Build the waits-for graph over stalled threads: an edge t -> u when t
+  // waits for a lock held by an instance belonging to u.
+  std::vector<uint32_t> blocked;
+  for (uint32_t t : alive) {
+    if (threads_[t].blocked) blocked.push_back(t);
+  }
+  if (blocked.empty()) {
+    if (any_backing_off) return Status::OK();  // wait out the backoff.
+    return Status::Internal("no thread progressed but none is blocked");
+  }
+  graph::Digraph waits(blocked.size());
+  std::vector<uint64_t> ages(blocked.size());
+  // Owner instance -> local blocked-thread index.
+  std::map<LockOwner, uint32_t> owner_to_thread;
+  for (uint32_t i = 0; i < blocked.size(); ++i) {
+    ages[i] = threads_[blocked[i]].root_instance;
+    for (LockOwner owner : threads_[blocked[i]].instances) {
+      owner_to_thread[owner] = i;
+    }
+  }
+  for (uint32_t i = 0; i < blocked.size(); ++i) {
+    const Thread& t = threads_[blocked[i]];
+    Component& component = *system_.components[t.wait_component];
+    for (LockOwner holder : component.locks().Blockers(
+             t.wait_owner, t.wait_resource, t.wait_mode)) {
+      auto it = owner_to_thread.find(holder);
+      if (it != owner_to_thread.end() && it->second != i) {
+        waits.AddEdge(i, it->second);
+      }
+    }
+  }
+  std::optional<uint32_t> victim = FindDeadlockVictim(waits, ages);
+  if (!victim) {
+    // No cycle among the currently blocked threads: if someone is backing
+    // off, its future release/acquisition may unblock them — wait.
+    if (any_backing_off) {
+      if (options_.trace) {
+        std::cerr << "[round " << stats_.rounds << "] stall: no cycle, "
+                  << blocked.size() << " blocked, backoff pending\n";
+      }
+      return Status::OK();
+    }
+    // Otherwise the blockage must involve state only a restart clears;
+    // restart the youngest blocked attempt to stay live.
+    victim = 0;
+    for (uint32_t i = 1; i < blocked.size(); ++i) {
+      if (ages[i] > ages[*victim]) victim = i;
+    }
+  }
+  RestartRoot(threads_[blocked[*victim]], /*validation=*/false);
+  return Status::OK();
+}
+
+StatusOr<ExecutionResult> Executor::Run() {
+  COMPTX_RETURN_IF_ERROR(ValidateNetwork(system_));
+  if (UsesConservativeAdmission(options_.protocol)) {
+    PrecomputeVisitCounts();
+  }
+  threads_.reserve(system_.roots.size());
+  for (uint32_t r = 0; r < system_.roots.size(); ++r) {
+    threads_.push_back(MakeThread(r));
+    if (options_.client_abort_prob > 0.0 &&
+        rng_.Bernoulli(options_.client_abort_prob)) {
+      // The client will walk away after a prefix of its transaction.
+      threads_.back().abort_after_actions = 1 + rng_.UniformInt(8);
+    }
+  }
+
+  double parallelism_sum = 0.0;
+  while (true) {
+    std::vector<uint32_t> alive;
+    for (uint32_t t = 0; t < threads_.size(); ++t) {
+      if (!threads_[t].done) alive.push_back(t);
+    }
+    if (alive.empty()) break;
+    if (IsSerialProtocol(options_.protocol)) {
+      // One root at a time, to completion.
+      alive.resize(1);
+    }
+    if (++stats_.rounds > options_.max_rounds) {
+      return Status::ResourceExhausted(
+          StrCat("execution exceeded ", options_.max_rounds, " rounds"));
+    }
+    if (options_.trace && stats_.rounds % 50 == 0) {
+      std::cerr << "[round " << stats_.rounds << "] state:";
+      for (uint32_t t = 0; t < threads_.size(); ++t) {
+        const Thread& th = threads_[t];
+        std::cerr << " r" << th.root_index << "="
+                  << (th.done ? "done"
+                      : th.blocked ? "blocked"
+                      : th.backoff_until_round > stats_.rounds ? "backoff"
+                                                               : "run")
+                  << "/d" << th.stack.size() << "s"
+                  << (th.stack.empty() ? 0 : th.stack.back().step);
+      }
+      std::cerr << "\n";
+    }
+    rng_.Shuffle(alive);
+    uint32_t progressed = 0;
+    bool any_backing_off = false;
+    for (uint32_t t : alive) {
+      Thread& thread = threads_[t];
+      if (thread.done) continue;
+      if (thread.backoff_until_round > stats_.rounds) {
+        any_backing_off = true;
+        continue;
+      }
+      switch (Advance(thread)) {
+        case StepOutcome::kProgress:
+          ++progressed;
+          ++stats_.actions;
+          ++thread.actions_done;
+          if (!thread.done &&
+              thread.actions_done >= thread.abort_after_actions) {
+            AbandonRoot(thread);
+          }
+          break;
+        case StepOutcome::kBlocked:
+          break;
+        case StepOutcome::kValidationAbort:
+          RestartRoot(thread, /*validation=*/true);
+          ++progressed;  // the restart itself is forward progress.
+          break;
+      }
+    }
+    parallelism_sum += progressed;
+    if (progressed == 0) {
+      COMPTX_RETURN_IF_ERROR(HandleStall(alive, any_backing_off));
+    }
+  }
+
+  ExecutionResult result;
+  COMPTX_ASSIGN_OR_RETURN(result.recorded, recorder_.BuildSystem());
+  stats_.avg_parallelism =
+      stats_.rounds == 0 ? 0.0 : parallelism_sum / double(stats_.rounds);
+  for (uint32_t v = 0; v < result.recorded.NodeCount(); ++v) {
+    if (result.recorded.node(NodeId(v)).IsLeaf()) ++stats_.committed_ops;
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ExecutionResult> ExecuteSystem(const RuntimeSystem& system,
+                                        const ExecutorOptions& options) {
+  Executor executor(system, options);
+  return executor.Run();
+}
+
+}  // namespace comptx::runtime

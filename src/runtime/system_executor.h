@@ -1,0 +1,76 @@
+#ifndef COMPTX_RUNTIME_SYSTEM_EXECUTOR_H_
+#define COMPTX_RUNTIME_SYSTEM_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "core/composite_system.h"
+#include "runtime/component.h"
+#include "runtime/scheduler.h"
+#include "util/status_or.h"
+
+namespace comptx::runtime {
+
+/// Knobs for ExecuteSystem.
+struct ExecutorOptions {
+  Protocol protocol = Protocol::kOpenTwoPhase;
+  uint64_t seed = 1;
+
+  /// Abort the simulation (ResourceExhausted) after this many rounds; a
+  /// safety valve against protocol livelock.
+  uint64_t max_rounds = 1'000'000;
+
+  /// Print per-event diagnostics (blocks, commits, restarts) to stderr.
+  bool trace = false;
+
+  /// Failure injection: probability that a client abandons its root
+  /// transaction partway through.  An abandoned root is rolled back
+  /// (committed subtransactions are compensated by restoring values),
+  /// all its locks and order-manager edges are released, and it never
+  /// commits — the recorded composite schedule contains committed roots
+  /// only, and must still be valid and protocol-correct.
+  double client_abort_prob = 0.0;
+};
+
+/// What happened during one simulated execution.
+struct ExecutionStats {
+  /// Lock-step rounds simulated: in each round every unblocked root
+  /// attempt advances by one primitive action, so rounds model parallel
+  /// wall-clock time (the global-serial makespan equals the total number
+  /// of actions).
+  uint64_t rounds = 0;
+
+  /// Primitive actions executed, including work redone after restarts.
+  uint64_t actions = 0;
+
+  /// Data operations committed (excluding discarded attempts).
+  uint64_t committed_ops = 0;
+
+  uint64_t deadlock_restarts = 0;
+  uint64_t validation_restarts = 0;
+
+  /// Roots abandoned by their client (failure injection); these do not
+  /// appear in the recorded system.
+  uint64_t client_aborts = 0;
+
+  /// Mean number of threads that made progress per round (effective
+  /// parallelism).
+  double avg_parallelism = 0.0;
+};
+
+/// Result of one simulated execution: the recorded composite schedule
+/// (committed work only) plus runtime statistics.
+struct ExecutionResult {
+  CompositeSystem recorded;
+  ExecutionStats stats;
+};
+
+/// Runs every root request of `system` to commit under the chosen protocol
+/// with a seeded interleaving, and records the composite schedule the
+/// protocol produced.  The recorded system passes Validate(); whether it
+/// is Comp-C is the experimental question (E6).
+StatusOr<ExecutionResult> ExecuteSystem(const RuntimeSystem& system,
+                                        const ExecutorOptions& options);
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_SYSTEM_EXECUTOR_H_

@@ -1,0 +1,11 @@
+#include "runtime/two_phase_locking.h"
+
+namespace comptx::runtime {
+
+LockOwner LockOwnerForFrame(Protocol protocol, LockOwner root_instance,
+                            LockOwner frame_instance) {
+  if (ReleasesLocksAtSubCommit(protocol)) return frame_instance;
+  return root_instance;
+}
+
+}  // namespace comptx::runtime

@@ -1,0 +1,18 @@
+#ifndef COMPTX_RUNTIME_TWO_PHASE_LOCKING_H_
+#define COMPTX_RUNTIME_TWO_PHASE_LOCKING_H_
+
+#include "runtime/lock_manager.h"
+#include "runtime/scheduler.h"
+
+namespace comptx::runtime {
+
+/// The lock owner a frame uses under `protocol`: the root instance when
+/// locks are held to root commit (closed nesting), the frame's own
+/// instance under open nesting.  Strictness (no early release) is enforced
+/// by the executor releasing only at the respective commit.
+LockOwner LockOwnerForFrame(Protocol protocol, LockOwner root_instance,
+                            LockOwner frame_instance);
+
+}  // namespace comptx::runtime
+
+#endif  // COMPTX_RUNTIME_TWO_PHASE_LOCKING_H_

@@ -1,0 +1,77 @@
+#ifndef COMPTX_UTIL_LOGGING_H_
+#define COMPTX_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace comptx::internal_logging {
+
+/// Accumulates a fatal message and aborts the process when destroyed.
+/// Used only by the COMPTX_CHECK* macros below; never instantiate directly.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a streamed FatalLogMessage expression to void so it can sit in
+/// the false branch of the COMPTX_CHECK ternary.  `&` binds looser than
+/// `<<`, so all streamed values reach the message first.
+class Voidify {
+ public:
+  void operator&(FatalLogMessage&) {}
+  void operator&(FatalLogMessage&&) {}
+};
+
+}  // namespace comptx::internal_logging
+
+/// Dies with a diagnostic if `cond` is false.  Supports streaming extra
+/// context: COMPTX_CHECK(p != nullptr) << "while doing X".  Intended for
+/// internal invariants ("cannot happen"); input validation must use Status.
+#define COMPTX_CHECK(cond)                                    \
+  (cond) ? static_cast<void>(0)                               \
+         : ::comptx::internal_logging::Voidify() &            \
+               ::comptx::internal_logging::FatalLogMessage(   \
+                   __FILE__, __LINE__, #cond)
+
+#define COMPTX_CHECK_OP_(a, b, op)                            \
+  ((a)op(b)) ? static_cast<void>(0)                           \
+             : ::comptx::internal_logging::Voidify() &        \
+                   ::comptx::internal_logging::FatalLogMessage( \
+                       __FILE__, __LINE__, #a " " #op " " #b)
+
+#define COMPTX_CHECK_EQ(a, b) COMPTX_CHECK_OP_(a, b, ==)
+#define COMPTX_CHECK_NE(a, b) COMPTX_CHECK_OP_(a, b, !=)
+#define COMPTX_CHECK_LT(a, b) COMPTX_CHECK_OP_(a, b, <)
+#define COMPTX_CHECK_LE(a, b) COMPTX_CHECK_OP_(a, b, <=)
+#define COMPTX_CHECK_GT(a, b) COMPTX_CHECK_OP_(a, b, >)
+#define COMPTX_CHECK_GE(a, b) COMPTX_CHECK_OP_(a, b, >=)
+
+/// Dies if `status_expr` evaluates to a non-OK Status.
+#define COMPTX_CHECK_OK(status_expr)                                   \
+  do {                                                                 \
+    const ::comptx::Status _comptx_check_status = (status_expr);       \
+    COMPTX_CHECK(_comptx_check_status.ok())                            \
+        << _comptx_check_status.ToString();                           \
+  } while (false)
+
+#endif  // COMPTX_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace comptx {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace comptx

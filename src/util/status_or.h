@@ -1,0 +1,83 @@
+#ifndef COMPTX_UTIL_STATUS_OR_H_
+#define COMPTX_UTIL_STATUS_OR_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace comptx {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent.  Mirrors `arrow::Result` / `absl::StatusOr`.
+///
+/// Accessors `value()` / `operator*` die (via COMPTX_CHECK) when called on an
+/// errored result; call sites must test `ok()` first or use the
+/// COMPTX_ASSIGN_OR_RETURN macro.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit, so
+  /// `return Status::InvalidArgument(...);` works).
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    COMPTX_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    COMPTX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    COMPTX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    COMPTX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace comptx
+
+#define COMPTX_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define COMPTX_STATUS_MACROS_CONCAT_(x, y) \
+  COMPTX_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define COMPTX_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  COMPTX_ASSIGN_OR_RETURN_IMPL_(                                             \
+      COMPTX_STATUS_MACROS_CONCAT_(_comptx_statusor_, __LINE__), lhs, rexpr)
+
+#define COMPTX_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) return statusor.status();             \
+  lhs = std::move(statusor).value()
+
+#endif  // COMPTX_UTIL_STATUS_OR_H_

@@ -1,0 +1,42 @@
+#ifndef COMPTX_UTIL_STRING_UTIL_H_
+#define COMPTX_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comptx {
+
+/// Joins the elements of `parts` with `sep` using `operator<<`.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits `text` on the single character `sep`.  Empty fields are kept;
+/// an empty input yields an empty vector.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Returns true iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Streams all arguments into one string (a tiny StrCat).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+}  // namespace comptx
+
+#endif  // COMPTX_UTIL_STRING_UTIL_H_

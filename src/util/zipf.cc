@@ -1,0 +1,29 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace comptx {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  COMPTX_CHECK_GT(n, 0u);
+  COMPTX_CHECK_GE(theta, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace comptx

@@ -1,0 +1,35 @@
+#ifndef COMPTX_UTIL_ZIPF_H_
+#define COMPTX_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace comptx {
+
+/// Samples from a Zipf distribution over {0, ..., n-1} with skew `theta`
+/// (theta = 0 is uniform; typical database benchmarks use theta in
+/// [0.5, 0.99]).  Uses a precomputed CDF with binary search, which is exact
+/// and fast for the domain sizes used in the benchmarks (n <= ~1e6).
+class ZipfGenerator {
+ public:
+  /// Builds the CDF for `n` items with skew `theta`.  `n` must be positive
+  /// and `theta` non-negative.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws one sample in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_UTIL_ZIPF_H_

@@ -1,0 +1,93 @@
+#include "workload/program_gen.h"
+
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace comptx::workload {
+
+using runtime::Component;
+using runtime::OpType;
+using runtime::Program;
+using runtime::ProgramStep;
+using runtime::RuntimeSystem;
+
+RuntimeSystem GenerateRuntimeWorkload(const RuntimeWorkloadSpec& spec,
+                                      uint64_t seed) {
+  COMPTX_CHECK_GE(spec.layers, 1u);
+  COMPTX_CHECK_GE(spec.components_per_layer, 1u);
+  COMPTX_CHECK_GE(spec.services_per_component, 1u);
+  COMPTX_CHECK_GE(spec.items_per_component, 1u);
+  Rng rng(seed);
+  ZipfGenerator zipf(spec.items_per_component, spec.zipf_theta);
+
+  RuntimeSystem system;
+  const uint32_t total =
+      spec.layers * spec.components_per_layer;
+  auto component_id = [&](uint32_t layer, uint32_t i) {
+    return layer * spec.components_per_layer + i;
+  };
+
+  for (uint32_t layer = 0; layer < spec.layers; ++layer) {
+    for (uint32_t i = 0; i < spec.components_per_layer; ++i) {
+      std::vector<Program> services;
+      for (uint32_t s = 0; s < spec.services_per_component; ++s) {
+        Program program;
+        for (uint32_t step = 0; step < spec.steps_per_service; ++step) {
+          const bool can_invoke = layer + 1 < spec.layers;
+          if (can_invoke && rng.Bernoulli(spec.invoke_fraction)) {
+            uint32_t callee = component_id(
+                layer + 1,
+                static_cast<uint32_t>(
+                    rng.UniformInt(spec.components_per_layer)));
+            uint32_t service = static_cast<uint32_t>(
+                rng.UniformInt(spec.services_per_component));
+            program.steps.push_back(ProgramStep::Invoke(callee, service));
+            continue;
+          }
+          OpType op = OpType::kRead;
+          if (rng.Bernoulli(spec.add_fraction)) {
+            op = OpType::kAdd;
+          } else if (rng.Bernoulli(spec.write_fraction)) {
+            op = OpType::kWrite;
+          }
+          uint32_t item = static_cast<uint32_t>(zipf.Sample(rng));
+          program.steps.push_back(
+              ProgramStep::Local(op, item, int64_t(rng.UniformInt(100))));
+        }
+        services.push_back(std::move(program));
+      }
+      std::vector<std::vector<bool>> conflicts(
+          spec.services_per_component,
+          std::vector<bool>(spec.services_per_component, false));
+      for (uint32_t a = 0; a < spec.services_per_component; ++a) {
+        for (uint32_t b = a; b < spec.services_per_component; ++b) {
+          const bool conflict = rng.Bernoulli(spec.service_conflict_prob);
+          conflicts[a][b] = conflict;
+          conflicts[b][a] = conflict;
+        }
+      }
+      system.components.push_back(std::make_unique<Component>(
+          component_id(layer, i), StrCat("C", layer, "_", i),
+          spec.items_per_component, std::move(services),
+          std::move(conflicts)));
+    }
+  }
+  COMPTX_CHECK_EQ(system.components.size(), total);
+
+  for (uint32_t r = 0; r < spec.num_roots; ++r) {
+    RuntimeSystem::RootRequest request;
+    request.component = component_id(
+        0, static_cast<uint32_t>(rng.UniformInt(spec.components_per_layer)));
+    request.service = static_cast<uint32_t>(
+        rng.UniformInt(spec.services_per_component));
+    system.roots.push_back(request);
+  }
+  return system;
+}
+
+}  // namespace comptx::workload

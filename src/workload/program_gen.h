@@ -1,0 +1,48 @@
+#ifndef COMPTX_WORKLOAD_PROGRAM_GEN_H_
+#define COMPTX_WORKLOAD_PROGRAM_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/component.h"
+
+namespace comptx::workload {
+
+/// Parameters for GenerateRuntimeWorkload: a layered component network
+/// (layer 0 components are the entry points; each layer invokes only the
+/// next one down) with randomized service programs and a client workload.
+struct RuntimeWorkloadSpec {
+  uint32_t layers = 2;
+  uint32_t components_per_layer = 2;
+  uint32_t items_per_component = 16;
+  uint32_t services_per_component = 3;
+  uint32_t steps_per_service = 3;
+
+  /// Probability that a step of a non-bottom-layer service invokes a
+  /// component of the next layer (otherwise it is a local data op).
+  double invoke_fraction = 0.5;
+
+  /// Data-operation type mix: P(add); the remainder splits into writes
+  /// with `write_fraction` and reads otherwise.  Adds commute — they are
+  /// the semantic knowledge components can exploit.
+  double add_fraction = 0.3;
+  double write_fraction = 0.4;
+
+  /// Probability that a pair of services of one component (including a
+  /// service with itself) is declared conflicting.
+  double service_conflict_prob = 0.4;
+
+  /// Zipf skew of item accesses (0 = uniform).
+  double zipf_theta = 0.6;
+
+  /// Number of client root transactions.
+  uint32_t num_roots = 8;
+};
+
+/// Generates a component network plus root requests from `spec` and
+/// `seed`.  The result passes ValidateNetwork.
+runtime::RuntimeSystem GenerateRuntimeWorkload(const RuntimeWorkloadSpec& spec,
+                                               uint64_t seed);
+
+}  // namespace comptx::workload
+
+#endif  // COMPTX_WORKLOAD_PROGRAM_GEN_H_

@@ -1,0 +1,54 @@
+#ifndef COMPTX_WORKLOAD_SCHEDULE_GEN_H_
+#define COMPTX_WORKLOAD_SCHEDULE_GEN_H_
+
+#include "core/composite_system.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace comptx::workload {
+
+/// Parameters for PopulateExecution.
+struct ExecutionGenSpec {
+  /// Probability that a pair of operations of distinct transactions on one
+  /// schedule is declared conflicting.
+  double conflict_prob = 0.3;
+
+  /// Probability that a conflicting pair is ordered *against* the
+  /// schedule's linearization (when no input order pins it and the flip
+  /// keeps the output order acyclic).  0 keeps every schedule locally
+  /// conflict consistent; higher values inject local serialization
+  /// anomalies.  Cross-schedule (Fig 3 style) anomalies appear even at 0
+  /// because each schedule linearizes independently.
+  double disorder_prob = 0.0;
+
+  /// Model order-preserving schedulers [BBG89]: emit the *entire*
+  /// linearization as weak output order (not only the conflicting and
+  /// intra pairs).  Incompatible with disorder_prob > 0 (a flip would
+  /// order a pair both ways); PopulateExecution rejects the combination.
+  bool order_preserving_outputs = false;
+
+  /// Probability of a weak intra-transaction order between consecutive
+  /// children (in a random per-transaction permutation).
+  double intra_weak_prob = 0.2;
+
+  /// Probability that such an intra order is also strong.
+  double intra_strong_prob = 0.05;
+};
+
+/// Fills a structural composite system (from GenerateTopology) with a
+/// random but *well-formed* execution:
+///
+///   * random intra-transaction orders (acyclic by construction);
+///   * per schedule, top-down by level: random conflicts, a random
+///     linearization consistent with the (already propagated) input
+///     orders, output orders derived from it per Def 3, and Def 4.7
+///     propagation of the outputs into the callees' input orders.
+///
+/// The result always passes CompositeSystem::Validate(); whether it is
+/// Comp-C is the random event the experiments measure.
+Status PopulateExecution(CompositeSystem& cs, const ExecutionGenSpec& spec,
+                         Rng& rng);
+
+}  // namespace comptx::workload
+
+#endif  // COMPTX_WORKLOAD_SCHEDULE_GEN_H_

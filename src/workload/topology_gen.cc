@@ -1,0 +1,167 @@
+#include "workload/topology_gen.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comptx::workload {
+
+const char* TopologyKindToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStack:
+      return "stack";
+    case TopologyKind::kFork:
+      return "fork";
+    case TopologyKind::kJoin:
+      return "join";
+    case TopologyKind::kLayeredDag:
+      return "layered_dag";
+  }
+  return "unknown";
+}
+
+namespace {
+
+NodeId MustAdd(StatusOr<NodeId> id) {
+  COMPTX_CHECK(id.ok()) << id.status().ToString();
+  return *id;
+}
+
+/// Expands `txn` with `fanout` leaf operations.
+void AddLeaves(CompositeSystem& cs, NodeId txn, uint32_t fanout,
+               uint32_t& counter) {
+  for (uint32_t i = 0; i < fanout; ++i) {
+    MustAdd(cs.AddLeaf(txn, StrCat("o", counter++)));
+  }
+}
+
+CompositeSystem GenerateStack(const TopologySpec& spec) {
+  CompositeSystem cs;
+  std::vector<ScheduleId> schedules;  // schedules[0] is the top.
+  for (uint32_t level = 0; level < spec.depth; ++level) {
+    schedules.push_back(cs.AddSchedule(StrCat("S", spec.depth - level)));
+  }
+  uint32_t counter = 0;
+  std::vector<NodeId> frontier;
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    frontier.push_back(
+        MustAdd(cs.AddRootTransaction(schedules[0], StrCat("T", r + 1))));
+  }
+  // In a stack, the operations of each schedule are exactly the
+  // transactions of the next schedule down (Def 21).
+  for (uint32_t level = 1; level < spec.depth; ++level) {
+    std::vector<NodeId> next;
+    for (NodeId txn : frontier) {
+      for (uint32_t i = 0; i < spec.fanout; ++i) {
+        next.push_back(MustAdd(
+            cs.AddSubtransaction(txn, schedules[level],
+                                 StrCat("t", counter++))));
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId txn : frontier) AddLeaves(cs, txn, spec.fanout, counter);
+  return cs;
+}
+
+CompositeSystem GenerateFork(const TopologySpec& spec, Rng& rng) {
+  CompositeSystem cs;
+  ScheduleId top = cs.AddSchedule("SF");
+  std::vector<ScheduleId> branches;
+  for (uint32_t i = 0; i < spec.branches; ++i) {
+    branches.push_back(cs.AddSchedule(StrCat("S", i + 1)));
+  }
+  uint32_t counter = 0;
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    NodeId root = MustAdd(cs.AddRootTransaction(top, StrCat("T", r + 1)));
+    for (uint32_t i = 0; i < spec.fanout; ++i) {
+      ScheduleId branch =
+          branches[rng.UniformInt(branches.size())];
+      NodeId sub = MustAdd(
+          cs.AddSubtransaction(root, branch, StrCat("t", counter)));
+      AddLeaves(cs, sub, spec.fanout, counter);
+      ++counter;
+    }
+  }
+  return cs;
+}
+
+CompositeSystem GenerateJoin(const TopologySpec& spec, Rng& rng) {
+  CompositeSystem cs;
+  std::vector<ScheduleId> tops;
+  for (uint32_t i = 0; i < spec.branches; ++i) {
+    tops.push_back(cs.AddSchedule(StrCat("S", i + 1)));
+  }
+  ScheduleId bottom = cs.AddSchedule("SJ");
+  uint32_t counter = 0;
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    ScheduleId top = tops[rng.UniformInt(tops.size())];
+    NodeId root = MustAdd(cs.AddRootTransaction(top, StrCat("T", r + 1)));
+    for (uint32_t i = 0; i < spec.fanout; ++i) {
+      NodeId sub = MustAdd(
+          cs.AddSubtransaction(root, bottom, StrCat("t", counter)));
+      AddLeaves(cs, sub, spec.fanout, counter);
+      ++counter;
+    }
+  }
+  return cs;
+}
+
+CompositeSystem GenerateLayeredDag(const TopologySpec& spec, Rng& rng) {
+  CompositeSystem cs;
+  // layers[0] is the top layer; each schedule of layer l may invoke any
+  // schedule of layer l+1.
+  std::vector<std::vector<ScheduleId>> layers(spec.depth);
+  for (uint32_t l = 0; l < spec.depth; ++l) {
+    for (uint32_t i = 0; i < spec.branches; ++i) {
+      layers[l].push_back(
+          cs.AddSchedule(StrCat("S", spec.depth - l, "_", i + 1)));
+    }
+  }
+  uint32_t counter = 0;
+  // Expand a transaction at layer `l` with fanout operations.
+  auto expand = [&](auto&& self, NodeId txn, uint32_t l) -> void {
+    const bool bottom = (l + 1 >= spec.depth);
+    for (uint32_t i = 0; i < spec.fanout; ++i) {
+      if (bottom || rng.Bernoulli(spec.leaf_fraction)) {
+        MustAdd(cs.AddLeaf(txn, StrCat("o", counter++)));
+      } else {
+        ScheduleId callee =
+            layers[l + 1][rng.UniformInt(layers[l + 1].size())];
+        NodeId sub = MustAdd(
+            cs.AddSubtransaction(txn, callee, StrCat("t", counter++)));
+        self(self, sub, l + 1);
+      }
+    }
+  };
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    ScheduleId top = layers[0][rng.UniformInt(layers[0].size())];
+    NodeId root = MustAdd(cs.AddRootTransaction(top, StrCat("T", r + 1)));
+    expand(expand, root, 0);
+  }
+  return cs;
+}
+
+}  // namespace
+
+CompositeSystem GenerateTopology(const TopologySpec& spec, Rng& rng) {
+  COMPTX_CHECK_GE(spec.depth, 1u);
+  COMPTX_CHECK_GE(spec.branches, 1u);
+  COMPTX_CHECK_GE(spec.roots, 1u);
+  COMPTX_CHECK_GE(spec.fanout, 1u);
+  switch (spec.kind) {
+    case TopologyKind::kStack:
+      return GenerateStack(spec);
+    case TopologyKind::kFork:
+      return GenerateFork(spec, rng);
+    case TopologyKind::kJoin:
+      return GenerateJoin(spec, rng);
+    case TopologyKind::kLayeredDag:
+      return GenerateLayeredDag(spec, rng);
+  }
+  COMPTX_CHECK(false) << "unreachable";
+  return CompositeSystem();
+}
+
+}  // namespace comptx::workload

@@ -1,0 +1,52 @@
+#ifndef COMPTX_WORKLOAD_TOPOLOGY_GEN_H_
+#define COMPTX_WORKLOAD_TOPOLOGY_GEN_H_
+
+#include <cstdint>
+
+#include "core/composite_system.h"
+#include "util/rng.h"
+
+namespace comptx::workload {
+
+/// Configuration shapes from the paper: the special cases (stack, fork,
+/// join) of §4 plus the general layered-DAG case the paper is about.
+enum class TopologyKind : uint8_t {
+  kStack,
+  kFork,
+  kJoin,
+  kLayeredDag,
+};
+
+const char* TopologyKindToString(TopologyKind kind);
+
+/// Parameters for GenerateTopology.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kStack;
+
+  /// Stack depth / number of DAG layers (schedule levels).
+  uint32_t depth = 3;
+
+  /// Fork/join width; schedules per DAG layer.
+  uint32_t branches = 3;
+
+  /// Number of root transactions.
+  uint32_t roots = 4;
+
+  /// Operations per transaction.
+  uint32_t fanout = 2;
+
+  /// For kLayeredDag: probability that an operation of a non-bottom
+  /// transaction is a leaf instead of a subtransaction (internal schedules
+  /// with leaf operations, which the paper explicitly allows).
+  double leaf_fraction = 0.2;
+};
+
+/// Generates the structural part of a composite system — schedules and the
+/// computational forest — with no conflicts or orders yet (those are added
+/// by PopulateExecution in schedule_gen.h).  The result satisfies the
+/// structural rules of Def 4 (and Def 21/23/25 for the special shapes).
+CompositeSystem GenerateTopology(const TopologySpec& spec, Rng& rng);
+
+}  // namespace comptx::workload
+
+#endif  // COMPTX_WORKLOAD_TOPOLOGY_GEN_H_

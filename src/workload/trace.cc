@@ -1,0 +1,176 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace comptx::workload {
+
+namespace {
+
+constexpr char kHeader[] = "comptx-trace v1";
+
+Status CheckName(const std::string& name) {
+  for (char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      return Status::InvalidArgument(
+          StrCat("name contains whitespace: '", name, "'"));
+    }
+  }
+  if (name.empty()) return Status::InvalidArgument("empty name");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> SaveTrace(const CompositeSystem& cs) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    COMPTX_RETURN_IF_ERROR(CheckName(sched.name));
+    out << "schedule " << sched.name << "\n";
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    COMPTX_RETURN_IF_ERROR(CheckName(n.name));
+    if (n.IsRoot()) {
+      out << "root " << n.owner_schedule.index() << " " << n.name << "\n";
+    } else if (n.IsTransaction()) {
+      out << "sub " << n.parent.index() << " " << n.owner_schedule.index()
+          << " " << n.name << "\n";
+    } else {
+      out << "leaf " << n.parent.index() << " " << n.name << "\n";
+    }
+  }
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    sched.conflicts.ForEach([&](NodeId a, NodeId b) {
+      out << "conflict " << a.index() << " " << b.index() << "\n";
+    });
+    sched.weak_output.ForEach([&](NodeId a, NodeId b) {
+      out << "weak_out " << a.index() << " " << b.index() << "\n";
+    });
+    sched.strong_output.ForEach([&](NodeId a, NodeId b) {
+      out << "strong_out " << a.index() << " " << b.index() << "\n";
+    });
+    sched.weak_input.ForEach([&](NodeId a, NodeId b) {
+      out << "weak_in " << s << " " << a.index() << " " << b.index() << "\n";
+    });
+    sched.strong_input.ForEach([&](NodeId a, NodeId b) {
+      out << "strong_in " << s << " " << a.index() << " " << b.index()
+          << "\n";
+    });
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    n.weak_intra.ForEach([&](NodeId a, NodeId b) {
+      out << "intra_weak " << v << " " << a.index() << " " << b.index()
+          << "\n";
+    });
+    n.strong_intra.ForEach([&](NodeId a, NodeId b) {
+      out << "intra_strong " << v << " " << a.index() << " " << b.index()
+          << "\n";
+    });
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<CompositeSystem> LoadTrace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrCat("trace line ", line_number, ": ", msg));
+  };
+
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing comptx-trace v1 header");
+  }
+  line_number = 1;
+
+  CompositeSystem cs;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kind == "schedule") {
+      std::string name;
+      if (!(fields >> name)) return error("schedule needs a name");
+      cs.AddSchedule(name);
+      continue;
+    }
+    if (kind == "root" || kind == "sub" || kind == "leaf") {
+      uint32_t parent = 0;
+      uint32_t sched = 0;
+      std::string name;
+      bool ok = true;
+      if (kind == "root") {
+        ok = static_cast<bool>(fields >> sched >> name);
+      } else if (kind == "sub") {
+        ok = static_cast<bool>(fields >> parent >> sched >> name);
+      } else {
+        ok = static_cast<bool>(fields >> parent >> name);
+      }
+      if (!ok) return error("malformed node line");
+      StatusOr<NodeId> id =
+          kind == "root"
+              ? cs.AddRootTransaction(ScheduleId(sched), name)
+          : kind == "sub"
+              ? cs.AddSubtransaction(NodeId(parent), ScheduleId(sched), name)
+              : cs.AddLeaf(NodeId(parent), name);
+      if (!id.ok()) return error(id.status().ToString());
+      continue;
+    }
+    if (kind == "conflict" || kind == "weak_out" || kind == "strong_out") {
+      uint32_t a = 0;
+      uint32_t b = 0;
+      if (!(fields >> a >> b)) return error("malformed pair line");
+      Status status = kind == "conflict"
+                          ? cs.AddConflict(NodeId(a), NodeId(b))
+                      : kind == "weak_out"
+                          ? cs.AddWeakOutput(NodeId(a), NodeId(b))
+                          : cs.AddStrongOutput(NodeId(a), NodeId(b));
+      if (!status.ok()) return error(status.ToString());
+      continue;
+    }
+    if (kind == "weak_in" || kind == "strong_in") {
+      uint32_t s = 0;
+      uint32_t a = 0;
+      uint32_t b = 0;
+      if (!(fields >> s >> a >> b)) return error("malformed input line");
+      Status status =
+          kind == "weak_in"
+              ? cs.AddWeakInput(ScheduleId(s), NodeId(a), NodeId(b))
+              : cs.AddStrongInput(ScheduleId(s), NodeId(a), NodeId(b));
+      if (!status.ok()) return error(status.ToString());
+      continue;
+    }
+    if (kind == "intra_weak" || kind == "intra_strong") {
+      uint32_t t = 0;
+      uint32_t a = 0;
+      uint32_t b = 0;
+      if (!(fields >> t >> a >> b)) return error("malformed intra line");
+      Status status =
+          kind == "intra_weak"
+              ? cs.AddIntraWeak(NodeId(t), NodeId(a), NodeId(b))
+              : cs.AddIntraStrong(NodeId(t), NodeId(a), NodeId(b));
+      if (!status.ok()) return error(status.ToString());
+      continue;
+    }
+    return error(StrCat("unknown record kind '", kind, "'"));
+  }
+  if (!saw_end) return Status::InvalidArgument("trace missing 'end' record");
+  return cs;
+}
+
+}  // namespace comptx::workload

@@ -1,0 +1,24 @@
+#ifndef COMPTX_WORKLOAD_TRACE_H_
+#define COMPTX_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+
+namespace comptx::workload {
+
+/// Serializes a composite execution to a line-oriented text trace
+/// ("comptx-trace v1").  Node and schedule references use creation-order
+/// indices, so a round trip reproduces identical ids.  Names must not
+/// contain whitespace (InvalidArgument otherwise).
+StatusOr<std::string> SaveTrace(const CompositeSystem& cs);
+
+/// Parses a trace produced by SaveTrace.  Structural and referential
+/// errors are reported with the offending line number; the loaded system
+/// is not implicitly validated (call Validate() for the Def 2-4 rules).
+StatusOr<CompositeSystem> LoadTrace(const std::string& text);
+
+}  // namespace comptx::workload
+
+#endif  // COMPTX_WORKLOAD_TRACE_H_

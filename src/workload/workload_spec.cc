@@ -1,0 +1,16 @@
+#include "workload/workload_spec.h"
+
+#include "util/rng.h"
+
+namespace comptx::workload {
+
+StatusOr<CompositeSystem> GenerateSystem(const WorkloadSpec& spec,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  CompositeSystem cs = GenerateTopology(spec.topology, rng);
+  COMPTX_RETURN_IF_ERROR(PopulateExecution(cs, spec.execution, rng));
+  COMPTX_RETURN_IF_ERROR(cs.Validate());
+  return cs;
+}
+
+}  // namespace comptx::workload

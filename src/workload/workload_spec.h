@@ -1,0 +1,29 @@
+#ifndef COMPTX_WORKLOAD_WORKLOAD_SPEC_H_
+#define COMPTX_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+#include "workload/schedule_gen.h"
+#include "workload/topology_gen.h"
+
+namespace comptx::workload {
+
+/// A complete randomized-experiment input: a topology shape plus an
+/// execution-generation profile.  One spec + one seed identifies one
+/// composite execution bit-for-bit.
+struct WorkloadSpec {
+  TopologySpec topology;
+  ExecutionGenSpec execution;
+};
+
+/// Generates one validated composite execution from `spec` and `seed`.
+/// Internal errors (a generator bug producing an invalid system) surface
+/// as Status.
+StatusOr<CompositeSystem> GenerateSystem(const WorkloadSpec& spec,
+                                         uint64_t seed);
+
+}  // namespace comptx::workload
+
+#endif  // COMPTX_WORKLOAD_WORKLOAD_SPEC_H_

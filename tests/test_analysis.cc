@@ -1,0 +1,201 @@
+// Tests for the analysis layer: builder conveniences (ExecuteInOrder,
+// PropagateOrders, NodeByName), printers and statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include "analysis/builder.h"
+#include "analysis/printer.h"
+#include "analysis/stats.h"
+#include "core/correctness.h"
+#include "test_helpers.h"
+
+namespace comptx {
+namespace {
+
+using analysis::CompositeSystemBuilder;
+
+TEST(BuilderTest, ExecuteInOrderDerivesMinimalOutputs) {
+  CompositeSystemBuilder b;
+  ScheduleId s = b.Schedule("S");
+  NodeId t1 = b.Root(s, "T1");
+  NodeId t2 = b.Root(s, "T2");
+  NodeId x1 = b.Leaf(t1, "x1");
+  NodeId x2 = b.Leaf(t1, "x2");
+  NodeId y = b.Leaf(t2, "y");
+  b.IntraWeak(t1, x1, x2);
+  b.Conflict(x2, y);
+  b.ExecuteInOrder(s, {x1, y, x2});
+  const Schedule& sched = b.system().schedule(s);
+  // Conflicting pair in temporal order: y before x2.
+  EXPECT_TRUE(sched.weak_output.Contains(y, x2));
+  EXPECT_FALSE(sched.weak_output.Contains(x2, y));
+  // Intra pair honored.
+  EXPECT_TRUE(sched.weak_output.Contains(x1, x2));
+  // Non-conflicting unrelated pair left unordered (minimal outputs).
+  EXPECT_FALSE(sched.weak_output.Contains(x1, y));
+  EXPECT_FALSE(sched.weak_output.Contains(y, x1));
+  EXPECT_TRUE(b.system().Validate().ok());
+}
+
+TEST(BuilderTest, ExecuteInOrderPreserveAllOrders) {
+  CompositeSystemBuilder b;
+  ScheduleId s = b.Schedule("S");
+  NodeId t1 = b.Root(s, "T1");
+  NodeId t2 = b.Root(s, "T2");
+  NodeId x = b.Leaf(t1, "x");
+  NodeId y = b.Leaf(t2, "y");
+  b.ExecuteInOrder(s, {y, x}, /*preserve_all_orders=*/true);
+  EXPECT_TRUE(b.system().schedule(s).weak_output.Contains(y, x));
+}
+
+TEST(BuilderTest, ExecuteInOrderHonorsStrongInputs) {
+  CompositeSystemBuilder b;
+  ScheduleId s = b.Schedule("S");
+  NodeId t1 = b.Root(s, "T1");
+  NodeId t2 = b.Root(s, "T2");
+  NodeId x = b.Leaf(t1, "x");
+  NodeId y = b.Leaf(t2, "y");
+  b.StrongIn(s, t1, t2);
+  b.ExecuteInOrder(s, {x, y});
+  EXPECT_TRUE(b.system().schedule(s).strong_output.Contains(x, y));
+  EXPECT_TRUE(b.system().Validate().ok());
+}
+
+TEST(BuilderTest, PropagateOrdersImplementsDef47) {
+  CompositeSystemBuilder b;
+  ScheduleId top = b.Schedule("top");
+  ScheduleId bottom = b.Schedule("bottom");
+  NodeId t1 = b.Root(top, "T1");
+  NodeId t2 = b.Root(top, "T2");
+  NodeId s1 = b.Sub(t1, bottom, "s1");
+  NodeId s2 = b.Sub(t2, bottom, "s2");
+  b.Leaf(s1, "x1");
+  b.Leaf(s2, "x2");
+  b.Conflict(s1, s2);
+  b.WeakOut(s1, s2);
+  // Before propagation the system violates Def 4.7...
+  EXPECT_FALSE(b.system().Validate().ok());
+  b.PropagateOrders();
+  // ...afterwards the bottom schedule received the input order.
+  EXPECT_TRUE(b.system().schedule(bottom).weak_input.Contains(s1, s2));
+  EXPECT_TRUE(b.system().Validate().ok());
+}
+
+TEST(BuilderTest, NodeByNameFindsUniqueNames) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  CompositeSystemBuilder b;
+  ScheduleId s = b.Schedule("S");
+  b.Root(s, "alpha");
+  NodeId beta = b.Root(s, "beta");
+  EXPECT_EQ(b.NodeByName("beta"), beta);
+}
+
+TEST(PrinterTest, NodeNameFallsBackToIndex) {
+  CompositeSystem cs;
+  ScheduleId s = cs.AddSchedule("S");
+  auto t = cs.AddRootTransaction(s, "");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(analysis::NodeName(cs, *t), "node(0)");
+}
+
+TEST(PrinterTest, DescribeSystemListsOrdersAndConflicts) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  std::string text = analysis::DescribeSystem(stack.cs);
+  EXPECT_NE(text.find("conflicts: {s1,s2}"), std::string::npos);
+  EXPECT_NE(text.find("weak output: x1<x2"), std::string::npos);
+  EXPECT_NE(text.find("weak input: s1<s2"), std::string::npos);
+  EXPECT_NE(text.find("(level 2)"), std::string::npos);
+}
+
+TEST(PrinterTest, DescribeReductionShowsFailure) {
+  CompositeSystem cs = testing::MakeCrossAnomaly(/*top_conflicts=*/true);
+  auto result = CheckCompC(cs);
+  ASSERT_TRUE(result.ok());
+  std::string text = analysis::DescribeReduction(cs, *result);
+  EXPECT_NE(text.find("NOT Comp-C"), std::string::npos);
+  EXPECT_NE(text.find("cycle:"), std::string::npos);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  analysis::RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsDegenerateCases) {
+  analysis::RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(StatsTest, RateCounter) {
+  analysis::RateCounter rate;
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.0);
+  rate.Add(true);
+  rate.Add(false);
+  rate.Add(true);
+  rate.Add(true);
+  EXPECT_EQ(rate.total(), 4u);
+  EXPECT_EQ(rate.accepted(), 3u);
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.75);
+}
+
+TEST(StatsTest, TextTableAlignsColumns) {
+  analysis::TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer_name", "22"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(StatsTest, FormatDouble) {
+  EXPECT_EQ(analysis::FormatDouble(0.5), "0.500");
+  EXPECT_EQ(analysis::FormatDouble(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(analysis::FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace comptx
+// NOTE: appended tests for the DOT front renderer.
+namespace comptx {
+namespace {
+
+TEST(PrinterTest, FrontToDotRendersOrdersAndConflicts) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  auto result = CheckCompC(stack.cs);
+  ASSERT_TRUE(result.ok());
+  const Front& front = result->reduction.fronts[1];
+  std::string dot = analysis::FrontToDot(stack.cs, front, {stack.s1});
+  EXPECT_NE(dot.find("digraph front_level_1"), std::string::npos);
+  EXPECT_NE(dot.find("s1"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);       // conflict.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);    // input order.
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);      // highlight.
+}
+
+TEST(PrinterTest, FrontToDotOnFailureWitness) {
+  CompositeSystem cs = testing::MakeCrossAnomaly(/*top_conflicts=*/true);
+  auto result = CheckCompC(cs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->correct);
+  const Front& front = result->reduction.fronts.back();
+  std::string dot =
+      analysis::FrontToDot(cs, front, result->failure->witness.nodes);
+  EXPECT_NE(dot.find("digraph front_level_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "analysis/builder.h"
+#include "criteria/compare.h"
+#include "criteria/conflict_consistency.h"
+#include "criteria/csr.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/llsr.h"
+#include "criteria/opsr.h"
+#include "criteria/scc.h"
+#include "test_helpers.h"
+#include "workload/topology_gen.h"
+
+namespace comptx {
+namespace {
+
+using namespace comptx::criteria;  // NOLINT
+
+TEST(ScheduleCCTest, SerializationOrderFromConflicts) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  Relation ser = ScheduleSerializationOrder(stack.cs, ScheduleId(1));
+  EXPECT_TRUE(ser.Contains(stack.s1, stack.s2));
+  EXPECT_FALSE(ser.Contains(stack.s2, stack.s1));
+  EXPECT_TRUE(IsScheduleConflictConsistent(stack.cs, ScheduleId(1)));
+  EXPECT_TRUE(IsScheduleConflictSerializable(stack.cs, ScheduleId(1)));
+}
+
+TEST(ScheduleCCTest, InputOrderViolationDetected) {
+  // Leaves serialized x2 before x1 while the input order demands s1
+  // before s2: CC fails even though the serialization graph is acyclic.
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/false, /*top_conflict=*/false);
+  ASSERT_TRUE(
+      stack.cs.AddWeakInput(ScheduleId(1), stack.s1, stack.s2).ok());
+  EXPECT_TRUE(IsScheduleConflictSerializable(stack.cs, ScheduleId(1)));
+  EXPECT_FALSE(IsScheduleConflictConsistent(stack.cs, ScheduleId(1)));
+  auto violation = FindScheduleCCViolation(stack.cs, ScheduleId(1));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->nodes.size(), 2u);
+}
+
+TEST(ShapeDetectionTest, StackForkJoin) {
+  Rng rng(5);
+  workload::TopologySpec spec;
+  spec.kind = workload::TopologyKind::kStack;
+  spec.depth = 3;
+  CompositeSystem stack = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(IsStackSystem(stack));
+  EXPECT_FALSE(IsForkSystem(stack));
+  EXPECT_FALSE(IsJoinSystem(stack));
+
+  spec.kind = workload::TopologyKind::kFork;
+  CompositeSystem fork = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(IsForkSystem(fork));
+  EXPECT_FALSE(IsStackSystem(fork));
+  EXPECT_FALSE(IsJoinSystem(fork));
+
+  spec.kind = workload::TopologyKind::kJoin;
+  CompositeSystem join = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(IsJoinSystem(join));
+  EXPECT_FALSE(IsStackSystem(join));
+  EXPECT_FALSE(IsForkSystem(join));
+
+  EXPECT_FALSE(IsStackConflictConsistent(fork).ok());
+  EXPECT_FALSE(IsForkConflictConsistent(join).ok());
+  EXPECT_FALSE(IsJoinConflictConsistent(stack).ok());
+}
+
+TEST(SccTest, TwoLevelStackVerdicts) {
+  testing::TwoLevelStack good =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  ASSERT_TRUE(IsStackSystem(good.cs));
+  auto verdict = IsStackConflictConsistent(good.cs);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+
+  // Locally inconsistent bottom schedule: top says s1 < s2 (input order to
+  // SB) while the leaves serialize x2 < x1.
+  testing::TwoLevelStack bad =
+      testing::MakeTwoLevelStack(/*t1_first=*/false, /*top_conflict=*/false);
+  ASSERT_TRUE(bad.cs.AddConflict(bad.s1, bad.s2).ok());
+  ASSERT_TRUE(bad.cs.AddWeakOutput(bad.s1, bad.s2).ok());
+  ASSERT_TRUE(bad.cs.AddWeakInput(ScheduleId(1), bad.s1, bad.s2).ok());
+  // This system is deliberately invalid (Def 3.1a at SB); SCC still
+  // reports the inconsistency without requiring validity.
+  auto bad_verdict = IsStackConflictConsistent(bad.cs);
+  ASSERT_TRUE(bad_verdict.ok());
+  EXPECT_FALSE(*bad_verdict);
+}
+
+TEST(JccTest, GhostGraphRelatesCrossScheduleRoots) {
+  // Join: two top schedules, shared bottom.  The bottom serializes T1's
+  // child before T2's child.
+  analysis::CompositeSystemBuilder b;
+  ScheduleId sa = b.Schedule("SA");
+  ScheduleId sb = b.Schedule("SB");
+  ScheduleId sj = b.Schedule("SJ");
+  NodeId t1 = b.Root(sa, "T1");
+  NodeId t2 = b.Root(sb, "T2");
+  NodeId u1 = b.Sub(t1, sj, "u1");
+  NodeId u2 = b.Sub(t2, sj, "u2");
+  NodeId x1 = b.Leaf(u1, "x1");
+  NodeId x2 = b.Leaf(u2, "x2");
+  b.Conflict(x1, x2);
+  b.WeakOut(x1, x2);
+  CompositeSystem cs = std::move(b.Take());
+  ASSERT_TRUE(IsJoinSystem(cs));
+  Relation ghost = JoinGhostGraph(cs);
+  EXPECT_TRUE(ghost.Contains(t1, t2));
+  EXPECT_FALSE(ghost.Contains(t2, t1));
+  auto verdict = IsJoinConflictConsistent(cs);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(JccTest, GhostCycleRejected) {
+  // Two joins in opposite directions through two shared bottom
+  // subtransactions each: T1 before T2 via one pair, T2 before T1 via the
+  // other.
+  analysis::CompositeSystemBuilder b;
+  ScheduleId sa = b.Schedule("SA");
+  ScheduleId sb = b.Schedule("SB");
+  ScheduleId sj = b.Schedule("SJ");
+  NodeId t1 = b.Root(sa, "T1");
+  NodeId t2 = b.Root(sb, "T2");
+  NodeId u1a = b.Sub(t1, sj, "u1a");
+  NodeId u1b = b.Sub(t1, sj, "u1b");
+  NodeId u2a = b.Sub(t2, sj, "u2a");
+  NodeId u2b = b.Sub(t2, sj, "u2b");
+  NodeId x1a = b.Leaf(u1a, "x1a");
+  NodeId x1b = b.Leaf(u1b, "x1b");
+  NodeId x2a = b.Leaf(u2a, "x2a");
+  NodeId x2b = b.Leaf(u2b, "x2b");
+  b.Conflict(x1a, x2a);
+  b.WeakOut(x1a, x2a);  // T1 -> T2
+  b.Conflict(x2b, x1b);
+  b.WeakOut(x2b, x1b);  // T2 -> T1
+  CompositeSystem cs = std::move(b.Take());
+  ASSERT_TRUE(IsJoinSystem(cs));
+  auto verdict = IsJoinConflictConsistent(cs);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(BaselinesTest, FlatCsrSeesOnlyLeafConflicts) {
+  // Cross anomaly with a commuting top: Comp-C accepts (forgetting), flat
+  // CSR rejects — the hierarchy gap of experiment E4.
+  CompositeSystem cs = testing::MakeCrossAnomaly(/*top_conflicts=*/false);
+  EXPECT_FALSE(IsFlatConflictSerializable(cs));
+  EXPECT_FALSE(IsLevelByLevelSerializable(cs));
+  EXPECT_FALSE(IsOrderPreservingSerializable(cs));
+  auto verdicts = EvaluateAllCriteria(cs);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE(verdicts->comp_c);
+  EXPECT_FALSE(verdicts->flat_csr);
+  EXPECT_FALSE(verdicts->llsr);
+  EXPECT_FALSE(verdicts->opsr);
+}
+
+TEST(BaselinesTest, AgreeOnCleanExecutions) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  auto verdicts = EvaluateAllCriteria(stack.cs);
+  ASSERT_TRUE(verdicts.ok());
+  EXPECT_TRUE(verdicts->comp_c);
+  EXPECT_TRUE(verdicts->flat_csr);
+  EXPECT_TRUE(verdicts->llsr);
+  EXPECT_TRUE(verdicts->opsr);
+  ASSERT_TRUE(verdicts->scc.has_value());
+  EXPECT_TRUE(*verdicts->scc);
+  // A two-level stack is also the degenerate one-branch fork and one-top
+  // join, so those criteria apply too and must agree (Theorems 2-4).
+  ASSERT_TRUE(verdicts->fcc.has_value());
+  EXPECT_TRUE(*verdicts->fcc);
+  ASSERT_TRUE(verdicts->jcc.has_value());
+  EXPECT_TRUE(*verdicts->jcc);
+  EXPECT_NE(verdicts->ToString().find("comp_c=yes"), std::string::npos);
+}
+
+TEST(BaselinesTest, PulledUpOrderGraphLiftsToAncestors) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  Relation base;
+  base.Add(stack.x1, stack.x2);
+  graph::Digraph g = PulledUpOrderGraph(stack.cs, base);
+  EXPECT_TRUE(g.HasEdge(stack.x1.index(), stack.x2.index()));
+  EXPECT_TRUE(g.HasEdge(stack.s1.index(), stack.s2.index()));
+  EXPECT_TRUE(g.HasEdge(stack.t1.index(), stack.t2.index()));
+}
+
+}  // namespace
+}  // namespace comptx

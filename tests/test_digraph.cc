@@ -1,0 +1,59 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace comptx::graph {
+namespace {
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.NodeCount(), 3u);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // deduplicated
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g;
+  NodeIndex a = g.AddNode();
+  NodeIndex b = g.AddNode();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.OutNeighbors(a).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(b).size(), 1u);
+}
+
+TEST(DigraphTest, SelfLoops) {
+  Digraph g(2);
+  EXPECT_FALSE(g.HasSelfLoop());
+  g.AddEdge(1, 1);
+  EXPECT_TRUE(g.HasSelfLoop());
+}
+
+TEST(DigraphTest, Reversed) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.EdgeCount(), 2u);
+}
+
+TEST(DigraphTest, UnionWith) {
+  Digraph a(3);
+  a.AddEdge(0, 1);
+  Digraph b(3);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 1);
+  a.UnionWith(b);
+  EXPECT_EQ(a.EdgeCount(), 2u);
+  EXPECT_TRUE(a.HasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace comptx::graph

@@ -1,0 +1,94 @@
+#include "analysis/figures.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/printer.h"
+#include "core/correctness.h"
+
+namespace comptx {
+namespace {
+
+using analysis::MakeFigure1;
+using analysis::MakeFigure2;
+using analysis::MakeFigure3;
+using analysis::MakeFigure4;
+using analysis::PaperFigure;
+
+TEST(Figure1Test, IsCompCGeneralSystem) {
+  PaperFigure fig = MakeFigure1();
+  ASSERT_TRUE(fig.system.Validate().ok())
+      << fig.system.Validate().ToString();
+  auto result = CheckCompC(fig.system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->correct);
+  EXPECT_EQ(result->order, 3u);
+  EXPECT_EQ(result->serial_order.size(), 5u);  // five roots.
+}
+
+TEST(Figure2Test, ObservedOrderRelatesRootsAcrossSchedules) {
+  PaperFigure fig = MakeFigure2();
+  auto result = CheckCompC(fig.system);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->correct);
+  // At the final front, T1 is observed-before T2 and T3 even though the
+  // roots share no schedule.
+  const Front& final_front = result->reduction.FinalFront();
+  std::vector<NodeId> roots = fig.system.Roots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_TRUE(final_front.observed.Contains(roots[0], roots[1]));
+  EXPECT_TRUE(final_front.observed.Contains(roots[0], roots[2]));
+  EXPECT_FALSE(final_front.observed.Contains(roots[1], roots[0]));
+  // The cross-schedule pairs are generalized conflicts (Def 11.2).
+  EXPECT_TRUE(final_front.conflicts.Contains(roots[0], roots[1]));
+  // Serial witness starts with T1.
+  EXPECT_EQ(result->serial_order.front(), roots[0]);
+}
+
+TEST(Figure3Test, ReductionFailsAtTopLevel) {
+  PaperFigure fig = MakeFigure3();
+  auto result = CheckCompC(fig.system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->correct);
+  ASSERT_TRUE(result->failure.has_value());
+  EXPECT_EQ(result->failure->level, 3u);
+  EXPECT_EQ(result->failure->step, ReductionFailureStep::kCalculation);
+  // The witness cycle names the two roots.
+  EXPECT_EQ(result->failure->witness.nodes.size(), 2u);
+}
+
+TEST(Figure4Test, ForgettingMakesItCorrect) {
+  PaperFigure fig = MakeFigure4();
+  auto result = CheckCompC(fig.system);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->correct);
+  // Branch B's order survives: T2 serialized before T1.
+  ASSERT_EQ(result->serial_order.size(), 2u);
+  EXPECT_EQ(fig.system.node(result->serial_order[0]).name, "T2");
+  EXPECT_EQ(fig.system.node(result->serial_order[1]).name, "T1");
+}
+
+TEST(Figure4Test, WithoutForgettingItIsIncorrect) {
+  PaperFigure fig = MakeFigure4();
+  ReductionOptions options;
+  options.forgetting = false;
+  auto result = CheckCompC(fig.system, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->correct);
+}
+
+TEST(FigurePrinterTest, DescriptionsRender) {
+  PaperFigure fig = MakeFigure4();
+  std::string description = analysis::DescribeSystem(fig.system);
+  EXPECT_NE(description.find("S1"), std::string::npos);
+  EXPECT_NE(description.find("forest"), std::string::npos);
+  auto result = CheckCompC(fig.system);
+  ASSERT_TRUE(result.ok());
+  std::string trace = analysis::DescribeReduction(fig.system, *result);
+  EXPECT_NE(trace.find("front level 0"), std::string::npos);
+  EXPECT_NE(trace.find("Comp-C"), std::string::npos);
+  std::string dot = analysis::ForestToDot(fig.system);
+  EXPECT_NE(dot.find("digraph forest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comptx

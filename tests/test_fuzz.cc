@@ -1,0 +1,168 @@
+// Robustness fuzzing: random raw mutations of valid systems must never
+// crash the validator or the checker — every malformed structure is
+// either caught by Validate() or handled gracefully by the reduction.
+// Also cross-checks the graph substrate's algorithms against each other
+// on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "graph/cycle_finder.h"
+#include "graph/tarjan_scc.h"
+#include "graph/topological_sort.h"
+#include "graph/transitive_closure.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+/// Applies one random raw mutation (bypassing the typed mutators) to a
+/// valid system.
+void MutateOnce(CompositeSystem& cs, Rng& rng) {
+  const uint32_t node_count = static_cast<uint32_t>(cs.NodeCount());
+  const uint32_t schedule_count = static_cast<uint32_t>(cs.ScheduleCount());
+  if (node_count < 2 || schedule_count == 0) return;
+  NodeId a(static_cast<uint32_t>(rng.UniformInt(node_count)));
+  NodeId b(static_cast<uint32_t>(rng.UniformInt(node_count)));
+  if (a == b) return;
+  ScheduleId s(static_cast<uint32_t>(rng.UniformInt(schedule_count)));
+  switch (rng.UniformInt(6)) {
+    case 0:
+      cs.mutable_schedule(s).weak_output.Add(a, b);
+      break;
+    case 1:
+      cs.mutable_schedule(s).strong_output.Add(a, b);
+      break;
+    case 2:
+      cs.mutable_schedule(s).weak_input.Add(a, b);
+      break;
+    case 3:
+      cs.mutable_schedule(s).conflicts.Add(a, b);
+      break;
+    case 4:
+      if (cs.node(a).IsTransaction()) {
+        cs.mutable_node(a).weak_intra.Add(b, a);
+      }
+      break;
+    case 5:
+      if (cs.node(a).IsTransaction()) {
+        cs.mutable_node(a).strong_intra.Add(a, b);
+      }
+      break;
+  }
+}
+
+TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
+  int still_valid = 0;
+  int rejected = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.topology.kind = workload::TopologyKind::kLayeredDag;
+    spec.topology.depth = 3;
+    spec.topology.branches = 2;
+    spec.topology.roots = 3;
+    spec.execution.conflict_prob = 0.2;
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok());
+    Rng rng(seed * 7919);
+    const uint32_t mutations = 1 + uint32_t(rng.UniformInt(5));
+    for (uint32_t m = 0; m < mutations; ++m) MutateOnce(*cs, rng);
+    Status valid = cs->Validate();
+    if (valid.ok()) {
+      ++still_valid;
+      // A mutated-but-valid system must be checkable without crashing.
+      auto result = CheckCompC(*cs);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    } else {
+      ++rejected;
+      EXPECT_FALSE(valid.message().empty());
+      // The reduction driver must surface the same rejection as a Status.
+      EXPECT_FALSE(RunReduction(*cs).ok());
+    }
+  }
+  // The mutation set must exercise both outcomes to mean anything.
+  EXPECT_GT(still_valid, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzGraphTest, SccAgreesWithClosure) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.UniformInt(25);
+    graph::Digraph g(n);
+    const size_t edges = rng.UniformInt(3 * n + 1);
+    for (size_t e = 0; e < edges; ++e) {
+      g.AddEdge(uint32_t(rng.UniformInt(n)), uint32_t(rng.UniformInt(n)));
+    }
+    graph::SccResult scc = graph::TarjanScc(g);
+    graph::TransitiveClosure closure(g);
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint32_t v = 0; v < n; ++v) {
+        if (u == v) continue;
+        const bool same_component =
+            scc.component_of[u] == scc.component_of[v];
+        const bool mutual = closure.Reaches(u, v) && closure.Reaches(v, u);
+        EXPECT_EQ(same_component, mutual)
+            << "trial " << trial << " nodes " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(FuzzGraphTest, TopologicalSortValidOrCycleExists) {
+  Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 2 + rng.UniformInt(30);
+    graph::Digraph g(n);
+    const size_t edges = rng.UniformInt(2 * n + 1);
+    for (size_t e = 0; e < edges; ++e) {
+      g.AddEdge(uint32_t(rng.UniformInt(n)), uint32_t(rng.UniformInt(n)));
+    }
+    auto order = graph::TopologicalSort(g);
+    auto cycle = graph::FindCycle(g);
+    EXPECT_EQ(order.ok(), !cycle.has_value()) << "trial " << trial;
+    if (order.ok()) {
+      std::vector<size_t> pos(n);
+      for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+      for (uint32_t v = 0; v < n; ++v) {
+        for (uint32_t w : g.OutNeighbors(v)) {
+          if (v != w) EXPECT_LT(pos[v], pos[w]);
+        }
+      }
+    } else {
+      // The cycle witness must consist of real edges.
+      for (size_t i = 0; i < cycle->size(); ++i) {
+        EXPECT_TRUE(
+            g.HasEdge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+      }
+    }
+  }
+}
+
+TEST(FuzzTraceTest, LoadNeverCrashesOnCorruptedTraces) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kStack;
+  auto cs = workload::GenerateSystem(spec, 5);
+  ASSERT_TRUE(cs.ok());
+  auto text = workload::SaveTrace(*cs);
+  ASSERT_TRUE(text.ok());
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string corrupted = *text;
+    // Flip a handful of random characters.
+    for (int k = 0; k < 5; ++k) {
+      size_t pos = size_t(rng.UniformInt(corrupted.size()));
+      corrupted[pos] = char('0' + rng.UniformInt(75));
+    }
+    auto loaded = workload::LoadTrace(corrupted);
+    if (loaded.ok()) {
+      // A still-parsable trace must yield a usable system.
+      (void)loaded->Validate();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/cycle_finder.h"
+#include "graph/dot.h"
+#include "graph/quotient.h"
+#include "graph/tarjan_scc.h"
+#include "graph/topological_sort.h"
+#include "graph/transitive_closure.h"
+#include "util/rng.h"
+
+namespace comptx::graph {
+namespace {
+
+Digraph Chain(size_t n) {
+  Digraph g(n);
+  for (NodeIndex v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+TEST(CycleFinderTest, AcyclicChain) {
+  EXPECT_TRUE(IsAcyclic(Chain(5)));
+  EXPECT_FALSE(FindCycle(Chain(5)).has_value());
+}
+
+TEST(CycleFinderTest, FindsSimpleCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  auto cycle = FindCycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3u);
+  // Consecutive members (cyclically) must be edges.
+  for (size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(g.HasEdge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+}
+
+TEST(CycleFinderTest, SelfLoopIsOneNodeCycle) {
+  Digraph g(2);
+  g.AddEdge(1, 1);
+  auto cycle = FindCycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 1u);
+  EXPECT_EQ(cycle->front(), 1u);
+}
+
+TEST(CycleFinderTest, CycleInLaterComponent) {
+  Digraph g(5);
+  g.AddEdge(0, 1);  // acyclic part
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 3);  // 2-cycle
+  auto cycle = FindCycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);
+}
+
+TEST(TarjanTest, ChainHasTrivialComponents) {
+  SccResult scc = TarjanScc(Chain(4));
+  EXPECT_EQ(scc.ComponentCount(), 4u);
+  EXPECT_TRUE(scc.AllTrivial(Chain(4)));
+}
+
+TEST(TarjanTest, DetectsComponents) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // {0,1}
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);  // {2,3}
+  SccResult scc = TarjanScc(g);
+  EXPECT_EQ(scc.ComponentCount(), 3u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+  // Components come out in reverse topological order: the sink component
+  // {2,3} precedes {0,1}.
+  EXPECT_LT(scc.component_of[2], scc.component_of[0]);
+}
+
+TEST(TopologicalSortTest, RespectsEdges) {
+  Digraph g(4);
+  g.AddEdge(3, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(3, 2);
+  auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.ok());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[3], pos[1]);
+  EXPECT_LT(pos[1], pos[0]);
+  EXPECT_LT(pos[3], pos[2]);
+}
+
+TEST(TopologicalSortTest, DeterministicTieBreak) {
+  Digraph g(3);  // no edges: canonical order is 0,1,2.
+  auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeIndex>{0, 1, 2}));
+}
+
+TEST(TopologicalSortTest, FailsOnCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(TopologicalSort(g).ok());
+  EXPECT_FALSE(LongestPathLengths(g).ok());
+}
+
+TEST(LongestPathTest, ChainLengths) {
+  auto longest = LongestPathLengths(Chain(4));
+  ASSERT_TRUE(longest.ok());
+  EXPECT_EQ(*longest, (std::vector<uint32_t>{3, 2, 1, 0}));
+}
+
+TEST(LongestPathTest, PicksLongerBranch) {
+  Digraph g(4);
+  g.AddEdge(0, 1);  // short branch
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);  // long branch
+  auto longest = LongestPathLengths(g);
+  ASSERT_TRUE(longest.ok());
+  EXPECT_EQ((*longest)[0], 2u);
+}
+
+TEST(TransitiveClosureTest, ChainReachability) {
+  TransitiveClosure tc(Chain(4));
+  EXPECT_TRUE(tc.Reaches(0, 3));
+  EXPECT_TRUE(tc.Reaches(1, 2));
+  EXPECT_FALSE(tc.Reaches(3, 0));
+  EXPECT_FALSE(tc.Reaches(0, 0));  // no self-path in an acyclic chain.
+}
+
+TEST(TransitiveClosureTest, CycleReachesItself) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  TransitiveClosure tc(g);
+  EXPECT_TRUE(tc.Reaches(0, 0));
+  EXPECT_TRUE(tc.Reaches(1, 1));
+  EXPECT_TRUE(tc.Reaches(0, 2));
+  EXPECT_FALSE(tc.Reaches(2, 2));
+}
+
+TEST(TransitiveClosureTest, MatchesDfsOnRandomGraphs) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.UniformInt(18);
+    Digraph g(n);
+    const size_t edges = rng.UniformInt(n * 2 + 1);
+    for (size_t e = 0; e < edges; ++e) {
+      g.AddEdge(NodeIndex(rng.UniformInt(n)), NodeIndex(rng.UniformInt(n)));
+    }
+    TransitiveClosure tc(g);
+    // Reference: DFS from each node.
+    for (NodeIndex s = 0; s < n; ++s) {
+      std::vector<bool> reach(n, false);
+      std::vector<NodeIndex> stack = {s};
+      bool first = true;
+      std::vector<bool> seen(n, false);
+      while (!stack.empty()) {
+        NodeIndex v = stack.back();
+        stack.pop_back();
+        for (NodeIndex w : g.OutNeighbors(v)) {
+          reach[w] = true;
+          if (!seen[w]) {
+            seen[w] = true;
+            stack.push_back(w);
+          }
+        }
+        first = false;
+      }
+      (void)first;
+      for (NodeIndex t = 0; t < n; ++t) {
+        EXPECT_EQ(tc.Reaches(s, t), reach[t])
+            << "trial " << trial << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(QuotientTest, CollapsesBlocks) {
+  Digraph g(4);
+  g.AddEdge(0, 1);  // intra-block (dropped)
+  g.AddEdge(1, 2);  // cross-block
+  g.AddEdge(3, 0);  // cross-block
+  std::vector<uint32_t> block = {0, 0, 1, 1};
+  Digraph q = QuotientGraph(g, block, 2);
+  EXPECT_EQ(q.NodeCount(), 2u);
+  EXPECT_TRUE(q.HasEdge(0, 1));
+  EXPECT_TRUE(q.HasEdge(1, 0));
+  EXPECT_FALSE(q.HasEdge(0, 0));
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdges) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 2);
+  Digraph sub = InducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.NodeCount(), 3u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));  // 0->1
+  EXPECT_TRUE(sub.HasEdge(1, 2));  // 1->3 re-indexed
+  EXPECT_EQ(sub.EdgeCount(), 2u);
+}
+
+TEST(DotTest, RendersNodesAndEdges) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  std::string dot = ToDot(g, {"alpha", "beta"});
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotes) {
+  Digraph g(1);
+  std::string dot = ToDot(g, {"say \"hi\""});
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comptx::graph

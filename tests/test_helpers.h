@@ -1,0 +1,90 @@
+#ifndef COMPTX_TESTS_TEST_HELPERS_H_
+#define COMPTX_TESTS_TEST_HELPERS_H_
+
+#include "analysis/builder.h"
+#include "core/composite_system.h"
+
+namespace comptx::testing {
+
+/// A minimal two-level stack: top schedule ST with roots T1, T2 each
+/// invoking one subtransaction at the bottom schedule SB; the
+/// subtransactions have conflicting leaves x1, x2.
+///
+/// `t1_first` picks the leaf serialization direction; `top_conflict`
+/// declares the subtransaction pair conflicting at ST (with matching weak
+/// output t1-before-t2 when true).
+struct TwoLevelStack {
+  CompositeSystem cs;
+  NodeId t1, t2;    // roots
+  NodeId s1, s2;    // subtransactions
+  NodeId x1, x2;    // leaves
+};
+
+inline TwoLevelStack MakeTwoLevelStack(bool t1_first, bool top_conflict) {
+  analysis::CompositeSystemBuilder b;
+  ScheduleId top = b.Schedule("ST");
+  ScheduleId bottom = b.Schedule("SB");
+  TwoLevelStack out;
+  out.t1 = b.Root(top, "T1");
+  out.t2 = b.Root(top, "T2");
+  out.s1 = b.Sub(out.t1, bottom, "s1");
+  out.s2 = b.Sub(out.t2, bottom, "s2");
+  out.x1 = b.Leaf(out.s1, "x1");
+  out.x2 = b.Leaf(out.s2, "x2");
+  b.Conflict(out.x1, out.x2);
+  if (t1_first) {
+    b.WeakOut(out.x1, out.x2);
+  } else {
+    b.WeakOut(out.x2, out.x1);
+  }
+  if (top_conflict) {
+    b.Conflict(out.s1, out.s2);
+    if (t1_first) {
+      b.WeakOut(out.s1, out.s2);
+      b.WeakIn(bottom, out.s1, out.s2);
+    } else {
+      b.WeakOut(out.s2, out.s1);
+      b.WeakIn(bottom, out.s2, out.s1);
+    }
+  }
+  out.cs = std::move(b.Take());
+  return out;
+}
+
+/// The classic cross-component anomaly: two roots, two leaf schedules, the
+/// two schedules serialize the roots in opposite directions, and the top
+/// schedule declares both subtransaction pairs conflicting (so nothing is
+/// forgotten).  Not Comp-C.
+inline CompositeSystem MakeCrossAnomaly(bool top_conflicts) {
+  analysis::CompositeSystemBuilder b;
+  ScheduleId top = b.Schedule("ST");
+  ScheduleId left = b.Schedule("SL");
+  ScheduleId right = b.Schedule("SR");
+  NodeId t1 = b.Root(top, "T1");
+  NodeId t2 = b.Root(top, "T2");
+  NodeId a1 = b.Sub(t1, left, "a1");
+  NodeId a2 = b.Sub(t2, left, "a2");
+  NodeId b1 = b.Sub(t1, right, "b1");
+  NodeId b2 = b.Sub(t2, right, "b2");
+  NodeId xa1 = b.Leaf(a1, "xa1");
+  NodeId xa2 = b.Leaf(a2, "xa2");
+  NodeId xb1 = b.Leaf(b1, "xb1");
+  NodeId xb2 = b.Leaf(b2, "xb2");
+  b.Conflict(xa1, xa2);
+  b.WeakOut(xa1, xa2);  // left says T1 before T2.
+  b.Conflict(xb2, xb1);
+  b.WeakOut(xb2, xb1);  // right says T2 before T1.
+  if (top_conflicts) {
+    b.Conflict(a1, a2);
+    b.WeakOut(a1, a2);
+    b.WeakIn(left, a1, a2);
+    b.Conflict(b2, b1);
+    b.WeakOut(b2, b1);
+    b.WeakIn(right, b2, b1);
+  }
+  return std::move(b.Take());
+}
+
+}  // namespace comptx::testing
+
+#endif  // COMPTX_TESTS_TEST_HELPERS_H_

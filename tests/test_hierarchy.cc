@@ -1,0 +1,98 @@
+// Empirical containment checks for the correctness-class hierarchy the
+// paper claims in §1/§4: OPSR ⊆ LLSR, and on stack architectures both are
+// contained in SCC (= Comp-C by Theorem 2).  Violations of these
+// containments on any generated execution are bugs.
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "criteria/compare.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+struct HierarchyCase {
+  workload::TopologyKind kind;
+  uint64_t seed;
+  double conflict_prob;
+};
+
+void PrintTo(const HierarchyCase& c, std::ostream* os) {
+  *os << workload::TopologyKindToString(c.kind) << "_seed" << c.seed << "_c"
+      << int(c.conflict_prob * 100);
+}
+
+class HierarchyTest : public ::testing::TestWithParam<HierarchyCase> {};
+
+TEST_P(HierarchyTest, ContainmentsHold) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = GetParam().kind;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 4;
+  spec.execution.conflict_prob = GetParam().conflict_prob;
+  spec.execution.disorder_prob = 0.4;
+  auto cs = workload::GenerateSystem(spec, GetParam().seed);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  auto verdicts = criteria::EvaluateAllCriteria(*cs);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  // OPSR preserves strictly more orders than LLSR pulls up.
+  if (verdicts->opsr) {
+    EXPECT_TRUE(verdicts->llsr) << "OPSR must imply LLSR";
+  }
+  // LLSR pulls every order up unconditionally; Comp-C only drops orders
+  // that a common schedule vouches are irrelevant, so LLSR acceptance
+  // implies Comp-C acceptance.
+  if (verdicts->llsr) {
+    EXPECT_TRUE(verdicts->comp_c) << "LLSR must imply Comp-C";
+  }
+  // On the special shapes the special criteria must equal Comp-C
+  // (Theorems 2-4; also covered by test_theorems at other parameters).
+  if (verdicts->scc) EXPECT_EQ(*verdicts->scc, verdicts->comp_c);
+  if (verdicts->fcc) EXPECT_EQ(*verdicts->fcc, verdicts->comp_c);
+  if (verdicts->jcc) EXPECT_EQ(*verdicts->jcc, verdicts->comp_c);
+}
+
+std::vector<HierarchyCase> MakeCases() {
+  std::vector<HierarchyCase> cases;
+  for (auto kind :
+       {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
+        workload::TopologyKind::kJoin, workload::TopologyKind::kLayeredDag}) {
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+      for (double conflict : {0.2, 0.6}) {
+        cases.push_back(HierarchyCase{kind, seed, conflict});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, HierarchyTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+TEST(HierarchyGapTest, CompCAcceptsStrictlyMoreThanLLSR) {
+  // At moderate conflict rates with deep trees, there must exist
+  // executions accepted by Comp-C but rejected by LLSR (the forgetting
+  // gap) — otherwise the paper's headline claim has no witness.
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 3;
+  spec.execution.conflict_prob = 0.1;
+  spec.execution.disorder_prob = 0.6;
+  int gap = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok());
+    auto verdicts = criteria::EvaluateAllCriteria(*cs);
+    ASSERT_TRUE(verdicts.ok());
+    if (verdicts->comp_c && !verdicts->llsr) ++gap;
+  }
+  EXPECT_GT(gap, 0);
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,75 @@
+#include "core/invocation_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/builder.h"
+#include "analysis/figures.h"
+#include "test_helpers.h"
+
+namespace comptx {
+namespace {
+
+TEST(InvocationGraphTest, StackLevels) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  auto ig = BuildInvocationGraph(stack.cs);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_EQ(ig->order, 2u);
+  EXPECT_EQ(ig->schedule_level[0], 2u);  // ST
+  EXPECT_EQ(ig->schedule_level[1], 1u);  // SB
+  EXPECT_TRUE(ig->graph.HasEdge(0, 1));
+  EXPECT_FALSE(ig->graph.HasEdge(1, 0));
+  EXPECT_EQ(ig->LevelOfTransaction(stack.cs, stack.t1), 2u);
+  EXPECT_EQ(ig->LevelOfTransaction(stack.cs, stack.s1), 1u);
+}
+
+TEST(InvocationGraphTest, Figure1LevelsMatchPaper) {
+  analysis::PaperFigure fig = analysis::MakeFigure1();
+  auto ig = BuildInvocationGraph(fig.system);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_EQ(ig->order, 3u);
+  EXPECT_EQ(ig->schedule_level[0], 3u);  // S1
+  EXPECT_EQ(ig->schedule_level[1], 2u);  // S2
+  EXPECT_EQ(ig->schedule_level[2], 2u);  // S3
+  EXPECT_EQ(ig->schedule_level[3], 1u);  // S4
+  EXPECT_EQ(ig->schedule_level[4], 1u);  // S5
+}
+
+TEST(InvocationGraphTest, DetectsIndirectRecursion) {
+  // SA invokes SB (via T's child), and SB invokes SA (via U's child):
+  // cycle in the invocation graph, which Def 4.6 forbids.
+  CompositeSystem cs;
+  ScheduleId sa = cs.AddSchedule("SA");
+  ScheduleId sb = cs.AddSchedule("SB");
+  auto t = cs.AddRootTransaction(sa, "T");
+  ASSERT_TRUE(t.ok());
+  auto u = cs.AddSubtransaction(*t, sb, "u");
+  ASSERT_TRUE(u.ok());
+  auto v = cs.AddSubtransaction(*u, sa, "v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(BuildInvocationGraph(cs).ok());
+  EXPECT_FALSE(cs.Validate().ok());
+}
+
+TEST(InvocationGraphTest, EmptySystem) {
+  CompositeSystem cs;
+  auto ig = BuildInvocationGraph(cs);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_EQ(ig->order, 0u);
+}
+
+TEST(InvocationGraphTest, IndependentSchedulesAllLevelOne) {
+  CompositeSystem cs;
+  ScheduleId a = cs.AddSchedule("A");
+  ScheduleId b = cs.AddSchedule("B");
+  ASSERT_TRUE(cs.AddRootTransaction(a, "T1").ok());
+  ASSERT_TRUE(cs.AddRootTransaction(b, "T2").ok());
+  auto ig = BuildInvocationGraph(cs);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_EQ(ig->order, 1u);
+  EXPECT_EQ(ig->schedule_level[0], 1u);
+  EXPECT_EQ(ig->schedule_level[1], 1u);
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,125 @@
+#include "analysis/models.h"
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/serial_front.h"
+#include "criteria/csr.h"
+#include "criteria/llsr.h"
+#include "criteria/conflict_consistency.h"
+#include "criteria/oracle.h"
+
+namespace comptx {
+namespace {
+
+using analysis::MakeDistributedTransactionModel;
+using analysis::MakeFederatedModel;
+using analysis::MakeSagaModel;
+using analysis::ModelSystem;
+
+TEST(SagaModelTest, AllVariantsValidate) {
+  for (bool interleaved : {false, true}) {
+    ModelSystem model = MakeSagaModel(3, 3, interleaved);
+    EXPECT_TRUE(model.system.Validate().ok())
+        << model.title << ": " << model.system.Validate().ToString();
+  }
+}
+
+TEST(SagaModelTest, BackToBackAcceptedByEveryone) {
+  ModelSystem model = MakeSagaModel(2, 3, /*interleaved=*/false);
+  EXPECT_TRUE(IsCompC(model.system));
+  EXPECT_TRUE(criteria::IsFlatConflictSerializable(model.system));
+}
+
+TEST(SagaModelTest, InterleavingIsTheSagaRelaxation) {
+  // The defining property: flat serializability rejects the overtaking
+  // interleaving, Comp-C accepts it because the saga manager vouches the
+  // steps commute (forgetting).
+  ModelSystem model = MakeSagaModel(2, 3, /*interleaved=*/true);
+  EXPECT_FALSE(criteria::IsFlatConflictSerializable(model.system));
+  EXPECT_FALSE(criteria::IsLevelByLevelSerializable(model.system));
+  EXPECT_TRUE(IsCompC(model.system));
+  // The independent oracle agrees the interleaving is sound.
+  auto oracle = criteria::HierarchicalSerializabilityOracle(model.system);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(*oracle);
+}
+
+TEST(SagaModelTest, WithoutForgettingTheRelaxationDisappears) {
+  ModelSystem model = MakeSagaModel(2, 3, /*interleaved=*/true);
+  ReductionOptions options;
+  options.forgetting = false;
+  auto result = CheckCompC(model.system, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->correct);
+}
+
+TEST(SagaModelTest, ScalesWithSagasAndSteps) {
+  for (uint32_t sagas : {2u, 4u}) {
+    for (uint32_t steps : {2u, 5u}) {
+      ModelSystem model = MakeSagaModel(sagas, steps, /*interleaved=*/true);
+      ASSERT_TRUE(model.system.Validate().ok()) << model.title;
+      EXPECT_TRUE(IsCompC(model.system)) << model.title;
+    }
+  }
+}
+
+TEST(FederatedModelTest, ConsistentSitesAccepted) {
+  ModelSystem model = MakeFederatedModel(3, /*consistent_sites=*/true);
+  ASSERT_TRUE(model.system.Validate().ok())
+      << model.system.Validate().ToString();
+  auto result = CheckCompC(model.system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->correct);
+  // The serial witness interleaves the locals consistently: G1 first.
+  ASSERT_FALSE(result->serial_order.empty());
+  EXPECT_EQ(model.system.node(result->serial_order.front()).name, "G1");
+}
+
+TEST(FederatedModelTest, InconsistentSitesRejected) {
+  ModelSystem model = MakeFederatedModel(3, /*consistent_sites=*/false);
+  ASSERT_TRUE(model.system.Validate().ok());
+  auto result = CheckCompC(model.system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->correct);
+  ASSERT_TRUE(result->failure.has_value());
+  // Every site alone is perfectly serializable — the anomaly is indirect.
+  for (uint32_t s = 0; s < model.system.ScheduleCount(); ++s) {
+    EXPECT_TRUE(
+        criteria::IsScheduleConflictSerializable(model.system, ScheduleId(s)));
+  }
+}
+
+TEST(FederatedModelTest, TwoSitesSuffice) {
+  EXPECT_TRUE(IsCompC(MakeFederatedModel(2, true).system));
+  EXPECT_FALSE(IsCompC(MakeFederatedModel(2, false).system));
+}
+
+TEST(DistributedModelTest, AlwaysCompCWithLockStepWitness) {
+  ModelSystem model = MakeDistributedTransactionModel(3, 2);
+  ASSERT_TRUE(model.system.Validate().ok())
+      << model.system.Validate().ToString();
+  auto result = CheckCompC(model.system);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->correct);
+  // The witness must be the lock-step order T1, T2, T3.
+  ASSERT_EQ(result->serial_order.size(), 3u);
+  EXPECT_EQ(model.system.node(result->serial_order[0]).name, "T1");
+  EXPECT_EQ(model.system.node(result->serial_order[1]).name, "T2");
+  EXPECT_EQ(model.system.node(result->serial_order[2]).name, "T3");
+  // Strong orders make the final front itself serial (Def 17).
+  EXPECT_TRUE(IsSerialFront(result->reduction.FinalFront()));
+}
+
+TEST(DistributedModelTest, VariousShapes) {
+  for (uint32_t txns : {2u, 4u}) {
+    for (uint32_t sites : {1u, 3u}) {
+      ModelSystem model = MakeDistributedTransactionModel(txns, sites);
+      ASSERT_TRUE(model.system.Validate().ok()) << model.title;
+      EXPECT_TRUE(IsCompC(model.system)) << model.title;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,115 @@
+// Cross-protocol invariants on identical workloads:
+//  * every protocol commits exactly the same operations (no lost work);
+//  * global serial and conservative timestamp admission serialize in the
+//    same (timestamp) order, so they must leave *identical* store states
+//    — equivalence of executions made observable;
+//  * safe protocols' recorded schedules are all Comp-C with serial
+//    witnesses consistent with some total root order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/correctness.h"
+#include "runtime/system_executor.h"
+#include "workload/program_gen.h"
+
+namespace comptx::runtime {
+namespace {
+
+workload::RuntimeWorkloadSpec Spec(uint64_t variant) {
+  workload::RuntimeWorkloadSpec spec;
+  spec.layers = 3;
+  spec.components_per_layer = 2;
+  spec.items_per_component = 6;
+  spec.services_per_component = 2;
+  spec.steps_per_service = 3;
+  spec.invoke_fraction = 0.5 + 0.1 * double(variant % 3);
+  spec.num_roots = 6;
+  return spec;
+}
+
+/// Runs `protocol` on a fresh instantiation of the workload and returns
+/// the execution result plus the final store image.
+struct Outcome {
+  ExecutionResult result;
+  std::vector<std::vector<int64_t>> stores;
+};
+
+Outcome RunProtocol(uint64_t workload_seed, Protocol protocol, uint64_t exec_seed) {
+  RuntimeSystem system =
+      workload::GenerateRuntimeWorkload(Spec(workload_seed), workload_seed);
+  ExecutorOptions options;
+  options.protocol = protocol;
+  options.seed = exec_seed;
+  auto result = ExecuteSystem(system, options);
+  EXPECT_TRUE(result.ok()) << ProtocolToString(protocol) << ": "
+                           << result.status().ToString();
+  Outcome outcome{std::move(result).value(), {}};
+  for (const auto& component : system.components) {
+    std::vector<int64_t> values;
+    for (uint32_t item = 0; item < component->store().item_count(); ++item) {
+      values.push_back(component->store().Read(item));
+    }
+    outcome.stores.push_back(std::move(values));
+  }
+  return outcome;
+}
+
+TEST(ProtocolPropertiesTest, AllProtocolsCommitTheSameWork) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    uint64_t reference_ops = 0;
+    bool first = true;
+    for (Protocol protocol :
+         {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase,
+          Protocol::kOpenTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+      Outcome outcome = RunProtocol(seed, protocol, seed * 7 + 1);
+      if (first) {
+        reference_ops = outcome.result.stats.committed_ops;
+        first = false;
+      } else {
+        EXPECT_EQ(outcome.result.stats.committed_ops, reference_ops)
+            << ProtocolToString(protocol) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ProtocolPropertiesTest, SerialAndConservativeTsLeaveIdenticalStores) {
+  // Both serialize conflicting work in root-index order, so the final
+  // database images must match exactly — observable execution
+  // equivalence, not just an abstract verdict.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Outcome serial = RunProtocol(seed, Protocol::kGlobalSerial, seed * 3 + 5);
+    Outcome conservative =
+        RunProtocol(seed, Protocol::kConservativeTimestamp, seed * 11 + 2);
+    ASSERT_EQ(serial.stores.size(), conservative.stores.size());
+    for (size_t c = 0; c < serial.stores.size(); ++c) {
+      EXPECT_EQ(serial.stores[c], conservative.stores[c])
+          << "component " << c << " seed " << seed;
+    }
+  }
+}
+
+TEST(ProtocolPropertiesTest, SafeProtocolWitnessesAreRootPermutations) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (Protocol protocol :
+         {Protocol::kClosedTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+      Outcome outcome = RunProtocol(seed, protocol, seed * 19 + 3);
+      auto verdict = CheckCompC(outcome.result.recorded);
+      ASSERT_TRUE(verdict.ok());
+      ASSERT_TRUE(verdict->correct)
+          << ProtocolToString(protocol) << " seed " << seed;
+      std::vector<NodeId> roots = outcome.result.recorded.Roots();
+      std::vector<NodeId> witness = verdict->serial_order;
+      std::sort(roots.begin(), roots.end());
+      std::sort(witness.begin(), witness.end());
+      EXPECT_EQ(roots, witness);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comptx::runtime

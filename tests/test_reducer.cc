@@ -1,0 +1,87 @@
+// Tests for the incremental Reducer API (step-by-step front inspection).
+
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "core/reduction.h"
+#include "test_helpers.h"
+
+namespace comptx {
+namespace {
+
+TEST(ReducerTest, StepsThroughAllLevels) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  auto reducer = Reducer::Create(stack.cs);
+  ASSERT_TRUE(reducer.ok()) << reducer.status().ToString();
+  EXPECT_EQ(reducer->order(), 2u);
+  EXPECT_EQ(reducer->current().level, 0u);
+  EXPECT_FALSE(reducer->Done());
+
+  ASSERT_TRUE(reducer->Step());
+  EXPECT_EQ(reducer->current().level, 1u);
+  EXPECT_TRUE(reducer->current().ContainsNode(stack.s1));
+  EXPECT_FALSE(reducer->Done());
+
+  ASSERT_TRUE(reducer->Step());
+  EXPECT_EQ(reducer->current().level, 2u);
+  EXPECT_TRUE(reducer->Done());
+  EXPECT_FALSE(reducer->Failed());
+  EXPECT_EQ(reducer->current().nodes,
+            (std::vector<NodeId>{stack.t1, stack.t2}));
+}
+
+TEST(ReducerTest, TransactionsAtLevelMatchesSchedules) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  auto reducer = Reducer::Create(stack.cs);
+  ASSERT_TRUE(reducer.ok());
+  EXPECT_EQ(reducer->TransactionsAtLevel(1),
+            (std::vector<NodeId>{stack.s1, stack.s2}));
+  EXPECT_EQ(reducer->TransactionsAtLevel(2),
+            (std::vector<NodeId>{stack.t1, stack.t2}));
+}
+
+TEST(ReducerTest, ReportsFailureAtTheRightLevel) {
+  CompositeSystem cs = testing::MakeCrossAnomaly(/*top_conflicts=*/true);
+  auto reducer = Reducer::Create(cs);
+  ASSERT_TRUE(reducer.ok());
+  ASSERT_TRUE(reducer->Step());  // level 1 fine.
+  EXPECT_FALSE(reducer->Step());
+  EXPECT_TRUE(reducer->Done());
+  EXPECT_TRUE(reducer->Failed());
+  ASSERT_TRUE(reducer->failure().has_value());
+  EXPECT_EQ(reducer->failure()->level, 2u);
+}
+
+TEST(ReducerTest, InvalidSystemFailsAtCreate) {
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  ASSERT_TRUE(stack.cs.AddConflict(stack.s1, stack.s2).ok());  // unordered.
+  EXPECT_FALSE(Reducer::Create(stack.cs).ok());
+}
+
+TEST(ReducerTest, AgreesWithRunReductionOnFigures) {
+  for (auto make : {analysis::MakeFigure1, analysis::MakeFigure2,
+                    analysis::MakeFigure3, analysis::MakeFigure4}) {
+    analysis::PaperFigure fig = make();
+    auto run = RunReduction(fig.system);
+    ASSERT_TRUE(run.ok());
+    auto reducer = Reducer::Create(fig.system);
+    ASSERT_TRUE(reducer.ok());
+    while (!reducer->Done() && reducer->Step()) {
+    }
+    EXPECT_EQ(!reducer->Failed(), run->comp_c) << fig.title;
+    if (run->comp_c) {
+      EXPECT_EQ(reducer->current().nodes, run->FinalFront().nodes);
+      EXPECT_TRUE(reducer->current().observed == run->FinalFront().observed);
+    } else {
+      ASSERT_TRUE(reducer->failure().has_value());
+      EXPECT_EQ(reducer->failure()->level, run->failure->level);
+      EXPECT_EQ(reducer->failure()->step, run->failure->step);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,135 @@
+#include "core/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/indexing.h"
+
+namespace comptx {
+namespace {
+
+NodeId N(uint32_t i) { return NodeId(i); }
+
+TEST(RelationTest, AddAndContains) {
+  Relation r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Add(N(1), N(2)));
+  EXPECT_FALSE(r.Add(N(1), N(2)));  // duplicate
+  EXPECT_TRUE(r.Contains(N(1), N(2)));
+  EXPECT_FALSE(r.Contains(N(2), N(1)));
+  EXPECT_EQ(r.PairCount(), 1u);
+}
+
+TEST(RelationTest, SuccessorsSorted) {
+  Relation r;
+  r.Add(N(1), N(5));
+  r.Add(N(1), N(3));
+  r.Add(N(1), N(4));
+  std::vector<NodeId> succ = r.Successors(N(1));
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(succ[0], N(3));
+  EXPECT_EQ(succ[1], N(4));
+  EXPECT_EQ(succ[2], N(5));
+  EXPECT_TRUE(r.Successors(N(9)).empty());
+}
+
+TEST(RelationTest, ForEachDeterministicOrder) {
+  Relation r;
+  r.Add(N(2), N(1));
+  r.Add(N(1), N(2));
+  r.Add(N(1), N(0));
+  std::vector<std::pair<NodeId, NodeId>> pairs = r.Pairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(N(1), N(0)));
+  EXPECT_EQ(pairs[1], std::make_pair(N(1), N(2)));
+  EXPECT_EQ(pairs[2], std::make_pair(N(2), N(1)));
+}
+
+TEST(RelationTest, UnionAndContainment) {
+  Relation a;
+  a.Add(N(1), N(2));
+  Relation b;
+  b.Add(N(2), N(3));
+  b.Add(N(1), N(2));
+  EXPECT_FALSE(a.ContainsAllOf(b));
+  EXPECT_TRUE(b.ContainsAllOf(a));
+  a.UnionWith(b);
+  EXPECT_TRUE(a.ContainsAllOf(b));
+  EXPECT_EQ(a.PairCount(), 2u);
+}
+
+TEST(RelationTest, RestrictedTo) {
+  Relation r;
+  r.Add(N(1), N(2));
+  r.Add(N(2), N(3));
+  Relation restricted =
+      r.RestrictedTo([](NodeId id) { return id.index() <= 2; });
+  EXPECT_TRUE(restricted.Contains(N(1), N(2)));
+  EXPECT_FALSE(restricted.Contains(N(2), N(3)));
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a;
+  a.Add(N(1), N(2));
+  a.Add(N(3), N(4));
+  Relation b;
+  b.Add(N(3), N(4));
+  b.Add(N(1), N(2));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SymmetricPairSetTest, SymmetricMembership) {
+  SymmetricPairSet s;
+  EXPECT_TRUE(s.Add(N(1), N(2)));
+  EXPECT_FALSE(s.Add(N(2), N(1)));  // same unordered pair
+  EXPECT_TRUE(s.Contains(N(1), N(2)));
+  EXPECT_TRUE(s.Contains(N(2), N(1)));
+  EXPECT_EQ(s.PairCount(), 1u);
+}
+
+TEST(SymmetricPairSetTest, PeersAndForEach) {
+  SymmetricPairSet s;
+  s.Add(N(1), N(2));
+  s.Add(N(1), N(3));
+  std::vector<NodeId> peers = s.PeersOf(N(1));
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], N(2));
+  EXPECT_EQ(peers[1], N(3));
+  int count = 0;
+  s.ForEach([&](NodeId a, NodeId b) {
+    EXPECT_LT(a.index(), b.index());
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ClosureWithinTest, TransitiveClosureOfChain) {
+  Relation r;
+  r.Add(N(1), N(2));
+  r.Add(N(2), N(3));
+  Relation closed = ClosureWithin(r, {N(1), N(2), N(3)});
+  EXPECT_TRUE(closed.Contains(N(1), N(3)));
+  EXPECT_FALSE(closed.Contains(N(3), N(1)));
+  EXPECT_EQ(closed.PairCount(), 3u);
+}
+
+TEST(ClosureWithinTest, DropsPairsOutsideDomain) {
+  Relation r;
+  r.Add(N(1), N(2));
+  r.Add(N(2), N(3));
+  Relation closed = ClosureWithin(r, {N(1), N(2)});
+  EXPECT_TRUE(closed.Contains(N(1), N(2)));
+  EXPECT_EQ(closed.PairCount(), 1u);
+}
+
+TEST(NodeIndexMapTest, RoundTrips) {
+  NodeIndexMap map({N(7), N(3), N(9)});
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.LocalOf(N(3)), 1u);
+  EXPECT_EQ(map.GlobalOf(2), N(9));
+  EXPECT_TRUE(map.Has(N(7)));
+  EXPECT_FALSE(map.Has(N(8)));
+  EXPECT_FALSE(map.TryLocalOf(N(8)).has_value());
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/zipf.h"
+
+namespace comptx {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / double(trials), 0.25, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SplitIsIndependent) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  // Child stream differs from the parent's continued stream.
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Next() != child.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(37);
+  ZipfGenerator zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 8000.0, 0.25, 0.05);
+}
+
+TEST(ZipfTest, SkewFavorsSmallIndices) {
+  Rng rng(41);
+  ZipfGenerator zipf(100, 0.99);
+  int head = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  // With theta=0.99 the first 10 of 100 items take well over half the mass.
+  EXPECT_GT(head / double(trials), 0.5);
+}
+
+TEST(ZipfTest, SamplesInDomain) {
+  Rng rng(43);
+  ZipfGenerator zipf(7, 0.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace comptx

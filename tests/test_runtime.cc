@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "runtime/cc_scheduler.h"
+#include "runtime/data_store.h"
+#include "runtime/deadlock.h"
+#include "runtime/lock_manager.h"
+#include "runtime/system_executor.h"
+#include "workload/program_gen.h"
+
+namespace comptx::runtime {
+namespace {
+
+TEST(OpTypeTest, ConflictMatrix) {
+  EXPECT_FALSE(OpsConflict(OpType::kRead, OpType::kRead));
+  EXPECT_FALSE(OpsConflict(OpType::kAdd, OpType::kAdd));
+  EXPECT_TRUE(OpsConflict(OpType::kRead, OpType::kWrite));
+  EXPECT_TRUE(OpsConflict(OpType::kWrite, OpType::kWrite));
+  EXPECT_TRUE(OpsConflict(OpType::kAdd, OpType::kRead));
+  EXPECT_TRUE(OpsConflict(OpType::kAdd, OpType::kWrite));
+}
+
+TEST(DataStoreTest, ApplyAndRollback) {
+  DataStore store(2);
+  std::vector<UndoEntry> undo;
+  store.Apply(OpType::kWrite, 0, 42, undo);
+  store.Apply(OpType::kAdd, 0, 8, undo);
+  store.Apply(OpType::kWrite, 1, 7, undo);
+  EXPECT_EQ(store.Read(0), 50);
+  EXPECT_EQ(store.Read(1), 7);
+  store.Rollback(undo);
+  EXPECT_EQ(store.Read(0), 0);
+  EXPECT_EQ(store.Read(1), 0);
+  EXPECT_TRUE(undo.empty());
+}
+
+TEST(LockManagerTest, SharedAndExclusiveModes) {
+  LockManager locks([](uint32_t, uint32_t a, uint32_t b) {
+    return OpsConflict(static_cast<OpType>(a), static_cast<OpType>(b));
+  });
+  const uint32_t read = static_cast<uint32_t>(OpType::kRead);
+  const uint32_t write = static_cast<uint32_t>(OpType::kWrite);
+  EXPECT_TRUE(locks.TryAcquire(1, 0, read));
+  EXPECT_TRUE(locks.TryAcquire(2, 0, read));   // readers share.
+  EXPECT_FALSE(locks.TryAcquire(3, 0, write)); // writer blocked.
+  EXPECT_EQ(locks.Blockers(3, 0, write).size(), 2u);
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(locks.TryAcquire(3, 0, write));
+  EXPECT_FALSE(locks.TryAcquire(1, 0, read));
+  EXPECT_EQ(locks.GrantCount(), 1u);
+}
+
+TEST(LockManagerTest, ReacquisitionIsIdempotent) {
+  LockManager locks([](uint32_t, uint32_t, uint32_t) { return true; });
+  EXPECT_TRUE(locks.TryAcquire(1, 5, 0));
+  EXPECT_TRUE(locks.TryAcquire(1, 5, 0));
+  EXPECT_EQ(locks.GrantCount(), 1u);
+}
+
+TEST(RootOrderManagerTest, RejectsCycles) {
+  RootOrderManager manager;
+  EXPECT_TRUE(manager.TryAddEdges({{1, 2}, {2, 3}}));
+  EXPECT_FALSE(manager.TryAddEdges({{3, 1}}));
+  EXPECT_EQ(manager.EdgeCount(), 2u);  // failed batch fully reverted.
+  manager.RemoveRoot(2);
+  EXPECT_EQ(manager.EdgeCount(), 0u);
+  EXPECT_TRUE(manager.TryAddEdges({{3, 1}}));
+}
+
+TEST(RootOrderManagerTest, BatchIsAtomic) {
+  RootOrderManager manager;
+  EXPECT_TRUE(manager.TryAddEdges({{1, 2}}));
+  // Batch introduces 2->3 then 3->1, which closes a cycle via 1->2? No:
+  // 1->2, 2->3, 3->1 is a cycle; the whole batch must be rejected.
+  EXPECT_FALSE(manager.TryAddEdges({{2, 3}, {3, 1}}));
+  EXPECT_EQ(manager.EdgeCount(), 1u);
+}
+
+TEST(DeadlockTest, VictimIsYoungestInCycle) {
+  graph::Digraph waits(3);
+  waits.AddEdge(0, 1);
+  waits.AddEdge(1, 0);
+  auto victim = FindDeadlockVictim(waits, {10, 20, 99});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);  // youngest member of the cycle, not node 2.
+}
+
+TEST(DeadlockTest, NoCycleNoVictim) {
+  graph::Digraph waits(2);
+  waits.AddEdge(0, 1);
+  EXPECT_FALSE(FindDeadlockVictim(waits, {1, 2}).has_value());
+}
+
+workload::RuntimeWorkloadSpec SmallSpec() {
+  workload::RuntimeWorkloadSpec spec;
+  spec.layers = 2;
+  spec.components_per_layer = 2;
+  spec.items_per_component = 4;
+  spec.services_per_component = 2;
+  spec.steps_per_service = 3;
+  spec.invoke_fraction = 0.6;
+  spec.num_roots = 6;
+  return spec;
+}
+
+TEST(ExecutorTest, AllProtocolsCompleteAndRecordValidSystems) {
+  RuntimeSystem system = workload::GenerateRuntimeWorkload(SmallSpec(), 11);
+  for (Protocol protocol :
+       {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase,
+        Protocol::kOpenTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+    ExecutorOptions options;
+    options.protocol = protocol;
+    options.seed = 5;
+    auto result = ExecuteSystem(system, options);
+    ASSERT_TRUE(result.ok())
+        << ProtocolToString(protocol) << ": " << result.status().ToString();
+    EXPECT_EQ(result->recorded.Roots().size(), system.roots.size())
+        << ProtocolToString(protocol);
+    Status valid = result->recorded.Validate();
+    EXPECT_TRUE(valid.ok())
+        << ProtocolToString(protocol) << ": " << valid.ToString();
+    EXPECT_GT(result->stats.committed_ops, 0u);
+  }
+}
+
+TEST(ExecutorTest, SerialAndClosedAreAlwaysCompC) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RuntimeSystem system =
+        workload::GenerateRuntimeWorkload(SmallSpec(), seed);
+    for (Protocol protocol :
+         {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase}) {
+      ExecutorOptions options;
+      options.protocol = protocol;
+      options.seed = seed * 31;
+      auto result = ExecuteSystem(system, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(IsCompC(result->recorded))
+          << ProtocolToString(protocol) << " seed " << seed;
+    }
+  }
+}
+
+TEST(ExecutorTest, ValidatedProtocolIsAlwaysCompC) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RuntimeSystem system =
+        workload::GenerateRuntimeWorkload(SmallSpec(), seed + 100);
+    ExecutorOptions options;
+    options.protocol = Protocol::kOpenValidated;
+    options.seed = seed * 17;
+    auto result = ExecuteSystem(system, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(IsCompC(result->recorded)) << "seed " << seed;
+  }
+}
+
+TEST(ExecutorTest, DeterministicFromSeed) {
+  RuntimeSystem system = workload::GenerateRuntimeWorkload(SmallSpec(), 3);
+  ExecutorOptions options;
+  options.protocol = Protocol::kOpenTwoPhase;
+  options.seed = 99;
+  auto a = ExecuteSystem(system, options);
+  auto b = ExecuteSystem(system, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.rounds, b->stats.rounds);
+  EXPECT_EQ(a->stats.actions, b->stats.actions);
+  EXPECT_EQ(IsCompC(a->recorded), IsCompC(b->recorded));
+}
+
+TEST(ExecutorTest, SerialHasNoRestarts) {
+  RuntimeSystem system = workload::GenerateRuntimeWorkload(SmallSpec(), 21);
+  ExecutorOptions options;
+  options.protocol = Protocol::kGlobalSerial;
+  auto result = ExecuteSystem(system, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.deadlock_restarts, 0u);
+  EXPECT_EQ(result->stats.validation_restarts, 0u);
+  // Serial: exactly one action per round.
+  EXPECT_NEAR(result->stats.avg_parallelism, 1.0, 1e-9);
+}
+
+TEST(ExecutorTest, RejectsBrokenNetworks) {
+  RuntimeSystem system;
+  system.components.push_back(std::make_unique<Component>(
+      0, "C", 2,
+      std::vector<Program>{
+          Program{{ProgramStep::Invoke(0, 0)}}},  // self-invocation.
+      std::vector<std::vector<bool>>{{false}}));
+  system.roots.push_back({0, 0});
+  ExecutorOptions options;
+  EXPECT_FALSE(ExecuteSystem(system, options).ok());
+}
+
+TEST(ExecutorTest, OpenTwoPhaseEventuallyProducesAnomalies) {
+  // The motivating phenomenon: uncoordinated open nesting yields some
+  // non-Comp-C executions across seeds (this is experiment E6's signal).
+  workload::RuntimeWorkloadSpec spec = SmallSpec();
+  spec.num_roots = 8;
+  spec.invoke_fraction = 0.8;
+  spec.service_conflict_prob = 0.0;  // components believe everything
+                                     // commutes; items still conflict.
+  int anomalies = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    RuntimeSystem system = workload::GenerateRuntimeWorkload(spec, seed);
+    ExecutorOptions options;
+    options.protocol = Protocol::kOpenTwoPhase;
+    options.seed = seed;
+    auto result = ExecuteSystem(system, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->recorded.Validate().ok());
+    if (!IsCompC(result->recorded)) ++anomalies;
+  }
+  EXPECT_GT(anomalies, 0);
+}
+
+}  // namespace
+}  // namespace comptx::runtime
+// NOTE: appended tests for the conservative timestamp-admission protocol.
+namespace comptx::runtime {
+namespace {
+
+TEST(ConservativeTimestampTest, AlwaysCompCWithZeroRestarts) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::RuntimeWorkloadSpec spec;
+    spec.layers = 3;
+    spec.components_per_layer = 2;
+    spec.items_per_component = 4;
+    spec.services_per_component = 2;
+    spec.steps_per_service = 3;
+    spec.invoke_fraction = 0.6;
+    spec.num_roots = 8;
+    RuntimeSystem system = workload::GenerateRuntimeWorkload(spec, seed);
+    ExecutorOptions options;
+    options.protocol = Protocol::kConservativeTimestamp;
+    options.seed = seed * 13;
+    auto result = ExecuteSystem(system, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(IsCompC(result->recorded)) << "seed " << seed;
+    // Conservative admission never needs to abort anything.
+    EXPECT_EQ(result->stats.deadlock_restarts, 0u) << "seed " << seed;
+    EXPECT_EQ(result->stats.validation_restarts, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ConservativeTimestampTest, SerializesInTimestampOrder) {
+  // The recorded execution's serial witness must be the root order.
+  workload::RuntimeWorkloadSpec spec;
+  spec.layers = 2;
+  spec.components_per_layer = 1;
+  spec.items_per_component = 2;
+  spec.services_per_component = 1;
+  spec.steps_per_service = 2;
+  spec.invoke_fraction = 0.5;
+  spec.num_roots = 4;
+  RuntimeSystem system = workload::GenerateRuntimeWorkload(spec, 2);
+  ExecutorOptions options;
+  options.protocol = Protocol::kConservativeTimestamp;
+  options.seed = 3;
+  auto result = ExecuteSystem(system, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto verdict = CheckCompC(result->recorded);
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(verdict->correct);
+  // Timestamp order is a valid serialization: the final front's orders
+  // must not contradict root-index order.
+  const Front& final_front = verdict->reduction.FinalFront();
+  final_front.observed.ForEach([&](NodeId a, NodeId b) {
+    EXPECT_LT(result->recorded.node(a).name, result->recorded.node(b).name)
+        << "observed order against timestamp order";
+  });
+}
+
+TEST(ConservativeTimestampTest, SurvivesClientAborts) {
+  workload::RuntimeWorkloadSpec spec;
+  spec.layers = 2;
+  spec.components_per_layer = 2;
+  spec.items_per_component = 4;
+  spec.services_per_component = 2;
+  spec.steps_per_service = 3;
+  spec.invoke_fraction = 0.6;
+  spec.num_roots = 8;
+  RuntimeSystem system = workload::GenerateRuntimeWorkload(spec, 31);
+  ExecutorOptions options;
+  options.protocol = Protocol::kConservativeTimestamp;
+  options.seed = 7;
+  options.client_abort_prob = 0.5;
+  auto result = ExecuteSystem(system, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.client_aborts, 0u);
+  EXPECT_TRUE(IsCompC(result->recorded));
+}
+
+}  // namespace
+}  // namespace comptx::runtime

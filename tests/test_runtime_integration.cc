@@ -1,0 +1,90 @@
+// Cross-layer property suite: executions produced by the runtime, once
+// recorded into the formal model, must satisfy the theory end-to-end —
+// validity, criteria consistency, and oracle soundness.
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "criteria/compare.h"
+#include "criteria/oracle.h"
+#include "runtime/system_executor.h"
+#include "workload/program_gen.h"
+#include "workload/trace.h"
+
+namespace comptx::runtime {
+namespace {
+
+struct Case {
+  Protocol protocol;
+  uint64_t seed;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << ProtocolToString(c.protocol) << "_seed" << c.seed;
+}
+
+class RuntimeIntegrationTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RuntimeIntegrationTest, RecordedExecutionsSatisfyTheTheory) {
+  workload::RuntimeWorkloadSpec spec;
+  spec.layers = 3;
+  spec.components_per_layer = 2;
+  spec.items_per_component = 6;
+  spec.services_per_component = 2;
+  spec.steps_per_service = 3;
+  spec.invoke_fraction = 0.6;
+  spec.num_roots = 6;
+  RuntimeSystem system =
+      workload::GenerateRuntimeWorkload(spec, GetParam().seed);
+
+  ExecutorOptions options;
+  options.protocol = GetParam().protocol;
+  options.seed = GetParam().seed * 131 + 17;
+  auto result = ExecuteSystem(system, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CompositeSystem& recorded = result->recorded;
+
+  // 1. The bridge is lossless w.r.t. the model rules.
+  ASSERT_TRUE(recorded.Validate().ok()) << recorded.Validate().ToString();
+
+  // 2. All criteria run without errors on recorded executions.
+  auto verdicts = criteria::EvaluateAllCriteria(recorded);
+  ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+
+  // 3. Comp-C soundness against the independent oracle.
+  auto oracle = criteria::HierarchicalSerializabilityOracle(recorded);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  if (verdicts->comp_c) EXPECT_TRUE(*oracle);
+
+  // 4. Safe protocols only produce Comp-C executions.
+  if (GetParam().protocol != Protocol::kOpenTwoPhase) {
+    EXPECT_TRUE(verdicts->comp_c);
+  }
+
+  // 5. Recorded executions survive a trace round trip with identical
+  //    verdicts.
+  auto text = workload::SaveTrace(recorded);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto reloaded = workload::LoadTrace(*text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(IsCompC(*reloaded), verdicts->comp_c);
+}
+
+std::vector<Case> MakeCases() {
+  std::vector<Case> cases;
+  for (Protocol protocol :
+       {Protocol::kGlobalSerial, Protocol::kClosedTwoPhase,
+        Protocol::kOpenTwoPhase, Protocol::kOpenValidated,
+          Protocol::kConservativeTimestamp}) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      cases.push_back(Case{protocol, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, RuntimeIntegrationTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+}  // namespace
+}  // namespace comptx::runtime

@@ -1,0 +1,85 @@
+#include "core/serial_front.h"
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "test_helpers.h"
+
+namespace comptx {
+namespace {
+
+Front MakeSimpleFront() {
+  Front front;
+  front.level = 2;
+  front.nodes = {NodeId(0), NodeId(1), NodeId(2)};
+  front.observed.Add(NodeId(0), NodeId(1));
+  front.weak_input.Add(NodeId(1), NodeId(2));
+  return front;
+}
+
+TEST(SerialFrontTest, SerializeRespectsAllOrders) {
+  Front front = MakeSimpleFront();
+  auto order = SerializeFront(front);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeId>{NodeId(0), NodeId(1), NodeId(2)}));
+}
+
+TEST(SerialFrontTest, SerializeFailsOnCycle) {
+  Front front = MakeSimpleFront();
+  front.observed.Add(NodeId(2), NodeId(0));
+  EXPECT_FALSE(SerializeFront(front).ok());
+}
+
+TEST(SerialFrontTest, MakeSerialFrontIsSerial) {
+  Front front = MakeSimpleFront();
+  EXPECT_FALSE(IsSerialFront(front));
+  auto order = SerializeFront(front);
+  ASSERT_TRUE(order.ok());
+  Front serial = MakeSerialFront(front, *order);
+  EXPECT_TRUE(IsSerialFront(serial));
+  // Theorem 1: the serial front level-contains the reduced front.
+  EXPECT_TRUE(LevelContains(serial, front));
+}
+
+TEST(SerialFrontTest, LevelContainsRequiresAllOrders) {
+  Front front = MakeSimpleFront();
+  // A serial front with the wrong direction does not contain the front.
+  Front wrong = MakeSerialFront(
+      front, {NodeId(2), NodeId(1), NodeId(0)});
+  EXPECT_TRUE(IsSerialFront(wrong));
+  EXPECT_FALSE(LevelContains(wrong, front));
+}
+
+TEST(SerialFrontTest, EquivalenceComparesClosures) {
+  Front a = MakeSimpleFront();
+  Front b = MakeSimpleFront();
+  // Adding a pair implied by transitivity keeps the closed orders equal...
+  a.observed.Add(NodeId(0), NodeId(1));
+  EXPECT_TRUE(FrontsEquivalent(a, b));
+  // ...but a genuinely new pair does not.
+  a.observed.Add(NodeId(2), NodeId(1));
+  EXPECT_FALSE(FrontsEquivalent(a, b));
+}
+
+TEST(SerialFrontTest, EquivalenceRequiresSameNodes) {
+  Front a = MakeSimpleFront();
+  Front b = MakeSimpleFront();
+  b.nodes.push_back(NodeId(3));
+  EXPECT_FALSE(FrontsEquivalent(a, b));
+}
+
+TEST(SerialFrontTest, CompCWitnessContainsFinalFront) {
+  // End-to-end Theorem 1 check on a real system.
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/true);
+  auto result = CheckCompC(stack.cs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->correct);
+  Front serial =
+      MakeSerialFront(result->reduction.FinalFront(), result->serial_order);
+  EXPECT_TRUE(IsSerialFront(serial));
+  EXPECT_TRUE(LevelContains(serial, result->reduction.FinalFront()));
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,96 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status_or.h"
+
+namespace comptx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad node");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad node");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad node");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "failed_precondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "already_exists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "resource_exhausted");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  COMPTX_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.value(), 7);
+
+  StatusOr<int> err = ParsePositive(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> DoubleIt(int x) {
+  COMPTX_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwrapsAndPropagates) {
+  ASSERT_TRUE(DoubleIt(21).ok());
+  EXPECT_EQ(*DoubleIt(21), 42);
+  EXPECT_EQ(DoubleIt(-3).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+}  // namespace
+}  // namespace comptx

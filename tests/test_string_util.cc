@@ -1,0 +1,50 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace comptx {
+namespace {
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ", "), "a, b, c");
+}
+
+TEST(StrJoinTest, EmptyAndSingleton) {
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{"only"}, ","), "only");
+}
+
+TEST(StrJoinTest, StreamsNonStrings) {
+  std::vector<int> numbers = {1, 2, 3};
+  EXPECT_EQ(StrJoin(numbers, "-"), "1-2-3");
+}
+
+TEST(StrSplitTest, SplitsOnSeparator) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(StrSplit("", ',').empty());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("schedule", "sched"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(StartsWith("sched", "schedule"));
+}
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("level ", 3, " of ", 4.5), "level 3 of 4.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+}  // namespace
+}  // namespace comptx

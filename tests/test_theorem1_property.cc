@@ -1,0 +1,98 @@
+// Property suite for Theorem 1 itself: whenever the reduction succeeds,
+// the serial front built from the topological witness must
+// level-N-contain the final front (the "if" direction's construction);
+// whenever it fails, the reported witness must be a genuine cycle in the
+// relations the failing step examined.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/calculation.h"
+#include "core/correctness.h"
+#include "core/serial_front.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+struct Case {
+  workload::TopologyKind kind;
+  uint64_t seed;
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << workload::TopologyKindToString(c.kind) << "_seed" << c.seed;
+}
+
+class Theorem1PropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Theorem1PropertyTest, WitnessOrFailureIsGenuine) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = GetParam().kind;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 4;
+  spec.execution.conflict_prob = 0.25;
+  spec.execution.disorder_prob = 0.5;
+  spec.execution.intra_weak_prob = 0.3;
+  spec.execution.intra_strong_prob = 0.2;
+  auto cs = workload::GenerateSystem(spec, GetParam().seed);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+
+  auto result = CheckCompC(*cs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  if (result->correct) {
+    // Theorem 1 "if": the topologically sorted serial front contains the
+    // reduced execution.
+    const Front& final_front = result->reduction.FinalFront();
+    EXPECT_EQ(final_front.level, result->order);
+    Front serial = MakeSerialFront(final_front, result->serial_order);
+    EXPECT_TRUE(IsSerialFront(serial));
+    EXPECT_TRUE(LevelContains(serial, final_front));
+    // The witness is a permutation of the roots.
+    std::vector<NodeId> roots = cs->Roots();
+    std::vector<NodeId> witness = result->serial_order;
+    std::sort(roots.begin(), roots.end());
+    std::sort(witness.begin(), witness.end());
+    EXPECT_EQ(roots, witness);
+  } else {
+    ASSERT_TRUE(result->failure.has_value());
+    const ReductionFailure& failure = *result->failure;
+    EXPECT_GE(failure.witness.nodes.size(), 1u);
+    EXPECT_FALSE(failure.witness.description.empty());
+    if (failure.step == ReductionFailureStep::kConflictConsistency) {
+      // The cycle's consecutive members must be related by observed or
+      // input orders of the offending front (the last front kept).
+      const Front& front = result->reduction.fronts.back();
+      const auto& cycle = failure.witness.nodes;
+      for (size_t i = 0; i < cycle.size(); ++i) {
+        NodeId a = cycle[i];
+        NodeId b = cycle[(i + 1) % cycle.size()];
+        EXPECT_TRUE(front.observed.Contains(a, b) ||
+                    front.weak_input.Contains(a, b) ||
+                    front.strong_input.Contains(a, b))
+            << "cycle edge " << i << " not in the front's relations";
+      }
+    }
+  }
+}
+
+std::vector<Case> MakeCases() {
+  std::vector<Case> cases;
+  for (auto kind :
+       {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
+        workload::TopologyKind::kJoin, workload::TopologyKind::kLayeredDag}) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      cases.push_back(Case{kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, Theorem1PropertyTest,
+                         ::testing::ValuesIn(MakeCases()));
+
+}  // namespace
+}  // namespace comptx

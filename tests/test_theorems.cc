@@ -1,0 +1,102 @@
+// Machine-checked versions of the paper's Theorems 2-4: on randomly
+// generated valid executions over the special configurations, the
+// special-case criteria (SCC, FCC, JCC) must agree exactly with the
+// general Comp-C decision procedure.  These sweeps are the strongest
+// cross-validation of the reduction engine's formalization choices
+// (DESIGN.md §3).
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/scc.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+struct TheoremCase {
+  workload::TopologyKind kind;
+  uint64_t seed;
+  double conflict_prob;
+  double disorder_prob;
+};
+
+void PrintTo(const TheoremCase& c, std::ostream* os) {
+  *os << workload::TopologyKindToString(c.kind) << "_seed" << c.seed << "_c"
+      << int(c.conflict_prob * 100) << "_d" << int(c.disorder_prob * 100);
+}
+
+class TheoremEquivalenceTest : public ::testing::TestWithParam<TheoremCase> {
+ protected:
+  CompositeSystem Generate() {
+    const TheoremCase& param = GetParam();
+    workload::WorkloadSpec spec;
+    spec.topology.kind = param.kind;
+    spec.topology.depth = 3;
+    spec.topology.branches = 3;
+    spec.topology.roots = 4;
+    spec.topology.fanout = 2;
+    spec.execution.conflict_prob = param.conflict_prob;
+    spec.execution.disorder_prob = param.disorder_prob;
+    auto cs = workload::GenerateSystem(spec, param.seed);
+    EXPECT_TRUE(cs.ok()) << cs.status().ToString();
+    return std::move(cs).value();
+  }
+};
+
+using SccTheoremTest = TheoremEquivalenceTest;
+using FccTheoremTest = TheoremEquivalenceTest;
+using JccTheoremTest = TheoremEquivalenceTest;
+
+TEST_P(SccTheoremTest, Theorem2SccIffCompC) {
+  CompositeSystem cs = Generate();
+  ASSERT_TRUE(criteria::IsStackSystem(cs));
+  auto scc = criteria::IsStackConflictConsistent(cs);
+  ASSERT_TRUE(scc.ok());
+  EXPECT_EQ(*scc, IsCompC(cs));
+}
+
+TEST_P(FccTheoremTest, Theorem3FccIffCompC) {
+  CompositeSystem cs = Generate();
+  ASSERT_TRUE(criteria::IsForkSystem(cs));
+  auto fcc = criteria::IsForkConflictConsistent(cs);
+  ASSERT_TRUE(fcc.ok());
+  EXPECT_EQ(*fcc, IsCompC(cs));
+}
+
+TEST_P(JccTheoremTest, Theorem4JccIffCompC) {
+  CompositeSystem cs = Generate();
+  ASSERT_TRUE(criteria::IsJoinSystem(cs));
+  auto jcc = criteria::IsJoinConflictConsistent(cs);
+  ASSERT_TRUE(jcc.ok());
+  EXPECT_EQ(*jcc, IsCompC(cs));
+}
+
+std::vector<TheoremCase> MakeCases(workload::TopologyKind kind) {
+  std::vector<TheoremCase> cases;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    for (double conflict : {0.1, 0.4, 0.8}) {
+      for (double disorder : {0.0, 0.5}) {
+        cases.push_back(TheoremCase{kind, seed, conflict, disorder});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStacks, SccTheoremTest,
+    ::testing::ValuesIn(MakeCases(workload::TopologyKind::kStack)));
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomForks, FccTheoremTest,
+    ::testing::ValuesIn(MakeCases(workload::TopologyKind::kFork)));
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomJoins, JccTheoremTest,
+    ::testing::ValuesIn(MakeCases(workload::TopologyKind::kJoin)));
+
+}  // namespace
+}  // namespace comptx

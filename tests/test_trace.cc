@@ -1,0 +1,73 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "core/correctness.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+TEST(TraceTest, RoundTripsFigure4) {
+  CompositeSystem original = analysis::MakeFigure4().system;
+  auto text = workload::SaveTrace(original);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto loaded = workload::LoadTrace(*text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NodeCount(), original.NodeCount());
+  ASSERT_EQ(loaded->ScheduleCount(), original.ScheduleCount());
+  EXPECT_TRUE(loaded->Validate().ok());
+  // Identical behaviour after the round trip.
+  EXPECT_TRUE(IsCompC(*loaded));
+  auto retext = workload::SaveTrace(*loaded);
+  ASSERT_TRUE(retext.ok());
+  EXPECT_EQ(*text, *retext);
+}
+
+TEST(TraceTest, RoundTripsGeneratedSystems) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.execution.conflict_prob = 0.4;
+  spec.execution.disorder_prob = 0.3;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok());
+    auto text = workload::SaveTrace(*cs);
+    ASSERT_TRUE(text.ok());
+    auto loaded = workload::LoadTrace(*text);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(IsCompC(*cs), IsCompC(*loaded)) << "seed " << seed;
+  }
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  EXPECT_FALSE(workload::LoadTrace("schedule S\nend\n").ok());
+}
+
+TEST(TraceTest, RejectsMissingEnd) {
+  EXPECT_FALSE(workload::LoadTrace("comptx-trace v1\nschedule S\n").ok());
+}
+
+TEST(TraceTest, RejectsUnknownRecord) {
+  auto result =
+      workload::LoadTrace("comptx-trace v1\nfrobnicate 1 2\nend\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceTest, RejectsBadReferences) {
+  // Leaf refers to a nonexistent parent node.
+  auto result = workload::LoadTrace(
+      "comptx-trace v1\nschedule S\nleaf 5 x\nend\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceTest, RejectsWhitespaceNames) {
+  CompositeSystem cs;
+  cs.AddSchedule("has space");
+  EXPECT_FALSE(workload::SaveTrace(cs).ok());
+}
+
+}  // namespace
+}  // namespace comptx

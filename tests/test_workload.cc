@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/invocation_graph.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/scc.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+using workload::TopologyKind;
+
+TEST(TopologyGenTest, StackShape) {
+  Rng rng(1);
+  workload::TopologySpec spec;
+  spec.kind = TopologyKind::kStack;
+  spec.depth = 4;
+  spec.roots = 3;
+  spec.fanout = 2;
+  CompositeSystem cs = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(criteria::IsStackSystem(cs));
+  auto ig = BuildInvocationGraph(cs);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_EQ(ig->order, 4u);
+  EXPECT_EQ(cs.Roots().size(), 3u);
+  // 3 roots * 2^3 subs at the bottom * 2 leaves each.
+  EXPECT_EQ(cs.Leaves().size(), 48u);
+}
+
+TEST(TopologyGenTest, ForkAndJoinShapes) {
+  Rng rng(2);
+  workload::TopologySpec spec;
+  spec.kind = TopologyKind::kFork;
+  spec.branches = 3;
+  CompositeSystem fork = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(criteria::IsForkSystem(fork));
+
+  spec.kind = TopologyKind::kJoin;
+  CompositeSystem join = workload::GenerateTopology(spec, rng);
+  EXPECT_TRUE(criteria::IsJoinSystem(join));
+}
+
+TEST(TopologyGenTest, LayeredDagIsRecursionFree) {
+  Rng rng(3);
+  workload::TopologySpec spec;
+  spec.kind = TopologyKind::kLayeredDag;
+  spec.depth = 4;
+  spec.branches = 3;
+  spec.roots = 5;
+  spec.fanout = 3;
+  spec.leaf_fraction = 0.3;
+  CompositeSystem cs = workload::GenerateTopology(spec, rng);
+  auto ig = BuildInvocationGraph(cs);
+  ASSERT_TRUE(ig.ok());
+  EXPECT_LE(ig->order, 4u);
+  EXPECT_EQ(cs.Roots().size(), 5u);
+}
+
+TEST(ScheduleGenTest, GeneratedSystemsAlwaysValidate) {
+  for (auto kind : {TopologyKind::kStack, TopologyKind::kFork,
+                    TopologyKind::kJoin, TopologyKind::kLayeredDag}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      workload::WorkloadSpec spec;
+      spec.topology.kind = kind;
+      spec.execution.conflict_prob = 0.5;
+      spec.execution.disorder_prob = 0.4;
+      spec.execution.intra_weak_prob = 0.4;
+      spec.execution.intra_strong_prob = 0.3;
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok()) << workload::TopologyKindToString(kind) << " seed "
+                           << seed << ": " << cs.status().ToString();
+    }
+  }
+}
+
+TEST(ScheduleGenTest, DeterministicFromSeed) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = TopologyKind::kLayeredDag;
+  spec.execution.conflict_prob = 0.4;
+  auto a = workload::GenerateSystem(spec, 77);
+  auto b = workload::GenerateSystem(spec, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NodeCount(), b->NodeCount());
+  EXPECT_EQ(IsCompC(*a), IsCompC(*b));
+  for (uint32_t s = 0; s < a->ScheduleCount(); ++s) {
+    EXPECT_TRUE(a->schedule(ScheduleId(s)).weak_output ==
+                b->schedule(ScheduleId(s)).weak_output);
+    EXPECT_TRUE(a->schedule(ScheduleId(s)).conflicts ==
+                b->schedule(ScheduleId(s)).conflicts);
+  }
+}
+
+TEST(ScheduleGenTest, ZeroConflictsIsAlwaysCompC) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = TopologyKind::kLayeredDag;
+  spec.execution.conflict_prob = 0.0;
+  spec.execution.intra_weak_prob = 0.5;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok());
+    EXPECT_TRUE(IsCompC(*cs)) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleGenTest, DisorderProducesRejections) {
+  // With disorder injected, some executions must come out incorrect —
+  // otherwise the acceptance-rate experiments measure nothing.
+  workload::WorkloadSpec spec;
+  spec.topology.kind = TopologyKind::kJoin;
+  spec.topology.roots = 6;
+  spec.execution.conflict_prob = 0.5;
+  spec.execution.disorder_prob = 0.8;
+  int rejected = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok());
+    if (!IsCompC(*cs)) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace comptx
