@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forgetting.dir/bench_forgetting.cc.o"
+  "CMakeFiles/bench_forgetting.dir/bench_forgetting.cc.o.d"
+  "bench_forgetting"
+  "bench_forgetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forgetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph.dir/bench_graph.cc.o"
+  "CMakeFiles/bench_graph.dir/bench_graph.cc.o.d"
+  "bench_graph"
+  "bench_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduction_scaling.dir/bench_reduction_scaling.cc.o"
+  "CMakeFiles/bench_reduction_scaling.dir/bench_reduction_scaling.cc.o.d"
+  "bench_reduction_scaling"
+  "bench_reduction_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduction_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_composite.dir/banking_composite.cpp.o"
+  "CMakeFiles/banking_composite.dir/banking_composite.cpp.o.d"
+  "banking_composite"
+  "banking_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

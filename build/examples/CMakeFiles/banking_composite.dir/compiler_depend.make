@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for banking_composite.
+# This may be replaced when dependencies are built.

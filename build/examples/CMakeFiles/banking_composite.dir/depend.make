@@ -1,0 +1,2 @@
+# Empty dependencies file for banking_composite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_trace.dir/check_trace.cpp.o"
+  "CMakeFiles/check_trace.dir/check_trace.cpp.o.d"
+  "check_trace"
+  "check_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_reduction.dir/explore_reduction.cpp.o"
+  "CMakeFiles/explore_reduction.dir/explore_reduction.cpp.o.d"
+  "explore_reduction"
+  "explore_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_composite_system.dir/figure1_composite_system.cpp.o"
+  "CMakeFiles/figure1_composite_system.dir/figure1_composite_system.cpp.o.d"
+  "figure1_composite_system"
+  "figure1_composite_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_composite_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure1_composite_system.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_observed_order.dir/figure2_observed_order.cpp.o"
+  "CMakeFiles/figure2_observed_order.dir/figure2_observed_order.cpp.o.d"
+  "figure2_observed_order"
+  "figure2_observed_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_observed_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_incorrect_execution.dir/figure3_incorrect_execution.cpp.o"
+  "CMakeFiles/figure3_incorrect_execution.dir/figure3_incorrect_execution.cpp.o.d"
+  "figure3_incorrect_execution"
+  "figure3_incorrect_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_incorrect_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

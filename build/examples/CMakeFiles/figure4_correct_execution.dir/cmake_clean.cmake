@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_correct_execution.dir/figure4_correct_execution.cpp.o"
+  "CMakeFiles/figure4_correct_execution.dir/figure4_correct_execution.cpp.o.d"
+  "figure4_correct_execution"
+  "figure4_correct_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_correct_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

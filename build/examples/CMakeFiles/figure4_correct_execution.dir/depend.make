@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_correct_execution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_models.dir/transaction_models.cpp.o"
+  "CMakeFiles/transaction_models.dir/transaction_models.cpp.o.d"
+  "transaction_models"
+  "transaction_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

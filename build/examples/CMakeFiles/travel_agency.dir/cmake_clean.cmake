@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_agency.dir/travel_agency.cpp.o"
+  "CMakeFiles/travel_agency.dir/travel_agency.cpp.o.d"
+  "travel_agency"
+  "travel_agency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_agency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

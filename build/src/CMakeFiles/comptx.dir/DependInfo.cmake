@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/builder.cc" "src/CMakeFiles/comptx.dir/analysis/builder.cc.o" "gcc" "src/CMakeFiles/comptx.dir/analysis/builder.cc.o.d"
+  "/root/repo/src/analysis/figures.cc" "src/CMakeFiles/comptx.dir/analysis/figures.cc.o" "gcc" "src/CMakeFiles/comptx.dir/analysis/figures.cc.o.d"
+  "/root/repo/src/analysis/models.cc" "src/CMakeFiles/comptx.dir/analysis/models.cc.o" "gcc" "src/CMakeFiles/comptx.dir/analysis/models.cc.o.d"
+  "/root/repo/src/analysis/printer.cc" "src/CMakeFiles/comptx.dir/analysis/printer.cc.o" "gcc" "src/CMakeFiles/comptx.dir/analysis/printer.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/CMakeFiles/comptx.dir/analysis/stats.cc.o" "gcc" "src/CMakeFiles/comptx.dir/analysis/stats.cc.o.d"
+  "/root/repo/src/core/calculation.cc" "src/CMakeFiles/comptx.dir/core/calculation.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/calculation.cc.o.d"
+  "/root/repo/src/core/composite_system.cc" "src/CMakeFiles/comptx.dir/core/composite_system.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/composite_system.cc.o.d"
+  "/root/repo/src/core/correctness.cc" "src/CMakeFiles/comptx.dir/core/correctness.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/correctness.cc.o.d"
+  "/root/repo/src/core/front.cc" "src/CMakeFiles/comptx.dir/core/front.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/front.cc.o.d"
+  "/root/repo/src/core/invocation_graph.cc" "src/CMakeFiles/comptx.dir/core/invocation_graph.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/invocation_graph.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/CMakeFiles/comptx.dir/core/node.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/node.cc.o.d"
+  "/root/repo/src/core/observed_order.cc" "src/CMakeFiles/comptx.dir/core/observed_order.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/observed_order.cc.o.d"
+  "/root/repo/src/core/reduction.cc" "src/CMakeFiles/comptx.dir/core/reduction.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/reduction.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/CMakeFiles/comptx.dir/core/relation.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/relation.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/comptx.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/serial_front.cc" "src/CMakeFiles/comptx.dir/core/serial_front.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/serial_front.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/comptx.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/comptx.dir/core/validate.cc.o.d"
+  "/root/repo/src/criteria/compare.cc" "src/CMakeFiles/comptx.dir/criteria/compare.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/compare.cc.o.d"
+  "/root/repo/src/criteria/conflict_consistency.cc" "src/CMakeFiles/comptx.dir/criteria/conflict_consistency.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/conflict_consistency.cc.o.d"
+  "/root/repo/src/criteria/csr.cc" "src/CMakeFiles/comptx.dir/criteria/csr.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/csr.cc.o.d"
+  "/root/repo/src/criteria/fcc.cc" "src/CMakeFiles/comptx.dir/criteria/fcc.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/fcc.cc.o.d"
+  "/root/repo/src/criteria/jcc.cc" "src/CMakeFiles/comptx.dir/criteria/jcc.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/jcc.cc.o.d"
+  "/root/repo/src/criteria/llsr.cc" "src/CMakeFiles/comptx.dir/criteria/llsr.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/llsr.cc.o.d"
+  "/root/repo/src/criteria/opsr.cc" "src/CMakeFiles/comptx.dir/criteria/opsr.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/opsr.cc.o.d"
+  "/root/repo/src/criteria/oracle.cc" "src/CMakeFiles/comptx.dir/criteria/oracle.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/oracle.cc.o.d"
+  "/root/repo/src/criteria/scc.cc" "src/CMakeFiles/comptx.dir/criteria/scc.cc.o" "gcc" "src/CMakeFiles/comptx.dir/criteria/scc.cc.o.d"
+  "/root/repo/src/graph/cycle_finder.cc" "src/CMakeFiles/comptx.dir/graph/cycle_finder.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/cycle_finder.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/comptx.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/CMakeFiles/comptx.dir/graph/dot.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/dot.cc.o.d"
+  "/root/repo/src/graph/quotient.cc" "src/CMakeFiles/comptx.dir/graph/quotient.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/quotient.cc.o.d"
+  "/root/repo/src/graph/tarjan_scc.cc" "src/CMakeFiles/comptx.dir/graph/tarjan_scc.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/tarjan_scc.cc.o.d"
+  "/root/repo/src/graph/topological_sort.cc" "src/CMakeFiles/comptx.dir/graph/topological_sort.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/topological_sort.cc.o.d"
+  "/root/repo/src/graph/transitive_closure.cc" "src/CMakeFiles/comptx.dir/graph/transitive_closure.cc.o" "gcc" "src/CMakeFiles/comptx.dir/graph/transitive_closure.cc.o.d"
+  "/root/repo/src/runtime/cc_scheduler.cc" "src/CMakeFiles/comptx.dir/runtime/cc_scheduler.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/cc_scheduler.cc.o.d"
+  "/root/repo/src/runtime/component.cc" "src/CMakeFiles/comptx.dir/runtime/component.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/component.cc.o.d"
+  "/root/repo/src/runtime/data_store.cc" "src/CMakeFiles/comptx.dir/runtime/data_store.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/data_store.cc.o.d"
+  "/root/repo/src/runtime/deadlock.cc" "src/CMakeFiles/comptx.dir/runtime/deadlock.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/deadlock.cc.o.d"
+  "/root/repo/src/runtime/history_recorder.cc" "src/CMakeFiles/comptx.dir/runtime/history_recorder.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/history_recorder.cc.o.d"
+  "/root/repo/src/runtime/lock_manager.cc" "src/CMakeFiles/comptx.dir/runtime/lock_manager.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/lock_manager.cc.o.d"
+  "/root/repo/src/runtime/program.cc" "src/CMakeFiles/comptx.dir/runtime/program.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/program.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/CMakeFiles/comptx.dir/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/scheduler.cc.o.d"
+  "/root/repo/src/runtime/system_executor.cc" "src/CMakeFiles/comptx.dir/runtime/system_executor.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/system_executor.cc.o.d"
+  "/root/repo/src/runtime/two_phase_locking.cc" "src/CMakeFiles/comptx.dir/runtime/two_phase_locking.cc.o" "gcc" "src/CMakeFiles/comptx.dir/runtime/two_phase_locking.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/comptx.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/comptx.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/comptx.dir/util/status.cc.o" "gcc" "src/CMakeFiles/comptx.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/comptx.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/comptx.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/comptx.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/comptx.dir/util/zipf.cc.o.d"
+  "/root/repo/src/workload/program_gen.cc" "src/CMakeFiles/comptx.dir/workload/program_gen.cc.o" "gcc" "src/CMakeFiles/comptx.dir/workload/program_gen.cc.o.d"
+  "/root/repo/src/workload/schedule_gen.cc" "src/CMakeFiles/comptx.dir/workload/schedule_gen.cc.o" "gcc" "src/CMakeFiles/comptx.dir/workload/schedule_gen.cc.o.d"
+  "/root/repo/src/workload/topology_gen.cc" "src/CMakeFiles/comptx.dir/workload/topology_gen.cc.o" "gcc" "src/CMakeFiles/comptx.dir/workload/topology_gen.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/comptx.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/comptx.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/CMakeFiles/comptx.dir/workload/workload_spec.cc.o" "gcc" "src/CMakeFiles/comptx.dir/workload/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

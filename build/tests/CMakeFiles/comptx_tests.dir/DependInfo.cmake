@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/comptx_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_composite_system.cc" "tests/CMakeFiles/comptx_tests.dir/test_composite_system.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_composite_system.cc.o.d"
+  "/root/repo/tests/test_criteria.cc" "tests/CMakeFiles/comptx_tests.dir/test_criteria.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_criteria.cc.o.d"
+  "/root/repo/tests/test_digraph.cc" "tests/CMakeFiles/comptx_tests.dir/test_digraph.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_digraph.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/comptx_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_failure_injection.cc" "tests/CMakeFiles/comptx_tests.dir/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_failure_injection.cc.o.d"
+  "/root/repo/tests/test_figures.cc" "tests/CMakeFiles/comptx_tests.dir/test_figures.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_figures.cc.o.d"
+  "/root/repo/tests/test_front.cc" "tests/CMakeFiles/comptx_tests.dir/test_front.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_front.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/comptx_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_graph_algorithms.cc" "tests/CMakeFiles/comptx_tests.dir/test_graph_algorithms.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_graph_algorithms.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/comptx_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_history_recorder.cc" "tests/CMakeFiles/comptx_tests.dir/test_history_recorder.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_history_recorder.cc.o.d"
+  "/root/repo/tests/test_invocation_graph.cc" "tests/CMakeFiles/comptx_tests.dir/test_invocation_graph.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_invocation_graph.cc.o.d"
+  "/root/repo/tests/test_lock_fairness.cc" "tests/CMakeFiles/comptx_tests.dir/test_lock_fairness.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_lock_fairness.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/comptx_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_oracle.cc" "tests/CMakeFiles/comptx_tests.dir/test_oracle.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_oracle.cc.o.d"
+  "/root/repo/tests/test_protocol_properties.cc" "tests/CMakeFiles/comptx_tests.dir/test_protocol_properties.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_protocol_properties.cc.o.d"
+  "/root/repo/tests/test_reducer.cc" "tests/CMakeFiles/comptx_tests.dir/test_reducer.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_reducer.cc.o.d"
+  "/root/repo/tests/test_reduction.cc" "tests/CMakeFiles/comptx_tests.dir/test_reduction.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_reduction.cc.o.d"
+  "/root/repo/tests/test_relation.cc" "tests/CMakeFiles/comptx_tests.dir/test_relation.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_relation.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/comptx_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/comptx_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_runtime_integration.cc" "tests/CMakeFiles/comptx_tests.dir/test_runtime_integration.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_runtime_integration.cc.o.d"
+  "/root/repo/tests/test_serial_front.cc" "tests/CMakeFiles/comptx_tests.dir/test_serial_front.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_serial_front.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/comptx_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_string_util.cc" "tests/CMakeFiles/comptx_tests.dir/test_string_util.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_string_util.cc.o.d"
+  "/root/repo/tests/test_theorem1_property.cc" "tests/CMakeFiles/comptx_tests.dir/test_theorem1_property.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_theorem1_property.cc.o.d"
+  "/root/repo/tests/test_theorems.cc" "tests/CMakeFiles/comptx_tests.dir/test_theorems.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_theorems.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/comptx_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_validate.cc" "tests/CMakeFiles/comptx_tests.dir/test_validate.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_validate.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/comptx_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/comptx_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/comptx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
