@@ -58,6 +58,30 @@ bool GeneralizedConflict(const SystemContext& ctx, const Front& front,
   return front.observed.Contains(a, b) || front.observed.Contains(b, a);
 }
 
+std::optional<std::pair<NodeId, NodeId>> PullUpObservedPair(
+    const CompositeSystem& cs, NodeId a, NodeId b, NodeId ra, NodeId rb,
+    bool forgetting) {
+  if (ra == rb) return std::nullopt;  // the pair collapsed into one node.
+  const bool pulled = (ra != a) || (rb != b);
+  if (!pulled) {
+    // Both endpoints survive into the next front unchanged.
+    return std::make_pair(a, b);
+  }
+  ScheduleId ha = cs.HostScheduleOf(a);
+  ScheduleId hb = cs.HostScheduleOf(b);
+  if (ha.valid() && ha == hb) {
+    // Operations of one common schedule: the schedule is authoritative.
+    // Conflicting pairs propagate to the parents (Def 10.2); commuting
+    // pairs are forgotten (the schedule knows the order is irrelevant).
+    if (cs.schedule(ha).conflicts.Contains(a, b) || !forgetting) {
+      return std::make_pair(ra, rb);
+    }
+    return std::nullopt;
+  }
+  // Different schedules (or a root involved): propagate (Def 10.3).
+  return std::make_pair(ra, rb);
+}
+
 Front MakeLevelZeroFront(const SystemContext& ctx) {
   Front front;
   front.level = 0;

@@ -1,6 +1,9 @@
 #ifndef COMPTX_CORE_OBSERVED_ORDER_H_
 #define COMPTX_CORE_OBSERVED_ORDER_H_
 
+#include <optional>
+#include <utility>
+
 #include "core/front.h"
 
 namespace comptx {
@@ -28,6 +31,21 @@ void ComputeGeneralizedConflicts(const SystemContext& ctx, Front& front);
 /// True under the generalized conflict relation of `front` (Def 11).
 bool GeneralizedConflict(const SystemContext& ctx, const Front& front,
                          NodeId a, NodeId b);
+
+/// The image of one observed-order pair (a, b) under a reduction step
+/// (Def 10 points 2-4), given the pair's representatives in the next front
+/// (`ra`/`rb` are the grouping transaction when the endpoint is replaced
+/// this step, the endpoint itself otherwise).  Returns nullopt when the
+/// pair disappears: both endpoints collapse into one transaction, or the
+/// endpoints are operations of one common schedule that declares them
+/// non-conflicting ("forgetting", Def 10 rule 3 / Fig 4) while
+/// `forgetting` is enabled.
+///
+/// This is the patching hook shared by the batch reducer and the online
+/// certifier: both must agree pair-for-pair on what survives a pull-up.
+std::optional<std::pair<NodeId, NodeId>> PullUpObservedPair(
+    const CompositeSystem& cs, NodeId a, NodeId b, NodeId ra, NodeId rb,
+    bool forgetting);
 
 }  // namespace comptx
 

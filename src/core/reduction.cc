@@ -36,34 +36,15 @@ namespace {
 void PullUpObserved(const SystemContext& ctx, const Front& prev,
                     const std::unordered_map<NodeId, NodeId>& rep,
                     bool forgetting, Front& next) {
-  const CompositeSystem& cs = ctx.cs;
   auto rep_of = [&](NodeId x) {
     auto it = rep.find(x);
     return it == rep.end() ? x : it->second;
   };
   prev.observed.ForEach([&](NodeId a, NodeId b) {
-    NodeId ra = rep_of(a);
-    NodeId rb = rep_of(b);
-    if (ra == rb) return;
-    const bool pulled = (ra != a) || (rb != b);
-    if (!pulled) {
-      // Both endpoints survive into the next front unchanged.
-      next.observed.Add(a, b);
-      return;
+    if (auto image = PullUpObservedPair(ctx.cs, a, b, rep_of(a), rep_of(b),
+                                        forgetting)) {
+      next.observed.Add(image->first, image->second);
     }
-    ScheduleId ha = cs.HostScheduleOf(a);
-    ScheduleId hb = cs.HostScheduleOf(b);
-    if (ha.valid() && ha == hb) {
-      // Operations of one common schedule: the schedule is authoritative.
-      // Conflicting pairs propagate to the parents (Def 10.2); commuting
-      // pairs are forgotten (the schedule knows the order is irrelevant).
-      if (cs.schedule(ha).conflicts.Contains(a, b) || !forgetting) {
-        next.observed.Add(ra, rb);
-      }
-      return;
-    }
-    // Different schedules (or a root involved): propagate (Def 10.3).
-    next.observed.Add(ra, rb);
   });
 }
 

@@ -1,0 +1,441 @@
+#include "online/certifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace comptx::online {
+
+using workload::TraceEvent;
+using workload::TraceEventKind;
+
+Certifier::Certifier(const CertifierOptions& options) : options_(options) {
+  engine_.Reset(&cs_, {}, 0, options_.forgetting);
+}
+
+Status Certifier::Ingest(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = IngestLocked(event);
+  if (!status.ok()) {
+    ++events_rejected_;
+    return status;
+  }
+  ++events_accepted_;
+  ++events_since_prune_;
+  MaybePruneLocked();
+  return status;
+}
+
+Status Certifier::CheckNotSealed(NodeId id) const {
+  if (sealed_nodes_.count(id) > 0) {
+    return Status::FailedPrecondition(
+        StrCat("node ", id.index(), " (", cs_.node(id).name,
+               ") belongs to a committed root's sealed subtree"));
+  }
+  return Status::OK();
+}
+
+bool Certifier::WouldCreateRecursion(ScheduleId from, ScheduleId to) const {
+  if (from == to) return true;
+  // BFS over the invocation adjacency: recursion iff `to` reaches `from`.
+  std::vector<bool> seen(invokes_.size(), false);
+  std::deque<uint32_t> queue = {to.index()};
+  seen[to.index()] = true;
+  while (!queue.empty()) {
+    uint32_t s = queue.front();
+    queue.pop_front();
+    if (s == from.index()) return true;
+    for (uint32_t next : invokes_[s]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool Certifier::RecomputeLevels() {
+  const size_t count = cs_.ScheduleCount();
+  std::vector<uint32_t> levels(count, 0);
+  // level(s) = 1 + longest invocation path starting at s (Def 9); the
+  // adjacency is acyclic by the recursion pre-check, so a memoized DFS
+  // suffices.
+  std::function<uint32_t(uint32_t)> level_of = [&](uint32_t s) -> uint32_t {
+    if (levels[s] != 0) return levels[s];
+    uint32_t best = 0;
+    for (uint32_t next : invokes_[s]) best = std::max(best, level_of(next));
+    return levels[s] = best + 1;
+  };
+  uint32_t order = 0;
+  for (uint32_t s = 0; s < count; ++s) order = std::max(order, level_of(s));
+  const bool changed = levels != schedule_levels_ || order != order_;
+  schedule_levels_ = std::move(levels);
+  order_ = order;
+  return changed;
+}
+
+void Certifier::Rebuild() {
+  ++rebuilds_;
+  engine_.Reset(&cs_, schedule_levels_, order_, options_.forgetting);
+  // Replay every retained closed pair.  All derived structures are
+  // monotone functions of these facts (the conflict-dependent rules
+  // consult the complete CON relations of cs_ at replay time), so replay
+  // order is irrelevant and the result equals a fresh session's state.
+  for (uint32_t s = 0; s < cs_.ScheduleCount(); ++s) {
+    const ScheduleId sid(s);
+    ScheduleShard& sh = shard(sid);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.weak_output.ForEach(
+        [&](NodeId a, NodeId b) { engine_.OnClosedWeakOutput(sid, a, b); });
+    sh.weak_input.ForEach(
+        [&](NodeId a, NodeId b) { engine_.OnClosedWeakInput(a, b); });
+    sh.strong_input.ForEach(
+        [&](NodeId a, NodeId b) { engine_.OnClosedStrongInput(a, b); });
+    for (const auto& [p, closure] : sh.weak_intra) {
+      closure.ForEach(
+          [&, p = p](NodeId a, NodeId b) { engine_.OnClosedWeakIntra(p, a, b); });
+    }
+    for (const auto& [p, closure] : sh.strong_intra) {
+      closure.ForEach(
+          [&](NodeId a, NodeId b) { engine_.OnClosedStrongIntra(a, b); });
+    }
+  }
+}
+
+Status Certifier::IngestLocked(const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceEventKind::kSchedule: {
+      cs_.AddSchedule(e.name);
+      shards_.push_back(std::make_unique<ScheduleShard>());
+      invokes_.emplace_back();
+      // The level vector grew (and the order may have), so the engine's
+      // level assignment is stale either way: rebuild.  This is cheap in
+      // practice because schedules arrive before the bulk of the stream.
+      RecomputeLevels();
+      Rebuild();
+      return Status::OK();
+    }
+    case TraceEventKind::kRoot: {
+      COMPTX_ASSIGN_OR_RETURN(
+          NodeId root, cs_.AddRootTransaction(ScheduleId(e.schedule), e.name));
+      engine_.OnNodeAdded(root);
+      return Status::OK();
+    }
+    case TraceEventKind::kSub: {
+      const NodeId parent(e.parent);
+      const ScheduleId sched(e.schedule);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(parent));
+      if (cs_.HasNode(parent) && cs_.HasSchedule(sched) &&
+          cs_.node(parent).IsTransaction()) {
+        const ScheduleId host = cs_.node(parent).owner_schedule;
+        if (WouldCreateRecursion(host, sched)) {
+          return Status::FailedPrecondition(
+              StrCat("subtransaction under ", cs_.node(parent).name,
+                     " would make schedule ", cs_.schedule(sched).name,
+                     " (indirectly) invoke itself"));
+        }
+      }
+      COMPTX_ASSIGN_OR_RETURN(NodeId sub,
+                              cs_.AddSubtransaction(parent, sched, e.name));
+      invokes_[cs_.node(parent).owner_schedule.index()].insert(sched.index());
+      if (RecomputeLevels()) {
+        Rebuild();
+      } else {
+        engine_.OnNodeAdded(sub);
+      }
+      return Status::OK();
+    }
+    case TraceEventKind::kLeaf: {
+      const NodeId parent(e.parent);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(parent));
+      COMPTX_ASSIGN_OR_RETURN(NodeId leaf, cs_.AddLeaf(parent, e.name));
+      engine_.OnNodeAdded(leaf);
+      return Status::OK();
+    }
+    case TraceEventKind::kConflict: {
+      const NodeId a(e.a), b(e.b);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
+      COMPTX_RETURN_IF_ERROR(cs_.AddConflict(a, b));
+      const ScheduleId host = cs_.HostScheduleOf(a);
+      bool wo_ab = false, wo_ba = false;
+      {
+        ScheduleShard& sh = shard(host);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        wo_ab = sh.weak_output.Contains(a, b);
+        wo_ba = sh.weak_output.Contains(b, a);
+      }
+      engine_.OnConflict(a, b, wo_ab, wo_ba);
+      return Status::OK();
+    }
+    case TraceEventKind::kWeakOutput:
+    case TraceEventKind::kStrongOutput: {
+      const NodeId a(e.a), b(e.b);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
+      // A strong output pair is also a weak output pair (Def 1); the
+      // decision procedure only consumes the weak output closure, so both
+      // kinds route through it.
+      COMPTX_RETURN_IF_ERROR(e.kind == TraceEventKind::kWeakOutput
+                                 ? cs_.AddWeakOutput(a, b)
+                                 : cs_.AddStrongOutput(a, b));
+      const ScheduleId host = cs_.HostScheduleOf(a);
+      std::vector<std::pair<NodeId, NodeId>> new_pairs;
+      {
+        ScheduleShard& sh = shard(host);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.weak_output.Add(a, b, new_pairs);
+      }
+      for (const auto& [x, y] : new_pairs) {
+        engine_.OnClosedWeakOutput(host, x, y);
+      }
+      return Status::OK();
+    }
+    case TraceEventKind::kWeakInput:
+    case TraceEventKind::kStrongInput: {
+      const ScheduleId sched(e.schedule);
+      const NodeId a(e.a), b(e.b);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
+      const bool strong = e.kind == TraceEventKind::kStrongInput;
+      COMPTX_RETURN_IF_ERROR(strong ? cs_.AddStrongInput(sched, a, b)
+                                    : cs_.AddWeakInput(sched, a, b));
+      std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
+      {
+        ScheduleShard& sh = shard(sched);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (strong) sh.strong_input.Add(a, b, new_strong);
+        sh.weak_input.Add(a, b, new_weak);  // strong pairs are weak pairs.
+      }
+      for (const auto& [x, y] : new_strong) engine_.OnClosedStrongInput(x, y);
+      for (const auto& [x, y] : new_weak) engine_.OnClosedWeakInput(x, y);
+      return Status::OK();
+    }
+    case TraceEventKind::kIntraWeak:
+    case TraceEventKind::kIntraStrong: {
+      const NodeId txn(e.parent);
+      const NodeId a(e.a), b(e.b);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(txn));
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
+      const bool strong = e.kind == TraceEventKind::kIntraStrong;
+      COMPTX_RETURN_IF_ERROR(strong ? cs_.AddIntraStrong(txn, a, b)
+                                    : cs_.AddIntraWeak(txn, a, b));
+      const ScheduleId owner = cs_.node(txn).owner_schedule;
+      std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
+      {
+        ScheduleShard& sh = shard(owner);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (strong) sh.strong_intra[txn].Add(a, b, new_strong);
+        sh.weak_intra[txn].Add(a, b, new_weak);  // strong implies weak.
+      }
+      for (const auto& [x, y] : new_strong) engine_.OnClosedStrongIntra(x, y);
+      for (const auto& [x, y] : new_weak) {
+        engine_.OnClosedWeakIntra(txn, x, y);
+      }
+      return Status::OK();
+    }
+    case TraceEventKind::kCommit: {
+      const NodeId root(e.parent);
+      if (!cs_.HasNode(root) || !cs_.node(root).IsRoot()) {
+        return Status::InvalidArgument(
+            StrCat("commit of ", e.parent, ": not a root transaction"));
+      }
+      if (sealed_nodes_.count(root) > 0) return Status::OK();  // idempotent.
+      sealed_roots_.push_back(root);
+      sealed_nodes_.insert(root);
+      for (NodeId d : cs_.Descendants(root)) sealed_nodes_.insert(d);
+      if (options_.auto_prune) PruneLocked();
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown event kind");
+}
+
+Status Certifier::Commit(NodeId root) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kCommit;
+  e.parent = root.index();
+  return Ingest(e);
+}
+
+void Certifier::MaybePruneLocked() {
+  if (!options_.auto_prune || options_.epoch_interval == 0) return;
+  if (events_since_prune_ < options_.epoch_interval) return;
+  if (pruned_roots_.size() == sealed_roots_.size()) {
+    events_since_prune_ = 0;
+    return;
+  }
+  PruneLocked();
+}
+
+bool Certifier::CanPrune(const std::vector<NodeId>& subtree) const {
+  // In-edges whose source lies inside the subtree are removed together
+  // with it, so only edges crossing the boundary from outside pin the
+  // subtree down.  This is sound because PruneLocked only runs while the
+  // engine is certifiable: every maintained graph is acyclic, so the
+  // subtree carries no internal cycle whose evidence removal could lose,
+  // and with a zero external in-degree no future event (which may not
+  // reference sealed nodes) can ever route a cycle through the subtree.
+  const std::unordered_set<NodeId> inside(subtree.begin(), subtree.end());
+  for (NodeId n : subtree) {
+    // No external in-edge in any front-level or quotient structure.
+    if (engine_.HasIncomingEdges(n, inside)) return false;
+    const Node& node = cs_.node(n);
+    if (node.IsTransaction()) {
+      // Intra-block edges are always internal (the block's children are in
+      // the subtree whenever the block is), so a clean graph suffices.
+      if (!engine_.IntraGraphClean(n)) return false;
+      const ScheduleShard& sh = shard(node.owner_schedule);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (sh.weak_input.HasIncomingFromOutside(n, inside) ||
+          sh.strong_input.HasIncomingFromOutside(n, inside)) {
+        return false;
+      }
+    }
+    if (!node.IsRoot()) {
+      // Closure in-edges could later manufacture derived in-edges by
+      // transitivity without any event naming `n`; require that none
+      // cross the boundary.
+      {
+        const ScheduleShard& sh = shard(cs_.HostScheduleOf(n));
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (sh.weak_output.HasIncomingFromOutside(n, inside)) return false;
+      }
+      const NodeId parent = node.parent;
+      const ScheduleShard& sh = shard(cs_.node(parent).owner_schedule);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      auto check = [&](const auto& map) {
+        auto it = map.find(parent);
+        return it != map.end() && it->second.HasIncomingFromOutside(n, inside);
+      };
+      if (check(sh.weak_intra) || check(sh.strong_intra)) return false;
+    }
+  }
+  return true;
+}
+
+void Certifier::RemoveSubtree(const std::vector<NodeId>& subtree) {
+  for (NodeId n : subtree) {
+    engine_.RemoveNode(n);
+    const Node& node = cs_.node(n);
+    if (node.IsTransaction()) {
+      engine_.RemoveIntraGraphOf(n);
+      ScheduleShard& sh = shard(node.owner_schedule);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.weak_input.RemoveNode(n);
+      sh.strong_input.RemoveNode(n);
+      sh.weak_intra.erase(n);
+      sh.strong_intra.erase(n);
+    }
+    if (!node.IsRoot()) {
+      {
+        ScheduleShard& sh = shard(cs_.HostScheduleOf(n));
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.weak_output.RemoveNode(n);
+      }
+      const NodeId parent = node.parent;
+      ScheduleShard& sh = shard(cs_.node(parent).owner_schedule);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (auto it = sh.weak_intra.find(parent); it != sh.weak_intra.end()) {
+        it->second.RemoveNode(n);
+      }
+      if (auto it = sh.strong_intra.find(parent); it != sh.strong_intra.end()) {
+        it->second.RemoveNode(n);
+      }
+    }
+  }
+}
+
+size_t Certifier::PruneLocked() {
+  // Once failed, keep everything: the failure evidence (a cycle in some
+  // maintained graph) must survive rebuilds, and pruning is only a memory
+  // optimization for live sessions anyway.
+  if (!engine_.certifiable()) {
+    events_since_prune_ = 0;
+    return 0;
+  }
+  size_t removed = 0;
+  bool progress = true;
+  // Removing one subtree can zero another's in-degrees, so iterate to a
+  // fixpoint.
+  while (progress) {
+    progress = false;
+    for (NodeId root : sealed_roots_) {
+      if (pruned_roots_.count(root) > 0) continue;
+      std::vector<NodeId> subtree = {root};
+      for (NodeId d : cs_.Descendants(root)) subtree.push_back(d);
+      if (!CanPrune(subtree)) continue;
+      RemoveSubtree(subtree);
+      pruned_roots_.insert(root);
+      for (NodeId n : subtree) pruned_nodes_.insert(n);
+      removed += subtree.size();
+      progress = true;
+    }
+  }
+  if (removed > 0) ++prune_passes_;
+  events_since_prune_ = 0;
+  return removed;
+}
+
+size_t Certifier::Prune() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PruneLocked();
+}
+
+CertifierVerdict Certifier::Verdict() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CertifierVerdict verdict;
+  verdict.certifiable = engine_.certifiable();
+  verdict.order = order_;
+  verdict.failure = engine_.failure();
+  return verdict;
+}
+
+bool Certifier::Certifiable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.certifiable();
+}
+
+std::vector<NodeId> Certifier::SerialWitness() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!engine_.certifiable()) return {};
+  std::vector<NodeId> roots;
+  for (NodeId r : cs_.Roots()) {
+    if (pruned_roots_.count(r) == 0) roots.push_back(r);
+  }
+  std::stable_sort(roots.begin(), roots.end(), [&](NodeId x, NodeId y) {
+    return engine_.TopOrderKey(x) < engine_.TopOrderKey(y);
+  });
+  return roots;
+}
+
+CertifierStats Certifier::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CertifierStats stats;
+  stats.events_accepted = events_accepted_;
+  stats.events_rejected = events_rejected_;
+  stats.rebuilds = rebuilds_;
+  stats.prune_passes = prune_passes_;
+  stats.pruned_nodes = pruned_nodes_.size();
+  stats.live_nodes = cs_.NodeCount() - pruned_nodes_.size();
+  stats.observed_pairs = engine_.ObservedPairCount();
+  stats.cc_edges = engine_.CcEdgeCount();
+  stats.calc_edges = engine_.CalcEdgeCount();
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> shard_lock(sh->mu);
+    stats.closure_pairs += sh->weak_output.PairCount() +
+                           sh->weak_input.PairCount() +
+                           sh->strong_input.PairCount();
+    for (const auto& [p, c] : sh->weak_intra) stats.closure_pairs += c.PairCount();
+    for (const auto& [p, c] : sh->strong_intra) {
+      stats.closure_pairs += c.PairCount();
+    }
+  }
+  return stats;
+}
+
+}  // namespace comptx::online

@@ -1,0 +1,189 @@
+#ifndef COMPTX_ONLINE_CERTIFIER_H_
+#define COMPTX_ONLINE_CERTIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "online/online_front.h"
+#include "util/status.h"
+#include "workload/trace.h"
+
+namespace comptx::online {
+
+struct CertifierOptions {
+  /// Forgetting of commuting same-schedule observed pairs on pull-up
+  /// (Def 10 rule 3); mirrors ReductionOptions::forgetting.
+  bool forgetting = true;
+
+  /// Attempt epoch pruning after this many accepted events (0 disables the
+  /// periodic trigger; Commit() and Prune() still prune).
+  uint32_t epoch_interval = 64;
+
+  /// Prune automatically on Commit() and at epoch boundaries.
+  bool auto_prune = true;
+};
+
+/// The answer to "is the execution ingested so far still certifiable?".
+/// Matches the boolean verdict of batch CheckCompC on the same event
+/// prefix (with validation disabled: prefixes of well-formed executions
+/// legitimately violate the completeness rules of Defs 3-4 until their
+/// remaining events arrive).  The failure location is best effort: online
+/// reports the first violation it encountered in stream order, batch the
+/// first in level order.
+struct CertifierVerdict {
+  bool certifiable = true;
+  uint32_t order = 0;
+  std::optional<OnlineFailure> failure;
+};
+
+struct CertifierStats {
+  uint64_t events_accepted = 0;
+  uint64_t events_rejected = 0;
+  uint64_t rebuilds = 0;        // schedule-level changes forcing a replay
+  uint64_t prune_passes = 0;    // pruning attempts that removed something
+  uint64_t pruned_nodes = 0;
+  size_t live_nodes = 0;        // nodes not garbage-collected
+  size_t observed_pairs = 0;
+  size_t cc_edges = 0;
+  size_t calc_edges = 0;
+  size_t closure_pairs = 0;
+};
+
+/// An online, incremental Comp-C certifier session.
+///
+/// Feed it the event stream of an executing composite system (the same
+/// events a trace file contains: schedule/transaction/operation creation,
+/// conflict declarations, weak/strong order edges, root commits) and ask
+/// after each event whether the execution so far is still certifiable.
+/// The per-event work is a local patch of per-level front state instead of
+/// the full level-by-level reduction, so the amortized cost per event is
+/// far below re-running batch CheckCompC on every prefix:
+///
+///   - per-schedule transitive closures are maintained incrementally and
+///     emit only newly closed pairs (sharded, one small lock per schedule);
+///   - each new fact is routed to the affected front levels, where
+///     acyclicity is maintained by incremental topological ordering
+///     (Pearce-Kelly) rather than full DFS;
+///   - observed-order pairs cascade their pull-up images level by level
+///     through core PullUpObservedPair, the exact per-pair rule the batch
+///     reducer uses.
+///
+/// Structural events that change schedule levels (new nesting via `sub`)
+/// invalidate the level assignment and trigger a rebuild: the engine is
+/// reset and re-fed from the retained closures.  All derived state is a
+/// monotone function of the ingested facts, so replay order does not
+/// matter and the rebuilt state equals what a fresh session would hold.
+///
+/// Committed roots are sealed: later events referencing their subtree are
+/// rejected, and epoch-based pruning removes a sealed subtree from every
+/// structure once nothing points into it anymore (such nodes can never lie
+/// on a future violation cycle, so the verdict is unaffected).
+///
+/// Thread safety: Ingest/Commit/Prune serialize on a session lock; the
+/// per-schedule shard locks additionally protect closure state so that
+/// concurrent readers (Stats, diagnostics) see consistent shards while an
+/// ingest is in flight.
+class Certifier {
+ public:
+  explicit Certifier(const CertifierOptions& options = {});
+
+  Certifier(const Certifier&) = delete;
+  Certifier& operator=(const Certifier&) = delete;
+
+  /// Applies one event to the session.  Rejected events (malformed,
+  /// unknown references, events referencing a sealed subtree, recursion-
+  /// introducing `sub` events) leave the session unchanged.
+  Status Ingest(const workload::TraceEvent& event);
+
+  /// Current verdict; failure is sticky while schedule levels are stable.
+  CertifierVerdict Verdict() const;
+  bool Certifiable() const;
+
+  /// Seals `root` (a committed root transaction): subsequent events that
+  /// reference any node of its subtree are rejected, making the subtree
+  /// eligible for pruning.  Idempotent.
+  Status Commit(NodeId root);
+
+  /// Runs a pruning pass now; returns the number of nodes removed.
+  size_t Prune();
+
+  /// While certifiable: live (unpruned) roots in a serializable order,
+  /// read off the maintained topological order of the top-level front
+  /// (Theorem 1).  Empty when not certifiable.
+  std::vector<NodeId> SerialWitness() const;
+
+  CertifierStats Stats() const;
+
+  /// The composite system accumulated so far (includes sealed subtrees:
+  /// the system itself is append-only, only derived state is pruned).
+  const CompositeSystem& system() const { return cs_; }
+
+ private:
+  /// Per-schedule shard: the incrementally maintained transitive closures
+  /// of that schedule's orders, plus the intra-transaction closures of the
+  /// transactions it owns.  `mu` guards all of them.
+  struct ScheduleShard {
+    mutable std::mutex mu;
+    IncrementalClosure weak_output;
+    IncrementalClosure weak_input;
+    IncrementalClosure strong_input;
+    std::unordered_map<NodeId, IncrementalClosure> weak_intra;
+    std::unordered_map<NodeId, IncrementalClosure> strong_intra;
+  };
+
+  Status IngestLocked(const workload::TraceEvent& event);
+  Status CheckNotSealed(NodeId id) const;
+
+  /// Recomputes schedule levels from the invocation adjacency; returns
+  /// true if any level (or the order) changed.
+  bool RecomputeLevels();
+
+  /// True iff adding the invocation edge from -> to would close a cycle.
+  bool WouldCreateRecursion(ScheduleId from, ScheduleId to) const;
+
+  /// Resets the engine for the current levels and replays all closures.
+  void Rebuild();
+
+  void MaybePruneLocked();
+  size_t PruneLocked();
+  bool CanPrune(const std::vector<NodeId>& subtree) const;
+  void RemoveSubtree(const std::vector<NodeId>& subtree);
+
+  ScheduleShard& shard(ScheduleId s) { return *shards_[s.index()]; }
+  const ScheduleShard& shard(ScheduleId s) const { return *shards_[s.index()]; }
+
+  const CertifierOptions options_;
+
+  mutable std::mutex mu_;  // session lock: cs_, engine_, levels, seals.
+  CompositeSystem cs_;
+  OnlineFrontEngine engine_;
+  std::vector<std::unique_ptr<ScheduleShard>> shards_;
+
+  /// Schedule invocation adjacency (edge = host schedule invokes the
+  /// subtransaction's schedule), kept for the recursion pre-check and the
+  /// cheap level recomputation.
+  std::vector<std::unordered_set<uint32_t>> invokes_;
+  std::vector<uint32_t> schedule_levels_;
+  uint32_t order_ = 0;
+
+  std::unordered_set<NodeId> sealed_nodes_;
+  std::vector<NodeId> sealed_roots_;
+  std::unordered_set<NodeId> pruned_roots_;
+  std::unordered_set<NodeId> pruned_nodes_;
+
+  uint64_t events_accepted_ = 0;
+  uint64_t events_rejected_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t prune_passes_ = 0;
+  uint32_t events_since_prune_ = 0;
+};
+
+}  // namespace comptx::online
+
+#endif  // COMPTX_ONLINE_CERTIFIER_H_

@@ -1,0 +1,149 @@
+#include "online/incremental_cycles.h"
+
+#include <algorithm>
+
+namespace comptx::online {
+
+IncrementalCycleGraph::Vertex& IncrementalCycleGraph::Ensure(NodeId id) {
+  auto [it, inserted] = vertices_.try_emplace(id);
+  if (inserted) it->second.ord = next_ord_++;
+  return it->second;
+}
+
+void IncrementalCycleGraph::EnsureNode(NodeId id) { Ensure(id); }
+
+bool IncrementalCycleGraph::HasEdge(NodeId a, NodeId b) const {
+  auto it = vertices_.find(a);
+  return it != vertices_.end() && it->second.out.count(b) > 0;
+}
+
+size_t IncrementalCycleGraph::InDegree(NodeId id) const {
+  auto it = vertices_.find(id);
+  return it == vertices_.end() ? 0 : it->second.in.size();
+}
+
+bool IncrementalCycleGraph::HasInEdgeFromOutside(
+    NodeId id, const std::unordered_set<NodeId>& inside) const {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) return false;
+  for (NodeId pred : it->second.in) {
+    if (inside.count(pred) == 0) return true;
+  }
+  return false;
+}
+
+uint64_t IncrementalCycleGraph::OrderKey(NodeId id) const {
+  auto it = vertices_.find(id);
+  return it == vertices_.end() ? next_ord_ : it->second.ord;
+}
+
+void IncrementalCycleGraph::RemoveNode(NodeId id) {
+  auto it = vertices_.find(id);
+  if (it == vertices_.end()) return;
+  for (NodeId succ : it->second.out) {
+    vertices_.at(succ).in.erase(id);
+    --edge_count_;
+  }
+  for (NodeId pred : it->second.in) {
+    vertices_.at(pred).out.erase(id);
+    --edge_count_;
+  }
+  vertices_.erase(it);
+}
+
+bool IncrementalCycleGraph::AddEdge(NodeId a, NodeId b) {
+  Vertex& va = Ensure(a);
+  if (va.out.count(b) > 0) return !cycle_;
+  if (a == b) {
+    va.out.insert(b);
+    va.in.insert(a);
+    ++edge_count_;
+    if (!cycle_) {
+      cycle_ = true;
+      witness_ = {a};
+    }
+    return false;
+  }
+  Vertex& vb = Ensure(b);
+  va.out.insert(b);
+  vb.in.insert(a);
+  ++edge_count_;
+  if (cycle_) return false;
+  if (va.ord < vb.ord) return true;  // order already consistent: O(1).
+  if (!Reorder(a, b)) {
+    cycle_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool IncrementalCycleGraph::Reorder(NodeId a, NodeId b) {
+  const uint64_t lb = vertices_.at(b).ord;
+  const uint64_t ub = vertices_.at(a).ord;
+
+  // Forward DFS from b over vertices with ord <= ub.  Reaching a means the
+  // new edge a -> b closed a cycle; the DFS parents give the b ~> a path.
+  std::vector<NodeId> forward;
+  std::unordered_map<NodeId, NodeId> parent;
+  std::unordered_set<NodeId> seen_fwd;
+  std::vector<NodeId> stack = {b};
+  seen_fwd.insert(b);
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    forward.push_back(u);
+    if (u == a) {
+      // Reconstruct b ~> a; with the closing edge a -> b this is a cycle.
+      witness_.clear();
+      for (NodeId w = a; w != b; w = parent.at(w)) witness_.push_back(w);
+      witness_.push_back(b);
+      std::reverse(witness_.begin(), witness_.end());
+      return false;
+    }
+    for (NodeId w : vertices_.at(u).out) {
+      if (vertices_.at(w).ord > ub) continue;
+      if (seen_fwd.insert(w).second) {
+        parent.emplace(w, u);
+        stack.push_back(w);
+      }
+    }
+  }
+
+  // Backward DFS from a over vertices with ord >= lb.  Disjoint from the
+  // forward set (overlap would have been a cycle caught above).
+  std::vector<NodeId> backward;
+  std::unordered_set<NodeId> seen_bwd;
+  stack.push_back(a);
+  seen_bwd.insert(a);
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    backward.push_back(u);
+    for (NodeId w : vertices_.at(u).in) {
+      if (vertices_.at(w).ord < lb) continue;
+      if (seen_bwd.insert(w).second) stack.push_back(w);
+    }
+  }
+
+  // Reassign: the affected vertices keep their relative order within each
+  // set, but every backward (≼ a) vertex now sorts before every forward
+  // (≽ b) vertex, reusing the same pool of order keys.
+  auto by_ord = [this](NodeId x, NodeId y) {
+    return vertices_.at(x).ord < vertices_.at(y).ord;
+  };
+  std::sort(backward.begin(), backward.end(), by_ord);
+  std::sort(forward.begin(), forward.end(), by_ord);
+
+  std::vector<uint64_t> pool;
+  pool.reserve(backward.size() + forward.size());
+  for (NodeId x : backward) pool.push_back(vertices_.at(x).ord);
+  for (NodeId x : forward) pool.push_back(vertices_.at(x).ord);
+  std::sort(pool.begin(), pool.end());
+
+  size_t slot = 0;
+  for (NodeId x : backward) vertices_.at(x).ord = pool[slot++];
+  for (NodeId x : forward) vertices_.at(x).ord = pool[slot++];
+  return true;
+}
+
+}  // namespace comptx::online

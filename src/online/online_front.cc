@@ -1,0 +1,429 @@
+#include "online/online_front.h"
+
+#include <algorithm>
+
+#include "core/observed_order.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comptx::online {
+
+// ---- PairSet --------------------------------------------------------------
+
+bool PairSet::Add(NodeId a, NodeId b) {
+  if (!fwd_[a].insert(b).second) return false;
+  rev_[b].insert(a);
+  ++pair_count_;
+  return true;
+}
+
+bool PairSet::Contains(NodeId a, NodeId b) const {
+  auto it = fwd_.find(a);
+  return it != fwd_.end() && it->second.count(b) > 0;
+}
+
+void PairSet::RemoveNode(NodeId id) {
+  auto fit = fwd_.find(id);
+  if (fit != fwd_.end()) {
+    for (NodeId b : fit->second) {
+      rev_[b].erase(id);
+      --pair_count_;
+    }
+    fwd_.erase(fit);
+  }
+  auto rit = rev_.find(id);
+  if (rit != rev_.end()) {
+    for (NodeId a : rit->second) {
+      fwd_[a].erase(id);
+      --pair_count_;
+    }
+    rev_.erase(rit);
+  }
+}
+
+// ---- IncrementalClosure ---------------------------------------------------
+
+void IncrementalClosure::Add(NodeId a, NodeId b,
+                             std::vector<std::pair<NodeId, NodeId>>& new_pairs) {
+  {
+    auto it = succ_.find(a);
+    if (it != succ_.end() && it->second.count(b) > 0) {
+      // (a, b) already closed: any path using the new edge factors through
+      // existing closed pairs, so nothing new can appear.
+      return;
+    }
+  }
+  std::vector<NodeId> sources = {a};
+  if (auto it = pred_.find(a); it != pred_.end()) {
+    sources.insert(sources.end(), it->second.begin(), it->second.end());
+  }
+  std::vector<NodeId> targets = {b};
+  if (auto it = succ_.find(b); it != succ_.end()) {
+    targets.insert(targets.end(), it->second.begin(), it->second.end());
+  }
+  for (NodeId x : sources) {
+    auto& out = succ_[x];
+    for (NodeId y : targets) {
+      if (out.insert(y).second) {
+        pred_[y].insert(x);
+        ++pair_count_;
+        new_pairs.emplace_back(x, y);
+      }
+    }
+  }
+}
+
+bool IncrementalClosure::Contains(NodeId a, NodeId b) const {
+  auto it = succ_.find(a);
+  return it != succ_.end() && it->second.count(b) > 0;
+}
+
+void IncrementalClosure::RemoveNode(NodeId id) {
+  auto sit = succ_.find(id);
+  if (sit != succ_.end()) {
+    for (NodeId y : sit->second) {
+      pred_[y].erase(id);
+      --pair_count_;
+    }
+    succ_.erase(sit);
+  }
+  auto pit = pred_.find(id);
+  if (pit != pred_.end()) {
+    for (NodeId x : pit->second) {
+      succ_[x].erase(id);
+      --pair_count_;
+    }
+    pred_.erase(pit);
+  }
+}
+
+// ---- OnlineFrontEngine ----------------------------------------------------
+
+void OnlineFrontEngine::Reset(const CompositeSystem* cs,
+                              std::vector<uint32_t> schedule_levels,
+                              uint32_t order, bool forgetting) {
+  cs_ = cs;
+  schedule_levels_ = std::move(schedule_levels);
+  order_ = order;
+  forgetting_ = forgetting;
+  level_.assign(order_ + 1, LevelState{});
+  step_.assign(order_ + 1, StepState{});
+  strong_of_.clear();
+  failure_.reset();
+  for (uint32_t v = 0; v < cs_->NodeCount(); ++v) {
+    if (cs_->node(NodeId(v)).IsRoot()) {
+      level_[order_].cc.EnsureNode(NodeId(v));
+    }
+  }
+}
+
+uint32_t OnlineFrontEngine::SpanBegin(NodeId x) const {
+  const Node& n = cs_->node(x);
+  if (n.IsLeaf()) return 0;
+  return schedule_levels_[n.owner_schedule.index()];
+}
+
+uint32_t OnlineFrontEngine::SpanEnd(NodeId x) const {
+  const Node& n = cs_->node(x);
+  if (n.IsRoot()) return order_;
+  return schedule_levels_[cs_->HostScheduleOf(x).index()] - 1;
+}
+
+NodeId OnlineFrontEngine::Rep(NodeId x, uint32_t i) const {
+  const Node& n = cs_->node(x);
+  if (n.IsRoot()) return x;
+  if (schedule_levels_[cs_->HostScheduleOf(x).index()] == i) return n.parent;
+  return x;
+}
+
+std::vector<NodeId> OnlineFrontEngine::FrontMembersOfSubtree(
+    NodeId t, uint32_t j) const {
+  std::vector<NodeId> out;
+  if (j > SpanEnd(t)) return out;
+  if (InFront(t, j)) {
+    out.push_back(t);
+    return out;
+  }
+  for (NodeId d : cs_->Descendants(t)) {
+    if (InFront(d, j)) out.push_back(d);
+  }
+  return out;
+}
+
+bool OnlineFrontEngine::BindingObserved(NodeId a, NodeId b) const {
+  ScheduleId ha = cs_->HostScheduleOf(a);
+  ScheduleId hb = cs_->HostScheduleOf(b);
+  if (ha.valid() && ha == hb) {
+    return cs_->schedule(ha).conflicts.Contains(a, b);
+  }
+  return true;  // cross-schedule pairs are observed-related by construction.
+}
+
+void OnlineFrontEngine::Fail(uint32_t level, OnlineFailure::Step step,
+                             const std::vector<NodeId>& witness,
+                             const std::string& what) {
+  if (failure_) return;
+  OnlineFailure f;
+  f.level = level;
+  f.step = step;
+  f.witness = witness;
+  std::string cycle;
+  for (NodeId n : witness) {
+    if (!cycle.empty()) cycle += " -> ";
+    cycle += cs_->node(n).name;
+  }
+  f.description = StrCat(what, " [", cycle, "]");
+  failure_ = std::move(f);
+}
+
+void OnlineFrontEngine::CcEdge(uint32_t j, NodeId a, NodeId b) {
+  IncrementalCycleGraph& cc = level_[j].cc;
+  if (!cc.AddEdge(a, b) && !failure_) {
+    Fail(j, OnlineFailure::Step::kConflictConsistency, cc.cycle_witness(),
+         StrCat("front level ", j, " is not conflict consistent"));
+  }
+}
+
+void OnlineFrontEngine::CalcEdge(uint32_t i, NodeId a, NodeId b) {
+  if (i < 1 || i > order_) return;
+  NodeId ra = Rep(a, i);
+  NodeId rb = Rep(b, i);
+  const bool grouped = (ra != a) || (rb != b);
+  if (ra == rb && grouped) {
+    // Both endpoints collapse into one level-i transaction: the constraint
+    // is internal to that block (Def 14 intra test).
+    IntraEdge(i, ra, a, b);
+    return;
+  }
+  IncrementalCycleGraph& q = step_[i].quotient;
+  if (!q.AddEdge(ra, rb) && !failure_) {
+    Fail(i, OnlineFailure::Step::kCalculation, q.cycle_witness(),
+         StrCat("no calculation at level ", i,
+                ": block cycle prevents isolating the level ", i,
+                " transactions"));
+  }
+}
+
+void OnlineFrontEngine::IntraEdge(uint32_t i, NodeId p, NodeId a, NodeId b) {
+  if (i < 1 || i > order_) return;
+  IncrementalCycleGraph& g = step_[i].intra[p];
+  if (!g.AddEdge(a, b) && !failure_) {
+    Fail(i, OnlineFailure::Step::kCalculation, g.cycle_witness(),
+         StrCat("no calculation for transaction ", cs_->node(p).name,
+                ": the observed order contradicts its intra-transaction ",
+                "order"));
+  }
+}
+
+void OnlineFrontEngine::AddObserved(uint32_t j, NodeId a, NodeId b) {
+  if (j > order_) return;
+  if (!level_[j].observed.Add(a, b)) return;
+  CcEdge(j, a, b);
+  if (j + 1 > order_) return;
+  // Calculation rule 2 at step j+1: the pair binds iff it conflicts.
+  if (BindingObserved(a, b)) CalcEdge(j + 1, a, b);
+  // Pull-up (Def 10 points 2-4) to front j+1, sharing the exact per-pair
+  // logic with the batch reducer.
+  if (auto image = PullUpObservedPair(*cs_, a, b, Rep(a, j + 1), Rep(b, j + 1),
+                                      forgetting_)) {
+    AddObserved(j + 1, image->first, image->second);
+  }
+}
+
+void OnlineFrontEngine::OnNodeAdded(NodeId x) {
+  const Node& n = cs_->node(x);
+  if (n.IsRoot()) {
+    level_[order_].cc.EnsureNode(x);
+    return;
+  }
+  // Retroactive pull-down: existing strong constraints on any ancestor now
+  // also constrain x (x joined that ancestor's subtree).
+  const uint32_t x_begin = SpanBegin(x);
+  const uint32_t x_end = SpanEnd(x);
+  for (NodeId anc = n.parent;; anc = cs_->node(anc).parent) {
+    auto it = strong_of_.find(anc);
+    if (it != strong_of_.end()) {
+      for (const auto& [other, is_source] : it->second) {
+        const uint32_t hi = std::min(x_end, SpanEnd(other));
+        for (uint32_t j = x_begin; j <= hi; ++j) {
+          for (NodeId y : FrontMembersOfSubtree(other, j)) {
+            if (is_source) {
+              CcEdge(j, x, y);
+              CalcEdge(j + 1, x, y);
+            } else {
+              CcEdge(j, y, x);
+              CalcEdge(j + 1, y, x);
+            }
+          }
+        }
+      }
+    }
+    if (cs_->node(anc).IsRoot()) break;
+  }
+}
+
+void OnlineFrontEngine::OnConflict(NodeId a, NodeId b, bool weak_out_ab,
+                                   bool weak_out_ba) {
+  const ScheduleId s = cs_->HostScheduleOf(a);
+  const uint32_t level = schedule_levels_[s.index()];
+  const uint32_t lo = std::max(SpanBegin(a), SpanBegin(b));
+  const uint32_t hi = std::min(SpanEnd(a), SpanEnd(b));
+  for (uint32_t j = lo; j <= hi; ++j) {
+    // Calculation rule 3: conflicting pairs ordered by the schedule's
+    // closed weak output order.
+    if (weak_out_ab) CalcEdge(j + 1, a, b);
+    if (weak_out_ba) CalcEdge(j + 1, b, a);
+    // The conflict turns existing observed pairs binding (calculation
+    // rule 2) and un-forgets their pull-up (Def 10 rule 3).
+    PairSet& observed = level_[j].observed;
+    for (auto [x, y] : {std::pair(a, b), std::pair(b, a)}) {
+      if (!observed.Contains(x, y)) continue;
+      CalcEdge(j + 1, x, y);
+      if (j + 1 <= order_) {
+        if (auto image = PullUpObservedPair(*cs_, x, y, Rep(x, j + 1),
+                                            Rep(y, j + 1), forgetting_)) {
+          AddObserved(j + 1, image->first, image->second);
+        }
+      }
+    }
+  }
+  // Serialization orders (Def 10.2): the parents become observed-ordered.
+  NodeId pa = cs_->node(a).parent;
+  NodeId pb = cs_->node(b).parent;
+  if (pa != pb) {
+    if (weak_out_ab) AddObserved(level, pa, pb);
+    if (weak_out_ba) AddObserved(level, pb, pa);
+  }
+}
+
+void OnlineFrontEngine::OnClosedWeakOutput(ScheduleId s, NodeId a, NodeId b) {
+  const uint32_t level = schedule_levels_[s.index()];
+  const uint32_t lo = std::max(SpanBegin(a), SpanBegin(b));
+  const uint32_t hi = std::min(SpanEnd(a), SpanEnd(b));
+  const bool leafy = cs_->node(a).IsLeaf() || cs_->node(b).IsLeaf();
+  const bool con = cs_->schedule(s).conflicts.Contains(a, b);
+  for (uint32_t j = lo; j <= hi; ++j) {
+    // Leaf atomicity rule (Def 10 point 1).
+    if (leafy) AddObserved(j, a, b);
+    // Calculation rule 3 for an already-declared conflict.
+    if (con) CalcEdge(j + 1, a, b);
+  }
+  if (con) {
+    NodeId pa = cs_->node(a).parent;
+    NodeId pb = cs_->node(b).parent;
+    if (pa != pb) AddObserved(level, pa, pb);
+  }
+}
+
+void OnlineFrontEngine::OnClosedWeakInput(NodeId t1, NodeId t2) {
+  const uint32_t lo = std::max(SpanBegin(t1), SpanBegin(t2));
+  const uint32_t hi = std::min(SpanEnd(t1), SpanEnd(t2));
+  for (uint32_t j = lo; j <= hi; ++j) CcEdge(j, t1, t2);
+}
+
+void OnlineFrontEngine::OnClosedStrongInput(NodeId t1, NodeId t2) {
+  StrongPair(t1, t2);
+}
+
+void OnlineFrontEngine::OnClosedWeakIntra(NodeId p, NodeId a, NodeId b) {
+  const uint32_t lo = std::max(SpanBegin(a), SpanBegin(b));
+  const uint32_t hi = std::min(SpanEnd(a), SpanEnd(b));
+  for (uint32_t j = lo; j <= hi; ++j) CcEdge(j, a, b);
+  // Def 14: the intra test of p includes its closed weak intra order.
+  IntraEdge(schedule_levels_[cs_->node(p).owner_schedule.index()], p, a, b);
+}
+
+void OnlineFrontEngine::OnClosedStrongIntra(NodeId a, NodeId b) {
+  StrongPair(a, b);
+}
+
+void OnlineFrontEngine::StrongPair(NodeId u, NodeId v) {
+  strong_of_[u].emplace_back(v, true);
+  strong_of_[v].emplace_back(u, false);
+  // Pull the constraint down onto every front (Def 16 / front strong
+  // orders): all front pairs across the two disjoint subtrees, which are
+  // both CC edges and calculation rule 1 edges at the next step.
+  const uint32_t hi = std::min(SpanEnd(u), SpanEnd(v));
+  for (uint32_t j = 0; j <= hi; ++j) {
+    const std::vector<NodeId> in_u = FrontMembersOfSubtree(u, j);
+    if (in_u.empty()) continue;
+    const std::vector<NodeId> in_v = FrontMembersOfSubtree(v, j);
+    for (NodeId x : in_u) {
+      for (NodeId y : in_v) {
+        CcEdge(j, x, y);
+        CalcEdge(j + 1, x, y);
+      }
+    }
+  }
+}
+
+uint64_t OnlineFrontEngine::TopOrderKey(NodeId root) const {
+  return level_[order_].cc.OrderKey(root);
+}
+
+bool OnlineFrontEngine::HasIncomingEdges(
+    NodeId n, const std::unordered_set<NodeId>& inside) const {
+  for (const LevelState& l : level_) {
+    if (l.cc.HasInEdgeFromOutside(n, inside)) return true;
+  }
+  for (const StepState& s : step_) {
+    if (s.quotient.HasInEdgeFromOutside(n, inside)) return true;
+  }
+  return false;
+}
+
+void OnlineFrontEngine::RemoveNode(NodeId n) {
+  for (LevelState& l : level_) {
+    l.observed.RemoveNode(n);
+    l.cc.RemoveNode(n);
+  }
+  for (StepState& s : step_) s.quotient.RemoveNode(n);
+  auto it = strong_of_.find(n);
+  if (it != strong_of_.end()) {
+    for (const auto& [other, is_source] : it->second) {
+      auto oit = strong_of_.find(other);
+      if (oit == strong_of_.end()) continue;
+      auto& peers = oit->second;
+      peers.erase(std::remove_if(peers.begin(), peers.end(),
+                                 [&](const auto& e) { return e.first == n; }),
+                  peers.end());
+    }
+    strong_of_.erase(it);
+  }
+}
+
+bool OnlineFrontEngine::IntraGraphClean(NodeId p) const {
+  const uint32_t i = schedule_levels_[cs_->node(p).owner_schedule.index()];
+  if (i > order_) return true;
+  auto it = step_[i].intra.find(p);
+  return it == step_[i].intra.end() || !it->second.has_cycle();
+}
+
+void OnlineFrontEngine::RemoveIntraGraphOf(NodeId p) {
+  const uint32_t i = schedule_levels_[cs_->node(p).owner_schedule.index()];
+  if (i > order_) return;
+  step_[i].intra.erase(p);
+}
+
+size_t OnlineFrontEngine::ObservedPairCount() const {
+  size_t n = 0;
+  for (const LevelState& l : level_) n += l.observed.PairCount();
+  return n;
+}
+
+size_t OnlineFrontEngine::CcEdgeCount() const {
+  size_t n = 0;
+  for (const LevelState& l : level_) n += l.cc.EdgeCount();
+  return n;
+}
+
+size_t OnlineFrontEngine::CalcEdgeCount() const {
+  size_t n = 0;
+  for (const StepState& s : step_) {
+    n += s.quotient.EdgeCount();
+    for (const auto& [p, g] : s.intra) n += g.EdgeCount();
+  }
+  return n;
+}
+
+}  // namespace comptx::online

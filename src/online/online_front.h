@@ -1,0 +1,269 @@
+#ifndef COMPTX_ONLINE_ONLINE_FRONT_H_
+#define COMPTX_ONLINE_ONLINE_FRONT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "online/incremental_cycles.h"
+
+namespace comptx::online {
+
+/// A prunable set of ordered NodeId pairs with forward and reverse
+/// adjacency.  Functionally a subset of core Relation, but supports
+/// RemoveNode (core Relation is append-only) so the certifier can GC the
+/// observed orders of committed, fully reduced roots.
+class PairSet {
+ public:
+  /// Adds (a, b); returns true if new.
+  bool Add(NodeId a, NodeId b);
+  bool Contains(NodeId a, NodeId b) const;
+  size_t PairCount() const { return pair_count_; }
+
+  /// True iff some pair (x, id) exists.
+  bool HasIncoming(NodeId id) const {
+    auto it = rev_.find(id);
+    return it != rev_.end() && !it->second.empty();
+  }
+
+  /// Drops every pair with `id` as an endpoint.
+  void RemoveNode(NodeId id);
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> fwd_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> rev_;
+  size_t pair_count_ = 0;
+};
+
+/// An incrementally maintained transitive closure of a growing relation.
+/// Mirrors core ClosureWithin exactly (in particular, a node is closed to
+/// itself only when it lies on a cycle), but each generating-edge insertion
+/// reports just the *newly* closed pairs so downstream structures can be
+/// patched instead of recomputed: on Add(a, b) the new pairs are
+/// ({a} ∪ pred(a)) × ({b} ∪ succ(b)) minus the pairs already closed.
+class IncrementalClosure {
+ public:
+  /// Adds the generating edge a -> b and appends every newly closed pair
+  /// to `new_pairs` (possibly none if (a, b) was already closed).
+  void Add(NodeId a, NodeId b,
+           std::vector<std::pair<NodeId, NodeId>>& new_pairs);
+
+  bool Contains(NodeId a, NodeId b) const;
+  size_t PairCount() const { return pair_count_; }
+
+  bool HasIncoming(NodeId id) const {
+    auto it = pred_.find(id);
+    return it != pred_.end() && !it->second.empty();
+  }
+
+  /// True iff some closed pair (x, id) exists with x outside `inside`.
+  bool HasIncomingFromOutside(NodeId id,
+                              const std::unordered_set<NodeId>& inside) const {
+    auto it = pred_.find(id);
+    if (it == pred_.end()) return false;
+    for (NodeId pred : it->second) {
+      if (inside.count(pred) == 0) return true;
+    }
+    return false;
+  }
+
+  /// Invokes f(a, b) for every closed pair (unspecified order).
+  template <typename F>
+  void ForEach(F f) const {
+    for (const auto& [a, succs] : succ_) {
+      for (NodeId b : succs) f(a, b);
+    }
+  }
+
+  /// Drops every closed pair with `id` as an endpoint.  Only safe for
+  /// nodes that will never be referenced again (sealed subtrees).
+  void RemoveNode(NodeId id);
+
+ private:
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> succ_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> pred_;
+  size_t pair_count_ = 0;
+};
+
+/// Where an online certification failed, mirroring core ReductionFailure.
+struct OnlineFailure {
+  enum class Step { kCalculation, kConflictConsistency };
+  uint32_t level = 0;
+  Step step = Step::kConflictConsistency;
+  std::vector<NodeId> witness;
+  std::string description;
+};
+
+/// Per-level front state of the Def 16 reduction, patched event-by-event.
+///
+/// For a composite system of order N the engine maintains, for every level
+/// j in [0, N]:
+///   - the observed order of front j as generating pairs (Def 10, with
+///     "forgetting" of commuting same-schedule pairs on pull-up), and
+///   - the conflict-consistency graph of front j (observed ∪ weak input ∪
+///     strong input, Def 13) as an incremental topological order;
+/// and for every reduction step i in [1, N]:
+///   - the quotient of the calculation constraint graph by the level-i
+///     blocks (Def 14/16 inter-block test), and
+///   - one intra-block graph per level-i transaction (Def 14 intra test,
+///     seeded with the closed weak intra order).
+///
+/// Handlers receive *newly derived facts* (new closed pairs from the
+/// certifier's incremental closures, new conflicts, new nodes) and patch
+/// every affected level: an observed pair at level j cascades its pull-up
+/// image to level j+1 via core PullUpObservedPair, so batch and online
+/// agree pair-for-pair.  All structures are monotone in the event prefix
+/// while schedule levels are stable; the certifier rebuilds the engine
+/// whenever a structural event changes levels.
+///
+/// Failure is sticky for reporting (the first violation is kept) but the
+/// structures keep absorbing edges afterwards, so pruning bookkeeping and
+/// later rebuilds stay exact.
+class OnlineFrontEngine {
+ public:
+  OnlineFrontEngine() = default;
+
+  /// (Re)initializes for `cs` with the given schedule levels and order.
+  /// `cs` must outlive the engine; `forgetting` as in ReductionOptions.
+  void Reset(const CompositeSystem* cs, std::vector<uint32_t> schedule_levels,
+             uint32_t order, bool forgetting);
+
+  // ---- Event handlers (called with facts not seen before) ---------------
+
+  /// A node was appended to the forest: registers roots in the top-level
+  /// order and retroactively pulls existing strong constraints on its
+  /// ancestors down onto it.
+  void OnNodeAdded(NodeId x);
+
+  /// CON_S gained the pair {a, b} (operations of one schedule).
+  /// `weak_out_ab` / `weak_out_ba` tell whether the closed weak output
+  /// order of that schedule contains (a,b) / (b,a) — passed in because the
+  /// closures live in the certifier's shards.
+  void OnConflict(NodeId a, NodeId b, bool weak_out_ab, bool weak_out_ba);
+
+  /// The closed weak output order of schedule `s` gained (a, b).
+  void OnClosedWeakOutput(ScheduleId s, NodeId a, NodeId b);
+
+  /// The closed weak input order of a schedule gained (t1, t2).
+  void OnClosedWeakInput(NodeId t1, NodeId t2);
+
+  /// The closed strong input order of a schedule gained (t1, t2).
+  void OnClosedStrongInput(NodeId t1, NodeId t2);
+
+  /// The closed weak intra order of transaction `p` gained (a, b).
+  void OnClosedWeakIntra(NodeId p, NodeId a, NodeId b);
+
+  /// The closed strong intra order of some transaction gained (a, b).
+  void OnClosedStrongIntra(NodeId a, NodeId b);
+
+  // ---- Verdict ----------------------------------------------------------
+
+  bool certifiable() const { return !failure_.has_value(); }
+  const std::optional<OnlineFailure>& failure() const { return failure_; }
+  uint32_t order() const { return order_; }
+
+  /// Topological position of `root` in the maintained top-level front
+  /// order; roots sorted by this key form a serial witness while
+  /// certifiable (Theorem 1).
+  uint64_t TopOrderKey(NodeId root) const;
+
+  // ---- Pruning support --------------------------------------------------
+
+  /// True iff `n` has an in-edge from outside `inside` in any
+  /// conflict-consistency or quotient graph (observed pairs are CC edges,
+  /// so they are covered).  `inside` is the sealed subtree being pruned:
+  /// its internal edges disappear together with the subtree.
+  bool HasIncomingEdges(NodeId n,
+                        const std::unordered_set<NodeId>& inside) const;
+
+  /// Removes `n` from every level structure.
+  void RemoveNode(NodeId n);
+
+  /// True iff the intra-block graph of group transaction `p` is
+  /// cycle-free (vacuously true if absent).
+  bool IntraGraphClean(NodeId p) const;
+
+  /// Drops the intra-block graph of `p` and the strong-pair records
+  /// keyed at `p`.
+  void RemoveIntraGraphOf(NodeId p);
+
+  // ---- Stats ------------------------------------------------------------
+
+  size_t ObservedPairCount() const;
+  size_t CcEdgeCount() const;
+  size_t CalcEdgeCount() const;
+
+ private:
+  struct LevelState {
+    PairSet observed;
+    IncrementalCycleGraph cc;
+  };
+  struct StepState {
+    IncrementalCycleGraph quotient;
+    std::unordered_map<NodeId, IncrementalCycleGraph> intra;
+  };
+
+  uint32_t LevelOfSchedule(ScheduleId s) const {
+    return schedule_levels_[s.index()];
+  }
+  /// First front containing x: 0 for leaves, the owner schedule's level
+  /// for transactions.
+  uint32_t SpanBegin(NodeId x) const;
+  /// Last front containing x: `order` for roots, host level - 1 otherwise.
+  uint32_t SpanEnd(NodeId x) const;
+  bool InFront(NodeId x, uint32_t j) const {
+    return SpanBegin(x) <= j && j <= SpanEnd(x);
+  }
+  /// Representative of front-(i-1) node x in front i: its parent when the
+  /// parent is grouped at step i, x itself otherwise.
+  NodeId Rep(NodeId x, uint32_t i) const;
+
+  /// Front-j members of subtree(t): t itself if present, else the
+  /// descendants whose span contains j.
+  std::vector<NodeId> FrontMembersOfSubtree(NodeId t, uint32_t j) const;
+
+  /// Generalized conflict of an observed pair (Def 11): same-host pairs
+  /// consult CON_S; all other observed pairs conflict by construction.
+  bool BindingObserved(NodeId a, NodeId b) const;
+
+  /// Inserts (a, b) into observed_j and cascades: CC edge at j, binding
+  /// calculation edge at step j+1, pull-up image to level j+1.
+  void AddObserved(uint32_t j, NodeId a, NodeId b);
+
+  /// Adds a conflict-consistency edge at level j; records failure on cycle.
+  void CcEdge(uint32_t j, NodeId a, NodeId b);
+
+  /// Adds a calculation constraint edge between front-(i-1) members a, b
+  /// for step i, routed to the quotient graph (distinct blocks) or the
+  /// grouping transaction's intra graph (same block).
+  void CalcEdge(uint32_t i, NodeId a, NodeId b);
+
+  /// Adds an edge directly to the intra graph of group transaction p.
+  void IntraEdge(uint32_t i, NodeId p, NodeId a, NodeId b);
+
+  /// Records a closed strong pair and pulls it down onto every front.
+  void StrongPair(NodeId u, NodeId v);
+
+  void Fail(uint32_t level, OnlineFailure::Step step,
+            const std::vector<NodeId>& witness, const std::string& what);
+
+  const CompositeSystem* cs_ = nullptr;
+  std::vector<uint32_t> schedule_levels_;
+  uint32_t order_ = 0;
+  bool forgetting_ = true;
+
+  std::vector<LevelState> level_;  // [0, order]
+  std::vector<StepState> step_;    // index i in [1, order] used
+  /// endpoint -> (other endpoint, true iff this endpoint is the source).
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, bool>>> strong_of_;
+  std::optional<OnlineFailure> failure_;
+};
+
+}  // namespace comptx::online
+
+#endif  // COMPTX_ONLINE_ONLINE_FRONT_H_

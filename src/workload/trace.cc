@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <optional>
 #include <sstream>
 
 #include "util/string_util.h"
@@ -21,7 +22,171 @@ Status CheckName(const std::string& name) {
   return Status::OK();
 }
 
+/// Parses one non-empty trace line into an event; "end" yields nullopt.
+StatusOr<std::optional<TraceEvent>> ParseLine(const std::string& line) {
+  std::istringstream fields(line);
+  std::string kind;
+  fields >> kind;
+  if (kind == "end") return std::optional<TraceEvent>();
+
+  TraceEvent e;
+  bool ok = false;
+  if (kind == "schedule") {
+    e.kind = TraceEventKind::kSchedule;
+    ok = static_cast<bool>(fields >> e.name);
+  } else if (kind == "root") {
+    e.kind = TraceEventKind::kRoot;
+    ok = static_cast<bool>(fields >> e.schedule >> e.name);
+  } else if (kind == "sub") {
+    e.kind = TraceEventKind::kSub;
+    ok = static_cast<bool>(fields >> e.parent >> e.schedule >> e.name);
+  } else if (kind == "leaf") {
+    e.kind = TraceEventKind::kLeaf;
+    ok = static_cast<bool>(fields >> e.parent >> e.name);
+  } else if (kind == "conflict" || kind == "weak_out" || kind == "strong_out") {
+    e.kind = kind == "conflict"   ? TraceEventKind::kConflict
+             : kind == "weak_out" ? TraceEventKind::kWeakOutput
+                                  : TraceEventKind::kStrongOutput;
+    ok = static_cast<bool>(fields >> e.a >> e.b);
+  } else if (kind == "weak_in" || kind == "strong_in") {
+    e.kind = kind == "weak_in" ? TraceEventKind::kWeakInput
+                               : TraceEventKind::kStrongInput;
+    ok = static_cast<bool>(fields >> e.schedule >> e.a >> e.b);
+  } else if (kind == "intra_weak" || kind == "intra_strong") {
+    e.kind = kind == "intra_weak" ? TraceEventKind::kIntraWeak
+                                  : TraceEventKind::kIntraStrong;
+    ok = static_cast<bool>(fields >> e.parent >> e.a >> e.b);
+  } else if (kind == "commit") {
+    e.kind = TraceEventKind::kCommit;
+    ok = static_cast<bool>(fields >> e.parent);
+  } else {
+    return Status::InvalidArgument(StrCat("unknown record kind '", kind, "'"));
+  }
+  if (!ok) {
+    return Status::InvalidArgument(StrCat("malformed ", kind, " record"));
+  }
+  return std::optional<TraceEvent>(std::move(e));
+}
+
 }  // namespace
+
+const char* TraceEventKindToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSchedule:
+      return "schedule";
+    case TraceEventKind::kRoot:
+      return "root";
+    case TraceEventKind::kSub:
+      return "sub";
+    case TraceEventKind::kLeaf:
+      return "leaf";
+    case TraceEventKind::kConflict:
+      return "conflict";
+    case TraceEventKind::kWeakOutput:
+      return "weak_out";
+    case TraceEventKind::kStrongOutput:
+      return "strong_out";
+    case TraceEventKind::kWeakInput:
+      return "weak_in";
+    case TraceEventKind::kStrongInput:
+      return "strong_in";
+    case TraceEventKind::kIntraWeak:
+      return "intra_weak";
+    case TraceEventKind::kIntraStrong:
+      return "intra_strong";
+    case TraceEventKind::kCommit:
+      return "commit";
+  }
+  return "unknown";
+}
+
+std::string FormatTraceEvent(const TraceEvent& e) {
+  const char* kind = TraceEventKindToString(e.kind);
+  switch (e.kind) {
+    case TraceEventKind::kSchedule:
+      return StrCat(kind, " ", e.name);
+    case TraceEventKind::kRoot:
+      return StrCat(kind, " ", e.schedule, " ", e.name);
+    case TraceEventKind::kSub:
+      return StrCat(kind, " ", e.parent, " ", e.schedule, " ", e.name);
+    case TraceEventKind::kLeaf:
+      return StrCat(kind, " ", e.parent, " ", e.name);
+    case TraceEventKind::kConflict:
+    case TraceEventKind::kWeakOutput:
+    case TraceEventKind::kStrongOutput:
+      return StrCat(kind, " ", e.a, " ", e.b);
+    case TraceEventKind::kWeakInput:
+    case TraceEventKind::kStrongInput:
+      return StrCat(kind, " ", e.schedule, " ", e.a, " ", e.b);
+    case TraceEventKind::kIntraWeak:
+    case TraceEventKind::kIntraStrong:
+      return StrCat(kind, " ", e.parent, " ", e.a, " ", e.b);
+    case TraceEventKind::kCommit:
+      return StrCat(kind, " ", e.parent);
+  }
+  return kind;
+}
+
+StatusOr<std::vector<TraceEvent>> ParseTraceEvents(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing comptx-trace v1 header");
+  }
+  size_t line_number = 1;
+  std::vector<TraceEvent> events;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto parsed = ParseLine(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StrCat("trace line ", line_number, ": ", parsed.status().message()));
+    }
+    if (!parsed->has_value()) {
+      saw_end = true;
+      break;
+    }
+    events.push_back(std::move(**parsed));
+  }
+  if (!saw_end) return Status::InvalidArgument("trace missing 'end' record");
+  return events;
+}
+
+Status ApplyTraceEvent(CompositeSystem& cs, const TraceEvent& e) {
+  switch (e.kind) {
+    case TraceEventKind::kSchedule:
+      cs.AddSchedule(e.name);
+      return Status::OK();
+    case TraceEventKind::kRoot:
+      return cs.AddRootTransaction(ScheduleId(e.schedule), e.name).status();
+    case TraceEventKind::kSub:
+      return cs
+          .AddSubtransaction(NodeId(e.parent), ScheduleId(e.schedule), e.name)
+          .status();
+    case TraceEventKind::kLeaf:
+      return cs.AddLeaf(NodeId(e.parent), e.name).status();
+    case TraceEventKind::kConflict:
+      return cs.AddConflict(NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kWeakOutput:
+      return cs.AddWeakOutput(NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kStrongOutput:
+      return cs.AddStrongOutput(NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kWeakInput:
+      return cs.AddWeakInput(ScheduleId(e.schedule), NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kStrongInput:
+      return cs.AddStrongInput(ScheduleId(e.schedule), NodeId(e.a),
+                               NodeId(e.b));
+    case TraceEventKind::kIntraWeak:
+      return cs.AddIntraWeak(NodeId(e.parent), NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kIntraStrong:
+      return cs.AddIntraStrong(NodeId(e.parent), NodeId(e.a), NodeId(e.b));
+    case TraceEventKind::kCommit:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown event kind");
+}
 
 StatusOr<std::string> SaveTrace(const CompositeSystem& cs) {
   std::ostringstream out;
@@ -78,98 +243,18 @@ StatusOr<std::string> SaveTrace(const CompositeSystem& cs) {
 }
 
 StatusOr<CompositeSystem> LoadTrace(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  size_t line_number = 0;
-  auto error = [&](const std::string& msg) {
-    return Status::InvalidArgument(
-        StrCat("trace line ", line_number, ": ", msg));
-  };
-
-  if (!std::getline(in, line) || line != kHeader) {
-    return Status::InvalidArgument("missing comptx-trace v1 header");
-  }
-  line_number = 1;
-
+  COMPTX_ASSIGN_OR_RETURN(std::vector<TraceEvent> events,
+                          ParseTraceEvents(text));
   CompositeSystem cs;
-  bool saw_end = false;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    std::istringstream fields(line);
-    std::string kind;
-    fields >> kind;
-    if (kind == "end") {
-      saw_end = true;
-      break;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status status = ApplyTraceEvent(cs, events[i]);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrCat("trace event ", i + 1, " (",
+                 TraceEventKindToString(events[i].kind), "): ",
+                 status.message()));
     }
-    if (kind == "schedule") {
-      std::string name;
-      if (!(fields >> name)) return error("schedule needs a name");
-      cs.AddSchedule(name);
-      continue;
-    }
-    if (kind == "root" || kind == "sub" || kind == "leaf") {
-      uint32_t parent = 0;
-      uint32_t sched = 0;
-      std::string name;
-      bool ok = true;
-      if (kind == "root") {
-        ok = static_cast<bool>(fields >> sched >> name);
-      } else if (kind == "sub") {
-        ok = static_cast<bool>(fields >> parent >> sched >> name);
-      } else {
-        ok = static_cast<bool>(fields >> parent >> name);
-      }
-      if (!ok) return error("malformed node line");
-      StatusOr<NodeId> id =
-          kind == "root"
-              ? cs.AddRootTransaction(ScheduleId(sched), name)
-          : kind == "sub"
-              ? cs.AddSubtransaction(NodeId(parent), ScheduleId(sched), name)
-              : cs.AddLeaf(NodeId(parent), name);
-      if (!id.ok()) return error(id.status().ToString());
-      continue;
-    }
-    if (kind == "conflict" || kind == "weak_out" || kind == "strong_out") {
-      uint32_t a = 0;
-      uint32_t b = 0;
-      if (!(fields >> a >> b)) return error("malformed pair line");
-      Status status = kind == "conflict"
-                          ? cs.AddConflict(NodeId(a), NodeId(b))
-                      : kind == "weak_out"
-                          ? cs.AddWeakOutput(NodeId(a), NodeId(b))
-                          : cs.AddStrongOutput(NodeId(a), NodeId(b));
-      if (!status.ok()) return error(status.ToString());
-      continue;
-    }
-    if (kind == "weak_in" || kind == "strong_in") {
-      uint32_t s = 0;
-      uint32_t a = 0;
-      uint32_t b = 0;
-      if (!(fields >> s >> a >> b)) return error("malformed input line");
-      Status status =
-          kind == "weak_in"
-              ? cs.AddWeakInput(ScheduleId(s), NodeId(a), NodeId(b))
-              : cs.AddStrongInput(ScheduleId(s), NodeId(a), NodeId(b));
-      if (!status.ok()) return error(status.ToString());
-      continue;
-    }
-    if (kind == "intra_weak" || kind == "intra_strong") {
-      uint32_t t = 0;
-      uint32_t a = 0;
-      uint32_t b = 0;
-      if (!(fields >> t >> a >> b)) return error("malformed intra line");
-      Status status =
-          kind == "intra_weak"
-              ? cs.AddIntraWeak(NodeId(t), NodeId(a), NodeId(b))
-              : cs.AddIntraStrong(NodeId(t), NodeId(a), NodeId(b));
-      if (!status.ok()) return error(status.ToString());
-      continue;
-    }
-    return error(StrCat("unknown record kind '", kind, "'"));
   }
-  if (!saw_end) return Status::InvalidArgument("trace missing 'end' record");
   return cs;
 }
 

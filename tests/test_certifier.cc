@@ -1,0 +1,431 @@
+// Tests for online::Certifier: prefix agreement with batch CheckCompC on
+// randomized traces over every topology shape, the paper's Figure 3/4
+// fixtures, sealing + epoch pruning, and the runtime RootOrderManager
+// observer hook.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "core/correctness.h"
+#include "online/certifier.h"
+#include "runtime/cc_scheduler.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx::online {
+namespace {
+
+ReductionOptions BatchPrefixOptions(bool forgetting = true) {
+  ReductionOptions options;
+  // Prefixes of well-formed executions legitimately violate the
+  // completeness rules of Defs 3-4 until the remaining events arrive, so
+  // the batch reference runs with validation off — the same semantics the
+  // online session implements.
+  options.validate = false;
+  options.keep_fronts = false;
+  options.forgetting = forgetting;
+  return options;
+}
+
+/// Replays `text` event by event through a Certifier and asserts the
+/// online verdict equals batch CheckCompC on the accepted-events prefix
+/// after EVERY event.  Returns the number of accepted events.
+size_t ExpectPrefixAgreement(const std::string& text,
+                             const CertifierOptions& options = {},
+                             const std::string& context = "") {
+  auto events = workload::ParseTraceEvents(text);
+  EXPECT_TRUE(events.ok()) << context << ": " << events.status().ToString();
+  if (!events.ok()) return 0;
+
+  Certifier certifier(options);
+  CompositeSystem mirror;
+  size_t accepted = 0;
+  size_t index = 0;
+  for (const workload::TraceEvent& event : *events) {
+    ++index;
+    if (!certifier.Ingest(event).ok()) continue;  // mirror skips rejections
+    ++accepted;
+    Status applied = workload::ApplyTraceEvent(mirror, event);
+    EXPECT_TRUE(applied.ok()) << context << " event " << index << ": "
+                              << applied.ToString();
+    auto batch = CheckCompC(mirror, BatchPrefixOptions(options.forgetting));
+    EXPECT_TRUE(batch.ok()) << context << " event " << index;
+    EXPECT_EQ(certifier.Certifiable(), batch->correct)
+        << context << ": disagreement after event " << index << " ("
+        << workload::FormatTraceEvent(event) << ")";
+    if (certifier.Certifiable() != batch->correct) return accepted;  // stop
+  }
+  return accepted;
+}
+
+TEST(Certifier, EmptySessionIsCertifiable) {
+  Certifier certifier;
+  EXPECT_TRUE(certifier.Certifiable());
+  EXPECT_EQ(certifier.Verdict().order, 0u);
+  EXPECT_TRUE(certifier.SerialWitness().empty());
+}
+
+TEST(Certifier, Figure4PrefixAgreementAndWitness) {
+  auto text = workload::SaveTrace(analysis::MakeFigure4().system);
+  ASSERT_TRUE(text.ok());
+  ExpectPrefixAgreement(*text, {}, "figure4");
+
+  // Full replay is certifiable with a two-root serial witness.
+  auto events = workload::ParseTraceEvents(*text);
+  ASSERT_TRUE(events.ok());
+  Certifier certifier;
+  for (const auto& event : *events) {
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+  }
+  EXPECT_TRUE(certifier.Certifiable());
+  EXPECT_EQ(certifier.Verdict().order, 3u);
+  EXPECT_EQ(certifier.SerialWitness().size(), 2u);
+}
+
+TEST(Certifier, Figure3DetectsTheViolation) {
+  auto text = workload::SaveTrace(analysis::MakeFigure3().system);
+  ASSERT_TRUE(text.ok());
+  ExpectPrefixAgreement(*text, {}, "figure3");
+
+  auto events = workload::ParseTraceEvents(*text);
+  ASSERT_TRUE(events.ok());
+  Certifier certifier;
+  for (const auto& event : *events) {
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+  }
+  EXPECT_FALSE(certifier.Certifiable());
+  ASSERT_TRUE(certifier.Verdict().failure.has_value());
+  EXPECT_FALSE(certifier.Verdict().failure->description.empty());
+  EXPECT_TRUE(certifier.SerialWitness().empty());
+}
+
+TEST(Certifier, Figure4WithoutForgettingFails) {
+  // The E8 ablation: disabling Def 10.3 forgetting makes Figure 4
+  // incorrect, online and batch alike.
+  auto text = workload::SaveTrace(analysis::MakeFigure4().system);
+  ASSERT_TRUE(text.ok());
+  CertifierOptions options;
+  options.forgetting = false;
+  ExpectPrefixAgreement(*text, options, "figure4-noforget");
+
+  auto events = workload::ParseTraceEvents(*text);
+  ASSERT_TRUE(events.ok());
+  Certifier certifier(options);
+  for (const auto& event : *events) {
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+  }
+  EXPECT_FALSE(certifier.Certifiable());
+}
+
+/// The headline property: online == batch after every event, across >=1000
+/// random traces covering all four topology shapes, with and without
+/// local serialization anomalies injected.
+TEST(Certifier, PrefixAgreementOnRandomTraces) {
+  const std::vector<workload::TopologyKind> kinds = {
+      workload::TopologyKind::kStack,
+      workload::TopologyKind::kFork,
+      workload::TopologyKind::kJoin,
+      workload::TopologyKind::kLayeredDag,
+  };
+  size_t traces = 0;
+  for (workload::TopologyKind kind : kinds) {
+    for (uint64_t seed = 0; seed < 250; ++seed) {
+      workload::WorkloadSpec spec;
+      spec.topology.kind = kind;
+      spec.topology.depth = 2 + static_cast<uint32_t>(seed % 2);
+      spec.topology.branches = 2;
+      spec.topology.roots = 2 + static_cast<uint32_t>(seed % 3);
+      spec.topology.fanout = 2;
+      spec.execution.conflict_prob = 0.35;
+      // Half the traces inject local anomalies so the incorrect branch of
+      // the verdict is exercised heavily as well.
+      spec.execution.disorder_prob = (seed % 2 == 0) ? 0.0 : 0.3;
+      spec.execution.intra_weak_prob = 0.25;
+      spec.execution.intra_strong_prob = 0.1;
+
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+      auto text = workload::SaveTrace(*cs);
+      ASSERT_TRUE(text.ok());
+      std::string context = std::string(TopologyKindToString(kind)) +
+                            "/seed=" + std::to_string(seed);
+      ASSERT_GT(ExpectPrefixAgreement(*text, {}, context), 0u) << context;
+      ++traces;
+      if (HasFailure()) return;  // one counterexample is enough output
+    }
+  }
+  EXPECT_EQ(traces, 1000u);
+}
+
+TEST(Certifier, RejectsEventsOnSealedSubtrees) {
+  Certifier certifier;
+  workload::TraceEvent event;
+  event.kind = workload::TraceEventKind::kSchedule;
+  event.name = "S1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  event.kind = workload::TraceEventKind::kRoot;
+  event.schedule = 0;
+  event.name = "T1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  event = {};
+  event.kind = workload::TraceEventKind::kLeaf;
+  event.parent = 0;
+  event.name = "x";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+
+  ASSERT_TRUE(certifier.Commit(NodeId(0)).ok());
+  ASSERT_TRUE(certifier.Commit(NodeId(0)).ok());  // idempotent
+
+  // A new operation under the sealed root must be rejected...
+  event = {};
+  event.kind = workload::TraceEventKind::kLeaf;
+  event.parent = 0;
+  event.name = "y";
+  EXPECT_FALSE(certifier.Ingest(event).ok());
+  // ...while unrelated growth is still accepted.
+  event = {};
+  event.kind = workload::TraceEventKind::kRoot;
+  event.schedule = 0;
+  event.name = "T2";
+  EXPECT_TRUE(certifier.Ingest(event).ok());
+  EXPECT_EQ(certifier.Stats().events_rejected, 1u);
+}
+
+TEST(Certifier, PruningRemovesQuiescentCommittedSubtrees) {
+  // Two independent roots with a conflict-free history: after committing
+  // T1, its subtree has no incoming edges anywhere and must be pruned.
+  Certifier certifier;
+  workload::TraceEvent event;
+  event.kind = workload::TraceEventKind::kSchedule;
+  event.name = "S1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  for (const char* root : {"T1", "T2"}) {
+    event = {};
+    event.kind = workload::TraceEventKind::kRoot;
+    event.schedule = 0;
+    event.name = root;
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+  }
+  for (auto [parent, name] : {std::pair{0u, "x"}, {1u, "y"}}) {
+    event = {};
+    event.kind = workload::TraceEventKind::kLeaf;
+    event.parent = parent;
+    event.name = name;
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+  }
+
+  ASSERT_TRUE(certifier.Commit(NodeId(0)).ok());
+  CertifierStats stats = certifier.Stats();
+  EXPECT_EQ(stats.pruned_nodes, 2u);  // T1 and its leaf
+  EXPECT_EQ(stats.live_nodes, 2u);    // T2 and its leaf
+  EXPECT_TRUE(certifier.Certifiable());
+  // The witness only lists live roots.
+  std::vector<NodeId> witness = certifier.SerialWitness();
+  ASSERT_EQ(witness.size(), 1u);
+  EXPECT_EQ(witness[0], NodeId(1));
+}
+
+TEST(Certifier, CommitAllRootsOnRandomTracePreservesVerdict) {
+  // Ingest a full random trace, then commit every root; pruning must never
+  // flip the verdict, and the verdict must still match batch on the full
+  // system.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.topology.kind = workload::TopologyKind::kLayeredDag;
+    spec.topology.depth = 3;
+    spec.topology.roots = 3;
+    spec.execution.conflict_prob = 0.3;
+    spec.execution.disorder_prob = (seed % 2 == 0) ? 0.0 : 0.3;
+    auto cs = workload::GenerateSystem(spec, 5000 + seed);
+    ASSERT_TRUE(cs.ok());
+    auto text = workload::SaveTrace(*cs);
+    ASSERT_TRUE(text.ok());
+    auto events = workload::ParseTraceEvents(*text);
+    ASSERT_TRUE(events.ok());
+
+    Certifier certifier;
+    for (const auto& event : *events) {
+      ASSERT_TRUE(certifier.Ingest(event).ok());
+    }
+    auto batch = CheckCompC(*cs, BatchPrefixOptions());
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(certifier.Certifiable(), batch->correct) << "seed " << seed;
+
+    for (NodeId root : cs->Roots()) {
+      ASSERT_TRUE(certifier.Commit(root).ok());
+    }
+    certifier.Prune();
+    EXPECT_EQ(certifier.Certifiable(), batch->correct)
+        << "pruning flipped the verdict, seed " << seed;
+    if (batch->correct) {
+      EXPECT_GT(certifier.Stats().pruned_nodes, 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Certifier, RejectsRecursiveInvocation) {
+  Certifier certifier;
+  workload::TraceEvent event;
+  event.kind = workload::TraceEventKind::kSchedule;
+  event.name = "S1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  event.name = "S2";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  event = {};
+  event.kind = workload::TraceEventKind::kRoot;
+  event.schedule = 0;
+  event.name = "T1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  event = {};
+  event.kind = workload::TraceEventKind::kSub;
+  event.parent = 0;
+  event.schedule = 1;
+  event.name = "t11";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  // t11 runs on S2; invoking S1 from it would close S1 -> S2 -> S1.
+  event = {};
+  event.kind = workload::TraceEventKind::kSub;
+  event.parent = 1;
+  event.schedule = 0;
+  event.name = "t111";
+  EXPECT_FALSE(certifier.Ingest(event).ok());
+  // The session survives and stays usable.
+  EXPECT_TRUE(certifier.Certifiable());
+  event = {};
+  event.kind = workload::TraceEventKind::kLeaf;
+  event.parent = 1;
+  event.name = "x";
+  EXPECT_TRUE(certifier.Ingest(event).ok());
+}
+
+class RecordingObserver : public runtime::RootOrderObserver {
+ public:
+  void OnEdgesAccepted(
+      const std::vector<std::pair<uint32_t, uint32_t>>& added) override {
+    for (const auto& edge : added) edges.push_back(edge);
+    ++batches;
+  }
+  void OnRootRemoved(uint32_t root) override { removed.push_back(root); }
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  std::vector<uint32_t> removed;
+  int batches = 0;
+};
+
+TEST(RootOrderObserver, NotifiedOfAcceptedEdgesOnly) {
+  runtime::RootOrderManager manager;
+  RecordingObserver observer;
+  manager.set_observer(&observer);
+
+  // Duplicates and self-loops are filtered from the notification.
+  EXPECT_TRUE(manager.TryAddEdges({{1, 2}, {1, 1}, {1, 2}, {2, 3}}));
+  ASSERT_EQ(observer.edges.size(), 2u);
+  EXPECT_EQ(observer.edges[0], (std::pair<uint32_t, uint32_t>{1, 2}));
+  EXPECT_EQ(observer.edges[1], (std::pair<uint32_t, uint32_t>{2, 3}));
+  EXPECT_EQ(observer.batches, 1);
+
+  // A rejected batch (would close 1 -> 2 -> 3 -> 1) notifies nothing.
+  EXPECT_FALSE(manager.TryAddEdges({{3, 1}}));
+  EXPECT_EQ(observer.batches, 1);
+
+  // A fully redundant batch notifies nothing either.
+  EXPECT_TRUE(manager.TryAddEdges({{1, 2}}));
+  EXPECT_EQ(observer.batches, 1);
+
+  manager.RemoveRoot(2);
+  ASSERT_EQ(observer.removed.size(), 1u);
+  EXPECT_EQ(observer.removed[0], 2u);
+  EXPECT_EQ(manager.EdgeCount(), 0u);
+
+  // Detaching stops notifications.
+  manager.set_observer(nullptr);
+  EXPECT_TRUE(manager.TryAddEdges({{5, 6}}));
+  EXPECT_EQ(observer.batches, 1);
+}
+
+/// The observer is how a runtime streams its serialization decisions into
+/// an online certifier session: each accepted root-order edge becomes a
+/// conflicting, weak-output-ordered pair between the roots' designated
+/// ticket operations, whose pulled-up observed order then constrains the
+/// top-level front.  This adapter test closes the loop.
+class CertifierBridge : public runtime::RootOrderObserver {
+ public:
+  CertifierBridge(Certifier* certifier, std::vector<uint32_t> ticket_op)
+      : certifier_(certifier), ticket_op_(std::move(ticket_op)) {}
+
+  void OnEdgesAccepted(
+      const std::vector<std::pair<uint32_t, uint32_t>>& added) override {
+    for (const auto& [from, to] : added) {
+      workload::TraceEvent event;
+      event.kind = workload::TraceEventKind::kConflict;
+      event.a = ticket_op_[from];
+      event.b = ticket_op_[to];
+      Status status = certifier_->Ingest(event);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      event.kind = workload::TraceEventKind::kWeakOutput;
+      status = certifier_->Ingest(event);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+  void OnRootRemoved(uint32_t) override {}
+
+ private:
+  Certifier* certifier_;
+  std::vector<uint32_t> ticket_op_;  // runtime root index -> leaf node id
+};
+
+TEST(RootOrderObserver, BridgesRuntimeDecisionsIntoCertifier) {
+  // Three roots, each with one leaf (its ticket operation) on a shared
+  // schedule.  The runtime decides T2 < T0 < T1; the bridged certifier
+  // stays certifiable and its serial witness lists the roots in exactly
+  // that order (forcing a reorder: T2 was created last).
+  Certifier certifier;
+  workload::TraceEvent event;
+  event.kind = workload::TraceEventKind::kSchedule;
+  event.name = "S1";
+  ASSERT_TRUE(certifier.Ingest(event).ok());
+  std::vector<uint32_t> roots, tickets;
+  for (const char* name : {"T0", "T1", "T2"}) {
+    event = {};
+    event.kind = workload::TraceEventKind::kRoot;
+    event.schedule = 0;
+    event.name = name;
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+    roots.push_back(static_cast<uint32_t>(certifier.system().NodeCount() - 1));
+    event = {};
+    event.kind = workload::TraceEventKind::kLeaf;
+    event.parent = roots.back();
+    event.name = std::string("x") + name;
+    ASSERT_TRUE(certifier.Ingest(event).ok());
+    tickets.push_back(
+        static_cast<uint32_t>(certifier.system().NodeCount() - 1));
+  }
+
+  runtime::RootOrderManager manager;
+  CertifierBridge bridge(&certifier, tickets);
+  manager.set_observer(&bridge);
+
+  EXPECT_TRUE(manager.TryAddEdges({{2, 0}, {0, 1}}));
+  EXPECT_TRUE(certifier.Certifiable());
+
+  std::vector<NodeId> witness = certifier.SerialWitness();
+  ASSERT_EQ(witness.size(), 3u);
+  EXPECT_EQ(witness[0], NodeId(roots[2]));
+  EXPECT_EQ(witness[1], NodeId(roots[0]));
+  EXPECT_EQ(witness[2], NodeId(roots[1]));
+
+  // The runtime refuses 1 -> 2 (would close T2 < T0 < T1 < T2); nothing
+  // reaches the certifier and the verdict is unchanged.
+  EXPECT_FALSE(manager.TryAddEdges({{1, 2}}));
+  EXPECT_TRUE(certifier.Certifiable());
+  EXPECT_EQ(certifier.SerialWitness().size(), 3u);
+}
+
+}  // namespace
+}  // namespace comptx::online

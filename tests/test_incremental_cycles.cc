@@ -1,0 +1,196 @@
+// Tests for online::IncrementalCycleGraph (Pearce-Kelly dynamic
+// acyclicity): cross-checks against the batch cycle finder after every
+// insertion, and exercises the witness contract, node removal and the
+// maintained topological order.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/cycle_finder.h"
+#include "graph/digraph.h"
+#include "online/incremental_cycles.h"
+#include "util/rng.h"
+
+namespace comptx::online {
+namespace {
+
+TEST(IncrementalCycleGraph, EmptyGraphIsAcyclic) {
+  IncrementalCycleGraph g;
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.NodeCount(), 0u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(IncrementalCycleGraph, ChainStaysAcyclic) {
+  IncrementalCycleGraph g;
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(g.AddEdge(NodeId(i), NodeId(i + 1)));
+  }
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.EdgeCount(), 10u);
+}
+
+TEST(IncrementalCycleGraph, DuplicateEdgeIsIdempotent) {
+  IncrementalCycleGraph g;
+  EXPECT_TRUE(g.AddEdge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(g.AddEdge(NodeId(0), NodeId(1)));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(IncrementalCycleGraph, SelfLoopIsOneNodeCycle) {
+  IncrementalCycleGraph g;
+  EXPECT_FALSE(g.AddEdge(NodeId(3), NodeId(3)));
+  EXPECT_TRUE(g.has_cycle());
+  ASSERT_EQ(g.cycle_witness().size(), 1u);
+  EXPECT_EQ(g.cycle_witness()[0], NodeId(3));
+}
+
+TEST(IncrementalCycleGraph, TwoCycleDetected) {
+  IncrementalCycleGraph g;
+  EXPECT_TRUE(g.AddEdge(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(g.AddEdge(NodeId(1), NodeId(0)));
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(IncrementalCycleGraph, BackEdgeClosingLongPathDetected) {
+  IncrementalCycleGraph g;
+  for (uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.AddEdge(NodeId(i), NodeId(i + 1)));
+  }
+  EXPECT_FALSE(g.AddEdge(NodeId(20), NodeId(0)));
+  EXPECT_TRUE(g.has_cycle());
+}
+
+/// The witness must be a real cycle of the inserted edges: every
+/// consecutive pair an edge, and the last node closing back to the first.
+TEST(IncrementalCycleGraph, WitnessIsARealCycle) {
+  IncrementalCycleGraph g;
+  // Diamond with a back edge: 0->1->3, 0->2->3, then 3->0 closes.
+  ASSERT_TRUE(g.AddEdge(NodeId(0), NodeId(1)));
+  ASSERT_TRUE(g.AddEdge(NodeId(1), NodeId(3)));
+  ASSERT_TRUE(g.AddEdge(NodeId(0), NodeId(2)));
+  ASSERT_TRUE(g.AddEdge(NodeId(2), NodeId(3)));
+  ASSERT_FALSE(g.AddEdge(NodeId(3), NodeId(0)));
+  const std::vector<NodeId>& w = g.cycle_witness();
+  ASSERT_GE(w.size(), 2u);
+  for (size_t i = 0; i + 1 < w.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(w[i], w[i + 1]))
+        << "witness edge " << w[i] << " -> " << w[i + 1] << " missing";
+  }
+  EXPECT_TRUE(g.HasEdge(w.back(), w.front()));
+}
+
+TEST(IncrementalCycleGraph, FailureIsSticky) {
+  IncrementalCycleGraph g;
+  ASSERT_TRUE(g.AddEdge(NodeId(0), NodeId(1)));
+  ASSERT_FALSE(g.AddEdge(NodeId(1), NodeId(0)));
+  // Later edges are still recorded (adjacency stays complete for pruning)
+  // but the verdict stays failed.
+  EXPECT_FALSE(g.AddEdge(NodeId(5), NodeId(6)));
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_TRUE(g.HasEdge(NodeId(5), NodeId(6)));
+}
+
+/// On an acyclic graph the maintained order keys are a topological order:
+/// every edge goes from a smaller key to a larger one.
+TEST(IncrementalCycleGraph, OrderKeysAreTopological) {
+  Rng rng(7);
+  IncrementalCycleGraph g;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Random DAG edges i -> j with i < j, inserted in shuffled order so the
+  // structure reorders constantly.
+  for (uint32_t i = 0; i < 30; ++i) {
+    for (uint32_t j = i + 1; j < 30; ++j) {
+      if (rng.Bernoulli(0.12)) edges.emplace_back(NodeId(i), NodeId(j));
+    }
+  }
+  rng.Shuffle(edges);
+  for (const auto& [a, b] : edges) ASSERT_TRUE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.has_cycle());
+  for (const auto& [a, b] : edges) {
+    EXPECT_LT(g.OrderKey(a), g.OrderKey(b))
+        << a << " -> " << b << " violates the maintained order";
+  }
+}
+
+TEST(IncrementalCycleGraph, InDegreeAndRemoveNode) {
+  IncrementalCycleGraph g;
+  ASSERT_TRUE(g.AddEdge(NodeId(0), NodeId(2)));
+  ASSERT_TRUE(g.AddEdge(NodeId(1), NodeId(2)));
+  ASSERT_TRUE(g.AddEdge(NodeId(2), NodeId(3)));
+  EXPECT_EQ(g.InDegree(NodeId(2)), 2u);
+  EXPECT_EQ(g.InDegree(NodeId(0)), 0u);
+  EXPECT_EQ(g.InDegree(NodeId(99)), 0u);  // unknown node
+  g.RemoveNode(NodeId(2));
+  EXPECT_FALSE(g.Contains(NodeId(2)));
+  EXPECT_EQ(g.InDegree(NodeId(3)), 0u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  // The survivors can still take edges.
+  EXPECT_TRUE(g.AddEdge(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(g.has_cycle());
+}
+
+/// Randomized cross-check: after every single insertion, the incremental
+/// verdict must equal batch IsAcyclic on the same edge set.  Once a cycle
+/// appears the incremental graph reports failure forever (sticky), which
+/// the batch check confirms stays cyclic since edges are never removed.
+TEST(IncrementalCycleGraph, RandomizedAgainstBatchCycleFinder) {
+  constexpr uint32_t kNodes = 24;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    Rng rng(1000 + static_cast<uint64_t>(round));
+    IncrementalCycleGraph inc;
+    graph::Digraph batch(kNodes);
+    bool failed = false;
+    const int edges = static_cast<int>(rng.UniformRange(5, 60));
+    for (int e = 0; e < edges; ++e) {
+      NodeId a(static_cast<uint32_t>(rng.UniformInt(kNodes)));
+      NodeId b(static_cast<uint32_t>(rng.UniformInt(kNodes)));
+      bool ok = inc.AddEdge(a, b);
+      batch.AddEdge(a.index(), b.index());
+      bool batch_acyclic = graph::IsAcyclic(batch) && !batch.HasSelfLoop();
+      failed = failed || !batch_acyclic;
+      ASSERT_EQ(ok, !failed)
+          << "round " << round << " edge " << e << ": " << a << " -> " << b;
+      ASSERT_EQ(inc.has_cycle(), failed);
+    }
+    // When failed, the recorded witness must be a genuine cycle.
+    if (failed && !inc.cycle_witness().empty()) {
+      const std::vector<NodeId>& w = inc.cycle_witness();
+      for (size_t i = 0; i + 1 < w.size(); ++i) {
+        ASSERT_TRUE(inc.HasEdge(w[i], w[i + 1]));
+      }
+      ASSERT_TRUE(inc.HasEdge(w.back(), w.front()));
+    }
+  }
+}
+
+/// Randomized DAG-only stress: only forward edges (never creating cycles),
+/// verifying the incremental structure never reports a spurious cycle even
+/// under heavy reordering, and keeps keys topological throughout.
+TEST(IncrementalCycleGraph, RandomizedDagNeverFails) {
+  for (int round = 0; round < 50; ++round) {
+    Rng rng(77000 + static_cast<uint64_t>(round));
+    constexpr uint32_t kNodes = 40;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t i = 0; i < kNodes; ++i) {
+      for (uint32_t j = i + 1; j < kNodes; ++j) {
+        if (rng.Bernoulli(0.08)) edges.emplace_back(i, j);
+      }
+    }
+    rng.Shuffle(edges);
+    IncrementalCycleGraph g;
+    for (const auto& [a, b] : edges) {
+      ASSERT_TRUE(g.AddEdge(NodeId(a), NodeId(b)));
+      ASSERT_FALSE(g.has_cycle());
+    }
+    for (const auto& [a, b] : edges) {
+      ASSERT_LT(g.OrderKey(NodeId(a)), g.OrderKey(NodeId(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace comptx::online

@@ -1,0 +1,184 @@
+// Online certification CLI: replays a comptx-trace file event by event
+// through an online::Certifier and reports whether the execution stays
+// certifiable at every prefix.  With --check, every accepted prefix is
+// additionally cross-validated against batch CheckCompC on a mirror of
+// the system built so far (validation disabled: prefixes of well-formed
+// executions legitimately violate the completeness rules of Defs 3-4).
+//
+// Usage: comptx_certify [--check] [--no-prune] [--stats] <trace-file>
+//        comptx_certify --demo [--check]
+//
+// Exit codes: 0 = certifiable, 1 = not certifiable, 2 = usage/IO error
+// (including a --check disagreement, which indicates a comptx bug).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "core/correctness.h"
+#include "online/certifier.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+const char* StepName(online::OnlineFailure::Step step) {
+  switch (step) {
+    case online::OnlineFailure::Step::kCalculation:
+      return "calculation";
+    case online::OnlineFailure::Step::kConflictConsistency:
+      return "conflict consistency";
+  }
+  return "?";
+}
+
+struct CliOptions {
+  bool check = false;
+  bool stats = false;
+  bool prune = true;
+};
+
+int Certify(const std::string& text, const CliOptions& cli) {
+  auto events = workload::ParseTraceEvents(text);
+  if (!events.ok()) {
+    std::cerr << "trace parse error: " << events.status() << "\n";
+    return 2;
+  }
+
+  online::CertifierOptions options;
+  options.auto_prune = cli.prune;
+  online::Certifier certifier(options);
+  CompositeSystem mirror;  // batch mirror for --check, accepted events only
+
+  size_t index = 0;
+  bool reported_failure = false;
+  for (const workload::TraceEvent& event : *events) {
+    ++index;
+    Status status = certifier.Ingest(event);
+    if (!status.ok()) {
+      std::cerr << "event " << index << " ("
+                << workload::FormatTraceEvent(event)
+                << ") rejected: " << status << "\n";
+      continue;  // rejected events leave the session (and mirror) unchanged
+    }
+    online::CertifierVerdict verdict = certifier.Verdict();
+    if (!verdict.certifiable && !reported_failure) {
+      reported_failure = true;
+      std::cout << "not certifiable after event " << index << " ("
+                << workload::FormatTraceEvent(event) << ")\n";
+      if (verdict.failure.has_value()) {
+        std::cout << "  level " << verdict.failure->level << ", "
+                  << StepName(verdict.failure->step)
+                  << " violation: " << verdict.failure->description << "\n";
+      }
+    }
+    if (cli.check) {
+      if (Status applied = workload::ApplyTraceEvent(mirror, event);
+          !applied.ok()) {
+        std::cerr << "mirror apply failed at event " << index << ": "
+                  << applied << "\n";
+        return 2;
+      }
+      ReductionOptions reduction;
+      reduction.validate = false;
+      reduction.keep_fronts = false;
+      auto batch = CheckCompC(mirror, reduction);
+      if (!batch.ok()) {
+        std::cerr << "batch checker error at event " << index << ": "
+                  << batch.status() << "\n";
+        return 2;
+      }
+      if (batch->correct != verdict.certifiable) {
+        std::cerr << "DISAGREEMENT at event " << index << " ("
+                  << workload::FormatTraceEvent(event) << "): online says "
+                  << (verdict.certifiable ? "certifiable" : "not certifiable")
+                  << ", batch says "
+                  << (batch->correct ? "correct" : "incorrect") << "\n";
+        return 2;
+      }
+    }
+  }
+
+  online::CertifierVerdict verdict = certifier.Verdict();
+  if (verdict.certifiable) {
+    std::cout << "certifiable (order " << verdict.order << ", " << index
+              << " events";
+    std::vector<NodeId> witness = certifier.SerialWitness();
+    if (!witness.empty()) {
+      std::cout << "; serial witness:";
+      for (NodeId root : witness) {
+        std::cout << " " << certifier.system().node(root).name;
+      }
+    }
+    std::cout << ")\n";
+  }
+  if (cli.check) std::cout << "batch agreement: all prefixes\n";
+  if (cli.stats) {
+    online::CertifierStats stats = certifier.Stats();
+    std::cout << "stats: accepted=" << stats.events_accepted
+              << " rejected=" << stats.events_rejected
+              << " rebuilds=" << stats.rebuilds
+              << " prune_passes=" << stats.prune_passes
+              << " pruned_nodes=" << stats.pruned_nodes
+              << " live_nodes=" << stats.live_nodes
+              << " observed_pairs=" << stats.observed_pairs
+              << " cc_edges=" << stats.cc_edges
+              << " calc_edges=" << stats.calc_edges
+              << " closure_pairs=" << stats.closure_pairs << "\n";
+  }
+  return verdict.certifiable ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  bool demo = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      cli.check = true;
+    } else if (arg == "--stats") {
+      cli.stats = true;
+    } else if (arg == "--no-prune") {
+      cli.prune = false;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "multiple trace files given\n";
+      return 2;
+    }
+  }
+  if (demo == !path.empty()) {  // exactly one of --demo / <trace-file>
+    std::cerr << "usage: comptx_certify [--check] [--no-prune] [--stats] "
+                 "<trace-file> | --demo\n";
+    return 2;
+  }
+  if (demo) {
+    auto text = workload::SaveTrace(analysis::MakeFigure4().system);
+    if (!text.ok()) {
+      std::cerr << "demo generation failed: " << text.status() << "\n";
+      return 2;
+    }
+    std::cout << "demo trace (Figure 4):\n" << *text << "\n";
+    return Certify(*text, cli);
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Certify(buffer.str(), cli);
+}
