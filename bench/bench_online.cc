@@ -25,6 +25,7 @@
 #include "core/correctness.h"
 #include "online/certifier.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "workload/trace.h"
 #include "workload/workload_spec.h"
 
@@ -288,6 +289,7 @@ int main(int argc, char** argv) {
        << "  \"topology\": \"layered_dag\",\n"
        << "  \"depth\": 3,\n"
        << "  \"conflict_prob\": 0.15,\n"
+       << "  \"threads\": " << ThreadPool::Global().ThreadCount() << ",\n"
        << "  \"per_event_cost_grows_slower_than_batch\": "
        << (grows_slower ? "true" : "false") << ",\n"
        << "  \"all_prefix_verdicts_agree\": " << (all_agree ? "true" : "false")

@@ -1,0 +1,133 @@
+// Microbenchmarks of the dense relation engine against the layout it
+// replaced (std::map<uint32_t, std::set<uint32_t>>): insertion, membership
+// probes, full iteration, and the closure-materialization pattern that
+// dominates SystemContext construction.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/indexing.h"
+#include "core/relation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+std::vector<std::pair<uint32_t, uint32_t>> RandomPairs(size_t count,
+                                                       uint32_t id_space,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(uint32_t(rng.UniformInt(id_space)),
+                       uint32_t(rng.UniformInt(id_space)));
+  }
+  return pairs;
+}
+
+void BM_DenseAdd(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  for (auto _ : state) {
+    Relation rel;
+    for (const auto& [a, b] : pairs) rel.Add(NodeId(a), NodeId(b));
+    benchmark::DoNotOptimize(rel.PairCount());
+  }
+}
+BENCHMARK(BM_DenseAdd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MapSetAdd(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  for (auto _ : state) {
+    std::map<uint32_t, std::set<uint32_t>> rel;
+    for (const auto& [a, b] : pairs) rel[a].insert(b);
+    benchmark::DoNotOptimize(rel.size());
+  }
+}
+BENCHMARK(BM_MapSetAdd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DenseContains(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  Relation rel;
+  for (const auto& [a, b] : pairs) rel.Add(NodeId(a), NodeId(b));
+  const auto probes = RandomPairs(4096, 1024, 8);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const auto& [a, b] : probes) {
+      hits += rel.Contains(NodeId(a), NodeId(b));
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_DenseContains)->Arg(10000)->Arg(100000);
+
+void BM_MapSetContains(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  std::map<uint32_t, std::set<uint32_t>> rel;
+  for (const auto& [a, b] : pairs) rel[a].insert(b);
+  const auto probes = RandomPairs(4096, 1024, 8);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const auto& [a, b] : probes) {
+      auto it = rel.find(a);
+      hits += it != rel.end() && it->second.count(b) > 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_MapSetContains)->Arg(10000)->Arg(100000);
+
+void BM_DenseForEach(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  Relation rel;
+  for (const auto& [a, b] : pairs) rel.Add(NodeId(a), NodeId(b));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    rel.ForEach([&](NodeId a, NodeId b) { sum += a.index() + b.index(); });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DenseForEach)->Arg(10000)->Arg(100000);
+
+void BM_MapSetForEach(benchmark::State& state) {
+  const auto pairs = RandomPairs(size_t(state.range(0)), 1024, 7);
+  std::map<uint32_t, std::set<uint32_t>> rel;
+  for (const auto& [a, b] : pairs) rel[a].insert(b);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const auto& [a, row] : rel) {
+      for (uint32_t b : row) sum += a + b;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MapSetForEach)->Arg(10000)->Arg(100000);
+
+// The SystemContext hot pattern: close a sparse order over a domain and
+// materialize the result (ClosureWithin is append-optimized end to end).
+void BM_ClosureWithin(benchmark::State& state) {
+  const uint32_t n = uint32_t(state.range(0));
+  std::vector<NodeId> domain;
+  Relation chainish;
+  Rng rng(11);
+  for (uint32_t i = 0; i < n; ++i) {
+    domain.push_back(NodeId(i));
+    if (i > 0) chainish.Add(NodeId(i - 1), NodeId(i));
+    if (i > 2 && rng.Bernoulli(0.2)) {
+      chainish.Add(NodeId(uint32_t(rng.UniformInt(i))), NodeId(i));
+    }
+  }
+  for (auto _ : state) {
+    Relation closed = ClosureWithin(chainish, domain);
+    benchmark::DoNotOptimize(closed.PairCount());
+  }
+}
+BENCHMARK(BM_ClosureWithin)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

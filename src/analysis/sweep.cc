@@ -1,0 +1,71 @@
+#include "analysis/sweep.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace comptx::analysis {
+
+std::vector<SweepVerdict> SweepCompC(
+    const std::vector<const CompositeSystem*>& systems,
+    const ReductionOptions& options) {
+  return ParallelMap<SweepVerdict>(systems.size(), [&](size_t i) {
+    SweepVerdict verdict;
+    auto result = CheckCompC(*systems[i], options);
+    if (!result.ok()) {
+      verdict.status_message = result.status().ToString();
+      return verdict;
+    }
+    verdict.ok = true;
+    verdict.comp_c = result->correct;
+    verdict.order = result->order;
+    verdict.failure = result->failure;
+    return verdict;
+  });
+}
+
+StatusOr<std::vector<bool>> BatchPrefixVerdicts(
+    const std::vector<workload::TraceEvent>& events,
+    const ReductionOptions& options) {
+  const size_t n = events.size();
+  ReductionOptions prefix_options = options;
+  prefix_options.validate = false;
+
+  // One chunk per pool thread (capped at n): each extra chunk costs a full
+  // prefix replay, so oversubscribing buys nothing here.
+  const size_t chunk_count =
+      std::max<size_t>(1, std::min(n, ThreadPool::Global().ThreadCount()));
+  const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
+
+  std::vector<bool> verdicts(n);
+  std::vector<Status> chunk_status(chunk_count);
+  ThreadPool::Global().ParallelFor(chunk_count, [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) return;
+    CompositeSystem mirror;
+    for (size_t i = 0; i < end; ++i) {
+      if (Status applied = workload::ApplyTraceEvent(mirror, events[i]);
+          !applied.ok()) {
+        chunk_status[c] = Status::InvalidArgument(
+            StrCat("event ", i + 1, " failed to apply: ",
+                   applied.ToString()));
+        return;
+      }
+      if (i < begin) continue;  // silent replay of the chunk's prefix.
+      auto result = CheckCompC(mirror, prefix_options);
+      if (!result.ok()) {
+        chunk_status[c] = result.status();
+        return;
+      }
+      verdicts[i] = result->correct;
+    }
+  });
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
+  }
+  return verdicts;
+}
+
+}  // namespace comptx::analysis

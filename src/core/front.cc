@@ -1,10 +1,12 @@
 #include "core/front.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/indexing.h"
 #include "graph/cycle_finder.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace comptx {
 
@@ -20,38 +22,47 @@ SystemContext::SystemContext(const CompositeSystem& system)
             << result.status().ToString();
         return std::move(result).value();
       }()) {
+  // Every per-schedule and per-transaction closure is independent, so the
+  // construction fans out over the pool; each task writes only its own
+  // preallocated slot, which keeps the result identical at any thread
+  // count.
   const size_t schedule_count = cs.ScheduleCount();
-  closed_weak_output.reserve(schedule_count);
-  closed_strong_output.reserve(schedule_count);
-  closed_weak_input.reserve(schedule_count);
-  closed_strong_input.reserve(schedule_count);
-  for (uint32_t s = 0; s < schedule_count; ++s) {
+  closed_weak_output.resize(schedule_count);
+  closed_strong_output.resize(schedule_count);
+  closed_weak_input.resize(schedule_count);
+  closed_strong_input.resize(schedule_count);
+  ThreadPool::Global().ParallelFor(schedule_count, [&](size_t s) {
     const Schedule& sched = cs.schedule(ScheduleId(s));
     const std::vector<NodeId> ops = cs.OperationsOf(ScheduleId(s));
-    closed_weak_output.push_back(ClosureWithin(sched.weak_output, ops));
-    closed_strong_output.push_back(ClosureWithin(sched.strong_output, ops));
-    closed_weak_input.push_back(
-        ClosureWithin(sched.weak_input, sched.transactions));
-    closed_strong_input.push_back(
-        ClosureWithin(sched.strong_input, sched.transactions));
-  }
+    closed_weak_output[s] = ClosureWithin(sched.weak_output, ops);
+    closed_strong_output[s] = ClosureWithin(sched.strong_output, ops);
+    closed_weak_input[s] = ClosureWithin(sched.weak_input, sched.transactions);
+    closed_strong_input[s] =
+        ClosureWithin(sched.strong_input, sched.transactions);
+  });
   closed_weak_intra.resize(cs.NodeCount());
   closed_strong_intra.resize(cs.NodeCount());
-  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
-    const Node& n = cs.node(NodeId(v));
-    if (!n.IsTransaction()) continue;
+  ThreadPool::Global().ParallelFor(cs.NodeCount(), [&](size_t v) {
+    const Node& n = cs.node(NodeId(static_cast<uint32_t>(v)));
+    if (!n.IsTransaction()) return;
     closed_weak_intra[v] = ClosureWithin(n.weak_intra, n.children);
     closed_strong_intra[v] = ClosureWithin(n.strong_intra, n.children);
+  });
+  host_schedule.resize(cs.NodeCount());
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    host_schedule[v] = cs.HostScheduleOf(NodeId(v));
   }
 }
 
 namespace {
 
-/// Adds (x, y) for every front pair with x in subtree(a), y in subtree(b).
-/// This is the pull-down of a strong constraint a ≪ b to the front.
-void AddPulledDownPairs(const SystemContext& ctx,
-                        const std::vector<NodeId>& front_nodes, NodeId a,
-                        NodeId b, Relation& out) {
+/// Collects (x, y) for every front pair with x in subtree(a), y in
+/// subtree(b).  This is the pull-down of a strong constraint a ≪ b to the
+/// front.
+void CollectPulledDownPairs(const SystemContext& ctx,
+                            const std::vector<NodeId>& front_nodes, NodeId a,
+                            NodeId b,
+                            std::vector<std::pair<NodeId, NodeId>>& out) {
   // Collect front members of each subtree (a front node is in at most one
   // of them since a and b are siblings or co-scheduled transactions, whose
   // subtrees are disjoint).
@@ -65,7 +76,7 @@ void AddPulledDownPairs(const SystemContext& ctx,
     }
   }
   for (NodeId x : in_a) {
-    for (NodeId y : in_b) out.Add(x, y);
+    for (NodeId y : in_b) out.emplace_back(x, y);
   }
 }
 
@@ -75,33 +86,48 @@ void ComputeFrontInputOrders(const SystemContext& ctx, Front& front) {
   front.weak_input = Relation();
   front.strong_input = Relation();
   const CompositeSystem& cs = ctx.cs;
+  const NodeBitSet membership(front.nodes);
 
-  // Weak input orders: pairs directly in the front.
-  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
-    ctx.closed_weak_input[s].ForEach([&](NodeId t1, NodeId t2) {
-      if (front.ContainsNode(t1) && front.ContainsNode(t2)) {
-        front.weak_input.Add(t1, t2);
-      }
-    });
+  // One shard per schedule plus one per node; each collects its weak and
+  // strong pairs locally, and the shards are folded in index order.  The
+  // folded relations are sets with canonical iteration order, so the
+  // outcome is independent of shard scheduling.
+  const size_t schedule_count = cs.ScheduleCount();
+  const size_t shard_count = schedule_count + cs.NodeCount();
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> weak_shards(shard_count);
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> strong_shards(
+      shard_count);
+  ThreadPool::Global().ParallelFor(shard_count, [&](size_t k) {
+    std::vector<std::pair<NodeId, NodeId>>& weak = weak_shards[k];
+    std::vector<std::pair<NodeId, NodeId>>& strong = strong_shards[k];
+    if (k < schedule_count) {
+      // Weak input orders: pairs directly in the front.
+      ctx.closed_weak_input[k].ForEach([&](NodeId t1, NodeId t2) {
+        if (membership.Contains(t1) && membership.Contains(t2)) {
+          weak.emplace_back(t1, t2);
+        }
+      });
+      // Strong temporal orders: pulled down from every strong constraint.
+      ctx.closed_strong_input[k].ForEach([&](NodeId t1, NodeId t2) {
+        CollectPulledDownPairs(ctx, front.nodes, t1, t2, strong);
+      });
+    } else {
+      const size_t v = k - schedule_count;
+      ctx.closed_weak_intra[v].ForEach([&](NodeId a, NodeId b) {
+        if (membership.Contains(a) && membership.Contains(b)) {
+          weak.emplace_back(a, b);
+        }
+      });
+      ctx.closed_strong_intra[v].ForEach([&](NodeId a, NodeId b) {
+        CollectPulledDownPairs(ctx, front.nodes, a, b, strong);
+      });
+    }
+  });
+  for (const auto& shard : weak_shards) {
+    for (const auto& [a, b] : shard) front.weak_input.Add(a, b);
   }
-  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
-    ctx.closed_weak_intra[v].ForEach([&](NodeId a, NodeId b) {
-      if (front.ContainsNode(a) && front.ContainsNode(b)) {
-        front.weak_input.Add(a, b);
-      }
-    });
-  }
-
-  // Strong temporal orders: pulled down from every strong constraint.
-  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
-    ctx.closed_strong_input[s].ForEach([&](NodeId t1, NodeId t2) {
-      AddPulledDownPairs(ctx, front.nodes, t1, t2, front.strong_input);
-    });
-  }
-  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
-    ctx.closed_strong_intra[v].ForEach([&](NodeId a, NodeId b) {
-      AddPulledDownPairs(ctx, front.nodes, a, b, front.strong_input);
-    });
+  for (const auto& shard : strong_shards) {
+    for (const auto& [a, b] : shard) front.strong_input.Add(a, b);
   }
 
   // Strong orders are also weak orders (Def 1).
@@ -111,9 +137,10 @@ void ComputeFrontInputOrders(const SystemContext& ctx, Front& front) {
 std::optional<CycleWitness> FindConflictConsistencyViolation(
     const Front& front) {
   NodeIndexMap index(front.nodes);
-  graph::Digraph g = RelationToDigraph(front.observed, index);
-  g.UnionWith(RelationToDigraph(front.weak_input, index));
-  g.UnionWith(RelationToDigraph(front.strong_input, index));
+  graph::Digraph g(index.size());
+  AddRelationEdges(front.observed, index, g);
+  AddRelationEdges(front.weak_input, index, g);
+  AddRelationEdges(front.strong_input, index, g);
   auto cycle = graph::FindCycle(g);
   if (!cycle) return std::nullopt;
   CycleWitness witness;

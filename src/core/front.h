@@ -75,6 +75,10 @@ struct SystemContext {
   /// Per node (transactions only): intra orders closed within the children.
   std::vector<Relation> closed_weak_intra;
   std::vector<Relation> closed_strong_intra;
+
+  /// Cached CompositeSystem::HostScheduleOf per node (invalid for roots);
+  /// the conflict machinery probes this millions of times per reduction.
+  std::vector<ScheduleId> host_schedule;
 };
 
 /// Recomputes a front's `weak_input` and `strong_input` from the system

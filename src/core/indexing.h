@@ -1,15 +1,17 @@
 #ifndef COMPTX_CORE_INDEXING_H_
 #define COMPTX_CORE_INDEXING_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/ids.h"
 #include "core/relation.h"
 #include "graph/digraph.h"
 #include "graph/transitive_closure.h"
+#include "util/bitrow.h"
 #include "util/logging.h"
 
 namespace comptx {
@@ -17,31 +19,49 @@ namespace comptx {
 /// Bidirectional mapping between a set of NodeIds and dense local indices
 /// [0, size).  All graph algorithms work on dense indices; this is the
 /// bridge from the model's ids.
+///
+/// The id -> local direction is a direct-mapped array windowed to
+/// [min id, max id]: node ids are allocated densely by the system, so the
+/// window never exceeds the node count, and every probe is one bounds
+/// check plus one load — index maps are built once per front or closure
+/// domain and then probed millions of times, where this beats both a hash
+/// table (hashing, rehashing) and a sorted array (log n probes).
 class NodeIndexMap {
  public:
   explicit NodeIndexMap(const std::vector<NodeId>& nodes) : globals_(nodes) {
-    locals_.reserve(nodes.size());
+    if (nodes.empty()) return;
+    uint32_t lo = UINT32_MAX;
+    uint32_t hi = 0;
+    for (NodeId id : nodes) {
+      lo = std::min(lo, id.index());
+      hi = std::max(hi, id.index());
+    }
+    base_ = lo;
+    local_.assign(size_t(hi) - lo + 1, kMissing);
     for (size_t i = 0; i < nodes.size(); ++i) {
-      bool inserted =
-          locals_.emplace(nodes[i], static_cast<uint32_t>(i)).second;
-      COMPTX_CHECK(inserted) << "duplicate node in index map: " << nodes[i];
+      uint32_t& slot = local_[nodes[i].index() - base_];
+      COMPTX_CHECK(slot == kMissing)
+          << "duplicate node in index map: " << nodes[i];
+      slot = static_cast<uint32_t>(i);
     }
   }
 
   size_t size() const { return globals_.size(); }
 
-  bool Has(NodeId id) const { return locals_.count(id) > 0; }
+  bool Has(NodeId id) const { return TryLocalOf(id).has_value(); }
 
   uint32_t LocalOf(NodeId id) const {
-    auto it = locals_.find(id);
-    COMPTX_CHECK(it != locals_.end()) << "node not in index map: " << id;
-    return it->second;
+    std::optional<uint32_t> local = TryLocalOf(id);
+    COMPTX_CHECK(local.has_value()) << "node not in index map: " << id;
+    return *local;
   }
 
   std::optional<uint32_t> TryLocalOf(NodeId id) const {
-    auto it = locals_.find(id);
-    if (it == locals_.end()) return std::nullopt;
-    return it->second;
+    const uint32_t x = id.index();
+    if (x < base_ || x - base_ >= local_.size()) return std::nullopt;
+    const uint32_t local = local_[x - base_];
+    if (local == kMissing) return std::nullopt;
+    return local;
   }
 
   NodeId GlobalOf(uint32_t local) const {
@@ -52,21 +72,49 @@ class NodeIndexMap {
   const std::vector<NodeId>& nodes() const { return globals_; }
 
  private:
+  static constexpr uint32_t kMissing = UINT32_MAX;
+
   std::vector<NodeId> globals_;
-  std::unordered_map<NodeId, uint32_t> locals_;
+  uint32_t base_ = 0;
+  std::vector<uint32_t> local_;  // windowed id -> local, kMissing = absent
 };
 
-/// Converts `rel` into a digraph over `index`'s local ids.  Pairs with an
+/// O(1) membership over a fixed set of NodeIds — the hot-loop companion of
+/// a node list (Front::ContainsNode does a binary search per probe; stages
+/// that probe per relation pair build one of these first).
+class NodeBitSet {
+ public:
+  NodeBitSet() = default;
+  explicit NodeBitSet(const std::vector<NodeId>& nodes) {
+    for (NodeId id : nodes) bits_.TestAndSet(id.index());
+  }
+
+  bool Contains(NodeId id) const { return bits_.Test(id.index()); }
+
+ private:
+  BitRow bits_;
+};
+
+/// Adds `rel`'s pairs to `g` (over `index`'s local ids).  Pairs with an
 /// endpoint outside the index are silently dropped (this is the common
-/// "restrict to a front" operation).
+/// "restrict to a front" operation).  The source lookup is hoisted per row.
+inline void AddRelationEdges(const Relation& rel, const NodeIndexMap& index,
+                             graph::Digraph& g) {
+  const size_t rows = rel.SourceCount();
+  for (size_t i = 0; i < rows; ++i) {
+    auto la = index.TryLocalOf(rel.SourceAt(i));
+    if (!la) continue;
+    for (uint32_t to : rel.SuccessorsAt(i)) {
+      if (auto lb = index.TryLocalOf(NodeId(to))) g.AddEdge(*la, *lb);
+    }
+  }
+}
+
+/// Converts `rel` into a digraph over `index`'s local ids.
 inline graph::Digraph RelationToDigraph(const Relation& rel,
                                         const NodeIndexMap& index) {
   graph::Digraph g(index.size());
-  rel.ForEach([&](NodeId a, NodeId b) {
-    auto la = index.TryLocalOf(a);
-    auto lb = index.TryLocalOf(b);
-    if (la && lb) g.AddEdge(*la, *lb);
-  });
+  AddRelationEdges(rel, index, g);
   return g;
 }
 
@@ -75,14 +123,22 @@ inline graph::Digraph RelationToDigraph(const Relation& rel,
 /// dropped before closing.
 inline Relation ClosureWithin(const Relation& rel,
                               const std::vector<NodeId>& domain) {
-  NodeIndexMap index(domain);
+  if (rel.empty() || domain.empty()) return Relation();
+  // Sorting the domain makes local order coincide with id order, so the
+  // closure rows enumerate in ascending global id and every insert below
+  // hits the relation's append fast path (no binary search, no shifting).
+  std::vector<NodeId> sorted = domain;
+  std::sort(sorted.begin(), sorted.end());
+  NodeIndexMap index(sorted);
   graph::Digraph g = RelationToDigraph(rel, index);
   graph::TransitiveClosure closure(g);
   Relation out;
+  std::vector<uint32_t> scratch;
   for (uint32_t a = 0; a < index.size(); ++a) {
-    for (uint32_t b = 0; b < index.size(); ++b) {
-      if (closure.Reaches(a, b)) out.Add(index.GlobalOf(a), index.GlobalOf(b));
-    }
+    scratch.clear();
+    closure.ForEachReachable(
+        a, [&](uint32_t b) { scratch.push_back(index.GlobalOf(b).index()); });
+    out.AddAll(index.GlobalOf(a), scratch);
   }
   return out;
 }

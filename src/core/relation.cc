@@ -1,29 +1,89 @@
 #include "core/relation.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace comptx {
 
+namespace relation_internal {
+
+bool Row::Insert(uint32_t id) {
+  if (!bits.TestAndSet(id)) return false;
+  // Common case: pairs arrive in ascending target order (closure
+  // materialization, pull-ups over sorted fronts), so appending wins.
+  if (elems.empty() || id > elems.back()) {
+    elems.push_back(id);
+  } else {
+    elems.insert(std::lower_bound(elems.begin(), elems.end(), id), id);
+  }
+  return true;
+}
+
+Row& RowStore::RowOf(uint32_t source) {
+  // Grow the position window to cover `source`, keeping existing slots.
+  if (sources_.empty()) {
+    base_ = source;
+    pos_.assign(1, 0);
+  } else if (source < base_) {
+    pos_.insert(pos_.begin(), base_ - source, 0);
+    base_ = source;
+  } else if (source - base_ >= pos_.size()) {
+    pos_.resize(source - base_ + 1, 0);
+  }
+  uint32_t& slot = pos_[source - base_];
+  if (slot != 0) return rows_[slot - 1];
+
+  if (sources_.empty() || source > sources_.back()) {
+    sources_.push_back(source);
+    rows_.emplace_back();
+    slot = static_cast<uint32_t>(rows_.size());
+    return rows_.back();
+  }
+  // Out-of-order new source (rare): insert sorted and re-aim the shifted
+  // positions behind it.
+  auto it = std::lower_bound(sources_.begin(), sources_.end(), source);
+  const size_t p = static_cast<size_t>(it - sources_.begin());
+  sources_.insert(it, source);
+  rows_.insert(rows_.begin() + p, Row());
+  for (size_t i = p; i < sources_.size(); ++i) {
+    pos_[sources_[i] - base_] = static_cast<uint32_t>(i) + 1;
+  }
+  return rows_[p];
+}
+
+bool RowStore::operator==(const RowStore& other) const {
+  if (sources_ != other.sources_) return false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].elems != other.rows_[i].elems) return false;
+  }
+  return true;
+}
+
+}  // namespace relation_internal
+
 bool Relation::Add(NodeId a, NodeId b) {
   COMPTX_CHECK(a.valid());
   COMPTX_CHECK(b.valid());
-  bool inserted = adjacency_[a.index()].insert(b.index()).second;
+  const bool inserted = store_.RowOf(a.index()).Insert(b.index());
   if (inserted) ++pair_count_;
   return inserted;
 }
 
-bool Relation::Contains(NodeId a, NodeId b) const {
-  auto it = adjacency_.find(a.index());
-  if (it == adjacency_.end()) return false;
-  return it->second.count(b.index()) > 0;
+void Relation::AddAll(NodeId src, const std::vector<uint32_t>& targets) {
+  if (targets.empty()) return;
+  COMPTX_CHECK(src.valid());
+  relation_internal::Row& row = store_.RowOf(src.index());
+  for (uint32_t t : targets) {
+    if (row.Insert(t)) ++pair_count_;
+  }
 }
 
 std::vector<NodeId> Relation::Successors(NodeId a) const {
   std::vector<NodeId> out;
-  auto it = adjacency_.find(a.index());
-  if (it == adjacency_.end()) return out;
-  out.reserve(it->second.size());
-  for (uint32_t to : it->second) out.push_back(NodeId(to));
+  const std::span<const uint32_t> ids = SuccessorIds(a);
+  out.reserve(ids.size());
+  for (uint32_t to : ids) out.push_back(NodeId(to));
   return out;
 }
 
@@ -50,24 +110,17 @@ bool SymmetricPairSet::Add(NodeId a, NodeId b) {
   COMPTX_CHECK(a.valid());
   COMPTX_CHECK(b.valid());
   COMPTX_CHECK(a != b) << "conflict pairs are irreflexive";
-  bool inserted = adjacency_[a.index()].insert(b.index()).second;
-  adjacency_[b.index()].insert(a.index());
+  const bool inserted = store_.RowOf(a.index()).Insert(b.index());
+  store_.RowOf(b.index()).Insert(a.index());
   if (inserted) ++pair_count_;
   return inserted;
 }
 
-bool SymmetricPairSet::Contains(NodeId a, NodeId b) const {
-  auto it = adjacency_.find(a.index());
-  if (it == adjacency_.end()) return false;
-  return it->second.count(b.index()) > 0;
-}
-
 std::vector<NodeId> SymmetricPairSet::PeersOf(NodeId a) const {
   std::vector<NodeId> out;
-  auto it = adjacency_.find(a.index());
-  if (it == adjacency_.end()) return out;
-  out.reserve(it->second.size());
-  for (uint32_t peer : it->second) out.push_back(NodeId(peer));
+  const std::span<const uint32_t> ids = PeerIds(a);
+  out.reserve(ids.size());
+  for (uint32_t peer : ids) out.push_back(NodeId(peer));
   return out;
 }
 

@@ -2,22 +2,73 @@
 #define COMPTX_CORE_RELATION_H_
 
 #include <cstddef>
-#include <map>
-#include <set>
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/ids.h"
+#include "util/bitrow.h"
 
 namespace comptx {
+
+namespace relation_internal {
+
+/// One adjacency row of a dense relation: the sorted target ids (the
+/// deterministic iteration path) plus a windowed bitset over the same ids
+/// (the O(1) membership path).  Both views always agree.
+struct Row {
+  std::vector<uint32_t> elems;  // targets, ascending
+  BitRow bits;                  // membership mirror of elems
+
+  /// Inserts `id`; returns true iff it was new.
+  bool Insert(uint32_t id);
+};
+
+/// Shared storage of Relation and SymmetricPairSet: rows keyed by source
+/// node id, held in ascending source order (sources_[i] owns rows_[i]).
+/// Lookups go through a direct-mapped position index windowed to the span
+/// of source ids actually present (sources are sparse in the global id
+/// space — a per-transaction intra order touches a handful of ids out of
+/// thousands — so the window, like the rows' bitsets, keeps memory
+/// proportional to the pairs stored while every probe is O(1)).
+class RowStore {
+ public:
+  /// The row of `source`, creating it if absent.
+  Row& RowOf(uint32_t source);
+  /// The row of `source`, or nullptr.
+  const Row* FindRow(uint32_t source) const {
+    if (sources_.empty() || source < base_) return nullptr;
+    const uint32_t slot = source - base_;
+    if (slot >= pos_.size() || pos_[slot] == 0) return nullptr;
+    return &rows_[pos_[slot] - 1];
+  }
+
+  size_t SourceCount() const { return sources_.size(); }
+  uint32_t SourceAt(size_t i) const { return sources_[i]; }
+  const Row& RowAt(size_t i) const { return rows_[i]; }
+
+  bool operator==(const RowStore& other) const;
+
+ private:
+  std::vector<uint32_t> sources_;  // ascending
+  std::vector<Row> rows_;          // parallel to sources_
+  uint32_t base_ = 0;              // id of pos_[0]
+  std::vector<uint32_t> pos_;      // windowed id -> row position + 1
+};
+
+}  // namespace relation_internal
 
 /// A binary relation over node ids (a set of ordered pairs).  Used for every
 /// order in the paper: weak/strong input and output orders (Def 3),
 /// intra-transaction orders (Def 2), and the observed order (Def 10).
 ///
-/// Storage is an ordered adjacency map, so iteration is deterministic —
-/// important because failure witnesses and generated workloads must be
-/// reproducible bit-for-bit from a seed.
+/// Storage is dense per source: a sorted flat vector of targets drives
+/// deterministic iteration (sources ascending, then targets ascending —
+/// the exact order the previous map-of-sets layout produced, so failure
+/// witnesses and generated workloads stay reproducible bit-for-bit), and a
+/// windowed bitset row answers Contains in O(1).  Const member functions
+/// are safe to call concurrently; mutation is single-threaded.
 class Relation {
  public:
   Relation() = default;
@@ -25,8 +76,16 @@ class Relation {
   /// Adds the ordered pair (a, b).  Returns true if it was new.
   bool Add(NodeId a, NodeId b);
 
+  /// Adds (src, t) for every t in `targets`, resolving the row only once.
+  /// The bulk path for closure materialization, where one source gains
+  /// hundreds of targets at a time.
+  void AddAll(NodeId src, const std::vector<uint32_t>& targets);
+
   /// True iff (a, b) is in the relation.
-  bool Contains(NodeId a, NodeId b) const;
+  bool Contains(NodeId a, NodeId b) const {
+    const relation_internal::Row* row = store_.FindRow(a.index());
+    return row != nullptr && row->bits.Test(b.index());
+  }
 
   /// Number of ordered pairs.
   size_t PairCount() const { return pair_count_; }
@@ -36,13 +95,38 @@ class Relation {
   /// lexicographic order.
   template <typename F>
   void ForEach(F f) const {
-    for (const auto& [from, tos] : adjacency_) {
-      for (uint32_t to : tos) f(NodeId(from), NodeId(to));
+    for (size_t i = 0; i < store_.SourceCount(); ++i) {
+      const NodeId from(store_.SourceAt(i));
+      for (uint32_t to : store_.RowAt(i).elems) f(from, NodeId(to));
     }
   }
 
-  /// Successors of `a` in ascending id order (empty if none).
+  /// Successors of `a` in ascending id order (empty if none).  Allocates;
+  /// hot paths should use SuccessorIds or ForEachSuccessor instead.
   std::vector<NodeId> Successors(NodeId a) const;
+
+  /// The successor ids of `a` in ascending order, without copying.  The
+  /// span is invalidated by any mutation of the relation.
+  std::span<const uint32_t> SuccessorIds(NodeId a) const {
+    const relation_internal::Row* row = store_.FindRow(a.index());
+    if (row == nullptr) return {};
+    return {row->elems.data(), row->elems.size()};
+  }
+
+  /// Invokes `f(NodeId to)` for each successor of `a` in ascending order.
+  template <typename F>
+  void ForEachSuccessor(NodeId a, F f) const {
+    for (uint32_t to : SuccessorIds(a)) f(NodeId(to));
+  }
+
+  /// Number of distinct sources (rows); with SourceAt/SuccessorsAt this
+  /// lets parallel stages shard a relation row-wise.
+  size_t SourceCount() const { return store_.SourceCount(); }
+  NodeId SourceAt(size_t i) const { return NodeId(store_.SourceAt(i)); }
+  std::span<const uint32_t> SuccessorsAt(size_t i) const {
+    const relation_internal::Row& row = store_.RowAt(i);
+    return {row.elems.data(), row.elems.size()};
+  }
 
   /// Adds every pair of `other` into this relation.
   void UnionWith(const Relation& other);
@@ -64,17 +148,18 @@ class Relation {
   std::vector<std::pair<NodeId, NodeId>> Pairs() const;
 
   bool operator==(const Relation& other) const {
-    return adjacency_ == other.adjacency_;
+    return pair_count_ == other.pair_count_ && store_ == other.store_;
   }
 
  private:
-  std::map<uint32_t, std::set<uint32_t>> adjacency_;
+  relation_internal::RowStore store_;
   size_t pair_count_ = 0;
 };
 
 /// An irreflexive symmetric pair set, used for conflict predicates
 /// (Def 3's CON_S and Def 11's generalized CON).  Adding (a, b) also makes
-/// Contains(b, a) true; self-pairs are rejected.
+/// Contains(b, a) true; self-pairs are rejected.  Same dense storage and
+/// iteration-order guarantees as Relation.
 class SymmetricPairSet {
  public:
   SymmetricPairSet() = default;
@@ -83,20 +168,32 @@ class SymmetricPairSet {
   bool Add(NodeId a, NodeId b);
 
   /// True iff {a, b} is in the set.
-  bool Contains(NodeId a, NodeId b) const;
+  bool Contains(NodeId a, NodeId b) const {
+    const relation_internal::Row* row = store_.FindRow(a.index());
+    return row != nullptr && row->bits.Test(b.index());
+  }
 
   /// Number of unordered pairs.
   size_t PairCount() const { return pair_count_; }
   bool empty() const { return pair_count_ == 0; }
 
-  /// Peers of `a` in ascending id order.
+  /// Peers of `a` in ascending id order.  Allocates; hot paths should use
+  /// PeerIds instead.
   std::vector<NodeId> PeersOf(NodeId a) const;
+
+  /// The peer ids of `a` in ascending order, without copying.
+  std::span<const uint32_t> PeerIds(NodeId a) const {
+    const relation_internal::Row* row = store_.FindRow(a.index());
+    if (row == nullptr) return {};
+    return {row->elems.data(), row->elems.size()};
+  }
 
   /// Invokes `f(a, b)` once per unordered pair with a.index() < b.index().
   template <typename F>
   void ForEach(F f) const {
-    for (const auto& [a, peers] : adjacency_) {
-      for (uint32_t b : peers) {
+    for (size_t i = 0; i < store_.SourceCount(); ++i) {
+      const uint32_t a = store_.SourceAt(i);
+      for (uint32_t b : store_.RowAt(i).elems) {
         if (a < b) f(NodeId(a), NodeId(b));
       }
     }
@@ -105,11 +202,11 @@ class SymmetricPairSet {
   void UnionWith(const SymmetricPairSet& other);
 
   bool operator==(const SymmetricPairSet& other) const {
-    return adjacency_ == other.adjacency_;
+    return pair_count_ == other.pair_count_ && store_ == other.store_;
   }
 
  private:
-  std::map<uint32_t, std::set<uint32_t>> adjacency_;
+  relation_internal::RowStore store_;
   size_t pair_count_ = 0;
 };
 

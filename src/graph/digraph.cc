@@ -4,18 +4,20 @@
 
 namespace comptx::graph {
 
-Digraph::Digraph(size_t node_count) : out_(node_count), in_(node_count) {}
+Digraph::Digraph(size_t node_count)
+    : out_(node_count), in_(node_count), seen_(node_count) {}
 
 NodeIndex Digraph::AddNode() {
   out_.emplace_back();
   in_.emplace_back();
+  seen_.emplace_back();
   return static_cast<NodeIndex>(out_.size() - 1);
 }
 
 bool Digraph::AddEdge(NodeIndex from, NodeIndex to) {
   COMPTX_CHECK_LT(from, out_.size());
   COMPTX_CHECK_LT(to, out_.size());
-  if (!edges_.insert(EdgeKey(from, to)).second) return false;
+  if (!seen_[from].TestAndSet(to)) return false;
   out_[from].push_back(to);
   in_[to].push_back(from);
   ++edge_count_;
@@ -23,7 +25,7 @@ bool Digraph::AddEdge(NodeIndex from, NodeIndex to) {
 }
 
 bool Digraph::HasEdge(NodeIndex from, NodeIndex to) const {
-  return edges_.count(EdgeKey(from, to)) > 0;
+  return from < seen_.size() && seen_[from].Test(to);
 }
 
 bool Digraph::HasSelfLoop() const {

@@ -3,8 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
+
+#include "util/bitrow.h"
 
 namespace comptx::graph {
 
@@ -57,13 +58,11 @@ class Digraph {
   void UnionWith(const Digraph& other);
 
  private:
-  static uint64_t EdgeKey(NodeIndex from, NodeIndex to) {
-    return (static_cast<uint64_t>(from) << 32) | to;
-  }
-
   std::vector<std::vector<NodeIndex>> out_;
   std::vector<std::vector<NodeIndex>> in_;
-  std::unordered_set<uint64_t> edges_;
+  /// Per-source membership bits deduplicating AddEdge in O(1); replaces
+  /// the old hashed edge set, which dominated graph-build profiles.
+  std::vector<BitRow> seen_;
   size_t edge_count_ = 0;
 };
 

@@ -43,9 +43,7 @@ bool TransitiveClosure::Reaches(NodeIndex from, NodeIndex to) const {
 Digraph TransitiveClosure::ToDigraph() const {
   Digraph out(node_count_);
   for (NodeIndex v = 0; v < node_count_; ++v) {
-    for (NodeIndex w = 0; w < node_count_; ++w) {
-      if (TestBit(v, w)) out.AddEdge(v, w);
-    }
+    ForEachReachable(v, [&](NodeIndex w) { out.AddEdge(v, w); });
   }
   return out;
 }

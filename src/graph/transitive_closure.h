@@ -1,6 +1,7 @@
 #ifndef COMPTX_GRAPH_TRANSITIVE_CLOSURE_H_
 #define COMPTX_GRAPH_TRANSITIVE_CLOSURE_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -26,6 +27,23 @@ class TransitiveClosure {
 
   /// Materializes the closed graph (every reachable pair becomes an edge).
   Digraph ToDigraph() const;
+
+  /// Invokes `f(NodeIndex to)` for every node reachable from `from`, in
+  /// ascending index order, scanning whole 64-bit words at a time.  This
+  /// is how callers should enumerate a closure (O(n / 64 + reachable)
+  /// per row instead of n bit probes).
+  template <typename F>
+  void ForEachReachable(NodeIndex from, F f) const {
+    const uint64_t* row = bits_.data() + from * words_per_row_;
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t word = row[w];
+      const NodeIndex base = static_cast<NodeIndex>(w * 64);
+      while (word != 0) {
+        f(base + static_cast<NodeIndex>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
 
  private:
   size_t node_count_;

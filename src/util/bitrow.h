@@ -1,0 +1,69 @@
+#ifndef COMPTX_UTIL_BITROW_H_
+#define COMPTX_UTIL_BITROW_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace comptx {
+
+/// A windowed bitset over uint32_t ids: the words cover ids in
+/// [base_word * 64, (base_word + words.size()) * 64).  The window grows on
+/// demand in either direction, so memory is proportional to the id *span*
+/// actually used, not to the size of the global id space — important
+/// because relation rows are keyed by global node ids while their targets
+/// cluster (children of one transaction, operations of one schedule).
+///
+/// This is the same words-per-row bit layout as graph::TransitiveClosure,
+/// with the row rebased so sparse high ids stay cheap.
+class BitRow {
+ public:
+  bool Test(uint32_t id) const {
+    const uint32_t w = id >> 6;
+    if (w < base_word_ || w - base_word_ >= words_.size()) return false;
+    return (words_[w - base_word_] >> (id & 63)) & 1;
+  }
+
+  /// Sets the bit for `id`; returns true iff it was previously clear.
+  bool TestAndSet(uint32_t id) {
+    const uint32_t w = id >> 6;
+    if (words_.empty()) {
+      base_word_ = w;
+      words_.push_back(0);
+    } else if (w < base_word_) {
+      words_.insert(words_.begin(), base_word_ - w, 0);
+      base_word_ = w;
+    } else if (w - base_word_ >= words_.size()) {
+      words_.resize(w - base_word_ + 1, 0);
+    }
+    uint64_t& word = words_[w - base_word_];
+    const uint64_t mask = uint64_t{1} << (id & 63);
+    if (word & mask) return false;
+    word |= mask;
+    return true;
+  }
+
+  /// Invokes `f(uint32_t id)` for every set bit in ascending id order.
+  template <typename F>
+  void ForEachSet(F f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      const uint32_t word_base = (base_word_ + static_cast<uint32_t>(w)) << 6;
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        f(word_base + static_cast<uint32_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool Empty() const { return words_.empty(); }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint32_t base_word_ = 0;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_UTIL_BITROW_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/sweep.h"
 #include "core/correctness.h"
 #include "graph/cycle_finder.h"
 #include "graph/tarjan_scc.h"
@@ -55,8 +56,16 @@ void MutateOnce(CompositeSystem& cs, Rng& rng) {
 }
 
 TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
-  int still_valid = 0;
-  int rejected = 0;
+  // Generate + mutate all 60 systems first, then fan the independent
+  // validate/check passes out through the sweep helper (the same path the
+  // multi-trace drivers use), asserting on the collected outcomes.
+  struct Outcome {
+    bool valid = false;
+    bool check_ok = false;
+    bool reduction_ok = false;
+    std::string message;
+  };
+  std::vector<CompositeSystem> systems;
   for (uint64_t seed = 1; seed <= 60; ++seed) {
     workload::WorkloadSpec spec;
     spec.topology.kind = workload::TopologyKind::kLayeredDag;
@@ -69,17 +78,33 @@ TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
     Rng rng(seed * 7919);
     const uint32_t mutations = 1 + uint32_t(rng.UniformInt(5));
     for (uint32_t m = 0; m < mutations; ++m) MutateOnce(*cs, rng);
-    Status valid = cs->Validate();
-    if (valid.ok()) {
+    systems.push_back(*std::move(cs));
+  }
+  const std::vector<Outcome> outcomes =
+      analysis::ParallelMap<Outcome>(systems.size(), [&](size_t i) {
+        Outcome out;
+        Status valid = systems[i].Validate();
+        out.valid = valid.ok();
+        out.message = valid.message();
+        if (out.valid) {
+          // A mutated-but-valid system must be checkable without crashing.
+          out.check_ok = CheckCompC(systems[i]).ok();
+        }
+        out.reduction_ok = RunReduction(systems[i]).ok();
+        return out;
+      });
+  int still_valid = 0;
+  int rejected = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& out = outcomes[i];
+    if (out.valid) {
       ++still_valid;
-      // A mutated-but-valid system must be checkable without crashing.
-      auto result = CheckCompC(*cs);
-      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(out.check_ok) << "seed " << i + 1;
     } else {
       ++rejected;
-      EXPECT_FALSE(valid.message().empty());
+      EXPECT_FALSE(out.message.empty());
       // The reduction driver must surface the same rejection as a Status.
-      EXPECT_FALSE(RunReduction(*cs).ok());
+      EXPECT_FALSE(out.reduction_ok) << "seed " << i + 1;
     }
   }
   // The mutation set must exercise both outcomes to mean anything.

@@ -15,6 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.h"
 #include "core/correctness.h"
 #include "test_helpers.h"
 #include "workload/workload_spec.h"
@@ -85,6 +89,52 @@ TEST_P(OracleAgreementTest, EngineMatchesOracle) {
   // general DAGs may exhibit the documented conservatism gap.
   if (GetParam().kind != workload::TopologyKind::kLayeredDag) {
     EXPECT_EQ(*oracle, comp_c);
+  }
+}
+
+TEST(OracleTest, BatchSweepAgreesWithOracle) {
+  // The same engine-vs-oracle cross-check, driven as one batch: the
+  // engine side goes through the pool-backed sweep driver, the oracle
+  // side fans out through ParallelMap, and verdicts are compared
+  // pairwise.  Catches any sweep-level aggregation mixing up systems.
+  std::vector<CompositeSystem> systems;
+  std::vector<bool> single_meet;
+  for (auto kind :
+       {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
+        workload::TopologyKind::kJoin, workload::TopologyKind::kLayeredDag}) {
+    for (uint64_t seed = 61; seed <= 66; ++seed) {
+      workload::WorkloadSpec spec;
+      spec.topology.kind = kind;
+      spec.topology.depth = 3;
+      spec.topology.branches = 2;
+      spec.topology.roots = 3;
+      spec.topology.fanout = 2;
+      spec.execution.conflict_prob = 0.35;
+      spec.execution.disorder_prob = 0.3;
+      spec.execution.intra_weak_prob = 0.3;
+      spec.execution.intra_strong_prob = 0.2;
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+      systems.push_back(*std::move(cs));
+      single_meet.push_back(kind != workload::TopologyKind::kLayeredDag);
+    }
+  }
+  std::vector<const CompositeSystem*> pointers;
+  for (const CompositeSystem& cs : systems) pointers.push_back(&cs);
+
+  const std::vector<analysis::SweepVerdict> engine =
+      analysis::SweepCompC(pointers);
+  const std::vector<bool> oracle =
+      analysis::ParallelMap<bool>(systems.size(), [&](size_t i) {
+        auto verdict = criteria::HierarchicalSerializabilityOracle(systems[i]);
+        EXPECT_TRUE(verdict.ok()) << verdict.status().ToString();
+        return verdict.ok() && *verdict;
+      });
+  ASSERT_EQ(engine.size(), systems.size());
+  for (size_t i = 0; i < systems.size(); ++i) {
+    ASSERT_TRUE(engine[i].ok) << engine[i].status_message;
+    if (engine[i].comp_c) EXPECT_TRUE(oracle[i]) << "system " << i;
+    if (single_meet[i]) EXPECT_EQ(oracle[i], engine[i].comp_c) << i;
   }
 }
 

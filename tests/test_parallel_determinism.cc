@@ -1,0 +1,195 @@
+// Thread-count invariance of the reduction pipeline: every parallel stage
+// must merge its shards so that verdicts, failure witnesses, serial
+// witnesses, and every front relation come out bit-identical whether the
+// global pool runs 1 thread or several.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "analysis/sweep.h"
+#include "core/correctness.h"
+#include "core/reduction.h"
+#include "util/thread_pool.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+/// Restores the global pool to 1 thread when a test scope ends, so test
+/// order never leaks thread counts across cases.
+class GlobalThreadsGuard {
+ public:
+  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(1); }
+};
+
+/// Everything observable about one reduction, flattened for comparison.
+struct ReductionFingerprint {
+  bool ok = false;
+  std::string status_message;
+  bool comp_c = false;
+  uint32_t order = 0;
+  std::vector<std::pair<NodeId, NodeId>> observed;
+  std::vector<std::pair<NodeId, NodeId>> weak_input;
+  std::vector<std::pair<NodeId, NodeId>> strong_input;
+  std::vector<std::vector<NodeId>> front_nodes;
+  uint32_t failure_level = 0;
+  int failure_step = -1;
+  std::vector<NodeId> witness_nodes;
+  std::string witness_description;
+  std::vector<NodeId> serial_order;
+
+  bool operator==(const ReductionFingerprint&) const = default;
+};
+
+ReductionFingerprint Fingerprint(const CompositeSystem& cs) {
+  ReductionFingerprint fp;
+  ReductionOptions options;
+  options.keep_fronts = true;
+  auto result = CheckCompC(cs, options);
+  fp.ok = result.ok();
+  if (!result.ok()) {
+    fp.status_message = result.status().ToString();
+    return fp;
+  }
+  fp.comp_c = result->correct;
+  fp.order = result->order;
+  fp.serial_order = result->serial_order;
+  for (const Front& front : result->reduction.fronts) {
+    fp.front_nodes.push_back(front.nodes);
+    for (const auto& [a, b] : front.observed.Pairs()) {
+      fp.observed.emplace_back(a, b);
+    }
+    for (const auto& [a, b] : front.weak_input.Pairs()) {
+      fp.weak_input.emplace_back(a, b);
+    }
+    for (const auto& [a, b] : front.strong_input.Pairs()) {
+      fp.strong_input.emplace_back(a, b);
+    }
+  }
+  if (result->failure.has_value()) {
+    fp.failure_level = result->failure->level;
+    fp.failure_step = static_cast<int>(result->failure->step);
+    fp.witness_nodes = result->failure->witness.nodes;
+    fp.witness_description = result->failure->witness.description;
+  }
+  return fp;
+}
+
+void ExpectThreadCountInvariant(const CompositeSystem& cs,
+                                const std::string& label) {
+  GlobalThreadsGuard guard;
+  ThreadPool::SetGlobalThreads(1);
+  const ReductionFingerprint serial = Fingerprint(cs);
+  for (size_t threads : {2ul, 4ul, 7ul}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const ReductionFingerprint parallel = Fingerprint(cs);
+    ASSERT_EQ(serial, parallel) << label << " diverges at " << threads
+                                << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, PaperFigures) {
+  ExpectThreadCountInvariant(analysis::MakeFigure2().system, "figure 2");
+  ExpectThreadCountInvariant(analysis::MakeFigure3().system, "figure 3");
+  ExpectThreadCountInvariant(analysis::MakeFigure4().system, "figure 4");
+}
+
+TEST(ParallelDeterminism, RandomWorkloadsAcrossTopologies) {
+  for (workload::TopologyKind kind :
+       {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
+        workload::TopologyKind::kJoin, workload::TopologyKind::kLayeredDag}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      workload::WorkloadSpec spec;
+      spec.topology.kind = kind;
+      spec.topology.depth = 3;
+      spec.topology.branches = 2;
+      spec.topology.roots = 4;
+      spec.execution.conflict_prob = 0.25;
+      spec.execution.disorder_prob = seed % 2 == 0 ? 0.1 : 0.0;
+      auto cs = workload::GenerateSystem(spec, 9000 + seed);
+      ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+      ExpectThreadCountInvariant(
+          *cs, std::string(workload::TopologyKindToString(kind)) + " seed " +
+                   std::to_string(seed));
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SweepMatchesSerialLoop) {
+  GlobalThreadsGuard guard;
+  std::vector<CompositeSystem> systems;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.topology.kind = workload::TopologyKind::kLayeredDag;
+    spec.topology.depth = 3;
+    spec.topology.branches = 2;
+    spec.topology.roots = 3;
+    spec.execution.conflict_prob = 0.3;
+    auto cs = workload::GenerateSystem(spec, 4200 + seed);
+    ASSERT_TRUE(cs.ok());
+    systems.push_back(*std::move(cs));
+  }
+  std::vector<const CompositeSystem*> pointers;
+  for (const CompositeSystem& cs : systems) pointers.push_back(&cs);
+
+  ThreadPool::SetGlobalThreads(1);
+  const std::vector<analysis::SweepVerdict> serial =
+      analysis::SweepCompC(pointers);
+  ThreadPool::SetGlobalThreads(4);
+  const std::vector<analysis::SweepVerdict> parallel =
+      analysis::SweepCompC(pointers);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].ok, parallel[i].ok) << i;
+    ASSERT_EQ(serial[i].comp_c, parallel[i].comp_c) << i;
+    ASSERT_EQ(serial[i].order, parallel[i].order) << i;
+    // And both match a direct CheckCompC call.
+    auto direct = CheckCompC(*pointers[i]);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(serial[i].comp_c, direct->correct) << i;
+  }
+}
+
+TEST(ParallelDeterminism, BatchPrefixVerdictsMatchPerPrefixChecks) {
+  GlobalThreadsGuard guard;
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 4;
+  spec.execution.conflict_prob = 0.25;
+  auto cs = workload::GenerateSystem(spec, 31337);
+  ASSERT_TRUE(cs.ok());
+  auto text = workload::SaveTrace(*cs);
+  ASSERT_TRUE(text.ok());
+  auto events = workload::ParseTraceEvents(*text);
+  ASSERT_TRUE(events.ok());
+
+  // Reference: rebuild and check every prefix serially.
+  std::vector<bool> expected;
+  {
+    CompositeSystem mirror;
+    ReductionOptions options;
+    options.validate = false;
+    options.keep_fronts = false;
+    for (const workload::TraceEvent& event : *events) {
+      ASSERT_TRUE(workload::ApplyTraceEvent(mirror, event).ok());
+      auto result = CheckCompC(mirror, options);
+      ASSERT_TRUE(result.ok());
+      expected.push_back(result->correct);
+    }
+  }
+  for (size_t threads : {1ul, 4ul}) {
+    ThreadPool::SetGlobalThreads(threads);
+    auto verdicts = analysis::BatchPrefixVerdicts(*events);
+    ASSERT_TRUE(verdicts.ok()) << verdicts.status().ToString();
+    ASSERT_EQ(*verdicts, expected) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace comptx

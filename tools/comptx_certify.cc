@@ -1,16 +1,19 @@
 // Online certification CLI: replays a comptx-trace file event by event
 // through an online::Certifier and reports whether the execution stays
 // certifiable at every prefix.  With --check, every accepted prefix is
-// additionally cross-validated against batch CheckCompC on a mirror of
-// the system built so far (validation disabled: prefixes of well-formed
-// executions legitimately violate the completeness rules of Defs 3-4).
+// additionally cross-validated against batch CheckCompC (validation
+// disabled: prefixes of well-formed executions legitimately violate the
+// completeness rules of Defs 3-4); the per-prefix batch runs fan out over
+// the thread pool after the online pass.
 //
-// Usage: comptx_certify [--check] [--no-prune] [--stats] <trace-file>
+// Usage: comptx_certify [--check] [--no-prune] [--stats] [--threads N]
+//                       <trace-file>
 //        comptx_certify --demo [--check]
 //
 // Exit codes: 0 = certifiable, 1 = not certifiable, 2 = usage/IO error
 // (including a --check disagreement, which indicates a comptx bug).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,8 +21,10 @@
 #include <vector>
 
 #include "analysis/figures.h"
+#include "analysis/sweep.h"
 #include "core/correctness.h"
 #include "online/certifier.h"
+#include "util/thread_pool.h"
 #include "workload/trace.h"
 
 namespace {
@@ -52,7 +57,9 @@ int Certify(const std::string& text, const CliOptions& cli) {
   online::CertifierOptions options;
   options.auto_prune = cli.prune;
   online::Certifier certifier(options);
-  CompositeSystem mirror;  // batch mirror for --check, accepted events only
+  // For --check: the accepted events and the online verdict after each one.
+  std::vector<workload::TraceEvent> accepted;
+  std::vector<bool> online_verdicts;
 
   size_t index = 0;
   bool reported_failure = false;
@@ -63,7 +70,7 @@ int Certify(const std::string& text, const CliOptions& cli) {
       std::cerr << "event " << index << " ("
                 << workload::FormatTraceEvent(event)
                 << ") rejected: " << status << "\n";
-      continue;  // rejected events leave the session (and mirror) unchanged
+      continue;  // rejected events leave the session unchanged
     }
     online::CertifierVerdict verdict = certifier.Verdict();
     if (!verdict.certifiable && !reported_failure) {
@@ -77,27 +84,29 @@ int Certify(const std::string& text, const CliOptions& cli) {
       }
     }
     if (cli.check) {
-      if (Status applied = workload::ApplyTraceEvent(mirror, event);
-          !applied.ok()) {
-        std::cerr << "mirror apply failed at event " << index << ": "
-                  << applied << "\n";
-        return 2;
-      }
-      ReductionOptions reduction;
-      reduction.validate = false;
-      reduction.keep_fronts = false;
-      auto batch = CheckCompC(mirror, reduction);
-      if (!batch.ok()) {
-        std::cerr << "batch checker error at event " << index << ": "
-                  << batch.status() << "\n";
-        return 2;
-      }
-      if (batch->correct != verdict.certifiable) {
-        std::cerr << "DISAGREEMENT at event " << index << " ("
-                  << workload::FormatTraceEvent(event) << "): online says "
-                  << (verdict.certifiable ? "certifiable" : "not certifiable")
+      accepted.push_back(event);
+      online_verdicts.push_back(verdict.certifiable);
+    }
+  }
+
+  if (cli.check) {
+    // Cross-validate every accepted prefix against the batch checker; the
+    // per-prefix reductions are independent, so they fan out over the pool.
+    ReductionOptions reduction;
+    reduction.keep_fronts = false;
+    auto batch = analysis::BatchPrefixVerdicts(accepted, reduction);
+    if (!batch.ok()) {
+      std::cerr << "batch checker error: " << batch.status() << "\n";
+      return 2;
+    }
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      if ((*batch)[i] != online_verdicts[i]) {
+        std::cerr << "DISAGREEMENT at accepted event " << i + 1 << " ("
+                  << workload::FormatTraceEvent(accepted[i])
+                  << "): online says "
+                  << (online_verdicts[i] ? "certifiable" : "not certifiable")
                   << ", batch says "
-                  << (batch->correct ? "correct" : "incorrect") << "\n";
+                  << ((*batch)[i] ? "correct" : "incorrect") << "\n";
         return 2;
       }
     }
@@ -119,7 +128,8 @@ int Certify(const std::string& text, const CliOptions& cli) {
   if (cli.check) std::cout << "batch agreement: all prefixes\n";
   if (cli.stats) {
     online::CertifierStats stats = certifier.Stats();
-    std::cout << "stats: accepted=" << stats.events_accepted
+    std::cout << "stats: threads=" << ThreadPool::Global().ThreadCount()
+              << " accepted=" << stats.events_accepted
               << " rejected=" << stats.events_rejected
               << " rebuilds=" << stats.rebuilds
               << " prune_passes=" << stats.prune_passes
@@ -149,6 +159,17 @@ int main(int argc, char** argv) {
       cli.prune = false;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads needs a count\n";
+        return 2;
+      }
+      long threads = std::strtol(argv[++i], nullptr, 10);
+      if (threads < 1) {
+        std::cerr << "--threads needs a positive count\n";
+        return 2;
+      }
+      comptx::ThreadPool::SetGlobalThreads(static_cast<size_t>(threads));
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
@@ -161,7 +182,7 @@ int main(int argc, char** argv) {
   }
   if (demo == !path.empty()) {  // exactly one of --demo / <trace-file>
     std::cerr << "usage: comptx_certify [--check] [--no-prune] [--stats] "
-                 "<trace-file> | --demo\n";
+                 "[--threads N] <trace-file> | --demo\n";
     return 2;
   }
   if (demo) {
