@@ -1,0 +1,92 @@
+// Shrinker throughput: how fast the delta debugger minimizes witnesses
+// of growing event streams.  Two predicate regimes: a cheap structural
+// predicate (locating one named root — shrink overhead dominates) and
+// the realistic differential predicate (every candidate runs the full
+// decider stack against an injected online-verdict flip).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/events.h"
+#include "testing/shrink.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+std::vector<workload::TraceEvent> GenerateEvents(uint32_t roots,
+                                                 std::string* root_name) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = roots;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.3;
+  spec.execution.disorder_prob = 0.3;
+  auto cs = workload::GenerateSystem(spec, 42);
+  if (!cs.ok()) return {};
+  if (root_name != nullptr) *root_name = cs->node(cs->Roots().back()).name;
+  auto events = testing::SystemToEvents(*cs);
+  return events.ok() ? *std::move(events) : std::vector<workload::TraceEvent>{};
+}
+
+void BM_ShrinkToNamedRoot(benchmark::State& state) {
+  std::string root_name;
+  const std::vector<workload::TraceEvent> events =
+      GenerateEvents(static_cast<uint32_t>(state.range(0)), &root_name);
+  const testing::FailurePredicate predicate =
+      [&](const CompositeSystem& cs) {
+        for (uint32_t i = 0; i < cs.NodeCount(); ++i) {
+          if (cs.node(NodeId(i)).name == root_name) return true;
+        }
+        return false;
+      };
+  testing::ShrinkStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        testing::ShrinkEvents(events, predicate, {}, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["predicate_calls"] = static_cast<double>(stats.predicate_calls);
+}
+BENCHMARK(BM_ShrinkToNamedRoot)->Arg(3)->Arg(6)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShrinkDifferentialWitness(benchmark::State& state) {
+  const std::vector<workload::TraceEvent> events =
+      GenerateEvents(static_cast<uint32_t>(state.range(0)), nullptr);
+  testing::DifferentialOptions options;
+  options.inject = testing::InjectedBug::kFlipOnline;
+  const testing::FailurePredicate predicate =
+      [&](const CompositeSystem& cs) {
+        auto report = testing::CheckConformance(cs, options);
+        if (!report.ok()) return false;
+        for (const testing::Disagreement& d : report->disagreements) {
+          if (d.check == "batch-vs-online") return true;
+        }
+        return false;
+      };
+  testing::ShrinkStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        testing::ShrinkEvents(events, predicate, {}, &stats));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["predicate_calls"] = static_cast<double>(stats.predicate_calls);
+}
+BENCHMARK(BM_ShrinkDifferentialWitness)->Arg(3)->Arg(6)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,20 +9,36 @@ namespace comptx::analysis {
 
 std::vector<SweepVerdict> SweepCompC(
     const std::vector<const CompositeSystem*>& systems,
-    const ReductionOptions& options) {
-  return ParallelMap<SweepVerdict>(systems.size(), [&](size_t i) {
-    SweepVerdict verdict;
-    auto result = CheckCompC(*systems[i], options);
-    if (!result.ok()) {
-      verdict.status_message = result.status().ToString();
-      return verdict;
+    const ReductionOptions& options, const SweepHooks& hooks,
+    const std::vector<bool>& expected) {
+  std::vector<SweepVerdict> verdicts =
+      ParallelMap<SweepVerdict>(systems.size(), [&](size_t i) {
+        SweepVerdict verdict;
+        auto result = CheckCompC(*systems[i], options);
+        if (!result.ok()) {
+          verdict.status_message = result.status().ToString();
+          return verdict;
+        }
+        verdict.ok = true;
+        verdict.comp_c = result->correct;
+        verdict.order = result->order;
+        verdict.failure = result->failure;
+        return verdict;
+      });
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (hooks.on_verdict) hooks.on_verdict(i, verdicts[i]);
+    if (!hooks.on_disagreement) continue;
+    if (!verdicts[i].ok) {
+      hooks.on_disagreement(
+          i, StrCat("check failed: ", verdicts[i].status_message));
+    } else if (i < expected.size() && verdicts[i].comp_c != expected[i]) {
+      hooks.on_disagreement(
+          i, StrCat("expected ", expected[i] ? "correct" : "incorrect",
+                    ", batch says ",
+                    verdicts[i].comp_c ? "correct" : "incorrect"));
     }
-    verdict.ok = true;
-    verdict.comp_c = result->correct;
-    verdict.order = result->order;
-    verdict.failure = result->failure;
-    return verdict;
-  });
+  }
+  return verdicts;
 }
 
 StatusOr<std::vector<bool>> BatchPrefixVerdicts(
@@ -38,7 +54,9 @@ StatusOr<std::vector<bool>> BatchPrefixVerdicts(
       std::max<size_t>(1, std::min(n, ThreadPool::Global().ThreadCount()));
   const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
 
-  std::vector<bool> verdicts(n);
+  // Byte-per-verdict scratch: vector<bool> packs 64 elements per word, so
+  // two chunks writing distinct indices would still race on the same word.
+  std::vector<unsigned char> scratch(n, 0);
   std::vector<Status> chunk_status(chunk_count);
   ThreadPool::Global().ParallelFor(chunk_count, [&](size_t c) {
     const size_t begin = c * chunk_size;
@@ -59,13 +77,13 @@ StatusOr<std::vector<bool>> BatchPrefixVerdicts(
         chunk_status[c] = result.status();
         return;
       }
-      verdicts[i] = result->correct;
+      scratch[i] = result->correct ? 1 : 0;
     }
   });
   for (const Status& status : chunk_status) {
     if (!status.ok()) return status;
   }
-  return verdicts;
+  return std::vector<bool>(scratch.begin(), scratch.end());
 }
 
 }  // namespace comptx::analysis

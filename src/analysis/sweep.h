@@ -2,6 +2,7 @@
 #define COMPTX_ANALYSIS_SWEEP_H_
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,13 +35,34 @@ struct SweepVerdict {
   std::optional<ReductionFailure> failure;
 };
 
+/// Observation hooks for sweep drivers.  Callbacks are invoked on the
+/// calling thread, in index order, after the parallel phase has finished —
+/// so they may mutate caller state without locking and see a
+/// deterministic sequence at any thread count.
+struct SweepHooks {
+  /// Called once per sweep item with its verdict.
+  std::function<void(size_t index, const SweepVerdict& verdict)> on_verdict;
+
+  /// Called for items whose verdict deviates from expectation: transport
+  /// errors always, and — when the caller supplied `expected` to a
+  /// cross-checking driver — verdict mismatches.  The differential
+  /// harness (testing/campaign.h) uses this to stream disagreements as
+  /// they are confirmed.
+  std::function<void(size_t index, const std::string& description)>
+      on_disagreement;
+};
+
 /// Decides Comp-C for every system in `systems` on the global pool.
 /// Result i corresponds to systems[i]; the vector is bit-identical to a
 /// serial loop over CheckCompC at any thread count (each verdict depends
-/// only on its own system).
+/// only on its own system).  `hooks` (optional) observes the verdicts in
+/// index order; on_disagreement fires for transport errors and, when
+/// `expected` is non-empty (parallel to `systems`), for any verdict that
+/// differs from expected[i].
 std::vector<SweepVerdict> SweepCompC(
     const std::vector<const CompositeSystem*>& systems,
-    const ReductionOptions& options = {});
+    const ReductionOptions& options = {}, const SweepHooks& hooks = {},
+    const std::vector<bool>& expected = {});
 
 /// Batch verdicts for every prefix of an (already accepted) event stream:
 /// result i is CheckCompC(events[0..i]).correct.  The stream is cut into

@@ -1,0 +1,126 @@
+#include "testing/events.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace comptx::testing {
+
+using workload::TraceEvent;
+using workload::TraceEventKind;
+
+StatusOr<std::vector<TraceEvent>> SystemToEvents(const CompositeSystem& cs) {
+  COMPTX_ASSIGN_OR_RETURN(std::string text, workload::SaveTrace(cs));
+  return workload::ParseTraceEvents(text);
+}
+
+StatusOr<CompositeSystem> BuildSystem(const std::vector<TraceEvent>& events) {
+  CompositeSystem cs;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status status = workload::ApplyTraceEvent(cs, events[i]);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrCat("event ", i + 1, " (", workload::FormatTraceEvent(events[i]),
+                 "): ", status.message()));
+    }
+  }
+  return cs;
+}
+
+bool IsCreationEvent(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kSchedule:
+    case TraceEventKind::kRoot:
+    case TraceEventKind::kSub:
+    case TraceEventKind::kLeaf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<TraceEvent> FilterEvents(const std::vector<TraceEvent>& events,
+                                     const std::vector<bool>& keep) {
+  // Creation-order maps from old indices to the dense new numbering;
+  // kInvalidIndex marks a dropped (or never-created) entity.
+  std::vector<uint32_t> sched_map;
+  std::vector<uint32_t> node_map;
+  uint32_t next_sched = 0;
+  uint32_t next_node = 0;
+  auto sched_ok = [&](uint32_t s) {
+    return s < sched_map.size() && sched_map[s] != kInvalidIndex;
+  };
+  auto node_ok = [&](uint32_t v) {
+    return v < node_map.size() && node_map[v] != kInvalidIndex;
+  };
+
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    bool kept = i < keep.size() ? static_cast<bool>(keep[i]) : true;
+    TraceEvent r = e;
+    switch (e.kind) {
+      case TraceEventKind::kSchedule:
+        sched_map.push_back(kept ? next_sched : kInvalidIndex);
+        if (!kept) continue;
+        ++next_sched;
+        break;
+      case TraceEventKind::kRoot:
+        kept = kept && sched_ok(e.schedule);
+        node_map.push_back(kept ? next_node : kInvalidIndex);
+        if (!kept) continue;
+        r.schedule = sched_map[e.schedule];
+        ++next_node;
+        break;
+      case TraceEventKind::kSub:
+        kept = kept && sched_ok(e.schedule) && node_ok(e.parent);
+        node_map.push_back(kept ? next_node : kInvalidIndex);
+        if (!kept) continue;
+        r.schedule = sched_map[e.schedule];
+        r.parent = node_map[e.parent];
+        ++next_node;
+        break;
+      case TraceEventKind::kLeaf:
+        kept = kept && node_ok(e.parent);
+        node_map.push_back(kept ? next_node : kInvalidIndex);
+        if (!kept) continue;
+        r.parent = node_map[e.parent];
+        ++next_node;
+        break;
+      case TraceEventKind::kConflict:
+      case TraceEventKind::kWeakOutput:
+      case TraceEventKind::kStrongOutput:
+        if (!kept || !node_ok(e.a) || !node_ok(e.b)) continue;
+        r.a = node_map[e.a];
+        r.b = node_map[e.b];
+        break;
+      case TraceEventKind::kWeakInput:
+      case TraceEventKind::kStrongInput:
+        if (!kept || !sched_ok(e.schedule) || !node_ok(e.a) || !node_ok(e.b)) {
+          continue;
+        }
+        r.schedule = sched_map[e.schedule];
+        r.a = node_map[e.a];
+        r.b = node_map[e.b];
+        break;
+      case TraceEventKind::kIntraWeak:
+      case TraceEventKind::kIntraStrong:
+        if (!kept || !node_ok(e.parent) || !node_ok(e.a) || !node_ok(e.b)) {
+          continue;
+        }
+        r.parent = node_map[e.parent];
+        r.a = node_map[e.a];
+        r.b = node_map[e.b];
+        break;
+      case TraceEventKind::kCommit:
+        if (!kept || !node_ok(e.parent)) continue;
+        r.parent = node_map[e.parent];
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace comptx::testing

@@ -1,0 +1,47 @@
+#ifndef COMPTX_TESTING_EVENTS_H_
+#define COMPTX_TESTING_EVENTS_H_
+
+#include <vector>
+
+#include "core/composite_system.h"
+#include "util/rng.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::testing {
+
+/// The event-list view of a composite execution: the harness's canonical
+/// representation.  Every fact of a system — schedules, the forest, every
+/// conflict and order edge — is one trace event, so "shrink the input"
+/// uniformly means "keep a subset of the events" and "perturb the input"
+/// means "permute or extend the events".
+
+/// Serializes `cs` into its construction event sequence (SaveTrace order:
+/// schedules, nodes in id order, then edges).  Creation-order indices in
+/// the events equal the system's ids, so a round trip through BuildSystem
+/// reproduces the system bit-for-bit.
+StatusOr<std::vector<workload::TraceEvent>> SystemToEvents(
+    const CompositeSystem& cs);
+
+/// Replays `events` into a fresh system.  Fails on the first event the
+/// typed mutators reject; the result is not implicitly validated.
+StatusOr<CompositeSystem> BuildSystem(
+    const std::vector<workload::TraceEvent>& events);
+
+/// Projects `events` onto the subset selected by `keep` (parallel to
+/// `events`), closing under dependencies: dropping a creation event drops
+/// every event that (transitively) references the dead schedule or node —
+/// a dropped transaction takes its whole subtree and all incident edges
+/// with it.  Creation-order indices in the surviving events are remapped
+/// to the new, denser numbering.
+std::vector<workload::TraceEvent> FilterEvents(
+    const std::vector<workload::TraceEvent>& events,
+    const std::vector<bool>& keep);
+
+/// True iff the event at `index` creates an entity (schedule, root, sub or
+/// leaf) as opposed to declaring an edge or a commit.
+bool IsCreationEvent(const workload::TraceEvent& event);
+
+}  // namespace comptx::testing
+
+#endif  // COMPTX_TESTING_EVENTS_H_

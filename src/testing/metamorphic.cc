@@ -1,0 +1,309 @@
+#include "testing/metamorphic.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/correctness.h"
+#include "online/certifier.h"
+#include "testing/events.h"
+#include "util/string_util.h"
+
+namespace comptx::testing {
+
+using workload::TraceEvent;
+using workload::TraceEventKind;
+
+const char* MetamorphicKindToString(MetamorphicKind kind) {
+  switch (kind) {
+    case MetamorphicKind::kRename:
+      return "rename";
+    case MetamorphicKind::kShuffle:
+      return "shuffle";
+    case MetamorphicKind::kNoOpLeaves:
+      return "noop-leaves";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<TraceEvent> Rename(std::vector<TraceEvent> events, Rng& rng) {
+  uint32_t counter = 0;
+  for (TraceEvent& e : events) {
+    if (!IsCreationEvent(e)) continue;
+    // Fresh opaque names; the random tag ensures the new names share no
+    // structure with the old ones (and differ across applications).
+    e.name = StrCat("x", counter++, "_", rng.UniformInt(1u << 20));
+  }
+  return events;
+}
+
+/// Random dependency-respecting permutation of the events, with all
+/// creation-order indices renumbered to the new stream positions.
+std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
+                                Rng& rng) {
+  const size_t n = events.size();
+  // Creation event index of each schedule / node (old numbering).
+  std::vector<size_t> sched_event;
+  std::vector<size_t> node_event;
+  std::vector<std::vector<size_t>> deps(n);
+  bool malformed = false;  // forward/out-of-range refs: leave stream as is
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events[i];
+    auto dep_sched = [&](uint32_t s) {
+      if (s < sched_event.size()) {
+        deps[i].push_back(sched_event[s]);
+      } else {
+        malformed = true;
+      }
+    };
+    auto dep_node = [&](uint32_t v) {
+      if (v < node_event.size()) {
+        deps[i].push_back(node_event[v]);
+      } else {
+        malformed = true;
+      }
+    };
+    switch (e.kind) {
+      case TraceEventKind::kSchedule:
+        sched_event.push_back(i);
+        break;
+      case TraceEventKind::kRoot:
+        dep_sched(e.schedule);
+        node_event.push_back(i);
+        break;
+      case TraceEventKind::kSub:
+        dep_node(e.parent);
+        dep_sched(e.schedule);
+        node_event.push_back(i);
+        break;
+      case TraceEventKind::kLeaf:
+        dep_node(e.parent);
+        node_event.push_back(i);
+        break;
+      case TraceEventKind::kConflict:
+      case TraceEventKind::kWeakOutput:
+      case TraceEventKind::kStrongOutput:
+        dep_node(e.a);
+        dep_node(e.b);
+        break;
+      case TraceEventKind::kWeakInput:
+      case TraceEventKind::kStrongInput:
+        dep_sched(e.schedule);
+        dep_node(e.a);
+        dep_node(e.b);
+        break;
+      case TraceEventKind::kIntraWeak:
+      case TraceEventKind::kIntraStrong:
+        dep_node(e.parent);
+        dep_node(e.a);
+        dep_node(e.b);
+        break;
+      case TraceEventKind::kCommit:
+        dep_node(e.parent);
+        break;
+    }
+  }
+
+  if (malformed) return events;
+
+  // Randomized Kahn: repeatedly emit a uniformly chosen ready event.
+  std::vector<uint32_t> indegree(n, 0);
+  std::vector<std::vector<size_t>> dependents(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d : deps[i]) {
+      dependents[d].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const size_t pick = static_cast<size_t>(rng.UniformInt(ready.size()));
+    const size_t i = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    order.push_back(i);
+    for (size_t j : dependents[i]) {
+      if (--indegree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (order.size() != n) return events;  // malformed refs; leave unchanged
+
+  // Re-emit in the new order, renumbering creation indices.
+  std::vector<uint32_t> sched_map(sched_event.size(), kInvalidIndex);
+  std::vector<uint32_t> node_map(node_event.size(), kInvalidIndex);
+  // Old creation index of each creation event (inverse of *_event).
+  std::vector<uint32_t> sched_of_event(n, kInvalidIndex);
+  std::vector<uint32_t> node_of_event(n, kInvalidIndex);
+  for (size_t s = 0; s < sched_event.size(); ++s) {
+    sched_of_event[sched_event[s]] = static_cast<uint32_t>(s);
+  }
+  for (size_t v = 0; v < node_event.size(); ++v) {
+    node_of_event[node_event[v]] = static_cast<uint32_t>(v);
+  }
+  uint32_t next_sched = 0;
+  uint32_t next_node = 0;
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (size_t i : order) {
+    TraceEvent r = events[i];
+    if (sched_of_event[i] != kInvalidIndex) {
+      sched_map[sched_of_event[i]] = next_sched++;
+    }
+    if (node_of_event[i] != kInvalidIndex) {
+      node_map[node_of_event[i]] = next_node++;
+    }
+    switch (r.kind) {
+      case TraceEventKind::kRoot:
+      case TraceEventKind::kSub:
+      case TraceEventKind::kWeakInput:
+      case TraceEventKind::kStrongInput:
+        r.schedule = sched_map[r.schedule];
+        break;
+      default:
+        break;
+    }
+    if (r.parent != kInvalidIndex && r.kind != TraceEventKind::kSchedule &&
+        r.kind != TraceEventKind::kRoot) {
+      r.parent = node_map[r.parent];
+    }
+    if (r.a != kInvalidIndex) r.a = node_map[r.a];
+    if (r.b != kInvalidIndex) r.b = node_map[r.b];
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> AddNoOpLeaves(std::vector<TraceEvent> events,
+                                      Rng& rng, uint32_t count) {
+  // Node indices of transactions (roots and subtransactions).  Def 3.3
+  // makes a leaf under a strongly-input-ordered transaction *not* a no-op
+  // (every operation pair across the strong pair must be strongly
+  // output-ordered), so those transactions are excluded.
+  std::vector<uint32_t> transactions;
+  std::vector<bool> strongly_ordered;  // node index -> endpoint of strong_in
+  uint32_t next_node = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kRoot:
+      case TraceEventKind::kSub:
+        transactions.push_back(next_node++);
+        break;
+      case TraceEventKind::kLeaf:
+        ++next_node;
+        break;
+      case TraceEventKind::kStrongInput:
+        if (std::max(e.a, e.b) >= strongly_ordered.size()) {
+          strongly_ordered.resize(std::max(e.a, e.b) + 1, false);
+        }
+        strongly_ordered[e.a] = true;
+        strongly_ordered[e.b] = true;
+        break;
+      default:
+        break;
+    }
+  }
+  std::erase_if(transactions, [&](uint32_t t) {
+    return t < strongly_ordered.size() && strongly_ordered[t];
+  });
+  if (transactions.empty()) return events;
+  for (uint32_t k = 0; k < count; ++k) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kLeaf;
+    e.parent = transactions[rng.UniformInt(transactions.size())];
+    e.name = StrCat("noop", k, "_", rng.UniformInt(1u << 20));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> ApplyMetamorphic(
+    MetamorphicKind kind, const std::vector<TraceEvent>& events, Rng& rng,
+    uint32_t noop_count) {
+  switch (kind) {
+    case MetamorphicKind::kRename:
+      return Rename(events, rng);
+    case MetamorphicKind::kShuffle:
+      return Shuffle(events, rng);
+    case MetamorphicKind::kNoOpLeaves:
+      return AddNoOpLeaves(events, rng, noop_count);
+  }
+  return events;
+}
+
+StatusOr<std::vector<Disagreement>> CheckMetamorphic(
+    const CompositeSystem& cs, bool base_comp_c,
+    const MetamorphicOptions& options, uint64_t seed) {
+  COMPTX_ASSIGN_OR_RETURN(std::vector<TraceEvent> events, SystemToEvents(cs));
+  std::vector<Disagreement> out;
+  std::vector<MetamorphicKind> kinds;
+  if (options.rename) kinds.push_back(MetamorphicKind::kRename);
+  if (options.shuffle) kinds.push_back(MetamorphicKind::kShuffle);
+  if (options.noop_leaves) kinds.push_back(MetamorphicKind::kNoOpLeaves);
+  for (MetamorphicKind kind : kinds) {
+    const std::string check =
+        StrCat("metamorphic-", MetamorphicKindToString(kind));
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (uint64_t(kind) + 1)));
+    std::vector<TraceEvent> transformed =
+        ApplyMetamorphic(kind, events, rng, options.noop_count);
+    auto system = BuildSystem(transformed);
+    if (!system.ok()) {
+      out.push_back({check, StrCat("transformed stream fails to build: ",
+                                   system.status().message())});
+      continue;
+    }
+    Status valid = system->Validate();
+    if (!valid.ok()) {
+      out.push_back({check, StrCat("transform broke validity: ",
+                                   valid.message())});
+      continue;
+    }
+    auto verdict = CheckCompC(*system);
+    if (!verdict.ok()) {
+      out.push_back({check, StrCat("batch check failed on transformed "
+                                   "system: ",
+                                   verdict.status().message())});
+      continue;
+    }
+    if (verdict->correct != base_comp_c) {
+      out.push_back(
+          {check, StrCat("verdict not invariant: base is ",
+                         base_comp_c ? "correct" : "incorrect",
+                         ", transformed is ",
+                         verdict->correct ? "correct" : "incorrect")});
+      continue;
+    }
+    if (kind == MetamorphicKind::kShuffle) {
+      // The permuted stream must also certify to the same final verdict
+      // online (replay-order independence of the incremental engine).
+      online::Certifier certifier;
+      bool rejected = false;
+      for (const TraceEvent& e : transformed) {
+        if (!certifier.Ingest(e).ok()) {
+          rejected = true;
+          break;
+        }
+      }
+      if (rejected) {
+        out.push_back({check, "online certifier rejected an event of the "
+                              "permuted stream"});
+      } else if (certifier.Certifiable() != base_comp_c) {
+        out.push_back(
+            {check,
+             StrCat("online verdict on permuted stream is ",
+                    certifier.Certifiable() ? "correct" : "incorrect",
+                    ", base is ", base_comp_c ? "correct" : "incorrect")});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace comptx::testing

@@ -1,0 +1,58 @@
+#ifndef COMPTX_TESTING_METAMORPHIC_H_
+#define COMPTX_TESTING_METAMORPHIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "testing/differential.h"
+#include "util/rng.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::testing {
+
+/// Verdict-preserving input transformations.  Comp-C is a semantic
+/// property of the facts a trace carries, so each of these must leave
+/// every decider's verdict unchanged; a flip is a bug in whichever decider
+/// depended on names, ids or stream order.
+enum class MetamorphicKind : uint8_t {
+  /// Replace every schedule/node name by a fresh opaque one.
+  kRename,
+  /// Re-emit the events in a random dependency-respecting order and
+  /// renumber all creation-order indices accordingly.  Exercises both id
+  /// permutation (batch) and stream-order independence (online).
+  kShuffle,
+  /// Append operations that commute with everything: fresh leaves with no
+  /// conflicts and no order edges.
+  kNoOpLeaves,
+};
+
+const char* MetamorphicKindToString(MetamorphicKind kind);
+
+struct MetamorphicOptions {
+  bool rename = true;
+  bool shuffle = true;
+  bool noop_leaves = true;
+  /// Leaves appended by kNoOpLeaves.
+  uint32_t noop_count = 2;
+};
+
+/// Applies one transform to `events` (deterministic given `rng`'s state).
+/// The result builds a valid system whenever `events` does.
+std::vector<workload::TraceEvent> ApplyMetamorphic(
+    MetamorphicKind kind, const std::vector<workload::TraceEvent>& events,
+    Rng& rng, uint32_t noop_count = 2);
+
+/// Runs every enabled transform on the event stream of `cs` (whose batch
+/// verdict is `base_comp_c`) and checks invariance of the batch verdict
+/// and — for kShuffle — of the online certifier's final verdict on the
+/// permuted stream.  Each violation is reported as a Disagreement with
+/// check "metamorphic-<kind>".  `seed` makes the run reproducible.
+StatusOr<std::vector<Disagreement>> CheckMetamorphic(
+    const CompositeSystem& cs, bool base_comp_c,
+    const MetamorphicOptions& options, uint64_t seed);
+
+}  // namespace comptx::testing
+
+#endif  // COMPTX_TESTING_METAMORPHIC_H_

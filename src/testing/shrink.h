@@ -1,0 +1,62 @@
+#ifndef COMPTX_TESTING_SHRINK_H_
+#define COMPTX_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::testing {
+
+/// Decides whether a candidate system still exhibits the failure being
+/// minimized.  Called on systems rebuilt from shrunk event lists; the
+/// predicate must treat malformed/invalid systems as *not* failing (the
+/// differential predicates do: CheckConformance turns validation failures
+/// into Status errors).
+using FailurePredicate = std::function<bool(const CompositeSystem&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate invocations (a predicate runs every decider, so
+  /// this bounds total shrink cost).
+  uint32_t max_predicate_calls = 20000;
+
+  /// Cap on full shrink rounds (each round runs every pass once).
+  uint32_t max_rounds = 16;
+};
+
+struct ShrinkStats {
+  size_t initial_events = 0;
+  size_t final_events = 0;
+  uint32_t rounds = 0;
+  uint32_t predicate_calls = 0;
+  uint32_t accepted_steps = 0;
+  /// True when the result is 1-minimal at event granularity: no single
+  /// event (with its dependency closure) can be dropped without losing the
+  /// failure.  False only when a budget cap cut the search short.
+  bool one_minimal = false;
+};
+
+/// Delta-debugs `events` down to a small failure-preserving core:
+///
+///   1. root pass — drop whole root transactions (their subtree and every
+///      incident edge follow via dependency closure);
+///   2. ddmin chunk pass — drop contiguous event chunks of halving sizes;
+///   3. pair pass — drop all edge events sharing one endpoint pair at once
+///      (a conflict is only droppable together with the output orders
+///      Def 3.1 forces on it, and vice versa);
+///   4. single-event pass — drop events one at a time until 1-minimal.
+///
+/// Every candidate is rebuilt, and kept only if it still builds and
+/// `still_fails` holds; passes repeat until a fixpoint.  Requires
+/// `still_fails` to hold on the input (InvalidArgument otherwise).
+StatusOr<std::vector<workload::TraceEvent>> ShrinkEvents(
+    std::vector<workload::TraceEvent> events,
+    const FailurePredicate& still_fails, const ShrinkOptions& options = {},
+    ShrinkStats* stats = nullptr);
+
+}  // namespace comptx::testing
+
+#endif  // COMPTX_TESTING_SHRINK_H_

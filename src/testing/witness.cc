@@ -1,0 +1,296 @@
+#include "testing/witness.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "testing/events.h"
+#include "util/string_util.h"
+
+namespace comptx::testing {
+
+using workload::TraceEvent;
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Minimal tokenizer for the flat JSON subset FormatWitnessJson emits:
+/// one object of string / integer / bool / array-of-string values.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  Status Parse(WitnessRecord& record, bool& saw_trace) {
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      std::string key;
+      COMPTX_RETURN_IF_ERROR(ParseString(key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      COMPTX_RETURN_IF_ERROR(ParseValue(key, record, saw_trace));
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Status ParseValue(const std::string& key, WitnessRecord& record,
+                    bool& saw_trace) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string value;
+      COMPTX_RETURN_IF_ERROR(ParseString(value));
+      if (key == "id") record.id = value;
+      else if (key == "check") record.check = value;
+      else if (key == "detail") record.detail = value;
+      else if (key == "injected") record.injected = value;
+      else if (key == "generator") record.generator = value;
+      return Status::OK();
+    }
+    if (c == '[') {
+      std::vector<std::string> lines;
+      COMPTX_RETURN_IF_ERROR(ParseStringArray(lines));
+      if (key != "trace") return Status::OK();
+      saw_trace = true;
+      record.events.clear();
+      for (size_t i = 0; i < lines.size(); ++i) {
+        // Reuse the trace parser by wrapping the line in a one-event body.
+        auto events = workload::ParseTraceEvents(
+            StrCat("comptx-trace v1\n", lines[i], "\nend\n"));
+        if (!events.ok() || events->size() != 1) {
+          return Error(StrCat("trace element ", i + 1, " ('", lines[i],
+                              "') is not one trace event"));
+        }
+        record.events.push_back(std::move((*events)[0]));
+      }
+      return Status::OK();
+    }
+    if (c == 't' || c == 'f') {
+      const bool value = c == 't';
+      const char* word = value ? "true" : "false";
+      if (text_.compare(pos_, value ? 4 : 5, word) != 0) {
+        return Error("malformed literal");
+      }
+      pos_ += value ? 4 : 5;
+      if (key == "comp_c") record.comp_c = value;
+      return Status::OK();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      uint64_t value = 0;
+      bool negative = c == '-';
+      if (negative) ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      if (!negative) {
+        if (key == "seed") record.seed = value;
+        else if (key == "events_initial") record.events_initial = value;
+        else if (key == "events_final") record.events_final = value;
+      }
+      return Status::OK();
+    }
+    return Error(StrCat("unsupported value for key '", key, "'"));
+  }
+
+  Status ParseString(std::string& out) {
+    SkipSpace();
+    if (!Consume('"')) return Error("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default:
+            return Error(StrCat("unsupported escape '\\", e, "'"));
+        }
+        continue;
+      }
+      out += c;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseStringArray(std::vector<std::string>& out) {
+    SkipSpace();
+    if (!Consume('[')) return Error("expected '['");
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      std::string element;
+      COMPTX_RETURN_IF_ERROR(ParseString(element));
+      out.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrCat("witness JSON, offset ", pos_, ": ", what));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string FormatWitnessJson(const WitnessRecord& record) {
+  std::string out = "{\n";
+  auto field = [&](const char* key, const std::string& value) {
+    out += StrCat("  \"", key, "\": ");
+    AppendEscaped(out, value);
+    out += ",\n";
+  };
+  out += "  \"comptx_witness\": 1,\n";
+  field("id", record.id);
+  out += StrCat("  \"seed\": ", record.seed, ",\n");
+  field("check", record.check);
+  field("detail", record.detail);
+  field("injected", record.injected);
+  field("generator", record.generator);
+  out += StrCat("  \"comp_c\": ", record.comp_c ? "true" : "false", ",\n");
+  out += StrCat("  \"events_initial\": ", record.events_initial, ",\n");
+  out += StrCat("  \"events_final\": ", record.events_final, ",\n");
+  out += "  \"trace\": [\n";
+  for (size_t i = 0; i < record.events.size(); ++i) {
+    out += "    ";
+    AppendEscaped(out, workload::FormatTraceEvent(record.events[i]));
+    out += i + 1 < record.events.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+StatusOr<WitnessRecord> ParseWitnessJson(const std::string& json) {
+  WitnessRecord record;
+  bool saw_trace = false;
+  JsonScanner scanner(json);
+  COMPTX_RETURN_IF_ERROR(scanner.Parse(record, saw_trace));
+  if (!saw_trace) {
+    return Status::InvalidArgument("witness JSON has no \"trace\" array");
+  }
+  return record;
+}
+
+std::optional<InjectedBug> ParseInjectedBug(const std::string& name) {
+  if (name == "none") return InjectedBug::kNone;
+  if (name == "flip-oracle") return InjectedBug::kFlipOracle;
+  if (name == "flip-online") return InjectedBug::kFlipOnline;
+  if (name == "flip-criteria") return InjectedBug::kFlipCriteria;
+  return std::nullopt;
+}
+
+StatusOr<ReplayOutcome> ReplayWitness(const WitnessRecord& record) {
+  if (record.events.empty()) {
+    return Status::InvalidArgument("witness has an empty trace");
+  }
+  COMPTX_ASSIGN_OR_RETURN(CompositeSystem cs, BuildSystem(record.events));
+  ReplayOutcome outcome;
+  DifferentialOptions options;
+  COMPTX_ASSIGN_OR_RETURN(outcome.report, CheckConformance(cs, options));
+  outcome.verdict_matches = outcome.report.comp_c == record.comp_c;
+  if (!outcome.report.agreed()) {
+    outcome.message = StrCat("deciders disagree on the stored witness: ",
+                             outcome.report.Summary());
+  } else if (!outcome.verdict_matches) {
+    outcome.message = StrCat(
+        "verdict regression: recorded comp_c=", record.comp_c ? "true" : "false",
+        ", re-check says ", outcome.report.comp_c ? "true" : "false");
+  }
+  std::optional<InjectedBug> injected = ParseInjectedBug(record.injected);
+  if (!injected.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("unknown injected bug '", record.injected, "'"));
+  }
+  if (*injected != InjectedBug::kNone) {
+    DifferentialOptions with_bug;
+    with_bug.inject = *injected;
+    COMPTX_ASSIGN_OR_RETURN(DifferentialReport injected_report,
+                            CheckConformance(cs, with_bug));
+    outcome.injection_detected = false;
+    for (const Disagreement& d : injected_report.disagreements) {
+      if (record.check.empty() || d.check == record.check) {
+        outcome.injection_detected = true;
+        break;
+      }
+    }
+    if (!outcome.injection_detected && outcome.message.empty()) {
+      outcome.message =
+          StrCat("injected bug '", record.injected,
+                 "' is no longer detected as '", record.check, "'");
+    }
+  }
+  return outcome;
+}
+
+}  // namespace comptx::testing

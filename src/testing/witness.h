@@ -1,0 +1,71 @@
+#ifndef COMPTX_TESTING_WITNESS_H_
+#define COMPTX_TESTING_WITNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::testing {
+
+/// A minimized counterexample, replayable from its JSON form: the shrunk
+/// event trace plus everything needed to reproduce the campaign run that
+/// found it (seed, generator parameters, injected bug) and the expected
+/// verdict for regression checking.
+struct WitnessRecord {
+  std::string id;          // stable file-name-friendly identifier
+  uint64_t seed = 0;       // campaign trace seed that produced it
+  std::string check;       // disagreement kind ("batch-vs-oracle", ...)
+  std::string detail;      // human-readable diagnosis at discovery time
+  std::string injected = "none";  // InjectedBugToString of the campaign run
+  std::string generator;   // workload spec summary
+  bool comp_c = false;     // batch verdict of the minimized system
+  uint64_t events_initial = 0;  // events before shrinking
+  uint64_t events_final = 0;    // events after shrinking
+  std::vector<workload::TraceEvent> events;  // the minimized trace
+};
+
+/// Renders `record` as a pretty-printed JSON document (the corpus file
+/// format).  Trace events are stored as one trace line per array element.
+std::string FormatWitnessJson(const WitnessRecord& record);
+
+/// Parses a document produced by FormatWitnessJson.  Unknown keys are
+/// ignored; missing keys keep their defaults except "trace", which is
+/// required.
+StatusOr<WitnessRecord> ParseWitnessJson(const std::string& json);
+
+/// Maps an `injected` field back to the enum; nullopt for unknown names.
+std::optional<InjectedBug> ParseInjectedBug(const std::string& name);
+
+/// Outcome of re-checking a stored witness.
+struct ReplayOutcome {
+  /// Conformance report of the un-injected harness on the witness system.
+  DifferentialReport report;
+  /// True iff the recorded Comp-C verdict still matches.
+  bool verdict_matches = false;
+  /// For witnesses found under fault injection: true iff re-running with
+  /// the same injection still produces a disagreement of the recorded
+  /// kind (the harness has not lost its detection power).  Vacuously true
+  /// for witnesses recorded without injection.
+  bool injection_detected = true;
+  std::string message;  // diagnosis when !Passed()
+
+  bool Passed() const {
+    return report.agreed() && verdict_matches && injection_detected;
+  }
+};
+
+/// Rebuilds the witness system and re-checks it: all deciders must agree
+/// (with no injection), the recorded verdict must reproduce, and — when
+/// the witness was found under fault injection — the injected run must
+/// still be caught.  A Status error means the stored trace no longer
+/// builds or validates.
+StatusOr<ReplayOutcome> ReplayWitness(const WitnessRecord& record);
+
+}  // namespace comptx::testing
+
+#endif  // COMPTX_TESTING_WITNESS_H_

@@ -1,6 +1,7 @@
 #include "workload/workload_spec.h"
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace comptx::workload {
 
@@ -11,6 +12,19 @@ StatusOr<CompositeSystem> GenerateSystem(const WorkloadSpec& spec,
   COMPTX_RETURN_IF_ERROR(PopulateExecution(cs, spec.execution, rng));
   COMPTX_RETURN_IF_ERROR(cs.Validate());
   return cs;
+}
+
+std::string DescribeWorkloadSpec(const WorkloadSpec& spec) {
+  return StrCat(TopologyKindToString(spec.topology.kind),
+                " depth=", spec.topology.depth,
+                " branches=", spec.topology.branches,
+                " roots=", spec.topology.roots,
+                " fanout=", spec.topology.fanout,
+                " leaf_fraction=", spec.topology.leaf_fraction,
+                " conflict_prob=", spec.execution.conflict_prob,
+                " disorder_prob=", spec.execution.disorder_prob,
+                " intra_weak_prob=", spec.execution.intra_weak_prob,
+                " intra_strong_prob=", spec.execution.intra_strong_prob);
 }
 
 }  // namespace comptx::workload

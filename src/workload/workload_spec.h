@@ -2,6 +2,7 @@
 #define COMPTX_WORKLOAD_WORKLOAD_SPEC_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/composite_system.h"
 #include "util/status_or.h"
@@ -23,6 +24,12 @@ struct WorkloadSpec {
 /// as Status.
 StatusOr<CompositeSystem> GenerateSystem(const WorkloadSpec& spec,
                                          uint64_t seed);
+
+/// One-line rendering of every generator parameter ("stack depth=3
+/// branches=2 ... intra_strong_prob=0.1").  Paired with the seed, this is
+/// everything needed to regenerate the execution, so test failure
+/// messages and witness records embed it verbatim.
+std::string DescribeWorkloadSpec(const WorkloadSpec& spec);
 
 }  // namespace comptx::workload
 

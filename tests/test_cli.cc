@@ -1,0 +1,222 @@
+// Black-box CLI tests for comptx_certify and comptx_shrink (ctest label
+// `cli`): malformed input files, empty traces and conflicting flags must
+// exit non-zero with a diagnostic; well-formed runs must exit zero.  The
+// binary locations are baked in at configure time via the
+// COMPTX_CERTIFY_BIN / COMPTX_SHRINK_BIN compile definitions.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/string_util.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+std::string ReadAll(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A per-process scratch directory (ctest may run the cases of this
+/// binary in parallel as separate processes).
+std::filesystem::path Scratch() {
+  static const std::filesystem::path dir = [] {
+    std::filesystem::path p =
+        std::filesystem::path(::testing::TempDir()) /
+        StrCat("comptx_cli_", static_cast<unsigned long>(::getpid()));
+    std::filesystem::create_directories(p);
+    return p;
+  }();
+  return dir;
+}
+
+RunResult RunCli(const std::string& command) {
+  static int counter = 0;
+  const std::filesystem::path out =
+      Scratch() / StrCat("stdout_", counter, ".txt");
+  const std::filesystem::path err =
+      Scratch() / StrCat("stderr_", counter, ".txt");
+  ++counter;
+  const std::string full =
+      StrCat(command, " >", out.string(), " 2>", err.string());
+  const int raw = std::system(full.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  result.stdout_text = ReadAll(out);
+  result.stderr_text = ReadAll(err);
+  return result;
+}
+
+std::filesystem::path WriteFile(const std::string& name,
+                                const std::string& content) {
+  const std::filesystem::path path = Scratch() / name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------- certify
+
+TEST(CertifyCliTest, NoArgumentsIsAUsageError) {
+  RunResult r = RunCli(COMPTX_CERTIFY_BIN);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "usage")) << r.stderr_text;
+}
+
+TEST(CertifyCliTest, MissingFileIsDiagnosed) {
+  RunResult r = RunCli(StrCat(COMPTX_CERTIFY_BIN, " ",
+                           (Scratch() / "does_not_exist.trace").string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "cannot open")) << r.stderr_text;
+}
+
+TEST(CertifyCliTest, MalformedTraceIsDiagnosed) {
+  const auto path = WriteFile("malformed.trace", "this is not a trace\n");
+  RunResult r = RunCli(StrCat(COMPTX_CERTIFY_BIN, " ", path.string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "parse error")) << r.stderr_text;
+}
+
+TEST(CertifyCliTest, EmptyTraceFileIsDiagnosed) {
+  const auto path = WriteFile("empty.trace", "");
+  RunResult r = RunCli(StrCat(COMPTX_CERTIFY_BIN, " ", path.string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.stderr_text.empty());
+}
+
+TEST(CertifyCliTest, DemoConflictsWithATraceFile) {
+  const auto path = WriteFile("some.trace", "comptx-trace v1\nend\n");
+  RunResult r =
+      RunCli(StrCat(COMPTX_CERTIFY_BIN, " --demo ", path.string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "usage")) << r.stderr_text;
+}
+
+TEST(CertifyCliTest, CertifiesAGeneratedTraceWithBatchCheck) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kStack;
+  spec.execution.conflict_prob = 0.3;
+  auto cs = workload::GenerateSystem(spec, 9);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  auto text = workload::SaveTrace(*cs);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto path = WriteFile("generated.trace", *text);
+  RunResult r =
+      RunCli(StrCat(COMPTX_CERTIFY_BIN, " --check ", path.string()));
+  EXPECT_TRUE(r.exit_code == 0 || r.exit_code == 1) << r.stderr_text;
+  if (r.exit_code == 0) {
+    EXPECT_TRUE(Contains(r.stdout_text, "certifiable")) << r.stdout_text;
+  }
+  EXPECT_TRUE(Contains(r.stdout_text, "batch agreement")) << r.stdout_text;
+}
+
+// ----------------------------------------------------------------- shrink
+
+TEST(ShrinkCliTest, UnknownFlagIsAUsageError) {
+  RunResult r = RunCli(StrCat(COMPTX_SHRINK_BIN, " --bogus"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "unknown flag")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, NonNumericSeedIsDiagnosed) {
+  RunResult r = RunCli(StrCat(COMPTX_SHRINK_BIN, " --seed banana"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "--seed")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, ZeroTracesIsDiagnosed) {
+  RunResult r = RunCli(StrCat(COMPTX_SHRINK_BIN, " --traces 0"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "--traces")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, ReplayConflictsWithInjection) {
+  RunResult r = RunCli(
+      StrCat(COMPTX_SHRINK_BIN, " --replay --inject-bug flip-oracle"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "cannot be combined")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, ReplayWithoutFilesIsDiagnosed) {
+  RunResult r = RunCli(StrCat(COMPTX_SHRINK_BIN, " --replay"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.stderr_text.empty());
+}
+
+TEST(ShrinkCliTest, ReplayOfAMissingFileIsDiagnosed) {
+  RunResult r =
+      RunCli(StrCat(COMPTX_SHRINK_BIN, " --replay ",
+                 (Scratch() / "missing_witness.json").string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "cannot open")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, ReplayOfMalformedJsonIsDiagnosed) {
+  const auto path = WriteFile("garbage.json", "definitely not json");
+  RunResult r =
+      RunCli(StrCat(COMPTX_SHRINK_BIN, " --replay ", path.string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.stderr_text.empty());
+}
+
+TEST(ShrinkCliTest, ReplayOfAnEmptyTraceWitnessIsDiagnosed) {
+  const auto path = WriteFile(
+      "empty_trace.json",
+      "{\"id\": \"empty\", \"check\": \"batch\", \"injected\": \"none\", "
+      "\"trace\": []}");
+  RunResult r =
+      RunCli(StrCat(COMPTX_SHRINK_BIN, " --replay ", path.string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "empty trace")) << r.stderr_text;
+}
+
+TEST(ShrinkCliTest, CleanCampaignExitsZero) {
+  RunResult r = RunCli(StrCat(COMPTX_SHRINK_BIN, " --seed 1 --traces 3"));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text << r.stderr_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "zero decider disagreements"))
+      << r.stdout_text;
+}
+
+TEST(ShrinkCliTest, InjectedCampaignWritesReplayableWitnesses) {
+  const std::filesystem::path corpus = Scratch() / "cli_corpus";
+  RunResult campaign =
+      RunCli(StrCat(COMPTX_SHRINK_BIN,
+                 " --seed 7 --traces 6 --inject-bug flip-oracle --quiet"
+                 " --out ",
+                 corpus.string()));
+  EXPECT_EQ(campaign.exit_code, 1)
+      << campaign.stdout_text << campaign.stderr_text;
+  size_t witnesses = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() == ".json") ++witnesses;
+  }
+  ASSERT_GT(witnesses, 0u) << campaign.stdout_text;
+  RunResult replay = RunCli(StrCat(COMPTX_SHRINK_BIN, " --quiet --replay ",
+                                (corpus / "*.json").string()));
+  EXPECT_EQ(replay.exit_code, 0)
+      << replay.stdout_text << replay.stderr_text;
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,55 @@
+// Regression corpus replay: every minimized counterexample committed
+// under tests/corpus/ must still parse, rebuild, leave all deciders in
+// agreement, reproduce its recorded verdict, and — for witnesses minted
+// under fault injection — still be caught when the same fault is
+// re-injected.  COMPTX_CORPUS_DIR is baked in by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/witness.h"
+
+#ifndef COMPTX_CORPUS_DIR
+#error "COMPTX_CORPUS_DIR must point at the committed witness corpus"
+#endif
+
+namespace comptx {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(COMPTX_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplayTest, EveryCommittedWitnessReplaysClean) {
+  const std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_FALSE(files.empty()) << "no witnesses in " COMPTX_CORPUS_DIR;
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto record = testing::ParseWitnessJson(buffer.str());
+    ASSERT_TRUE(record.ok()) << path << ": " << record.status().ToString();
+    EXPECT_EQ(path.stem().string(), record->id)
+        << path << ": file name out of sync with the witness id";
+    EXPECT_FALSE(record->events.empty()) << path;
+    auto outcome = testing::ReplayWitness(*record);
+    ASSERT_TRUE(outcome.ok()) << path << ": " << outcome.status().ToString();
+    EXPECT_TRUE(outcome->Passed()) << path << ": " << outcome->message;
+  }
+}
+
+}  // namespace
+}  // namespace comptx

@@ -1,0 +1,189 @@
+// Tests for the differential conformance harness (src/testing): on valid
+// generated systems every decider must agree; each injectable decider
+// fault must be detected as the right disagreement kind; metamorphic
+// transforms must leave every verdict unchanged.
+
+#include "testing/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/correctness.h"
+#include "test_helpers.h"
+#include "testing/events.h"
+#include "testing/metamorphic.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+using workload::TopologyKind;
+
+workload::WorkloadSpec MakeSpec(TopologyKind kind) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = kind;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 3;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.3;
+  spec.execution.disorder_prob = 0.35;
+  spec.execution.intra_weak_prob = 0.25;
+  spec.execution.intra_strong_prob = 0.1;
+  return spec;
+}
+
+constexpr TopologyKind kAllKinds[] = {
+    TopologyKind::kStack, TopologyKind::kFork, TopologyKind::kJoin,
+    TopologyKind::kLayeredDag};
+
+TEST(DifferentialTest, AllDecidersAgreeOnGeneratedSystems) {
+  for (TopologyKind kind : kAllKinds) {
+    const workload::WorkloadSpec spec = MakeSpec(kind);
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << cs.status().ToString();
+      testing::DifferentialOptions options;
+      options.prefix_event_limit = 100;  // quadratic check on small streams
+      auto report = testing::CheckConformance(*cs, options);
+      ASSERT_TRUE(report.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << report.status().ToString();
+      EXPECT_TRUE(report->agreed())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << report->Summary();
+    }
+  }
+}
+
+TEST(DifferentialTest, InvalidSystemIsAStatusError) {
+  // A conflict without the weak output order Def 3.1 demands.
+  testing::TwoLevelStack stack =
+      testing::MakeTwoLevelStack(/*t1_first=*/true, /*top_conflict=*/false);
+  ASSERT_TRUE(stack.cs.AddConflict(stack.s1, stack.s2).ok());
+  EXPECT_FALSE(testing::CheckConformance(stack.cs).ok());
+}
+
+TEST(DifferentialTest, ReportSummaryListsEveryDisagreement) {
+  testing::DifferentialReport report;
+  EXPECT_TRUE(report.agreed());
+  EXPECT_EQ(report.Summary(), "");
+  report.disagreements.push_back({"batch-vs-online", "verdicts differ"});
+  report.disagreements.push_back({"batch-vs-oracle", "soundness"});
+  EXPECT_FALSE(report.agreed());
+  EXPECT_EQ(report.Summary(),
+            "batch-vs-online: verdicts differ; batch-vs-oracle: soundness");
+}
+
+TEST(DifferentialTest, InjectedFaultsAreDetectedOnStacks) {
+  // Stacks make every decider applicable and exact, so a flipped verdict
+  // must surface on every single trace.
+  const workload::WorkloadSpec spec = MakeSpec(TopologyKind::kStack);
+  const struct {
+    testing::InjectedBug bug;
+    const char* check;
+  } cases[] = {
+      {testing::InjectedBug::kFlipOracle, "batch-vs-oracle"},
+      {testing::InjectedBug::kFlipOnline, "batch-vs-online"},
+      {testing::InjectedBug::kFlipCriteria, "batch-vs-scc"},
+  };
+  for (const auto& c : cases) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << cs.status().ToString();
+      testing::DifferentialOptions options;
+      options.inject = c.bug;
+      auto report = testing::CheckConformance(*cs, options);
+      ASSERT_TRUE(report.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << report.status().ToString();
+      const bool found = std::any_of(
+          report->disagreements.begin(), report->disagreements.end(),
+          [&](const testing::Disagreement& d) { return d.check == c.check; });
+      EXPECT_TRUE(found)
+          << testing::InjectedBugToString(c.bug) << " not reported as "
+          << c.check << ": seed " << seed << " ("
+          << workload::DescribeWorkloadSpec(spec)
+          << "), got: " << report->Summary();
+    }
+  }
+}
+
+TEST(MetamorphicTest, TransformsPreserveEveryVerdict) {
+  for (TopologyKind kind : kAllKinds) {
+    const workload::WorkloadSpec spec = MakeSpec(kind);
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      auto cs = workload::GenerateSystem(spec, seed);
+      ASSERT_TRUE(cs.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << cs.status().ToString();
+      auto base = CheckCompC(*cs);
+      ASSERT_TRUE(base.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << base.status().ToString();
+      testing::MetamorphicOptions options;
+      auto disagreements =
+          testing::CheckMetamorphic(*cs, base->correct, options, seed);
+      ASSERT_TRUE(disagreements.ok())
+          << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+          << "): " << disagreements.status().ToString();
+      for (const testing::Disagreement& d : *disagreements) {
+        ADD_FAILURE() << "seed " << seed << " ("
+                      << workload::DescribeWorkloadSpec(spec) << "): "
+                      << d.check << ": " << d.detail;
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, RenameChangesOnlyNames) {
+  const workload::WorkloadSpec spec = MakeSpec(TopologyKind::kFork);
+  auto cs = workload::GenerateSystem(spec, 3);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  auto events = testing::SystemToEvents(*cs);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  Rng rng(17);
+  std::vector<workload::TraceEvent> renamed = testing::ApplyMetamorphic(
+      testing::MetamorphicKind::kRename, *events, rng);
+  ASSERT_EQ(renamed.size(), events->size());
+  for (size_t i = 0; i < renamed.size(); ++i) {
+    EXPECT_EQ(renamed[i].kind, (*events)[i].kind) << "event " << i;
+    if (testing::IsCreationEvent((*events)[i])) {
+      EXPECT_NE(renamed[i].name, (*events)[i].name) << "event " << i;
+    }
+  }
+  auto rebuilt = testing::BuildSystem(renamed);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  ASSERT_TRUE(rebuilt->Validate().ok());
+  EXPECT_EQ(IsCompC(*rebuilt), IsCompC(*cs));
+}
+
+TEST(MetamorphicTest, ShuffleRespectsDependenciesAndVerdict) {
+  const workload::WorkloadSpec spec = MakeSpec(TopologyKind::kLayeredDag);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cs = workload::GenerateSystem(spec, seed);
+    ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+    auto events = testing::SystemToEvents(*cs);
+    ASSERT_TRUE(events.ok()) << events.status().ToString();
+    Rng rng(seed * 31);
+    std::vector<workload::TraceEvent> shuffled = testing::ApplyMetamorphic(
+        testing::MetamorphicKind::kShuffle, *events, rng);
+    ASSERT_EQ(shuffled.size(), events->size()) << "seed " << seed;
+    auto rebuilt = testing::BuildSystem(shuffled);
+    ASSERT_TRUE(rebuilt.ok())
+        << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+        << "): " << rebuilt.status().ToString();
+    ASSERT_TRUE(rebuilt->Validate().ok()) << "seed " << seed;
+    EXPECT_EQ(IsCompC(*rebuilt), IsCompC(*cs)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace comptx

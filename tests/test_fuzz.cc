@@ -13,6 +13,7 @@
 #include "graph/topological_sort.h"
 #include "graph/transitive_closure.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 #include "workload/trace.h"
 #include "workload/workload_spec.h"
 
@@ -66,15 +67,17 @@ TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
     std::string message;
   };
   std::vector<CompositeSystem> systems;
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 3;
+  spec.execution.conflict_prob = 0.2;
+  const std::string generator = workload::DescribeWorkloadSpec(spec);
   for (uint64_t seed = 1; seed <= 60; ++seed) {
-    workload::WorkloadSpec spec;
-    spec.topology.kind = workload::TopologyKind::kLayeredDag;
-    spec.topology.depth = 3;
-    spec.topology.branches = 2;
-    spec.topology.roots = 3;
-    spec.execution.conflict_prob = 0.2;
     auto cs = workload::GenerateSystem(spec, seed);
-    ASSERT_TRUE(cs.ok());
+    ASSERT_TRUE(cs.ok()) << "seed " << seed << " (" << generator
+                         << "): " << cs.status().ToString();
     Rng rng(seed * 7919);
     const uint32_t mutations = 1 + uint32_t(rng.UniformInt(5));
     for (uint32_t m = 0; m < mutations; ++m) MutateOnce(*cs, rng);
@@ -97,14 +100,19 @@ TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
   int rejected = 0;
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const Outcome& out = outcomes[i];
+    // Everything needed to regenerate the failing input: the generator
+    // seed, its parameters, and the mutation rng seed.
+    const std::string repro =
+        StrCat("seed ", i + 1, " mutation_rng_seed ", (i + 1) * 7919, " (",
+               generator, ")");
     if (out.valid) {
       ++still_valid;
-      EXPECT_TRUE(out.check_ok) << "seed " << i + 1;
+      EXPECT_TRUE(out.check_ok) << repro;
     } else {
       ++rejected;
-      EXPECT_FALSE(out.message.empty());
+      EXPECT_FALSE(out.message.empty()) << repro;
       // The reduction driver must surface the same rejection as a Status.
-      EXPECT_FALSE(out.reduction_ok) << "seed " << i + 1;
+      EXPECT_FALSE(out.reduction_ok) << repro << ": " << out.message;
     }
   }
   // The mutation set must exercise both outcomes to mean anything.
@@ -113,7 +121,8 @@ TEST(FuzzValidationTest, MutatedSystemsNeverCrash) {
 }
 
 TEST(FuzzGraphTest, SccAgreesWithClosure) {
-  Rng rng(99);
+  constexpr uint64_t kRngSeed = 99;
+  Rng rng(kRngSeed);
   for (int trial = 0; trial < 30; ++trial) {
     const size_t n = 2 + rng.UniformInt(25);
     graph::Digraph g(n);
@@ -130,14 +139,16 @@ TEST(FuzzGraphTest, SccAgreesWithClosure) {
             scc.component_of[u] == scc.component_of[v];
         const bool mutual = closure.Reaches(u, v) && closure.Reaches(v, u);
         EXPECT_EQ(same_component, mutual)
-            << "trial " << trial << " nodes " << u << "," << v;
+            << "rng_seed " << kRngSeed << " trial " << trial << " (n=" << n
+            << " edges=" << edges << ") nodes " << u << "," << v;
       }
     }
   }
 }
 
 TEST(FuzzGraphTest, TopologicalSortValidOrCycleExists) {
-  Rng rng(123);
+  constexpr uint64_t kRngSeed = 123;
+  Rng rng(kRngSeed);
   for (int trial = 0; trial < 40; ++trial) {
     const size_t n = 2 + rng.UniformInt(30);
     graph::Digraph g(n);
@@ -145,22 +156,25 @@ TEST(FuzzGraphTest, TopologicalSortValidOrCycleExists) {
     for (size_t e = 0; e < edges; ++e) {
       g.AddEdge(uint32_t(rng.UniformInt(n)), uint32_t(rng.UniformInt(n)));
     }
+    const std::string repro = StrCat("rng_seed ", kRngSeed, " trial ", trial,
+                                     " (n=", n, " edges=", edges, ")");
     auto order = graph::TopologicalSort(g);
     auto cycle = graph::FindCycle(g);
-    EXPECT_EQ(order.ok(), !cycle.has_value()) << "trial " << trial;
+    EXPECT_EQ(order.ok(), !cycle.has_value()) << repro;
     if (order.ok()) {
       std::vector<size_t> pos(n);
       for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
       for (uint32_t v = 0; v < n; ++v) {
         for (uint32_t w : g.OutNeighbors(v)) {
-          if (v != w) EXPECT_LT(pos[v], pos[w]);
+          if (v != w) EXPECT_LT(pos[v], pos[w]) << repro;
         }
       }
     } else {
       // The cycle witness must consist of real edges.
       for (size_t i = 0; i < cycle->size(); ++i) {
         EXPECT_TRUE(
-            g.HasEdge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+            g.HasEdge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]))
+            << repro << " cycle position " << i;
       }
     }
   }
@@ -170,9 +184,11 @@ TEST(FuzzTraceTest, LoadNeverCrashesOnCorruptedTraces) {
   workload::WorkloadSpec spec;
   spec.topology.kind = workload::TopologyKind::kStack;
   auto cs = workload::GenerateSystem(spec, 5);
-  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(cs.ok()) << "seed 5 (" << workload::DescribeWorkloadSpec(spec)
+                       << "): " << cs.status().ToString();
   auto text = workload::SaveTrace(*cs);
-  ASSERT_TRUE(text.ok());
+  ASSERT_TRUE(text.ok()) << "seed 5 (" << workload::DescribeWorkloadSpec(spec)
+                         << "): " << text.status().ToString();
   Rng rng(4242);
   for (int trial = 0; trial < 50; ++trial) {
     std::string corrupted = *text;

@@ -15,12 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "analysis/sweep.h"
 #include "core/correctness.h"
 #include "test_helpers.h"
+#include "util/string_util.h"
 #include "workload/workload_spec.h"
 
 namespace comptx {
@@ -78,17 +80,21 @@ TEST_P(OracleAgreementTest, EngineMatchesOracle) {
   spec.execution.disorder_prob = 0.3;
   spec.execution.intra_weak_prob = 0.3;
   spec.execution.intra_strong_prob = 0.2;
+  // Seed + generator parameters: everything needed to regenerate the
+  // failing execution outside the test.
+  const std::string repro = StrCat("seed ", GetParam().seed, " (",
+                                   workload::DescribeWorkloadSpec(spec), ")");
   auto cs = workload::GenerateSystem(spec, GetParam().seed);
-  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  ASSERT_TRUE(cs.ok()) << repro << ": " << cs.status().ToString();
   auto oracle = criteria::HierarchicalSerializabilityOracle(*cs);
-  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_TRUE(oracle.ok()) << repro << ": " << oracle.status().ToString();
   const bool comp_c = IsCompC(*cs);
   // Soundness always: an accepted execution has a serial witness.
-  if (comp_c) EXPECT_TRUE(*oracle);
+  if (comp_c) EXPECT_TRUE(*oracle) << repro;
   // On the single-meet configurations the criteria coincide exactly;
   // general DAGs may exhibit the documented conservatism gap.
   if (GetParam().kind != workload::TopologyKind::kLayeredDag) {
-    EXPECT_EQ(*oracle, comp_c);
+    EXPECT_EQ(*oracle, comp_c) << repro;
   }
 }
 
@@ -99,6 +105,7 @@ TEST(OracleTest, BatchSweepAgreesWithOracle) {
   // pairwise.  Catches any sweep-level aggregation mixing up systems.
   std::vector<CompositeSystem> systems;
   std::vector<bool> single_meet;
+  std::vector<std::string> repro;  // seed + generator params per system
   for (auto kind :
        {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
         workload::TopologyKind::kJoin, workload::TopologyKind::kLayeredDag}) {
@@ -114,9 +121,13 @@ TEST(OracleTest, BatchSweepAgreesWithOracle) {
       spec.execution.intra_weak_prob = 0.3;
       spec.execution.intra_strong_prob = 0.2;
       auto cs = workload::GenerateSystem(spec, seed);
-      ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+      ASSERT_TRUE(cs.ok()) << "seed " << seed << " ("
+                           << workload::DescribeWorkloadSpec(spec)
+                           << "): " << cs.status().ToString();
       systems.push_back(*std::move(cs));
       single_meet.push_back(kind != workload::TopologyKind::kLayeredDag);
+      repro.push_back(StrCat("seed ", seed, " (",
+                             workload::DescribeWorkloadSpec(spec), ")"));
     }
   }
   std::vector<const CompositeSystem*> pointers;
@@ -132,9 +143,9 @@ TEST(OracleTest, BatchSweepAgreesWithOracle) {
       });
   ASSERT_EQ(engine.size(), systems.size());
   for (size_t i = 0; i < systems.size(); ++i) {
-    ASSERT_TRUE(engine[i].ok) << engine[i].status_message;
-    if (engine[i].comp_c) EXPECT_TRUE(oracle[i]) << "system " << i;
-    if (single_meet[i]) EXPECT_EQ(oracle[i], engine[i].comp_c) << i;
+    ASSERT_TRUE(engine[i].ok) << repro[i] << ": " << engine[i].status_message;
+    if (engine[i].comp_c) EXPECT_TRUE(oracle[i]) << repro[i];
+    if (single_meet[i]) EXPECT_EQ(oracle[i], engine[i].comp_c) << repro[i];
   }
 }
 

@@ -1,0 +1,238 @@
+// Delta-debugging shrinker, witness JSON round-trip and end-to-end fuzz
+// campaign tests — including the harness's key acceptance property: an
+// intentionally injected decider bug is caught and shrunk to a witness
+// with at most three root transactions that replays from its JSON form.
+
+#include "testing/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/correctness.h"
+#include "testing/campaign.h"
+#include "testing/events.h"
+#include "testing/witness.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx {
+namespace {
+
+using workload::TraceEvent;
+using workload::TraceEventKind;
+
+bool HasNodeNamed(const CompositeSystem& cs, const std::string& name) {
+  for (uint32_t i = 0; i < cs.NodeCount(); ++i) {
+    if (cs.node(NodeId(i)).name == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<TraceEvent>> GenerateEvents(uint64_t seed,
+                                                 std::string* root_name) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 4;
+  spec.execution.conflict_prob = 0.3;
+  spec.execution.disorder_prob = 0.3;
+  COMPTX_ASSIGN_OR_RETURN(CompositeSystem cs,
+                          workload::GenerateSystem(spec, seed));
+  if (root_name != nullptr) *root_name = cs.node(cs.Roots().back()).name;
+  return testing::SystemToEvents(cs);
+}
+
+TEST(ShrinkTest, RequiresAFailingInput) {
+  auto events = GenerateEvents(1, nullptr);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  auto result = testing::ShrinkEvents(
+      *events, [](const CompositeSystem&) { return false; });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShrinkTest, ShrinksToTheNamedRootsCreationChain) {
+  std::string root_name;
+  auto events = GenerateEvents(11, &root_name);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_GT(events->size(), 2u);
+  testing::ShrinkStats stats;
+  auto shrunk = testing::ShrinkEvents(
+      *events,
+      [&](const CompositeSystem& cs) { return HasNodeNamed(cs, root_name); },
+      {}, &stats);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  // The minimal input keeping that root alive is its schedule + the root.
+  EXPECT_EQ(shrunk->size(), 2u);
+  EXPECT_TRUE(stats.one_minimal);
+  EXPECT_EQ(stats.initial_events, events->size());
+  EXPECT_EQ(stats.final_events, shrunk->size());
+  EXPECT_GT(stats.accepted_steps, 0u);
+  auto rebuilt = testing::BuildSystem(*shrunk);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(HasNodeNamed(*rebuilt, root_name));
+}
+
+TEST(ShrinkTest, NeverShrinksToAnEmptyTrace) {
+  auto events = GenerateEvents(2, nullptr);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  // A predicate that holds on everything would license shrinking to
+  // nothing; the shrinker must stop at one event so the witness stays
+  // replayable.
+  testing::ShrinkStats stats;
+  auto shrunk = testing::ShrinkEvents(
+      *events, [](const CompositeSystem&) { return true; }, {}, &stats);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_EQ(shrunk->size(), 1u);
+  EXPECT_TRUE(stats.one_minimal);
+}
+
+TEST(ShrinkTest, PredicateBudgetCutsTheSearchShort) {
+  auto events = GenerateEvents(3, nullptr);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  testing::ShrinkOptions options;
+  options.max_predicate_calls = 3;
+  testing::ShrinkStats stats;
+  auto shrunk = testing::ShrinkEvents(
+      *events, [](const CompositeSystem&) { return true; }, options, &stats);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_LE(stats.predicate_calls, options.max_predicate_calls);
+  EXPECT_FALSE(stats.one_minimal);
+  EXPECT_GE(shrunk->size(), 1u);
+}
+
+TEST(WitnessTest, JsonRoundTripsAndReplaysClean) {
+  std::string root_name;
+  auto events = GenerateEvents(5, &root_name);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  auto system = testing::BuildSystem(*events);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  testing::WitnessRecord record;
+  record.id = "round-trip-5";
+  record.seed = 5;
+  record.check = "batch-vs-online";
+  record.detail = "made up for the round trip: \"quoted\"\n\tand escaped";
+  record.injected = "none";
+  record.generator = "layered_dag depth=3";
+  record.comp_c = IsCompC(*system);
+  record.events_initial = events->size();
+  record.events_final = events->size();
+  record.events = *events;
+
+  const std::string json = testing::FormatWitnessJson(record);
+  auto parsed = testing::ParseWitnessJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, record.id);
+  EXPECT_EQ(parsed->seed, record.seed);
+  EXPECT_EQ(parsed->check, record.check);
+  EXPECT_EQ(parsed->detail, record.detail);
+  EXPECT_EQ(parsed->injected, record.injected);
+  EXPECT_EQ(parsed->generator, record.generator);
+  EXPECT_EQ(parsed->comp_c, record.comp_c);
+  EXPECT_EQ(parsed->events_initial, record.events_initial);
+  EXPECT_EQ(parsed->events_final, record.events_final);
+  ASSERT_EQ(parsed->events.size(), record.events.size());
+  for (size_t i = 0; i < record.events.size(); ++i) {
+    EXPECT_EQ(workload::FormatTraceEvent(parsed->events[i]),
+              workload::FormatTraceEvent(record.events[i]))
+        << "event " << i;
+  }
+
+  auto outcome = testing::ReplayWitness(*parsed);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->Passed()) << outcome->message;
+}
+
+TEST(WitnessTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(testing::ParseWitnessJson("not json at all").ok());
+  // Structurally fine but the mandatory trace array is missing.
+  EXPECT_FALSE(testing::ParseWitnessJson("{\"id\": \"x\"}").ok());
+  // A trace element that is not a trace line.
+  EXPECT_FALSE(
+      testing::ParseWitnessJson("{\"trace\": [\"bogus line\"]}").ok());
+}
+
+TEST(WitnessTest, ReplayRejectsEmptyTraces) {
+  auto record = testing::ParseWitnessJson("{\"trace\": []}");
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_FALSE(testing::ReplayWitness(*record).ok());
+}
+
+TEST(CampaignTest, CleanCampaignFindsNoDisagreements) {
+  testing::CampaignOptions options;
+  options.seed = 3;
+  options.traces = 15;
+  options.prefix_check_every = 5;
+  options.prefix_event_limit = 80;
+  auto result = testing::RunFuzzCampaign(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const testing::WitnessRecord& w : result->witnesses) {
+    ADD_FAILURE() << "seed " << w.seed << " (" << w.generator << "): "
+                  << w.check << ": " << w.detail;
+  }
+  EXPECT_EQ(result->stats.traces, options.traces);
+  EXPECT_EQ(result->stats.metamorphic_checked, options.traces);
+  EXPECT_GT(result->stats.comp_c_count, 0u);
+  EXPECT_GT(result->stats.prefix_checked, 0u);
+  EXPECT_GT(result->stats.total_events, 0u);
+}
+
+/// The acceptance property: a flipped-oracle bug behind the test-only
+/// injection flag is caught, shrunk to <= 3 root transactions, and the
+/// resulting witness replays from JSON (injection still detected).
+TEST(CampaignTest, InjectedOracleBugIsCaughtAndShrunkTiny) {
+  testing::CampaignOptions options;
+  options.seed = 7;
+  options.traces = 6;
+  options.differential.inject = testing::InjectedBug::kFlipOracle;
+  options.run_metamorphic = false;
+  auto result = testing::RunFuzzCampaign(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->clean());
+  for (const testing::WitnessRecord& w : result->witnesses) {
+    EXPECT_EQ(w.check, "batch-vs-oracle") << w.detail;
+    EXPECT_EQ(w.injected, "flip-oracle");
+    ASSERT_FALSE(w.events.empty());
+    EXPECT_LE(w.events_final, w.events_initial);
+    const auto roots = std::count_if(
+        w.events.begin(), w.events.end(),
+        [](const TraceEvent& e) { return e.kind == TraceEventKind::kRoot; });
+    EXPECT_LE(roots, 3) << "witness " << w.id << " is not minimal";
+
+    auto parsed = testing::ParseWitnessJson(testing::FormatWitnessJson(w));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto outcome = testing::ReplayWitness(*parsed);
+    ASSERT_TRUE(outcome.ok())
+        << "witness " << w.id << ": " << outcome.status().ToString();
+    EXPECT_TRUE(outcome->Passed())
+        << "witness " << w.id << ": " << outcome->message;
+  }
+}
+
+TEST(CampaignTest, InjectedOnlineBugIsCaughtOnEveryTrace) {
+  testing::CampaignOptions options;
+  options.seed = 12;
+  options.traces = 4;
+  options.differential.inject = testing::InjectedBug::kFlipOnline;
+  options.run_metamorphic = false;
+  auto result = testing::RunFuzzCampaign(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The online verdict is flipped unconditionally, so every trace fails.
+  EXPECT_EQ(result->stats.failing_traces, options.traces);
+  ASSERT_EQ(result->witnesses.size(), options.traces);
+  for (const testing::WitnessRecord& w : result->witnesses) {
+    EXPECT_EQ(w.check, "batch-vs-online") << w.detail;
+    auto outcome = testing::ReplayWitness(w);
+    ASSERT_TRUE(outcome.ok())
+        << "witness " << w.id << ": " << outcome.status().ToString();
+    EXPECT_TRUE(outcome->Passed())
+        << "witness " << w.id << ": " << outcome->message;
+  }
+}
+
+}  // namespace
+}  // namespace comptx

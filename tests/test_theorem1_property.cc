@@ -1,16 +1,23 @@
-// Property suite for Theorem 1 itself: whenever the reduction succeeds,
-// the serial front built from the topological witness must
-// level-N-contain the final front (the "if" direction's construction);
-// whenever it fails, the reported witness must be a genuine cycle in the
-// relations the failing step examined.
+// Property suite for Theorems 1-4: whenever the reduction succeeds, the
+// serial front built from the topological witness must level-N-contain
+// the final front (the "if" direction's construction); whenever it
+// fails, the reported witness must be a genuine cycle in the relations
+// the failing step examined.  On randomized stack/fork/join
+// configurations the specialized criteria SCC/FCC/JCC must coincide with
+// Comp-C exactly (Theorems 2, 3 and 4).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "core/calculation.h"
 #include "core/correctness.h"
 #include "core/serial_front.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/scc.h"
+#include "util/string_util.h"
 #include "workload/workload_spec.h"
 
 namespace comptx {
@@ -93,6 +100,73 @@ std::vector<Case> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllTopologies, Theorem1PropertyTest,
                          ::testing::ValuesIn(MakeCases()));
+
+/// Theorems 2-4 as randomized properties: on the single-meet
+/// configurations the specialized conflict-consistency criteria decide
+/// exactly Comp-C.  The parameter kind picks both the generator shape and
+/// the theorem under test.
+class CriteriaTheoremPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CriteriaTheoremPropertyTest, SpecializedCriterionEqualsCompC) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = GetParam().kind;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = 4;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.35;
+  spec.execution.disorder_prob = 0.45;
+  spec.execution.intra_weak_prob = 0.3;
+  spec.execution.intra_strong_prob = 0.15;
+  const std::string repro = StrCat("seed ", GetParam().seed, " (",
+                                   workload::DescribeWorkloadSpec(spec), ")");
+  auto cs = workload::GenerateSystem(spec, GetParam().seed);
+  ASSERT_TRUE(cs.ok()) << repro << ": " << cs.status().ToString();
+  const bool comp_c = IsCompC(*cs);
+  switch (GetParam().kind) {
+    case workload::TopologyKind::kStack: {
+      ASSERT_TRUE(criteria::IsStackSystem(*cs)) << repro;
+      auto scc = criteria::IsStackConflictConsistent(*cs);
+      ASSERT_TRUE(scc.ok()) << repro << ": " << scc.status().ToString();
+      EXPECT_EQ(*scc, comp_c) << "Theorem 2 (SCC = Comp-C on stacks): "
+                              << repro;
+      break;
+    }
+    case workload::TopologyKind::kFork: {
+      ASSERT_TRUE(criteria::IsForkSystem(*cs)) << repro;
+      auto fcc = criteria::IsForkConflictConsistent(*cs);
+      ASSERT_TRUE(fcc.ok()) << repro << ": " << fcc.status().ToString();
+      EXPECT_EQ(*fcc, comp_c) << "Theorem 3 (FCC = Comp-C on forks): "
+                              << repro;
+      break;
+    }
+    case workload::TopologyKind::kJoin: {
+      ASSERT_TRUE(criteria::IsJoinSystem(*cs)) << repro;
+      auto jcc = criteria::IsJoinConflictConsistent(*cs);
+      ASSERT_TRUE(jcc.ok()) << repro << ": " << jcc.status().ToString();
+      EXPECT_EQ(*jcc, comp_c) << "Theorem 4 (JCC = Comp-C on joins): "
+                              << repro;
+      break;
+    }
+    default:
+      FAIL() << "unexpected topology kind: " << repro;
+  }
+}
+
+std::vector<Case> MakeSingleMeetCases() {
+  std::vector<Case> cases;
+  for (auto kind :
+       {workload::TopologyKind::kStack, workload::TopologyKind::kFork,
+        workload::TopologyKind::kJoin}) {
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+      cases.push_back(Case{kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SingleMeetTopologies, CriteriaTheoremPropertyTest,
+                         ::testing::ValuesIn(MakeSingleMeetCases()));
 
 }  // namespace
 }  // namespace comptx
