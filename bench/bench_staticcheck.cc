@@ -1,0 +1,205 @@
+// Experiment E12 (DESIGN.md / EXPERIMENTS.md): the static-analysis fast
+// path for batch sweeps.
+//
+// Generates workload mixes dominated by the theorem shapes (stacks,
+// forks, joins — the configurations the static analyzer decides without
+// running the reduction) plus a general layered-DAG mix as the contrast
+// case, then runs SweepCompC over each mix twice: with the reduction
+// alone and with the static fast path.  The headline claim is a >= 2x
+// wall-clock speedup on tree-heavy mixes with bit-identical verdicts;
+// general mixes show the analyzer standing down (NEEDS_DYNAMIC) instead
+// of guessing.
+//
+// Plain chrono driver (no google-benchmark) so the output is a single
+// machine-readable JSON document, committed as BENCH_staticcheck.json.
+//
+// Usage: bench_staticcheck [output.json]
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+struct Mix {
+  std::string name;
+  std::vector<workload::TopologyKind> kinds;  // cycled over the systems
+  uint32_t systems = 0;
+  uint32_t depth = 3;
+  // Large systems (the defaults) are effectively never Comp-C under this
+  // generator — every mix above campaign size is refuted somewhere — so
+  // the small_mixed mix shrinks to fuzz-campaign proportions to cover
+  // the SAFE verdict as well.
+  uint32_t roots = 8;
+  uint32_t fanout = 3;
+  double conflict_prob = 0.3;
+};
+
+struct Row {
+  std::string mix;
+  uint32_t systems = 0;
+  size_t nodes = 0;
+  size_t static_decided = 0;
+  size_t comp_c = 0;
+  bool agree = true;
+  double plain_us = 0;
+  double fast_us = 0;
+
+  double Speedup() const { return fast_us == 0 ? 0 : plain_us / fast_us; }
+};
+
+workload::WorkloadSpec MakeSpec(const Mix& mix, workload::TopologyKind kind,
+                                bool disorder) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = kind;
+  spec.topology.depth = mix.depth;
+  spec.topology.branches = 3;
+  spec.topology.roots = mix.roots;
+  spec.topology.fanout = mix.fanout;
+  spec.execution.conflict_prob = mix.conflict_prob;
+  // Alternating disorder keeps the refutation path exercised without
+  // making every system trivially inconsistent.
+  spec.execution.disorder_prob = disorder ? 0.25 : 0.0;
+  spec.execution.intra_weak_prob = 0.2;
+  spec.execution.intra_strong_prob = 0.1;
+  return spec;
+}
+
+Row RunMix(const Mix& mix) {
+  Row row;
+  row.mix = mix.name;
+  row.systems = mix.systems;
+
+  std::vector<CompositeSystem> owned;
+  owned.reserve(mix.systems);
+  for (uint32_t i = 0; i < mix.systems; ++i) {
+    const workload::TopologyKind kind = mix.kinds[i % mix.kinds.size()];
+    auto cs = workload::GenerateSystem(MakeSpec(mix, kind, i % 2 == 1),
+                                       20260806u + i);
+    COMPTX_CHECK(cs.ok()) << cs.status().ToString();
+    row.nodes += cs->NodeCount();
+    owned.push_back(*std::move(cs));
+  }
+  std::vector<const CompositeSystem*> systems;
+  systems.reserve(owned.size());
+  for (const CompositeSystem& cs : owned) systems.push_back(&cs);
+
+  analysis::SweepOptions plain;
+  plain.reduction.keep_fronts = false;
+  analysis::SweepOptions fast = plain;
+  fast.static_fast_path = true;
+
+  // Best of 3 passes each, interleaved, to damp scheduling noise.
+  std::vector<analysis::SweepVerdict> plain_verdicts;
+  std::vector<analysis::SweepVerdict> fast_verdicts;
+  for (int rep = 0; rep < 3; ++rep) {
+    Clock::time_point start = Clock::now();
+    std::vector<analysis::SweepVerdict> p = analysis::SweepCompC(systems, plain);
+    const double plain_us = MicrosSince(start);
+    start = Clock::now();
+    std::vector<analysis::SweepVerdict> f = analysis::SweepCompC(systems, fast);
+    const double fast_us = MicrosSince(start);
+    if (rep == 0 || plain_us < row.plain_us) row.plain_us = plain_us;
+    if (rep == 0 || fast_us < row.fast_us) row.fast_us = fast_us;
+    plain_verdicts = std::move(p);
+    fast_verdicts = std::move(f);
+  }
+
+  for (size_t i = 0; i < systems.size(); ++i) {
+    COMPTX_CHECK(plain_verdicts[i].ok) << plain_verdicts[i].status_message;
+    COMPTX_CHECK(fast_verdicts[i].ok) << fast_verdicts[i].status_message;
+    row.agree =
+        row.agree && plain_verdicts[i].comp_c == fast_verdicts[i].comp_c;
+    row.static_decided += fast_verdicts[i].static_fast_path ? 1 : 0;
+    row.comp_c += plain_verdicts[i].comp_c ? 1 : 0;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_staticcheck.json";
+  using workload::TopologyKind;
+  const std::vector<Mix> mixes = {
+      {"stacks", {TopologyKind::kStack}, 120, 5},
+      {"forks", {TopologyKind::kFork}, 120, 4},
+      {"joins", {TopologyKind::kJoin}, 120, 4},
+      {"tree_heavy",
+       {TopologyKind::kStack, TopologyKind::kFork, TopologyKind::kJoin},
+       180, 4},
+      {"general_dag", {TopologyKind::kLayeredDag}, 60, 4},
+      // Campaign-sized systems: both verdicts show up, and general shapes
+      // actually reach NEEDS_DYNAMIC instead of being refuted locally.
+      {"small_mixed",
+       {TopologyKind::kStack, TopologyKind::kFork, TopologyKind::kJoin,
+        TopologyKind::kLayeredDag},
+       200, 2, /*roots=*/3, /*fanout=*/2, /*conflict_prob=*/0.15},
+  };
+
+  std::vector<Row> rows;
+  for (const Mix& mix : mixes) {
+    rows.push_back(RunMix(mix));
+    const Row& r = rows.back();
+    std::cout << "mix=" << r.mix << " systems=" << r.systems
+              << " static_decided=" << r.static_decided
+              << " plain=" << r.plain_us / 1000.0 << "ms"
+              << " fast=" << r.fast_us / 1000.0 << "ms"
+              << " speedup=" << r.Speedup()
+              << " agree=" << (r.agree ? "yes" : "NO") << "\n";
+  }
+
+  bool all_agree = true;
+  double tree_heavy_speedup = 0;
+  for (const Row& r : rows) {
+    all_agree = all_agree && r.agree;
+    if (r.mix == "tree_heavy") tree_heavy_speedup = r.Speedup();
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"E12_static_fast_path\",\n"
+       << "  \"threads\": " << ThreadPool::Global().ThreadCount() << ",\n"
+       << "  \"all_verdicts_agree\": " << (all_agree ? "true" : "false")
+       << ",\n"
+       << "  \"tree_heavy_speedup\": " << tree_heavy_speedup << ",\n"
+       << "  \"tree_heavy_speedup_at_least_2x\": "
+       << (tree_heavy_speedup >= 2.0 ? "true" : "false") << ",\n"
+       << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"mix\": \"" << r.mix << "\", \"systems\": " << r.systems
+         << ", \"nodes\": " << r.nodes
+         << ", \"static_decided\": " << r.static_decided
+         << ", \"comp_c\": " << r.comp_c
+         << ", \"sweep_plain_us\": " << r.plain_us
+         << ", \"sweep_fast_us\": " << r.fast_us
+         << ", \"speedup\": " << r.Speedup()
+         << ", \"verdicts_agree\": " << (r.agree ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  return all_agree ? 0 : 1;
+}

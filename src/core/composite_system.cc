@@ -1,5 +1,8 @@
 #include "core/composite_system.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -242,6 +245,43 @@ NodeId CompositeSystem::RootOf(NodeId id) const {
   NodeId cur = id;
   while (node(cur).parent.valid()) cur = node(cur).parent;
   return cur;
+}
+
+std::vector<ScheduleId> CompositeSystem::InvokersOf(ScheduleId callee) const {
+  std::vector<ScheduleId> out;
+  for (NodeId txn : schedule(callee).transactions) {
+    ScheduleId host = HostScheduleOf(txn);
+    if (!host.valid()) continue;  // root transaction: no invoker
+    bool seen = false;
+    for (ScheduleId s : out) seen = seen || s == host;
+    if (!seen) out.push_back(host);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool CompositeSystem::IsSharedSchedule(ScheduleId callee) const {
+  return InvokersOf(callee).size() > 1;
+}
+
+size_t CompositeSystem::RootsServed(ScheduleId s) const {
+  std::vector<NodeId> roots;
+  for (NodeId txn : schedule(s).transactions) {
+    NodeId root = RootOf(txn);
+    bool seen = false;
+    for (NodeId r : roots) seen = seen || r == root;
+    if (!seen) roots.push_back(root);
+  }
+  return roots.size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> CompositeSystem::CrossRootConflicts(
+    ScheduleId s) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  schedule(s).conflicts.ForEach([&](NodeId a, NodeId b) {
+    if (RootOf(a) != RootOf(b)) out.emplace_back(a, b);
+  });
+  return out;
 }
 
 SubtreeIndex::SubtreeIndex(const CompositeSystem& cs)

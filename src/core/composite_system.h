@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/node.h"
@@ -116,8 +117,33 @@ class CompositeSystem {
   /// The root transaction of the execution tree containing `id`.
   NodeId RootOf(NodeId id) const;
 
-  /// Checks all global model rules (Defs 2-4); see validate.cc for the
-  /// itemized list.  Analyses (reduction, criteria) require a valid system.
+  // ---- Spec introspection (used by the static analyzer / linter) ---------
+
+  /// The distinct schedules invoking `callee` (Def 7: a schedule whose
+  /// operation set contains a transaction of `callee`), ascending.  Empty
+  /// for schedules hosting only root transactions.
+  std::vector<ScheduleId> InvokersOf(ScheduleId callee) const;
+
+  /// True iff more than one distinct schedule invokes `callee` (the
+  /// invocation graph is a DAG rather than a forest at this node).
+  bool IsSharedSchedule(ScheduleId callee) const;
+
+  /// The number of distinct execution trees (RootOf values) among the
+  /// transactions of `s`.  A schedule serving more than one tree is a
+  /// "meet" schedule: the point where cross-root orders are created and
+  /// where pull-up can forget them (paper Fig 4).
+  size_t RootsServed(ScheduleId s) const;
+
+  /// The conflict pairs of `s` whose operations belong to different
+  /// execution trees (RootOf differs) — the candidates for cross-root
+  /// constraints a shared scheduler exports upward.  Deterministic order.
+  std::vector<std::pair<NodeId, NodeId>> CrossRootConflicts(
+      ScheduleId s) const;
+
+  /// Checks all global model rules (Defs 2-4).  Thin compatibility wrapper
+  /// over CollectModelDiagnostics (core/validate.h): returns OK iff no
+  /// error diagnostic, else the first error's message.  Analyses
+  /// (reduction, criteria) require a valid system.
   Status Validate() const;
 
   // ---- Internal mutation (used by generators) ----------------------------

@@ -1,0 +1,167 @@
+#include "core/diagnostic.h"
+
+#include "util/string_util.h"
+
+namespace comptx {
+
+const char* DiagSeverityToString(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kNote:
+      return "note";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string DiagCodeName(DiagCode code) {
+  const auto value = static_cast<uint16_t>(code);
+  return StrCat("CTX", value / 100, (value / 10) % 10, value % 10);
+}
+
+const char* DiagCodeDescription(DiagCode code) {
+  switch (code) {
+    case DiagCode::kRecursion:
+      return "invocation graph is cyclic (recursion, Def 4.6)";
+    case DiagCode::kCyclicIntraOrder:
+      return "intra-transaction order is cyclic (Def 2)";
+    case DiagCode::kStrongIntraNotInWeak:
+      return "strong intra order not contained in weak intra order (Def 2)";
+    case DiagCode::kCyclicInputOrder:
+      return "schedule input order is cyclic (Def 3)";
+    case DiagCode::kStrongInputNotInWeak:
+      return "strong input order not contained in weak input order (Def 3)";
+    case DiagCode::kCyclicOutputOrder:
+      return "schedule output order is cyclic (Def 3)";
+    case DiagCode::kStrongOutputNotInWeak:
+      return "strong output order not contained in weak output order "
+             "(Def 3.4)";
+    case DiagCode::kConflictOrderedBothWays:
+      return "conflicting operations ordered both ways (Def 3.1)";
+    case DiagCode::kConflictUnordered:
+      return "conflicting operations left unordered (Def 3.1c)";
+    case DiagCode::kConflictAgainstInput:
+      return "conflict ordered against the weak input order (Def 3.1a/b)";
+    case DiagCode::kIntraOrderNotHonored:
+      return "output orders do not honor an intra-transaction order "
+             "(Def 3.2)";
+    case DiagCode::kStrongInputNotReflected:
+      return "strong input order not reflected by strong output order "
+             "(Def 3.3)";
+    case DiagCode::kOutputNotPropagated:
+      return "caller output order not propagated to callee input order "
+             "(Def 4.7)";
+    case DiagCode::kEmptySystem:
+      return "system has no schedules or no root transactions";
+    case DiagCode::kOrphanSchedule:
+      return "schedule executes no transactions";
+    case DiagCode::kDanglingScheduleRef:
+      return "reference to an undeclared schedule";
+    case DiagCode::kDanglingNodeRef:
+      return "reference to an undeclared operation or transaction";
+    case DiagCode::kSelfConflict:
+      return "conflict pair relates an operation to itself";
+    case DiagCode::kCrossScheduleConflict:
+      return "conflict pair spans two schedules";
+    case DiagCode::kDuplicateConflict:
+      return "conflict pair declared more than once";
+    case DiagCode::kCommuteContradictsConflict:
+      return "pair declared both commuting and conflicting";
+    case DiagCode::kSelfCommute:
+      return "commuting pair relates an operation to itself";
+    case DiagCode::kForgottenOrderHazard:
+      return "shared scheduler with cross-root conflict pairs (forgotten-"
+             "order hazard, Fig 4)";
+    case DiagCode::kProbabilityOutOfRange:
+      return "generator probability outside [0, 1]";
+    case DiagCode::kDegenerateWorkload:
+      return "degenerate workload shape (zero roots, depth or fanout)";
+    case DiagCode::kIncompatibleSpec:
+      return "contradictory generator options";
+    case DiagCode::kMalformedSpec:
+      return "spec cannot be parsed or applied";
+    case DiagCode::kInternalError:
+      return "internal analyzer error (a comptx bug, please report)";
+  }
+  return "unknown diagnostic code";
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  std::string out = StrCat(DiagSeverityToString(diag.severity), "[",
+                           DiagCodeName(diag.code), "]");
+  if (diag.line != 0) out = StrCat(out, " line ", diag.line);
+  if (!diag.location.empty()) out = StrCat(out, " ", diag.location);
+  out = StrCat(out, ": ", diag.message);
+  if (!diag.fix.empty()) out = StrCat(out, " (fix: ", diag.fix, ")");
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string FormatDiagnosticsJson(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) out += ",";
+    out += "\n  {\"severity\": ";
+    AppendJsonString(out, DiagSeverityToString(d.severity));
+    out += ", \"code\": ";
+    AppendJsonString(out, DiagCodeName(d.code));
+    out += ", \"location\": ";
+    AppendJsonString(out, d.location);
+    out = StrCat(out, ", \"line\": ", d.line, ", \"message\": ");
+    AppendJsonString(out, d.message);
+    out += ", \"fix\": ";
+    AppendJsonString(out, d.fix);
+    out += "}";
+  }
+  out += diags.empty() ? "]" : "\n]";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == DiagSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> ErrorsOnly(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> errors;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == DiagSeverity::kError) errors.push_back(d);
+  }
+  return errors;
+}
+
+}  // namespace comptx

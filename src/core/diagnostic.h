@@ -1,0 +1,106 @@
+#ifndef COMPTX_CORE_DIAGNOSTIC_H_
+#define COMPTX_CORE_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comptx {
+
+/// Severity of a diagnostic.  Errors make a spec unusable (validation or
+/// referential failures); warnings flag suspicious-but-usable constructs
+/// (orphan schedulers, degenerate generator parameters); notes carry
+/// analysis context (e.g., forgotten-order hazards on shared schedulers).
+enum class DiagSeverity : uint8_t {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* DiagSeverityToString(DiagSeverity severity);
+
+/// Stable diagnostic codes.  The numeric values are part of the tool
+/// contract (CI greps for them, DESIGN.md documents them): never renumber
+/// or reuse a retired value — append instead.
+enum class DiagCode : uint16_t {
+  // -- Model rules of Defs 2-4 (CollectModelDiagnostics, validate.cc) ----
+  kRecursion = 1,                 // CTX001 invocation graph is cyclic
+  kCyclicIntraOrder = 2,          // CTX002 intra-transaction order cyclic
+  kStrongIntraNotInWeak = 3,      // CTX003 strong intra ⊄ weak intra
+  kCyclicInputOrder = 4,          // CTX004 schedule input order cyclic
+  kStrongInputNotInWeak = 5,      // CTX005 strong input ⊄ weak input
+  kCyclicOutputOrder = 6,         // CTX006 schedule output order cyclic
+  kStrongOutputNotInWeak = 7,     // CTX007 strong output ⊄ weak output
+  kConflictOrderedBothWays = 8,   // CTX008 Def 3.1 violated (both ways)
+  kConflictUnordered = 9,         // CTX009 Def 3.1c violated (unordered)
+  kConflictAgainstInput = 10,     // CTX010 Def 3.1a/b violated
+  kIntraOrderNotHonored = 11,     // CTX011 Def 3.2 violated
+  kStrongInputNotReflected = 12,  // CTX012 Def 3.3 violated
+  kOutputNotPropagated = 13,      // CTX013 Def 4.7 violated
+
+  // -- Structural / referential lint (src/staticcheck) -------------------
+  kEmptySystem = 20,              // CTX020 no schedules or no roots
+  kOrphanSchedule = 21,           // CTX021 schedule with no transactions
+  kDanglingScheduleRef = 22,      // CTX022 event names an unknown schedule
+  kDanglingNodeRef = 23,          // CTX023 event names an unknown node
+  kSelfConflict = 24,             // CTX024 conflict pair (a, a)
+  kCrossScheduleConflict = 25,    // CTX025 conflict across schedules
+  kDuplicateConflict = 26,        // CTX026 conflict declared twice
+  kCommuteContradictsConflict = 27,  // CTX027 pair both commuting+conflicting
+  kSelfCommute = 28,              // CTX028 commuting pair (a, a)
+  kForgottenOrderHazard = 29,     // CTX029 shared scheduler, cross-root conflicts
+
+  // -- Workload-spec parameter lint --------------------------------------
+  kProbabilityOutOfRange = 40,    // CTX040 probability outside [0, 1]
+  kDegenerateWorkload = 41,       // CTX041 zero roots/depth/fanout
+  kIncompatibleSpec = 42,         // CTX042 contradictory generator options
+
+  // -- Container / parse level -------------------------------------------
+  kMalformedSpec = 50,            // CTX050 unparsable trace / witness JSON
+  kInternalError = 99,            // CTX099 the analyzer itself broke
+};
+
+/// "CTX001"-style stable rendering of `code`.
+std::string DiagCodeName(DiagCode code);
+
+/// One-line summary of what the code means (the DESIGN.md §9 table text).
+const char* DiagCodeDescription(DiagCode code);
+
+/// One structured finding of the validator / linter / analyzer.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  DiagCode code = DiagCode::kInternalError;
+
+  /// Where in the spec: "schedule SB", "transaction T1", "events[12]" —
+  /// empty when the finding is about the whole artifact.
+  std::string location;
+
+  /// 1-based line in the source artifact (trace file, witness JSON);
+  /// 0 when the diagnostic has no textual source.
+  uint32_t line = 0;
+
+  /// Human-readable statement of the violation.
+  std::string message;
+
+  /// Suggested fix; empty when none applies.
+  std::string fix;
+};
+
+/// "error[CTX009] schedule SB: conflicting ops x, y left unordered
+///  (fix: add a weak_out edge)" — the text rendering of one diagnostic.
+std::string FormatDiagnostic(const Diagnostic& diag);
+
+/// Renders diagnostics as a JSON array (the `comptx_lint --json` format):
+/// [{"severity": "error", "code": "CTX009", "location": ..., "line": ...,
+///   "message": ..., "fix": ...}, ...].
+std::string FormatDiagnosticsJson(const std::vector<Diagnostic>& diags);
+
+/// True iff any diagnostic has severity kError.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// The diagnostics of severity kError, in order.
+std::vector<Diagnostic> ErrorsOnly(const std::vector<Diagnostic>& diags);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_DIAGNOSTIC_H_

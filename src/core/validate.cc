@@ -1,4 +1,8 @@
+#include "core/validate.h"
+
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/composite_system.h"
@@ -11,148 +15,182 @@ namespace comptx {
 
 namespace {
 
-/// Checks that `rel`, restricted to `domain`, is acyclic (i.e., a strict
-/// partial order after closure).
-Status CheckPartialOrder(const Relation& rel, const std::vector<NodeId>& domain,
-                         const std::string& what) {
+/// Appends a cyclicity diagnostic when `rel`, restricted to `domain`, is
+/// not a strict partial order after closure.
+void CheckPartialOrder(const Relation& rel, const std::vector<NodeId>& domain,
+                       const std::string& what, DiagCode code,
+                       const std::string& location,
+                       std::vector<Diagnostic>& out) {
   NodeIndexMap index(domain);
   graph::Digraph g = RelationToDigraph(rel, index);
   if (auto cycle = graph::FindCycle(g)) {
-    return Status::FailedPrecondition(
-        StrCat(what, " is cyclic (", cycle->size(), "-node cycle)"));
+    out.push_back({DiagSeverity::kError, code, location, 0,
+                   StrCat(what, " is cyclic (", cycle->size(),
+                          "-node cycle)"),
+                   "remove one edge of the cycle"});
   }
-  return Status::OK();
 }
 
 }  // namespace
 
-Status CompositeSystem::Validate() const {
+std::vector<Diagnostic> CollectModelDiagnostics(const CompositeSystem& cs) {
+  std::vector<Diagnostic> diags;
+
   // Recursion freedom (Def 4.6): the invocation graph must be acyclic.
-  COMPTX_RETURN_IF_ERROR(BuildInvocationGraph(*this).status());
+  if (auto ig = BuildInvocationGraph(cs); !ig.ok()) {
+    diags.push_back({DiagSeverity::kError, DiagCode::kRecursion,
+                     "invocation graph", 0, ig.status().message(),
+                     "break the schedule invocation cycle (Def 4.6 forbids "
+                     "recursion)"});
+  }
 
   // Intra-transaction orders (Def 2): partial orders with strong ⊆ weak.
-  for (const Node& n : nodes_) {
+  for (size_t ni = 0; ni < cs.NodeCount(); ++ni) {
+    const Node& n = cs.node(NodeId(static_cast<uint32_t>(ni)));
     if (!n.IsTransaction()) continue;
-    COMPTX_RETURN_IF_ERROR(CheckPartialOrder(
-        n.weak_intra, n.children, StrCat("weak intra order of ", n.name)));
+    const std::string location = StrCat("transaction ", n.name);
+    CheckPartialOrder(n.weak_intra, n.children,
+                      StrCat("weak intra order of ", n.name),
+                      DiagCode::kCyclicIntraOrder, location, diags);
     Relation weak_closed = ClosureWithin(n.weak_intra, n.children);
     bool strong_in_weak = true;
     n.strong_intra.ForEach([&](NodeId a, NodeId b) {
       if (!weak_closed.Contains(a, b)) strong_in_weak = false;
     });
     if (!strong_in_weak) {
-      return Status::FailedPrecondition(
-          StrCat("transaction ", n.name,
-                 ": strong intra order not contained in weak intra order"));
+      diags.push_back(
+          {DiagSeverity::kError, DiagCode::kStrongIntraNotInWeak, location, 0,
+           StrCat("transaction ", n.name,
+                  ": strong intra order not contained in weak intra order"),
+           "add the strong pair to the weak intra order too"});
     }
   }
 
-  for (const Schedule& s : schedules_) {
-    const std::vector<NodeId> ops = OperationsOf(s.id);
+  for (size_t si = 0; si < cs.ScheduleCount(); ++si) {
+    const Schedule& s = cs.schedule(ScheduleId(static_cast<uint32_t>(si)));
+    const std::vector<NodeId> ops = cs.OperationsOf(s.id);
+    const std::string location = StrCat("schedule ", s.name);
 
     // Input orders are partial orders over T_S with strong ⊆ weak.
-    COMPTX_RETURN_IF_ERROR(CheckPartialOrder(
-        s.weak_input, s.transactions,
-        StrCat("weak input order of schedule ", s.name)));
+    CheckPartialOrder(s.weak_input, s.transactions,
+                      StrCat("weak input order of schedule ", s.name),
+                      DiagCode::kCyclicInputOrder, location, diags);
     Relation weak_in_closed = ClosureWithin(s.weak_input, s.transactions);
     Relation strong_in_closed = ClosureWithin(s.strong_input, s.transactions);
     if (!weak_in_closed.ContainsAllOf(s.strong_input)) {
-      return Status::FailedPrecondition(
-          StrCat("schedule ", s.name,
-                 ": strong input order not contained in weak input order"));
+      diags.push_back(
+          {DiagSeverity::kError, DiagCode::kStrongInputNotInWeak, location, 0,
+           StrCat("schedule ", s.name,
+                  ": strong input order not contained in weak input order"),
+           "add the strong pair to the weak input order too"});
     }
 
     // Output orders are partial orders over O_S; Def 3.4: strong ⊆ weak.
-    COMPTX_RETURN_IF_ERROR(
-        CheckPartialOrder(s.weak_output, ops,
-                          StrCat("weak output order of schedule ", s.name)));
+    CheckPartialOrder(s.weak_output, ops,
+                      StrCat("weak output order of schedule ", s.name),
+                      DiagCode::kCyclicOutputOrder, location, diags);
     Relation weak_out_closed = ClosureWithin(s.weak_output, ops);
     Relation strong_out_closed = ClosureWithin(s.strong_output, ops);
     if (!weak_out_closed.ContainsAllOf(s.strong_output)) {
-      return Status::FailedPrecondition(
-          StrCat("schedule ", s.name,
-                 ": strong output order not contained in weak output order"));
+      diags.push_back(
+          {DiagSeverity::kError, DiagCode::kStrongOutputNotInWeak, location,
+           0,
+           StrCat("schedule ", s.name,
+                  ": strong output order not contained in weak output order"),
+           "add the strong pair to the weak output order too"});
     }
 
     // Def 3.1: conflicting operations of distinct transactions must be
     // weak-output-ordered, and consistently with the weak input order.
-    bool conflict_rule_ok = true;
-    std::string conflict_msg;
     s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
-      NodeId t1 = node(o1).parent;
-      NodeId t2 = node(o2).parent;
+      NodeId t1 = cs.node(o1).parent;
+      NodeId t2 = cs.node(o2).parent;
       if (t1 == t2) return;  // Def 3.1 quantifies over distinct transactions.
       bool fwd = weak_out_closed.Contains(o1, o2);
       bool bwd = weak_out_closed.Contains(o2, o1);
       if (fwd && bwd) {
-        conflict_rule_ok = false;
-        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops ",
-                              node(o1).name, ", ", node(o2).name,
-                              " ordered both ways");
+        diags.push_back(
+            {DiagSeverity::kError, DiagCode::kConflictOrderedBothWays,
+             location, 0,
+             StrCat("schedule ", s.name, ": conflicting ops ",
+                    cs.node(o1).name, ", ", cs.node(o2).name,
+                    " ordered both ways"),
+             "drop one direction from the weak output order"});
         return;
       }
       if (!fwd && !bwd) {
-        conflict_rule_ok = false;
-        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops ",
-                              node(o1).name, ", ", node(o2).name,
-                              " left unordered (Def 3.1c)");
+        diags.push_back(
+            {DiagSeverity::kError, DiagCode::kConflictUnordered, location, 0,
+             StrCat("schedule ", s.name, ": conflicting ops ",
+                    cs.node(o1).name, ", ", cs.node(o2).name,
+                    " left unordered (Def 3.1c)"),
+             StrCat("add a weak_out edge between ", cs.node(o1).name,
+                    " and ", cs.node(o2).name)});
         return;
       }
       if (weak_in_closed.Contains(t1, t2) && bwd) {
-        conflict_rule_ok = false;
-        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops of ",
-                              node(t1).name, " -> ", node(t2).name,
-                              " ordered against the weak input order");
+        diags.push_back(
+            {DiagSeverity::kError, DiagCode::kConflictAgainstInput, location,
+             0,
+             StrCat("schedule ", s.name, ": conflicting ops of ",
+                    cs.node(t1).name, " -> ", cs.node(t2).name,
+                    " ordered against the weak input order"),
+             "flip the weak output order of the conflicting pair"});
         return;
       }
       if (weak_in_closed.Contains(t2, t1) && fwd) {
-        conflict_rule_ok = false;
-        conflict_msg = StrCat("schedule ", s.name, ": conflicting ops of ",
-                              node(t2).name, " -> ", node(t1).name,
-                              " ordered against the weak input order");
+        diags.push_back(
+            {DiagSeverity::kError, DiagCode::kConflictAgainstInput, location,
+             0,
+             StrCat("schedule ", s.name, ": conflicting ops of ",
+                    cs.node(t2).name, " -> ", cs.node(t1).name,
+                    " ordered against the weak input order"),
+             "flip the weak output order of the conflicting pair"});
       }
     });
-    if (!conflict_rule_ok) return Status::FailedPrecondition(conflict_msg);
 
     // Def 3.2: intra-transaction orders are honored by the output orders.
     for (NodeId txn : s.transactions) {
-      const Node& t = node(txn);
+      const Node& t = cs.node(txn);
       bool ok = weak_out_closed.ContainsAllOf(t.weak_intra) &&
                 strong_out_closed.ContainsAllOf(t.strong_intra);
       if (!ok) {
-        return Status::FailedPrecondition(
-            StrCat("schedule ", s.name, ": output orders do not honor the ",
-                   "intra-transaction orders of ", t.name, " (Def 3.2)"));
+        diags.push_back(
+            {DiagSeverity::kError, DiagCode::kIntraOrderNotHonored, location,
+             0,
+             StrCat("schedule ", s.name, ": output orders do not honor the ",
+                    "intra-transaction orders of ", t.name, " (Def 3.2)"),
+             StrCat("emit the intra order of ", t.name,
+                    " into the output orders")});
       }
     }
 
     // Def 3.3: strong input order forces all operation pairs to be
     // strongly ordered in the output.
-    bool strong_rule_ok = true;
-    std::string strong_msg;
     strong_in_closed.ForEach([&](NodeId t1, NodeId t2) {
-      for (NodeId o1 : node(t1).children) {
-        for (NodeId o2 : node(t2).children) {
+      for (NodeId o1 : cs.node(t1).children) {
+        for (NodeId o2 : cs.node(t2).children) {
           if (!strong_out_closed.Contains(o1, o2)) {
-            strong_rule_ok = false;
-            strong_msg =
-                StrCat("schedule ", s.name, ": strong input ", node(t1).name,
-                       " => ", node(t2).name, " not reflected by strong ",
-                       "output over ops ", node(o1).name, ", ",
-                       node(o2).name, " (Def 3.3)");
+            diags.push_back(
+                {DiagSeverity::kError, DiagCode::kStrongInputNotReflected,
+                 location, 0,
+                 StrCat("schedule ", s.name, ": strong input ",
+                        cs.node(t1).name, " => ", cs.node(t2).name,
+                        " not reflected by strong output over ops ",
+                        cs.node(o1).name, ", ", cs.node(o2).name,
+                        " (Def 3.3)"),
+                 StrCat("add strong_out ", cs.node(o1).name, " -> ",
+                        cs.node(o2).name)});
             return;
           }
         }
       }
     });
-    if (!strong_rule_ok) return Status::FailedPrecondition(strong_msg);
 
     // Def 4.7: output orders over operations that are transactions of one
     // common schedule must be passed on as that schedule's input orders.
     // The callee input closures are cached — recomputing them per pair
     // would make validation quadratic in the closure size.
-    bool propagation_ok = true;
-    std::string propagation_msg;
     std::map<uint32_t, Relation> weak_input_cache;
     std::map<uint32_t, Relation> strong_input_cache;
     auto closed_input_of = [&](const Schedule& callee,
@@ -168,30 +206,44 @@ Status CompositeSystem::Validate() const {
       }
       return it->second;
     };
-    auto check_propagation = [&](const Relation& out_closed,
-                                 bool strong) {
+    auto check_propagation = [&](const Relation& out_closed, bool strong) {
       out_closed.ForEach([&](NodeId a, NodeId b) {
-        const Node& na = node(a);
-        const Node& nb = node(b);
+        const Node& na = cs.node(a);
+        const Node& nb = cs.node(b);
         if (!na.IsTransaction() || !nb.IsTransaction()) return;
         if (na.owner_schedule != nb.owner_schedule) return;
-        const Schedule& callee = schedule(na.owner_schedule);
+        const Schedule& callee = cs.schedule(na.owner_schedule);
         const Relation& input_closed = closed_input_of(callee, strong);
         if (!input_closed.Contains(a, b)) {
-          propagation_ok = false;
-          propagation_msg = StrCat(
-              "schedule ", s.name, ": ", (strong ? "strong" : "weak"),
-              " output order ", na.name, " -> ", nb.name,
-              " not propagated as input order of schedule ", callee.name,
-              " (Def 4.7)");
+          diags.push_back(
+              {DiagSeverity::kError, DiagCode::kOutputNotPropagated, location,
+               0,
+               StrCat("schedule ", s.name, ": ",
+                      (strong ? "strong" : "weak"), " output order ", na.name,
+                      " -> ", nb.name,
+                      " not propagated as input order of schedule ",
+                      callee.name, " (Def 4.7)"),
+               StrCat("add ", (strong ? "strong_in " : "weak_in "),
+                      callee.name, " ", na.name, " -> ", nb.name)});
         }
       });
     };
     check_propagation(weak_out_closed, /*strong=*/false);
-    if (propagation_ok) check_propagation(strong_out_closed, /*strong=*/true);
-    if (!propagation_ok) return Status::FailedPrecondition(propagation_msg);
+    check_propagation(strong_out_closed, /*strong=*/true);
   }
 
+  return diags;
+}
+
+Status CompositeSystem::Validate() const {
+  // Thin compatibility wrapper over CollectModelDiagnostics: legacy
+  // callers get the first violation as a flat Status; new callers use the
+  // diagnostic collection to see every violation at once.
+  for (const Diagnostic& d : CollectModelDiagnostics(*this)) {
+    if (d.severity == DiagSeverity::kError) {
+      return Status::FailedPrecondition(d.message);
+    }
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,24 @@
+#ifndef COMPTX_CORE_VALIDATE_H_
+#define COMPTX_CORE_VALIDATE_H_
+
+#include <vector>
+
+#include "core/composite_system.h"
+#include "core/diagnostic.h"
+
+namespace comptx {
+
+/// Checks every global model rule of Defs 2-4 on `cs` and returns *all*
+/// violations as structured diagnostics with stable CTX codes, in
+/// deterministic order (recursion, then intra-transaction rules, then the
+/// per-schedule rules in schedule order).  An empty result means the
+/// system is well formed.
+///
+/// `CompositeSystem::Validate()` is the thin compatibility wrapper: it
+/// returns OK iff this collection is error-free and otherwise a
+/// FailedPrecondition carrying the first error's message.
+std::vector<Diagnostic> CollectModelDiagnostics(const CompositeSystem& cs);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_VALIDATE_H_

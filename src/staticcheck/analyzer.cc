@@ -1,0 +1,238 @@
+#include "staticcheck/analyzer.h"
+
+#include <utility>
+
+#include "core/invocation_graph.h"
+#include "core/validate.h"
+#include "criteria/conflict_consistency.h"
+#include "criteria/fcc.h"
+#include "criteria/jcc.h"
+#include "criteria/scc.h"
+#include "util/string_util.h"
+
+namespace comptx::staticcheck {
+
+const char* SafetyVerdictToString(SafetyVerdict verdict) {
+  switch (verdict) {
+    case SafetyVerdict::kSafe:
+      return "SAFE";
+    case SafetyVerdict::kUnsafe:
+      return "UNSAFE";
+    case SafetyVerdict::kNeedsDynamic:
+      return "NEEDS_DYNAMIC";
+  }
+  return "?";
+}
+
+const char* ConfigShapeToString(ConfigShape shape) {
+  switch (shape) {
+    case ConfigShape::kEmpty:
+      return "empty";
+    case ConfigShape::kStack:
+      return "stack";
+    case ConfigShape::kFork:
+      return "fork";
+    case ConfigShape::kJoin:
+      return "join";
+    case ConfigShape::kFlat:
+      return "flat";
+    case ConfigShape::kTree:
+      return "tree";
+    case ConfigShape::kGeneralDag:
+      return "general-dag";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fills per-scheduler explanations: sharing, cross-root conflict
+/// coverage, local conflict consistency, and the first CC violation
+/// witness found (schedule order).
+void ExplainSchedules(const CompositeSystem& cs,
+                      const InvocationGraphResult& ig,
+                      StaticAnalysis& analysis) {
+  for (size_t si = 0; si < cs.ScheduleCount(); ++si) {
+    const ScheduleId sid(static_cast<uint32_t>(si));
+    ScheduleExplanation ex;
+    ex.id = sid;
+    ex.name = cs.schedule(sid).name;
+    ex.level = ig.schedule_level[si];
+    const std::vector<ScheduleId> invokers = cs.InvokersOf(sid);
+    ex.shared = invokers.size() > 1;
+    ex.meet = cs.RootsServed(sid) > 1;
+    const std::vector<std::pair<NodeId, NodeId>> cross =
+        cs.CrossRootConflicts(sid);
+    ex.cross_root_conflicts = cross.size();
+    for (const auto& [a, b] : cross) {
+      if (!cs.node(a).IsRoot() && !cs.node(b).IsRoot()) {
+        ++ex.pulled_up_cross_conflicts;
+      }
+    }
+    if (auto violation = criteria::FindScheduleCCViolation(cs, sid)) {
+      ex.conflict_consistent = false;
+      ex.detail = StrCat("not conflict consistent: ",
+                         violation->description);
+      if (!analysis.witness.has_value()) {
+        analysis.witness = std::move(*violation);
+      }
+    } else if (ex.meet && ex.pulled_up_cross_conflicts > 0) {
+      ex.detail = StrCat("meet schedule with ", ex.pulled_up_cross_conflicts,
+                         " pulled-up cross-root conflict pair(s): pull-up "
+                         "can forget orders between them (Fig 4 hazard)");
+    } else if (ex.meet) {
+      ex.detail = "meet schedule but fully commuting across roots: "
+                  "cannot block a pull-up";
+    } else {
+      ex.detail = "serves one execution tree; locally conflict consistent";
+    }
+    analysis.schedules.push_back(std::move(ex));
+  }
+}
+
+}  // namespace
+
+StaticAnalysis AnalyzeConfiguration(const CompositeSystem& cs,
+                                    const AnalyzerOptions& options) {
+  StaticAnalysis analysis;
+  if (!options.assume_valid) {
+    analysis.diagnostics = CollectModelDiagnostics(cs);
+    if (HasErrors(analysis.diagnostics)) {
+      analysis.well_formed = false;
+      analysis.verdict = SafetyVerdict::kNeedsDynamic;
+      analysis.reason =
+          "system violates the model rules of Defs 2-4; fix the error "
+          "diagnostics first";
+      return analysis;
+    }
+  }
+  analysis.well_formed = true;
+
+  // Validation passed, so the invocation graph is acyclic and buildable.
+  auto ig = BuildInvocationGraph(cs);
+  if (!ig.ok()) {
+    analysis.well_formed = false;
+    analysis.verdict = SafetyVerdict::kNeedsDynamic;
+    analysis.reason = ig.status().message();
+    return analysis;
+  }
+  analysis.order = ig->order;
+
+  if (cs.Roots().empty()) {
+    analysis.shape = ConfigShape::kEmpty;
+    analysis.verdict = SafetyVerdict::kSafe;
+    analysis.reason = "no root transactions: trivially Comp-C";
+    return analysis;
+  }
+
+  // Theorems 2-4: on stack / fork / join shapes the per-scheduler
+  // criterion decides Comp-C exactly, in both directions.  These run
+  // before the explanation scan so a theorem-decided sweep item pays only
+  // the criterion, not a second per-scheduler CC pass.
+  auto decided = [&](SafetyVerdict verdict) {
+    analysis.verdict = verdict;
+    if (options.explain) ExplainSchedules(cs, *ig, analysis);
+    return analysis;
+  };
+  if (criteria::IsStackSystem(cs)) {
+    analysis.shape = ConfigShape::kStack;
+    auto scc = criteria::IsStackConflictConsistent(cs);
+    if (scc.ok()) {
+      analysis.reason =
+          *scc ? "stack configuration, every scheduler conflict consistent "
+                 "(Theorem 2)"
+               : "stack configuration with a conflict-inconsistent "
+                 "scheduler (Theorem 2)";
+      return decided(*scc ? SafetyVerdict::kSafe : SafetyVerdict::kUnsafe);
+    }
+  } else if (criteria::IsForkSystem(cs)) {
+    analysis.shape = ConfigShape::kFork;
+    auto fcc = criteria::IsForkConflictConsistent(cs);
+    if (fcc.ok()) {
+      analysis.reason =
+          *fcc ? "fork configuration, top and branch schedulers conflict "
+                 "consistent (Theorem 3)"
+               : "fork configuration with a conflict-inconsistent "
+                 "scheduler (Theorem 3)";
+      return decided(*fcc ? SafetyVerdict::kSafe : SafetyVerdict::kUnsafe);
+    }
+  } else if (criteria::IsJoinSystem(cs)) {
+    analysis.shape = ConfigShape::kJoin;
+    auto jcc = criteria::IsJoinConflictConsistent(cs);
+    if (jcc.ok()) {
+      analysis.reason =
+          *jcc ? "join configuration, ghost graph and schedulers "
+                 "consistent (Theorem 4)"
+               : "join configuration violating join conflict consistency "
+                 "(Theorem 4)";
+      return decided(*jcc ? SafetyVerdict::kSafe : SafetyVerdict::kUnsafe);
+    }
+  }
+
+  ExplainSchedules(cs, *ig, analysis);
+  bool all_cc = true;
+  for (const ScheduleExplanation& ex : analysis.schedules) {
+    all_cc = all_cc && ex.conflict_consistent;
+  }
+
+  // Flat configurations (order 1, no invocation edges): a disjoint union
+  // of one-level stacks.  No observed order ever crosses schedulers, so
+  // Comp-C decomposes into per-scheduler conflict consistency (Theorem 2
+  // applied per component).
+  if (analysis.order <= 1) {
+    analysis.shape = ConfigShape::kFlat;
+    analysis.verdict =
+        all_cc ? SafetyVerdict::kSafe : SafetyVerdict::kUnsafe;
+    analysis.reason =
+        all_cc ? "flat configuration (order 1): every scheduler conflict "
+                 "consistent, no cross-scheduler constraints exist"
+               : "flat configuration with a conflict-inconsistent "
+                 "scheduler";
+    return analysis;
+  }
+
+  // General configurations.  A locally conflict-inconsistent scheduler is
+  // decisive: its serialization∪input cycle is conflict-backed, so
+  // forgetting never drops it and its pull-up image reaches the front
+  // where the scheduler's transactions meet — the reduction must fail
+  // (Def 16 step 6, or Def 14 when the cycle collapses into one block).
+  bool shared = false;
+  size_t hazards = 0;
+  for (const ScheduleExplanation& ex : analysis.schedules) {
+    shared = shared || ex.shared;
+    if (ex.meet && ex.pulled_up_cross_conflicts > 0) ++hazards;
+  }
+  analysis.shape = shared ? ConfigShape::kGeneralDag : ConfigShape::kTree;
+  if (!all_cc) {
+    analysis.verdict = SafetyVerdict::kUnsafe;
+    analysis.reason =
+        "a scheduler is locally conflict inconsistent; the conflict-backed "
+        "cycle survives every pull-up, so no reduction can succeed";
+    return analysis;
+  }
+
+  analysis.verdict = SafetyVerdict::kNeedsDynamic;
+  analysis.reason = StrCat(
+      "no structural theorem covers this ", ConfigShapeToString(analysis.shape),
+      " of order ", analysis.order, ": ", hazards,
+      " scheduler(s) carry cross-root conflicts whose pulled-up orders only "
+      "the level-by-level reduction can check");
+  return analysis;
+}
+
+std::string FormatStaticAnalysis(const StaticAnalysis& analysis) {
+  std::string out =
+      StrCat("verdict: ", SafetyVerdictToString(analysis.verdict),
+             " (shape ", ConfigShapeToString(analysis.shape), ", order ",
+             analysis.order, ")\n  ", analysis.reason, "\n");
+  for (const ScheduleExplanation& ex : analysis.schedules) {
+    out = StrCat(out, "  schedule ", ex.name, " (level ", ex.level,
+                 "): ", ex.detail, "\n");
+  }
+  if (analysis.witness.has_value()) {
+    out = StrCat(out, "  witness: ", analysis.witness->description, "\n");
+  }
+  return out;
+}
+
+}  // namespace comptx::staticcheck

@@ -1,0 +1,381 @@
+#include "staticcheck/lint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/validate.h"
+#include "testing/witness.h"
+#include "util/string_util.h"
+
+namespace comptx::staticcheck {
+
+using workload::TraceEvent;
+using workload::TraceEventKind;
+
+namespace {
+
+/// Shared replay state for the event linter.
+class EventLinter {
+ public:
+  explicit EventLinter(std::vector<Diagnostic>& out) : out_(out) {}
+
+  /// Lints and (when well formed) applies one event.  Ill-formed events
+  /// are reported and skipped so the scan continues.
+  void Consume(const TraceEvent& e, std::string location, uint32_t line) {
+    location_ = std::move(location);
+    line_ = line;
+    if (!CheckReferences(e)) return;
+    if (e.kind == TraceEventKind::kConflict && !CheckConflict(e)) return;
+    Status applied = workload::ApplyTraceEvent(cs_, e);
+    if (!applied.ok()) {
+      // References were fine, so this is a semantic rejection: direct
+      // self-invocation (CTX001) or a malformed pair/record (CTX050).
+      const bool recursion = e.kind == TraceEventKind::kSub &&
+                             cs_.node(NodeId(e.parent)).owner_schedule ==
+                                 ScheduleId(e.schedule);
+      Report(recursion ? DiagCode::kRecursion : DiagCode::kMalformedSpec,
+             DiagSeverity::kError, applied.message(),
+             recursion ? "schedule a subtransaction on a different scheduler "
+                         "(Def 4.6 forbids recursion)"
+                       : "fix the record");
+      has_errors_ = true;
+    }
+  }
+
+  bool has_errors() const { return has_errors_; }
+  CompositeSystem TakeSystem() { return std::move(cs_); }
+  const CompositeSystem& system() const { return cs_; }
+
+ private:
+  void Report(DiagCode code, DiagSeverity severity, std::string message,
+              std::string fix) {
+    out_.push_back({severity, code, location_, line_, std::move(message),
+                    std::move(fix)});
+  }
+
+  bool CheckScheduleRef(uint32_t ref, const char* role) {
+    if (ref < cs_.ScheduleCount()) return true;
+    Report(DiagCode::kDanglingScheduleRef, DiagSeverity::kError,
+           StrCat(role, " references schedule ", ref, " but only ",
+                  cs_.ScheduleCount(), " schedule(s) are declared"),
+           "declare the schedule before referencing it");
+    has_errors_ = true;
+    return false;
+  }
+
+  bool CheckNodeRef(uint32_t ref, const char* role) {
+    if (ref < cs_.NodeCount()) return true;
+    Report(DiagCode::kDanglingNodeRef, DiagSeverity::kError,
+           StrCat(role, " references node ", ref, " but only ",
+                  cs_.NodeCount(), " node(s) exist"),
+           "create the node before referencing it");
+    has_errors_ = true;
+    return false;
+  }
+
+  /// Referential integrity of every index field used by `e`'s kind.
+  bool CheckReferences(const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceEventKind::kSchedule:
+        return true;
+      case TraceEventKind::kRoot:
+        return CheckScheduleRef(e.schedule, "root");
+      case TraceEventKind::kSub:
+        return CheckNodeRef(e.parent, "sub parent") &
+               CheckScheduleRef(e.schedule, "sub");
+      case TraceEventKind::kLeaf:
+        return CheckNodeRef(e.parent, "leaf parent");
+      case TraceEventKind::kConflict:
+      case TraceEventKind::kWeakOutput:
+      case TraceEventKind::kStrongOutput:
+        return CheckNodeRef(e.a, "pair") & CheckNodeRef(e.b, "pair");
+      case TraceEventKind::kWeakInput:
+      case TraceEventKind::kStrongInput:
+        return CheckScheduleRef(e.schedule, "input order") &
+               CheckNodeRef(e.a, "input order") &
+               CheckNodeRef(e.b, "input order");
+      case TraceEventKind::kIntraWeak:
+      case TraceEventKind::kIntraStrong:
+        return CheckNodeRef(e.parent, "intra order") &
+               CheckNodeRef(e.a, "intra order") &
+               CheckNodeRef(e.b, "intra order");
+      case TraceEventKind::kCommit:
+        return CheckNodeRef(e.parent, "commit");
+    }
+    return true;
+  }
+
+  /// Conflict-specific lint: self-conflicts, cross-schedule pairs, and
+  /// duplicate declarations (all references already known valid).
+  bool CheckConflict(const TraceEvent& e) {
+    if (e.a == e.b) {
+      Report(DiagCode::kSelfConflict, DiagSeverity::kError,
+             StrCat("operation ", e.a, " is declared to conflict with "
+                    "itself"),
+             "remove the reflexive conflict (CON is irreflexive)");
+      has_errors_ = true;
+      return false;
+    }
+    ScheduleId ha = cs_.HostScheduleOf(NodeId(e.a));
+    ScheduleId hb = cs_.HostScheduleOf(NodeId(e.b));
+    if (!ha.valid() || ha != hb) {
+      Report(DiagCode::kCrossScheduleConflict, DiagSeverity::kError,
+             StrCat("conflict between nodes ", e.a, " and ", e.b,
+                    " that are not operations of one common schedule"),
+             "conflicts are declared per schedule (CON_S); drop the pair or "
+             "fix the topology");
+      has_errors_ = true;
+      return false;
+    }
+    const std::pair<uint32_t, uint32_t> key{std::min(e.a, e.b),
+                                            std::max(e.a, e.b)};
+    if (!seen_conflicts_.insert(key).second) {
+      Report(DiagCode::kDuplicateConflict, DiagSeverity::kWarning,
+             StrCat("conflict between nodes ", e.a, " and ", e.b,
+                    " is declared more than once"),
+             "remove the duplicate declaration");
+      // Re-applying is harmless (the pair set is idempotent); continue.
+    }
+    return true;
+  }
+
+  std::vector<Diagnostic>& out_;
+  CompositeSystem cs_;
+  std::set<std::pair<uint32_t, uint32_t>> seen_conflicts_;
+  std::string location_;
+  uint32_t line_ = 0;
+  bool has_errors_ = false;
+};
+
+/// Structural advisories on a cleanly replayed system.
+void LintStructure(const CompositeSystem& cs, std::vector<Diagnostic>& out) {
+  if (cs.Roots().empty()) {
+    out.push_back({DiagSeverity::kWarning, DiagCode::kEmptySystem, "system", 0,
+                   "system has no root transactions: every verdict is "
+                   "vacuously SAFE",
+                   "add at least one root transaction"});
+    return;
+  }
+  for (size_t si = 0; si < cs.ScheduleCount(); ++si) {
+    const Schedule& s = cs.schedule(ScheduleId(static_cast<uint32_t>(si)));
+    if (s.transactions.empty()) {
+      out.push_back({DiagSeverity::kWarning, DiagCode::kOrphanSchedule,
+                     StrCat("schedule ", s.name), 0,
+                     StrCat("schedule ", s.name,
+                            " executes no transactions"),
+                     "remove the schedule or give it a transaction"});
+      continue;
+    }
+    size_t pulled_up_cross = 0;
+    for (const auto& [a, b] : cs.CrossRootConflicts(s.id)) {
+      if (!cs.node(a).IsRoot() && !cs.node(b).IsRoot()) ++pulled_up_cross;
+    }
+    if (cs.RootsServed(s.id) > 1 && pulled_up_cross > 0) {
+      out.push_back(
+          {DiagSeverity::kNote, DiagCode::kForgottenOrderHazard,
+           StrCat("schedule ", s.name), 0,
+           StrCat("schedule ", s.name, " serves several execution trees and "
+                  "has ", pulled_up_cross, " pulled-up cross-root conflict "
+                  "pair(s); pull-up can forget orders it exports (Fig 4)"),
+           "no action needed; the dynamic reduction decides such systems"});
+    }
+  }
+}
+
+LintResult FinishLint(EventLinter& linter, const LintOptions& options,
+                      std::vector<Diagnostic> diags) {
+  LintResult result;
+  result.diagnostics = std::move(diags);
+  if (linter.has_errors()) return result;
+  result.buildable = true;
+  if (options.structure) {
+    LintStructure(linter.system(), result.diagnostics);
+  }
+  if (options.model_rules) {
+    for (Diagnostic& d : CollectModelDiagnostics(linter.system())) {
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+  result.system = linter.TakeSystem();
+  return result;
+}
+
+}  // namespace
+
+LintResult LintTraceEvents(const std::vector<TraceEvent>& events,
+                           const LintOptions& options) {
+  std::vector<Diagnostic> diags;
+  EventLinter linter(diags);
+  for (size_t i = 0; i < events.size(); ++i) {
+    linter.Consume(events[i], StrCat("event ", i + 1), 0);
+  }
+  return FinishLint(linter, options, std::move(diags));
+}
+
+LintResult LintTraceText(const std::string& text, const LintOptions& options) {
+  // Mirror ParseTraceEvents' framing so diagnostics carry real line
+  // numbers, but keep scanning past bad records.
+  std::vector<Diagnostic> diags;
+  EventLinter linter(diags);
+  std::istringstream in(text);
+  std::string line;
+  uint32_t line_number = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  bool parse_errors = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "comptx-trace v1") {
+        diags.push_back({DiagSeverity::kError, DiagCode::kMalformedSpec,
+                         "trace", line_number,
+                         "missing comptx-trace v1 header",
+                         "start the file with 'comptx-trace v1'"});
+        return {std::move(diags), false, std::nullopt};
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) break;
+    if (line == "end" || StartsWith(line, "end ")) {
+      saw_end = true;
+      continue;
+    }
+    // Parse this single record through the canonical trace parser.
+    auto events = workload::ParseTraceEvents(
+        StrCat("comptx-trace v1\n", line, "\nend\n"));
+    if (!events.ok()) {
+      diags.push_back({DiagSeverity::kError, DiagCode::kMalformedSpec,
+                       "trace", line_number, events.status().message(),
+                       "fix the record syntax"});
+      parse_errors = true;
+      continue;
+    }
+    // Location = the record kind; FormatDiagnostic already shows the line.
+    linter.Consume((*events)[0], line.substr(0, line.find(' ')), line_number);
+  }
+  if (!saw_header) {
+    diags.push_back({DiagSeverity::kError, DiagCode::kMalformedSpec, "trace",
+                     line_number, "missing comptx-trace v1 header",
+                     "start the file with 'comptx-trace v1'"});
+    return {std::move(diags), false, std::nullopt};
+  }
+  if (!saw_end) {
+    diags.push_back({DiagSeverity::kError, DiagCode::kMalformedSpec, "trace",
+                     line_number, "trace missing 'end' record",
+                     "terminate the file with 'end'"});
+    parse_errors = true;
+  }
+  if (parse_errors) {
+    LintResult result;
+    result.diagnostics = std::move(diags);
+    return result;
+  }
+  return FinishLint(linter, options, std::move(diags));
+}
+
+LintResult LintWitnessJson(const std::string& json,
+                           const LintOptions& options) {
+  auto record = testing::ParseWitnessJson(json);
+  if (!record.ok()) {
+    LintResult result;
+    result.diagnostics.push_back(
+        {DiagSeverity::kError, DiagCode::kMalformedSpec, "witness", 0,
+         record.status().message(), "fix the JSON document"});
+    return result;
+  }
+  LintResult result = LintTraceEvents(record->events, options);
+  if (!result.buildable) return result;
+  const CompositeSystem& cs = *result.system;
+
+  // "commuting" declarations: "a b" pairs asserting the operations
+  // commute.  They must reference real operations, must not be reflexive,
+  // and must not contradict a declared conflict.
+  for (size_t i = 0; i < record->commuting.size(); ++i) {
+    const std::string location = StrCat("commuting[", i, "]");
+    std::istringstream fields(record->commuting[i]);
+    uint32_t a = 0;
+    uint32_t b = 0;
+    if (!(fields >> a >> b)) {
+      result.diagnostics.push_back(
+          {DiagSeverity::kError, DiagCode::kMalformedSpec, location, 0,
+           StrCat("commuting entry '", record->commuting[i],
+                  "' is not a pair of node indices"),
+           "use the form \"<a> <b>\""});
+      continue;
+    }
+    if (a >= cs.NodeCount() || b >= cs.NodeCount()) {
+      result.diagnostics.push_back(
+          {DiagSeverity::kError, DiagCode::kDanglingNodeRef, location, 0,
+           StrCat("commuting pair (", a, ", ", b, ") references a node "
+                  "beyond the ", cs.NodeCount(), " in the trace"),
+           "fix the node indices"});
+      continue;
+    }
+    if (a == b) {
+      result.diagnostics.push_back(
+          {DiagSeverity::kWarning, DiagCode::kSelfCommute, location, 0,
+           StrCat("operation ", a, " is declared to commute with itself "
+                  "(vacuous)"),
+           "remove the reflexive entry"});
+      continue;
+    }
+    ScheduleId host = cs.HostScheduleOf(NodeId(a));
+    if (host.valid() &&
+        cs.schedule(host).conflicts.Contains(NodeId(a), NodeId(b))) {
+      result.diagnostics.push_back(
+          {DiagSeverity::kError, DiagCode::kCommuteContradictsConflict,
+           location, 0,
+           StrCat("operations ", a, " and ", b, " are declared commuting "
+                  "but CON_S declares them conflicting"),
+           "drop either the commuting entry or the conflict"});
+    }
+  }
+  return result;
+}
+
+std::vector<Diagnostic> LintWorkloadSpec(const workload::WorkloadSpec& spec) {
+  std::vector<Diagnostic> diags;
+  auto check_prob = [&](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      diags.push_back({DiagSeverity::kError, DiagCode::kProbabilityOutOfRange,
+                       StrCat("spec.", name), 0,
+                       StrCat(name, " = ", p, " is outside [0, 1]"),
+                       "clamp the probability into [0, 1]"});
+    }
+  };
+  check_prob(spec.topology.leaf_fraction, "leaf_fraction");
+  check_prob(spec.execution.conflict_prob, "conflict_prob");
+  check_prob(spec.execution.disorder_prob, "disorder_prob");
+  check_prob(spec.execution.intra_weak_prob, "intra_weak_prob");
+  check_prob(spec.execution.intra_strong_prob, "intra_strong_prob");
+
+  auto check_size = [&](uint32_t v, const char* name) {
+    if (v == 0) {
+      diags.push_back({DiagSeverity::kWarning, DiagCode::kDegenerateWorkload,
+                       StrCat("spec.", name), 0,
+                       StrCat(name, " = 0 generates an empty workload"),
+                       "use a positive size"});
+    }
+  };
+  check_size(spec.topology.depth, "depth");
+  check_size(spec.topology.branches, "branches");
+  check_size(spec.topology.roots, "roots");
+  check_size(spec.topology.fanout, "fanout");
+
+  if (spec.execution.order_preserving_outputs &&
+      spec.execution.disorder_prob > 0.0) {
+    diags.push_back(
+        {DiagSeverity::kError, DiagCode::kIncompatibleSpec, "spec.execution",
+         0,
+         "order_preserving_outputs is incompatible with disorder_prob > 0 "
+         "(a flip would order a pair both ways)",
+         "set disorder_prob to 0 or disable order_preserving_outputs"});
+  }
+  return diags;
+}
+
+}  // namespace comptx::staticcheck

@@ -1,0 +1,67 @@
+#ifndef COMPTX_STATICCHECK_LINT_H_
+#define COMPTX_STATICCHECK_LINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/composite_system.h"
+#include "core/diagnostic.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx::staticcheck {
+
+/// Options controlling the trace / witness linters.
+struct LintOptions {
+  /// After a clean replay, also run the Def 2-4 model checks
+  /// (CollectModelDiagnostics) on the built system.
+  bool model_rules = true;
+
+  /// After a clean replay, emit structural advisories: empty system
+  /// (CTX020), orphan schedulers (CTX021), forgotten-order hazards from
+  /// shared schedulers with cross-root conflicts (CTX029).
+  bool structure = true;
+};
+
+/// Result of linting one spec (trace or witness).
+struct LintResult {
+  /// All findings, in discovery order: event-level first, then
+  /// structural, then model-rule diagnostics.
+  std::vector<Diagnostic> diagnostics;
+
+  /// True iff every event applied cleanly; `system` is then the replayed
+  /// composite system (structural/model diagnostics may still be present).
+  bool buildable = false;
+  std::optional<CompositeSystem> system;
+};
+
+/// Lints a parsed event sequence.  Unlike LoadTrace, this does not stop at
+/// the first bad record: each ill-formed event is reported with a stable
+/// CTX code and *skipped*, so one pass surfaces every violation.  Event
+/// locations are "event N" (1-based); use LintTraceText for line numbers.
+LintResult LintTraceEvents(const std::vector<workload::TraceEvent>& events,
+                           const LintOptions& options = {});
+
+/// Parses `text` as a "comptx-trace v1" document and lints it.  Parse
+/// errors become CTX050 diagnostics; event diagnostics carry the source
+/// line number of the offending record.
+LintResult LintTraceText(const std::string& text,
+                         const LintOptions& options = {});
+
+/// Lints a witness JSON document: parses it (CTX050 on failure), lints the
+/// embedded trace, and checks the optional "commuting" declarations
+/// ("a b" operation-index pairs) for dangling references (CTX023),
+/// self-commutation (CTX028), and contradictions with declared conflicts
+/// (CTX027).
+LintResult LintWitnessJson(const std::string& json,
+                           const LintOptions& options = {});
+
+/// Lints a generator spec: probabilities outside [0, 1] (CTX040),
+/// degenerate sizes that generate empty workloads (CTX041), and
+/// incompatible flag combinations (CTX042).
+std::vector<Diagnostic> LintWorkloadSpec(const workload::WorkloadSpec& spec);
+
+}  // namespace comptx::staticcheck
+
+#endif  // COMPTX_STATICCHECK_LINT_H_

@@ -4,9 +4,11 @@
 
 #include "analysis/sweep.h"
 #include "core/correctness.h"
+#include "core/diagnostic.h"
 #include "criteria/fcc.h"
 #include "criteria/jcc.h"
 #include "criteria/scc.h"
+#include "staticcheck/lint.h"
 #include "testing/events.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -109,6 +111,16 @@ StatusOr<CampaignResult> RunFuzzCampaign(const CampaignOptions& options) {
     Rng rng(tc.seed);
     tc.spec = RandomSpec(rng);
     tc.generator = workload::DescribeWorkloadSpec(tc.spec);
+    // Pre-lint the generated spec: an error diagnostic here means the
+    // spec generator itself produced garbage — a harness bug, not a
+    // finding.
+    for (const Diagnostic& d : staticcheck::LintWorkloadSpec(tc.spec)) {
+      if (d.severity == DiagSeverity::kError) {
+        tc.error = Status::Internal(
+            StrCat("generated spec fails lint: ", FormatDiagnostic(d)));
+        return 0;
+      }
+    }
     auto system = workload::GenerateSystem(tc.spec, tc.seed);
     if (!system.ok()) {
       tc.error = system.status();
@@ -134,6 +146,23 @@ StatusOr<CampaignResult> RunFuzzCampaign(const CampaignOptions& options) {
                      criteria::IsJoinSystem(tc.system);
     auto events = SystemToEvents(tc.system);
     tc.events = events.ok() ? events->size() : 0;
+    if (events.ok()) {
+      // Pre-lint the serialized trace (event-level and structural checks;
+      // the model rules already ran inside CheckConformance).  Error or
+      // internal-error diagnostics on a generated trace are harness bugs.
+      staticcheck::LintOptions lint_options;
+      lint_options.model_rules = false;
+      staticcheck::LintResult lint =
+          staticcheck::LintTraceEvents(*events, lint_options);
+      for (const Diagnostic& d : lint.diagnostics) {
+        if (d.severity == DiagSeverity::kError ||
+            d.code == DiagCode::kInternalError) {
+          tc.error = Status::Internal(
+              StrCat("generated trace fails lint: ", FormatDiagnostic(d)));
+          return 0;
+        }
+      }
+    }
 
     if (options.run_metamorphic) {
       auto meta = CheckMetamorphic(tc.system, tc.comp_c, options.metamorphic,
@@ -180,12 +209,20 @@ StatusOr<CampaignResult> RunFuzzCampaign(const CampaignOptions& options) {
     }
     analysis::SweepHooks hooks;
     std::vector<std::pair<size_t, std::string>> sweep_disagreements;
+    hooks.on_verdict = [&](size_t, const analysis::SweepVerdict& verdict) {
+      result.stats.static_decided += verdict.static_fast_path ? 1 : 0;
+    };
     hooks.on_disagreement = [&](size_t i, const std::string& description) {
       sweep_disagreements.emplace_back(i, description);
     };
-    ReductionOptions reduction;
-    reduction.keep_fronts = false;
-    analysis::SweepCompC(systems, reduction, hooks, expected);
+    // Paranoid fast path: the static analyzer decides what it can, the
+    // reduction re-checks every static verdict, and any disagreement —
+    // static-vs-dynamic or sweep-vs-batch — lands in the witness pipeline.
+    analysis::SweepOptions sweep;
+    sweep.reduction.keep_fronts = false;
+    sweep.static_fast_path = true;
+    sweep.paranoid = true;
+    analysis::SweepCompC(systems, sweep, hooks, expected);
     for (auto& [index, description] : sweep_disagreements) {
       TraceCase& tc = cases[index];
       if (tc.disagreements.empty()) ++result.stats.failing_traces;

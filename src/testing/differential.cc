@@ -10,6 +10,7 @@
 #include "criteria/oracle.h"
 #include "criteria/scc.h"
 #include "online/certifier.h"
+#include "staticcheck/analyzer.h"
 #include "testing/events.h"
 #include "util/string_util.h"
 #include "workload/trace.h"
@@ -26,6 +27,8 @@ const char* InjectedBugToString(InjectedBug bug) {
       return "flip-online";
     case InjectedBug::kFlipCriteria:
       return "flip-criteria";
+    case InjectedBug::kFlipStatic:
+      return "flip-static";
   }
   return "unknown";
 }
@@ -184,6 +187,31 @@ Status CheckCriteria(const CompositeSystem& cs, const CompCResult& batch,
   return Status::OK();
 }
 
+/// The static analyzer's SAFE/UNSAFE verdicts claim exactness; hold them
+/// to the batch reduction whenever the analyzer decides.
+void CheckStatic(const CompositeSystem& cs, const CompCResult& batch,
+                 const DifferentialOptions& options,
+                 DifferentialReport& report) {
+  staticcheck::AnalyzerOptions analyzer_options;
+  analyzer_options.assume_valid = true;  // CheckConformance validated.
+  analyzer_options.explain = false;      // only the verdict is compared
+  staticcheck::StaticAnalysis analysis =
+      staticcheck::AnalyzeConfiguration(cs, analyzer_options);
+  if (analysis.verdict == staticcheck::SafetyVerdict::kNeedsDynamic) return;
+  bool static_safe = analysis.verdict == staticcheck::SafetyVerdict::kSafe;
+  if (options.inject == InjectedBug::kFlipStatic) {
+    static_safe = !static_safe;
+  }
+  if (static_safe != batch.correct) {
+    report.disagreements.push_back(
+        {"batch-vs-static",
+         StrCat("static analyzer (shape ",
+                staticcheck::ConfigShapeToString(analysis.shape),
+                ") says ", Verdict(static_safe), ", batch says ",
+                Verdict(batch.correct), "; reason: ", analysis.reason)});
+  }
+}
+
 }  // namespace
 
 StatusOr<DifferentialReport> CheckConformance(
@@ -221,6 +249,9 @@ StatusOr<DifferentialReport> CheckConformance(
   if (options.check_criteria) {
     COMPTX_RETURN_IF_ERROR(CheckCriteria(cs, batch, options, is_stack,
                                          is_fork, is_join, report));
+  }
+  if (options.check_static) {
+    CheckStatic(cs, batch, options, report);
   }
   return report;
 }

@@ -21,6 +21,8 @@ enum class InjectedBug : uint8_t {
   kFlipOnline,
   /// Negate the SCC/FCC/JCC verdict on applicable configurations.
   kFlipCriteria,
+  /// Negate the static analyzer's SAFE/UNSAFE verdict when it decides.
+  kFlipStatic,
 };
 
 const char* InjectedBugToString(InjectedBug bug);
@@ -36,6 +38,11 @@ struct DifferentialOptions {
   /// Cross-check SCC/FCC/JCC against Comp-C on stack/fork/join shapes
   /// (Theorems 2-4).
   bool check_criteria = true;
+
+  /// Cross-check the static configuration analyzer: whenever it decides
+  /// (SAFE or UNSAFE — exact verdicts, never conservative), the verdict
+  /// must match the batch reduction.
+  bool check_static = true;
 
   /// Verify the serial witness of an accepted execution (Theorem 1 "if"):
   /// the serial front it induces must be serial and level-N-contain the

@@ -85,6 +85,10 @@ class JsonScanner {
     if (c == '[') {
       std::vector<std::string> lines;
       COMPTX_RETURN_IF_ERROR(ParseStringArray(lines));
+      if (key == "commuting") {
+        record.commuting = std::move(lines);
+        return Status::OK();
+      }
       if (key != "trace") return Status::OK();
       saw_trace = true;
       record.events.clear();
@@ -221,6 +225,15 @@ std::string FormatWitnessJson(const WitnessRecord& record) {
   out += StrCat("  \"comp_c\": ", record.comp_c ? "true" : "false", ",\n");
   out += StrCat("  \"events_initial\": ", record.events_initial, ",\n");
   out += StrCat("  \"events_final\": ", record.events_final, ",\n");
+  if (!record.commuting.empty()) {
+    out += "  \"commuting\": [\n";
+    for (size_t i = 0; i < record.commuting.size(); ++i) {
+      out += "    ";
+      AppendEscaped(out, record.commuting[i]);
+      out += i + 1 < record.commuting.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
   out += "  \"trace\": [\n";
   for (size_t i = 0; i < record.events.size(); ++i) {
     out += "    ";
@@ -247,6 +260,7 @@ std::optional<InjectedBug> ParseInjectedBug(const std::string& name) {
   if (name == "flip-oracle") return InjectedBug::kFlipOracle;
   if (name == "flip-online") return InjectedBug::kFlipOnline;
   if (name == "flip-criteria") return InjectedBug::kFlipCriteria;
+  if (name == "flip-static") return InjectedBug::kFlipStatic;
   return std::nullopt;
 }
 

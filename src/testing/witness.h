@@ -27,6 +27,13 @@ struct WitnessRecord {
   uint64_t events_initial = 0;  // events before shrinking
   uint64_t events_final = 0;    // events after shrinking
   std::vector<workload::TraceEvent> events;  // the minimized trace
+
+  /// Optional commutativity declarations: "<a> <b>" node-index pairs
+  /// asserting the two operations commute.  Consumed by the spec linter
+  /// (contradiction with declared conflicts is CTX027); absent in records
+  /// written before the field existed (the parser ignores unknown keys, so
+  /// both directions stay compatible).
+  std::vector<std::string> commuting;
 };
 
 /// Renders `record` as a pretty-printed JSON document (the corpus file

@@ -131,6 +131,87 @@ TEST(CertifyCliTest, CertifiesAGeneratedTraceWithBatchCheck) {
   EXPECT_TRUE(Contains(r.stdout_text, "batch agreement")) << r.stdout_text;
 }
 
+TEST(CertifyCliTest, StaticFastPathCertifiesATreeTrace) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kStack;
+  spec.execution.conflict_prob = 0.3;
+  auto cs = workload::GenerateSystem(spec, 9);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  auto text = workload::SaveTrace(*cs);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto path = WriteFile("static_stack.trace", *text);
+  RunResult r =
+      RunCli(StrCat(COMPTX_CERTIFY_BIN, " --static ", path.string()));
+  EXPECT_TRUE(r.exit_code == 0 || r.exit_code == 1) << r.stderr_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "static verdict")) << r.stdout_text;
+  // Paranoid mode re-runs the replay and must confirm the static verdict.
+  RunResult p =
+      RunCli(StrCat(COMPTX_CERTIFY_BIN, " --paranoid ", path.string()));
+  EXPECT_EQ(p.exit_code, r.exit_code) << p.stdout_text << p.stderr_text;
+  EXPECT_TRUE(Contains(p.stdout_text, "static agreement")) << p.stdout_text;
+}
+
+// ------------------------------------------------------------------- lint
+
+std::string CorpusFile(const char* name) {
+  return (std::filesystem::path(COMPTX_LINT_CORPUS_DIR) / name).string();
+}
+
+TEST(LintCliTest, NoArgumentsIsAUsageError) {
+  RunResult r = RunCli(COMPTX_LINT_BIN);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "usage")) << r.stderr_text;
+}
+
+TEST(LintCliTest, MissingFileIsDiagnosed) {
+  RunResult r = RunCli(StrCat(COMPTX_LINT_BIN, " ",
+                           (Scratch() / "nope.trace").string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "cannot open")) << r.stderr_text;
+}
+
+TEST(LintCliTest, SeededCorpusFlagsTheDocumentedCodes) {
+  // The committed ill-formed specs and the CTX code each must flag with
+  // (the contract CI and DESIGN.md document).
+  const struct {
+    const char* file;
+    const char* code;
+    int exit_code;
+  } cases[] = {
+      {"empty_system.trace", "CTX020", 0},  // warning, not an error
+      {"undeclared_conflict.trace", "CTX023", 1},
+      {"self_conflict.trace", "CTX024", 1},
+      {"deep_cycle.trace", "CTX001", 1},
+      {"commute_contradiction.json", "CTX027", 1},
+      {"dangling_scheduler.json", "CTX022", 1},
+  };
+  for (const auto& c : cases) {
+    RunResult r = RunCli(StrCat(COMPTX_LINT_BIN, " ", CorpusFile(c.file)));
+    EXPECT_EQ(r.exit_code, c.exit_code)
+        << c.file << ": " << r.stdout_text << r.stderr_text;
+    EXPECT_TRUE(Contains(r.stdout_text, c.code))
+        << c.file << " should flag " << c.code << ": " << r.stdout_text;
+  }
+}
+
+TEST(LintCliTest, CleanSpecLintsCleanWithASafeVerdict) {
+  RunResult r = RunCli(StrCat(COMPTX_LINT_BIN, " --verdict ",
+                           CorpusFile("single_root_single_leaf.trace")));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text << r.stderr_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "0 diagnostic(s)")) << r.stdout_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "SAFE")) << r.stdout_text;
+}
+
+TEST(LintCliTest, JsonOutputCarriesCodesAndErrorFlag) {
+  RunResult r = RunCli(StrCat(COMPTX_LINT_BIN, " --json ",
+                           CorpusFile("self_conflict.trace"), " ",
+                           CorpusFile("commute_contradiction.json")));
+  EXPECT_EQ(r.exit_code, 1) << r.stdout_text << r.stderr_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "\"CTX024\"")) << r.stdout_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "\"CTX027\"")) << r.stdout_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "\"errors\": true")) << r.stdout_text;
+}
+
 // ----------------------------------------------------------------- shrink
 
 TEST(ShrinkCliTest, UnknownFlagIsAUsageError) {

@@ -91,6 +91,9 @@ TEST(DifferentialTest, InjectedFaultsAreDetectedOnStacks) {
       {testing::InjectedBug::kFlipOracle, "batch-vs-oracle"},
       {testing::InjectedBug::kFlipOnline, "batch-vs-online"},
       {testing::InjectedBug::kFlipCriteria, "batch-vs-scc"},
+      // Stacks are always statically decided (Theorem 2), so the flip
+      // must be caught on every trace too.
+      {testing::InjectedBug::kFlipStatic, "batch-vs-static"},
   };
   for (const auto& c : cases) {
     for (uint64_t seed = 1; seed <= 8; ++seed) {

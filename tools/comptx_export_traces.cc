@@ -1,0 +1,47 @@
+// Exports the paper's worked examples (Figures 1-4) as comptx trace
+// files.  The committed copies live in examples/traces/ and double as the
+// clean inputs for the CI lint job; re-run this tool after changing the
+// figure factories and commit the result.
+//
+// Usage: comptx_export_traces [output-dir]   (default: examples/traces)
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using comptx::analysis::PaperFigure;
+  const std::string dir = argc > 1 ? argv[1] : "examples/traces";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "cannot create " << dir << ": " << ec.message() << "\n";
+    return 1;
+  }
+  std::vector<std::pair<std::string, PaperFigure>> figures;
+  figures.emplace_back("figure1", comptx::analysis::MakeFigure1());
+  figures.emplace_back("figure2", comptx::analysis::MakeFigure2());
+  figures.emplace_back("figure3", comptx::analysis::MakeFigure3());
+  figures.emplace_back("figure4", comptx::analysis::MakeFigure4());
+  for (const auto& [name, figure] : figures) {
+    auto text = comptx::workload::SaveTrace(figure.system);
+    if (!text.ok()) {
+      std::cerr << name << ": " << text.status().ToString() << "\n";
+      return 1;
+    }
+    const std::string path = dir + "/" + name + ".trace";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    out << *text;
+    std::cout << path << ": " << figure.title << "\n";
+  }
+  return 0;
+}

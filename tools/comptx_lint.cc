@@ -1,0 +1,179 @@
+// Spec linter and static safety analyzer CLI.  Lints comptx trace files
+// and witness JSON documents (detected by content: a document whose first
+// non-space byte is '{' is a witness) and reports structured diagnostics
+// with stable CTX codes.  With --verdict, buildable specs additionally get
+// the whole-configuration static safety verdict (SAFE / UNSAFE /
+// NEEDS_DYNAMIC) with per-scheduler explanations.
+//
+// Usage: comptx_lint [--json] [--verdict] [--no-model] <file>...
+//
+//   --json      machine-readable output (one JSON object per run)
+//   --verdict   run the static configuration analyzer on buildable specs
+//   --no-model  skip the Def 2-4 model checks (structural lint only)
+//
+// Exit codes: 0 = no error diagnostics, 1 = at least one error-severity
+// diagnostic in any input, 2 = usage or I/O error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/diagnostic.h"
+#include "staticcheck/analyzer.h"
+#include "staticcheck/lint.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+struct CliOptions {
+  bool json = false;
+  bool verdict = false;
+  bool model_rules = true;
+};
+
+struct FileReport {
+  std::string path;
+  std::vector<Diagnostic> diagnostics;
+  bool buildable = false;
+  std::string verdict;  // empty when not requested / not buildable
+  std::string verdict_text;
+};
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+bool LooksLikeJson(const std::string& text) {
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{';
+  }
+  return false;
+}
+
+FileReport LintFile(const std::string& path, const std::string& text,
+                    const CliOptions& cli) {
+  FileReport report;
+  report.path = path;
+  staticcheck::LintOptions options;
+  options.model_rules = cli.model_rules;
+  staticcheck::LintResult result =
+      LooksLikeJson(text) ? staticcheck::LintWitnessJson(text, options)
+                          : staticcheck::LintTraceText(text, options);
+  report.diagnostics = std::move(result.diagnostics);
+  report.buildable = result.buildable;
+  if (cli.verdict && result.buildable) {
+    staticcheck::AnalyzerOptions analyzer_options;
+    // The linter already ran the model checks (unless --no-model);
+    // re-validating inside the analyzer would double the cost.
+    analyzer_options.assume_valid =
+        cli.model_rules && !HasErrors(report.diagnostics);
+    staticcheck::StaticAnalysis analysis =
+        staticcheck::AnalyzeConfiguration(*result.system, analyzer_options);
+    report.verdict = staticcheck::SafetyVerdictToString(analysis.verdict);
+    report.verdict_text = staticcheck::FormatStaticAnalysis(analysis);
+  }
+  return report;
+}
+
+void PrintText(const FileReport& report) {
+  for (const Diagnostic& d : report.diagnostics) {
+    std::cout << report.path << ": " << FormatDiagnostic(d) << "\n";
+  }
+  if (!report.verdict_text.empty()) {
+    std::cout << report.path << ": " << report.verdict_text;
+  }
+}
+
+std::string ToJson(const std::vector<FileReport>& reports, bool failed) {
+  std::string out = "{\n\"files\": [";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const FileReport& r = reports[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"file\": ";
+    AppendJsonString(out, r.path);
+    out += ", \"buildable\": ";
+    out += r.buildable ? "true" : "false";
+    if (!r.verdict.empty()) {
+      out += ", \"verdict\": ";
+      AppendJsonString(out, r.verdict);
+    }
+    out += ", \"diagnostics\": ";
+    out += FormatDiagnosticsJson(r.diagnostics);
+    out += "}";
+  }
+  out += reports.empty() ? "],\n" : "\n],\n";
+  out += "\"errors\": ";
+  out += failed ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--verdict") {
+      cli.verdict = true;
+    } else if (arg == "--no-model") {
+      cli.model_rules = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: comptx_lint [--json] [--verdict] [--no-model] "
+                 "<file>...\n";
+    return 2;
+  }
+
+  std::vector<FileReport> reports;
+  bool failed = false;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    reports.push_back(LintFile(path, buffer.str(), cli));
+    failed = failed || HasErrors(reports.back().diagnostics);
+  }
+
+  if (cli.json) {
+    std::cout << ToJson(reports, failed);
+  } else {
+    for (const FileReport& report : reports) PrintText(report);
+    size_t total = 0;
+    for (const FileReport& report : reports) {
+      total += report.diagnostics.size();
+    }
+    std::cout << reports.size() << " file(s), " << total
+              << " diagnostic(s), " << (failed ? "errors" : "no errors")
+              << "\n";
+  }
+  return failed ? 1 : 0;
+}
