@@ -85,10 +85,22 @@ struct CertifierStats {
 /// structure once nothing points into it anymore (such nodes can never lie
 /// on a future violation cycle, so the verdict is unaffected).
 ///
-/// Thread safety: Ingest/Commit/Prune serialize on a session lock; the
-/// per-schedule shard locks additionally protect closure state so that
-/// concurrent readers (Stats, diagnostics) see consistent shards while an
-/// ingest is in flight.
+/// Thread safety (audited for the certification service, PR 5): a
+/// Certifier has *no* static or global mutable state — every structure
+/// hangs off the instance — so distinct instances never interfere and may
+/// be driven from distinct threads freely (the service runs one instance
+/// per session, each drained by one worker at a time).  Within one
+/// instance, Ingest/Commit/Prune and the verdict readers
+/// (Verdict/Certifiable/SerialWitness/Stats) serialize on the session
+/// lock `mu_`; the per-schedule shard locks additionally protect closure
+/// state so concurrent readers see consistent shards while an ingest is
+/// in flight.  Two caveats define the supported contract, enforced by
+/// ServiceStress/CertifierConcurrency tests:
+///   * concurrent *writers* are safe but pointless — events interleave in
+///     an unspecified order, and a stream's meaning depends on its order,
+///     so keep one ingesting thread per instance (readers are free);
+///   * system() returns a reference read without the lock; do not call it
+///     while another thread may be ingesting.
 class Certifier {
  public:
   explicit Certifier(const CertifierOptions& options = {});

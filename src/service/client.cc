@@ -1,0 +1,91 @@
+#include "service/client.h"
+
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+StatusOr<ServiceClient> ServiceClient::Dial(const Endpoint& endpoint) {
+  auto socket = Connect(endpoint);
+  if (!socket.ok()) return socket.status();
+  return ServiceClient(std::move(*socket));
+}
+
+StatusOr<Response> ServiceClient::RoundTrip(const Request& request) {
+  Status sent = WriteFrame(socket_.fd(), FormatRequest(request));
+  if (!sent.ok()) return sent;
+  auto payload = ReadFrame(socket_.fd());
+  if (!payload.ok()) return payload.status();
+  auto response = ParseResponse(*payload);
+  if (!response.ok()) return response.status();
+  if (!response->ok) {
+    return Status::FailedPrecondition(
+        StrCat(response->error_code, ": ", response->error_message));
+  }
+  return response;
+}
+
+SessionVerdict ServiceClient::VerdictFrom(const Response& response) {
+  SessionVerdict verdict;
+  verdict.session = response.FieldInt("session");
+  verdict.certifiable = response.FieldInt("certifiable") == 1;
+  verdict.order = static_cast<uint32_t>(response.FieldInt("order"));
+  verdict.events_accepted = response.FieldInt("accepted");
+  verdict.events_rejected = response.FieldInt("rejected");
+  verdict.failure = response.body;
+  return verdict;
+}
+
+StatusOr<uint64_t> ServiceClient::Open(const std::string& options) {
+  Request request;
+  request.kind = CommandKind::kOpen;
+  request.options = options;
+  COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return response.FieldInt("session");
+}
+
+StatusOr<uint64_t> ServiceClient::Append(
+    uint64_t session, const std::vector<workload::TraceEvent>& events) {
+  Request request;
+  request.kind = CommandKind::kAppend;
+  request.session = session;
+  request.events = events;
+  COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return response.FieldInt("queued");
+}
+
+StatusOr<SessionVerdict> ServiceClient::Query(uint64_t session) {
+  Request request;
+  request.kind = CommandKind::kQuery;
+  request.session = session;
+  COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return VerdictFrom(response);
+}
+
+StatusOr<SessionVerdict> ServiceClient::Close(uint64_t session) {
+  Request request;
+  request.kind = CommandKind::kClose;
+  request.session = session;
+  COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return VerdictFrom(response);
+}
+
+StatusOr<std::string> ServiceClient::Stats() {
+  Request request;
+  request.kind = CommandKind::kStats;
+  COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return response.body;
+}
+
+Status ServiceClient::Ping() {
+  Request request;
+  request.kind = CommandKind::kPing;
+  return RoundTrip(request).status();
+}
+
+Status ServiceClient::Shutdown() {
+  Request request;
+  request.kind = CommandKind::kShutdown;
+  return RoundTrip(request).status();
+}
+
+}  // namespace comptx::service

@@ -1,0 +1,57 @@
+#ifndef COMPTX_SERVICE_CLIENT_H_
+#define COMPTX_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+#include "service/socket.h"
+#include "util/status_or.h"
+
+namespace comptx::service {
+
+/// Blocking client for the comptx-serve wire protocol.  One connection,
+/// one outstanding request at a time; not thread-safe (give each client
+/// thread its own instance — comptx_load does).  Any transport or ERR
+/// response surfaces as a non-OK Status whose message carries the wire
+/// error code.
+class ServiceClient {
+ public:
+  static StatusOr<ServiceClient> Dial(const Endpoint& endpoint);
+
+  ServiceClient(ServiceClient&&) = default;
+  ServiceClient& operator=(ServiceClient&&) = default;
+
+  /// OPEN with "key=value ..." options; returns the session id.
+  StatusOr<uint64_t> Open(const std::string& options = "");
+
+  /// APPEND; returns the number of events the server queued.
+  StatusOr<uint64_t> Append(uint64_t session,
+                            const std::vector<workload::TraceEvent>& events);
+
+  /// QUERY / CLOSE: drain barrier + verdict.
+  StatusOr<SessionVerdict> Query(uint64_t session);
+  StatusOr<SessionVerdict> Close(uint64_t session);
+
+  /// STATS body ("key value" lines).
+  StatusOr<std::string> Stats();
+
+  Status Ping();
+
+  /// Asks the server to drain and exit.
+  Status Shutdown();
+
+ private:
+  explicit ServiceClient(Socket socket) : socket_(std::move(socket)) {}
+
+  StatusOr<Response> RoundTrip(const Request& request);
+  static SessionVerdict VerdictFrom(const Response& response);
+
+  Socket socket_;
+};
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_CLIENT_H_

@@ -1,0 +1,160 @@
+#include "service/metrics.h"
+
+#include <bit>
+#include <functional>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+namespace {
+
+/// Stable per-thread stripe choice; hashing the thread id spreads
+/// consecutive ids across stripes.
+size_t ThreadStripe() {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      StripedCounter::kStripes;
+  return stripe;
+}
+
+}  // namespace
+
+void StripedCounter::Add(uint64_t delta) {
+  stripes_[ThreadStripe()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t StripedCounter::Value() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t LatencyHistogram::BucketFor(uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<size_t>(micros);
+  // major = index of the highest set bit; sub = the kSubBits bits below it.
+  size_t major = 63 - static_cast<size_t>(std::countl_zero(micros));
+  if (major > kMajors + kSubBits - 1) major = kMajors + kSubBits - 1;
+  const size_t sub =
+      static_cast<size_t>(micros >> (major - kSubBits)) & (kSubBuckets - 1);
+  return (major - kSubBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const size_t major = bucket / kSubBuckets + kSubBits - 1;
+  const size_t sub = bucket % kSubBuckets;
+  const uint64_t base = 1ull << major;
+  const uint64_t width = 1ull << (major - kSubBits);
+  return base + (sub + 1) * width - 1;
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (micros < seen &&
+         !min_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Snapshot::ValueAt(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target sample (1-based), then the first bucket whose
+  // cumulative count reaches it.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      uint64_t value = BucketUpperBound(i);
+      return value > max ? max : value;
+    }
+  }
+  return max;
+}
+
+std::string LatencyHistogram::Snapshot::Summary() const {
+  return StrCat("count=", count, " mean=", mean, " p50=", p50, " p95=", p95,
+                " p99=", p99, " max=", max);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = n;
+    snap.count += n;
+  }
+  if (snap.count == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+              static_cast<double>(snap.count);
+  snap.p50 = snap.ValueAt(0.50);
+  snap.p95 = snap.ValueAt(0.95);
+  snap.p99 = snap.ValueAt(0.99);
+  return snap;
+}
+
+double ServiceMetrics::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double ServiceMetrics::EventsPerSecond() const {
+  const double seconds = UptimeSeconds();
+  if (seconds <= 0) return 0;
+  return static_cast<double>(events_processed.Value()) / seconds;
+}
+
+std::string ServiceMetrics::RenderText() const {
+  const LatencyHistogram::Snapshot append = append_latency.Snap();
+  const LatencyHistogram::Snapshot verdict = verdict_latency.Snap();
+  std::string out;
+  const auto line = [&out](const char* key, const auto& value) {
+    out += StrCat(key, " ", value, "\n");
+  };
+  line("uptime_seconds", UptimeSeconds());
+  line("active_sessions", active_sessions.load(std::memory_order_relaxed));
+  line("queue_depth", queue_depth.load(std::memory_order_relaxed));
+  line("sessions_opened", sessions_opened.Value());
+  line("sessions_closed", sessions_closed.Value());
+  line("sessions_evicted", sessions_evicted.Value());
+  line("events_enqueued", events_enqueued.Value());
+  line("events_processed", events_processed.Value());
+  line("events_rejected", events_rejected.Value());
+  line("events_per_second", EventsPerSecond());
+  line("append_batches", append_batches.Value());
+  line("verdict_queries", verdict_queries.Value());
+  line("backpressure_waits", backpressure_waits.Value());
+  line("protocol_errors", protocol_errors.Value());
+  line("append_latency_us", append.Summary());
+  line("verdict_latency_us", verdict.Summary());
+  return out;
+}
+
+std::string ServiceMetrics::RenderLine() const {
+  const LatencyHistogram::Snapshot append = append_latency.Snap();
+  const LatencyHistogram::Snapshot verdict = verdict_latency.Snap();
+  return StrCat(
+      "sessions=", active_sessions.load(std::memory_order_relaxed),
+      " depth=", queue_depth.load(std::memory_order_relaxed),
+      " enq=", events_enqueued.Value(), " proc=", events_processed.Value(),
+      " rej=", events_rejected.Value(), " evict=", sessions_evicted.Value(),
+      " eps=", EventsPerSecond(), " append_p99us=", append.p99,
+      " verdict_p99us=", verdict.p99);
+}
+
+}  // namespace comptx::service

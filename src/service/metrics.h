@@ -1,0 +1,131 @@
+#ifndef COMPTX_SERVICE_METRICS_H_
+#define COMPTX_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace comptx::service {
+
+/// A counter sharded over cache-line-sized stripes so that concurrent
+/// recorders (connection handlers, workers) do not bounce one cache line.
+/// Add() picks a stripe from the calling thread's identity; Value() sums
+/// the stripes (an instantaneous, monotone-consistent snapshot: every
+/// completed Add is visible, concurrent ones may or may not be).
+class StripedCounter {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// An HDR-style log-linear latency histogram over microseconds.
+///
+/// Values are bucketed by magnitude (one major bucket per power of two)
+/// with kSubBuckets linear sub-buckets inside each major, bounding the
+/// relative quantile error by 1/kSubBuckets (6.25%) — the classic
+/// HdrHistogram trade: fixed memory, lock-free recording, and quantiles
+/// accurate to the precision latency numbers are ever quoted at.
+/// Recording is a single relaxed fetch_add; quantile extraction scans the
+/// ~1k buckets.  Values above ~2^40 us (12 days) saturate the top bucket.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBits = 4;                  // 16 sub-buckets
+  static constexpr size_t kSubBuckets = 1u << kSubBits;  // per major
+  static constexpr size_t kMajors = 40;
+  static constexpr size_t kBucketCount = kSubBuckets * (kMajors + 1);
+
+  void Record(uint64_t micros);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+
+    /// The value at quantile q in [0, 1] (upper bound of the bucket
+    /// holding the q-th sample).
+    uint64_t ValueAt(double q) const;
+
+    /// "count=12 mean=3.4 p50=3 p95=9 p99=12 max=15" (microseconds).
+    std::string Summary() const;
+
+   private:
+    friend class LatencyHistogram;
+    std::array<uint64_t, kBucketCount> buckets{};
+  };
+
+  /// Consistent-enough snapshot for monitoring: buckets are read with
+  /// relaxed loads, so samples recorded concurrently may be missed.
+  Snapshot Snap() const;
+
+  /// Maps a value to its bucket index / a bucket index to the largest
+  /// value it holds (exposed for tests).
+  static size_t BucketFor(uint64_t micros);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Everything the service exports: lock-striped counters, gauges and the
+/// two first-class latency histograms (append round-trip and verdict
+/// query).  One instance per server; recorders touch disjoint stripes,
+/// the STATS command and the periodic log line read snapshots.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+  // --- counters -----------------------------------------------------
+  StripedCounter sessions_opened;
+  StripedCounter sessions_closed;
+  StripedCounter sessions_evicted;
+  StripedCounter events_enqueued;   // accepted into a session queue
+  StripedCounter events_processed;  // ingested by a worker
+  StripedCounter events_rejected;   // certifier rejected during ingest
+  StripedCounter append_batches;
+  StripedCounter verdict_queries;
+  StripedCounter backpressure_waits;  // producer blocked on a full queue
+  StripedCounter protocol_errors;
+
+  // --- gauges -------------------------------------------------------
+  std::atomic<int64_t> active_sessions{0};
+  std::atomic<int64_t> queue_depth{0};  // events enqueued, not yet ingested
+
+  // --- histograms (microseconds) ------------------------------------
+  LatencyHistogram append_latency;
+  LatencyHistogram verdict_latency;
+
+  double UptimeSeconds() const;
+
+  /// Events processed per second of uptime.
+  double EventsPerSecond() const;
+
+  /// Multi-line "key value" rendering, the body of the STATS response and
+  /// of the periodic server log line (single-line variant).
+  std::string RenderText() const;
+  std::string RenderLine() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_METRICS_H_

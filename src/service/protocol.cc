@@ -1,0 +1,301 @@
+#include "service/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+namespace {
+
+/// Splits the payload into its command line and the remaining body.
+void SplitPayload(const std::string& payload, std::string& head,
+                  std::string& body) {
+  const size_t newline = payload.find('\n');
+  if (newline == std::string::npos) {
+    head = payload;
+    body.clear();
+  } else {
+    head = payload.substr(0, newline);
+    body = payload.substr(newline + 1);
+  }
+}
+
+StatusOr<uint64_t> ParseSessionId(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return Status::InvalidArgument(
+        StrCat(tokens[0], " needs exactly one session id"));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(tokens[1].c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || tokens[1].empty()) {
+    return Status::InvalidArgument(StrCat("bad session id '", tokens[1], "'"));
+  }
+  return static_cast<uint64_t>(id);
+}
+
+}  // namespace
+
+const char* CommandKindToString(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kOpen:
+      return "OPEN";
+    case CommandKind::kAppend:
+      return "APPEND";
+    case CommandKind::kQuery:
+      return "QUERY";
+    case CommandKind::kClose:
+      return "CLOSE";
+    case CommandKind::kStats:
+      return "STATS";
+    case CommandKind::kPing:
+      return "PING";
+    case CommandKind::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "?";
+}
+
+std::string Response::Field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+uint64_t Response::FieldInt(const std::string& key, uint64_t fallback) const {
+  const std::string value = Field(key);
+  if (value.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+std::string FormatRequest(const Request& request) {
+  std::string payload = CommandKindToString(request.kind);
+  switch (request.kind) {
+    case CommandKind::kOpen:
+      if (!request.options.empty()) payload += StrCat(" ", request.options);
+      break;
+    case CommandKind::kAppend:
+      payload += StrCat(" ", request.session);
+      for (const workload::TraceEvent& event : request.events) {
+        payload += StrCat("\n", workload::FormatTraceEvent(event));
+      }
+      break;
+    case CommandKind::kQuery:
+    case CommandKind::kClose:
+      payload += StrCat(" ", request.session);
+      break;
+    case CommandKind::kStats:
+    case CommandKind::kPing:
+    case CommandKind::kShutdown:
+      break;
+  }
+  return payload;
+}
+
+StatusOr<Request> ParseRequest(const std::string& payload) {
+  std::string head;
+  std::string body;
+  SplitPayload(payload, head, body);
+  std::vector<std::string> tokens;
+  for (const std::string& token : StrSplit(head, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  if (tokens.empty()) return Status::InvalidArgument("empty command line");
+
+  Request request;
+  const std::string& command = tokens[0];
+  if (command == "OPEN") {
+    request.kind = CommandKind::kOpen;
+    const size_t space = head.find(' ');
+    if (space != std::string::npos) request.options = head.substr(space + 1);
+    return request;
+  }
+  if (command == "QUERY" || command == "CLOSE") {
+    request.kind =
+        command == "QUERY" ? CommandKind::kQuery : CommandKind::kClose;
+    COMPTX_ASSIGN_OR_RETURN(request.session, ParseSessionId(tokens));
+    return request;
+  }
+  if (command == "APPEND") {
+    request.kind = CommandKind::kAppend;
+    COMPTX_ASSIGN_OR_RETURN(request.session, ParseSessionId(tokens));
+    size_t line_number = 1;
+    size_t start = 0;
+    while (start <= body.size() && !body.empty()) {
+      size_t end = body.find('\n', start);
+      if (end == std::string::npos) end = body.size();
+      ++line_number;
+      if (end > start) {
+        auto event =
+            workload::ParseTraceEventLine(body.substr(start, end - start));
+        if (!event.ok()) {
+          return Status::InvalidArgument(StrCat("APPEND body line ",
+                                                line_number, ": ",
+                                                event.status().message()));
+        }
+        request.events.push_back(std::move(*event));
+      }
+      if (end >= body.size()) break;
+      start = end + 1;
+    }
+    return request;
+  }
+  if (command == "STATS") {
+    request.kind = CommandKind::kStats;
+    return request;
+  }
+  if (command == "PING") {
+    request.kind = CommandKind::kPing;
+    return request;
+  }
+  if (command == "SHUTDOWN") {
+    request.kind = CommandKind::kShutdown;
+    return request;
+  }
+  return Status::InvalidArgument(StrCat("unknown command '", command, "'"));
+}
+
+std::string FormatResponse(const Response& response) {
+  if (!response.ok) {
+    return StrCat("ERR ", response.error_code, " ", response.error_message);
+  }
+  std::string payload = "OK";
+  for (const auto& [key, value] : response.fields) {
+    payload += StrCat(" ", key, "=", value);
+  }
+  if (!response.body.empty()) payload += StrCat("\n", response.body);
+  return payload;
+}
+
+StatusOr<Response> ParseResponse(const std::string& payload) {
+  std::string head;
+  std::string body;
+  SplitPayload(payload, head, body);
+  Response response;
+  if (StartsWith(head, "ERR ")) {
+    response.ok = false;
+    const std::string rest = head.substr(4);
+    const size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      response.error_code = rest;
+    } else {
+      response.error_code = rest.substr(0, space);
+      response.error_message = rest.substr(space + 1);
+    }
+    return response;
+  }
+  if (head != "OK" && !StartsWith(head, "OK ")) {
+    return Status::InvalidArgument(StrCat("malformed response '", head, "'"));
+  }
+  response.ok = true;
+  for (const std::string& token : StrSplit(head, ' ')) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    response.fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  response.body = body;
+  return response;
+}
+
+Response OkResponse() {
+  Response response;
+  response.ok = true;
+  return response;
+}
+
+Response ErrorResponse(const std::string& code, const std::string& message) {
+  Response response;
+  response.ok = false;
+  response.error_code = code;
+  response.error_message = message;
+  return response;
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("write: ", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes.  `at_start` distinguishes clean EOF (peer
+/// closed between frames → NotFound) from truncation mid-frame.
+Status ReadAll(int fd, char* data, size_t size, bool at_start) {
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::read(fd, data + received, size - received);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("read: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (at_start && received == 0) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  std::string frame = StrCat(payload.size(), "\n");
+  frame += payload;
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+StatusOr<std::string> ReadFrame(int fd, size_t max_bytes) {
+  // Prefix: decimal digits then '\n', read byte by byte (the prefix is
+  // tiny; the payload below is read in one gulp).
+  std::string prefix;
+  bool at_start = true;
+  for (;;) {
+    char c = 0;
+    Status status = ReadAll(fd, &c, 1, at_start);
+    if (!status.ok()) return status;
+    at_start = false;
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || prefix.size() > 12) {
+      return Status::InvalidArgument("malformed frame length prefix");
+    }
+    prefix += c;
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument("malformed frame length prefix");
+  }
+  const uint64_t size = std::strtoull(prefix.c_str(), nullptr, 10);
+  if (size > max_bytes) {
+    return Status::OutOfRange(
+        StrCat("frame of ", size, " bytes exceeds the ", max_bytes,
+               "-byte limit"));
+  }
+  std::string payload(size, '\0');
+  if (size > 0) {
+    Status status = ReadAll(fd, payload.data(), payload.size(), false);
+    if (!status.ok()) return status;
+  }
+  return payload;
+}
+
+}  // namespace comptx::service

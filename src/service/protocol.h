@@ -1,0 +1,103 @@
+#ifndef COMPTX_SERVICE_PROTOCOL_H_
+#define COMPTX_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::service {
+
+/// comptx-serve wire protocol v1.
+///
+/// Transport: a stream socket (TCP or Unix).  Every message — request or
+/// response — is one length-prefixed frame:
+///
+///     <payload-byte-count as decimal ASCII> '\n' <payload>
+///
+/// The prefix makes the stream self-delimiting without escaping (payload
+/// bodies contain newlines), and keeping both the prefix and the payload
+/// textual keeps the protocol debuggable with netcat.  Frames above
+/// kMaxFrameBytes are rejected before the body is read (a malformed or
+/// hostile prefix cannot make the server allocate unboundedly).
+///
+/// Request payloads: a command line, then an optional body.
+///
+///     OPEN [key=value ...]        options: forgetting, epoch_interval,
+///                                 auto_prune, queue_capacity
+///     APPEND <session-id>         body: one trace event line per line
+///     QUERY <session-id>          drain barrier + verdict
+///     CLOSE <session-id>          drain + final verdict + free the slot
+///     STATS                       metrics snapshot
+///     PING                        liveness probe
+///     SHUTDOWN                    graceful drain, then the server exits
+///
+/// Response payloads:
+///
+///     OK [key=value ...]          first line; body lines follow for STATS
+///     ERR <code> <message>        codes: bad_request, not_found,
+///                                 session_limit, shutting_down, internal
+///
+/// APPEND acknowledges *enqueueing* (the events are certified
+/// asynchronously by the worker pool); QUERY and CLOSE wait for the
+/// session's queue to drain, so their accepted/rejected/certifiable
+/// fields describe every event appended before them.
+constexpr size_t kMaxFrameBytes = 4u << 20;
+
+enum class CommandKind : uint8_t {
+  kOpen,
+  kAppend,
+  kQuery,
+  kClose,
+  kStats,
+  kPing,
+  kShutdown,
+};
+
+const char* CommandKindToString(CommandKind kind);
+
+struct Request {
+  CommandKind kind = CommandKind::kPing;
+  uint64_t session = 0;               // APPEND / QUERY / CLOSE
+  std::string options;                // OPEN: "key=value ..." verbatim
+  std::vector<workload::TraceEvent> events;  // APPEND body
+};
+
+/// A parsed response.  `ok` distinguishes OK from ERR; `fields` holds the
+/// OK key=values, `body` the remaining lines (STATS), and error_code /
+/// error_message the ERR parts.
+struct Response {
+  bool ok = false;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string body;
+  std::string error_code;
+  std::string error_message;
+
+  /// The value of `key` in fields, or empty.
+  std::string Field(const std::string& key) const;
+  /// Field parsed as uint64; `fallback` when absent or malformed.
+  uint64_t FieldInt(const std::string& key, uint64_t fallback = 0) const;
+};
+
+std::string FormatRequest(const Request& request);
+StatusOr<Request> ParseRequest(const std::string& payload);
+
+std::string FormatResponse(const Response& response);
+StatusOr<Response> ParseResponse(const std::string& payload);
+
+/// Convenience builders.
+Response OkResponse();
+Response ErrorResponse(const std::string& code, const std::string& message);
+
+/// Blocking frame I/O on a connected socket.  WriteFrame sends prefix and
+/// payload; ReadFrame returns the payload, NotFound on clean EOF at a
+/// frame boundary, and an error for truncation, oversize or a malformed
+/// prefix.
+Status WriteFrame(int fd, const std::string& payload);
+StatusOr<std::string> ReadFrame(int fd, size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_PROTOCOL_H_

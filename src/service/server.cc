@@ -1,0 +1,401 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// Maps a Status to the wire error code.
+const char* ErrorCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kResourceExhausted:
+      return "session_limit";
+    case StatusCode::kInternal:
+      return "internal";
+    default:
+      return "bad_request";
+  }
+}
+
+Response StatusResponse(const Status& status) {
+  return ErrorResponse(ErrorCode(status), status.message());
+}
+
+void AppendVerdictFields(const SessionVerdict& verdict, Response& response) {
+  response.fields.emplace_back("session", StrCat(verdict.session));
+  response.fields.emplace_back("certifiable",
+                               verdict.certifiable ? "1" : "0");
+  response.fields.emplace_back("order", StrCat(verdict.order));
+  response.fields.emplace_back("accepted", StrCat(verdict.events_accepted));
+  response.fields.emplace_back("rejected", StrCat(verdict.events_rejected));
+  // The failure diagnosis contains spaces, so it travels in the body.
+  if (!verdict.failure.empty()) response.body = verdict.failure;
+}
+
+}  // namespace
+
+CertificationServer::CertificationServer(const ServerOptions& options)
+    : options_(options),
+      sessions_(options.max_sessions, &metrics_),
+      pool_(std::make_unique<ThreadPool>(std::max<size_t>(1, options.workers))) {
+  const size_t workers = std::max<size_t>(1, options_.workers);
+  pool_host_ = std::thread([this, workers] {
+    pool_->ParallelFor(workers, [this](size_t) { WorkerLoop(); });
+  });
+  if (options_.idle_timeout_ms > 0 || options_.stats_interval_ms > 0) {
+    ticker_ = std::thread([this] { TickerLoop(); });
+  }
+}
+
+CertificationServer::~CertificationServer() { Shutdown(); }
+
+void CertificationServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Session> session;
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      run_cv_.wait(lock,
+                   [this] { return stop_workers_ || !run_queue_.empty(); });
+      if (run_queue_.empty()) return;  // stop_workers_ and nothing left
+      session = std::move(run_queue_.front());
+      run_queue_.pop_front();
+    }
+    if (session->ProcessBatch(options_.batch_size)) {
+      ScheduleSession(std::move(session));
+    }
+  }
+}
+
+void CertificationServer::ScheduleSession(std::shared_ptr<Session> session) {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  run_queue_.push_back(std::move(session));
+  run_cv_.notify_one();
+}
+
+void CertificationServer::TickerLoop() {
+  const auto tick = std::chrono::milliseconds(
+      std::max<uint64_t>(10, std::min(options_.idle_timeout_ms > 0
+                                          ? options_.idle_timeout_ms
+                                          : options_.stats_interval_ms,
+                                      options_.stats_interval_ms > 0
+                                          ? options_.stats_interval_ms
+                                          : options_.idle_timeout_ms)));
+  auto last_stats = Clock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(ticker_mu_);
+      ticker_cv_.wait_for(lock, tick, [this] { return stop_ticker_; });
+      if (stop_ticker_) return;
+    }
+    if (options_.idle_timeout_ms > 0) EvictIdleNow();
+    if (options_.stats_interval_ms > 0 &&
+        MicrosSince(last_stats) / 1000 >= options_.stats_interval_ms) {
+      last_stats = Clock::now();
+      COMPTX_LOG(Info) << "stats " << metrics_.RenderLine();
+    }
+  }
+}
+
+size_t CertificationServer::EvictIdleNow() {
+  if (options_.idle_timeout_ms == 0) return 0;
+  const auto cutoff =
+      Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+  const std::vector<std::shared_ptr<Session>> evicted =
+      sessions_.EvictIdle(cutoff);
+  for (const std::shared_ptr<Session>& session : evicted) {
+    session->BeginClose();
+    COMPTX_LOG(Debug) << "evicted idle session " << session->id();
+  }
+  return evicted.size();
+}
+
+Response CertificationServer::Handle(const Request& request) {
+  const bool mutating = request.kind == CommandKind::kOpen ||
+                        request.kind == CommandKind::kAppend ||
+                        request.kind == CommandKind::kQuery ||
+                        request.kind == CommandKind::kClose;
+  if (mutating && ShuttingDown()) {
+    return ErrorResponse("shutting_down", "server is draining");
+  }
+  switch (request.kind) {
+    case CommandKind::kOpen:
+      return HandleOpen(request);
+    case CommandKind::kAppend:
+      return HandleAppend(request);
+    case CommandKind::kQuery:
+      return HandleQueryOrClose(request, /*close=*/false);
+    case CommandKind::kClose:
+      return HandleQueryOrClose(request, /*close=*/true);
+    case CommandKind::kStats:
+      return HandleStats();
+    case CommandKind::kPing: {
+      Response response = OkResponse();
+      response.fields.emplace_back("pong", "1");
+      return response;
+    }
+    case CommandKind::kShutdown: {
+      RequestShutdown();
+      return OkResponse();
+    }
+  }
+  return ErrorResponse("bad_request", "unknown command");
+}
+
+Response CertificationServer::HandleOpen(const Request& request) {
+  auto options = ParseSessionOptions(request.options, options_.session);
+  if (!options.ok()) {
+    metrics_.protocol_errors.Increment();
+    return StatusResponse(options.status());
+  }
+  auto session = sessions_.Open(*options);
+  if (!session.ok()) return StatusResponse(session.status());
+  Response response = OkResponse();
+  response.fields.emplace_back("session", StrCat((*session)->id()));
+  return response;
+}
+
+Response CertificationServer::HandleAppend(const Request& request) {
+  const auto start = Clock::now();
+  auto session = sessions_.Find(request.session);
+  if (!session.ok()) return StatusResponse(session.status());
+  bool needs_scheduling = false;
+  const size_t count = request.events.size();
+  Status status = (*session)->Enqueue(request.events, needs_scheduling);
+  if (needs_scheduling) ScheduleSession(*session);
+  if (!status.ok()) return StatusResponse(status);
+  metrics_.append_batches.Increment();
+  metrics_.append_latency.Record(MicrosSince(start));
+  Response response = OkResponse();
+  response.fields.emplace_back("queued", StrCat(count));
+  return response;
+}
+
+Response CertificationServer::HandleQueryOrClose(const Request& request,
+                                                 bool close) {
+  const auto start = Clock::now();
+  StatusOr<std::shared_ptr<Session>> session =
+      close ? sessions_.Remove(request.session)
+            : sessions_.Find(request.session);
+  if (!session.ok()) return StatusResponse(session.status());
+  if (close) (*session)->BeginClose();
+  (*session)->WaitDrained();
+  const SessionVerdict verdict = (*session)->Verdict();
+  metrics_.verdict_queries.Increment();
+  metrics_.verdict_latency.Record(MicrosSince(start));
+  Response response = OkResponse();
+  AppendVerdictFields(verdict, response);
+  return response;
+}
+
+Response CertificationServer::HandleStats() {
+  Response response = OkResponse();
+  response.body = metrics_.RenderText();
+  return response;
+}
+
+StatusOr<uint64_t> CertificationServer::Open(const std::string& options) {
+  Request request;
+  request.kind = CommandKind::kOpen;
+  request.options = options;
+  const Response response = Handle(request);
+  if (!response.ok) {
+    return Status::Internal(
+        StrCat(response.error_code, ": ", response.error_message));
+  }
+  return response.FieldInt("session");
+}
+
+Status CertificationServer::Append(uint64_t session,
+                                   std::vector<workload::TraceEvent> events) {
+  Request request;
+  request.kind = CommandKind::kAppend;
+  request.session = session;
+  request.events = std::move(events);
+  const Response response = Handle(request);
+  if (!response.ok) {
+    return Status::Internal(
+        StrCat(response.error_code, ": ", response.error_message));
+  }
+  return Status::OK();
+}
+
+StatusOr<SessionVerdict> CertificationServer::Query(uint64_t session) {
+  Request request;
+  request.kind = CommandKind::kQuery;
+  request.session = session;
+  const Response response = Handle(request);
+  if (!response.ok) {
+    return Status::Internal(
+        StrCat(response.error_code, ": ", response.error_message));
+  }
+  SessionVerdict verdict;
+  verdict.session = response.FieldInt("session");
+  verdict.certifiable = response.FieldInt("certifiable") == 1;
+  verdict.order = static_cast<uint32_t>(response.FieldInt("order"));
+  verdict.events_accepted = response.FieldInt("accepted");
+  verdict.events_rejected = response.FieldInt("rejected");
+  verdict.failure = response.body;
+  return verdict;
+}
+
+StatusOr<SessionVerdict> CertificationServer::Close(uint64_t session) {
+  Request request;
+  request.kind = CommandKind::kClose;
+  request.session = session;
+  const Response response = Handle(request);
+  if (!response.ok) {
+    return Status::Internal(
+        StrCat(response.error_code, ": ", response.error_message));
+  }
+  SessionVerdict verdict;
+  verdict.session = response.FieldInt("session");
+  verdict.certifiable = response.FieldInt("certifiable") == 1;
+  verdict.order = static_cast<uint32_t>(response.FieldInt("order"));
+  verdict.events_accepted = response.FieldInt("accepted");
+  verdict.events_rejected = response.FieldInt("rejected");
+  verdict.failure = response.body;
+  return verdict;
+}
+
+// ---- network front end ----------------------------------------------
+
+Status CertificationServer::Listen(Endpoint& endpoint) {
+  auto listener = service::Listen(endpoint);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  COMPTX_LOG(Info) << "listening on " << endpoint.ToString();
+  return Status::OK();
+}
+
+void CertificationServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) return;  // listener closed: shutdown
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    if (ShuttingDown()) return;  // drop the late connection on the floor
+    conn_sockets_.push_back(socket);
+    connections_.emplace_back(
+        [this, socket = std::move(socket)] { ConnectionLoop(*socket); });
+  }
+}
+
+void CertificationServer::ConnectionLoop(Socket& socket) {
+  for (;;) {
+    auto payload = ReadFrame(socket.fd());
+    if (!payload.ok()) {
+      // NotFound = clean EOF.  Anything else is a framing violation worth
+      // one best-effort diagnostic before hanging up.
+      if (payload.status().code() != StatusCode::kNotFound) {
+        metrics_.protocol_errors.Increment();
+        (void)WriteFrame(socket.fd(),
+                         FormatResponse(ErrorResponse(
+                             "bad_request", payload.status().message())));
+      }
+      return;
+    }
+    auto request = ParseRequest(*payload);
+    Response response;
+    if (!request.ok()) {
+      metrics_.protocol_errors.Increment();
+      response = ErrorResponse("bad_request", request.status().message());
+    } else {
+      response = Handle(*request);
+    }
+    if (!WriteFrame(socket.fd(), FormatResponse(response)).ok()) return;
+  }
+}
+
+// ---- shutdown --------------------------------------------------------
+
+bool CertificationServer::ShuttingDown() const {
+  return shutting_down_.load(std::memory_order_relaxed);
+}
+
+void CertificationServer::RequestShutdown() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  shutting_down_.store(true, std::memory_order_relaxed);
+  shutdown_cv_.notify_all();
+}
+
+void CertificationServer::WaitShutdown() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  shutdown_cv_.wait(lock, [this] { return ShuttingDown(); });
+}
+
+void CertificationServer::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    shutting_down_.store(true, std::memory_order_relaxed);
+    shutdown_cv_.notify_all();
+    if (shutdown_started_) {
+      shutdown_cv_.wait(lock, [this] { return shutdown_complete_; });
+      return;
+    }
+    shutdown_started_ = true;
+  }
+
+  // 1. Drain every session through the still-running workers.  BeginClose
+  //    fails producers blocked in backpressure, so no new events can land
+  //    after the drain barrier passes.
+  for (const std::shared_ptr<Session>& session : sessions_.All()) {
+    session->BeginClose();
+    session->WaitDrained();
+  }
+
+  // 2. Stop the ticker.
+  {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    stop_ticker_ = true;
+    ticker_cv_.notify_all();
+  }
+  if (ticker_.joinable()) ticker_.join();
+
+  // 3. Stop the workers (their run queue is empty after the drain).
+  {
+    std::unique_lock<std::mutex> lock(run_mu_);
+    stop_workers_ = true;
+    run_cv_.notify_all();
+  }
+  if (pool_host_.joinable()) pool_host_.join();
+
+  // 4. Tear down the network: closing the listener wakes the acceptor,
+  //    closing each connection socket wakes its handler's blocking read.
+  listener_.Close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  std::vector<std::shared_ptr<Socket>> sockets;
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+    sockets.swap(conn_sockets_);
+  }
+  for (const std::shared_ptr<Socket>& socket : sockets) socket->Close();
+  for (std::thread& thread : connections) thread.join();
+
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    shutdown_complete_ = true;
+    shutdown_cv_.notify_all();
+  }
+  COMPTX_LOG(Info) << "shut down cleanly; " << metrics_.RenderLine();
+}
+
+}  // namespace comptx::service

@@ -1,0 +1,160 @@
+#ifndef COMPTX_SERVICE_SERVER_H_
+#define COMPTX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/session_manager.h"
+#include "service/socket.h"
+#include "util/thread_pool.h"
+
+namespace comptx::service {
+
+/// Server-wide knobs (per-session knobs live in SessionOptions).
+struct ServerOptions {
+  /// Certification workers.  Each drains one session at a time, so this
+  /// bounds how many sessions certify concurrently.
+  size_t workers = DefaultThreadCount();
+
+  /// Admission control: OPEN fails once this many sessions are live.
+  size_t max_sessions = 1024;
+
+  /// Defaults for OPEN (overridable per session via key=value options).
+  SessionOptions session;
+
+  /// Events a worker ingests per run-queue slice.  Small enough to keep
+  /// many sessions advancing fairly, large enough to amortize the queue
+  /// hand-off.
+  size_t batch_size = 256;
+
+  /// Evict sessions with no traffic for this long (0 disables).  Evicted
+  /// ids answer not_found afterwards, exactly like a closed session.
+  uint64_t idle_timeout_ms = 0;
+
+  /// Log one metrics line at this interval (0 disables).
+  uint64_t stats_interval_ms = 0;
+};
+
+/// The multi-session certification server.
+///
+/// Layering: Handle() is the complete service — the wire front end
+/// (Listen + Start) just moves frames between sockets and Handle, and the
+/// in-process tests, the stress suite and bench_service call Handle
+/// directly.  Inside, an OPEN admits a session (SessionManager), APPEND
+/// enqueues events into the session's bounded queue and hands the session
+/// to the run queue, and the worker pool (util/thread_pool hosting
+/// `workers` resident loops) drains scheduled sessions batch by batch
+/// through their online certifiers.  QUERY/CLOSE are drain barriers: they
+/// wait for the session's queue to empty, then read the verdict.
+///
+/// Shutdown() is graceful: new work is refused, every live session drains
+/// through the still-running workers, then the workers, ticker and
+/// network threads stop.  Safe to call from any thread (the SHUTDOWN
+/// command triggers it from a connection handler) and idempotent.
+class CertificationServer {
+ public:
+  explicit CertificationServer(const ServerOptions& options = {});
+  ~CertificationServer();
+
+  CertificationServer(const CertificationServer&) = delete;
+  CertificationServer& operator=(const CertificationServer&) = delete;
+
+  // ---- in-process API ----------------------------------------------
+  Response Handle(const Request& request);
+
+  /// Typed conveniences over Handle (used by tests and the bench).
+  StatusOr<uint64_t> Open(const std::string& options = "");
+  Status Append(uint64_t session, std::vector<workload::TraceEvent> events);
+  StatusOr<SessionVerdict> Query(uint64_t session);
+  StatusOr<SessionVerdict> Close(uint64_t session);
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServerOptions& options() const { return options_; }
+  size_t SessionCount() const { return sessions_.Count(); }
+
+  /// Runs one idle-eviction sweep now (the ticker calls this
+  /// periodically; tests call it directly).  Returns evicted sessions.
+  size_t EvictIdleNow();
+
+  // ---- network front end -------------------------------------------
+  /// Binds and starts the acceptor; endpoint.port carries the bound port
+  /// back for port 0.  Call at most once, before Shutdown.
+  Status Listen(Endpoint& endpoint);
+
+  /// Marks the server as draining (new OPEN/APPEND/QUERY/CLOSE are
+  /// refused) and wakes WaitShutdown.  The SHUTDOWN command calls this —
+  /// not Shutdown() directly, which would join the very connection thread
+  /// handling the command.
+  void RequestShutdown();
+
+  /// Graceful drain + full teardown; returns once everything stopped.
+  /// Idempotent; concurrent callers block until the teardown finishes.
+  void Shutdown();
+
+  /// Blocks until a shutdown was requested (the daemon's main thread
+  /// parks here, then runs Shutdown()).
+  void WaitShutdown();
+
+  bool ShuttingDown() const;
+
+ private:
+  void WorkerLoop();
+  void TickerLoop();
+  void AcceptLoop();
+  void ConnectionLoop(Socket& socket);
+  void ScheduleSession(std::shared_ptr<Session> session);
+
+  Response HandleOpen(const Request& request);
+  Response HandleAppend(const Request& request);
+  Response HandleQueryOrClose(const Request& request, bool close);
+  Response HandleStats();
+
+  const ServerOptions options_;
+  ServiceMetrics metrics_;
+  SessionManager sessions_;
+
+  // Run queue: sessions with pending events, each present at most once
+  // (Session::scheduled_).  Workers block here when the service is idle.
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  std::deque<std::shared_ptr<Session>> run_queue_;
+  bool stop_workers_ = false;
+
+  // The worker pool: a util/thread_pool whose ParallelFor hosts one
+  // resident WorkerLoop per worker; pool_host_ is the caller thread that
+  // parks inside ParallelFor until shutdown.
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread pool_host_;
+
+  std::thread ticker_;  // idle eviction + periodic stats line
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool stop_ticker_ = false;
+
+  // Network front end.  conn_sockets_ lets Shutdown close every live
+  // connection (Socket::Close is thread-safe) to unblock its handler.
+  Socket listener_;
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<std::shared_ptr<Socket>> conn_sockets_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable shutdown_cv_;
+  std::atomic<bool> shutting_down_{false};
+  bool shutdown_started_ = false;
+  bool shutdown_complete_ = false;
+};
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_SERVER_H_

@@ -1,0 +1,255 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+namespace {
+
+const char* StepName(online::OnlineFailure::Step step) {
+  switch (step) {
+    case online::OnlineFailure::Step::kCalculation:
+      return "calculation";
+    case online::OnlineFailure::Step::kConflictConsistency:
+      return "conflict consistency";
+  }
+  return "?";
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || errno != 0 || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(
+        StrCat("option ", key, " needs a non-negative integer, got '", value,
+               "'"));
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+StatusOr<bool> ParseBool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  return Status::InvalidArgument(
+      StrCat("option ", key, " needs 0/1/true/false, got '", value, "'"));
+}
+
+}  // namespace
+
+StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
+                                             const SessionOptions& defaults) {
+  SessionOptions options = defaults;
+  for (const std::string& token : StrSplit(text, ' ')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("OPEN option '", token, "' is not key=value"));
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "forgetting") {
+      COMPTX_ASSIGN_OR_RETURN(options.certifier.forgetting,
+                              ParseBool(key, value));
+    } else if (key == "auto_prune") {
+      COMPTX_ASSIGN_OR_RETURN(options.certifier.auto_prune,
+                              ParseBool(key, value));
+    } else if (key == "epoch_interval") {
+      COMPTX_ASSIGN_OR_RETURN(uint64_t parsed, ParseUint(key, value));
+      options.certifier.epoch_interval = static_cast<uint32_t>(parsed);
+    } else if (key == "queue_capacity") {
+      COMPTX_ASSIGN_OR_RETURN(uint64_t parsed, ParseUint(key, value));
+      if (parsed == 0) {
+        return Status::InvalidArgument("queue_capacity must be positive");
+      }
+      options.queue_capacity = static_cast<size_t>(parsed);
+    } else {
+      return Status::InvalidArgument(StrCat("unknown OPEN option '", key, "'"));
+    }
+  }
+  return options;
+}
+
+Session::Session(uint64_t id, const SessionOptions& options,
+                 ServiceMetrics* metrics)
+    : id_(id),
+      queue_capacity_(options.queue_capacity),
+      metrics_(metrics),
+      certifier_(options.certifier),
+      last_activity_(std::chrono::steady_clock::now()) {}
+
+Status Session::Enqueue(std::vector<workload::TraceEvent> events,
+                        bool& needs_scheduling) {
+  needs_scheduling = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  last_activity_ = std::chrono::steady_clock::now();
+  for (workload::TraceEvent& event : events) {
+    while (queue_.size() >= queue_capacity_ && !closing_) {
+      metrics_->backpressure_waits.Increment();
+      space_cv_.wait(lock);
+    }
+    if (closing_) {
+      return Status::FailedPrecondition(
+          StrCat("session ", id_, " is closing"));
+    }
+    queue_.push_back(std::move(event));
+    metrics_->events_enqueued.Increment();
+    metrics_->queue_depth.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!scheduled_ && !queue_.empty()) {
+    scheduled_ = true;
+    needs_scheduling = true;
+  }
+  last_activity_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+bool Session::ProcessBatch(size_t max_events) {
+  std::vector<workload::TraceEvent> batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t take = std::min(max_events, queue_.size());
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+
+  // Ingest outside the session lock: the scheduled_ flag guarantees this
+  // is the only worker draining, so stream order is preserved, and
+  // producers keep enqueueing (into the freed capacity) concurrently.
+  uint64_t rejected = 0;
+  for (const workload::TraceEvent& event : batch) {
+    if (!certifier_.Ingest(event).ok()) ++rejected;
+  }
+  metrics_->events_processed.Add(batch.size());
+  if (rejected > 0) metrics_->events_rejected.Add(rejected);
+  metrics_->queue_depth.fetch_sub(static_cast<int64_t>(batch.size()),
+                                  std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.notify_all();
+  if (queue_.empty()) {
+    scheduled_ = false;
+    drain_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void Session::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !scheduled_; });
+  last_activity_ = std::chrono::steady_clock::now();
+}
+
+void Session::BeginClose() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closing_ = true;
+  space_cv_.notify_all();
+}
+
+SessionVerdict Session::Verdict() const {
+  const online::CertifierVerdict verdict = certifier_.Verdict();
+  const online::CertifierStats stats = certifier_.Stats();
+  SessionVerdict out;
+  out.session = id_;
+  out.certifiable = verdict.certifiable;
+  out.order = verdict.order;
+  out.events_accepted = stats.events_accepted;
+  out.events_rejected = stats.events_rejected;
+  if (!verdict.certifiable && verdict.failure.has_value()) {
+    out.failure = StrCat("level ", verdict.failure->level, " ",
+                         StepName(verdict.failure->step), ": ",
+                         verdict.failure->description);
+  }
+  return out;
+}
+
+size_t Session::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool Session::IdleSince(std::chrono::steady_clock::time_point cutoff) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.empty() && !scheduled_ && !closing_ && last_activity_ < cutoff;
+}
+
+SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics)
+    : max_sessions_(max_sessions), metrics_(metrics) {}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Open(
+    const SessionOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        StrCat("session limit of ", max_sessions_, " reached"));
+  }
+  const uint64_t id = next_id_++;
+  auto session = std::make_shared<Session>(id, options, metrics_);
+  sessions_.emplace(id, session);
+  metrics_->sessions_opened.Increment();
+  metrics_->active_sessions.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Find(uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no session ", id));
+  }
+  return it->second;
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Remove(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrCat("no session ", id));
+  }
+  std::shared_ptr<Session> session = std::move(it->second);
+  sessions_.erase(it);
+  metrics_->sessions_closed.Increment();
+  metrics_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
+  return session;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::EvictIdle(
+    std::chrono::steady_clock::time_point cutoff) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> evicted;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->IdleSince(cutoff)) {
+      evicted.push_back(it->second);
+      it = sessions_.erase(it);
+      metrics_->sessions_evicted.Increment();
+      metrics_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::All() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> all;
+  all.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) all.push_back(session);
+  return all;
+}
+
+size_t SessionManager::Count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace comptx::service

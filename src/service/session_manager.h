@@ -1,0 +1,137 @@
+#ifndef COMPTX_SERVICE_SESSION_MANAGER_H_
+#define COMPTX_SERVICE_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "online/certifier.h"
+#include "service/metrics.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::service {
+
+/// Per-session knobs, settable per OPEN via key=value options.
+struct SessionOptions {
+  online::CertifierOptions certifier;
+
+  /// Bounded event queue: producers (connection handlers) block once this
+  /// many events are waiting, which is the service's backpressure — a
+  /// client streaming faster than the workers certify is slowed to the
+  /// certification rate instead of growing the heap.
+  size_t queue_capacity = 4096;
+};
+
+/// Parses "key=value ..." OPEN options (forgetting, epoch_interval,
+/// auto_prune, queue_capacity) over `defaults`.
+StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
+                                             const SessionOptions& defaults);
+
+/// Verdict + lifetime counters returned by QUERY / CLOSE.
+struct SessionVerdict {
+  uint64_t session = 0;
+  bool certifiable = false;
+  uint32_t order = 0;
+  uint64_t events_accepted = 0;
+  uint64_t events_rejected = 0;
+  std::string failure;  // empty while certifiable
+};
+
+/// One certification session: an online::Certifier behind a bounded event
+/// queue.
+///
+/// Concurrency protocol: any number of producers call Enqueue; exactly
+/// one worker at a time drains the queue (the `scheduled_` flag hands a
+/// session to at most one worker; the session manager's run queue never
+/// holds a session twice).  Verdict readers use WaitDrained as a barrier:
+/// it returns once every event enqueued before the call has been ingested,
+/// so a QUERY observes all of the client's prior APPENDs.
+class Session {
+ public:
+  Session(uint64_t id, const SessionOptions& options, ServiceMetrics* metrics);
+
+  uint64_t id() const { return id_; }
+
+  /// Enqueues `events`, blocking while the queue is full (backpressure).
+  /// Sets `needs_scheduling` when the caller must hand the session to the
+  /// worker run queue (it was idle).  Fails once the session is closing.
+  Status Enqueue(std::vector<workload::TraceEvent> events,
+                 bool& needs_scheduling);
+
+  /// Worker side: ingests up to `max_events` queued events.  Returns true
+  /// when events remain (the worker re-schedules the session), false when
+  /// the queue drained (the session left the run queue).
+  bool ProcessBatch(size_t max_events);
+
+  /// Blocks until the queue is empty and no worker is mid-batch.
+  void WaitDrained();
+
+  /// Marks the session closing: new Enqueues fail, blocked producers wake
+  /// up and fail.  Queued events still drain (graceful).
+  void BeginClose();
+
+  /// Current verdict; meaningful after WaitDrained.
+  SessionVerdict Verdict() const;
+
+  /// Queue depth + idleness for eviction: idle = empty queue, no worker
+  /// attached, and no activity for `idle_for`.
+  size_t QueueDepth() const;
+  bool IdleSince(std::chrono::steady_clock::time_point cutoff) const;
+
+ private:
+  const uint64_t id_;
+  const size_t queue_capacity_;
+  ServiceMetrics* const metrics_;
+  online::Certifier certifier_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;  // producers wait for queue room
+  std::condition_variable drain_cv_;  // barriers wait for empty + idle
+  std::deque<workload::TraceEvent> queue_;
+  bool scheduled_ = false;  // in the run queue or being processed
+  bool closing_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+/// Owns the session table: admission control (max_sessions), id
+/// assignment, lookup, close and idle eviction.  The worker run queue
+/// lives in the server, not here — the manager is purely the registry.
+class SessionManager {
+ public:
+  SessionManager(size_t max_sessions, ServiceMetrics* metrics);
+
+  /// Admission control: fails with ResourceExhausted at max_sessions.
+  StatusOr<std::shared_ptr<Session>> Open(const SessionOptions& options);
+
+  StatusOr<std::shared_ptr<Session>> Find(uint64_t id) const;
+
+  /// Removes the session from the table (the shared_ptr keeps it alive
+  /// for in-flight workers).  NotFound when absent.
+  StatusOr<std::shared_ptr<Session>> Remove(uint64_t id);
+
+  /// Sessions idle since `cutoff`, removed from the table for eviction.
+  std::vector<std::shared_ptr<Session>> EvictIdle(
+      std::chrono::steady_clock::time_point cutoff);
+
+  /// Every live session (shutdown drains them all).
+  std::vector<std::shared_ptr<Session>> All() const;
+
+  size_t Count() const;
+
+ private:
+  const size_t max_sessions_;
+  ServiceMetrics* const metrics_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_SESSION_MANAGER_H_

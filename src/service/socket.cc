@@ -1,0 +1,133 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace comptx::service {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+}  // namespace
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+std::string Endpoint::ToString() const {
+  if (!unix_path.empty()) return StrCat("unix:", unix_path);
+  return StrCat(host, ":", port);
+}
+
+StatusOr<Socket> Listen(Endpoint& endpoint) {
+  if (!endpoint.unix_path.empty()) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) return Errno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          StrCat("unix path too long: ", endpoint.unix_path));
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(endpoint.unix_path.c_str());
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return Errno("bind");
+    }
+    if (::listen(sock.fd(), SOMAXCONN) < 0) return Errno("listen");
+    return sock;
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(StrCat("bad host '", endpoint.host, "'"));
+  }
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(sock.fd(), SOMAXCONN) < 0) return Errno("listen");
+  if (endpoint.port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      return Errno("getsockname");
+    }
+    endpoint.port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+StatusOr<Socket> Accept(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL: the listener was closed out from under us, the
+    // server's signal to stop accepting.
+    return Status::NotFound(StrCat("accept: ", std::strerror(errno)));
+  }
+}
+
+StatusOr<Socket> Connect(const Endpoint& endpoint) {
+  if (!endpoint.unix_path.empty()) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) return Errno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          StrCat("unix path too long: ", endpoint.unix_path));
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      return Errno("connect");
+    }
+    return sock;
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(StrCat("bad host '", endpoint.host, "'"));
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("connect");
+  }
+  // The protocol is request/response with small frames; Nagle only adds
+  // latency here.
+  const int enable = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return sock;
+}
+
+}  // namespace comptx::service

@@ -1,0 +1,67 @@
+#ifndef COMPTX_SERVICE_SOCKET_H_
+#define COMPTX_SERVICE_SOCKET_H_
+
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "util/status_or.h"
+
+namespace comptx::service {
+
+/// Owns a POSIX socket descriptor.  Move-only; Close() is idempotent,
+/// thread-safe (the descriptor is swapped out atomically, so a concurrent
+/// Close from the server's shutdown path and the owner's destructor close
+/// it exactly once) and shuts the socket down first so a thread blocked
+/// in read() on the same descriptor wakes up.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+  bool valid() const { return fd() >= 0; }
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Where a server listens / a client connects.  TCP when `unix_path` is
+/// empty (host defaults to 127.0.0.1, port 0 asks the kernel for an
+/// ephemeral port), a Unix stream socket otherwise.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string unix_path;
+
+  std::string ToString() const;
+};
+
+/// Binds and listens.  On TCP with port 0 the chosen port is written back
+/// into `endpoint.port`.  An existing socket file at a Unix path is
+/// unlinked first (stale files from a killed server).
+StatusOr<Socket> Listen(Endpoint& endpoint);
+
+/// Accepts one connection; NotFound once the listen socket was closed.
+StatusOr<Socket> Accept(const Socket& listener);
+
+/// Connects to `endpoint`.
+StatusOr<Socket> Connect(const Endpoint& endpoint);
+
+}  // namespace comptx::service
+
+#endif  // COMPTX_SERVICE_SOCKET_H_

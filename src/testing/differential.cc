@@ -82,6 +82,12 @@ void CheckOnline(const CompositeSystem& cs, const CompCResult& batch,
          StrCat("trace serialization failed: ", events.status().message())});
     return;
   }
+  // One Certifier per trace is the supported granularity, not a missed
+  // reuse: a certifier is a single-execution session (its composite
+  // system is append-only, so feeding it a second trace would certify the
+  // union).  Long-lived multi-trace serving reuses contexts one level up
+  // instead — service::SessionManager keeps one session per execution and
+  // reuses the server's queues, workers and metrics across all of them.
   online::Certifier certifier;
   std::vector<bool> online_verdicts;
   online_verdicts.reserve(events->size());

@@ -1,14 +1,130 @@
 #ifndef COMPTX_UTIL_LOGGING_H_
 #define COMPTX_UTIL_LOGGING_H_
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <cstring>
+#include <ctime>
+#include <mutex>
 #include <sstream>
+#include <string>
 
-namespace comptx::internal_logging {
+namespace comptx {
+
+/// Log severities, ordered so that a numeric comparison implements the
+/// filter: a message is emitted iff its severity >= the process minimum.
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+namespace internal_logging {
+
+inline const char* SeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarn:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+/// The process-wide minimum severity, parsed once from COMPTX_LOG_LEVEL
+/// (debug | info | warn | error, or the numeric values 0-3).  Unset or
+/// unrecognized values default to info.
+inline LogSeverity MinLogSeverity() {
+  static const LogSeverity min_severity = [] {
+    const char* level = std::getenv("COMPTX_LOG_LEVEL");
+    if (level == nullptr) return LogSeverity::kInfo;
+    if (std::strcmp(level, "debug") == 0 || std::strcmp(level, "0") == 0) {
+      return LogSeverity::kDebug;
+    }
+    if (std::strcmp(level, "info") == 0 || std::strcmp(level, "1") == 0) {
+      return LogSeverity::kInfo;
+    }
+    if (std::strcmp(level, "warn") == 0 || std::strcmp(level, "2") == 0) {
+      return LogSeverity::kWarn;
+    }
+    if (std::strcmp(level, "error") == 0 || std::strcmp(level, "3") == 0) {
+      return LogSeverity::kError;
+    }
+    return LogSeverity::kInfo;
+  }();
+  return min_severity;
+}
+
+/// Serializes whole formatted lines across threads.  Every emitter
+/// (COMPTX_LOG and the fatal CHECK path) formats its complete line into a
+/// private buffer first and performs exactly one locked fwrite, so lines
+/// from concurrent threads never tear or interleave mid-line.
+inline std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+inline void EmitLogLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+/// Accumulates one log line and emits it atomically on destruction.
+/// Instantiated only via COMPTX_LOG, which has already applied the
+/// severity filter (a suppressed message never constructs this object, so
+/// its streamed arguments are never evaluated).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now.time_since_epoch())
+                            .count() %
+                        1000;
+    std::tm tm_buf{};
+    localtime_r(&seconds, &tm_buf);
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                  tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+    const char* basename = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') basename = p + 1;
+    }
+    stream_ << SeverityLetter(severity) << " " << stamp << " " << basename
+            << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    EmitLogLine(stream_.str());
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// Accumulates a fatal message and aborts the process when destroyed.
-/// Used only by the COMPTX_CHECK* macros below; never instantiate directly.
+/// Used only by the COMPTX_CHECK* macros below; never instantiate
+/// directly.  The message is emitted as a single write through the same
+/// mutex as COMPTX_LOG, so a dying thread cannot tear concurrent log
+/// lines.
 class FatalLogMessage {
  public:
   FatalLogMessage(const char* file, int line, const char* condition) {
@@ -19,7 +135,8 @@ class FatalLogMessage {
   FatalLogMessage& operator=(const FatalLogMessage&) = delete;
 
   ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    stream_ << "\n";
+    EmitLogLine(stream_.str());
     std::abort();
   }
 
@@ -33,16 +150,35 @@ class FatalLogMessage {
   std::ostringstream stream_;
 };
 
-/// Lowers a streamed FatalLogMessage expression to void so it can sit in
-/// the false branch of the COMPTX_CHECK ternary.  `&` binds looser than
-/// `<<`, so all streamed values reach the message first.
+/// Lowers a streamed message expression to void so it can sit in the
+/// false branch of the COMPTX_CHECK / COMPTX_LOG ternaries.  `&` binds
+/// looser than `<<`, so all streamed values reach the message first.
 class Voidify {
  public:
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
   void operator&(FatalLogMessage&) {}
   void operator&(FatalLogMessage&&) {}
 };
 
-}  // namespace comptx::internal_logging
+}  // namespace internal_logging
+}  // namespace comptx
+
+/// Writes one timestamped diagnostic line to stderr:
+///   COMPTX_LOG(Info) << "accepted " << n << " events";
+/// Severities: Debug, Info, Warn, Error.  Messages below the process
+/// minimum (COMPTX_LOG_LEVEL, default info) are suppressed without
+/// evaluating the streamed operands.  Each message is formatted completely
+/// before a single mutex-guarded write, so concurrent writers (the
+/// service's worker, acceptor and connection threads) never interleave
+/// fragments of different lines.
+#define COMPTX_LOG(severity)                                          \
+  (::comptx::LogSeverity::k##severity <                               \
+   ::comptx::internal_logging::MinLogSeverity())                      \
+      ? static_cast<void>(0)                                          \
+      : ::comptx::internal_logging::Voidify() &                       \
+            ::comptx::internal_logging::LogMessage(                   \
+                __FILE__, __LINE__, ::comptx::LogSeverity::k##severity)
 
 /// Dies with a diagnostic if `cond` is false.  Supports streaming extra
 /// context: COMPTX_CHECK(p != nullptr) << "while doing X".  Intended for

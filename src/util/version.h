@@ -1,0 +1,21 @@
+#ifndef COMPTX_UTIL_VERSION_H_
+#define COMPTX_UTIL_VERSION_H_
+
+#include <iostream>
+#include <string>
+
+namespace comptx {
+
+/// Library version, bumped when a tool's observable behaviour changes.
+/// Every CLI reports it via --version so scripted deployments (and the CI
+/// smoke jobs) can pin the binary they started.
+inline constexpr const char kComptxVersion[] = "0.5.0";
+
+/// Prints the standard one-line version banner for `tool`.
+inline void PrintToolVersion(const char* tool) {
+  std::cout << tool << " (comptx) " << kComptxVersion << "\n";
+}
+
+}  // namespace comptx
+
+#endif  // COMPTX_UTIL_VERSION_H_

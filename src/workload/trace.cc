@@ -127,6 +127,15 @@ std::string FormatTraceEvent(const TraceEvent& e) {
   return kind;
 }
 
+StatusOr<TraceEvent> ParseTraceEventLine(const std::string& line) {
+  auto parsed = ParseLine(line);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->has_value()) {
+    return Status::InvalidArgument("'end' is not an event");
+  }
+  return std::move(**parsed);
+}
+
 StatusOr<std::vector<TraceEvent>> ParseTraceEvents(const std::string& text) {
   std::istringstream in(text);
   std::string line;

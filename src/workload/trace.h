@@ -48,6 +48,12 @@ struct TraceEvent {
 /// Renders `event` as one trace line (without trailing newline).
 std::string FormatTraceEvent(const TraceEvent& event);
 
+/// Parses one trace event line (no header, no "end", no trailing
+/// newline) — the unit the service wire protocol ships in APPEND bodies.
+/// Rejects "end" and blank lines: a framed protocol has no use for the
+/// file format's terminator.
+StatusOr<TraceEvent> ParseTraceEventLine(const std::string& line);
+
 /// Parses the body of a trace into its event sequence.  Requires the
 /// "comptx-trace v1" header and the final "end" record; the events in
 /// between are returned in stream order.  This is the streaming view of a

@@ -279,6 +279,36 @@ TEST(ShrinkCliTest, CleanCampaignExitsZero) {
       << r.stdout_text;
 }
 
+// ----------------------------------------------- version/help contract
+
+// Scripts (and the CI smoke jobs) probe tools with --version / --help
+// before driving them; every comptx binary must answer both with exit 0,
+// a "(comptx) <version>" banner and a usage line, without touching any
+// input files.
+TEST(VersionHelpCliTest, EveryToolAnswersVersionWithExitZero) {
+  const char* bins[] = {COMPTX_CERTIFY_BIN,       COMPTX_LINT_BIN,
+                        COMPTX_SHRINK_BIN,        COMPTX_EXPORT_TRACES_BIN,
+                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN};
+  for (const char* bin : bins) {
+    RunResult r = RunCli(StrCat(bin, " --version"));
+    EXPECT_EQ(r.exit_code, 0) << bin << ": " << r.stderr_text;
+    EXPECT_TRUE(Contains(r.stdout_text, "(comptx)"))
+        << bin << ": " << r.stdout_text;
+  }
+}
+
+TEST(VersionHelpCliTest, EveryToolAnswersHelpWithExitZero) {
+  const char* bins[] = {COMPTX_CERTIFY_BIN,       COMPTX_LINT_BIN,
+                        COMPTX_SHRINK_BIN,        COMPTX_EXPORT_TRACES_BIN,
+                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN};
+  for (const char* bin : bins) {
+    RunResult r = RunCli(StrCat(bin, " --help"));
+    EXPECT_EQ(r.exit_code, 0) << bin << ": " << r.stderr_text;
+    EXPECT_TRUE(Contains(StrCat(r.stdout_text, r.stderr_text), "usage"))
+        << bin << ": " << r.stdout_text << r.stderr_text;
+  }
+}
+
 TEST(ShrinkCliTest, InjectedCampaignWritesReplayableWitnesses) {
   const std::filesystem::path corpus = Scratch() / "cli_corpus";
   RunResult campaign =

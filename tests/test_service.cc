@@ -1,0 +1,482 @@
+// Tests for the src/service subsystem (ctest label `service`): metrics
+// primitives, wire-protocol round trips, the in-process server API
+// checked against the batch Comp-C checker, admission control, idle
+// eviction, drain-on-shutdown accounting, the TCP loopback path through
+// ServiceClient, and two concurrency suites (ServiceStress,
+// CertifierConcurrency) that the TSan CI job runs under
+// -DCOMPTX_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/correctness.h"
+#include "online/certifier.h"
+#include "service/client.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/session_manager.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx::service {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+TEST(LatencyHistogramTest, BucketMappingIsMonotoneAndInverts) {
+  size_t prev = 0;
+  for (uint64_t v : {0ull, 1ull, 2ull, 15ull, 16ull, 17ull, 100ull, 1000ull,
+                     12345ull, 1000000ull, 123456789ull}) {
+    const size_t bucket = LatencyHistogram::BucketFor(v);
+    EXPECT_GE(bucket, prev) << v;
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(bucket), v) << v;
+    prev = bucket;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesBoundRelativeError) {
+  LatencyHistogram hist;
+  for (uint64_t v = 1; v <= 10000; ++v) hist.Record(v);
+  const auto snap = hist.Snap();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_GE(snap.max, 10000u);
+  // Log-linear buckets with 16 sub-buckets: <= 1/16 relative error, and
+  // the reported value is a bucket upper bound (never an underestimate).
+  EXPECT_GE(snap.p50, 5000u);
+  EXPECT_LE(snap.p50, 5000u + 5000u / 16 + 1);
+  EXPECT_GE(snap.p99, 9900u);
+  EXPECT_LE(snap.p99, 9900u + 9900u / 16 + 1);
+  EXPECT_NEAR(snap.mean, 5000.5, 1.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram hist;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (size_t i = 0; i < kPerThread; ++i) hist.Record(t * 100 + 1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.Snap().count, kThreads * kPerThread);
+}
+
+TEST(StripedCounterTest, ConcurrentAddsSumExactly) {
+  StripedCounter counter;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ProtocolTest, RequestsRoundTrip) {
+  Request open;
+  open.kind = CommandKind::kOpen;
+  open.options = "forgetting=true queue_capacity=64";
+  auto parsed = ParseRequest(FormatRequest(open));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, CommandKind::kOpen);
+  EXPECT_EQ(parsed->options, open.options);
+
+  Request append;
+  append.kind = CommandKind::kAppend;
+  append.session = 42;
+  workload::TraceEvent e;
+  e.kind = workload::TraceEventKind::kSchedule;
+  e.name = "S";
+  append.events.push_back(e);
+  e = {};
+  e.kind = workload::TraceEventKind::kRoot;
+  e.schedule = 0;
+  e.name = "T";
+  append.events.push_back(e);
+  parsed = ParseRequest(FormatRequest(append));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->session, 42u);
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[1].name, "T");
+
+  for (CommandKind kind : {CommandKind::kQuery, CommandKind::kClose,
+                           CommandKind::kStats, CommandKind::kPing,
+                           CommandKind::kShutdown}) {
+    Request request;
+    request.kind = kind;
+    request.session = 7;
+    parsed = ParseRequest(FormatRequest(request));
+    ASSERT_TRUE(parsed.ok()) << CommandKindToString(kind);
+    EXPECT_EQ(parsed->kind, kind);
+  }
+}
+
+TEST(ProtocolTest, ResponsesRoundTrip) {
+  Response ok = OkResponse();
+  ok.fields.emplace_back("session", "9");
+  ok.fields.emplace_back("certifiable", "true");
+  ok.body = "some body\nsecond line\n";
+  auto parsed = ParseResponse(FormatResponse(ok));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(parsed->FieldInt("session"), 9u);
+  EXPECT_EQ(parsed->Field("certifiable"), "true");
+  EXPECT_EQ(parsed->body, ok.body);
+
+  Response err = ErrorResponse("not_found", "no session 12");
+  parsed = ParseResponse(FormatResponse(err));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->error_code, "not_found");
+  EXPECT_EQ(parsed->error_message, "no session 12");
+}
+
+TEST(ProtocolTest, MalformedPayloadsAreRejected) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("FROBNICATE 1").ok());
+  EXPECT_FALSE(ParseRequest("APPEND").ok());          // missing session
+  EXPECT_FALSE(ParseRequest("APPEND 1\nend").ok());   // "end" is not an event
+  EXPECT_FALSE(ParseResponse("MAYBE ok").ok());
+}
+
+TEST(SessionOptionsTest, ParseOverridesDefaults) {
+  SessionOptions defaults;
+  defaults.queue_capacity = 128;
+  auto parsed = ParseSessionOptions(
+      "forgetting=false queue_capacity=16 epoch_interval=3", defaults);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->certifier.forgetting);
+  EXPECT_EQ(parsed->queue_capacity, 16u);
+  EXPECT_EQ(parsed->certifier.epoch_interval, 3u);
+  EXPECT_FALSE(ParseSessionOptions("queue_capacity=banana", defaults).ok());
+  EXPECT_FALSE(ParseSessionOptions("no_such_option=1", defaults).ok());
+}
+
+// ------------------------------------------------------------- helpers
+
+std::vector<workload::TraceEvent> GeneratedEvents(uint32_t roots,
+                                                  uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = roots;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.15;
+  spec.execution.intra_weak_prob = 0.2;
+  auto cs = workload::GenerateSystem(spec, seed);
+  EXPECT_TRUE(cs.ok()) << cs.status().ToString();
+  auto text = workload::SaveTrace(*cs);
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  auto events = workload::ParseTraceEvents(*text);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  return std::move(events).value();
+}
+
+/// Single-threaded ground truth: batch-replay + CheckCompC (the
+/// single-trace kernel of SweepCompC), validation off exactly as the
+/// online certifier treats a stream.
+bool BatchVerdict(const std::vector<workload::TraceEvent>& events) {
+  CompositeSystem cs;
+  for (const auto& event : events) {
+    EXPECT_TRUE(workload::ApplyTraceEvent(cs, event).ok());
+  }
+  ReductionOptions options;
+  options.validate = false;
+  options.keep_fronts = false;
+  auto result = CheckCompC(cs, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->correct;
+}
+
+// ------------------------------------------------- in-process server
+
+TEST(CertificationServerTest, OpenAppendQueryCloseMatchesBatch) {
+  ServerOptions options;
+  options.workers = 2;
+  CertificationServer server(options);
+  const auto events = GeneratedEvents(8, 101);
+  auto session = server.Open();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(server.Append(*session, events).ok());
+  auto verdict = server.Query(*session);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->events_accepted, events.size());
+  EXPECT_EQ(verdict->events_rejected, 0u);
+  EXPECT_EQ(verdict->certifiable, BatchVerdict(events));
+  auto closed = server.Close(*session);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_EQ(closed->certifiable, verdict->certifiable);
+  // The slot is gone: every further command answers not_found.
+  EXPECT_FALSE(server.Query(*session).ok());
+  EXPECT_FALSE(server.Append(*session, events).ok());
+  server.Shutdown();
+}
+
+TEST(CertificationServerTest, AdmissionControlRefusesBeyondMaxSessions) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_sessions = 2;
+  CertificationServer server(options);
+  auto first = server.Open();
+  auto second = server.Open();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  Request open;
+  open.kind = CommandKind::kOpen;
+  Response refused = server.Handle(open);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.error_code, "session_limit");
+  // Closing one frees the slot.
+  ASSERT_TRUE(server.Close(*first).ok());
+  EXPECT_TRUE(server.Open().ok());
+  server.Shutdown();
+}
+
+TEST(CertificationServerTest, BadSessionOptionsAreABadRequest) {
+  CertificationServer server(ServerOptions{});
+  Request open;
+  open.kind = CommandKind::kOpen;
+  open.options = "queue_capacity=banana";
+  Response response = server.Handle(open);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "bad_request");
+  server.Shutdown();
+}
+
+TEST(CertificationServerTest, IdleSessionsAreEvicted) {
+  ServerOptions options;
+  options.workers = 1;
+  options.idle_timeout_ms = 1;
+  CertificationServer server(options);
+  auto session = server.Open();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server.Append(*session, GeneratedEvents(2, 7)).ok());
+  ASSERT_TRUE(server.Query(*session).ok());  // drain, then go idle
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The background ticker may beat the explicit sweep to the eviction;
+  // either way the session is evicted exactly once.
+  server.EvictIdleNow();
+  EXPECT_FALSE(server.Query(*session).ok());
+  EXPECT_EQ(server.metrics().sessions_evicted.Value(), 1u);
+  EXPECT_EQ(server.SessionCount(), 0u);
+  server.Shutdown();
+}
+
+TEST(CertificationServerTest, ShutdownDrainsEveryQueuedEvent) {
+  ServerOptions options;
+  options.workers = 2;
+  options.batch_size = 8;  // force many run-queue hand-offs
+  CertificationServer server(options);
+  std::vector<uint64_t> ids;
+  for (int s = 0; s < 6; ++s) {
+    auto session = server.Open();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(server.Append(*session, GeneratedEvents(8, 200 + s)).ok());
+    ids.push_back(*session);
+  }
+  server.Shutdown();  // graceful: queued events certify before teardown
+  EXPECT_EQ(server.metrics().events_enqueued.Value(),
+            server.metrics().events_processed.Value());
+  EXPECT_EQ(server.metrics().queue_depth.load(), 0);
+  // After shutdown every command is refused.
+  Request open;
+  open.kind = CommandKind::kOpen;
+  EXPECT_EQ(server.Handle(open).error_code, "shutting_down");
+}
+
+TEST(CertificationServerTest, RejectedEventsAreCountedNotFatal) {
+  CertificationServer server(ServerOptions{});
+  auto session = server.Open();
+  ASSERT_TRUE(session.ok());
+  workload::TraceEvent bogus;
+  bogus.kind = workload::TraceEventKind::kConflict;
+  bogus.a = 100;  // no such node: the certifier rejects it
+  bogus.b = 101;
+  auto events = GeneratedEvents(2, 11);
+  events.push_back(bogus);
+  ASSERT_TRUE(server.Append(*session, events).ok());
+  auto verdict = server.Query(*session);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->events_accepted, events.size() - 1);
+  EXPECT_EQ(verdict->events_rejected, 1u);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- TCP loopback
+
+TEST(ServiceLoopbackTest, FullProtocolOverTcp) {
+  ServerOptions options;
+  options.workers = 2;
+  CertificationServer server(options);
+  Endpoint endpoint;  // 127.0.0.1, ephemeral port
+  ASSERT_TRUE(server.Listen(endpoint).ok());
+  ASSERT_GT(endpoint.port, 0);
+
+  auto client = ServiceClient::Dial(endpoint);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->Ping().ok());
+
+  const auto events = GeneratedEvents(6, 33);
+  auto session = client->Open("queue_capacity=512");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto queued = client->Append(*session, events);
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_EQ(*queued, events.size());
+
+  auto verdict = client->Query(*session);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->events_accepted, events.size());
+  EXPECT_EQ(verdict->certifiable, BatchVerdict(events));
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("events_processed"), std::string::npos) << *stats;
+
+  auto closed = client->Close(*session);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  auto missing = client->Query(*session);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("not_found"), std::string::npos)
+      << missing.status().ToString();
+  server.Shutdown();
+}
+
+TEST(ServiceLoopbackTest, ShutdownCommandDrainsAndRefusesNewWork) {
+  CertificationServer server(ServerOptions{});
+  Endpoint endpoint;
+  ASSERT_TRUE(server.Listen(endpoint).ok());
+  auto client = ServiceClient::Dial(endpoint);
+  ASSERT_TRUE(client.ok());
+  auto session = client->Open();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(client->Append(*session, GeneratedEvents(4, 55)).ok());
+  ASSERT_TRUE(client->Shutdown().ok());
+  server.WaitShutdown();
+  server.Shutdown();
+  EXPECT_EQ(server.metrics().events_enqueued.Value(),
+            server.metrics().events_processed.Value());
+}
+
+// --------------------------------------------------------- concurrency
+
+// The acceptance configuration: >= 64 sessions fed from >= 8 client
+// threads through the in-process API, every verdict identical to a
+// single-threaded batch replay of the same events.  Runs under TSan in
+// CI (ctest -R ServiceStress).
+TEST(ServiceStressTest, SixtyFourSessionsEightThreadsMatchBatchReplay) {
+  constexpr size_t kSessions = 64;
+  constexpr size_t kThreads = 8;
+  ServerOptions options;
+  options.workers = 4;
+  options.batch_size = 16;        // many hand-offs per session
+  options.session.queue_capacity = 64;  // exercise backpressure
+  CertificationServer server(options);
+
+  struct Work {
+    uint64_t id = 0;
+    std::vector<workload::TraceEvent> events;
+  };
+  std::vector<Work> work(kSessions);
+  for (size_t s = 0; s < kSessions; ++s) {
+    auto session = server.Open();
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    work[s].id = *session;
+    work[s].events = GeneratedEvents(4 + s % 5, 1000 + s);
+  }
+
+  // Each thread owns a disjoint slice of sessions (in-process Append is
+  // synchronous, so per-session ordering needs per-session ownership)
+  // and interleaves appends across them in small chunks.
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      constexpr size_t kChunk = 24;
+      bool progress = true;
+      std::vector<size_t> cursors(kSessions, 0);
+      while (progress) {
+        progress = false;
+        for (size_t s = t; s < kSessions; s += kThreads) {
+          Work& w = work[s];
+          size_t& cursor = cursors[s];
+          if (cursor >= w.events.size()) continue;
+          const size_t n = std::min(kChunk, w.events.size() - cursor);
+          std::vector<workload::TraceEvent> chunk(
+              w.events.begin() + cursor, w.events.begin() + cursor + n);
+          cursor += n;
+          if (!server.Append(w.id, std::move(chunk)).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          progress = true;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0u);
+
+  size_t mismatches = 0;
+  for (const Work& w : work) {
+    auto verdict = server.Close(w.id);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_EQ(verdict->events_accepted + verdict->events_rejected,
+              w.events.size());
+    if (verdict->certifiable != BatchVerdict(w.events)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  server.Shutdown();
+  EXPECT_EQ(server.metrics().events_enqueued.Value(),
+            server.metrics().events_processed.Value() +
+                server.metrics().events_rejected.Value());
+}
+
+// The certifier's documented threading contract (online/certifier.h):
+// one ingesting thread, any number of concurrent Verdict/Stats readers.
+// TSan validates the internal locking (ctest -R CertifierConcurrency).
+TEST(CertifierConcurrencyTest, ConcurrentReadersSeeConsistentVerdicts) {
+  const auto events = GeneratedEvents(16, 77);
+  online::Certifier certifier;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&certifier, &done] {
+      // do-while: on a single-core box the writer may finish before this
+      // thread is first scheduled; every reader still polls at least once.
+      do {
+        online::CertifierVerdict verdict = certifier.Verdict();
+        online::CertifierStats stats = certifier.Stats();
+        // Sanity on the concurrently-read snapshot: a reader never sees
+        // more accepted events than the stream holds.
+        ASSERT_LE(stats.events_accepted, 1u << 20);
+        ASSERT_LE(verdict.order, 1u << 20);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  size_t accepted = 0;
+  for (const auto& event : events) {
+    if (certifier.Ingest(event).ok()) ++accepted;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(certifier.Stats().events_accepted, accepted);
+  EXPECT_EQ(certifier.Certifiable(), BatchVerdict(events));
+}
+
+}  // namespace
+}  // namespace comptx::service

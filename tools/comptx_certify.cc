@@ -34,6 +34,7 @@
 #include "online/certifier.h"
 #include "staticcheck/analyzer.h"
 #include "util/thread_pool.h"
+#include "util/version.h"
 #include "workload/trace.h"
 
 namespace {
@@ -217,7 +218,15 @@ int main(int argc, char** argv) {
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--check") {
+    if (arg == "--version") {
+      PrintToolVersion("comptx_certify");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: comptx_certify [--check] [--static] [--paranoid] "
+                   "[--no-prune] [--stats] [--threads N] <trace-file> | "
+                   "--demo\n";
+      return 0;
+    } else if (arg == "--check") {
       cli.check = true;
     } else if (arg == "--static") {
       cli.static_pass = true;

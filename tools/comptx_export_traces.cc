@@ -12,10 +12,23 @@
 #include <vector>
 
 #include "analysis/figures.h"
+#include "util/version.h"
 #include "workload/trace.h"
 
 int main(int argc, char** argv) {
   using comptx::analysis::PaperFigure;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "--version") {
+      comptx::PrintToolVersion("comptx_export_traces");
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: comptx_export_traces [output-dir]   "
+                   "(default: examples/traces)\n";
+      return 0;
+    }
+  }
   const std::string dir = argc > 1 ? argv[1] : "examples/traces";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);

@@ -23,6 +23,7 @@
 #include "core/diagnostic.h"
 #include "staticcheck/analyzer.h"
 #include "staticcheck/lint.h"
+#include "util/version.h"
 
 namespace {
 
@@ -130,7 +131,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--version") {
+      PrintToolVersion("comptx_lint");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: comptx_lint [--json] [--verdict] [--no-model] "
+                   "<file>...\n";
+      return 0;
+    } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--verdict") {
       cli.verdict = true;

@@ -1,0 +1,382 @@
+// YCSB-style load driver for comptx_serve: many client threads stream
+// generated execution traces into many concurrent certification sessions,
+// with Zipf-skewed session choice (hot sessions see most of the traffic,
+// like hot keys in a key-value benchmark), then query every verdict and
+// check it against an offline single-threaded batch replay of the same
+// events.  Exit status 1 on any verdict mismatch makes this the CI smoke
+// gate for the service.
+//
+// Usage: comptx_load [--host H] [--port N] [--unix PATH]
+//                    [--sessions N] [--threads N] [--events N] [--batch N]
+//                    [--theta Z] [--rate EVENTS_PER_SEC] [--seed N]
+//                    [--no-verify] [--json PATH] [--shutdown]
+//
+//   --events is the total event budget across all sessions.  The default
+//   loop is closed (each thread appends as fast as the server admits —
+//   backpressure is the pacing); --rate switches to an open loop that
+//   paces the aggregate append rate.  --shutdown sends SHUTDOWN after the
+//   run, so the CI job can assert the daemon exits 0.
+//
+// Exit codes: 0 = all verdicts match, 1 = mismatch, 2 = usage/connect.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/correctness.h"
+#include "service/client.h"
+#include "service/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/version.h"
+#include "util/zipf.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+int Usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: comptx_load [--host H] [--port N] [--unix PATH]\n"
+         "                   [--sessions N] [--threads N] [--events N]\n"
+         "                   [--batch N] [--theta Z] [--rate N] [--seed N]\n"
+         "                   [--no-verify] [--json PATH] [--shutdown]\n"
+         "\n"
+         "Streams generated traces into concurrent certification sessions\n"
+         "(Zipf-skewed choice, closed loop unless --rate) and verifies\n"
+         "every server verdict against an offline batch replay.\n";
+  return code;
+}
+
+struct LoadOptions {
+  service::Endpoint endpoint;
+  size_t sessions = 64;
+  size_t threads = 8;
+  size_t total_events = 20000;
+  size_t batch = 32;
+  double theta = 0.8;
+  double rate = 0;  // open-loop aggregate events/sec; 0 = closed loop
+  uint64_t seed = 20260806;
+  bool verify = true;
+  bool send_shutdown = false;
+  std::string json_path;
+};
+
+/// The per-session workload: a generated execution's event stream,
+/// truncated to the session's share of the event budget (a prefix of a
+/// valid execution is a valid stream — exactly what a live client is
+/// mid-way through).  The mutex serializes appends so the stream reaches
+/// the server in order even when Zipf sends two threads to one session.
+struct SessionWork {
+  uint64_t id = 0;  // server-assigned
+  std::vector<workload::TraceEvent> events;
+  std::mutex mu;
+  size_t cursor = 0;  // next event to append, under mu
+  service::SessionVerdict verdict;  // filled by the query phase
+};
+
+std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
+                                                        uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.15;
+  spec.execution.intra_weak_prob = 0.2;
+  // Event count is a property of the generated execution, not a knob:
+  // grow the root count until the stream covers the quota, then cut.
+  uint32_t roots = 2;
+  for (;;) {
+    spec.topology.roots = roots;
+    auto cs = workload::GenerateSystem(spec, seed);
+    COMPTX_CHECK(cs.ok()) << cs.status().ToString();
+    auto text = workload::SaveTrace(*cs);
+    COMPTX_CHECK(text.ok()) << text.status().ToString();
+    auto events = workload::ParseTraceEvents(*text);
+    COMPTX_CHECK(events.ok()) << events.status().ToString();
+    if (events->size() >= quota || roots >= 4096) {
+      if (events->size() > quota) events->resize(quota);
+      return std::move(events).value();
+    }
+    roots *= 2;
+  }
+}
+
+/// Offline ground truth: batch-replay the exact events the session got and
+/// run the batch Comp-C check (validation off — a truncated stream is a
+/// legitimate prefix, same as the online certifier sees it).
+bool OfflineVerdict(const std::vector<workload::TraceEvent>& events,
+                    uint64_t& accepted) {
+  CompositeSystem cs;
+  accepted = 0;
+  for (const auto& event : events) {
+    // Mirror the certifier's contract: an event the system rejects is
+    // skipped, not fatal (the server counts it as rejected).
+    if (workload::ApplyTraceEvent(cs, event).ok()) ++accepted;
+  }
+  ReductionOptions options;
+  options.validate = false;
+  options.keep_fronts = false;
+  auto result = CheckCompC(cs, options);
+  COMPTX_CHECK(result.ok()) << result.status().ToString();
+  return result->correct;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      PrintToolVersion("comptx_load");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else if (arg == "--host") {
+      opt.endpoint.host = next("--host");
+    } else if (arg == "--port") {
+      opt.endpoint.port = std::atoi(next("--port"));
+    } else if (arg == "--unix") {
+      opt.endpoint.unix_path = next("--unix");
+    } else if (arg == "--sessions") {
+      opt.sessions = std::strtoul(next("--sessions"), nullptr, 10);
+    } else if (arg == "--threads") {
+      opt.threads = std::strtoul(next("--threads"), nullptr, 10);
+    } else if (arg == "--events") {
+      opt.total_events = std::strtoul(next("--events"), nullptr, 10);
+    } else if (arg == "--batch") {
+      opt.batch = std::strtoul(next("--batch"), nullptr, 10);
+    } else if (arg == "--theta") {
+      opt.theta = std::strtod(next("--theta"), nullptr);
+    } else if (arg == "--rate") {
+      opt.rate = std::strtod(next("--rate"), nullptr);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--no-verify") {
+      opt.verify = false;
+    } else if (arg == "--json") {
+      opt.json_path = next("--json");
+    } else if (arg == "--shutdown") {
+      opt.send_shutdown = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return Usage(2);
+    }
+  }
+  if (opt.sessions == 0 || opt.threads == 0 || opt.batch == 0 ||
+      opt.total_events == 0) {
+    std::cerr << "--sessions/--threads/--events/--batch must be positive\n";
+    return 2;
+  }
+  if (opt.endpoint.unix_path.empty() && opt.endpoint.port == 0) {
+    std::cerr << "need --port or --unix (where is the server?)\n";
+    return 2;
+  }
+
+  // Generate the per-session workloads (deterministic in --seed).
+  const size_t quota = std::max<size_t>(1, opt.total_events / opt.sessions);
+  std::vector<std::unique_ptr<SessionWork>> work;
+  work.reserve(opt.sessions);
+  size_t planned_events = 0;
+  for (size_t s = 0; s < opt.sessions; ++s) {
+    auto w = std::make_unique<SessionWork>();
+    w->events = GenerateSessionEvents(quota, opt.seed + s);
+    planned_events += w->events.size();
+    work.push_back(std::move(w));
+  }
+
+  // Open every session up front on a control connection.
+  auto control = service::ServiceClient::Dial(opt.endpoint);
+  if (!control.ok()) {
+    std::cerr << "cannot connect to " << opt.endpoint.ToString() << ": "
+              << control.status() << "\n";
+    return 2;
+  }
+  for (auto& w : work) {
+    auto id = control->Open();
+    if (!id.ok()) {
+      std::cerr << "OPEN failed: " << id.status() << "\n";
+      return 2;
+    }
+    w->id = *id;
+  }
+
+  // Load phase: every thread owns a connection, picks sessions through a
+  // Zipf draw, and appends the chosen session's next batch.  A thread
+  // landing on a finished session scans forward for a live one, so the
+  // run ends exactly when every stream is fully appended.
+  service::LatencyHistogram append_hist;
+  std::atomic<size_t> remaining{planned_events};
+  std::atomic<bool> failed{false};
+  const ZipfGenerator zipf(opt.sessions, opt.theta);
+  const Clock::time_point load_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opt.threads);
+  for (size_t t = 0; t < opt.threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = service::ServiceClient::Dial(opt.endpoint);
+      if (!client.ok()) {
+        std::cerr << "thread " << t << " cannot connect: " << client.status()
+                  << "\n";
+        failed.store(true);
+        return;
+      }
+      Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
+      while (remaining.load(std::memory_order_relaxed) > 0 && !failed.load()) {
+        const size_t start = static_cast<size_t>(zipf.Sample(rng));
+        for (size_t probe = 0; probe < opt.sessions; ++probe) {
+          SessionWork& w = *work[(start + probe) % opt.sessions];
+          std::unique_lock<std::mutex> lock(w.mu);
+          if (w.cursor >= w.events.size()) continue;
+          const size_t n = std::min(opt.batch, w.events.size() - w.cursor);
+          std::vector<workload::TraceEvent> batch(
+              w.events.begin() + w.cursor, w.events.begin() + w.cursor + n);
+          w.cursor += n;
+          const Clock::time_point rpc_start = Clock::now();
+          auto queued = client->Append(w.id, batch);
+          lock.unlock();
+          append_hist.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - rpc_start)
+                  .count()));
+          if (!queued.ok()) {
+            std::cerr << "APPEND failed on session " << w.id << ": "
+                      << queued.status() << "\n";
+            failed.store(true);
+            return;
+          }
+          remaining.fetch_sub(n, std::memory_order_relaxed);
+          break;
+        }
+        if (opt.rate > 0) {
+          // Open loop: hold the aggregate append rate by pacing each
+          // thread at rate/threads events per second.
+          const double batch_seconds =
+              double(opt.batch) * double(opt.threads) / opt.rate;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(batch_seconds));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double load_seconds =
+      std::chrono::duration<double>(Clock::now() - load_start).count();
+  if (failed.load()) return 2;
+
+  // Verdict phase: QUERY is the drain barrier — its latency includes
+  // waiting for the session's queue to empty — then CLOSE frees the slot.
+  service::LatencyHistogram verdict_hist;
+  for (auto& w : work) {
+    const Clock::time_point rpc_start = Clock::now();
+    auto verdict = control->Query(w->id);
+    verdict_hist.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              rpc_start)
+            .count()));
+    if (!verdict.ok()) {
+      std::cerr << "QUERY failed on session " << w->id << ": "
+                << verdict.status() << "\n";
+      return 2;
+    }
+    w->verdict = *verdict;
+    auto closed = control->Close(w->id);
+    if (!closed.ok()) {
+      std::cerr << "CLOSE failed on session " << w->id << ": "
+                << closed.status() << "\n";
+      return 2;
+    }
+    if (closed->certifiable != verdict->certifiable) {
+      std::cerr << "session " << w->id
+                << ": CLOSE verdict disagrees with QUERY\n";
+      return 1;
+    }
+  }
+
+  // Verify: replay each session's stream single-threaded through the
+  // batch checker and demand verdict agreement.
+  size_t mismatches = 0;
+  if (opt.verify) {
+    for (auto& w : work) {
+      uint64_t accepted = 0;
+      const bool expected = OfflineVerdict(w->events, accepted);
+      if (expected != w->verdict.certifiable ||
+          accepted != w->verdict.events_accepted) {
+        ++mismatches;
+        std::cerr << "MISMATCH session " << w->id << ": offline says "
+                  << (expected ? "certifiable" : "not certifiable") << " ("
+                  << accepted << " accepted), server says "
+                  << (w->verdict.certifiable ? "certifiable"
+                                             : "not certifiable")
+                  << " (" << w->verdict.events_accepted << " accepted)\n";
+      }
+    }
+  }
+
+  if (opt.send_shutdown) {
+    Status status = control->Shutdown();
+    if (!status.ok()) {
+      std::cerr << "SHUTDOWN failed: " << status << "\n";
+      return 2;
+    }
+  }
+
+  const auto append_snap = append_hist.Snap();
+  const auto verdict_snap = verdict_hist.Snap();
+  const double throughput =
+      load_seconds > 0 ? double(planned_events) / load_seconds : 0;
+  std::cout << "sessions=" << opt.sessions << " threads=" << opt.threads
+            << " events=" << planned_events << " theta=" << opt.theta
+            << "\n"
+            << "load_seconds=" << load_seconds
+            << " events_per_second=" << throughput << "\n"
+            << "append_us: " << append_snap.Summary() << "\n"
+            << "verdict_us: " << verdict_snap.Summary() << "\n"
+            << "mismatches=" << mismatches
+            << (opt.verify ? "" : " (verification disabled)") << "\n";
+
+  if (!opt.json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"sessions\": " << opt.sessions << ",\n"
+         << "  \"threads\": " << opt.threads << ",\n"
+         << "  \"events\": " << planned_events << ",\n"
+         << "  \"theta\": " << opt.theta << ",\n"
+         << "  \"load_seconds\": " << load_seconds << ",\n"
+         << "  \"events_per_second\": " << throughput << ",\n"
+         << "  \"append_p50_us\": " << append_snap.p50 << ",\n"
+         << "  \"append_p95_us\": " << append_snap.p95 << ",\n"
+         << "  \"append_p99_us\": " << append_snap.p99 << ",\n"
+         << "  \"verdict_p50_us\": " << verdict_snap.p50 << ",\n"
+         << "  \"verdict_p95_us\": " << verdict_snap.p95 << ",\n"
+         << "  \"verdict_p99_us\": " << verdict_snap.p99 << ",\n"
+         << "  \"mismatches\": " << mismatches << "\n"
+         << "}\n";
+    std::ofstream out(opt.json_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

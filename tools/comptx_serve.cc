@@ -1,0 +1,146 @@
+// Multi-session certification daemon: accepts comptx-serve wire-protocol
+// connections (TCP or Unix socket) and certifies many independent event
+// streams concurrently — one online::Certifier session per stream behind
+// a bounded queue, drained by a worker pool (see service/server.h and
+// DESIGN.md §10).
+//
+// Usage: comptx_serve [--host H] [--port N] [--unix PATH] [--workers N]
+//                     [--max-sessions N] [--queue-capacity N] [--batch N]
+//                     [--idle-timeout-ms N] [--stats-interval-ms N]
+//                     [--port-file PATH]
+//
+//   --port 0 (the default) asks the kernel for an ephemeral port; the
+//   chosen port is printed on stdout as "listening on HOST:PORT" and,
+//   with --port-file, written to PATH (how the CI smoke job finds the
+//   server).  The daemon runs until a SHUTDOWN command or SIGINT/SIGTERM,
+//   then drains every session and exits 0.
+//
+// Exit codes: 0 = clean shutdown, 2 = usage or bind error.
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/server.h"
+#include "util/logging.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+
+// SIGINT/SIGTERM land here; the main loop polls it (a handler may only
+// touch lock-free state, so it cannot call Shutdown directly).
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int) { g_signal = 1; }
+
+int Usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: comptx_serve [--host H] [--port N] [--unix PATH]\n"
+         "                    [--workers N] [--max-sessions N]\n"
+         "                    [--queue-capacity N] [--batch N]\n"
+         "                    [--idle-timeout-ms N] [--stats-interval-ms N]\n"
+         "                    [--port-file PATH]\n"
+         "\n"
+         "Runs the comptx certification service until SHUTDOWN or\n"
+         "SIGINT/SIGTERM, then drains every session and exits 0.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerOptions options;
+  service::Endpoint endpoint;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      PrintToolVersion("comptx_serve");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else if (arg == "--host") {
+      endpoint.host = next("--host");
+    } else if (arg == "--port") {
+      endpoint.port = std::atoi(next("--port"));
+    } else if (arg == "--unix") {
+      endpoint.unix_path = next("--unix");
+    } else if (arg == "--workers") {
+      const long workers = std::strtol(next("--workers"), nullptr, 10);
+      if (workers < 1) {
+        std::cerr << "--workers needs a positive count\n";
+        return 2;
+      }
+      options.workers = static_cast<size_t>(workers);
+    } else if (arg == "--max-sessions") {
+      options.max_sessions =
+          static_cast<size_t>(std::strtoul(next("--max-sessions"), nullptr, 10));
+    } else if (arg == "--queue-capacity") {
+      options.session.queue_capacity = static_cast<size_t>(
+          std::strtoul(next("--queue-capacity"), nullptr, 10));
+    } else if (arg == "--batch") {
+      options.batch_size =
+          static_cast<size_t>(std::strtoul(next("--batch"), nullptr, 10));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms =
+          std::strtoull(next("--idle-timeout-ms"), nullptr, 10);
+    } else if (arg == "--stats-interval-ms") {
+      options.stats_interval_ms =
+          std::strtoull(next("--stats-interval-ms"), nullptr, 10);
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return Usage(2);
+    }
+  }
+  if (options.max_sessions == 0 || options.session.queue_capacity == 0 ||
+      options.batch_size == 0) {
+    std::cerr << "--max-sessions/--queue-capacity/--batch must be positive\n";
+    return 2;
+  }
+
+  service::CertificationServer server(options);
+  Status listening = server.Listen(endpoint);
+  if (!listening.ok()) {
+    std::cerr << "cannot listen on " << endpoint.ToString() << ": "
+              << listening << "\n";
+    return 2;
+  }
+  std::cout << "listening on " << endpoint.ToString() << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << endpoint.port << "\n";
+    if (!out) {
+      std::cerr << "cannot write " << port_file << "\n";
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Park until a SHUTDOWN command arrives or a signal does; poll the
+  // signal flag at a human-scale interval.
+  while (!server.ShuttingDown() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (g_signal != 0) {
+    COMPTX_LOG(Info) << "signal received, draining";
+  }
+  server.Shutdown();
+  std::cout << "shut down cleanly" << std::endl;
+  return 0;
+}

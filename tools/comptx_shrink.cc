@@ -30,6 +30,7 @@
 #include "testing/campaign.h"
 #include "testing/witness.h"
 #include "util/thread_pool.h"
+#include "util/version.h"
 
 namespace {
 
@@ -113,7 +114,13 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--seed") {
+    if (arg == "--version") {
+      PrintToolVersion("comptx_shrink");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--seed") {
       const char* v = need_value(i, "--seed");
       if (v == nullptr) return 2;
       char* end = nullptr;
