@@ -96,8 +96,10 @@ class ServiceMetrics {
   StripedCounter sessions_opened;
   StripedCounter sessions_closed;
   StripedCounter sessions_evicted;
+  // Invariant once all queues drain:
+  //   events_enqueued == events_processed + events_rejected.
   StripedCounter events_enqueued;   // accepted into a session queue
-  StripedCounter events_processed;  // ingested by a worker
+  StripedCounter events_processed;  // successfully ingested by a worker
   StripedCounter events_rejected;   // certifier rejected during ingest
   StripedCounter append_batches;
   StripedCounter verdict_queries;

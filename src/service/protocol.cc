@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -226,7 +227,10 @@ namespace {
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    // MSG_NOSIGNAL: a peer that hung up (or a socket shut down under us
+    // during server teardown) yields EPIPE instead of a fatal SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(StrCat("write: ", std::strerror(errno)));

@@ -26,6 +26,10 @@ const char* ErrorCode(const Status& status) {
       return "not_found";
     case StatusCode::kResourceExhausted:
       return "session_limit";
+    case StatusCode::kFailedPrecondition:
+      // A lifecycle race (APPEND vs CLOSE/eviction), not a malformed
+      // request: the client should re-OPEN, not fix its framing.
+      return "session_closing";
     case StatusCode::kInternal:
       return "internal";
     default:
@@ -116,10 +120,13 @@ size_t CertificationServer::EvictIdleNow() {
   if (options_.idle_timeout_ms == 0) return 0;
   const auto cutoff =
       Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+  // EvictIdle marks each session closing (Session::CloseIfIdle) in the
+  // same critical section as the idle check, so no BeginClose is needed
+  // here and no producer can slip an acknowledged APPEND into a session
+  // between the check and the removal.
   const std::vector<std::shared_ptr<Session>> evicted =
       sessions_.EvictIdle(cutoff);
   for (const std::shared_ptr<Session>& session : evicted) {
-    session->BeginClose();
     COMPTX_LOG(Debug) << "evicted idle session " << session->id();
   }
   return evicted.size();
@@ -130,9 +137,28 @@ Response CertificationServer::Handle(const Request& request) {
                         request.kind == CommandKind::kAppend ||
                         request.kind == CommandKind::kQuery ||
                         request.kind == CommandKind::kClose;
-  if (mutating && ShuttingDown()) {
-    return ErrorResponse("shutting_down", "server is draining");
+  if (!mutating) return Dispatch(request);
+  // The draining check and the in-flight count share state_mu_ with
+  // Shutdown's flag flip: a request either observes shutting_down_ and is
+  // refused, or is counted in-flight before the flag is set — in which
+  // case Shutdown waits for it below, so its session/events are part of
+  // the drain snapshot and never stranded behind it.
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutting_down_.load(std::memory_order_relaxed)) {
+      return ErrorResponse("shutting_down", "server is draining");
+    }
+    ++inflight_requests_;
   }
+  Response response = Dispatch(request);
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (--inflight_requests_ == 0) shutdown_cv_.notify_all();
+  }
+  return response;
+}
+
+Response CertificationServer::Dispatch(const Request& request) {
   switch (request.kind) {
     case CommandKind::kOpen:
       return HandleOpen(request);
@@ -174,10 +200,9 @@ Response CertificationServer::HandleAppend(const Request& request) {
   const auto start = Clock::now();
   auto session = sessions_.Find(request.session);
   if (!session.ok()) return StatusResponse(session.status());
-  bool needs_scheduling = false;
   const size_t count = request.events.size();
-  Status status = (*session)->Enqueue(request.events, needs_scheduling);
-  if (needs_scheduling) ScheduleSession(*session);
+  Status status = (*session)->Enqueue(
+      request.events, [this, &session] { ScheduleSession(*session); });
   if (!status.ok()) return StatusResponse(status);
   metrics_.append_batches.Increment();
   metrics_.append_latency.Record(MicrosSince(start));
@@ -350,6 +375,13 @@ void CertificationServer::Shutdown() {
       return;
     }
     shutdown_started_ = true;
+    // Wait out mutating requests that passed Handle's draining check
+    // before the flag flipped.  The workers are still running, so an
+    // in-flight APPEND blocked on backpressure (its prefix is already
+    // scheduled) and a QUERY parked in WaitDrained both finish; once the
+    // count hits zero no new session or event can appear behind the
+    // snapshot below.
+    shutdown_cv_.wait(lock, [this] { return inflight_requests_ == 0; });
   }
 
   // 1. Drain every session through the still-running workers.  BeginClose
@@ -376,10 +408,14 @@ void CertificationServer::Shutdown() {
   }
   if (pool_host_.joinable()) pool_host_.join();
 
-  // 4. Tear down the network: closing the listener wakes the acceptor,
-  //    closing each connection socket wakes its handler's blocking read.
-  listener_.Close();
+  // 4. Tear down the network.  Shutdown-then-join-then-close, per
+  //    socket.h: shutdown() wakes the thread blocked in accept()/read(),
+  //    and the fd is only close()d once that thread has been joined —
+  //    close() while another thread still reads the fd races with
+  //    descriptor reuse.
+  listener_.ShutdownReadWrite();
   if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
   std::vector<std::thread> connections;
   std::vector<std::shared_ptr<Socket>> sockets;
   {
@@ -387,8 +423,11 @@ void CertificationServer::Shutdown() {
     connections.swap(connections_);
     sockets.swap(conn_sockets_);
   }
-  for (const std::shared_ptr<Socket>& socket : sockets) socket->Close();
+  for (const std::shared_ptr<Socket>& socket : sockets) {
+    socket->ShutdownReadWrite();
+  }
   for (std::thread& thread : connections) thread.join();
+  for (const std::shared_ptr<Socket>& socket : sockets) socket->Close();
 
   {
     std::unique_lock<std::mutex> lock(state_mu_);

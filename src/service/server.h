@@ -113,6 +113,10 @@ class CertificationServer {
   void ConnectionLoop(Socket& socket);
   void ScheduleSession(std::shared_ptr<Session> session);
 
+  /// The command switch behind Handle (which wraps mutating commands in
+  /// the draining check + in-flight count).
+  Response Dispatch(const Request& request);
+
   Response HandleOpen(const Request& request);
   Response HandleAppend(const Request& request);
   Response HandleQueryOrClose(const Request& request, bool close);
@@ -153,6 +157,12 @@ class CertificationServer {
   std::atomic<bool> shutting_down_{false};
   bool shutdown_started_ = false;
   bool shutdown_complete_ = false;
+  // Mutating requests (OPEN/APPEND/QUERY/CLOSE) currently inside
+  // Dispatch.  Incremented under state_mu_ only while !shutting_down_;
+  // Shutdown waits for zero before snapshotting the session table, so a
+  // request that passed the draining check cannot land work behind the
+  // drain.
+  size_t inflight_requests_ = 0;
 };
 
 }  // namespace comptx::service

@@ -83,13 +83,26 @@ Session::Session(uint64_t id, const SessionOptions& options,
       certifier_(options.certifier),
       last_activity_(std::chrono::steady_clock::now()) {}
 
+void Session::ScheduleLocked(const std::function<void()>& schedule) {
+  if (scheduled_ || queue_.empty()) return;
+  scheduled_ = true;
+  // Invoked under mu_: the run queue's run_mu_ is a leaf lock (workers
+  // release it before calling ProcessBatch), so mu_ -> run_mu_ is the
+  // only nesting order and cannot deadlock.
+  schedule();
+}
+
 Status Session::Enqueue(std::vector<workload::TraceEvent> events,
-                        bool& needs_scheduling) {
-  needs_scheduling = false;
+                        const std::function<void()>& schedule) {
   std::unique_lock<std::mutex> lock(mu_);
   last_activity_ = std::chrono::steady_clock::now();
   for (workload::TraceEvent& event : events) {
     while (queue_.size() >= queue_capacity_ && !closing_) {
+      // Hand the already-pushed prefix to a worker before blocking for
+      // space: a batch larger than the queue capacity would otherwise
+      // fill an idle (never-scheduled) session and wait forever for a
+      // drain that no worker was asked to perform.
+      ScheduleLocked(schedule);
       metrics_->backpressure_waits.Increment();
       space_cv_.wait(lock);
     }
@@ -101,10 +114,7 @@ Status Session::Enqueue(std::vector<workload::TraceEvent> events,
     metrics_->events_enqueued.Increment();
     metrics_->queue_depth.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!scheduled_ && !queue_.empty()) {
-    scheduled_ = true;
-    needs_scheduling = true;
-  }
+  ScheduleLocked(schedule);
   last_activity_ = std::chrono::steady_clock::now();
   return Status::OK();
 }
@@ -128,7 +138,10 @@ bool Session::ProcessBatch(size_t max_events) {
   for (const workload::TraceEvent& event : batch) {
     if (!certifier_.Ingest(event).ok()) ++rejected;
   }
-  metrics_->events_processed.Add(batch.size());
+  // events_processed counts only successful ingests, so the invariant
+  // events_enqueued == events_processed + events_rejected holds once
+  // every queue drains.
+  metrics_->events_processed.Add(batch.size() - rejected);
   if (rejected > 0) metrics_->events_rejected.Add(rejected);
   metrics_->queue_depth.fetch_sub(static_cast<int64_t>(batch.size()),
                                   std::memory_order_relaxed);
@@ -177,9 +190,18 @@ size_t Session::QueueDepth() const {
   return queue_.size();
 }
 
-bool Session::IdleSince(std::chrono::steady_clock::time_point cutoff) const {
+bool Session::CloseIfIdle(std::chrono::steady_clock::time_point cutoff) {
   std::unique_lock<std::mutex> lock(mu_);
-  return queue_.empty() && !scheduled_ && !closing_ && last_activity_ < cutoff;
+  if (!queue_.empty() || scheduled_ || closing_ || last_activity_ >= cutoff) {
+    return false;
+  }
+  // Checking idleness and flipping closing_ under one hold of mu_ means a
+  // producer that already looked the session up either beat us (the
+  // queue is non-empty and we bail) or sees closing_ and fails — never
+  // an acknowledged enqueue into an evicted session.
+  closing_ = true;
+  space_cv_.notify_all();
+  return true;
 }
 
 SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics)
@@ -227,7 +249,7 @@ std::vector<std::shared_ptr<Session>> SessionManager::EvictIdle(
   std::unique_lock<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<Session>> evicted;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->IdleSince(cutoff)) {
+    if (it->second->CloseIfIdle(cutoff)) {
       evicted.push_back(it->second);
       it = sessions_.erase(it);
       metrics_->sessions_evicted.Increment();

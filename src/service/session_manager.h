@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -59,10 +60,14 @@ class Session {
   uint64_t id() const { return id_; }
 
   /// Enqueues `events`, blocking while the queue is full (backpressure).
-  /// Sets `needs_scheduling` when the caller must hand the session to the
-  /// worker run queue (it was idle).  Fails once the session is closing.
+  /// `schedule` hands the session to the worker run queue; it is invoked
+  /// (at most once per idle->scheduled transition, with `scheduled_`
+  /// already flipped) whenever the session holds events but no worker —
+  /// in particular for the already-pushed prefix *before* blocking for
+  /// space, so a batch larger than the queue capacity cannot deadlock an
+  /// idle session.  Fails once the session is closing.
   Status Enqueue(std::vector<workload::TraceEvent> events,
-                 bool& needs_scheduling);
+                 const std::function<void()>& schedule);
 
   /// Worker side: ingests up to `max_events` queued events.  Returns true
   /// when events remain (the worker re-schedules the session), false when
@@ -79,12 +84,23 @@ class Session {
   /// Current verdict; meaningful after WaitDrained.
   SessionVerdict Verdict() const;
 
-  /// Queue depth + idleness for eviction: idle = empty queue, no worker
-  /// attached, and no activity for `idle_for`.
   size_t QueueDepth() const;
-  bool IdleSince(std::chrono::steady_clock::time_point cutoff) const;
+
+  /// Eviction: atomically checks idleness (empty queue, no worker
+  /// attached, no activity since `cutoff`) and, if idle, marks the
+  /// session closing in the same critical section.  Because the check
+  /// and the close are one step under the session lock, a producer that
+  /// already passed the table lookup either enqueued first (the session
+  /// is no longer idle and survives) or enqueues after (and fails with
+  /// FailedPrecondition) — an acknowledged APPEND can never land in an
+  /// evicted session.
+  bool CloseIfIdle(std::chrono::steady_clock::time_point cutoff);
 
  private:
+  /// Hands the session to the run queue via `schedule` when it holds
+  /// events but no worker.  Caller holds mu_.
+  void ScheduleLocked(const std::function<void()>& schedule);
+
   const uint64_t id_;
   const size_t queue_capacity_;
   ServiceMetrics* const metrics_;
@@ -115,7 +131,8 @@ class SessionManager {
   /// for in-flight workers).  NotFound when absent.
   StatusOr<std::shared_ptr<Session>> Remove(uint64_t id);
 
-  /// Sessions idle since `cutoff`, removed from the table for eviction.
+  /// Sessions idle since `cutoff`, atomically marked closing
+  /// (Session::CloseIfIdle) and removed from the table.
   std::vector<std::shared_ptr<Session>> EvictIdle(
       std::chrono::steady_clock::time_point cutoff);
 

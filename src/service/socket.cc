@@ -29,6 +29,11 @@ void Socket::Close() {
   ::close(fd);
 }
 
+void Socket::ShutdownReadWrite() {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 std::string Endpoint::ToString() const {
   if (!unix_path.empty()) return StrCat("unix:", unix_path);
   return StrCat(host, ":", port);

@@ -9,11 +9,13 @@
 
 namespace comptx::service {
 
-/// Owns a POSIX socket descriptor.  Move-only; Close() is idempotent,
+/// Owns a POSIX socket descriptor.  Move-only; Close() is idempotent and
 /// thread-safe (the descriptor is swapped out atomically, so a concurrent
 /// Close from the server's shutdown path and the owner's destructor close
-/// it exactly once) and shuts the socket down first so a thread blocked
-/// in read() on the same descriptor wakes up.
+/// it exactly once).  To stop another thread blocked in read()/accept()
+/// on this socket, call ShutdownReadWrite() first, join that thread, and
+/// only then Close() — close()ing an fd another thread is still reading
+/// races with the kernel's descriptor reuse.
 class Socket {
  public:
   Socket() = default;
@@ -35,6 +37,11 @@ class Socket {
   bool valid() const { return fd() >= 0; }
 
   void Close();
+
+  /// Half-closes both directions without releasing the descriptor:
+  /// blocked read()s return 0 (EOF) and blocked accept()s fail, waking
+  /// their threads so the caller can join them before Close().
+  void ShutdownReadWrite();
 
  private:
   std::atomic<int> fd_{-1};

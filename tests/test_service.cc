@@ -291,7 +291,8 @@ TEST(CertificationServerTest, ShutdownDrainsEveryQueuedEvent) {
   }
   server.Shutdown();  // graceful: queued events certify before teardown
   EXPECT_EQ(server.metrics().events_enqueued.Value(),
-            server.metrics().events_processed.Value());
+            server.metrics().events_processed.Value() +
+                server.metrics().events_rejected.Value());
   EXPECT_EQ(server.metrics().queue_depth.load(), 0);
   // After shutdown every command is refused.
   Request open;
@@ -315,6 +316,62 @@ TEST(CertificationServerTest, RejectedEventsAreCountedNotFatal) {
   EXPECT_EQ(verdict->events_accepted, events.size() - 1);
   EXPECT_EQ(verdict->events_rejected, 1u);
   server.Shutdown();
+  // A workload with a real rejection keeps the counters consistent:
+  // events_processed counts successful ingests only.
+  EXPECT_EQ(server.metrics().events_rejected.Value(), 1u);
+  EXPECT_EQ(server.metrics().events_enqueued.Value(),
+            server.metrics().events_processed.Value() +
+                server.metrics().events_rejected.Value());
+}
+
+// Regression: an APPEND carrying more events than the queue capacity
+// into an idle session must schedule the pushed prefix before blocking
+// for space — otherwise the producer waits forever for a drain no
+// worker was asked to perform (this test hung before the fix).
+TEST(CertificationServerTest, AppendLargerThanQueueCapacityDoesNotDeadlock) {
+  ServerOptions options;
+  options.workers = 1;
+  options.batch_size = 1;
+  options.session.queue_capacity = 1;
+  CertificationServer server(options);
+  auto session = server.Open();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const auto events = GeneratedEvents(6, 99);
+  ASSERT_GT(events.size(), 1u);
+  ASSERT_TRUE(server.Append(*session, events).ok());
+  auto verdict = server.Query(*session);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->events_accepted + verdict->events_rejected,
+            events.size());
+  EXPECT_EQ(verdict->certifiable, BatchVerdict(events));
+  EXPECT_GT(server.metrics().backpressure_waits.Value(), 0u);
+  server.Shutdown();
+}
+
+// Eviction closes the session in the same critical section as the idle
+// check, so an enqueue can only ever lose the race by failing loudly
+// (session_closing), never by landing an acknowledged event in an
+// evicted session.
+TEST(SessionTest, CloseIfIdleIsAtomicWithTheIdleCheck) {
+  ServiceMetrics metrics;
+  Session session(1, SessionOptions{}, &metrics);
+  // A session with recent activity is not evictable...
+  EXPECT_FALSE(session.CloseIfIdle(std::chrono::steady_clock::now() -
+                                   std::chrono::hours(1)));
+  Status enqueued =
+      session.Enqueue(GeneratedEvents(2, 13), /*schedule=*/[] {});
+  ASSERT_TRUE(enqueued.ok()) << enqueued.ToString();
+  // ...nor is one with queued events, regardless of the cutoff.
+  EXPECT_FALSE(session.CloseIfIdle(std::chrono::steady_clock::now() +
+                                   std::chrono::hours(1)));
+  while (session.ProcessBatch(16)) {
+  }
+  EXPECT_TRUE(session.CloseIfIdle(std::chrono::steady_clock::now() +
+                                  std::chrono::hours(1)));
+  // Once closing, a racing producer fails instead of losing its events.
+  Status refused =
+      session.Enqueue(GeneratedEvents(2, 13), /*schedule=*/[] {});
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
 }
 
 // ------------------------------------------------------- TCP loopback
@@ -369,7 +426,8 @@ TEST(ServiceLoopbackTest, ShutdownCommandDrainsAndRefusesNewWork) {
   server.WaitShutdown();
   server.Shutdown();
   EXPECT_EQ(server.metrics().events_enqueued.Value(),
-            server.metrics().events_processed.Value());
+            server.metrics().events_processed.Value() +
+                server.metrics().events_rejected.Value());
 }
 
 // --------------------------------------------------------- concurrency
