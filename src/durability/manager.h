@@ -1,0 +1,177 @@
+#ifndef COMPTX_DURABILITY_MANAGER_H_
+#define COMPTX_DURABILITY_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "durability/recovery.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "online/certifier.h"
+#include "util/status_or.h"
+
+namespace comptx::durability {
+
+/// Server-level durability configuration (comptx_serve --data-dir etc.).
+/// Durability is off when `dir` is empty; everything in the service layer
+/// gates on enabled().
+struct Options {
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  uint64_t fsync_interval_ms = 5;
+  /// Snapshot (and compact the WAL) after this many newly ingested
+  /// events per session; 0 disables periodic snapshots (eviction and
+  /// graceful shutdown still snapshot).
+  uint64_t snapshot_events = 4096;
+  /// Cross-check every recovered session against the batch oracle at
+  /// startup (the RecoveryVerifier mode); failures poison server init.
+  bool verify_recovery = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+class Manager;
+
+/// The durability face of one live session.  Division of labor with the
+/// service layer (DESIGN.md §11.2):
+///
+///   * producers call LogAppend + SyncForAck under the session's append
+///     lock, so WAL order == queue order == ingest order — the property
+///     recovery replay depends on;
+///   * the single drain worker calls OnIngested/SnapshotDue/
+///     WriteSnapshot, so snapshots see a quiescent certifier;
+///   * lifecycle transitions (evict/close/shutdown) run on drained
+///     sessions only.
+///
+/// A crash between LogAppend and the client's ack can leave *unacked*
+/// events durable.  That is harmless over-persistence: logged events are
+/// always a prefix-extension of the acked stream, recovery replays them
+/// once, and a resuming client that queries the recovered event count
+/// continues from there without duplicating or losing anything.
+class SessionLog {
+ public:
+  ~SessionLog();
+
+  SessionLog(const SessionLog&) = delete;
+  SessionLog& operator=(const SessionLog&) = delete;
+
+  /// Appends one APPEND record covering `events` (assigns their sequence
+  /// numbers).  Caller must serialize with other LogAppend calls.
+  Status LogAppend(const std::vector<workload::TraceEvent>& events);
+
+  /// Ack barrier: under the `always` policy, blocks until every record
+  /// appended so far is fsynced (group commit); otherwise a no-op.
+  Status SyncForAck();
+
+  /// The drain worker ingested `n` more events.
+  void OnIngested(size_t n);
+
+  /// True when enough events were ingested since the last snapshot.
+  bool SnapshotDue() const;
+
+  /// Captures `certifier`, publishes the snapshot atomically, and
+  /// compacts the WAL past the watermark.  Call only from the drain
+  /// worker (or on a quiesced session).
+  Status WriteSnapshot(const online::Certifier& certifier);
+
+  /// Snapshot + durable EVICT marker: the session's files stay on disk
+  /// for a later resume.  Session must be drained.
+  Status PersistEvicted(const online::Certifier& certifier);
+
+  /// Snapshot + fsync for graceful shutdown; no lifecycle marker, so a
+  /// restart rebuilds the session as live.
+  Status PersistShutdown(const online::Certifier& certifier);
+
+  /// Durable CLOSE marker, then removes both files.  The marker makes a
+  /// crash between ack and unlink unambiguous: recovery deletes any
+  /// session whose log ends in CLOSE.
+  Status MarkClosedAndRemove();
+
+  uint64_t id() const { return id_; }
+  uint64_t logged_events() const {
+    return logged_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Manager;
+  SessionLog(Manager* manager, uint64_t id, std::string options_text);
+
+  Status SyncIfDirty();  // interval flusher hook
+
+  Manager* const manager_;
+  const uint64_t id_;
+  const std::string options_text_;
+
+  /// Guards the writer_ pointer itself against the one cross-thread
+  /// mutation: MarkClosedAndRemove resetting it while the interval
+  /// flusher is inside SyncIfDirty.  Held across the flusher's SyncNow
+  /// so the writer cannot be destroyed under a blocking fsync.  All
+  /// other writer_ uses run on session-serialized paths (producer
+  /// append lock / single drain worker) strictly before the close.
+  std::mutex writer_mu_;
+  std::unique_ptr<WalWriter> writer_;
+  std::atomic<uint64_t> logged_{0};    // events appended to the WAL
+  std::atomic<uint64_t> ingested_{0};  // events the worker consumed
+  std::atomic<uint64_t> snapshotted_{0};  // ingest watermark of last snap
+};
+
+/// Owns the durability directory: creates per-session logs, re-opens
+/// them for recovery/resume, and runs the interval-fsync flusher thread.
+class Manager {
+ public:
+  static StatusOr<std::unique_ptr<Manager>> Start(const Options& options,
+                                                  Counters* counters);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  const Options& options() const { return options_; }
+  Counters* counters() const { return counters_; }
+
+  /// Creates the WAL for a fresh session and writes + fsyncs its OPEN
+  /// record (session existence is durable under every policy before the
+  /// OPEN ack).
+  StatusOr<std::shared_ptr<SessionLog>> CreateLog(
+      uint64_t id, const std::string& options_text);
+
+  /// Re-opens the log of a recovered or resumed session: repairs any
+  /// torn tail in place, recreates a missing WAL from the snapshot's
+  /// metadata, and (for resume) appends a durable RESUME marker.
+  StatusOr<std::shared_ptr<SessionLog>> AdoptLog(
+      const SessionDurableState& state, bool resume);
+
+  std::vector<uint64_t> ListSessionIds() const {
+    return ListDurableSessionIds(options_.dir);
+  }
+  StatusOr<SessionDurableState> ReadState(uint64_t id) const {
+    return ReadSessionDurableState(options_.dir, id);
+  }
+  Status RemoveFiles(uint64_t id) {
+    return RemoveSessionFiles(options_.dir, id);
+  }
+
+ private:
+  explicit Manager(const Options& options, Counters* counters);
+
+  void Register(const std::shared_ptr<SessionLog>& log);
+  void FlusherLoop();
+
+  const Options options_;
+  Counters* const counters_;
+
+  std::mutex mu_;  // flusher registry + shutdown flag
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::vector<std::weak_ptr<SessionLog>> logs_;
+  std::thread flusher_;
+};
+
+}  // namespace comptx::durability
+
+#endif  // COMPTX_DURABILITY_MANAGER_H_

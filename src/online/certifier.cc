@@ -262,6 +262,17 @@ Status Certifier::Commit(NodeId root) {
   return Ingest(e);
 }
 
+std::vector<NodeId> Certifier::SealedRoots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_roots_;
+}
+
+void Certifier::RestoreCounters(uint64_t accepted, uint64_t rejected) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_accepted_ = accepted;
+  events_rejected_ = rejected;
+}
+
 void Certifier::MaybePruneLocked() {
   if (!options_.auto_prune || options_.epoch_interval == 0) return;
   if (events_since_prune_ < options_.epoch_interval) return;

@@ -125,6 +125,18 @@ class Certifier {
   /// Runs a pruning pass now; returns the number of nodes removed.
   size_t Prune();
 
+  /// Sealed roots in seal order, including already-pruned ones.  The
+  /// durability snapshot persists these so a restore can re-seal
+  /// (online/state_io.h); sealing order matters because re-sealing
+  /// replays commits through Ingest.
+  std::vector<NodeId> SealedRoots() const;
+
+  /// Overwrites the stream counters.  Recovery-only: a restored session
+  /// must report the original stream's accepted/rejected totals, not the
+  /// replay's (the replay ingests only the accepted history plus
+  /// synthesized commit events).
+  void RestoreCounters(uint64_t accepted, uint64_t rejected);
+
   /// While certifiable: live (unpruned) roots in a serializable order,
   /// read off the maintained topological order of the top-level front
   /// (Theorem 1).  Empty when not certifiable.

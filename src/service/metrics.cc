@@ -140,6 +140,17 @@ std::string ServiceMetrics::RenderText() const {
   line("verdict_queries", verdict_queries.Value());
   line("backpressure_waits", backpressure_waits.Value());
   line("protocol_errors", protocol_errors.Value());
+  const auto counter = [](const std::atomic<uint64_t>& value) {
+    return value.load(std::memory_order_relaxed);
+  };
+  line("wal_appends", counter(durability.wal_appends));
+  line("wal_bytes", counter(durability.wal_bytes));
+  line("fsyncs", counter(durability.fsyncs));
+  line("snapshots_written", counter(durability.snapshots_written));
+  line("sessions_recovered", counter(durability.sessions_recovered));
+  line("records_truncated", counter(durability.records_truncated));
+  line("recovered_events", counter(durability.recovered_events));
+  line("recovery_mismatches", counter(durability.recovery_mismatches));
   line("append_latency_us", append.Summary());
   line("verdict_latency_us", verdict.Summary());
   return out;

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "durability/wal.h"
+
 namespace comptx::service {
 
 /// A counter sharded over cache-line-sized stripes so that concurrent
@@ -105,6 +107,12 @@ class ServiceMetrics {
   StripedCounter verdict_queries;
   StripedCounter backpressure_waits;  // producer blocked on a full queue
   StripedCounter protocol_errors;
+
+  // --- durability ---------------------------------------------------
+  // Written by the durability layer (WAL writers, snapshotter, recovery),
+  // which takes a pointer to this block so it never depends on the
+  // service layer.  All zero when the server runs without --data-dir.
+  durability::Counters durability;
 
   // --- gauges -------------------------------------------------------
   std::atomic<int64_t> active_sessions{0};

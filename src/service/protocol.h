@@ -26,7 +26,7 @@ namespace comptx::service {
 /// Request payloads: a command line, then an optional body.
 ///
 ///     OPEN [key=value ...]        options: forgetting, epoch_interval,
-///                                 auto_prune, queue_capacity
+///                                 auto_prune, queue_capacity, resume
 ///     APPEND <session-id>         body: one trace event line per line
 ///     QUERY <session-id>          drain barrier + verdict
 ///     CLOSE <session-id>          drain + final verdict + free the slot
@@ -44,6 +44,16 @@ namespace comptx::service {
 /// asynchronously by the worker pool); QUERY and CLOSE wait for the
 /// session's queue to drain, so their accepted/rejected/certifiable
 /// fields describe every event appended before them.
+///
+/// Durability (server started with --data-dir, DESIGN.md §11): an acked
+/// APPEND is also *durable* under the server's fsync policy, OPEN with
+/// resume=<id> re-opens a persisted (evicted or pre-restart) session —
+/// the OK carries resumed_events, the count of durably logged events, so
+/// the client continues the stream from there — and the STATS body gains
+/// the durability counters (wal_appends, wal_bytes, fsyncs,
+/// snapshots_written, sessions_recovered, records_truncated,
+/// recovered_events, recovery_mismatches).  The frame grammar is
+/// unchanged: v1 clients interoperate untouched.
 constexpr size_t kMaxFrameBytes = 4u << 20;
 
 enum class CommandKind : uint8_t {

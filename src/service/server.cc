@@ -54,10 +54,44 @@ void AppendVerdictFields(const SessionVerdict& verdict, Response& response) {
 
 }  // namespace
 
+namespace {
+
+/// Ctor helper: starts the durability manager (or returns null when
+/// disabled), parking any failure in `init_status` for InitStatus().
+std::unique_ptr<durability::Manager> StartDurability(
+    const durability::Options& options, durability::Counters* counters,
+    Status* init_status) {
+  if (!options.enabled()) return nullptr;
+  auto manager = durability::Manager::Start(options, counters);
+  if (!manager.ok()) {
+    *init_status = manager.status();
+    return nullptr;
+  }
+  return std::move(manager).value();
+}
+
+}  // namespace
+
 CertificationServer::CertificationServer(const ServerOptions& options)
     : options_(options),
-      sessions_(options.max_sessions, &metrics_),
+      durability_(StartDurability(options.durability, &metrics_.durability,
+                                  &init_status_)),
+      sessions_(options.max_sessions, &metrics_, durability_.get()),
       pool_(std::make_unique<ThreadPool>(std::max<size_t>(1, options.workers))) {
+  // Recover before anything serves or ticks: the table must hold every
+  // crashed-but-live session before the first OPEN can reuse an id and
+  // before the eviction sweep can observe a half-built table.
+  if (durability_ != nullptr && init_status_.ok()) {
+    auto recovered = sessions_.RecoverAll(options_.session,
+                                          options_.durability.verify_recovery);
+    if (!recovered.ok()) {
+      init_status_ = recovered.status();
+      COMPTX_LOG(Error) << "recovery failed: " << init_status_;
+    } else if (*recovered > 0) {
+      COMPTX_LOG(Info) << "recovered " << *recovered
+                       << " session(s) from " << options_.durability.dir;
+    }
+  }
   const size_t workers = std::max<size_t>(1, options_.workers);
   pool_host_ = std::thread([this, workers] {
     pool_->ParallelFor(workers, [this](size_t) { WorkerLoop(); });
@@ -127,6 +161,15 @@ size_t CertificationServer::EvictIdleNow() {
   const std::vector<std::shared_ptr<Session>> evicted =
       sessions_.EvictIdle(cutoff);
   for (const std::shared_ptr<Session>& session : evicted) {
+    // Persist-then-evict: CloseIfIdle only fires on a drained session
+    // (empty queue, no worker attached) and marked it closing in the same
+    // critical section, so the certifier is quiescent here and no new
+    // event can sneak in between the snapshot and the EVICT marker.
+    const Status persisted = session->PersistEvicted();
+    if (!persisted.ok()) {
+      COMPTX_LOG(Warn) << "persisting evicted session " << session->id()
+                       << " failed: " << persisted;
+    }
     COMPTX_LOG(Debug) << "evicted idle session " << session->id();
   }
   return evicted.size();
@@ -189,10 +232,21 @@ Response CertificationServer::HandleOpen(const Request& request) {
     metrics_.protocol_errors.Increment();
     return StatusResponse(options.status());
   }
-  auto session = sessions_.Open(*options);
+  auto session = options->resume != 0
+                     ? sessions_.Resume(options->resume, *options,
+                                        options_.session)
+                     : sessions_.Open(*options, request.options);
   if (!session.ok()) return StatusResponse(session.status());
   Response response = OkResponse();
   response.fields.emplace_back("session", StrCat((*session)->id()));
+  if (options->resume != 0) {
+    // The resuming client learns where the durable stream ends, so it can
+    // continue from there without re-sending covered events.
+    const SessionVerdict verdict = (*session)->Verdict();
+    response.fields.emplace_back(
+        "resumed_events",
+        StrCat(verdict.events_accepted + verdict.events_rejected));
+  }
   return response;
 }
 
@@ -221,6 +275,16 @@ Response CertificationServer::HandleQueryOrClose(const Request& request,
   if (close) (*session)->BeginClose();
   (*session)->WaitDrained();
   const SessionVerdict verdict = (*session)->Verdict();
+  if (close) {
+    // CLOSE was acked with the final verdict; the durable state has no
+    // further consumer.  The CLOSE marker makes a crash between here and
+    // the unlink unambiguous for recovery.
+    const Status discarded = (*session)->DiscardDurableState();
+    if (!discarded.ok()) {
+      COMPTX_LOG(Warn) << "discarding durable state of session "
+                       << verdict.session << " failed: " << discarded;
+    }
+  }
   metrics_.verdict_queries.Increment();
   metrics_.verdict_latency.Record(MicrosSince(start));
   Response response = OkResponse();
@@ -386,10 +450,18 @@ void CertificationServer::Shutdown() {
 
   // 1. Drain every session through the still-running workers.  BeginClose
   //    fails producers blocked in backpressure, so no new events can land
-  //    after the drain barrier passes.
+  //    after the drain barrier passes.  With durability, each drained
+  //    session is snapshotted (no lifecycle marker: a restart rebuilds it
+  //    as live, so a graceful shutdown is indistinguishable from a crash
+  //    to clients — just faster to recover).
   for (const std::shared_ptr<Session>& session : sessions_.All()) {
     session->BeginClose();
     session->WaitDrained();
+    const Status persisted = session->PersistShutdown();
+    if (!persisted.ok()) {
+      COMPTX_LOG(Warn) << "persisting session " << session->id()
+                       << " at shutdown failed: " << persisted;
+    }
   }
 
   // 2. Stop the ticker.

@@ -36,12 +36,18 @@ struct ServerOptions {
   /// hand-off.
   size_t batch_size = 256;
 
-  /// Evict sessions with no traffic for this long (0 disables).  Evicted
-  /// ids answer not_found afterwards, exactly like a closed session.
+  /// Evict sessions with no traffic for this long (0 disables).  Without
+  /// durability an evicted id answers not_found afterwards, exactly like
+  /// a closed session; with durability the session is persisted first and
+  /// an OPEN with resume=<id> restores it from disk.
   uint64_t idle_timeout_ms = 0;
 
   /// Log one metrics line at this interval (0 disables).
   uint64_t stats_interval_ms = 0;
+
+  /// Per-session WAL + snapshots + crash recovery (DESIGN.md §11); off
+  /// while `durability.dir` is empty.
+  durability::Options durability;
 };
 
 /// The multi-session certification server.
@@ -80,6 +86,12 @@ class CertificationServer {
   ServiceMetrics& metrics() { return metrics_; }
   const ServerOptions& options() const { return options_; }
   size_t SessionCount() const { return sessions_.Count(); }
+
+  /// Durability/recovery outcome of construction.  Non-OK when the data
+  /// dir could not be set up, a session failed to rebuild, or (with
+  /// verify_recovery) a recovered verdict diverged from the batch oracle.
+  /// The daemon refuses to serve in that case; tests assert on it.
+  const Status& InitStatus() const { return init_status_; }
 
   /// Runs one idle-eviction sweep now (the ticker calls this
   /// periodically; tests call it directly).  Returns evicted sessions.
@@ -124,6 +136,12 @@ class CertificationServer {
 
   const ServerOptions options_;
   ServiceMetrics metrics_;
+  // Declared before sessions_: the session manager holds a raw pointer
+  // into the durability manager, so construction/destruction order
+  // matters.  init_status_ collects durability setup + recovery failures
+  // (a constructor cannot return a Status).
+  Status init_status_;
+  std::unique_ptr<durability::Manager> durability_;
   SessionManager sessions_;
 
   // Run queue: sessions with pending events, each present at most once

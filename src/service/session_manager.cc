@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace comptx::service {
@@ -68,6 +69,11 @@ StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
         return Status::InvalidArgument("queue_capacity must be positive");
       }
       options.queue_capacity = static_cast<size_t>(parsed);
+    } else if (key == "resume") {
+      COMPTX_ASSIGN_OR_RETURN(options.resume, ParseUint(key, value));
+      if (options.resume == 0) {
+        return Status::InvalidArgument("resume needs a session id");
+      }
     } else {
       return Status::InvalidArgument(StrCat("unknown OPEN option '", key, "'"));
     }
@@ -76,11 +82,20 @@ StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
 }
 
 Session::Session(uint64_t id, const SessionOptions& options,
-                 ServiceMetrics* metrics)
+                 ServiceMetrics* metrics,
+                 std::shared_ptr<durability::SessionLog> log)
+    : Session(id, options, metrics, std::move(log),
+              std::make_unique<online::Certifier>(options.certifier)) {}
+
+Session::Session(uint64_t id, const SessionOptions& options,
+                 ServiceMetrics* metrics,
+                 std::shared_ptr<durability::SessionLog> log,
+                 std::unique_ptr<online::Certifier> certifier)
     : id_(id),
       queue_capacity_(options.queue_capacity),
       metrics_(metrics),
-      certifier_(options.certifier),
+      certifier_(std::move(certifier)),
+      log_(std::move(log)),
       last_activity_(std::chrono::steady_clock::now()) {}
 
 void Session::ScheduleLocked(const std::function<void()>& schedule) {
@@ -94,6 +109,29 @@ void Session::ScheduleLocked(const std::function<void()>& schedule) {
 
 Status Session::Enqueue(std::vector<workload::TraceEvent> events,
                         const std::function<void()>& schedule) {
+  // Whole-batch serialization: holding append_mu_ across the entire call
+  // (including backpressure waits) keeps WAL record order identical to
+  // queue order, so recovery replay reproduces the ingest stream.  The
+  // drain worker never takes append_mu_, so producers blocked here do not
+  // stall the drain that frees their space.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  if (log_ != nullptr) {
+    {
+      // Log-then-push, but never log into a closing session: after CLOSE
+      // the WAL gains its CLOSE marker and the files are removed, so a
+      // late append must fail before touching the writer.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closing_) {
+        return Status::FailedPrecondition(
+            StrCat("session ", id_, " is closing"));
+      }
+    }
+    // Events are durable (after SyncForAck below) *before* the client
+    // sees the ack.  A crash between here and the ack over-persists the
+    // batch — harmless: recovery replays it once and a resuming client
+    // continues from the recovered event count.
+    COMPTX_RETURN_IF_ERROR(log_->LogAppend(events));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   last_activity_ = std::chrono::steady_clock::now();
   for (workload::TraceEvent& event : events) {
@@ -116,6 +154,12 @@ Status Session::Enqueue(std::vector<workload::TraceEvent> events,
   }
   ScheduleLocked(schedule);
   last_activity_ = std::chrono::steady_clock::now();
+  lock.unlock();
+  // The group-commit ack barrier (fsync under the `always` policy).  Done
+  // outside mu_ so the drain worker and other producers keep moving, but
+  // inside append_mu_ — the ordering guarantee costs nothing extra here
+  // because concurrent ackers still share one fsync via the writer.
+  if (log_ != nullptr) COMPTX_RETURN_IF_ERROR(log_->SyncForAck());
   return Status::OK();
 }
 
@@ -136,7 +180,7 @@ bool Session::ProcessBatch(size_t max_events) {
   // producers keep enqueueing (into the freed capacity) concurrently.
   uint64_t rejected = 0;
   for (const workload::TraceEvent& event : batch) {
-    if (!certifier_.Ingest(event).ok()) ++rejected;
+    if (!certifier_->Ingest(event).ok()) ++rejected;
   }
   // events_processed counts only successful ingests, so the invariant
   // events_enqueued == events_processed + events_rejected holds once
@@ -145,6 +189,21 @@ bool Session::ProcessBatch(size_t max_events) {
   if (rejected > 0) metrics_->events_rejected.Add(rejected);
   metrics_->queue_depth.fetch_sub(static_cast<int64_t>(batch.size()),
                                   std::memory_order_relaxed);
+
+  if (log_ != nullptr && !batch.empty()) {
+    log_->OnIngested(batch.size());
+    if (log_->SnapshotDue()) {
+      // Snapshotting here is safe: the scheduled_ flag makes this worker
+      // the certifier's only writer, so the capture sees a quiescent
+      // image covering exactly the ingested prefix.  Failure is logged,
+      // not fatal — the WAL alone still recovers the session.
+      const Status snapshot = log_->WriteSnapshot(*certifier_);
+      if (!snapshot.ok()) {
+        COMPTX_LOG(Warn) << "snapshot of session " << id_
+                         << " failed: " << snapshot;
+      }
+    }
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   space_cv_.notify_all();
@@ -168,9 +227,30 @@ void Session::BeginClose() {
   space_cv_.notify_all();
 }
 
+Status Session::PersistEvicted() {
+  if (log_ == nullptr) return Status::OK();
+  return log_->PersistEvicted(*certifier_);
+}
+
+Status Session::PersistShutdown() {
+  if (log_ == nullptr) return Status::OK();
+  return log_->PersistShutdown(*certifier_);
+}
+
+Status Session::DiscardDurableState() {
+  if (log_ == nullptr) return Status::OK();
+  // Serializes with any producer still inside Enqueue: once we hold
+  // append_mu_ the producer either finished logging (its events drained
+  // before our caller's WaitDrained returned, or they sit in the WAL the
+  // CLOSE marker now supersedes) or it has not logged yet and will see
+  // closing_ first.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  return log_->MarkClosedAndRemove();
+}
+
 SessionVerdict Session::Verdict() const {
-  const online::CertifierVerdict verdict = certifier_.Verdict();
-  const online::CertifierStats stats = certifier_.Stats();
+  const online::CertifierVerdict verdict = certifier_->Verdict();
+  const online::CertifierStats stats = certifier_->Stats();
   SessionVerdict out;
   out.session = id_;
   out.certifiable = verdict.certifiable;
@@ -204,22 +284,128 @@ bool Session::CloseIfIdle(std::chrono::steady_clock::time_point cutoff) {
   return true;
 }
 
-SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics)
-    : max_sessions_(max_sessions), metrics_(metrics) {}
+SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics,
+                               durability::Manager* durability)
+    : max_sessions_(max_sessions),
+      metrics_(metrics),
+      durability_(durability) {}
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Open(
-    const SessionOptions& options) {
+    const SessionOptions& options, const std::string& options_text) {
   std::unique_lock<std::mutex> lock(mu_);
   if (sessions_.size() >= max_sessions_) {
     return Status::ResourceExhausted(
         StrCat("session limit of ", max_sessions_, " reached"));
   }
   const uint64_t id = next_id_++;
-  auto session = std::make_shared<Session>(id, options, metrics_);
+  std::shared_ptr<durability::SessionLog> log;
+  if (durability_ != nullptr) {
+    // One file creation + fsync per session lifetime; serialized under
+    // the table lock, which also keeps id assignment and log creation
+    // atomic (no WAL file without a table entry racing recovery's view).
+    COMPTX_ASSIGN_OR_RETURN(log, durability_->CreateLog(id, options_text));
+  }
+  auto session = std::make_shared<Session>(id, options, metrics_, std::move(log));
   sessions_.emplace(id, session);
   metrics_->sessions_opened.Increment();
   metrics_->active_sessions.fetch_add(1, std::memory_order_relaxed);
   return session;
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::RestoreLocked(
+    const durability::SessionDurableState& state, const SessionOptions& options,
+    bool resume, bool verify) {
+  COMPTX_ASSIGN_OR_RETURN(auto certifier,
+                          durability::RebuildCertifier(state, options.certifier));
+  if (verify) {
+    const Status verdict = durability::VerifyRecovery(*certifier, state.event_seq);
+    if (!verdict.ok()) {
+      metrics_->durability.recovery_mismatches.fetch_add(
+          1, std::memory_order_relaxed);
+      return Status::Internal(StrCat("session ", state.id, ": ",
+                                     verdict.message()));
+    }
+  }
+  COMPTX_ASSIGN_OR_RETURN(auto log, durability_->AdoptLog(state, resume));
+  auto session = std::make_shared<Session>(state.id, options, metrics_,
+                                           std::move(log), std::move(certifier));
+  sessions_.emplace(state.id, session);
+  next_id_ = std::max(next_id_, state.id + 1);
+
+  // Recovered events re-enter the pipeline counters on all three sides at
+  // once, so the invariant enqueued == processed + rejected holds across
+  // a restart (and across a same-process evict/resume cycle, where the
+  // events are counted again — counters are cumulative, not a census).
+  const SessionVerdict verdict = session->Verdict();
+  metrics_->events_enqueued.Add(verdict.events_accepted +
+                                verdict.events_rejected);
+  metrics_->events_processed.Add(verdict.events_accepted);
+  metrics_->events_rejected.Add(verdict.events_rejected);
+  metrics_->active_sessions.fetch_add(1, std::memory_order_relaxed);
+  metrics_->durability.sessions_recovered.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  metrics_->durability.recovered_events.fetch_add(
+      verdict.events_accepted + verdict.events_rejected,
+      std::memory_order_relaxed);
+  return session;
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Resume(
+    uint64_t resume_id, const SessionOptions& request,
+    const SessionOptions& defaults) {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "resume requires a durability directory (--data-dir)");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sessions_.count(resume_id) > 0) {
+    return Status::AlreadyExists(
+        StrCat("session ", resume_id, " is already open"));
+  }
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        StrCat("session limit of ", max_sessions_, " reached"));
+  }
+  auto state = durability_->ReadState(resume_id);
+  if (!state.ok()) return state.status();
+  if (state->closed || state->Empty()) {
+    return Status::NotFound(StrCat("session ", resume_id,
+                                   " was closed; nothing to resume"));
+  }
+  // The certifier configuration is part of the stream's meaning, so it
+  // comes from the stored OPEN options; only the queue knob follows the
+  // resuming client's request.
+  COMPTX_ASSIGN_OR_RETURN(SessionOptions options,
+                          ParseSessionOptions(state->options, defaults));
+  options.queue_capacity = request.queue_capacity;
+  return RestoreLocked(*state, options, /*resume=*/true,
+                       durability_->options().verify_recovery);
+}
+
+StatusOr<size_t> SessionManager::RecoverAll(const SessionOptions& defaults,
+                                            bool verify) {
+  if (durability_ == nullptr) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t recovered = 0;
+  for (const uint64_t id : durability_->ListSessionIds()) {
+    COMPTX_ASSIGN_OR_RETURN(durability::SessionDurableState state,
+                            durability_->ReadState(id));
+    if (state.closed || state.Empty()) {
+      // CLOSE was acked (or nothing durable ever landed): finish the
+      // interrupted unlink.
+      COMPTX_RETURN_IF_ERROR(durability_->RemoveFiles(id));
+      continue;
+    }
+    // Never reassign an id that still names on-disk state.
+    next_id_ = std::max(next_id_, id + 1);
+    if (state.evicted) continue;  // stays on disk until a resume=<id> OPEN
+    COMPTX_ASSIGN_OR_RETURN(SessionOptions options,
+                            ParseSessionOptions(state.options, defaults));
+    COMPTX_RETURN_IF_ERROR(
+        RestoreLocked(state, options, /*resume=*/false, verify).status());
+    ++recovered;
+  }
+  return recovered;
 }
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Find(uint64_t id) const {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durability/manager.h"
 #include "online/certifier.h"
 #include "service/metrics.h"
 #include "util/status_or.h"
@@ -27,10 +28,15 @@ struct SessionOptions {
   /// client streaming faster than the workers certify is slowed to the
   /// certification rate instead of growing the heap.
   size_t queue_capacity = 4096;
+
+  /// Non-zero: this OPEN resumes the evicted (or shut-down-while-evicted)
+  /// session with that id from the durability directory instead of
+  /// creating a new session.  Requires the server to run with a data dir.
+  uint64_t resume = 0;
 };
 
 /// Parses "key=value ..." OPEN options (forgetting, epoch_interval,
-/// auto_prune, queue_capacity) over `defaults`.
+/// auto_prune, queue_capacity, resume) over `defaults`.
 StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
                                              const SessionOptions& defaults);
 
@@ -55,7 +61,14 @@ struct SessionVerdict {
 /// so a QUERY observes all of the client's prior APPENDs.
 class Session {
  public:
-  Session(uint64_t id, const SessionOptions& options, ServiceMetrics* metrics);
+  /// Fresh session; `log` is null when durability is disabled.
+  Session(uint64_t id, const SessionOptions& options, ServiceMetrics* metrics,
+          std::shared_ptr<durability::SessionLog> log = nullptr);
+
+  /// Recovered/resumed session: adopts a certifier rebuilt from disk.
+  Session(uint64_t id, const SessionOptions& options, ServiceMetrics* metrics,
+          std::shared_ptr<durability::SessionLog> log,
+          std::unique_ptr<online::Certifier> certifier);
 
   uint64_t id() const { return id_; }
 
@@ -96,6 +109,17 @@ class Session {
   /// evicted session.
   bool CloseIfIdle(std::chrono::steady_clock::time_point cutoff);
 
+  /// Durability lifecycle, all no-ops without a log and all requiring a
+  /// drained session (empty queue, no worker attached) — the callers
+  /// guarantee that via CloseIfIdle / BeginClose+WaitDrained:
+  ///   PersistEvicted   - snapshot + durable EVICT marker; files stay for
+  ///                      a later resume=<id> OPEN.
+  ///   PersistShutdown  - snapshot + fsync; the session recovers as live.
+  ///   DiscardDurableState - durable CLOSE marker, then delete the files.
+  Status PersistEvicted();
+  Status PersistShutdown();
+  Status DiscardDurableState();
+
  private:
   /// Hands the session to the run queue via `schedule` when it holds
   /// events but no worker.  Caller holds mu_.
@@ -104,7 +128,16 @@ class Session {
   const uint64_t id_;
   const size_t queue_capacity_;
   ServiceMetrics* const metrics_;
-  online::Certifier certifier_;
+  std::unique_ptr<online::Certifier> certifier_;
+  std::shared_ptr<durability::SessionLog> log_;
+
+  /// Serializes whole Enqueue calls (and DiscardDurableState) so the WAL
+  /// record order equals the queue order — the property recovery replay
+  /// depends on.  Without it two producers' batches could interleave
+  /// mid-batch across a backpressure wait while their WAL records stay
+  /// whole.  Ordering: append_mu_ is taken strictly before mu_ and never
+  /// by the drain worker, so it adds no cycle to the lock graph.
+  std::mutex append_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable space_cv_;  // producers wait for queue room
@@ -120,10 +153,37 @@ class Session {
 /// lives in the server, not here — the manager is purely the registry.
 class SessionManager {
  public:
-  SessionManager(size_t max_sessions, ServiceMetrics* metrics);
+  /// `durability` may be null (no --data-dir); the manager never owns it.
+  SessionManager(size_t max_sessions, ServiceMetrics* metrics,
+                 durability::Manager* durability);
 
   /// Admission control: fails with ResourceExhausted at max_sessions.
-  StatusOr<std::shared_ptr<Session>> Open(const SessionOptions& options);
+  /// `options_text` is the raw OPEN options string, persisted in the
+  /// session's OPEN record so recovery rebuilds with the same knobs.
+  StatusOr<std::shared_ptr<Session>> Open(const SessionOptions& options,
+                                          const std::string& options_text);
+
+  /// Re-opens session `resume_id` from the durability directory: rebuilds
+  /// the certifier from its snapshot + WAL suffix, re-registers it under
+  /// its original id, and appends a durable RESUME marker.  Fails with
+  /// NotFound when nothing durable exists (or the session was closed),
+  /// AlreadyExists when the id is currently live, InvalidArgument without
+  /// durability.  Only `queue_capacity` from `request` is honored; the
+  /// certifier knobs come from the stored OPEN options parsed over
+  /// `defaults` — the same layering the original OPEN used — because
+  /// changing them mid-stream would change the session's meaning.
+  StatusOr<std::shared_ptr<Session>> Resume(uint64_t resume_id,
+                                            const SessionOptions& request,
+                                            const SessionOptions& defaults);
+
+  /// Startup recovery: scans the durability directory and classifies
+  /// every session by its last lifecycle marker — CLOSE: delete files;
+  /// EVICT: leave on disk (resumable); otherwise rebuild into the table
+  /// as live.  With `verify`, every rebuilt session is cross-checked
+  /// against the batch oracle (durability::VerifyRecovery) and any
+  /// mismatch fails the whole recovery.  Returns the number of sessions
+  /// rebuilt into memory.
+  StatusOr<size_t> RecoverAll(const SessionOptions& defaults, bool verify);
 
   StatusOr<std::shared_ptr<Session>> Find(uint64_t id) const;
 
@@ -142,8 +202,16 @@ class SessionManager {
   size_t Count() const;
 
  private:
+  /// Builds a Session from its on-disk state and registers it.  Caller
+  /// holds mu_.  `resume` selects the RESUME marker (vs. plain startup
+  /// recovery) and is reflected in the metrics it bumps.
+  StatusOr<std::shared_ptr<Session>> RestoreLocked(
+      const durability::SessionDurableState& state,
+      const SessionOptions& options, bool resume, bool verify);
+
   const size_t max_sessions_;
   ServiceMetrics* const metrics_;
+  durability::Manager* const durability_;
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;

@@ -14,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "util/string_util.h"
 #include "workload/trace.h"
 #include "workload/workload_spec.h"
@@ -288,7 +290,8 @@ TEST(ShrinkCliTest, CleanCampaignExitsZero) {
 TEST(VersionHelpCliTest, EveryToolAnswersVersionWithExitZero) {
   const char* bins[] = {COMPTX_CERTIFY_BIN,       COMPTX_LINT_BIN,
                         COMPTX_SHRINK_BIN,        COMPTX_EXPORT_TRACES_BIN,
-                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN};
+                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN,
+                        COMPTX_WALCHECK_BIN};
   for (const char* bin : bins) {
     RunResult r = RunCli(StrCat(bin, " --version"));
     EXPECT_EQ(r.exit_code, 0) << bin << ": " << r.stderr_text;
@@ -300,7 +303,8 @@ TEST(VersionHelpCliTest, EveryToolAnswersVersionWithExitZero) {
 TEST(VersionHelpCliTest, EveryToolAnswersHelpWithExitZero) {
   const char* bins[] = {COMPTX_CERTIFY_BIN,       COMPTX_LINT_BIN,
                         COMPTX_SHRINK_BIN,        COMPTX_EXPORT_TRACES_BIN,
-                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN};
+                        COMPTX_SERVE_BIN,         COMPTX_LOAD_BIN,
+                        COMPTX_WALCHECK_BIN};
   for (const char* bin : bins) {
     RunResult r = RunCli(StrCat(bin, " --help"));
     EXPECT_EQ(r.exit_code, 0) << bin << ": " << r.stderr_text;
@@ -327,6 +331,87 @@ TEST(ShrinkCliTest, InjectedCampaignWritesReplayableWitnesses) {
                                 (corpus / "*.json").string()));
   EXPECT_EQ(replay.exit_code, 0)
       << replay.stdout_text << replay.stderr_text;
+}
+
+// ----------------------------------------------------------- walcheck
+
+TEST(WalcheckCliTest, NoPathsIsAUsageError) {
+  RunResult r = RunCli(COMPTX_WALCHECK_BIN);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "usage")) << r.stderr_text;
+}
+
+TEST(WalcheckCliTest, MissingPathIsAnIoError) {
+  RunResult r = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ",
+                           (Scratch() / "no_such_dir_or_file.wal").string()));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(Contains(r.stderr_text, "no such")) << r.stderr_text;
+}
+
+TEST(WalcheckCliTest, VerifyDetectRepairCycleOnARealWal) {
+  const std::filesystem::path dir = Scratch() / "walcheck_data";
+  std::filesystem::create_directories(dir);
+  // Build a real session WAL through the durability API.
+  durability::Counters counters;
+  const std::string wal = durability::WalPath(dir.string(), 9);
+  {
+    auto writer = durability::WalWriter::Create(
+        wal, durability::FsyncPolicy::kNone, &counters);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    durability::WalRecord open;
+    open.type = durability::WalRecordType::kOpen;
+    open.options = "epoch_interval=8";
+    ASSERT_TRUE((*writer)->Append(open).ok());
+    durability::WalRecord append;
+    append.type = durability::WalRecordType::kAppend;
+    append.seq = 1;
+    for (uint32_t i = 0; i < 4; ++i) {
+      workload::TraceEvent event;
+      event.kind = workload::TraceEventKind::kConflict;
+      event.a = i;
+      event.b = i + 1;
+      append.events.push_back(event);
+    }
+    ASSERT_TRUE((*writer)->Append(append).ok());
+    ASSERT_TRUE((*writer)->SyncNow().ok());
+  }
+
+  // Clean WAL: exit 0, summary mentions the record/event counts.
+  RunResult clean = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(clean.exit_code, 0) << clean.stdout_text << clean.stderr_text;
+  EXPECT_TRUE(Contains(clean.stdout_text, "clean")) << clean.stdout_text;
+  // --dump prints the per-record lines.
+  RunResult dump =
+      RunCli(StrCat(COMPTX_WALCHECK_BIN, " --dump ", dir.string()));
+  EXPECT_EQ(dump.exit_code, 0);
+  EXPECT_TRUE(Contains(dump.stdout_text, "lsn=0 OPEN")) << dump.stdout_text;
+  EXPECT_TRUE(Contains(dump.stdout_text, "APPEND seq=1 count=4"))
+      << dump.stdout_text;
+
+  // Tear the tail: exit 1 and the damage report names the truncation.
+  {
+    std::ifstream in(wal, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 3));
+  }
+  RunResult torn = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(torn.exit_code, 1) << torn.stdout_text;
+  EXPECT_TRUE(Contains(torn.stdout_text, "TORN")) << torn.stdout_text;
+  EXPECT_TRUE(Contains(torn.stdout_text, "truncation lsn=1"))
+      << torn.stdout_text;
+
+  // --repair truncates in place; the re-check is clean again.
+  RunResult repair =
+      RunCli(StrCat(COMPTX_WALCHECK_BIN, " --repair ", dir.string()));
+  EXPECT_EQ(repair.exit_code, 0) << repair.stdout_text;
+  EXPECT_TRUE(Contains(repair.stdout_text, "repaired")) << repair.stdout_text;
+  RunResult again = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(again.exit_code, 0) << again.stdout_text;
+  EXPECT_TRUE(Contains(again.stdout_text, "1 record(s)"))
+      << again.stdout_text;
 }
 
 }  // namespace

@@ -10,12 +10,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/correctness.h"
+#include "durability/recovery.h"
 #include "online/certifier.h"
+#include "util/string_util.h"
 #include "service/client.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
@@ -534,6 +537,134 @@ TEST(CertifierConcurrencyTest, ConcurrentReadersSeeConsistentVerdicts) {
   for (auto& reader : readers) reader.join();
   EXPECT_EQ(certifier.Stats().events_accepted, accepted);
   EXPECT_EQ(certifier.Certifiable(), BatchVerdict(events));
+}
+
+// ------------------------------------------------- durable sessions
+
+/// A fresh durability directory per test case.
+std::string DurabilityDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      StrCat("comptx_svc_dur_", static_cast<unsigned long>(::getpid())) /
+      name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(DurableServerTest, SessionsSurviveRestartWithConsistentCounters) {
+  const std::string dir = DurabilityDir("restart");
+  ServerOptions options;
+  options.workers = 2;
+  options.durability.dir = dir;
+  options.durability.fsync = durability::FsyncPolicy::kNone;
+  options.durability.snapshot_events = 16;  // some sessions will compact
+
+  std::vector<uint64_t> ids;
+  std::vector<std::vector<workload::TraceEvent>> streams;
+  {
+    CertificationServer server(options);
+    ASSERT_TRUE(server.InitStatus().ok()) << server.InitStatus();
+    for (int s = 0; s < 3; ++s) {
+      auto events = GeneratedEvents(6, 900 + s);
+      auto id = server.Open();
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ASSERT_TRUE(server.Append(*id, events).ok());
+      ids.push_back(*id);
+      streams.push_back(std::move(events));
+    }
+    server.Shutdown();  // graceful: drains + snapshots every session
+  }
+
+  options.durability.verify_recovery = true;
+  CertificationServer server(options);
+  ASSERT_TRUE(server.InitStatus().ok()) << server.InitStatus();
+  EXPECT_EQ(server.SessionCount(), 3u);
+  EXPECT_EQ(server.metrics().durability.sessions_recovered.load(), 3u);
+  for (size_t s = 0; s < ids.size(); ++s) {
+    auto verdict = server.Query(ids[s]);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_EQ(verdict->events_accepted + verdict->events_rejected,
+              streams[s].size());
+    EXPECT_EQ(verdict->certifiable, BatchVerdict(streams[s]));
+    ASSERT_TRUE(server.Close(ids[s]).ok());
+  }
+  // The pipeline invariant holds across the restart: recovered events
+  // re-enter all three counters, so the books still balance.
+  EXPECT_EQ(server.metrics().events_enqueued.Value(),
+            server.metrics().events_processed.Value() +
+                server.metrics().events_rejected.Value());
+  // STATS surfaces the durability counter block.
+  Request stats;
+  stats.kind = CommandKind::kStats;
+  const Response response = server.Handle(stats);
+  ASSERT_TRUE(response.ok);
+  for (const char* key :
+       {"wal_appends", "wal_bytes", "fsyncs", "snapshots_written",
+        "sessions_recovered", "records_truncated"}) {
+    EXPECT_NE(response.body.find(key), std::string::npos) << key;
+  }
+  server.Shutdown();
+  // Every session was closed: the directory is empty again.
+  EXPECT_TRUE(durability::ListDurableSessionIds(dir).empty());
+}
+
+TEST(DurableServerTest, EvictionPersistsAndResumeRestoresTheVerdict) {
+  const std::string dir = DurabilityDir("evict");
+  ServerOptions options;
+  options.workers = 1;
+  options.idle_timeout_ms = 1;
+  options.durability.dir = dir;
+  options.durability.fsync = durability::FsyncPolicy::kNone;
+  CertificationServer server(options);
+  ASSERT_TRUE(server.InitStatus().ok()) << server.InitStatus();
+
+  const auto events = GeneratedEvents(8, 4321);
+  const size_t half = events.size() / 2;
+  auto id = server.Open("epoch_interval=16");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(
+      server
+          .Append(*id, {events.begin(), events.begin() +
+                                            static_cast<ptrdiff_t>(half)})
+          .ok());
+  ASSERT_TRUE(server.Query(*id).ok());  // drain, then go idle
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The ticker may beat the explicit sweep; either way the session is
+  // evicted exactly once and persisted to disk first.
+  server.EvictIdleNow();
+  EXPECT_EQ(server.metrics().sessions_evicted.Value(), 1u);
+  EXPECT_FALSE(server.Query(*id).ok());  // no longer live...
+  ASSERT_EQ(durability::ListDurableSessionIds(dir).size(), 1u);  // ...but kept
+
+  // Resuming a live session is an error only once it IS live again.
+  auto resumed = server.Open(StrCat("resume=", *id));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(*resumed, *id);  // same id: the client's stream continues
+  EXPECT_FALSE(server.Open(StrCat("resume=", *id)).ok());  // already live
+  EXPECT_FALSE(server.Open("resume=99999").ok());          // never existed
+
+  ASSERT_TRUE(
+      server
+          .Append(*id, {events.begin() + static_cast<ptrdiff_t>(half),
+                        events.end()})
+          .ok());
+  auto verdict = server.Close(*id);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->events_accepted + verdict->events_rejected,
+            events.size());
+  EXPECT_EQ(verdict->certifiable, BatchVerdict(events));
+  // CLOSE removed the durable files; the id cannot be resumed again.
+  EXPECT_TRUE(durability::ListDurableSessionIds(dir).empty());
+  EXPECT_FALSE(server.Open(StrCat("resume=", *id)).ok());
+  server.Shutdown();
+}
+
+TEST(DurableServerTest, ResumeWithoutDurabilityIsABadRequest) {
+  CertificationServer server(ServerOptions{});
+  auto resumed = server.Open("resume=1");
+  EXPECT_FALSE(resumed.ok());
+  server.Shutdown();
 }
 
 }  // namespace

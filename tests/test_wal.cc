@@ -1,0 +1,721 @@
+// Tests for the src/durability subsystem (ctest label `durability`):
+// CRC framing, WAL write/read round trips, torn-write and bit-flip
+// robustness of the reader (it must never crash and must report the
+// precise truncation point), snapshot encode/decode, certifier state
+// capture/restore equivalence, WAL compaction, and the offline recovery
+// path (ReadSessionDurableState + RebuildCertifier + VerifyRecovery).
+// The process-kill crash drill lives in test_crash_recovery.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/correctness.h"
+#include "durability/manager.h"
+#include "durability/recovery.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "online/certifier.h"
+#include "online/state_io.h"
+#include "util/string_util.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A per-process scratch directory (ctest runs cases in parallel as
+/// separate processes).
+fs::path Scratch() {
+  static const fs::path dir = [] {
+    fs::path p = fs::path(::testing::TempDir()) /
+                 StrCat("comptx_wal_", static_cast<unsigned long>(::getpid()));
+    fs::create_directories(p);
+    return p;
+  }();
+  return dir;
+}
+
+std::string ReadBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteBytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+}
+
+std::vector<workload::TraceEvent> GeneratedEvents(uint32_t roots,
+                                                  uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.topology.kind = workload::TopologyKind::kLayeredDag;
+  spec.topology.depth = 3;
+  spec.topology.branches = 2;
+  spec.topology.roots = roots;
+  spec.topology.fanout = 2;
+  spec.execution.conflict_prob = 0.15;
+  spec.execution.intra_weak_prob = 0.2;
+  auto cs = workload::GenerateSystem(spec, seed);
+  EXPECT_TRUE(cs.ok()) << cs.status().ToString();
+  auto text = workload::SaveTrace(*cs);
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  auto events = workload::ParseTraceEvents(*text);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  return std::move(events).value();
+}
+
+/// Batch ground truth, exactly as the online certifier treats a stream.
+bool BatchVerdict(const std::vector<workload::TraceEvent>& events) {
+  CompositeSystem cs;
+  for (const auto& event : events) {
+    (void)workload::ApplyTraceEvent(cs, event);
+  }
+  ReductionOptions options;
+  options.validate = false;
+  options.keep_fronts = false;
+  auto result = CheckCompC(cs, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->correct;
+}
+
+/// Builds a clean WAL at `path` out of `records` via the writer, fsynced.
+std::unique_ptr<WalWriter> BuildWal(const fs::path& path,
+                                    const std::vector<WalRecord>& records,
+                                    Counters* counters) {
+  auto writer = WalWriter::Create(path.string(), FsyncPolicy::kNone, counters);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const WalRecord& record : records) {
+    auto lsn = (*writer)->Append(record);
+    EXPECT_TRUE(lsn.ok()) << lsn.status().ToString();
+  }
+  EXPECT_TRUE((*writer)->SyncNow().ok());
+  return std::move(writer).value();
+}
+
+std::vector<WalRecord> SampleRecords(size_t appends) {
+  std::vector<WalRecord> records;
+  WalRecord open;
+  open.type = WalRecordType::kOpen;
+  open.options = "forgetting=true epoch_interval=8";
+  records.push_back(open);
+  const auto events = GeneratedEvents(4, 77);
+  uint64_t seq = 1;
+  size_t cursor = 0;
+  for (size_t i = 0; i < appends && cursor < events.size(); ++i) {
+    WalRecord append;
+    append.type = WalRecordType::kAppend;
+    append.seq = seq;
+    const size_t n = std::min<size_t>(3 + i, events.size() - cursor);
+    append.events.assign(events.begin() + cursor, events.begin() + cursor + n);
+    cursor += n;
+    seq += n;
+    records.push_back(append);
+  }
+  WalRecord seal;
+  seal.type = WalRecordType::kSeal;
+  seal.seq = seq - 1;
+  seal.accepted = seq - 1;
+  seal.rejected = 0;
+  seal.certifiable = true;
+  records.push_back(seal);
+  return records;
+}
+
+void ExpectSameRecord(const WalRecord& got, const WalRecord& want,
+                      size_t lsn) {
+  EXPECT_EQ(got.type, want.type) << "lsn " << lsn;
+  EXPECT_EQ(got.seq, want.seq) << "lsn " << lsn;
+  EXPECT_EQ(got.options, want.options) << "lsn " << lsn;
+  EXPECT_EQ(got.accepted, want.accepted) << "lsn " << lsn;
+  EXPECT_EQ(got.rejected, want.rejected) << "lsn " << lsn;
+  EXPECT_EQ(got.certifiable, want.certifiable) << "lsn " << lsn;
+  ASSERT_EQ(got.events.size(), want.events.size()) << "lsn " << lsn;
+  for (size_t i = 0; i < got.events.size(); ++i) {
+    EXPECT_EQ(workload::FormatTraceEvent(got.events[i]),
+              workload::FormatTraceEvent(want.events[i]))
+        << "lsn " << lsn << " event " << i;
+  }
+}
+
+// ----------------------------------------------------------------- crc
+
+TEST(Crc32Test, MatchesTheStandardCheckValue) {
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Sensitive to every byte.
+  EXPECT_NE(Crc32("123456789", 9), Crc32("123456788", 9));
+  EXPECT_NE(Crc32("123456789", 9), Crc32("123456789", 8));
+}
+
+// ------------------------------------------------------ codec round trip
+
+TEST(WalCodecTest, AllRecordTypesRoundTripThroughTheReader) {
+  const fs::path path = Scratch() / "roundtrip.wal";
+  std::vector<WalRecord> records = SampleRecords(4);
+  WalRecord evict;
+  evict.type = WalRecordType::kEvict;
+  evict.seq = 17;
+  records.push_back(evict);
+  WalRecord resume;
+  resume.type = WalRecordType::kResume;
+  resume.seq = 17;
+  records.push_back(resume);
+  WalRecord close;
+  close.type = WalRecordType::kClose;
+  close.seq = 29;
+  records.push_back(close);
+
+  Counters counters;
+  std::string bytes(kWalMagic, sizeof(kWalMagic));
+  for (const WalRecord& record : records) bytes += EncodeWalRecord(record);
+  WriteBytes(path, bytes);
+
+  auto scan = ReadWalFile(path.string());
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->clean) << scan->damage;
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  ASSERT_EQ(scan->records.size(), records.size());
+  EXPECT_EQ(scan->truncation_lsn, records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectSameRecord(scan->records[i], records[i], i);
+  }
+}
+
+TEST(WalWriterTest, CreateAppendReadBackAndCounters) {
+  const fs::path path = Scratch() / "writer.wal";
+  Counters counters;
+  const std::vector<WalRecord> records = SampleRecords(3);
+  auto writer = BuildWal(path, records, &counters);
+  EXPECT_EQ(writer->next_lsn(), records.size());
+
+  auto scan = ReadWalFile(path.string());
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->clean) << scan->damage;
+  ASSERT_EQ(scan->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectSameRecord(scan->records[i], records[i], i);
+  }
+  // 3 of the records are APPENDs; every byte written (magic header
+  // included) is accounted.
+  EXPECT_EQ(counters.wal_appends.load(), 3u);
+  EXPECT_EQ(counters.wal_bytes.load(), ReadBytes(path).size());
+  EXPECT_GE(counters.fsyncs.load(), 1u);
+}
+
+TEST(WalWriterTest, SyncForAckOnlyFsyncsUnderAlways) {
+  Counters counters;
+  auto writer = WalWriter::Create((Scratch() / "acknone.wal").string(),
+                                  FsyncPolicy::kNone, &counters);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(SampleRecords(1)[0]).ok());
+  ASSERT_TRUE((*writer)->SyncForAck().ok());
+  EXPECT_EQ(counters.fsyncs.load(), 0u);
+
+  auto always = WalWriter::Create((Scratch() / "ackalways.wal").string(),
+                                  FsyncPolicy::kAlways, &counters);
+  ASSERT_TRUE(always.ok());
+  ASSERT_TRUE((*always)->Append(SampleRecords(1)[0]).ok());
+  ASSERT_TRUE((*always)->SyncForAck().ok());
+  EXPECT_GE(counters.fsyncs.load(), 1u);
+}
+
+// ------------------------------------------------- torn and corrupt tails
+
+TEST(WalReaderTest, EveryTruncationPointYieldsThePrefixAndThePreciseLsn) {
+  const fs::path clean = Scratch() / "sweep.wal";
+  Counters counters;
+  const std::vector<WalRecord> records = SampleRecords(4);
+  BuildWal(clean, records, &counters);
+  const std::string bytes = ReadBytes(clean);
+
+  // Frame boundaries: offset just past each frame (EncodeWalRecord
+  // returns the whole frame, header included).
+  std::vector<size_t> boundaries;
+  {
+    size_t offset = sizeof(kWalMagic);
+    for (const WalRecord& record : records) {
+      offset += EncodeWalRecord(record).size();
+      boundaries.push_back(offset);
+    }
+    ASSERT_EQ(offset, bytes.size());
+  }
+
+  const fs::path torn = Scratch() / "sweep_torn.wal";
+  for (size_t len = sizeof(kWalMagic); len < bytes.size(); ++len) {
+    WriteBytes(torn, bytes.substr(0, len));
+    auto scan = ReadWalFile(torn.string());
+    ASSERT_TRUE(scan.ok()) << "len " << len << ": "
+                           << scan.status().ToString();
+    // The result is exactly the fully contained frames.
+    size_t contained = 0;
+    while (contained < boundaries.size() && boundaries[contained] <= len) {
+      ++contained;
+    }
+    EXPECT_EQ(scan->records.size(), contained) << "len " << len;
+    EXPECT_EQ(scan->truncation_lsn, contained) << "len " << len;
+    const size_t valid =
+        contained == 0 ? sizeof(kWalMagic) : boundaries[contained - 1];
+    EXPECT_EQ(scan->valid_bytes, valid) << "len " << len;
+    EXPECT_EQ(scan->clean, valid == len) << "len " << len;
+    if (!scan->clean) {
+      EXPECT_FALSE(scan->damage.empty()) << "len " << len;
+      // Repair cuts the tail; the re-read is clean and identical.
+      ASSERT_TRUE(RepairWalFile(torn.string(), *scan).ok()) << "len " << len;
+      auto again = ReadWalFile(torn.string());
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(again->clean);
+      EXPECT_EQ(again->records.size(), contained);
+    }
+  }
+}
+
+TEST(WalReaderTest, BitFlipsStopTheScanAtTheDamagedFrame) {
+  const fs::path clean = Scratch() / "flip.wal";
+  Counters counters;
+  const std::vector<WalRecord> records = SampleRecords(4);
+  BuildWal(clean, records, &counters);
+  const std::string bytes = ReadBytes(clean);
+
+  std::vector<size_t> boundaries;  // offset just past each frame
+  {
+    size_t offset = sizeof(kWalMagic);
+    for (const WalRecord& record : records) {
+      offset += EncodeWalRecord(record).size();
+      boundaries.push_back(offset);
+    }
+  }
+  const auto frame_of = [&](size_t offset) {
+    size_t frame = 0;
+    while (boundaries[frame] <= offset) ++frame;
+    return frame;
+  };
+
+  const fs::path flipped = Scratch() / "flip_bad.wal";
+  for (size_t offset = sizeof(kWalMagic); offset < bytes.size(); ++offset) {
+    std::string damaged = bytes;
+    damaged[offset] = static_cast<char>(damaged[offset] ^ 0xFF);
+    WriteBytes(flipped, damaged);
+    auto scan = ReadWalFile(flipped.string());
+    ASSERT_TRUE(scan.ok()) << "offset " << offset;
+    // A flip in frame i leaves exactly the frames before i readable (a
+    // corrupted frame passing its own CRC would need a 2^-32 collision).
+    EXPECT_EQ(scan->records.size(), frame_of(offset)) << "offset " << offset;
+    EXPECT_FALSE(scan->clean) << "offset " << offset;
+    EXPECT_FALSE(scan->damage.empty()) << "offset " << offset;
+  }
+}
+
+TEST(WalReaderTest, ZeroFilledTailsAndHolesAreDetected) {
+  const fs::path clean = Scratch() / "zeros.wal";
+  Counters counters;
+  const std::vector<WalRecord> records = SampleRecords(3);
+  BuildWal(clean, records, &counters);
+  const std::string bytes = ReadBytes(clean);
+
+  // A zero-extended tail (a filesystem that allocated but never wrote):
+  // all real records survive, the tail is reported as damage.
+  const fs::path extended = Scratch() / "zeros_tail.wal";
+  WriteBytes(extended, bytes + std::string(512, '\0'));
+  auto scan = ReadWalFile(extended.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), records.size());
+  EXPECT_FALSE(scan->clean);
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  ASSERT_TRUE(RepairWalFile(extended.string(), *scan).ok());
+  EXPECT_EQ(ReadBytes(extended).size(), bytes.size());
+
+  // A zero-filled hole mid-file: the scan stops at the hole's frame.
+  const fs::path holed = Scratch() / "zeros_hole.wal";
+  std::string damaged = bytes;
+  const size_t hole_at = bytes.size() / 2;
+  for (size_t i = hole_at; i < bytes.size(); ++i) damaged[i] = '\0';
+  WriteBytes(holed, damaged);
+  auto hole_scan = ReadWalFile(holed.string());
+  ASSERT_TRUE(hole_scan.ok());
+  EXPECT_LT(hole_scan->records.size(), records.size());
+  EXPECT_FALSE(hole_scan->clean);
+  EXPECT_LE(hole_scan->valid_bytes, hole_at);
+}
+
+TEST(WalReaderTest, GarbageAndEmptyFilesNeverCrash) {
+  const fs::path missing = Scratch() / "missing.wal";
+  EXPECT_FALSE(ReadWalFile(missing.string()).ok());
+
+  const fs::path empty = Scratch() / "empty.wal";
+  WriteBytes(empty, "");
+  EXPECT_FALSE(ReadWalFile(empty.string()).ok());  // no magic: not a WAL
+
+  const fs::path short_magic = Scratch() / "short.wal";
+  WriteBytes(short_magic, "comp");
+  EXPECT_FALSE(ReadWalFile(short_magic.string()).ok());
+
+  const fs::path wrong_magic = Scratch() / "wrong.wal";
+  WriteBytes(wrong_magic, "NOTAWAL!" + std::string(100, 'x'));
+  EXPECT_FALSE(ReadWalFile(wrong_magic.string()).ok());
+
+  // Valid magic followed by garbage: zero records, damage reported.
+  const fs::path garbage = Scratch() / "garbage.wal";
+  WriteBytes(garbage,
+             std::string(kWalMagic, sizeof(kWalMagic)) +
+                 "\xde\xad\xbe\xef garbage that is not a frame at all");
+  auto scan = ReadWalFile(garbage.string());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_FALSE(scan->clean);
+  EXPECT_EQ(scan->valid_bytes, sizeof(kWalMagic));
+
+  // A frame length past the sanity cap is corruption, not an allocation.
+  const fs::path huge = Scratch() / "huge.wal";
+  std::string huge_bytes(kWalMagic, sizeof(kWalMagic));
+  const uint32_t huge_len = kMaxWalPayloadBytes + 1;
+  for (int shift = 0; shift < 32; shift += 8) {
+    huge_bytes.push_back(static_cast<char>((huge_len >> shift) & 0xFF));
+  }
+  huge_bytes += std::string(64, 'z');
+  WriteBytes(huge, huge_bytes);
+  auto huge_scan = ReadWalFile(huge.string());
+  ASSERT_TRUE(huge_scan.ok());
+  EXPECT_TRUE(huge_scan->records.empty());
+  EXPECT_FALSE(huge_scan->clean);
+}
+
+// ------------------------------------------------------------- snapshots
+
+TEST(SnapshotTest, RoundTripsAndRejectsCorruption) {
+  const auto events = GeneratedEvents(6, 909);
+  online::CertifierOptions copts;
+  online::Certifier certifier(copts);
+  for (const auto& event : events) (void)certifier.Ingest(event);
+
+  Snapshot snapshot;
+  snapshot.session_id = 42;
+  snapshot.event_seq = events.size();
+  snapshot.options = "epoch_interval=16 auto_prune=false";
+  auto state = online::CaptureCertifierState(certifier);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  snapshot.state = *state;
+
+  const std::string bytes = EncodeSnapshot(snapshot);
+  auto decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->session_id, 42u);
+  EXPECT_EQ(decoded->event_seq, events.size());
+  EXPECT_EQ(decoded->options, snapshot.options);
+  EXPECT_EQ(decoded->state.trace, state->trace);
+  EXPECT_EQ(decoded->state.sealed, state->sealed);
+  EXPECT_EQ(decoded->state.accepted, state->accepted);
+  EXPECT_EQ(decoded->state.rejected, state->rejected);
+  EXPECT_EQ(decoded->state.certifiable, state->certifiable);
+
+  // All-or-nothing: every single-byte flip makes the decode fail.
+  for (size_t offset = 0; offset < bytes.size(); offset += 7) {
+    std::string damaged = bytes;
+    damaged[offset] = static_cast<char>(damaged[offset] ^ 0x55);
+    EXPECT_FALSE(DecodeSnapshot(damaged).ok()) << "offset " << offset;
+  }
+  EXPECT_FALSE(DecodeSnapshot(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(DecodeSnapshot("").ok());
+
+  // File round trip + NotFound for a missing path.
+  const fs::path path = Scratch() / "s42.snap";
+  ASSERT_TRUE(WriteSnapshotFile(path.string(), snapshot).ok());
+  auto read = ReadSnapshotFile(path.string());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->state.trace, state->trace);
+  auto absent = ReadSnapshotFile((Scratch() / "absent.snap").string());
+  EXPECT_EQ(absent.status().code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------- certifier state round trip
+
+TEST(StateIoTest, CaptureRestoreIsReplayEquivalent) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const auto events = GeneratedEvents(8, seed);
+    online::CertifierOptions copts;
+    copts.epoch_interval = 8;
+    online::Certifier original(copts);
+    const size_t half = events.size() / 2;
+    for (size_t i = 0; i < half; ++i) (void)original.Ingest(events[i]);
+    // Seal a couple of roots so the sealed list is exercised too.
+    auto roots = original.system().Roots();
+    for (size_t i = 0; i < roots.size() && i < 2; ++i) {
+      ASSERT_TRUE(original.Commit(roots[i]).ok());
+    }
+
+    auto state = online::CaptureCertifierState(original);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    auto restored = online::RestoreCertifierState(*state, copts);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+    // Identical verdict and counters at the capture point...
+    EXPECT_EQ((*restored)->Certifiable(), original.Certifiable());
+    EXPECT_EQ((*restored)->Stats().events_accepted,
+              original.Stats().events_accepted);
+    EXPECT_EQ((*restored)->Stats().events_rejected,
+              original.Stats().events_rejected);
+
+    // ...and identical behavior on the rest of the stream: the restored
+    // session and the original must accept/reject and judge the suffix
+    // exactly alike (replay equivalence, DESIGN.md §11.3).
+    for (size_t i = half; i < events.size(); ++i) {
+      const bool a = original.Ingest(events[i]).ok();
+      const bool b = (*restored)->Ingest(events[i]).ok();
+      EXPECT_EQ(a, b) << "seed " << seed << " event " << i;
+    }
+    EXPECT_EQ((*restored)->Certifiable(), original.Certifiable())
+        << "seed " << seed;
+    EXPECT_EQ((*restored)->Stats().events_accepted,
+              original.Stats().events_accepted);
+  }
+}
+
+TEST(StateIoTest, CorruptTraceFailsTheRestore) {
+  online::CertifierState state;
+  state.trace = "this is not a trace\n";
+  EXPECT_FALSE(
+      online::RestoreCertifierState(state, online::CertifierOptions{}).ok());
+}
+
+// ------------------------------------------------- manager and compaction
+
+TEST(ManagerTest, SnapshotCompactsTheWalPastTheWatermark) {
+  const fs::path dir = Scratch() / "compact";
+  Options options;
+  options.dir = dir.string();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_events = 0;  // snapshots triggered manually here
+  Counters counters;
+  auto manager = Manager::Start(options, &counters);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+  auto log = (*manager)->CreateLog(7, "epoch_interval=8");
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  const auto events = GeneratedEvents(6, 303);
+  online::Certifier certifier{online::CertifierOptions{}};
+  const size_t half = events.size() / 2;
+  auto feed = [&](size_t from, size_t to) {
+    std::vector<workload::TraceEvent> batch(events.begin() + from,
+                                            events.begin() + to);
+    ASSERT_TRUE((*log)->LogAppend(batch).ok());
+    for (size_t i = from; i < to; ++i) (void)certifier.Ingest(events[i]);
+    (*log)->OnIngested(to - from);
+  };
+  feed(0, half);
+  ASSERT_TRUE((*log)->WriteSnapshot(certifier).ok());
+  feed(half, events.size());
+
+  // On disk now: snapshot at `half`, WAL = OPEN + SEAL + post-half
+  // appends (every pre-watermark APPEND compacted away).
+  auto scan = ReadWalFile(WalPath(dir.string(), 7));
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->clean) << scan->damage;
+  ASSERT_GE(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].type, WalRecordType::kOpen);
+  EXPECT_EQ(scan->records[1].type, WalRecordType::kSeal);
+  EXPECT_EQ(scan->records[1].seq, half);
+  size_t suffix_events = 0;
+  for (size_t i = 2; i < scan->records.size(); ++i) {
+    EXPECT_EQ(scan->records[i].type, WalRecordType::kAppend);
+    EXPECT_GT(scan->records[i].seq, half);
+    suffix_events += scan->records[i].events.size();
+  }
+  EXPECT_EQ(suffix_events, events.size() - half);
+  EXPECT_EQ(counters.snapshots_written.load(), 1u);
+  EXPECT_GT(counters.records_truncated.load(), 0u);
+
+  auto snapshot = ReadSnapshotFile(SnapshotPath(dir.string(), 7));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->session_id, 7u);
+  EXPECT_EQ(snapshot->event_seq, half);
+
+  // CLOSE removes both files.
+  ASSERT_TRUE((*log)->MarkClosedAndRemove().ok());
+  EXPECT_FALSE(fs::exists(WalPath(dir.string(), 7)));
+  EXPECT_FALSE(fs::exists(SnapshotPath(dir.string(), 7)));
+}
+
+// --------------------------------------------------------------- recovery
+
+TEST(RecoveryTest, SnapshotPlusSuffixRebuildsTheExactSession) {
+  const fs::path dir = Scratch() / "recover";
+  Options options;
+  options.dir = dir.string();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_events = 0;
+  Counters counters;
+
+  const auto events = GeneratedEvents(8, 404);
+  const size_t third = events.size() / 3;
+  {
+    auto manager = Manager::Start(options, &counters);
+    ASSERT_TRUE(manager.ok());
+    auto log = (*manager)->CreateLog(3, "");
+    ASSERT_TRUE(log.ok());
+    online::Certifier certifier{online::CertifierOptions{}};
+    auto feed = [&](size_t from, size_t to) {
+      std::vector<workload::TraceEvent> batch(events.begin() + from,
+                                              events.begin() + to);
+      ASSERT_TRUE((*log)->LogAppend(batch).ok());
+      for (size_t i = from; i < to; ++i) (void)certifier.Ingest(events[i]);
+      (*log)->OnIngested(to - from);
+    };
+    feed(0, third);
+    ASSERT_TRUE((*log)->WriteSnapshot(certifier).ok());
+    feed(third, events.size());
+    // Manager and log drop here without any lifecycle marker — exactly a
+    // process death after the last append.
+  }
+
+  auto state = ReadSessionDurableState(dir.string(), 3);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_FALSE(state->closed);
+  EXPECT_FALSE(state->evicted);
+  EXPECT_TRUE(state->has_snapshot);
+  EXPECT_EQ(state->snapshot.event_seq, third);
+  EXPECT_EQ(state->event_seq, events.size());
+  EXPECT_EQ(state->SuffixEvents().size(), events.size() - third);
+
+  auto certifier =
+      RebuildCertifier(*state, online::CertifierOptions{});
+  ASSERT_TRUE(certifier.ok()) << certifier.status().ToString();
+  EXPECT_TRUE(VerifyRecovery(**certifier, events.size()).ok());
+  EXPECT_EQ((*certifier)->Certifiable(), BatchVerdict(events));
+  const auto stats = (*certifier)->Stats();
+  EXPECT_EQ(stats.events_accepted + stats.events_rejected, events.size());
+}
+
+TEST(RecoveryTest, LifecycleMarkersDriveTheStateMachine) {
+  const fs::path dir = Scratch() / "lifecycle";
+  Options options;
+  options.dir = dir.string();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_events = 0;
+  Counters counters;
+  auto manager = Manager::Start(options, &counters);
+  ASSERT_TRUE(manager.ok());
+
+  const auto events = GeneratedEvents(4, 505);
+  online::Certifier certifier{online::CertifierOptions{}};
+  for (const auto& event : events) (void)certifier.Ingest(event);
+
+  // Evicted session: EVICT is the last marker -> resumable, not live.
+  auto log = (*manager)->CreateLog(11, "");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->LogAppend(events).ok());
+  (*log)->OnIngested(events.size());
+  ASSERT_TRUE((*log)->PersistEvicted(certifier).ok());
+  auto evicted = ReadSessionDurableState(dir.string(), 11);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_TRUE(evicted->evicted);
+  EXPECT_FALSE(evicted->closed);
+
+  // Resuming appends a RESUME marker: live again.
+  auto adopted = (*manager)->AdoptLog(*evicted, /*resume=*/true);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  auto resumed = ReadSessionDurableState(dir.string(), 11);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(resumed->evicted);
+  EXPECT_EQ(resumed->event_seq, events.size());
+
+  // ListDurableSessionIds sees the session until CLOSE removes it.
+  auto ids = ListDurableSessionIds(dir.string());
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 11u);
+  ASSERT_TRUE((*adopted)->MarkClosedAndRemove().ok());
+  EXPECT_TRUE(ListDurableSessionIds(dir.string()).empty());
+  EXPECT_EQ(ReadSessionDurableState(dir.string(), 11).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RecoveryTest, AnAckedOpenAloneSurvivesButARecordlessFileDoesNot) {
+  const fs::path dir = Scratch() / "open_only";
+  Options options;
+  options.dir = dir.string();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_events = 0;
+  Counters counters;
+  auto manager = Manager::Start(options, &counters);
+  ASSERT_TRUE(manager.ok());
+
+  // Default options, zero events: the fsynced OPEN is the only record,
+  // and CreateLog acked it — recovery must keep this session even
+  // though it has no snapshot, no events and an empty options string.
+  auto log = (*manager)->CreateLog(21, "");
+  ASSERT_TRUE(log.ok());
+  auto state = ReadSessionDurableState(dir.string(), 21);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->event_seq, 0u);
+  EXPECT_FALSE(state->Empty());
+
+  // A WAL that died before its OPEN frame completed was never acked:
+  // magic only, zero valid records — that is the discardable shape.
+  WriteBytes(WalPath(dir.string(), 22), std::string("comptxw1", 8));
+  auto unacked = ReadSessionDurableState(dir.string(), 22);
+  ASSERT_TRUE(unacked.ok()) << unacked.status().ToString();
+  EXPECT_TRUE(unacked->Empty());
+}
+
+TEST(RecoveryTest, TornTailIsRepairedOnAdoptAndTheSuffixSurvives) {
+  const fs::path dir = Scratch() / "torn_adopt";
+  Options options;
+  options.dir = dir.string();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_events = 0;
+  Counters counters;
+
+  const auto events = GeneratedEvents(6, 606);
+  {
+    auto manager = Manager::Start(options, &counters);
+    ASSERT_TRUE(manager.ok());
+    auto log = (*manager)->CreateLog(5, "epoch_interval=8");
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->LogAppend(events).ok());
+  }
+  // Tear the tail mid-frame: the last append loses its end.
+  const std::string wal_path = WalPath(dir.string(), 5);
+  const std::string bytes = ReadBytes(wal_path);
+  WriteBytes(wal_path, bytes.substr(0, bytes.size() - 3));
+
+  auto state = ReadSessionDurableState(dir.string(), 5);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_FALSE(state->wal_scan.clean);
+  // The one append frame is the torn one: no events survive, but the
+  // durable OPEN still names the session.
+  EXPECT_EQ(state->event_seq, 0u);
+  EXPECT_FALSE(state->Empty());
+
+  auto manager = Manager::Start(options, &counters);
+  ASSERT_TRUE(manager.ok());
+  const uint64_t truncated_before = counters.records_truncated.load();
+  auto adopted = (*manager)->AdoptLog(*state, /*resume=*/false);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_GT(counters.records_truncated.load(), truncated_before);
+  // The repaired file is clean and appendable.
+  ASSERT_TRUE((*adopted)->LogAppend(events).ok());
+  auto rescan = ReadWalFile(wal_path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_TRUE(rescan->clean) << rescan->damage;
+}
+
+TEST(RecoveryTest, VerifyRecoveryCatchesMissingEvents) {
+  const auto events = GeneratedEvents(4, 707);
+  online::Certifier certifier{online::CertifierOptions{}};
+  for (const auto& event : events) (void)certifier.Ingest(event);
+  EXPECT_TRUE(VerifyRecovery(certifier, events.size()).ok());
+  // Claiming more durable events than the certifier absorbed must fail.
+  EXPECT_FALSE(VerifyRecovery(certifier, events.size() + 1).ok());
+}
+
+}  // namespace
+}  // namespace comptx::durability

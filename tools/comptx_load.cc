@@ -10,6 +10,8 @@
 //                    [--sessions N] [--threads N] [--events N] [--batch N]
 //                    [--theta Z] [--rate EVENTS_PER_SEC] [--seed N]
 //                    [--no-verify] [--json PATH] [--shutdown]
+//                    [--kill-pid P --kill-after N --state PATH]
+//                    [--resume --state PATH]
 //
 //   --events is the total event budget across all sessions.  The default
 //   loop is closed (each thread appends as fast as the server admits —
@@ -17,10 +19,24 @@
 //   paces the aggregate append rate.  --shutdown sends SHUTDOWN after the
 //   run, so the CI job can assert the daemon exits 0.
 //
-// Exit codes: 0 = all verdicts match, 1 = mismatch, 2 = usage/connect.
+//   Crash-drill mode (exercises the durability subsystem, DESIGN.md §11):
+//   --kill-pid/--kill-after SIGKILLs the given server pid once N events
+//   have been acked, then writes the per-session acked cursors to --state
+//   and exits 0.  After the server restarts on the same --data-dir,
+//   --resume --state re-dials, checks that no acked event was lost,
+//   regenerates the deterministic streams, appends the unsent suffix of
+//   each, and verifies every final verdict against the offline batch
+//   replay of the *full* stream — the end-to-end proof that certify-
+//   then-crash-then-recover equals certify-without-the-crash.
+//
+// Exit codes: 0 = all verdicts match (or kill fired and state written),
+//             1 = mismatch or acked-event loss, 2 = usage/connect.
+
+#include <sys/types.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -51,10 +67,15 @@ int Usage(int code) {
          "                   [--sessions N] [--threads N] [--events N]\n"
          "                   [--batch N] [--theta Z] [--rate N] [--seed N]\n"
          "                   [--no-verify] [--json PATH] [--shutdown]\n"
+         "                   [--kill-pid P --kill-after N --state PATH]\n"
+         "                   [--resume --state PATH]\n"
          "\n"
          "Streams generated traces into concurrent certification sessions\n"
          "(Zipf-skewed choice, closed loop unless --rate) and verifies\n"
-         "every server verdict against an offline batch replay.\n";
+         "every server verdict against an offline batch replay.\n"
+         "--kill-pid/--kill-after SIGKILLs the server mid-load and saves\n"
+         "acked cursors to --state; --resume picks the run back up after a\n"
+         "restart and checks recovery lost nothing.\n";
   return code;
 }
 
@@ -70,6 +91,11 @@ struct LoadOptions {
   bool verify = true;
   bool send_shutdown = false;
   std::string json_path;
+  // Crash-drill mode.
+  pid_t kill_pid = 0;
+  size_t kill_after = 0;  // fire SIGKILL once this many events are acked
+  bool resume = false;
+  std::string state_path;
 };
 
 /// The per-session workload: a generated execution's event stream,
@@ -82,6 +108,7 @@ struct SessionWork {
   std::vector<workload::TraceEvent> events;
   std::mutex mu;
   size_t cursor = 0;  // next event to append, under mu
+  size_t acked = 0;   // events the server acknowledged, under mu
   service::SessionVerdict verdict;  // filled by the query phase
 };
 
@@ -133,6 +160,162 @@ bool OfflineVerdict(const std::vector<workload::TraceEvent>& events,
   return result->correct;
 }
 
+/// Crash-drill state: everything --resume needs to regenerate the
+/// deterministic per-session streams and pick the run back up.  Sessions
+/// are listed in generation order, so stream i regenerates from
+/// seed + i with the stored quota.
+struct DrillSession {
+  uint64_t id = 0;     // server-assigned session id
+  size_t planned = 0;  // full stream length
+  size_t acked = 0;    // events acked before the kill (lower bound)
+};
+
+struct DrillState {
+  uint64_t seed = 0;
+  size_t quota = 0;
+  std::vector<DrillSession> sessions;
+};
+
+bool WriteDrillState(const std::string& path, const DrillState& state) {
+  std::ofstream out(path);
+  out << "comptx-load-state v1\n"
+      << "seed " << state.seed << "\n"
+      << "quota " << state.quota << "\n";
+  for (const DrillSession& s : state.sessions) {
+    out << "session " << s.id << " " << s.planned << " " << s.acked << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadDrillState(const std::string& path, DrillState* state) {
+  std::ifstream in(path);
+  std::string header;
+  if (!std::getline(in, header) || header != "comptx-load-state v1") {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "seed") {
+      fields >> state->seed;
+    } else if (key == "quota") {
+      fields >> state->quota;
+    } else if (key == "session") {
+      DrillSession s;
+      fields >> s.id >> s.planned >> s.acked;
+      if (fields.fail()) return false;
+      state->sessions.push_back(s);
+    } else if (!key.empty()) {
+      return false;
+    }
+    if (fields.fail()) return false;
+  }
+  return !state->sessions.empty();
+}
+
+/// The --resume leg of the crash drill: for every session in the state
+/// file, ask the restarted server how far the recovered stream reaches,
+/// prove no acked event was lost, append the unsent suffix and verify the
+/// final verdict against an offline replay of the full stream.
+int RunResume(const LoadOptions& opt) {
+  DrillState state;
+  if (!ReadDrillState(opt.state_path, &state)) {
+    std::cerr << "cannot read drill state " << opt.state_path << "\n";
+    return 2;
+  }
+  auto control = service::ServiceClient::Dial(opt.endpoint);
+  if (!control.ok()) {
+    std::cerr << "cannot connect to " << opt.endpoint.ToString() << ": "
+              << control.status() << "\n";
+    return 2;
+  }
+  size_t mismatches = 0;
+  size_t resumed_events = 0;
+  for (size_t i = 0; i < state.sessions.size(); ++i) {
+    const DrillSession& s = state.sessions[i];
+    const auto events = GenerateSessionEvents(state.quota, state.seed + i);
+    if (events.size() != s.planned) {
+      std::cerr << "session " << s.id << ": regenerated stream has "
+                << events.size() << " events, state says " << s.planned
+                << " (seed/quota mismatch?)\n";
+      return 2;
+    }
+    // The recovered position: every durably logged event was re-ingested
+    // during recovery, so accepted+rejected is the stream cursor.  It may
+    // exceed `acked` (a logged-but-unacked tail is legal) but may never
+    // fall short — an acked event is a durable promise.
+    auto verdict = control->Query(s.id);
+    if (!verdict.ok()) {
+      std::cerr << "LOST SESSION " << s.id
+                << ": QUERY after restart failed: " << verdict.status()
+                << "\n";
+      ++mismatches;
+      continue;
+    }
+    const uint64_t recovered =
+        verdict->events_accepted + verdict->events_rejected;
+    if (recovered < s.acked) {
+      std::cerr << "ACKED LOSS session " << s.id << ": " << s.acked
+                << " events were acked but only " << recovered
+                << " survived recovery\n";
+      ++mismatches;
+      continue;
+    }
+    if (recovered > events.size()) {
+      std::cerr << "session " << s.id << ": recovered " << recovered
+                << " events, more than the " << events.size()
+                << " the stream holds\n";
+      ++mismatches;
+      continue;
+    }
+    resumed_events += recovered;
+    // Stream the unsent suffix, then close and compare against offline
+    // ground truth for the whole stream.
+    for (size_t cursor = recovered; cursor < events.size();) {
+      const size_t n = std::min(opt.batch, events.size() - cursor);
+      std::vector<workload::TraceEvent> batch(
+          events.begin() + cursor, events.begin() + cursor + n);
+      auto queued = control->Append(s.id, batch);
+      if (!queued.ok()) {
+        std::cerr << "APPEND failed on session " << s.id << ": "
+                  << queued.status() << "\n";
+        return 2;
+      }
+      cursor += n;
+    }
+    auto final = control->Close(s.id);
+    if (!final.ok()) {
+      std::cerr << "CLOSE failed on session " << s.id << ": "
+                << final.status() << "\n";
+      return 2;
+    }
+    uint64_t accepted = 0;
+    const bool expected = OfflineVerdict(events, accepted);
+    if (expected != final->certifiable ||
+        accepted != final->events_accepted) {
+      ++mismatches;
+      std::cerr << "MISMATCH session " << s.id << ": offline says "
+                << (expected ? "certifiable" : "not certifiable") << " ("
+                << accepted << " accepted), server says "
+                << (final->certifiable ? "certifiable" : "not certifiable")
+                << " (" << final->events_accepted << " accepted)\n";
+    }
+  }
+  if (opt.send_shutdown) {
+    Status status = control->Shutdown();
+    if (!status.ok()) {
+      std::cerr << "SHUTDOWN failed: " << status << "\n";
+      return 2;
+    }
+  }
+  std::cout << "resumed " << state.sessions.size() << " session(s), "
+            << resumed_events << " event(s) survived recovery, mismatches="
+            << mismatches << "\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +360,14 @@ int main(int argc, char** argv) {
       opt.json_path = next("--json");
     } else if (arg == "--shutdown") {
       opt.send_shutdown = true;
+    } else if (arg == "--kill-pid") {
+      opt.kill_pid = static_cast<pid_t>(std::atoi(next("--kill-pid")));
+    } else if (arg == "--kill-after") {
+      opt.kill_after = std::strtoul(next("--kill-after"), nullptr, 10);
+    } else if (arg == "--state") {
+      opt.state_path = next("--state");
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage(2);
@@ -190,6 +381,19 @@ int main(int argc, char** argv) {
   if (opt.endpoint.unix_path.empty() && opt.endpoint.port == 0) {
     std::cerr << "need --port or --unix (where is the server?)\n";
     return 2;
+  }
+  const bool kill_mode = opt.kill_pid != 0 || opt.kill_after != 0;
+  if (kill_mode && (opt.kill_pid <= 0 || opt.kill_after == 0 ||
+                    opt.state_path.empty())) {
+    std::cerr << "kill mode needs --kill-pid, --kill-after and --state\n";
+    return 2;
+  }
+  if (opt.resume) {
+    if (opt.state_path.empty() || kill_mode) {
+      std::cerr << "--resume needs --state (and excludes --kill-pid)\n";
+      return 2;
+    }
+    return RunResume(opt);
   }
 
   // Generate the per-session workloads (deterministic in --seed).
@@ -227,6 +431,8 @@ int main(int argc, char** argv) {
   service::LatencyHistogram append_hist;
   std::atomic<size_t> remaining{planned_events};
   std::atomic<bool> failed{false};
+  std::atomic<size_t> acked_total{0};
+  std::atomic<bool> kill_fired{false};
   const ZipfGenerator zipf(opt.sessions, opt.theta);
   const Clock::time_point load_start = Clock::now();
   std::vector<std::thread> threads;
@@ -241,7 +447,8 @@ int main(int argc, char** argv) {
         return;
       }
       Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
-      while (remaining.load(std::memory_order_relaxed) > 0 && !failed.load()) {
+      while (remaining.load(std::memory_order_relaxed) > 0 && !failed.load() &&
+             !kill_fired.load(std::memory_order_relaxed)) {
         const size_t start = static_cast<size_t>(zipf.Sample(rng));
         for (size_t probe = 0; probe < opt.sessions; ++probe) {
           SessionWork& w = *work[(start + probe) % opt.sessions];
@@ -253,16 +460,29 @@ int main(int argc, char** argv) {
           w.cursor += n;
           const Clock::time_point rpc_start = Clock::now();
           auto queued = client->Append(w.id, batch);
+          if (!queued.ok()) {
+            lock.unlock();
+            // After the kill fires, in-flight appends die with the
+            // connection — that is the drill working, not a failure.
+            if (kill_fired.load()) return;
+            std::cerr << "APPEND failed on session " << w.id << ": "
+                      << queued.status() << "\n";
+            failed.store(true);
+            return;
+          }
+          // Acked while the session lock is still held, so the cursor
+          // recorded in the drill state is exactly the acked prefix.
+          w.acked = w.cursor;
           lock.unlock();
           append_hist.Record(static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
                   Clock::now() - rpc_start)
                   .count()));
-          if (!queued.ok()) {
-            std::cerr << "APPEND failed on session " << w.id << ": "
-                      << queued.status() << "\n";
-            failed.store(true);
-            return;
+          const size_t total =
+              acked_total.fetch_add(n, std::memory_order_relaxed) + n;
+          if (kill_mode && total >= opt.kill_after &&
+              !kill_fired.exchange(true)) {
+            ::kill(opt.kill_pid, SIGKILL);
           }
           remaining.fetch_sub(n, std::memory_order_relaxed);
           break;
@@ -282,6 +502,26 @@ int main(int argc, char** argv) {
   const double load_seconds =
       std::chrono::duration<double>(Clock::now() - load_start).count();
   if (failed.load()) return 2;
+
+  if (kill_mode) {
+    // The event budget can drain before the threshold is reached; the
+    // drill still wants a dead server and a state file to resume from.
+    if (!kill_fired.exchange(true)) ::kill(opt.kill_pid, SIGKILL);
+    DrillState state;
+    state.seed = opt.seed;
+    state.quota = quota;
+    for (auto& w : work) {
+      state.sessions.push_back(DrillSession{w->id, w->events.size(), w->acked});
+    }
+    if (!WriteDrillState(opt.state_path, state)) {
+      std::cerr << "cannot write " << opt.state_path << "\n";
+      return 2;
+    }
+    std::cout << "killed pid " << opt.kill_pid << " after "
+              << acked_total.load() << " acked event(s); state in "
+              << opt.state_path << "\n";
+    return 0;
+  }
 
   // Verdict phase: QUERY is the drain barrier — its latency includes
   // waiting for the session's queue to empty — then CLOSE frees the slot.

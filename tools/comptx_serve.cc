@@ -7,7 +7,10 @@
 // Usage: comptx_serve [--host H] [--port N] [--unix PATH] [--workers N]
 //                     [--max-sessions N] [--queue-capacity N] [--batch N]
 //                     [--idle-timeout-ms N] [--stats-interval-ms N]
-//                     [--port-file PATH]
+//                     [--port-file PATH] [--data-dir DIR]
+//                     [--fsync always|interval|none]
+//                     [--fsync-interval-ms N] [--snapshot-events N]
+//                     [--verify-recovery]
 //
 //   --port 0 (the default) asks the kernel for an ephemeral port; the
 //   chosen port is printed on stdout as "listening on HOST:PORT" and,
@@ -15,7 +18,15 @@
 //   server).  The daemon runs until a SHUTDOWN command or SIGINT/SIGTERM,
 //   then drains every session and exits 0.
 //
-// Exit codes: 0 = clean shutdown, 2 = usage or bind error.
+//   --data-dir enables durable sessions (DESIGN.md §11): every session
+//   gets a write-ahead log plus periodic snapshots under DIR, sessions
+//   found there at startup are recovered, and idle-evicted sessions can
+//   be resumed with OPEN resume=<id>.  --fsync picks the group-commit
+//   policy (default interval), --snapshot-events the snapshot cadence
+//   (0 disables snapshots), and --verify-recovery cross-checks every
+//   recovered session against an offline batch replay before serving.
+//
+// Exit codes: 0 = clean shutdown, 2 = usage, bind or recovery error.
 
 #include <csignal>
 #include <cstdlib>
@@ -23,6 +34,7 @@
 #include <iostream>
 #include <string>
 
+#include "durability/wal.h"
 #include "service/server.h"
 #include "util/logging.h"
 #include "util/version.h"
@@ -43,10 +55,15 @@ int Usage(int code) {
          "                    [--workers N] [--max-sessions N]\n"
          "                    [--queue-capacity N] [--batch N]\n"
          "                    [--idle-timeout-ms N] [--stats-interval-ms N]\n"
-         "                    [--port-file PATH]\n"
+         "                    [--port-file PATH] [--data-dir DIR]\n"
+         "                    [--fsync always|interval|none]\n"
+         "                    [--fsync-interval-ms N] [--snapshot-events N]\n"
+         "                    [--verify-recovery]\n"
          "\n"
          "Runs the comptx certification service until SHUTDOWN or\n"
-         "SIGINT/SIGTERM, then drains every session and exits 0.\n";
+         "SIGINT/SIGTERM, then drains every session and exits 0.\n"
+         "--data-dir enables per-session WAL + snapshot durability and\n"
+         "crash recovery (OPEN resume=<id> resumes persisted sessions).\n";
   return code;
 }
 
@@ -101,6 +118,24 @@ int main(int argc, char** argv) {
           std::strtoull(next("--stats-interval-ms"), nullptr, 10);
     } else if (arg == "--port-file") {
       port_file = next("--port-file");
+    } else if (arg == "--data-dir") {
+      options.durability.dir = next("--data-dir");
+    } else if (arg == "--fsync") {
+      const char* name = next("--fsync");
+      auto policy = durability::ParseFsyncPolicy(name);
+      if (!policy.ok()) {
+        std::cerr << "--fsync: " << policy.status().message() << "\n";
+        return 2;
+      }
+      options.durability.fsync = *policy;
+    } else if (arg == "--fsync-interval-ms") {
+      options.durability.fsync_interval_ms =
+          std::strtoull(next("--fsync-interval-ms"), nullptr, 10);
+    } else if (arg == "--snapshot-events") {
+      options.durability.snapshot_events =
+          std::strtoull(next("--snapshot-events"), nullptr, 10);
+    } else if (arg == "--verify-recovery") {
+      options.durability.verify_recovery = true;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage(2);
@@ -113,6 +148,10 @@ int main(int argc, char** argv) {
   }
 
   service::CertificationServer server(options);
+  if (!server.InitStatus().ok()) {
+    std::cerr << "durability init failed: " << server.InitStatus() << "\n";
+    return 2;
+  }
   Status listening = server.Listen(endpoint);
   if (!listening.ok()) {
     std::cerr << "cannot listen on " << endpoint.ToString() << ": "
