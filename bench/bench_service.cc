@@ -1,25 +1,35 @@
-// Experiment E13 (DESIGN.md §10 / EXPERIMENTS.md): concurrent
-// certification service throughput and verdict latency.
+// Experiment E13 (DESIGN.md §10/§12, EXPERIMENTS.md): certification
+// service throughput and verdict latency over the real wire.
 //
-// Drives the in-process CertificationServer API (no sockets — the wire
-// protocol adds a constant per-frame cost that would only blur the
-// worker-scaling signal) with the acceptance configuration: 64 sessions
-// fed from 8 client threads, sweeping the worker count 1/2/4/8.  For
-// every cell the driver records aggregate events/sec, the p99 of the
-// QUERY drain-barrier latency, and verdict agreement with a
-// single-threaded batch replay of the same streams.
+// Unlike the first E13 cut (in-process API, worker sweep), this drives
+// the server through TCP loopback with service::ServiceClient, so every
+// cell pays the full path: framing, epoll event loop, handler pool,
+// session run queues.  Two suites:
 //
-// Scaling expectation: throughput tracks min(workers, cores).  The
-// committed BENCH_service.json records hardware_concurrency so flat
-// curves on small containers read as what they are (see the note field).
+//   protocol — fixed thread counts, sweeping (protocol, batch):
+//       v1/b1, v1/b32, v2/b1, v2/b16, v2/b64.
+//     v1/b1 is the old one-event-per-APPEND baseline; v2/b16+ shows what
+//     BATCH_APPEND's one-enqueue-one-WAL-commit amortization buys.  This
+//     suite is meaningful on any core count (client and server serialize
+//     on the same RPC either way).
 //
-// Plain chrono driver (no google-benchmark), same idiom as bench_online:
-// one run emits the committed machine-readable BENCH_service.json.
+//   scaling — v2/b32, sweeping I/O threads 1/2/4/8 at fixed workers.
+//     Throughput tracks min(io_threads, cores), so on a machine with
+//     fewer cores than the largest sweep point the curve is flat by
+//     construction; the bench REFUSES to emit it (with a clear message)
+//     instead of committing a misleading artifact.
 //
-// Usage: bench_service [output.json]
+// Every row records hardware_concurrency, protocol, and batch, and every
+// cell's verdicts are checked against a single-threaded batch replay.
+//
+// Usage: bench_service [--mode protocol|scaling|all] [output.json]
+//   Default mode: all (scaling rows are skipped, with the reason in the
+//   JSON, when the machine is too small; --mode scaling on such a
+//   machine fails instead).
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +38,7 @@
 #include <vector>
 
 #include "core/correctness.h"
+#include "service/client.h"
 #include "service/server.h"
 #include "util/logging.h"
 #include "workload/trace.h"
@@ -40,7 +51,6 @@ using Clock = std::chrono::steady_clock;
 
 constexpr size_t kSessions = 64;
 constexpr size_t kClientThreads = 8;
-constexpr size_t kAppendChunk = 32;
 
 std::vector<workload::TraceEvent> MakeEvents(uint32_t roots, uint64_t seed) {
   workload::WorkloadSpec spec;
@@ -74,7 +84,11 @@ bool BatchVerdict(const std::vector<workload::TraceEvent>& events) {
 }
 
 struct Cell {
-  size_t workers = 0;
+  std::string suite;
+  service::WireProtocol protocol = service::WireProtocol::kV1;
+  size_t batch = 1;
+  size_t io_threads = 2;
+  size_t workers = 2;
   size_t events = 0;
   double load_seconds = 0;
   double events_per_second = 0;
@@ -85,34 +99,43 @@ struct Cell {
   size_t mismatches = 0;
 };
 
-Cell RunCell(size_t workers,
+/// One full server lifecycle: listen on an ephemeral loopback port, open
+/// kSessions over the wire, stream every event from kClientThreads
+/// connections in `cell.batch`-sized APPENDs, QUERY every verdict, shut
+/// down.  Client-side RPC latency lands in the cell's percentiles.
+void RunCell(Cell& cell,
              const std::vector<std::vector<workload::TraceEvent>>& streams,
              const std::vector<bool>& expected) {
-  Cell cell;
-  cell.workers = workers;
-
   service::ServerOptions options;
-  options.workers = workers;
+  options.workers = cell.workers;
+  options.io_threads = cell.io_threads;
   options.batch_size = 64;
   options.session.queue_capacity = 1024;
   service::CertificationServer server(options);
+  service::Endpoint endpoint;  // 127.0.0.1, kernel-chosen port
+  COMPTX_CHECK_OK(server.Listen(endpoint));
 
+  auto control = service::ServiceClient::Dial(endpoint, cell.protocol);
+  COMPTX_CHECK(control.ok()) << control.status().ToString();
   std::vector<uint64_t> ids(kSessions);
+  cell.events = 0;
   for (size_t s = 0; s < kSessions; ++s) {
-    auto session = server.Open();
+    auto session = control->Open();
     COMPTX_CHECK(session.ok()) << session.status().ToString();
     ids[s] = *session;
     cell.events += streams[s].size();
   }
 
-  // Load phase: each client thread owns a disjoint slice of sessions and
-  // round-robins small chunks across them (in-process Append is a
-  // synchronous enqueue, so per-session order needs per-session
-  // ownership).  Append latency here = enqueue + possible backpressure.
+  // Load phase: each client thread owns a disjoint slice of sessions
+  // (per-session order needs per-session ownership) and round-robins
+  // batch-sized APPENDs across its slice over its own connection.
+  service::LatencyHistogram append_hist;
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   for (size_t t = 0; t < kClientThreads; ++t) {
     clients.emplace_back([&, t] {
+      auto client = service::ServiceClient::Dial(endpoint, cell.protocol);
+      COMPTX_CHECK(client.ok()) << client.status().ToString();
       std::vector<size_t> cursors(kSessions, 0);
       bool progress = true;
       while (progress) {
@@ -121,11 +144,17 @@ Cell RunCell(size_t workers,
           const auto& stream = streams[s];
           size_t& cursor = cursors[s];
           if (cursor >= stream.size()) continue;
-          const size_t n = std::min(kAppendChunk, stream.size() - cursor);
+          const size_t n = std::min(cell.batch, stream.size() - cursor);
           std::vector<workload::TraceEvent> chunk(
               stream.begin() + cursor, stream.begin() + cursor + n);
           cursor += n;
-          COMPTX_CHECK_OK(server.Append(ids[s], std::move(chunk)));
+          const Clock::time_point rpc_start = Clock::now();
+          auto queued = client->Append(ids[s], chunk);
+          COMPTX_CHECK(queued.ok()) << queued.status().ToString();
+          append_hist.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - rpc_start)
+                  .count()));
           progress = true;
         }
       }
@@ -135,8 +164,14 @@ Cell RunCell(size_t workers,
 
   // Verdict phase: QUERY every session (the drain barrier — this is the
   // latency a caller waiting for a verdict actually pays).
+  service::LatencyHistogram verdict_hist;
   for (size_t s = 0; s < kSessions; ++s) {
-    auto verdict = server.Query(ids[s]);
+    const Clock::time_point rpc_start = Clock::now();
+    auto verdict = control->Query(ids[s]);
+    verdict_hist.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              rpc_start)
+            .count()));
     COMPTX_CHECK(verdict.ok()) << verdict.status().ToString();
     if (verdict->certifiable != expected[s]) ++cell.mismatches;
   }
@@ -145,23 +180,78 @@ Cell RunCell(size_t workers,
   cell.events_per_second =
       cell.load_seconds > 0 ? double(cell.events) / cell.load_seconds : 0;
 
-  const auto append_snap = server.metrics().append_latency.Snap();
-  const auto verdict_snap = server.metrics().verdict_latency.Snap();
+  const auto append_snap = append_hist.Snap();
+  const auto verdict_snap = verdict_hist.Snap();
   cell.append_p50_us = append_snap.p50;
   cell.append_p99_us = append_snap.p99;
   cell.verdict_p50_us = verdict_snap.p50;
   cell.verdict_p99_us = verdict_snap.p99;
   server.Shutdown();
-  return cell;
+}
+
+Cell BestOf3(Cell proto,
+             const std::vector<std::vector<workload::TraceEvent>>& streams,
+             const std::vector<bool>& expected, size_t* total_mismatches) {
+  Cell best;
+  for (int rep = 0; rep < 3; ++rep) {
+    Cell cell = proto;
+    RunCell(cell, streams, expected);
+    *total_mismatches += cell.mismatches;
+    if (rep == 0 || cell.events_per_second > best.events_per_second) {
+      best = cell;
+    }
+  }
+  return best;
+}
+
+void PrintCell(const Cell& c) {
+  std::cout << c.suite << ": protocol="
+            << service::WireProtocolToString(c.protocol)
+            << " batch=" << c.batch << " io_threads=" << c.io_threads
+            << " events_per_second=" << c.events_per_second
+            << " append_p99_us=" << c.append_p99_us
+            << " verdict_p99_us=" << c.verdict_p99_us
+            << " mismatches=" << c.mismatches << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  std::string mode = "all";
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode = argv[++i];
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (mode != "protocol" && mode != "scaling" && mode != "all") {
+    std::cerr << "unknown --mode " << mode
+              << " (want protocol, scaling or all)\n";
+    return 2;
+  }
 
-  // One fixed workload for every cell, so the sweep varies only the
-  // worker count.  Ground truth is computed once, single-threaded.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::vector<size_t> io_sweep = {1, 2, 4, 8};
+  const size_t largest_sweep = io_sweep.back();
+  std::string scaling_skipped;
+  if (cores < largest_sweep) {
+    std::ostringstream why;
+    why << "machine has " << cores << " core(s) but the sweep needs "
+        << largest_sweep
+        << "; the I/O-thread curve would be flat by construction, not a "
+           "measurement";
+    scaling_skipped = why.str();
+  }
+  if (mode == "scaling" && !scaling_skipped.empty()) {
+    std::cerr << "refusing to run the scaling suite: " << scaling_skipped
+              << "\n";
+    return 2;
+  }
+
+  // One fixed workload for every cell, so a sweep varies exactly one
+  // knob.  Ground truth is computed once, single-threaded.
   std::vector<std::vector<workload::TraceEvent>> streams(kSessions);
   std::vector<bool> expected(kSessions);
   size_t total_events = 0;
@@ -171,52 +261,105 @@ int main(int argc, char** argv) {
     total_events += streams[s].size();
   }
   std::cout << "sessions=" << kSessions << " client_threads="
-            << kClientThreads << " total_events=" << total_events << "\n";
+            << kClientThreads << " total_events=" << total_events
+            << " cores=" << cores << "\n";
 
-  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
   std::vector<Cell> cells;
   size_t total_mismatches = 0;
-  for (size_t workers : worker_counts) {
-    // Best of 3 to damp scheduler noise (mismatches from any pass count).
-    Cell best;
-    for (int rep = 0; rep < 3; ++rep) {
-      Cell cell = RunCell(workers, streams, expected);
-      total_mismatches += cell.mismatches;
-      if (rep == 0 || cell.events_per_second > best.events_per_second) {
-        best = cell;
-      }
+
+  if (mode == "protocol" || mode == "all") {
+    struct ProtocolPoint {
+      service::WireProtocol protocol;
+      size_t batch;
+    };
+    const std::vector<ProtocolPoint> points = {
+        {service::WireProtocol::kV1, 1},
+        {service::WireProtocol::kV1, 32},
+        {service::WireProtocol::kV2, 1},
+        {service::WireProtocol::kV2, 16},
+        {service::WireProtocol::kV2, 64},
+    };
+    for (const ProtocolPoint& p : points) {
+      Cell proto;
+      proto.suite = "protocol";
+      proto.protocol = p.protocol;
+      proto.batch = p.batch;
+      proto.io_threads = 2;
+      proto.workers = 2;
+      Cell best = BestOf3(proto, streams, expected, &total_mismatches);
+      PrintCell(best);
+      cells.push_back(best);
     }
-    cells.push_back(best);
-    std::cout << "workers=" << best.workers
-              << " events_per_second=" << best.events_per_second
-              << " append_p99_us=" << best.append_p99_us
-              << " verdict_p99_us=" << best.verdict_p99_us
-              << " mismatches=" << best.mismatches << "\n";
   }
 
-  const unsigned cores = std::thread::hardware_concurrency();
-  const double scaling =
-      cells.front().events_per_second > 0
-          ? cells.back().events_per_second / cells.front().events_per_second
+  if ((mode == "scaling" || mode == "all") && scaling_skipped.empty()) {
+    for (size_t io : io_sweep) {
+      Cell proto;
+      proto.suite = "scaling";
+      proto.protocol = service::WireProtocol::kV2;
+      proto.batch = 32;
+      proto.io_threads = io;
+      proto.workers = 4;
+      Cell best = BestOf3(proto, streams, expected, &total_mismatches);
+      PrintCell(best);
+      cells.push_back(best);
+    }
+  } else if (mode == "all" && !scaling_skipped.empty()) {
+    std::cout << "scaling suite skipped: " << scaling_skipped << "\n";
+  }
+
+  // Headline ratios for the two acceptance curves.
+  const auto find = [&](const std::string& suite, service::WireProtocol p,
+                        size_t batch, size_t io) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.suite == suite && c.protocol == p && c.batch == batch &&
+          c.io_threads == io) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  const Cell* v1_base =
+      find("protocol", service::WireProtocol::kV1, 1, 2);
+  const Cell* v2_b16 =
+      find("protocol", service::WireProtocol::kV2, 16, 2);
+  const double batch_speedup =
+      (v1_base != nullptr && v2_b16 != nullptr &&
+       v1_base->events_per_second > 0)
+          ? v2_b16->events_per_second / v1_base->events_per_second
+          : 0;
+  const Cell* io1 = find("scaling", service::WireProtocol::kV2, 32, 1);
+  const Cell* io8 = find("scaling", service::WireProtocol::kV2, 32, 8);
+  const double io_scaling =
+      (io1 != nullptr && io8 != nullptr && io1->events_per_second > 0)
+          ? io8->events_per_second / io1->events_per_second
           : 0;
 
   std::ostringstream json;
   json << "{\n"
        << "  \"experiment\": \"E13_certification_service\",\n"
+       << "  \"transport\": \"tcp_loopback\",\n"
        << "  \"sessions\": " << kSessions << ",\n"
        << "  \"client_threads\": " << kClientThreads << ",\n"
        << "  \"total_events\": " << total_events << ",\n"
        << "  \"hardware_concurrency\": " << cores << ",\n"
-       << "  \"note\": \"throughput scales with min(workers, cores); on a "
-          "single-core container the worker sweep is flat by construction\","
-          "\n"
-       << "  \"worker_scaling_8x_over_1x\": " << scaling << ",\n"
-       << "  \"all_verdicts_match_batch_replay\": "
+       << "  \"v2_batch16_speedup_over_v1_single\": " << batch_speedup
+       << ",\n"
+       << "  \"io_thread_scaling_8x_over_1x\": " << io_scaling << ",\n";
+  if (!scaling_skipped.empty()) {
+    json << "  \"scaling_suite_skipped\": \"" << scaling_skipped << "\",\n";
+  }
+  json << "  \"all_verdicts_match_batch_replay\": "
        << (total_mismatches == 0 ? "true" : "false") << ",\n"
        << "  \"rows\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
-    json << "    {\"workers\": " << c.workers
+    json << "    {\"suite\": \"" << c.suite << "\", \"protocol\": \""
+         << service::WireProtocolToString(c.protocol)
+         << "\", \"batch\": " << c.batch
+         << ", \"io_threads\": " << c.io_threads
+         << ", \"workers\": " << c.workers
+         << ", \"hardware_concurrency\": " << cores
          << ", \"events\": " << c.events
          << ", \"load_seconds\": " << c.load_seconds
          << ", \"events_per_second\": " << c.events_per_second

@@ -402,6 +402,8 @@ StatusOr<uint64_t> WalWriter::Append(const WalRecord& record) {
     counters_->wal_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
     if (record.type == WalRecordType::kAppend) {
       counters_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      counters_->wal_append_events.fetch_add(record.events.size(),
+                                             std::memory_order_relaxed);
     }
   }
   return next_lsn_.fetch_add(1, std::memory_order_relaxed);

@@ -72,6 +72,10 @@ struct WalRecord {
 /// service layer.  All counters are cumulative per process.
 struct Counters {
   std::atomic<uint64_t> wal_appends{0};        // APPEND records written
+  std::atomic<uint64_t> wal_append_events{0};  // events carried by those
+                                               // records (ratio to
+                                               // wal_appends = group-commit
+                                               // amortization)
   std::atomic<uint64_t> wal_bytes{0};          // bytes written to WALs
   std::atomic<uint64_t> fsyncs{0};             // fsync(2) calls issued
   std::atomic<uint64_t> snapshots_written{0};  // snapshot files published

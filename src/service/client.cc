@@ -4,18 +4,20 @@
 
 namespace comptx::service {
 
-StatusOr<ServiceClient> ServiceClient::Dial(const Endpoint& endpoint) {
+StatusOr<ServiceClient> ServiceClient::Dial(const Endpoint& endpoint,
+                                            WireProtocol protocol) {
   auto socket = Connect(endpoint);
   if (!socket.ok()) return socket.status();
-  return ServiceClient(std::move(*socket));
+  return ServiceClient(std::move(*socket), protocol);
 }
 
 StatusOr<Response> ServiceClient::RoundTrip(const Request& request) {
-  Status sent = WriteFrame(socket_.fd(), FormatRequest(request));
+  const std::string frame = EncodeRequestFrame(protocol_, request);
+  Status sent = WriteWireBytes(socket_.fd(), frame);
   if (!sent.ok()) return sent;
-  auto payload = ReadFrame(socket_.fd());
-  if (!payload.ok()) return payload.status();
-  auto response = ParseResponse(*payload);
+  auto reply = ReadWireFrame(socket_.fd(), parser_);
+  if (!reply.ok()) return reply.status();
+  auto response = DecodeResponseFrame(*reply);
   if (!response.ok()) return response.status();
   if (!response->ok) {
     return Status::FailedPrecondition(

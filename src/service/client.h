@@ -17,9 +17,15 @@ namespace comptx::service {
 /// thread its own instance — comptx_load does).  Any transport or ERR
 /// response surfaces as a non-OK Status whose message carries the wire
 /// error code.
+///
+/// The protocol chosen at Dial frames every request: v1 is the textual
+/// protocol, v2 the binary one (protocol.h) — under v2, a multi-event
+/// Append travels as one BATCH_APPEND frame.  Both interoperate with the
+/// same server, which answers in the protocol each request arrived in.
 class ServiceClient {
  public:
-  static StatusOr<ServiceClient> Dial(const Endpoint& endpoint);
+  static StatusOr<ServiceClient> Dial(
+      const Endpoint& endpoint, WireProtocol protocol = WireProtocol::kV1);
 
   ServiceClient(ServiceClient&&) = default;
   ServiceClient& operator=(ServiceClient&&) = default;
@@ -43,13 +49,18 @@ class ServiceClient {
   /// Asks the server to drain and exit.
   Status Shutdown();
 
+  WireProtocol protocol() const { return protocol_; }
+
  private:
-  explicit ServiceClient(Socket socket) : socket_(std::move(socket)) {}
+  ServiceClient(Socket socket, WireProtocol protocol)
+      : socket_(std::move(socket)), protocol_(protocol) {}
 
   StatusOr<Response> RoundTrip(const Request& request);
   static SessionVerdict VerdictFrom(const Response& response);
 
   Socket socket_;
+  WireProtocol protocol_ = WireProtocol::kV1;
+  FrameParser parser_;
 };
 
 }  // namespace comptx::service

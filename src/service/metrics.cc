@@ -1,5 +1,6 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <functional>
 #include <thread>
@@ -11,18 +12,19 @@ namespace comptx::service {
 namespace {
 
 /// Stable per-thread stripe choice; hashing the thread id spreads
-/// consecutive ids across stripes.
+/// consecutive ids across stripes.  Callers mask down to their own
+/// power-of-two stripe count.
 size_t ThreadStripe() {
   static thread_local const size_t stripe =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
-      StripedCounter::kStripes;
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
   return stripe;
 }
 
 }  // namespace
 
 void StripedCounter::Add(uint64_t delta) {
-  stripes_[ThreadStripe()].value.fetch_add(delta, std::memory_order_relaxed);
+  stripes_[ThreadStripe() & (kStripes - 1)].value.fetch_add(
+      delta, std::memory_order_relaxed);
 }
 
 uint64_t StripedCounter::Value() const {
@@ -53,15 +55,16 @@ uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
 }
 
 void LatencyHistogram::Record(uint64_t micros) {
-  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(micros, std::memory_order_relaxed);
-  uint64_t seen = min_.load(std::memory_order_relaxed);
-  while (micros < seen &&
-         !min_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  Stripe& stripe = stripes_[ThreadStripe() & (kStripes - 1)];
+  stripe.buckets[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = stripe.min.load(std::memory_order_relaxed);
+  while (micros < seen && !stripe.min.compare_exchange_weak(
+                              seen, micros, std::memory_order_relaxed)) {
   }
-  seen = max_.load(std::memory_order_relaxed);
-  while (micros > seen &&
-         !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  seen = stripe.max.load(std::memory_order_relaxed);
+  while (micros > seen && !stripe.max.compare_exchange_weak(
+                              seen, micros, std::memory_order_relaxed)) {
   }
 }
 
@@ -91,16 +94,21 @@ std::string LatencyHistogram::Snapshot::Summary() const {
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   Snapshot snap;
-  for (size_t i = 0; i < kBucketCount; ++i) {
-    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
-    snap.buckets[i] = n;
-    snap.count += n;
+  uint64_t sum = 0;
+  uint64_t min = ~0ull;
+  for (const Stripe& stripe : stripes_) {
+    for (size_t i = 0; i < kBucketCount; ++i) {
+      const uint64_t n = stripe.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    sum += stripe.sum.load(std::memory_order_relaxed);
+    min = std::min(min, stripe.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, stripe.max.load(std::memory_order_relaxed));
   }
   if (snap.count == 0) return snap;
-  snap.min = min_.load(std::memory_order_relaxed);
-  snap.max = max_.load(std::memory_order_relaxed);
-  snap.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-              static_cast<double>(snap.count);
+  snap.min = min;
+  snap.mean = static_cast<double>(sum) / static_cast<double>(snap.count);
   snap.p50 = snap.ValueAt(0.50);
   snap.p95 = snap.ValueAt(0.95);
   snap.p99 = snap.ValueAt(0.99);
@@ -128,6 +136,9 @@ std::string ServiceMetrics::RenderText() const {
   };
   line("uptime_seconds", UptimeSeconds());
   line("active_sessions", active_sessions.load(std::memory_order_relaxed));
+  line("active_connections",
+       active_connections.load(std::memory_order_relaxed));
+  line("connections_accepted", connections_accepted.Value());
   line("queue_depth", queue_depth.load(std::memory_order_relaxed));
   line("sessions_opened", sessions_opened.Value());
   line("sessions_closed", sessions_closed.Value());
@@ -140,10 +151,15 @@ std::string ServiceMetrics::RenderText() const {
   line("verdict_queries", verdict_queries.Value());
   line("backpressure_waits", backpressure_waits.Value());
   line("protocol_errors", protocol_errors.Value());
+  line("certifier_live_nodes",
+       certifier_live_nodes.load(std::memory_order_relaxed));
+  line("certifier_prune_passes", certifier_prune_passes.Value());
+  line("certifier_pruned_nodes", certifier_pruned_nodes.Value());
   const auto counter = [](const std::atomic<uint64_t>& value) {
     return value.load(std::memory_order_relaxed);
   };
   line("wal_appends", counter(durability.wal_appends));
+  line("wal_append_events", counter(durability.wal_append_events));
   line("wal_bytes", counter(durability.wal_bytes));
   line("fsyncs", counter(durability.fsyncs));
   line("snapshots_written", counter(durability.snapshots_written));
@@ -164,6 +180,8 @@ std::string ServiceMetrics::RenderLine() const {
       " depth=", queue_depth.load(std::memory_order_relaxed),
       " enq=", events_enqueued.Value(), " proc=", events_processed.Value(),
       " rej=", events_rejected.Value(), " evict=", sessions_evicted.Value(),
+      " conns=", active_connections.load(std::memory_order_relaxed),
+      " live_nodes=", certifier_live_nodes.load(std::memory_order_relaxed),
       " eps=", EventsPerSecond(), " append_p99us=", append.p99,
       " verdict_p99us=", verdict.p99);
 }

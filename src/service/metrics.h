@@ -12,13 +12,16 @@
 namespace comptx::service {
 
 /// A counter sharded over cache-line-sized stripes so that concurrent
-/// recorders (connection handlers, workers) do not bounce one cache line.
-/// Add() picks a stripe from the calling thread's identity; Value() sums
-/// the stripes (an instantaneous, monotone-consistent snapshot: every
-/// completed Add is visible, concurrent ones may or may not be).
+/// recorders (I/O threads, handlers, workers) do not bounce one cache
+/// line.  Add() picks a stripe from the calling thread's identity;
+/// Value() sums the stripes (an instantaneous, monotone-consistent
+/// snapshot: every completed Add is visible, concurrent ones may or may
+/// not be).
 class StripedCounter {
  public:
+  /// Power of two, so the stripe pick is a mask, not a division.
   static constexpr size_t kStripes = 16;
+  static_assert((kStripes & (kStripes - 1)) == 0);
 
   void Add(uint64_t delta);
   void Increment() { Add(1); }
@@ -40,12 +43,18 @@ class StripedCounter {
 /// accurate to the precision latency numbers are ever quoted at.
 /// Recording is a single relaxed fetch_add; quantile extraction scans the
 /// ~1k buckets.  Values above ~2^40 us (12 days) saturate the top bucket.
+///
+/// Like StripedCounter, the buckets (and sum/min/max) are sharded over
+/// per-thread stripes: on many cores the recorders of one hot histogram
+/// otherwise serialize on its cache lines.  Snap() merges the stripes.
 class LatencyHistogram {
  public:
   static constexpr size_t kSubBits = 4;                  // 16 sub-buckets
   static constexpr size_t kSubBuckets = 1u << kSubBits;  // per major
   static constexpr size_t kMajors = 40;
   static constexpr size_t kBucketCount = kSubBuckets * (kMajors + 1);
+  static constexpr size_t kStripes = 8;
+  static_assert((kStripes & (kStripes - 1)) == 0);
 
   void Record(uint64_t micros);
 
@@ -80,10 +89,13 @@ class LatencyHistogram {
   static uint64_t BucketUpperBound(size_t bucket);
 
  private:
-  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> min_{~0ull};
-  std::atomic<uint64_t> max_{0};
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kBucketCount> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{~0ull};
+    std::atomic<uint64_t> max{0};
+  };
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Everything the service exports: lock-striped counters, gauges and the
@@ -107,6 +119,15 @@ class ServiceMetrics {
   StripedCounter verdict_queries;
   StripedCounter backpressure_waits;  // producer blocked on a full queue
   StripedCounter protocol_errors;
+  StripedCounter connections_accepted;
+
+  // Certifier memory behavior (online::CertifierStats), aggregated over
+  // live sessions: each session publishes deltas at the end of a worker
+  // batch (while it is still the certifier's one writer) and retires its
+  // contribution when it closes or is evicted, so long-session epoch
+  // pruning is observable from the wire (STATS body, DESIGN.md §6).
+  StripedCounter certifier_prune_passes;
+  StripedCounter certifier_pruned_nodes;
 
   // --- durability ---------------------------------------------------
   // Written by the durability layer (WAL writers, snapshotter, recovery),
@@ -116,7 +137,11 @@ class ServiceMetrics {
 
   // --- gauges -------------------------------------------------------
   std::atomic<int64_t> active_sessions{0};
+  std::atomic<int64_t> active_connections{0};
   std::atomic<int64_t> queue_depth{0};  // events enqueued, not yet ingested
+  // Live serialization-graph nodes across all live sessions' certifiers
+  // (grows with ingest, shrinks with epoch pruning and session close).
+  std::atomic<int64_t> certifier_live_nodes{0};
 
   // --- histograms (microseconds) ------------------------------------
   LatencyHistogram append_latency;

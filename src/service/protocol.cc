@@ -269,6 +269,479 @@ Status WriteFrame(int fd, const std::string& payload) {
   return WriteAll(fd, frame.data(), frame.size());
 }
 
+// ---- varint + packed-event codec (v2 payload layer) ------------------
+
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+Status ReadVarint(const std::string& data, size_t& pos, uint64_t& value) {
+  value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= data.size()) {
+      return Status::InvalidArgument("truncated varint");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data[pos++]);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && (byte & 0x7e) != 0) break;  // overflowed 64 bits
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("varint exceeds 64 bits");
+}
+
+namespace {
+
+constexpr uint8_t kMaxEventKind =
+    static_cast<uint8_t>(workload::TraceEventKind::kCommit);
+
+void AppendString(std::string& out, const std::string& value) {
+  AppendVarint(out, value.size());
+  out += value;
+}
+
+Status ReadString(const std::string& data, size_t& pos, std::string& value) {
+  uint64_t size = 0;
+  COMPTX_RETURN_IF_ERROR(ReadVarint(data, pos, size));
+  if (size > data.size() - pos) {
+    return Status::InvalidArgument("truncated string");
+  }
+  value.assign(data, pos, static_cast<size_t>(size));
+  pos += static_cast<size_t>(size);
+  return Status::OK();
+}
+
+Status ReadIndex(const std::string& data, size_t& pos, uint32_t& value) {
+  uint64_t parsed = 0;
+  COMPTX_RETURN_IF_ERROR(ReadVarint(data, pos, parsed));
+  if (parsed > UINT32_MAX) {
+    return Status::InvalidArgument("index exceeds 32 bits");
+  }
+  value = static_cast<uint32_t>(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendEventBinary(std::string& out, const workload::TraceEvent& event) {
+  using workload::TraceEventKind;
+  out.push_back(static_cast<char>(event.kind));
+  // Field presence mirrors the text grammar (workload/trace.h): unused
+  // fields are not shipped, so a single-reference event costs a kind
+  // byte plus one or two varints.
+  switch (event.kind) {
+    case TraceEventKind::kSchedule:
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kRoot:
+      AppendVarint(out, event.schedule);
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kSub:
+      AppendVarint(out, event.parent);
+      AppendVarint(out, event.schedule);
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kLeaf:
+      AppendVarint(out, event.parent);
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kConflict:
+    case TraceEventKind::kWeakOutput:
+    case TraceEventKind::kStrongOutput:
+      AppendVarint(out, event.a);
+      AppendVarint(out, event.b);
+      break;
+    case TraceEventKind::kWeakInput:
+    case TraceEventKind::kStrongInput:
+      AppendVarint(out, event.schedule);
+      AppendVarint(out, event.a);
+      AppendVarint(out, event.b);
+      break;
+    case TraceEventKind::kIntraWeak:
+    case TraceEventKind::kIntraStrong:
+      AppendVarint(out, event.parent);
+      AppendVarint(out, event.a);
+      AppendVarint(out, event.b);
+      break;
+    case TraceEventKind::kCommit:
+      AppendVarint(out, event.parent);
+      break;
+  }
+}
+
+Status ReadEventBinary(const std::string& data, size_t& pos,
+                       workload::TraceEvent& event) {
+  using workload::TraceEventKind;
+  if (pos >= data.size()) return Status::InvalidArgument("truncated event");
+  const uint8_t kind = static_cast<uint8_t>(data[pos++]);
+  if (kind > kMaxEventKind) {
+    return Status::InvalidArgument(StrCat("unknown event kind ", kind));
+  }
+  event = workload::TraceEvent{};
+  event.kind = static_cast<TraceEventKind>(kind);
+  switch (event.kind) {
+    case TraceEventKind::kSchedule:
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kRoot:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.schedule));
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kSub:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.parent));
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.schedule));
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kLeaf:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.parent));
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kConflict:
+    case TraceEventKind::kWeakOutput:
+    case TraceEventKind::kStrongOutput:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadIndex(data, pos, event.b);
+    case TraceEventKind::kWeakInput:
+    case TraceEventKind::kStrongInput:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.schedule));
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadIndex(data, pos, event.b);
+    case TraceEventKind::kIntraWeak:
+    case TraceEventKind::kIntraStrong:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.parent));
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadIndex(data, pos, event.b);
+    case TraceEventKind::kCommit:
+      return ReadIndex(data, pos, event.parent);
+  }
+  return Status::InvalidArgument("unreachable event kind");
+}
+
+// ---- frame layer ------------------------------------------------------
+
+namespace {
+
+void PutU16(std::string& out, uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>(value >> 8));
+}
+
+void PutU32(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* data) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+  return static_cast<uint16_t>(bytes[0] | (bytes[1] << 8));
+}
+
+uint32_t GetU32(const char* data) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+  return static_cast<uint32_t>(bytes[0]) |
+         (static_cast<uint32_t>(bytes[1]) << 8) |
+         (static_cast<uint32_t>(bytes[2]) << 16) |
+         (static_cast<uint32_t>(bytes[3]) << 24);
+}
+
+uint64_t GetU64(const char* data) {
+  return static_cast<uint64_t>(GetU32(data)) |
+         (static_cast<uint64_t>(GetU32(data + 4)) << 32);
+}
+
+bool ValidOpcode(uint8_t opcode) {
+  return (opcode >= static_cast<uint8_t>(Opcode::kOpen) &&
+          opcode <= static_cast<uint8_t>(Opcode::kShutdown)) ||
+         opcode == static_cast<uint8_t>(Opcode::kReply);
+}
+
+std::string WireHeader(Opcode opcode, uint64_t session, size_t payload_size) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + payload_size);
+  PutU32(out, kWireMagicV2);
+  out.push_back(static_cast<char>(kWireVersion2));
+  out.push_back(static_cast<char>(opcode));
+  PutU16(out, 0);  // flags, reserved
+  PutU64(out, session);
+  PutU32(out, static_cast<uint32_t>(payload_size));
+  return out;
+}
+
+}  // namespace
+
+void FrameParser::Feed(const char* data, size_t size) {
+  buffer_.append(data, size);
+}
+
+void FrameParser::Compact() {
+  // Amortized O(1): only shift once the dead prefix dominates.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+StatusOr<bool> FrameParser::Next(WireFrame& frame) {
+  Compact();
+  const size_t available = buffer_.size() - pos_;
+  if (available == 0) return false;
+  const char first = buffer_[pos_];
+
+  if (first >= '0' && first <= '9') {
+    // v1: decimal length prefix, '\n', payload.
+    size_t digits = 0;
+    while (pos_ + digits < buffer_.size()) {
+      const char c = buffer_[pos_ + digits];
+      if (c == '\n') break;
+      if (c < '0' || c > '9' || digits > 12) {
+        return Status::InvalidArgument("malformed frame length prefix");
+      }
+      ++digits;
+    }
+    if (pos_ + digits >= buffer_.size()) return false;  // prefix incomplete
+    const uint64_t size =
+        std::strtoull(buffer_.substr(pos_, digits).c_str(), nullptr, 10);
+    if (size > max_bytes_) {
+      return Status::OutOfRange(StrCat("frame of ", size, " bytes exceeds the ",
+                                       max_bytes_, "-byte limit"));
+    }
+    const size_t frame_end = pos_ + digits + 1 + static_cast<size_t>(size);
+    if (frame_end > buffer_.size()) return false;  // payload incomplete
+    frame.protocol = WireProtocol::kV1;
+    frame.opcode = Opcode::kPing;
+    frame.session = 0;
+    frame.payload.assign(buffer_, pos_ + digits + 1, static_cast<size_t>(size));
+    pos_ = frame_end;
+    return true;
+  }
+
+  // v2: anything non-digit must open a valid header.  Validate the fixed
+  // fields as soon as their bytes arrive, so a garbage first byte fails
+  // fast instead of waiting for 20 bytes that may never come.
+  if (available >= 4) {
+    if (GetU32(buffer_.data() + pos_) != kWireMagicV2) {
+      return Status::InvalidArgument("bad frame magic");
+    }
+  } else {
+    const char* magic = "CTX2";
+    for (size_t i = 0; i < available; ++i) {
+      if (buffer_[pos_ + i] != magic[i]) {
+        return Status::InvalidArgument("bad frame magic");
+      }
+    }
+    return false;
+  }
+  if (available < kWireHeaderBytes) return false;
+  const char* header = buffer_.data() + pos_;
+  if (static_cast<uint8_t>(header[4]) != kWireVersion2) {
+    return Status::InvalidArgument(
+        StrCat("unsupported protocol version ",
+               static_cast<unsigned>(static_cast<uint8_t>(header[4]))));
+  }
+  const uint8_t opcode = static_cast<uint8_t>(header[5]);
+  if (!ValidOpcode(opcode)) {
+    return Status::InvalidArgument(
+        StrCat("unknown opcode ", static_cast<unsigned>(opcode)));
+  }
+  if (GetU16(header + 6) != 0) {
+    return Status::InvalidArgument("reserved flags must be zero");
+  }
+  const uint32_t size = GetU32(header + 16);
+  if (size > max_bytes_) {
+    return Status::OutOfRange(StrCat("frame of ", size, " bytes exceeds the ",
+                                     max_bytes_, "-byte limit"));
+  }
+  if (available < kWireHeaderBytes + size) return false;
+  frame.protocol = WireProtocol::kV2;
+  frame.opcode = static_cast<Opcode>(opcode);
+  frame.session = GetU64(header + 8);
+  frame.payload.assign(buffer_, pos_ + kWireHeaderBytes, size);
+  pos_ += kWireHeaderBytes + size;
+  return true;
+}
+
+std::string EncodeRequestFrame(WireProtocol protocol, const Request& request) {
+  if (protocol == WireProtocol::kV1) {
+    const std::string payload = FormatRequest(request);
+    std::string frame = StrCat(payload.size(), "\n");
+    frame += payload;
+    return frame;
+  }
+  std::string payload;
+  Opcode opcode = Opcode::kPing;
+  uint64_t session = 0;
+  switch (request.kind) {
+    case CommandKind::kOpen:
+      opcode = Opcode::kOpen;
+      payload = request.options;
+      break;
+    case CommandKind::kAppend:
+      session = request.session;
+      if (request.events.size() == 1) {
+        opcode = Opcode::kAppend;
+        AppendEventBinary(payload, request.events.front());
+      } else {
+        opcode = Opcode::kBatchAppend;
+        AppendVarint(payload, request.events.size());
+        for (const workload::TraceEvent& event : request.events) {
+          AppendEventBinary(payload, event);
+        }
+      }
+      break;
+    case CommandKind::kQuery:
+      opcode = Opcode::kQuery;
+      session = request.session;
+      break;
+    case CommandKind::kClose:
+      opcode = Opcode::kClose;
+      session = request.session;
+      break;
+    case CommandKind::kStats:
+      opcode = Opcode::kStats;
+      break;
+    case CommandKind::kPing:
+      opcode = Opcode::kPing;
+      break;
+    case CommandKind::kShutdown:
+      opcode = Opcode::kShutdown;
+      break;
+  }
+  std::string frame = WireHeader(opcode, session, payload.size());
+  frame += payload;
+  return frame;
+}
+
+std::string EncodeResponseFrame(WireProtocol protocol,
+                                const Response& response, uint64_t session) {
+  const std::string payload = FormatResponse(response);
+  if (protocol == WireProtocol::kV1) {
+    std::string frame = StrCat(payload.size(), "\n");
+    frame += payload;
+    return frame;
+  }
+  std::string frame = WireHeader(Opcode::kReply, session, payload.size());
+  frame += payload;
+  return frame;
+}
+
+StatusOr<Request> DecodeRequestFrame(const WireFrame& frame) {
+  if (frame.protocol == WireProtocol::kV1) {
+    return ParseRequest(frame.payload);
+  }
+  Request request;
+  request.session = frame.session;
+  size_t pos = 0;
+  switch (frame.opcode) {
+    case Opcode::kOpen:
+      request.kind = CommandKind::kOpen;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kAppend: {
+      request.kind = CommandKind::kAppend;
+      workload::TraceEvent event;
+      COMPTX_RETURN_IF_ERROR(ReadEventBinary(frame.payload, pos, event));
+      if (pos != frame.payload.size()) {
+        return Status::InvalidArgument("trailing bytes after APPEND event");
+      }
+      request.events.push_back(std::move(event));
+      return request;
+    }
+    case Opcode::kBatchAppend: {
+      request.kind = CommandKind::kAppend;
+      uint64_t count = 0;
+      COMPTX_RETURN_IF_ERROR(ReadVarint(frame.payload, pos, count));
+      // Each packed event costs >= 2 bytes, so a hostile count cannot
+      // reserve more than the frame itself justifies.
+      if (count > frame.payload.size()) {
+        return Status::InvalidArgument(
+            StrCat("BATCH_APPEND count ", count, " exceeds the payload"));
+      }
+      request.events.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        workload::TraceEvent event;
+        COMPTX_RETURN_IF_ERROR(ReadEventBinary(frame.payload, pos, event));
+        request.events.push_back(std::move(event));
+      }
+      if (pos != frame.payload.size()) {
+        return Status::InvalidArgument(
+            "trailing bytes after BATCH_APPEND events");
+      }
+      return request;
+    }
+    case Opcode::kQuery:
+      request.kind = CommandKind::kQuery;
+      return request;
+    case Opcode::kClose:
+      request.kind = CommandKind::kClose;
+      return request;
+    case Opcode::kStats:
+      request.kind = CommandKind::kStats;
+      return request;
+    case Opcode::kPing:
+      request.kind = CommandKind::kPing;
+      return request;
+    case Opcode::kShutdown:
+      request.kind = CommandKind::kShutdown;
+      return request;
+    case Opcode::kReply:
+      break;
+  }
+  return Status::InvalidArgument("REPLY is not a request opcode");
+}
+
+StatusOr<Response> DecodeResponseFrame(const WireFrame& frame) {
+  if (frame.protocol == WireProtocol::kV2 && frame.opcode != Opcode::kReply) {
+    return Status::InvalidArgument("response frame is not a REPLY");
+  }
+  return ParseResponse(frame.payload);
+}
+
+Status WriteWireBytes(int fd, const std::string& bytes) {
+  return WriteAll(fd, bytes.data(), bytes.size());
+}
+
+StatusOr<WireFrame> ReadWireFrame(int fd, FrameParser& parser) {
+  WireFrame frame;
+  for (;;) {
+    auto ready = parser.Next(frame);
+    if (!ready.ok()) return ready.status();
+    if (*ready) return frame;
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("read: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (parser.buffered() == 0) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    parser.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+const char* WireProtocolToString(WireProtocol protocol) {
+  return protocol == WireProtocol::kV2 ? "v2" : "v1";
+}
+
+StatusOr<WireProtocol> ParseWireProtocol(const std::string& name) {
+  if (name == "v1" || name == "1") return WireProtocol::kV1;
+  if (name == "v2" || name == "2") return WireProtocol::kV2;
+  return Status::InvalidArgument(
+      StrCat("unknown protocol '", name, "' (want v1 or v2)"));
+}
+
 StatusOr<std::string> ReadFrame(int fd, size_t max_bytes) {
   // Prefix: decimal digits then '\n', read byte by byte (the prefix is
   // tiny; the payload below is read in one gulp).

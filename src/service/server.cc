@@ -170,6 +170,7 @@ size_t CertificationServer::EvictIdleNow() {
       COMPTX_LOG(Warn) << "persisting evicted session " << session->id()
                        << " failed: " << persisted;
     }
+    session->RetireCertifierStats();
     COMPTX_LOG(Debug) << "evicted idle session " << session->id();
   }
   return evicted.size();
@@ -276,6 +277,9 @@ Response CertificationServer::HandleQueryOrClose(const Request& request,
   (*session)->WaitDrained();
   const SessionVerdict verdict = (*session)->Verdict();
   if (close) {
+    // Drained and closing: no worker is attached, so retiring the
+    // live-node gauge cannot race a publication.
+    (*session)->RetireCertifierStats();
     // CLOSE was acked with the final verdict; the durable state has no
     // further consumer.  The CLOSE marker makes a crash between here and
     // the unlink unambiguous for recovery.
@@ -367,49 +371,20 @@ StatusOr<SessionVerdict> CertificationServer::Close(uint64_t session) {
 Status CertificationServer::Listen(Endpoint& endpoint) {
   auto listener = service::Listen(endpoint);
   if (!listener.ok()) return listener.status();
-  listener_ = std::move(*listener);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
-  COMPTX_LOG(Info) << "listening on " << endpoint.ToString();
+  EventLoopOptions loop;
+  loop.io_threads = std::max<size_t>(1, options_.io_threads);
+  loop.handler_threads =
+      options_.handler_threads > 0
+          ? options_.handler_threads
+          : std::max<size_t>(4, options_.workers);
+  event_loop_ = std::make_unique<EventLoop>(
+      loop, [this](const Request& request) { return Handle(request); },
+      &metrics_);
+  COMPTX_RETURN_IF_ERROR(event_loop_->Start(std::move(*listener)));
+  COMPTX_LOG(Info) << "listening on " << endpoint.ToString() << " ("
+                   << loop.io_threads << " io + " << loop.handler_threads
+                   << " handler threads)";
   return Status::OK();
-}
-
-void CertificationServer::AcceptLoop() {
-  for (;;) {
-    auto accepted = Accept(listener_);
-    if (!accepted.ok()) return;  // listener closed: shutdown
-    auto socket = std::make_shared<Socket>(std::move(*accepted));
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    if (ShuttingDown()) return;  // drop the late connection on the floor
-    conn_sockets_.push_back(socket);
-    connections_.emplace_back(
-        [this, socket = std::move(socket)] { ConnectionLoop(*socket); });
-  }
-}
-
-void CertificationServer::ConnectionLoop(Socket& socket) {
-  for (;;) {
-    auto payload = ReadFrame(socket.fd());
-    if (!payload.ok()) {
-      // NotFound = clean EOF.  Anything else is a framing violation worth
-      // one best-effort diagnostic before hanging up.
-      if (payload.status().code() != StatusCode::kNotFound) {
-        metrics_.protocol_errors.Increment();
-        (void)WriteFrame(socket.fd(),
-                         FormatResponse(ErrorResponse(
-                             "bad_request", payload.status().message())));
-      }
-      return;
-    }
-    auto request = ParseRequest(*payload);
-    Response response;
-    if (!request.ok()) {
-      metrics_.protocol_errors.Increment();
-      response = ErrorResponse("bad_request", request.status().message());
-    } else {
-      response = Handle(*request);
-    }
-    if (!WriteFrame(socket.fd(), FormatResponse(response)).ok()) return;
-  }
 }
 
 // ---- shutdown --------------------------------------------------------
@@ -480,26 +455,13 @@ void CertificationServer::Shutdown() {
   }
   if (pool_host_.joinable()) pool_host_.join();
 
-  // 4. Tear down the network.  Shutdown-then-join-then-close, per
-  //    socket.h: shutdown() wakes the thread blocked in accept()/read(),
-  //    and the fd is only close()d once that thread has been joined —
-  //    close() while another thread still reads the fd races with
-  //    descriptor reuse.
-  listener_.ShutdownReadWrite();
-  if (acceptor_.joinable()) acceptor_.join();
-  listener_.Close();
-  std::vector<std::thread> connections;
-  std::vector<std::shared_ptr<Socket>> sockets;
-  {
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    connections.swap(connections_);
-    sockets.swap(conn_sockets_);
-  }
-  for (const std::shared_ptr<Socket>& socket : sockets) {
-    socket->ShutdownReadWrite();
-  }
-  for (std::thread& thread : connections) thread.join();
-  for (const std::shared_ptr<Socket>& socket : sockets) socket->Close();
+  // 4. Tear down the network.  EventLoop::Stop is graceful: it stops
+  //    accepting and reading, lets the handler pool answer every request
+  //    already decoded (in particular the SHUTDOWN OK that triggered this
+  //    teardown), flushes buffered responses with a bounded deadline, and
+  //    only then closes the descriptors.  Requests refused during the
+  //    drain above got shutting_down errors through the same path.
+  if (event_loop_ != nullptr) event_loop_->Stop();
 
   {
     std::unique_lock<std::mutex> lock(state_mu_);

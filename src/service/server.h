@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/event_loop.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/session_manager.h"
@@ -24,6 +25,16 @@ struct ServerOptions {
   /// Certification workers.  Each drains one session at a time, so this
   /// bounds how many sessions certify concurrently.
   size_t workers = DefaultThreadCount();
+
+  /// epoll I/O threads for the network front end (event_loop.h).  Only
+  /// meaningful once Listen() is called; in-process use spawns none.
+  size_t io_threads = 2;
+
+  /// Request-handler threads behind the I/O threads (0 = auto: the
+  /// larger of 4 and `workers`).  Handle() blocks on backpressure, drain
+  /// barriers and fsync, so handlers are sized independently of the I/O
+  /// threads that must never block.
+  size_t handler_threads = 0;
 
   /// Admission control: OPEN fails once this many sessions are live.
   size_t max_sessions = 1024;
@@ -121,8 +132,6 @@ class CertificationServer {
  private:
   void WorkerLoop();
   void TickerLoop();
-  void AcceptLoop();
-  void ConnectionLoop(Socket& socket);
   void ScheduleSession(std::shared_ptr<Session> session);
 
   /// The command switch behind Handle (which wraps mutating commands in
@@ -162,13 +171,9 @@ class CertificationServer {
   std::condition_variable ticker_cv_;
   bool stop_ticker_ = false;
 
-  // Network front end.  conn_sockets_ lets Shutdown close every live
-  // connection (Socket::Close is thread-safe) to unblock its handler.
-  Socket listener_;
-  std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  std::vector<std::shared_ptr<Socket>> conn_sockets_;
+  // Network front end: the epoll event loop (event_loop.h).  Null until
+  // Listen(); in-process servers never create one.
+  std::unique_ptr<EventLoop> event_loop_;
 
   mutable std::mutex state_mu_;
   std::condition_variable shutdown_cv_;

@@ -205,6 +205,11 @@ bool Session::ProcessBatch(size_t max_events) {
     }
   }
 
+  // Still the certifier's sole writer here (the scheduled_ flag is not
+  // released until below), so the stat publication cannot race another
+  // publisher.
+  PublishCertifierStats();
+
   std::unique_lock<std::mutex> lock(mu_);
   space_cv_.notify_all();
   if (queue_.empty()) {
@@ -213,6 +218,26 @@ bool Session::ProcessBatch(size_t max_events) {
     return false;
   }
   return true;
+}
+
+void Session::PublishCertifierStats() {
+  const online::CertifierStats stats = certifier_->Stats();
+  metrics_->certifier_live_nodes.fetch_add(
+      static_cast<int64_t>(stats.live_nodes) -
+          static_cast<int64_t>(published_stats_.live_nodes),
+      std::memory_order_relaxed);
+  metrics_->certifier_prune_passes.Add(stats.prune_passes -
+                                       published_stats_.prune_passes);
+  metrics_->certifier_pruned_nodes.Add(stats.pruned_nodes -
+                                       published_stats_.pruned_nodes);
+  published_stats_ = stats;
+}
+
+void Session::RetireCertifierStats() {
+  metrics_->certifier_live_nodes.fetch_sub(
+      static_cast<int64_t>(published_stats_.live_nodes),
+      std::memory_order_relaxed);
+  published_stats_.live_nodes = 0;
 }
 
 void Session::WaitDrained() {
@@ -290,23 +315,46 @@ SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics,
       metrics_(metrics),
       durability_(durability) {}
 
-StatusOr<std::shared_ptr<Session>> SessionManager::Open(
-    const SessionOptions& options, const std::string& options_text) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (sessions_.size() >= max_sessions_) {
+void SessionManager::BumpNextId(uint64_t floor) {
+  uint64_t seen = next_id_.load(std::memory_order_relaxed);
+  while (seen < floor && !next_id_.compare_exchange_weak(
+                             seen, floor, std::memory_order_relaxed)) {
+  }
+}
+
+Status SessionManager::ReserveSlot() {
+  // Optimistic reserve-then-check: the transient overshoot is invisible
+  // (Count() sums the shard maps, not this counter) and the rollback
+  // keeps the reservation exact.
+  if (count_.fetch_add(1, std::memory_order_relaxed) >= max_sessions_) {
+    count_.fetch_sub(1, std::memory_order_relaxed);
     return Status::ResourceExhausted(
         StrCat("session limit of ", max_sessions_, " reached"));
   }
-  const uint64_t id = next_id_++;
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Open(
+    const SessionOptions& options, const std::string& options_text) {
+  COMPTX_RETURN_IF_ERROR(ReserveSlot());
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
   std::shared_ptr<durability::SessionLog> log;
   if (durability_ != nullptr) {
-    // One file creation + fsync per session lifetime; serialized under
-    // the table lock, which also keeps id assignment and log creation
-    // atomic (no WAL file without a table entry racing recovery's view).
-    COMPTX_ASSIGN_OR_RETURN(log, durability_->CreateLog(id, options_text));
+    // One file creation + fsync per session lifetime; done under the
+    // shard lock so the WAL file and the table entry appear together
+    // from this thread's perspective (ids are never reused, so a file
+    // without an entry can only mean a failed CreateLog below).
+    auto created = durability_->CreateLog(id, options_text);
+    if (!created.ok()) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return created.status();
+    }
+    log = std::move(*created);
   }
   auto session = std::make_shared<Session>(id, options, metrics_, std::move(log));
-  sessions_.emplace(id, session);
+  shard.sessions.emplace(id, session);
   metrics_->sessions_opened.Increment();
   metrics_->active_sessions.fetch_add(1, std::memory_order_relaxed);
   return session;
@@ -329,8 +377,8 @@ StatusOr<std::shared_ptr<Session>> SessionManager::RestoreLocked(
   COMPTX_ASSIGN_OR_RETURN(auto log, durability_->AdoptLog(state, resume));
   auto session = std::make_shared<Session>(state.id, options, metrics_,
                                            std::move(log), std::move(certifier));
-  sessions_.emplace(state.id, session);
-  next_id_ = std::max(next_id_, state.id + 1);
+  ShardFor(state.id).sessions.emplace(state.id, session);
+  BumpNextId(state.id + 1);
 
   // Recovered events re-enter the pipeline counters on all three sides at
   // once, so the invariant enqueued == processed + rejected holds across
@@ -347,6 +395,9 @@ StatusOr<std::shared_ptr<Session>> SessionManager::RestoreLocked(
   metrics_->durability.recovered_events.fetch_add(
       verdict.events_accepted + verdict.events_rejected,
       std::memory_order_relaxed);
+  // Safe pre-publication: no worker is attached to a session that is not
+  // yet visible to the run queue.
+  session->PublishCertifierStats();
   return session;
 }
 
@@ -357,35 +408,38 @@ StatusOr<std::shared_ptr<Session>> SessionManager::Resume(
     return Status::InvalidArgument(
         "resume requires a durability directory (--data-dir)");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  if (sessions_.count(resume_id) > 0) {
-    return Status::AlreadyExists(
-        StrCat("session ", resume_id, " is already open"));
-  }
-  if (sessions_.size() >= max_sessions_) {
-    return Status::ResourceExhausted(
-        StrCat("session limit of ", max_sessions_, " reached"));
-  }
-  auto state = durability_->ReadState(resume_id);
-  if (!state.ok()) return state.status();
-  if (state->closed || state->Empty()) {
-    return Status::NotFound(StrCat("session ", resume_id,
-                                   " was closed; nothing to resume"));
-  }
-  // The certifier configuration is part of the stream's meaning, so it
-  // comes from the stored OPEN options; only the queue knob follows the
-  // resuming client's request.
-  COMPTX_ASSIGN_OR_RETURN(SessionOptions options,
-                          ParseSessionOptions(state->options, defaults));
-  options.queue_capacity = request.queue_capacity;
-  return RestoreLocked(*state, options, /*resume=*/true,
-                       durability_->options().verify_recovery);
+  COMPTX_RETURN_IF_ERROR(ReserveSlot());
+  Shard& shard = ShardFor(resume_id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto restored = [&]() -> StatusOr<std::shared_ptr<Session>> {
+    if (shard.sessions.count(resume_id) > 0) {
+      return Status::AlreadyExists(
+          StrCat("session ", resume_id, " is already open"));
+    }
+    auto state = durability_->ReadState(resume_id);
+    if (!state.ok()) return state.status();
+    if (state->closed || state->Empty()) {
+      return Status::NotFound(StrCat("session ", resume_id,
+                                     " was closed; nothing to resume"));
+    }
+    // The certifier configuration is part of the stream's meaning, so it
+    // comes from the stored OPEN options; only the queue knob follows the
+    // resuming client's request.
+    COMPTX_ASSIGN_OR_RETURN(SessionOptions options,
+                            ParseSessionOptions(state->options, defaults));
+    options.queue_capacity = request.queue_capacity;
+    return RestoreLocked(*state, options, /*resume=*/true,
+                         durability_->options().verify_recovery);
+  }();
+  if (!restored.ok()) count_.fetch_sub(1, std::memory_order_relaxed);
+  return restored;
 }
 
 StatusOr<size_t> SessionManager::RecoverAll(const SessionOptions& defaults,
                                             bool verify) {
   if (durability_ == nullptr) return 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  // Startup only (before the server serves), so per-id shard locking is
+  // about satisfying RestoreLocked's contract, not about races.
   size_t recovered = 0;
   for (const uint64_t id : durability_->ListSessionIds()) {
     COMPTX_ASSIGN_OR_RETURN(durability::SessionDurableState state,
@@ -397,34 +451,43 @@ StatusOr<size_t> SessionManager::RecoverAll(const SessionOptions& defaults,
       continue;
     }
     // Never reassign an id that still names on-disk state.
-    next_id_ = std::max(next_id_, id + 1);
+    BumpNextId(id + 1);
     if (state.evicted) continue;  // stays on disk until a resume=<id> OPEN
     COMPTX_ASSIGN_OR_RETURN(SessionOptions options,
                             ParseSessionOptions(state.options, defaults));
-    COMPTX_RETURN_IF_ERROR(
-        RestoreLocked(state, options, /*resume=*/false, verify).status());
+    COMPTX_RETURN_IF_ERROR(ReserveSlot());
+    std::unique_lock<std::mutex> lock(ShardFor(id).mu);
+    const auto restored =
+        RestoreLocked(state, options, /*resume=*/false, verify);
+    if (!restored.ok()) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return restored.status();
+    }
     ++recovered;
   }
   return recovered;
 }
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Find(uint64_t id) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     return Status::NotFound(StrCat("no session ", id));
   }
   return it->second;
 }
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Remove(uint64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     return Status::NotFound(StrCat("no session ", id));
   }
   std::shared_ptr<Session> session = std::move(it->second);
-  sessions_.erase(it);
+  shard.sessions.erase(it);
+  count_.fetch_sub(1, std::memory_order_relaxed);
   metrics_->sessions_closed.Increment();
   metrics_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
   return session;
@@ -432,32 +495,42 @@ StatusOr<std::shared_ptr<Session>> SessionManager::Remove(uint64_t id) {
 
 std::vector<std::shared_ptr<Session>> SessionManager::EvictIdle(
     std::chrono::steady_clock::time_point cutoff) {
-  std::unique_lock<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<Session>> evicted;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->CloseIfIdle(cutoff)) {
-      evicted.push_back(it->second);
-      it = sessions_.erase(it);
-      metrics_->sessions_evicted.Increment();
-      metrics_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      if (it->second->CloseIfIdle(cutoff)) {
+        evicted.push_back(it->second);
+        it = shard.sessions.erase(it);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        metrics_->sessions_evicted.Increment();
+        metrics_->active_sessions.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
   return evicted;
 }
 
 std::vector<std::shared_ptr<Session>> SessionManager::All() const {
-  std::unique_lock<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<Session>> all;
-  all.reserve(sessions_.size());
-  for (const auto& [id, session] : sessions_) all.push_back(session);
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (const auto& [id, session] : shard.sessions) all.push_back(session);
+  }
   return all;
 }
 
 size_t SessionManager::Count() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return sessions_.size();
+  // Sum the shard maps (not count_, whose optimistic reservations
+  // transiently overshoot).
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    total += shard.sessions.size();
+  }
+  return total;
 }
 
 }  // namespace comptx::service

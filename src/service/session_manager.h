@@ -1,6 +1,8 @@
 #ifndef COMPTX_SERVICE_SESSION_MANAGER_H_
 #define COMPTX_SERVICE_SESSION_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -120,6 +122,17 @@ class Session {
   Status PersistShutdown();
   Status DiscardDurableState();
 
+  /// Publishes the certifier's live-node / epoch-pruning stats into the
+  /// service metrics as deltas since the last publication.  The caller
+  /// must be the certifier's sole writer — the attached worker (end of
+  /// ProcessBatch) or the restore path before the session is published.
+  void PublishCertifierStats();
+
+  /// Removes this session's live-node contribution from the gauge.
+  /// Called once after the session drained (CLOSE or eviction); the
+  /// cumulative prune counters stay.
+  void RetireCertifierStats();
+
  private:
   /// Hands the session to the run queue via `schedule` when it holds
   /// events but no worker.  Caller holds mu_.
@@ -146,13 +159,26 @@ class Session {
   bool scheduled_ = false;  // in the run queue or being processed
   bool closing_ = false;
   std::chrono::steady_clock::time_point last_activity_;
+
+  /// Last stats published to the service metrics.  Touched only by the
+  /// certifier's sole writer (see PublishCertifierStats), so no lock.
+  online::CertifierStats published_stats_{};
 };
 
 /// Owns the session table: admission control (max_sessions), id
 /// assignment, lookup, close and idle eviction.  The worker run queue
 /// lives in the server, not here — the manager is purely the registry.
+///
+/// The table is sharded: session ids mask into kShardCount
+/// independently-locked maps, id assignment and the admission count are
+/// atomics, so the per-APPEND lookup from many handler threads contends
+/// per shard instead of on one table mutex.
 class SessionManager {
  public:
+  /// Power of two, so the shard pick is a mask.
+  static constexpr size_t kShardCount = 16;
+  static_assert((kShardCount & (kShardCount - 1)) == 0);
+
   /// `durability` may be null (no --data-dir); the manager never owns it.
   SessionManager(size_t max_sessions, ServiceMetrics* metrics,
                  durability::Manager* durability);
@@ -202,19 +228,37 @@ class SessionManager {
   size_t Count() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions;
+  };
+
+  Shard& ShardFor(uint64_t id) const {
+    return shards_[id & (kShardCount - 1)];
+  }
+
   /// Builds a Session from its on-disk state and registers it.  Caller
-  /// holds mu_.  `resume` selects the RESUME marker (vs. plain startup
-  /// recovery) and is reflected in the metrics it bumps.
+  /// holds the id's shard lock and has reserved an admission slot.
+  /// `resume` selects the RESUME marker (vs. plain startup recovery) and
+  /// is reflected in the metrics it bumps.
   StatusOr<std::shared_ptr<Session>> RestoreLocked(
       const durability::SessionDurableState& state,
       const SessionOptions& options, bool resume, bool verify);
 
+  /// Raises next_id_ to at least `floor` (monotone CAS).
+  void BumpNextId(uint64_t floor);
+
+  /// Admission control: reserves a slot against max_sessions_, failing
+  /// with ResourceExhausted when full.  Paired with count_ decrements on
+  /// failure paths and in Remove/EvictIdle.
+  Status ReserveSlot();
+
   const size_t max_sessions_;
   ServiceMetrics* const metrics_;
   durability::Manager* const durability_;
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> count_{0};
+  mutable std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace comptx::service

@@ -1,6 +1,7 @@
 #include "service/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -128,11 +129,23 @@ StatusOr<Socket> Connect(const Endpoint& endpoint) {
       0) {
     return Errno("connect");
   }
-  // The protocol is request/response with small frames; Nagle only adds
-  // latency here.
-  const int enable = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  SetNoDelay(sock.fd());
   return sock;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  const int enable = 1;
+  // Fails harmlessly with ENOTSUP/EOPNOTSUPP on Unix sockets.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
 }
 
 }  // namespace comptx::service

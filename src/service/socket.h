@@ -69,6 +69,15 @@ StatusOr<Socket> Accept(const Socket& listener);
 /// Connects to `endpoint`.
 StatusOr<Socket> Connect(const Endpoint& endpoint);
 
+/// Switches `fd` to non-blocking mode (the event loop's sockets; blocking
+/// clients never call this).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle on a connected TCP socket (no-op for Unix sockets).
+/// The protocol is request/response with small frames; batching them
+/// behind a delayed ACK only adds latency.
+void SetNoDelay(int fd);
+
 }  // namespace comptx::service
 
 #endif  // COMPTX_SERVICE_SOCKET_H_

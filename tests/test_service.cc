@@ -600,8 +600,8 @@ TEST(DurableServerTest, SessionsSurviveRestartWithConsistentCounters) {
   const Response response = server.Handle(stats);
   ASSERT_TRUE(response.ok);
   for (const char* key :
-       {"wal_appends", "wal_bytes", "fsyncs", "snapshots_written",
-        "sessions_recovered", "records_truncated"}) {
+       {"wal_appends", "wal_append_events", "wal_bytes", "fsyncs",
+        "snapshots_written", "sessions_recovered", "records_truncated"}) {
     EXPECT_NE(response.body.find(key), std::string::npos) << key;
   }
   server.Shutdown();

@@ -8,7 +8,8 @@
 //
 // Usage: comptx_load [--host H] [--port N] [--unix PATH]
 //                    [--sessions N] [--threads N] [--events N] [--batch N]
-//                    [--theta Z] [--rate EVENTS_PER_SEC] [--seed N]
+//                    [--protocol v1|v2] [--theta Z] [--seed N]
+//                    [--rate EVENTS_PER_SEC | --rates R1,R2,...]
 //                    [--no-verify] [--json PATH] [--shutdown]
 //                    [--kill-pid P --kill-after N --state PATH]
 //                    [--resume --state PATH]
@@ -16,18 +17,26 @@
 //   --events is the total event budget across all sessions.  The default
 //   loop is closed (each thread appends as fast as the server admits —
 //   backpressure is the pacing); --rate switches to an open loop that
-//   paces the aggregate append rate.  --shutdown sends SHUTDOWN after the
-//   run, so the CI job can assert the daemon exits 0.
+//   schedules batch send times on a global ticket clock, and latency is
+//   measured from the *intended* send time, so a stalled server inflates
+//   the recorded tail instead of silently pausing the arrival process
+//   (no coordinated omission).  --rates runs a latency-under-throughput
+//   sweep: the event budget is split across the listed rates and each
+//   point reports its own latency row.  --protocol picks the wire
+//   framing: v1 is the textual protocol, v2 the binary one whose batched
+//   APPENDs travel as one BATCH_APPEND frame.  --shutdown sends SHUTDOWN
+//   after the run, so the CI job can assert the daemon exits 0.
 //
 //   Crash-drill mode (exercises the durability subsystem, DESIGN.md §11):
 //   --kill-pid/--kill-after SIGKILLs the given server pid once N events
-//   have been acked, then writes the per-session acked cursors to --state
-//   and exits 0.  After the server restarts on the same --data-dir,
-//   --resume --state re-dials, checks that no acked event was lost,
-//   regenerates the deterministic streams, appends the unsent suffix of
-//   each, and verifies every final verdict against the offline batch
-//   replay of the *full* stream — the end-to-end proof that certify-
-//   then-crash-then-recover equals certify-without-the-crash.
+//   have been acked, then writes the per-session acked cursors (plus the
+//   protocol and batch size, so the replay uses identical framing) to
+//   --state and exits 0.  After the server restarts on the same
+//   --data-dir, --resume --state re-dials, checks that no acked event was
+//   lost, regenerates the deterministic streams, appends the unsent
+//   suffix of each, and verifies every final verdict against the offline
+//   batch replay of the *full* stream — the end-to-end proof that
+//   certify-then-crash-then-recover equals certify-without-the-crash.
 //
 // Exit codes: 0 = all verdicts match (or kill fired and state written),
 //             1 = mismatch or acked-event loss, 2 = usage/connect.
@@ -49,6 +58,7 @@
 #include "core/correctness.h"
 #include "service/client.h"
 #include "service/metrics.h"
+#include "service/protocol.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/version.h"
@@ -65,7 +75,8 @@ int Usage(int code) {
   (code == 0 ? std::cout : std::cerr)
       << "usage: comptx_load [--host H] [--port N] [--unix PATH]\n"
          "                   [--sessions N] [--threads N] [--events N]\n"
-         "                   [--batch N] [--theta Z] [--rate N] [--seed N]\n"
+         "                   [--batch N] [--protocol v1|v2] [--theta Z]\n"
+         "                   [--rate N | --rates R1,R2,...] [--seed N]\n"
          "                   [--no-verify] [--json PATH] [--shutdown]\n"
          "                   [--kill-pid P --kill-after N --state PATH]\n"
          "                   [--resume --state PATH]\n"
@@ -73,9 +84,14 @@ int Usage(int code) {
          "Streams generated traces into concurrent certification sessions\n"
          "(Zipf-skewed choice, closed loop unless --rate) and verifies\n"
          "every server verdict against an offline batch replay.\n"
+         "--protocol picks the wire framing (v1 textual, v2 binary with\n"
+         "BATCH_APPEND).  --rate runs an open loop with coordinated-\n"
+         "omission-safe latency (measured from intended send times);\n"
+         "--rates sweeps several rates and prints one latency row each.\n"
          "--kill-pid/--kill-after SIGKILLs the server mid-load and saves\n"
-         "acked cursors to --state; --resume picks the run back up after a\n"
-         "restart and checks recovery lost nothing.\n";
+         "acked cursors plus framing settings to --state; --resume picks\n"
+         "the run back up after a restart with identical framing and\n"
+         "checks recovery lost nothing.\n";
   return code;
 }
 
@@ -85,8 +101,10 @@ struct LoadOptions {
   size_t threads = 8;
   size_t total_events = 20000;
   size_t batch = 32;
+  service::WireProtocol protocol = service::WireProtocol::kV1;
   double theta = 0.8;
-  double rate = 0;  // open-loop aggregate events/sec; 0 = closed loop
+  double rate = 0;            // open-loop aggregate events/sec; 0 = closed
+  std::vector<double> rates;  // latency-under-throughput sweep points
   uint64_t seed = 20260806;
   bool verify = true;
   bool send_shutdown = false;
@@ -110,6 +128,16 @@ struct SessionWork {
   size_t cursor = 0;  // next event to append, under mu
   size_t acked = 0;   // events the server acknowledged, under mu
   service::SessionVerdict verdict;  // filled by the query phase
+};
+
+/// One measured run: throughput plus the latency distributions.
+struct LoadResult {
+  size_t events = 0;
+  double seconds = 0;
+  double throughput = 0;
+  service::LatencyHistogram::Snapshot append;
+  service::LatencyHistogram::Snapshot verdict;
+  size_t mismatches = 0;
 };
 
 std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
@@ -161,9 +189,9 @@ bool OfflineVerdict(const std::vector<workload::TraceEvent>& events,
 }
 
 /// Crash-drill state: everything --resume needs to regenerate the
-/// deterministic per-session streams and pick the run back up.  Sessions
-/// are listed in generation order, so stream i regenerates from
-/// seed + i with the stored quota.
+/// deterministic per-session streams and pick the run back up with
+/// identical framing.  Sessions are listed in generation order, so
+/// stream i regenerates from seed + i with the stored quota.
 struct DrillSession {
   uint64_t id = 0;     // server-assigned session id
   size_t planned = 0;  // full stream length
@@ -173,24 +201,32 @@ struct DrillSession {
 struct DrillState {
   uint64_t seed = 0;
   size_t quota = 0;
+  service::WireProtocol protocol = service::WireProtocol::kV1;
+  size_t batch = 32;
   std::vector<DrillSession> sessions;
 };
 
 bool WriteDrillState(const std::string& path, const DrillState& state) {
   std::ofstream out(path);
-  out << "comptx-load-state v1\n"
+  out << "comptx-load-state v2\n"
       << "seed " << state.seed << "\n"
-      << "quota " << state.quota << "\n";
+      << "quota " << state.quota << "\n"
+      << "protocol " << service::WireProtocolToString(state.protocol) << "\n"
+      << "batch " << state.batch << "\n";
   for (const DrillSession& s : state.sessions) {
     out << "session " << s.id << " " << s.planned << " " << s.acked << "\n";
   }
   return static_cast<bool>(out);
 }
 
+/// Accepts both state versions: v1 files (pre-protocol) leave the framing
+/// fields at the caller's command-line values; v2 files override them so
+/// the resume leg replays with exactly the framing the drill used.
 bool ReadDrillState(const std::string& path, DrillState* state) {
   std::ifstream in(path);
   std::string header;
-  if (!std::getline(in, header) || header != "comptx-load-state v1") {
+  if (!std::getline(in, header) || (header != "comptx-load-state v1" &&
+                                    header != "comptx-load-state v2")) {
     return false;
   }
   std::string line;
@@ -202,6 +238,15 @@ bool ReadDrillState(const std::string& path, DrillState* state) {
       fields >> state->seed;
     } else if (key == "quota") {
       fields >> state->quota;
+    } else if (key == "protocol") {
+      std::string name;
+      fields >> name;
+      auto protocol = service::ParseWireProtocol(name);
+      if (!protocol.ok()) return false;
+      state->protocol = *protocol;
+    } else if (key == "batch") {
+      fields >> state->batch;
+      if (state->batch == 0) return false;
     } else if (key == "session") {
       DrillSession s;
       fields >> s.id >> s.planned >> s.acked;
@@ -221,11 +266,13 @@ bool ReadDrillState(const std::string& path, DrillState* state) {
 /// final verdict against an offline replay of the full stream.
 int RunResume(const LoadOptions& opt) {
   DrillState state;
+  state.protocol = opt.protocol;
+  state.batch = opt.batch;
   if (!ReadDrillState(opt.state_path, &state)) {
     std::cerr << "cannot read drill state " << opt.state_path << "\n";
     return 2;
   }
-  auto control = service::ServiceClient::Dial(opt.endpoint);
+  auto control = service::ServiceClient::Dial(opt.endpoint, state.protocol);
   if (!control.ok()) {
     std::cerr << "cannot connect to " << opt.endpoint.ToString() << ": "
               << control.status() << "\n";
@@ -274,7 +321,7 @@ int RunResume(const LoadOptions& opt) {
     // Stream the unsent suffix, then close and compare against offline
     // ground truth for the whole stream.
     for (size_t cursor = recovered; cursor < events.size();) {
-      const size_t n = std::min(opt.batch, events.size() - cursor);
+      const size_t n = std::min(state.batch, events.size() - cursor);
       std::vector<workload::TraceEvent> batch(
           events.begin() + cursor, events.begin() + cursor + n);
       auto queued = control->Append(s.id, batch);
@@ -310,106 +357,26 @@ int RunResume(const LoadOptions& opt) {
       return 2;
     }
   }
-  std::cout << "resumed " << state.sessions.size() << " session(s), "
+  std::cout << "resumed " << state.sessions.size() << " session(s) over "
+            << service::WireProtocolToString(state.protocol) << ", "
             << resumed_events << " event(s) survived recovery, mismatches="
             << mismatches << "\n";
   return mismatches == 0 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  LoadOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << flag << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--version") {
-      PrintToolVersion("comptx_load");
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      return Usage(0);
-    } else if (arg == "--host") {
-      opt.endpoint.host = next("--host");
-    } else if (arg == "--port") {
-      opt.endpoint.port = std::atoi(next("--port"));
-    } else if (arg == "--unix") {
-      opt.endpoint.unix_path = next("--unix");
-    } else if (arg == "--sessions") {
-      opt.sessions = std::strtoul(next("--sessions"), nullptr, 10);
-    } else if (arg == "--threads") {
-      opt.threads = std::strtoul(next("--threads"), nullptr, 10);
-    } else if (arg == "--events") {
-      opt.total_events = std::strtoul(next("--events"), nullptr, 10);
-    } else if (arg == "--batch") {
-      opt.batch = std::strtoul(next("--batch"), nullptr, 10);
-    } else if (arg == "--theta") {
-      opt.theta = std::strtod(next("--theta"), nullptr);
-    } else if (arg == "--rate") {
-      opt.rate = std::strtod(next("--rate"), nullptr);
-    } else if (arg == "--seed") {
-      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (arg == "--no-verify") {
-      opt.verify = false;
-    } else if (arg == "--json") {
-      opt.json_path = next("--json");
-    } else if (arg == "--shutdown") {
-      opt.send_shutdown = true;
-    } else if (arg == "--kill-pid") {
-      opt.kill_pid = static_cast<pid_t>(std::atoi(next("--kill-pid")));
-    } else if (arg == "--kill-after") {
-      opt.kill_after = std::strtoul(next("--kill-after"), nullptr, 10);
-    } else if (arg == "--state") {
-      opt.state_path = next("--state");
-    } else if (arg == "--resume") {
-      opt.resume = true;
-    } else {
-      std::cerr << "unknown flag " << arg << "\n";
-      return Usage(2);
-    }
-  }
-  if (opt.sessions == 0 || opt.threads == 0 || opt.batch == 0 ||
-      opt.total_events == 0) {
-    std::cerr << "--sessions/--threads/--events/--batch must be positive\n";
-    return 2;
-  }
-  if (opt.endpoint.unix_path.empty() && opt.endpoint.port == 0) {
-    std::cerr << "need --port or --unix (where is the server?)\n";
-    return 2;
-  }
-  const bool kill_mode = opt.kill_pid != 0 || opt.kill_after != 0;
-  if (kill_mode && (opt.kill_pid <= 0 || opt.kill_after == 0 ||
-                    opt.state_path.empty())) {
-    std::cerr << "kill mode needs --kill-pid, --kill-after and --state\n";
-    return 2;
-  }
-  if (opt.resume) {
-    if (opt.state_path.empty() || kill_mode) {
-      std::cerr << "--resume needs --state (and excludes --kill-pid)\n";
-      return 2;
-    }
-    return RunResume(opt);
-  }
-
-  // Generate the per-session workloads (deterministic in --seed).
-  const size_t quota = std::max<size_t>(1, opt.total_events / opt.sessions);
-  std::vector<std::unique_ptr<SessionWork>> work;
-  work.reserve(opt.sessions);
+/// One full load-verify cycle at `rate` (0 = closed loop): opens fresh
+/// sessions, streams every planned event, queries and closes each
+/// session, and (when opt.verify) replays offline.  Returns the exit
+/// code; fills `result` on success.  In kill mode the run stops at the
+/// SIGKILL and the caller writes the drill state from `work`.
+int RunLoad(const LoadOptions& opt, double rate,
+            std::vector<std::unique_ptr<SessionWork>>& work,
+            LoadResult* result) {
   size_t planned_events = 0;
-  for (size_t s = 0; s < opt.sessions; ++s) {
-    auto w = std::make_unique<SessionWork>();
-    w->events = GenerateSessionEvents(quota, opt.seed + s);
-    planned_events += w->events.size();
-    work.push_back(std::move(w));
-  }
+  for (auto& w : work) planned_events += w->events.size();
 
   // Open every session up front on a control connection.
-  auto control = service::ServiceClient::Dial(opt.endpoint);
+  auto control = service::ServiceClient::Dial(opt.endpoint, opt.protocol);
   if (!control.ok()) {
     std::cerr << "cannot connect to " << opt.endpoint.ToString() << ": "
               << control.status() << "\n";
@@ -424,12 +391,21 @@ int main(int argc, char** argv) {
     w->id = *id;
   }
 
+  const bool kill_mode = opt.kill_pid != 0;
+
   // Load phase: every thread owns a connection, picks sessions through a
   // Zipf draw, and appends the chosen session's next batch.  A thread
   // landing on a finished session scans forward for a live one, so the
   // run ends exactly when every stream is fully appended.
+  //
+  // Open loop (rate > 0): batch k's send time is scheduled on a global
+  // ticket clock at start + k*batch/rate, threads sleep until their
+  // claimed tick, and latency runs from the intended time — a server
+  // that falls behind shows up as tail latency, not as a quietly slowed
+  // arrival process (coordinated omission).
   service::LatencyHistogram append_hist;
   std::atomic<size_t> remaining{planned_events};
+  std::atomic<size_t> ticket{0};
   std::atomic<bool> failed{false};
   std::atomic<size_t> acked_total{0};
   std::atomic<bool> kill_fired{false};
@@ -439,7 +415,7 @@ int main(int argc, char** argv) {
   threads.reserve(opt.threads);
   for (size_t t = 0; t < opt.threads; ++t) {
     threads.emplace_back([&, t] {
-      auto client = service::ServiceClient::Dial(opt.endpoint);
+      auto client = service::ServiceClient::Dial(opt.endpoint, opt.protocol);
       if (!client.ok()) {
         std::cerr << "thread " << t << " cannot connect: " << client.status()
                   << "\n";
@@ -449,6 +425,14 @@ int main(int argc, char** argv) {
       Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (t + 1)));
       while (remaining.load(std::memory_order_relaxed) > 0 && !failed.load() &&
              !kill_fired.load(std::memory_order_relaxed)) {
+        Clock::time_point intended = Clock::now();
+        if (rate > 0) {
+          const size_t k = ticket.fetch_add(1, std::memory_order_relaxed);
+          intended = load_start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(
+                                          double(k) * double(opt.batch) / rate));
+          std::this_thread::sleep_until(intended);
+        }
         const size_t start = static_cast<size_t>(zipf.Sample(rng));
         for (size_t probe = 0; probe < opt.sessions; ++probe) {
           SessionWork& w = *work[(start + probe) % opt.sessions];
@@ -458,7 +442,6 @@ int main(int argc, char** argv) {
           std::vector<workload::TraceEvent> batch(
               w.events.begin() + w.cursor, w.events.begin() + w.cursor + n);
           w.cursor += n;
-          const Clock::time_point rpc_start = Clock::now();
           auto queued = client->Append(w.id, batch);
           if (!queued.ok()) {
             lock.unlock();
@@ -476,7 +459,7 @@ int main(int argc, char** argv) {
           lock.unlock();
           append_hist.Record(static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
-                  Clock::now() - rpc_start)
+                  Clock::now() - intended)
                   .count()));
           const size_t total =
               acked_total.fetch_add(n, std::memory_order_relaxed) + n;
@@ -486,14 +469,6 @@ int main(int argc, char** argv) {
           }
           remaining.fetch_sub(n, std::memory_order_relaxed);
           break;
-        }
-        if (opt.rate > 0) {
-          // Open loop: hold the aggregate append rate by pacing each
-          // thread at rate/threads events per second.
-          const double batch_seconds =
-              double(opt.batch) * double(opt.threads) / opt.rate;
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(batch_seconds));
         }
       }
     });
@@ -509,7 +484,9 @@ int main(int argc, char** argv) {
     if (!kill_fired.exchange(true)) ::kill(opt.kill_pid, SIGKILL);
     DrillState state;
     state.seed = opt.seed;
-    state.quota = quota;
+    state.quota = std::max<size_t>(1, opt.total_events / opt.sessions);
+    state.protocol = opt.protocol;
+    state.batch = opt.batch;
     for (auto& w : work) {
       state.sessions.push_back(DrillSession{w->id, w->events.size(), w->acked});
     }
@@ -572,26 +549,209 @@ int main(int argc, char** argv) {
     }
   }
 
+  result->events = planned_events;
+  result->seconds = load_seconds;
+  result->throughput =
+      load_seconds > 0 ? double(planned_events) / load_seconds : 0;
+  result->append = append_hist.Snap();
+  result->verdict = verdict_hist.Snap();
+  result->mismatches = mismatches;
+  return mismatches == 0 ? 0 : 1;
+}
+
+std::vector<std::unique_ptr<SessionWork>> GenerateWork(size_t sessions,
+                                                       size_t events,
+                                                       uint64_t seed) {
+  const size_t quota = std::max<size_t>(1, events / sessions);
+  std::vector<std::unique_ptr<SessionWork>> work;
+  work.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    auto w = std::make_unique<SessionWork>();
+    w->events = GenerateSessionEvents(quota, seed + s);
+    work.push_back(std::move(w));
+  }
+  return work;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--version") {
+      PrintToolVersion("comptx_load");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else if (arg == "--host") {
+      opt.endpoint.host = next("--host");
+    } else if (arg == "--port") {
+      opt.endpoint.port = std::atoi(next("--port"));
+    } else if (arg == "--unix") {
+      opt.endpoint.unix_path = next("--unix");
+    } else if (arg == "--sessions") {
+      opt.sessions = std::strtoul(next("--sessions"), nullptr, 10);
+    } else if (arg == "--threads") {
+      opt.threads = std::strtoul(next("--threads"), nullptr, 10);
+    } else if (arg == "--events") {
+      opt.total_events = std::strtoul(next("--events"), nullptr, 10);
+    } else if (arg == "--batch") {
+      opt.batch = std::strtoul(next("--batch"), nullptr, 10);
+    } else if (arg == "--protocol") {
+      auto protocol = service::ParseWireProtocol(next("--protocol"));
+      if (!protocol.ok()) {
+        std::cerr << "--protocol: " << protocol.status().message() << "\n";
+        return 2;
+      }
+      opt.protocol = *protocol;
+    } else if (arg == "--theta") {
+      opt.theta = std::strtod(next("--theta"), nullptr);
+    } else if (arg == "--rate") {
+      opt.rate = std::strtod(next("--rate"), nullptr);
+    } else if (arg == "--rates") {
+      std::istringstream list(next("--rates"));
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        const double rate = std::strtod(token.c_str(), nullptr);
+        if (rate <= 0) {
+          std::cerr << "--rates needs positive events/sec values\n";
+          return 2;
+        }
+        opt.rates.push_back(rate);
+      }
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--no-verify") {
+      opt.verify = false;
+    } else if (arg == "--json") {
+      opt.json_path = next("--json");
+    } else if (arg == "--shutdown") {
+      opt.send_shutdown = true;
+    } else if (arg == "--kill-pid") {
+      opt.kill_pid = static_cast<pid_t>(std::atoi(next("--kill-pid")));
+    } else if (arg == "--kill-after") {
+      opt.kill_after = std::strtoul(next("--kill-after"), nullptr, 10);
+    } else if (arg == "--state") {
+      opt.state_path = next("--state");
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return Usage(2);
+    }
+  }
+  if (opt.sessions == 0 || opt.threads == 0 || opt.batch == 0 ||
+      opt.total_events == 0) {
+    std::cerr << "--sessions/--threads/--events/--batch must be positive\n";
+    return 2;
+  }
+  if (opt.endpoint.unix_path.empty() && opt.endpoint.port == 0) {
+    std::cerr << "need --port or --unix (where is the server?)\n";
+    return 2;
+  }
+  const bool kill_mode = opt.kill_pid != 0 || opt.kill_after != 0;
+  if (kill_mode && (opt.kill_pid <= 0 || opt.kill_after == 0 ||
+                    opt.state_path.empty())) {
+    std::cerr << "kill mode needs --kill-pid, --kill-after and --state\n";
+    return 2;
+  }
+  if (kill_mode && !opt.rates.empty()) {
+    std::cerr << "--rates and the kill drill are mutually exclusive\n";
+    return 2;
+  }
+  if (opt.resume) {
+    if (opt.state_path.empty() || kill_mode) {
+      std::cerr << "--resume needs --state (and excludes --kill-pid)\n";
+      return 2;
+    }
+    return RunResume(opt);
+  }
+
+  // Latency-under-throughput sweep: split the event budget across the
+  // rate points; each point streams into its own fresh sessions.
+  if (!opt.rates.empty()) {
+    const size_t per_point =
+        std::max<size_t>(opt.sessions, opt.total_events / opt.rates.size());
+    std::vector<LoadResult> rows;
+    std::cout << "rate_target  rate_achieved  append_p50_us  append_p95_us"
+                 "  append_p99_us\n";
+    for (size_t r = 0; r < opt.rates.size(); ++r) {
+      auto work =
+          GenerateWork(opt.sessions, per_point, opt.seed + 7919 * (r + 1));
+      LoadResult result;
+      const int code = RunLoad(opt, opt.rates[r], work, &result);
+      if (code == 2) return 2;
+      rows.push_back(result);
+      std::cout << opt.rates[r] << "  " << result.throughput << "  "
+                << result.append.p50 << "  " << result.append.p95 << "  "
+                << result.append.p99
+                << (result.mismatches > 0 ? "  MISMATCHES!" : "") << "\n";
+    }
+    size_t mismatches = 0;
+    for (const LoadResult& row : rows) mismatches += row.mismatches;
+    if (opt.send_shutdown) {
+      auto control = service::ServiceClient::Dial(opt.endpoint, opt.protocol);
+      if (!control.ok() || !control->Shutdown().ok()) {
+        std::cerr << "SHUTDOWN failed\n";
+        return 2;
+      }
+    }
+    if (!opt.json_path.empty()) {
+      std::ostringstream json;
+      json << "{\n  \"protocol\": \""
+           << service::WireProtocolToString(opt.protocol) << "\",\n"
+           << "  \"batch\": " << opt.batch << ",\n  \"sweep\": [\n";
+      for (size_t r = 0; r < rows.size(); ++r) {
+        json << "    {\"rate\": " << opt.rates[r]
+             << ", \"events_per_second\": " << rows[r].throughput
+             << ", \"append_p50_us\": " << rows[r].append.p50
+             << ", \"append_p95_us\": " << rows[r].append.p95
+             << ", \"append_p99_us\": " << rows[r].append.p99
+             << ", \"mismatches\": " << rows[r].mismatches << "}"
+             << (r + 1 < rows.size() ? "," : "") << "\n";
+      }
+      json << "  ]\n}\n";
+      std::ofstream out(opt.json_path);
+      out << json.str();
+      if (!out) {
+        std::cerr << "cannot write " << opt.json_path << "\n";
+        return 2;
+      }
+    }
+    return mismatches == 0 ? 0 : 1;
+  }
+
+  auto work = GenerateWork(opt.sessions, opt.total_events, opt.seed);
+  LoadResult result;
+  const int code = RunLoad(opt, opt.rate, work, &result);
+  if (code != 0 && result.events == 0) return code;  // connect/usage failure
+  if (opt.kill_pid != 0) return code;                // drill state written
+
   if (opt.send_shutdown) {
-    Status status = control->Shutdown();
-    if (!status.ok()) {
-      std::cerr << "SHUTDOWN failed: " << status << "\n";
+    auto control = service::ServiceClient::Dial(opt.endpoint, opt.protocol);
+    if (!control.ok() || !control->Shutdown().ok()) {
+      std::cerr << "SHUTDOWN failed\n";
       return 2;
     }
   }
 
-  const auto append_snap = append_hist.Snap();
-  const auto verdict_snap = verdict_hist.Snap();
-  const double throughput =
-      load_seconds > 0 ? double(planned_events) / load_seconds : 0;
   std::cout << "sessions=" << opt.sessions << " threads=" << opt.threads
-            << " events=" << planned_events << " theta=" << opt.theta
-            << "\n"
-            << "load_seconds=" << load_seconds
-            << " events_per_second=" << throughput << "\n"
-            << "append_us: " << append_snap.Summary() << "\n"
-            << "verdict_us: " << verdict_snap.Summary() << "\n"
-            << "mismatches=" << mismatches
+            << " events=" << result.events << " theta=" << opt.theta
+            << " protocol=" << service::WireProtocolToString(opt.protocol)
+            << " batch=" << opt.batch << "\n"
+            << "load_seconds=" << result.seconds
+            << " events_per_second=" << result.throughput << "\n"
+            << "append_us: " << result.append.Summary() << "\n"
+            << "verdict_us: " << result.verdict.Summary() << "\n"
+            << "mismatches=" << result.mismatches
             << (opt.verify ? "" : " (verification disabled)") << "\n";
 
   if (!opt.json_path.empty()) {
@@ -599,17 +759,21 @@ int main(int argc, char** argv) {
     json << "{\n"
          << "  \"sessions\": " << opt.sessions << ",\n"
          << "  \"threads\": " << opt.threads << ",\n"
-         << "  \"events\": " << planned_events << ",\n"
+         << "  \"events\": " << result.events << ",\n"
          << "  \"theta\": " << opt.theta << ",\n"
-         << "  \"load_seconds\": " << load_seconds << ",\n"
-         << "  \"events_per_second\": " << throughput << ",\n"
-         << "  \"append_p50_us\": " << append_snap.p50 << ",\n"
-         << "  \"append_p95_us\": " << append_snap.p95 << ",\n"
-         << "  \"append_p99_us\": " << append_snap.p99 << ",\n"
-         << "  \"verdict_p50_us\": " << verdict_snap.p50 << ",\n"
-         << "  \"verdict_p95_us\": " << verdict_snap.p95 << ",\n"
-         << "  \"verdict_p99_us\": " << verdict_snap.p99 << ",\n"
-         << "  \"mismatches\": " << mismatches << "\n"
+         << "  \"protocol\": \""
+         << service::WireProtocolToString(opt.protocol) << "\",\n"
+         << "  \"batch\": " << opt.batch << ",\n"
+         << "  \"rate\": " << opt.rate << ",\n"
+         << "  \"load_seconds\": " << result.seconds << ",\n"
+         << "  \"events_per_second\": " << result.throughput << ",\n"
+         << "  \"append_p50_us\": " << result.append.p50 << ",\n"
+         << "  \"append_p95_us\": " << result.append.p95 << ",\n"
+         << "  \"append_p99_us\": " << result.append.p99 << ",\n"
+         << "  \"verdict_p50_us\": " << result.verdict.p50 << ",\n"
+         << "  \"verdict_p95_us\": " << result.verdict.p95 << ",\n"
+         << "  \"verdict_p99_us\": " << result.verdict.p99 << ",\n"
+         << "  \"mismatches\": " << result.mismatches << "\n"
          << "}\n";
     std::ofstream out(opt.json_path);
     out << json.str();
@@ -618,5 +782,5 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return mismatches == 0 ? 0 : 1;
+  return code;
 }

@@ -5,12 +5,20 @@
 // DESIGN.md §10).
 //
 // Usage: comptx_serve [--host H] [--port N] [--unix PATH] [--workers N]
+//                     [--io-threads N] [--handler-threads N]
 //                     [--max-sessions N] [--queue-capacity N] [--batch N]
 //                     [--idle-timeout-ms N] [--stats-interval-ms N]
 //                     [--port-file PATH] [--data-dir DIR]
 //                     [--fsync always|interval|none]
 //                     [--fsync-interval-ms N] [--snapshot-events N]
 //                     [--verify-recovery]
+//
+//   The front end is an epoll event loop: --io-threads non-blocking
+//   reactor threads own the connections, --handler-threads run the
+//   (potentially blocking) request handlers, and --workers drain the
+//   certification queues.  Both wire protocols are served on the same
+//   port — textual v1 and binary v2 are auto-detected per frame
+//   (DESIGN.md §12).
 //
 //   --port 0 (the default) asks the kernel for an ephemeral port; the
 //   chosen port is printed on stdout as "listening on HOST:PORT" and,
@@ -52,7 +60,8 @@ void HandleSignal(int) { g_signal = 1; }
 int Usage(int code) {
   (code == 0 ? std::cout : std::cerr)
       << "usage: comptx_serve [--host H] [--port N] [--unix PATH]\n"
-         "                    [--workers N] [--max-sessions N]\n"
+         "                    [--workers N] [--io-threads N]\n"
+         "                    [--handler-threads N] [--max-sessions N]\n"
          "                    [--queue-capacity N] [--batch N]\n"
          "                    [--idle-timeout-ms N] [--stats-interval-ms N]\n"
          "                    [--port-file PATH] [--data-dir DIR]\n"
@@ -62,6 +71,9 @@ int Usage(int code) {
          "\n"
          "Runs the comptx certification service until SHUTDOWN or\n"
          "SIGINT/SIGTERM, then drains every session and exits 0.\n"
+         "The front end is an epoll event loop (--io-threads reactors,\n"
+         "--handler-threads request handlers) serving both the textual v1\n"
+         "and binary v2 wire protocols on one port, auto-detected.\n"
          "--data-dir enables per-session WAL + snapshot durability and\n"
          "crash recovery (OPEN resume=<id> resumes persisted sessions).\n";
   return code;
@@ -101,6 +113,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.workers = static_cast<size_t>(workers);
+    } else if (arg == "--io-threads") {
+      const long io = std::strtol(next("--io-threads"), nullptr, 10);
+      if (io < 1) {
+        std::cerr << "--io-threads needs a positive count\n";
+        return 2;
+      }
+      options.io_threads = static_cast<size_t>(io);
+    } else if (arg == "--handler-threads") {
+      const long handlers = std::strtol(next("--handler-threads"), nullptr, 10);
+      if (handlers < 1) {
+        std::cerr << "--handler-threads needs a positive count\n";
+        return 2;
+      }
+      options.handler_threads = static_cast<size_t>(handlers);
     } else if (arg == "--max-sessions") {
       options.max_sessions =
           static_cast<size_t>(std::strtoul(next("--max-sessions"), nullptr, 10));
