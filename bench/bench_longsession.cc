@@ -1,0 +1,289 @@
+// Experiment E15 (DESIGN.md §13 / EXPERIMENTS.md): flat per-event cost
+// over a long-lived session.
+//
+// One certifier session ingests a 10M-event streaming-window workload —
+// roots arrive forever, each conflicting with (and ordered after) its
+// predecessor, and a cumulative commit_through watermark trails the
+// stream by a fixed window so sealing + epoch pruning run continuously.
+// The driver samples the per-event cost at logarithmically spaced
+// checkpoints (100k, 316k, 1M, 3.16M, 10M) over the *preceding* segment,
+// so each sample is a steady-state rate, not a lifetime average.
+//
+// The headline claim: the hot path is O(window), independent of session
+// lifetime — the per-event cost at 10M events is within 1.5x of the cost
+// at 100k events, and live_nodes stays bounded by the window while
+// pruned_nodes grows with the stream.  A certifier without pruning (or
+// with the pre-rewrite O(all-sealed) prune worklist) fails this: its
+// per-event cost grows with total session length.
+//
+// Events are fed through IngestBatch in service-sized batches — the same
+// path the server's drain worker uses — so the measurement covers the
+// arena-backed engine batching, not just single-event Ingest.
+//
+// Correctness cross-check: a second certifier with pruning disabled
+// ingests the same stream (at the smallest checkpoint only; it is
+// O(total) by design) and must agree with the pruned session's verdict.
+//
+// Plain chrono driver (no google-benchmark) so the output is a single
+// machine-readable JSON document, committed as BENCH_longsession.json.
+//
+// Usage: bench_longsession [output.json] [--events N] [--window N]
+//                          [--batch N]
+
+#include <cstdint>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "online/certifier.h"
+#include "util/logging.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Streaming-window event source: emits the session's events on demand
+/// instead of materializing a 10M-element vector.  Per root i > 0:
+/// root, leaf, conflict(prev_leaf, leaf), weak_output(prev_leaf, leaf),
+/// and every `window` roots a commit_through watermark lagging the
+/// newest root by `window` — exactly the cadence a long-lived client
+/// with --commit-window produces, and enough lag that a sealed root
+/// never has pending relation events.
+class WindowStream {
+ public:
+  explicit WindowStream(uint32_t window) : window_(window) {}
+
+  /// Appends the next chunk of events (one root's worth, possibly plus a
+  /// watermark) to `out`.  First call also emits the schedule.
+  void NextRoot(std::vector<workload::TraceEvent>& out) {
+    using workload::TraceEvent;
+    using workload::TraceEventKind;
+    TraceEvent e;
+    if (roots_ == 0) {
+      e.kind = TraceEventKind::kSchedule;
+      e.name = "S";
+      out.push_back(e);
+    }
+    e = {};
+    e.kind = TraceEventKind::kRoot;
+    e.schedule = 0;
+    e.name = "T" + std::to_string(roots_);
+    out.push_back(e);
+    const uint32_t root = next_id_++;
+    e = {};
+    e.kind = TraceEventKind::kLeaf;
+    e.parent = root;
+    e.name = "x" + std::to_string(roots_);
+    out.push_back(e);
+    const uint32_t leaf = next_id_++;
+    if (prev_leaf_ != kInvalidIndex) {
+      e = {};
+      e.kind = TraceEventKind::kConflict;
+      e.a = prev_leaf_;
+      e.b = leaf;
+      out.push_back(e);
+      e.kind = TraceEventKind::kWeakOutput;
+      out.push_back(e);
+    }
+    prev_leaf_ = leaf;
+    ++roots_;
+    // Watermark: seal everything older than the trailing window.  The
+    // newest sealed root's only forward relation (to its successor) is
+    // already ingested, so sealing never rejects a later event.
+    if (window_ != 0 && roots_ % window_ == 0 && roots_ > window_) {
+      e = {};
+      e.kind = TraceEventKind::kCommitThrough;
+      e.a = roots_ - window_;
+      out.push_back(e);
+    }
+  }
+
+  uint64_t roots() const { return roots_; }
+
+ private:
+  const uint32_t window_;
+  uint64_t roots_ = 0;
+  uint32_t next_id_ = 0;
+  uint32_t prev_leaf_ = kInvalidIndex;
+};
+
+struct Checkpoint {
+  uint64_t events = 0;          // cumulative events ingested
+  double segment_us = 0;        // time over the preceding segment
+  uint64_t segment_events = 0;  // events in that segment
+  uint64_t live_nodes = 0;
+  uint64_t pruned_nodes = 0;
+  uint64_t prune_passes = 0;
+  bool certifiable = false;
+
+  double PerEventUs() const {
+    return segment_events == 0 ? 0 : segment_us / double(segment_events);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_longsession.json";
+  uint64_t total_events = 10'000'000;
+  uint32_t window = 16;
+  size_t batch = 256;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      COMPTX_CHECK(i + 1 < argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--events") {
+      total_events = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--window") {
+      window = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--batch") {
+      batch = std::strtoul(next(), nullptr, 10);
+    } else {
+      out_path = arg;
+    }
+  }
+
+  // Log-spaced sample points ending at total_events: total/100, total/10x
+  // steps (100k, 316k, 1M, 3.16M, 10M for the default budget).
+  std::vector<uint64_t> marks;
+  for (double m = double(total_events) / 100.0; m < double(total_events) * 0.99;
+       m *= 3.16227766) {
+    marks.push_back(uint64_t(m));
+  }
+  marks.push_back(total_events);
+
+  online::CertifierOptions options;
+  options.auto_prune = true;
+  online::Certifier certifier(options);
+  WindowStream stream(window);
+  std::vector<workload::TraceEvent> chunk;
+  std::vector<Checkpoint> checkpoints;
+  uint64_t ingested = 0;
+  uint64_t segment_start_events = 0;
+  size_t next_mark = 0;
+  Clock::time_point segment_start = Clock::now();
+  while (ingested < total_events && next_mark < marks.size()) {
+    chunk.clear();
+    while (chunk.size() < batch && ingested + chunk.size() < marks[next_mark]) {
+      stream.NextRoot(chunk);
+    }
+    if (chunk.empty()) break;
+    const size_t rejected = certifier.IngestBatch(chunk);
+    COMPTX_CHECK(rejected == 0) << rejected << " events rejected";
+    ingested += chunk.size();
+    if (ingested >= marks[next_mark]) {
+      Checkpoint cp;
+      cp.segment_us = MicrosSince(segment_start);
+      cp.events = ingested;
+      cp.segment_events = ingested - segment_start_events;
+      online::CertifierStats stats = certifier.Stats();
+      cp.live_nodes = stats.live_nodes;
+      cp.pruned_nodes = stats.pruned_nodes;
+      cp.prune_passes = stats.prune_passes;
+      cp.certifiable = certifier.Certifiable();
+      checkpoints.push_back(cp);
+      std::cout << "events=" << cp.events << " per_event=" << cp.PerEventUs()
+                << "us live=" << cp.live_nodes << " pruned=" << cp.pruned_nodes
+                << " certifiable=" << (cp.certifiable ? "yes" : "NO") << "\n";
+      segment_start_events = ingested;
+      ++next_mark;
+      segment_start = Clock::now();
+    }
+  }
+  COMPTX_CHECK(!checkpoints.empty());
+
+  // Unpruned cross-check: same stream shape at a deliberately small
+  // scale (an unpruned certifier pays O(live) = O(total) per event, so
+  // replaying a full checkpoint would be quadratic), pruned vs unpruned
+  // verdicts must agree.  The soak test does the deep version of this at
+  // every sampled prefix; the bench keeps one scale as a tripwire.
+  bool crosscheck_agrees = true;
+  {
+    constexpr uint64_t kCrosscheckEvents = 8000;
+    online::CertifierOptions unpruned;
+    unpruned.auto_prune = false;
+    online::Certifier reference(unpruned);
+    online::Certifier pruned(options);
+    WindowStream replay(window);
+    std::vector<workload::TraceEvent> events;
+    while (events.size() < kCrosscheckEvents) {
+      replay.NextRoot(events);
+    }
+    for (const auto& event : events) {
+      Status status = reference.Ingest(event);
+      COMPTX_CHECK(status.ok()) << status.ToString();
+      status = pruned.Ingest(event);
+      COMPTX_CHECK(status.ok()) << status.ToString();
+    }
+    crosscheck_agrees = reference.Certifiable() == pruned.Certifiable();
+  }
+
+  const Checkpoint& first = checkpoints.front();
+  const Checkpoint& last = checkpoints.back();
+  // The flatness criterion from EXPERIMENTS.md E15.  The window holds
+  // `window` roots of 2 nodes each plus the in-flight root; live_nodes
+  // must stay within a small multiple of that, independent of lifetime.
+  const bool flat = last.PerEventUs() <= 1.5 * first.PerEventUs();
+  const uint64_t window_nodes = uint64_t(window + 1) * 2;
+  bool live_bounded = true;
+  bool all_certifiable = true;
+  for (const Checkpoint& cp : checkpoints) {
+    live_bounded = live_bounded && cp.live_nodes <= 2 * window_nodes;
+    all_certifiable = all_certifiable && cp.certifiable;
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"E15_long_session\",\n"
+       << "  \"workload\": \"streaming_window_chain\",\n"
+       << "  \"total_events\": " << last.events << ",\n"
+       << "  \"commit_window_roots\": " << window << ",\n"
+       << "  \"ingest_batch\": " << batch << ",\n"
+       << "  \"per_event_us_first\": " << first.PerEventUs() << ",\n"
+       << "  \"per_event_us_last\": " << last.PerEventUs() << ",\n"
+       << "  \"cost_ratio_last_over_first\": "
+       << last.PerEventUs() / first.PerEventUs() << ",\n"
+       << "  \"flat_hot_path\": " << (flat ? "true" : "false") << ",\n"
+       << "  \"live_nodes_bounded_by_window\": "
+       << (live_bounded ? "true" : "false") << ",\n"
+       << "  \"all_checkpoints_certifiable\": "
+       << (all_certifiable ? "true" : "false") << ",\n"
+       << "  \"unpruned_crosscheck_agrees\": "
+       << (crosscheck_agrees ? "true" : "false") << ",\n"
+       << "  \"checkpoints\": [\n";
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const Checkpoint& cp = checkpoints[i];
+    json << "    {\"events\": " << cp.events
+         << ", \"segment_events\": " << cp.segment_events
+         << ", \"segment_us\": " << cp.segment_us
+         << ", \"per_event_us\": " << cp.PerEventUs()
+         << ", \"live_nodes\": " << cp.live_nodes
+         << ", \"pruned_nodes\": " << cp.pruned_nodes
+         << ", \"prune_passes\": " << cp.prune_passes
+         << ", \"certifiable\": " << (cp.certifiable ? "true" : "false")
+         << "}" << (i + 1 < checkpoints.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "wrote " << out_path << " (ratio="
+            << last.PerEventUs() / first.PerEventUs() << ")\n";
+  return flat && live_bounded && all_certifiable && crosscheck_agrees ? 0 : 1;
+}

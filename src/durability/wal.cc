@@ -100,7 +100,7 @@ bool GetEvent(Cursor& cur, workload::TraceEvent& event) {
   const uint32_t name_len = cur.GetU32();
   event.name = cur.GetBytes(name_len);
   if (!cur.ok) return false;
-  if (kind > static_cast<uint8_t>(workload::TraceEventKind::kCommit)) {
+  if (kind > static_cast<uint8_t>(workload::TraceEventKind::kCommitThrough)) {
     return false;
   }
   event.kind = static_cast<workload::TraceEventKind>(kind);
@@ -113,7 +113,7 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord& record,
   const uint8_t type = cur.GetU8();
   record.seq = cur.GetU64();
   if (!cur.ok || type < static_cast<uint8_t>(WalRecordType::kOpen) ||
-      type > static_cast<uint8_t>(WalRecordType::kClose)) {
+      type > static_cast<uint8_t>(WalRecordType::kCommitWatermark)) {
     error = "unknown record type";
     return false;
   }
@@ -143,6 +143,10 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord& record,
       record.accepted = cur.GetU64();
       record.rejected = cur.GetU64();
       record.certifiable = cur.GetU8() != 0;
+      break;
+    }
+    case WalRecordType::kCommitWatermark: {
+      record.commit_through = cur.GetU64();
       break;
     }
     case WalRecordType::kEvict:
@@ -237,6 +241,8 @@ const char* WalRecordTypeName(WalRecordType type) {
       return "RESUME";
     case WalRecordType::kClose:
       return "CLOSE";
+    case WalRecordType::kCommitWatermark:
+      return "COMMIT";
   }
   return "?";
 }
@@ -258,6 +264,9 @@ std::string EncodeWalRecord(const WalRecord& record) {
       PutU64(payload, record.accepted);
       PutU64(payload, record.rejected);
       PutU8(payload, record.certifiable ? 1 : 0);
+      break;
+    case WalRecordType::kCommitWatermark:
+      PutU64(payload, record.commit_through);
       break;
     case WalRecordType::kEvict:
     case WalRecordType::kResume:
@@ -467,6 +476,12 @@ Status WalWriter::CompactThrough(uint64_t watermark, const WalRecord& open,
   std::vector<WalRecord> records;
   records.push_back(open);
   for (auto& record : scan.records) {
+    if (record.type == WalRecordType::kCommitWatermark) {
+      // A commit watermark occupies exactly one event seq slot; keep it
+      // only while the snapshot does not cover it.
+      if (record.seq > watermark) records.push_back(std::move(record));
+      continue;
+    }
     if (record.type != WalRecordType::kAppend || record.events.empty()) {
       continue;
     }

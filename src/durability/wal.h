@@ -47,6 +47,11 @@ enum class WalRecordType : uint8_t {
   kResume = 5,  // an evicted session was re-opened from disk
   kClose = 6,   // client CLOSE acked; files are deleted (tolerate crash
                 // between marker and unlink by deleting at recovery)
+  kCommitWatermark = 7,  // commit_through watermark: every root created
+                         // before `commit_through` is committed.  Consumes
+                         // one event seq slot so replay interleaves it at
+                         // its original stream position, and compaction
+                         // can drop records the latest snapshot covers.
 };
 
 const char* WalRecordTypeName(WalRecordType type);
@@ -65,6 +70,7 @@ struct WalRecord {
   uint64_t accepted = 0;                     // kSeal: certifier counters
   uint64_t rejected = 0;                     //   at the snapshot watermark
   bool certifiable = true;                   // kSeal: verdict at watermark
+  uint64_t commit_through = 0;               // kCommitWatermark: root count
 };
 
 /// Durability counter block, plain atomics so it can live inside

@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "core/correctness.h"
+#include "staticcheck/analyzer.h"
 #include "util/string_util.h"
 
 namespace comptx::online {
@@ -11,12 +13,61 @@ namespace comptx::online {
 using workload::TraceEvent;
 using workload::TraceEventKind;
 
+namespace {
+
+OnlineFailure FailureFromReduction(const ReductionFailure& failure) {
+  OnlineFailure out;
+  out.level = failure.level;
+  out.step = failure.step == ReductionFailureStep::kCalculation
+                 ? OnlineFailure::Step::kCalculation
+                 : OnlineFailure::Step::kConflictConsistency;
+  out.witness = failure.witness.nodes;
+  out.description = failure.witness.description;
+  return out;
+}
+
+}  // namespace
+
 Certifier::Certifier(const CertifierOptions& options) : options_(options) {
+  if (options_.paranoid) {
+    mode_ = Mode::kParanoid;
+  } else if (options_.static_admission && options_.forgetting) {
+    // The analyzer verdict is exact only under the paper's semantics
+    // (forgetting enabled); the E8 ablation must stay dynamic.
+    mode_ = Mode::kStatic;
+  }
   engine_.Reset(&cs_, {}, 0, options_.forgetting);
+}
+
+bool Certifier::IsSealed(NodeId id) const {
+  return id.index() < node_flags_.size() && (node_flags_[id.index()] & 1u) != 0;
+}
+
+bool Certifier::IsPruned(NodeId id) const {
+  return id.index() < node_flags_.size() && (node_flags_[id.index()] & 2u) != 0;
+}
+
+void Certifier::MarkSealed(NodeId id) {
+  if (node_flags_.size() < cs_.NodeCount()) node_flags_.resize(cs_.NodeCount());
+  uint8_t& flags = node_flags_[id.index()];
+  if ((flags & 1u) == 0) {
+    flags |= 1u;
+    ++sealed_node_count_;
+  }
+}
+
+void Certifier::MarkPruned(NodeId id) {
+  if (node_flags_.size() < cs_.NodeCount()) node_flags_.resize(cs_.NodeCount());
+  uint8_t& flags = node_flags_[id.index()];
+  if ((flags & 2u) == 0) {
+    flags |= 2u;
+    ++pruned_node_count_;
+  }
 }
 
 Status Certifier::Ingest(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (fallback_wanted_) FallbackLocked();
   Status status = IngestLocked(event);
   if (!status.ok()) {
     ++events_rejected_;
@@ -28,13 +79,62 @@ Status Certifier::Ingest(const TraceEvent& event) {
   return status;
 }
 
+size_t Certifier::IngestBatch(const std::vector<TraceEvent>& events,
+                              std::vector<Status>* statuses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (statuses) {
+    statuses->clear();
+    statuses->reserve(events.size());
+  }
+  if (fallback_wanted_) FallbackLocked();
+  // One Pearce-Kelly maintenance window for the whole batch: cycle-graph
+  // edges defer into the arena and apply in order at the flush.  The
+  // accept/reject decision for each event reads only cs_, the closures
+  // and the seal bits — never the deferred graphs — so per-event statuses
+  // are identical to the sequential Ingest sequence.  Pruning (which does
+  // read the graphs) runs at most once, after the flush.
+  const bool dynamic = DynamicActive();
+  if (dynamic) engine_.BeginBatch(&arena_);
+  in_batch_ = true;
+  size_t rejected = 0;
+  for (const TraceEvent& event : events) {
+    Status status = IngestLocked(event);
+    if (status.ok()) {
+      ++events_accepted_;
+      ++events_since_prune_;
+      MaybePruneLocked();
+    } else {
+      ++events_rejected_;
+      ++rejected;
+    }
+    if (statuses) statuses->push_back(std::move(status));
+  }
+  in_batch_ = false;
+  if (dynamic) engine_.FlushBatch();
+  if (prune_pending_) {
+    prune_pending_ = false;
+    PruneLocked();
+  }
+  arena_.Reset();
+  return rejected;
+}
+
 Status Certifier::CheckNotSealed(NodeId id) const {
-  if (sealed_nodes_.count(id) > 0) {
+  if (IsSealed(id)) {
     return Status::FailedPrecondition(
         StrCat("node ", id.index(), " (", cs_.node(id).name,
                ") belongs to a committed root's sealed subtree"));
   }
   return Status::OK();
+}
+
+bool Certifier::SealRootLocked(NodeId root) {
+  if (IsSealed(root)) return false;
+  sealed_roots_.push_back(root);
+  unpruned_sealed_.push_back(root);
+  MarkSealed(root);
+  for (NodeId d : cs_.Descendants(root)) MarkSealed(d);
+  return true;
 }
 
 bool Certifier::WouldCreateRecursion(ScheduleId from, ScheduleId to) const {
@@ -115,13 +215,14 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       // level assignment is stale either way: rebuild.  This is cheap in
       // practice because schedules arrive before the bulk of the stream.
       RecomputeLevels();
-      Rebuild();
+      if (DynamicActive()) Rebuild();
       return Status::OK();
     }
     case TraceEventKind::kRoot: {
       COMPTX_ASSIGN_OR_RETURN(
           NodeId root, cs_.AddRootTransaction(ScheduleId(e.schedule), e.name));
-      engine_.OnNodeAdded(root);
+      roots_.push_back(root);
+      if (DynamicActive()) engine_.OnNodeAdded(root);
       return Status::OK();
     }
     case TraceEventKind::kSub: {
@@ -142,8 +243,8 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
                               cs_.AddSubtransaction(parent, sched, e.name));
       invokes_[cs_.node(parent).owner_schedule.index()].insert(sched.index());
       if (RecomputeLevels()) {
-        Rebuild();
-      } else {
+        if (DynamicActive()) Rebuild();
+      } else if (DynamicActive()) {
         engine_.OnNodeAdded(sub);
       }
       return Status::OK();
@@ -152,7 +253,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       const NodeId parent(e.parent);
       COMPTX_RETURN_IF_ERROR(CheckNotSealed(parent));
       COMPTX_ASSIGN_OR_RETURN(NodeId leaf, cs_.AddLeaf(parent, e.name));
-      engine_.OnNodeAdded(leaf);
+      if (DynamicActive()) engine_.OnNodeAdded(leaf);
       return Status::OK();
     }
     case TraceEventKind::kConflict: {
@@ -160,6 +261,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
       COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
       COMPTX_RETURN_IF_ERROR(cs_.AddConflict(a, b));
+      if (!DynamicActive()) return Status::OK();
       const ScheduleId host = cs_.HostScheduleOf(a);
       bool wo_ab = false, wo_ba = false;
       {
@@ -182,6 +284,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       COMPTX_RETURN_IF_ERROR(e.kind == TraceEventKind::kWeakOutput
                                  ? cs_.AddWeakOutput(a, b)
                                  : cs_.AddStrongOutput(a, b));
+      if (!DynamicActive()) return Status::OK();
       const ScheduleId host = cs_.HostScheduleOf(a);
       std::vector<std::pair<NodeId, NodeId>> new_pairs;
       {
@@ -203,6 +306,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       const bool strong = e.kind == TraceEventKind::kStrongInput;
       COMPTX_RETURN_IF_ERROR(strong ? cs_.AddStrongInput(sched, a, b)
                                     : cs_.AddWeakInput(sched, a, b));
+      if (!DynamicActive()) return Status::OK();
       std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
       {
         ScheduleShard& sh = shard(sched);
@@ -224,6 +328,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       const bool strong = e.kind == TraceEventKind::kIntraStrong;
       COMPTX_RETURN_IF_ERROR(strong ? cs_.AddIntraStrong(txn, a, b)
                                     : cs_.AddIntraWeak(txn, a, b));
+      if (!DynamicActive()) return Status::OK();
       const ScheduleId owner = cs_.node(txn).owner_schedule;
       std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
       {
@@ -244,11 +349,28 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
         return Status::InvalidArgument(
             StrCat("commit of ", e.parent, ": not a root transaction"));
       }
-      if (sealed_nodes_.count(root) > 0) return Status::OK();  // idempotent.
-      sealed_roots_.push_back(root);
-      sealed_nodes_.insert(root);
-      for (NodeId d : cs_.Descendants(root)) sealed_nodes_.insert(d);
-      if (options_.auto_prune) PruneLocked();
+      if (!SealRootLocked(root)) return Status::OK();  // idempotent.
+      if (options_.auto_prune) SchedulePruneLocked();
+      return Status::OK();
+    }
+    case TraceEventKind::kCommitThrough: {
+      // Cumulative watermark: every root with creation index < e.a is
+      // committed.  Counted in creation order, so the walk resumes at
+      // the previous watermark and the per-event cost is bounded by the
+      // number of newly covered roots — O(window) across the session.
+      const uint64_t through = e.a;
+      if (through > roots_.size()) {
+        return Status::InvalidArgument(
+            StrCat("commit_through ", through, ": only ", roots_.size(),
+                   " root transactions exist"));
+      }
+      bool sealed_any = false;
+      for (uint64_t i = std::min(commit_watermark_, through); i < through;
+           ++i) {
+        sealed_any = SealRootLocked(roots_[i]) || sealed_any;
+      }
+      commit_watermark_ = std::max(commit_watermark_, through);
+      if (sealed_any && options_.auto_prune) SchedulePruneLocked();
       return Status::OK();
     }
   }
@@ -271,16 +393,28 @@ void Certifier::RestoreCounters(uint64_t accepted, uint64_t rejected) {
   std::lock_guard<std::mutex> lock(mu_);
   events_accepted_ = accepted;
   events_rejected_ = rejected;
+  analysis_cached_at_ = ~uint64_t{0};
+}
+
+void Certifier::SchedulePruneLocked() {
+  if (in_batch_) {
+    // Pruning reads the engine's cycle graphs, which are deferred while
+    // a batch is open; the batch epilogue runs one pass after the flush.
+    prune_pending_ = true;
+    events_since_prune_ = 0;
+    return;
+  }
+  PruneLocked();
 }
 
 void Certifier::MaybePruneLocked() {
   if (!options_.auto_prune || options_.epoch_interval == 0) return;
   if (events_since_prune_ < options_.epoch_interval) return;
-  if (pruned_roots_.size() == sealed_roots_.size()) {
+  if (unpruned_sealed_.empty()) {
     events_since_prune_ = 0;
     return;
   }
-  PruneLocked();
+  SchedulePruneLocked();
 }
 
 bool Certifier::CanPrune(const std::vector<NodeId>& subtree) const {
@@ -362,33 +496,55 @@ void Certifier::RemoveSubtree(const std::vector<NodeId>& subtree) {
 }
 
 size_t Certifier::PruneLocked() {
+  events_since_prune_ = 0;
+  if (mode_ == Mode::kStatic) {
+    // No derived per-node state exists to free; mark the sealed window
+    // pruned so live_nodes reports the same O(window) envelope as a
+    // dynamic session (the append-only cs_ is excluded either way).
+    size_t removed = 0;
+    for (NodeId root : unpruned_sealed_) {
+      MarkPruned(root);
+      ++removed;
+      for (NodeId d : cs_.Descendants(root)) {
+        MarkPruned(d);
+        ++removed;
+      }
+      ++pruned_root_count_;
+    }
+    unpruned_sealed_.clear();
+    if (removed > 0) ++prune_passes_;
+    return removed;
+  }
   // Once failed, keep everything: the failure evidence (a cycle in some
   // maintained graph) must survive rebuilds, and pruning is only a memory
   // optimization for live sessions anyway.
-  if (!engine_.certifiable()) {
-    events_since_prune_ = 0;
-    return 0;
-  }
+  if (!engine_.certifiable()) return 0;
   size_t removed = 0;
   bool progress = true;
   // Removing one subtree can zero another's in-degrees, so iterate to a
-  // fixpoint.
+  // fixpoint.  The worklist holds only sealed-but-unpruned roots (swap-
+  // removed once pruned), so a pass costs O(live window), not O(every
+  // root ever sealed) — the property the long-session soak asserts.
   while (progress) {
     progress = false;
-    for (NodeId root : sealed_roots_) {
-      if (pruned_roots_.count(root) > 0) continue;
+    for (size_t idx = 0; idx < unpruned_sealed_.size();) {
+      const NodeId root = unpruned_sealed_[idx];
       std::vector<NodeId> subtree = {root};
       for (NodeId d : cs_.Descendants(root)) subtree.push_back(d);
-      if (!CanPrune(subtree)) continue;
+      if (!CanPrune(subtree)) {
+        ++idx;
+        continue;
+      }
       RemoveSubtree(subtree);
-      pruned_roots_.insert(root);
-      for (NodeId n : subtree) pruned_nodes_.insert(n);
+      for (NodeId n : subtree) MarkPruned(n);
+      ++pruned_root_count_;
       removed += subtree.size();
-      progress = true;
+      unpruned_sealed_[idx] = unpruned_sealed_.back();
+      unpruned_sealed_.pop_back();
+      progress = true;  // the swapped-in root is re-examined at idx.
     }
   }
   if (removed > 0) ++prune_passes_;
-  events_since_prune_ = 0;
   return removed;
 }
 
@@ -397,26 +553,164 @@ size_t Certifier::Prune() {
   return PruneLocked();
 }
 
+void Certifier::FallbackLocked() {
+  fallback_wanted_ = false;
+  if (mode_ != Mode::kStatic) return;
+  // Rebuild full dynamic state by replaying the accumulated system, the
+  // exact discipline of a durability restore (online/state_io.cc): replay
+  // the SaveTrace event order — every derived structure is a monotone
+  // function of the facts, so order is irrelevant — then re-seal in the
+  // original seal order, then prune.  The stream counters and watermark
+  // describe the original stream, not the replay, so they are preserved.
+  auto trace = workload::SaveTrace(cs_);
+  if (!trace.ok()) return;  // unserializable system: stay static.
+  auto events = workload::ParseTraceEvents(*trace);
+  if (!events.ok()) return;
+  const std::vector<NodeId> sealed = sealed_roots_;
+  const uint64_t accepted = events_accepted_;
+  const uint64_t rejected = events_rejected_;
+  const uint64_t watermark = commit_watermark_;
+
+  mode_ = Mode::kDynamic;
+  cs_ = CompositeSystem();
+  shards_.clear();
+  invokes_.clear();
+  schedule_levels_.clear();
+  order_ = 0;
+  roots_.clear();
+  node_flags_.clear();
+  sealed_node_count_ = pruned_node_count_ = pruned_root_count_ = 0;
+  sealed_roots_.clear();
+  unpruned_sealed_.clear();
+  commit_watermark_ = 0;
+  engine_.Reset(&cs_, {}, 0, options_.forgetting);
+  for (const TraceEvent& event : *events) {
+    (void)IngestLocked(event);  // replay of accepted history: cannot fail.
+  }
+  for (NodeId root : sealed) {
+    TraceEvent commit;
+    commit.kind = TraceEventKind::kCommit;
+    commit.parent = root.index();
+    (void)IngestLocked(commit);
+  }
+  PruneLocked();
+  events_accepted_ = accepted;
+  events_rejected_ = rejected;
+  commit_watermark_ = watermark;
+  analysis_cached_at_ = ~uint64_t{0};
+  ++static_fallback_count_;
+}
+
+void Certifier::RefreshAnalysisLocked() const {
+  if (analysis_cached_at_ == events_accepted_) return;
+  analysis_cached_at_ = events_accepted_;
+  ++static_analysis_count_;
+  staticcheck::AnalyzerOptions opts;
+  opts.explain = false;  // verdict only; no per-scheduler rows needed.
+  const staticcheck::StaticAnalysis analysis =
+      staticcheck::AnalyzeConfiguration(cs_, opts);
+  analysis_exact_ = false;
+  analysis_certifiable_ = true;
+  analysis_failure_.reset();
+  if (analysis.well_formed &&
+      analysis.verdict == staticcheck::SafetyVerdict::kSafe) {
+    analysis_exact_ = true;
+  } else if (analysis.well_formed &&
+             analysis.verdict == staticcheck::SafetyVerdict::kUnsafe) {
+    analysis_exact_ = true;
+    analysis_certifiable_ = false;
+    if (analysis.witness) {
+      OnlineFailure failure;
+      failure.step = OnlineFailure::Step::kConflictConsistency;
+      failure.witness = analysis.witness->nodes;
+      failure.description = analysis.witness->description;
+      analysis_failure_ = std::move(failure);
+    }
+  }
+  if (mode_ == Mode::kParanoid) {
+    // The dynamic answer stays authoritative; an exact analyzer verdict
+    // that disagrees is a bug in one of the two and is counted (once per
+    // refresh — the cache keys on the accepted-event count).
+    if (analysis_exact_ && analysis_certifiable_ != engine_.certifiable()) {
+      ++paranoid_mismatch_count_;
+    }
+    return;
+  }
+  if (analysis_exact_) return;
+  // NEEDS_DYNAMIC, or a prefix still violating the completeness rules of
+  // Defs 3-4.  Answer with batch CheckCompC (validation off, as always
+  // for prefixes).  Only a well-formed system proves the *configuration*
+  // defeats static reasoning; that asks for the one-time dynamic
+  // fallback — an incomplete prefix is transient and does not.
+  if (analysis.well_formed) fallback_wanted_ = true;
+  ReductionOptions ropts;
+  ropts.validate = false;
+  ropts.keep_fronts = false;
+  ropts.forgetting = options_.forgetting;
+  auto result = CheckCompC(cs_, ropts);
+  if (!result.ok()) {
+    analysis_certifiable_ = false;
+    OnlineFailure failure;
+    failure.description = StrCat("batch check failed: ",
+                                 result.status().message());
+    analysis_failure_ = std::move(failure);
+    return;
+  }
+  analysis_certifiable_ = result->correct;
+  if (!result->correct && result->failure) {
+    analysis_failure_ = FailureFromReduction(*result->failure);
+  }
+}
+
 CertifierVerdict Certifier::Verdict() const {
   std::lock_guard<std::mutex> lock(mu_);
   CertifierVerdict verdict;
-  verdict.certifiable = engine_.certifiable();
   verdict.order = order_;
+  if (mode_ == Mode::kStatic) {
+    RefreshAnalysisLocked();
+    verdict.certifiable = analysis_certifiable_;
+    verdict.failure = analysis_failure_;
+    verdict.static_decided = true;
+    return verdict;
+  }
+  verdict.certifiable = engine_.certifiable();
   verdict.failure = engine_.failure();
+  if (mode_ == Mode::kParanoid) RefreshAnalysisLocked();
   return verdict;
 }
 
 bool Certifier::Certifiable() const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kStatic) {
+    RefreshAnalysisLocked();
+    return analysis_certifiable_;
+  }
+  if (mode_ == Mode::kParanoid) RefreshAnalysisLocked();
   return engine_.certifiable();
 }
 
 std::vector<NodeId> Certifier::SerialWitness() const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kStatic) {
+    // No maintained topological order exists; derive a witness from the
+    // batch procedure on demand (this is a diagnostic path, not the hot
+    // path).
+    ReductionOptions ropts;
+    ropts.validate = false;
+    ropts.keep_fronts = false;
+    ropts.forgetting = options_.forgetting;
+    auto result = CheckCompC(cs_, ropts);
+    if (!result.ok() || !result->correct) return {};
+    std::vector<NodeId> out;
+    for (NodeId r : result->serial_order) {
+      if (!IsPruned(r)) out.push_back(r);
+    }
+    return out;
+  }
   if (!engine_.certifiable()) return {};
   std::vector<NodeId> roots;
-  for (NodeId r : cs_.Roots()) {
-    if (pruned_roots_.count(r) == 0) roots.push_back(r);
+  for (NodeId r : roots_) {
+    if (!IsPruned(r)) roots.push_back(r);
   }
   std::stable_sort(roots.begin(), roots.end(), [&](NodeId x, NodeId y) {
     return engine_.TopOrderKey(x) < engine_.TopOrderKey(y);
@@ -431,8 +725,10 @@ CertifierStats Certifier::Stats() const {
   stats.events_rejected = events_rejected_;
   stats.rebuilds = rebuilds_;
   stats.prune_passes = prune_passes_;
-  stats.pruned_nodes = pruned_nodes_.size();
-  stats.live_nodes = cs_.NodeCount() - pruned_nodes_.size();
+  stats.pruned_nodes = pruned_node_count_;
+  stats.sealed_roots = sealed_roots_.size();
+  stats.commit_watermark = commit_watermark_;
+  stats.live_nodes = cs_.NodeCount() - pruned_node_count_;
   stats.observed_pairs = engine_.ObservedPairCount();
   stats.cc_edges = engine_.CcEdgeCount();
   stats.calc_edges = engine_.CalcEdgeCount();
@@ -446,6 +742,10 @@ CertifierStats Certifier::Stats() const {
       stats.closure_pairs += c.PairCount();
     }
   }
+  stats.static_mode = mode_ == Mode::kStatic;
+  stats.static_analyses = static_analysis_count_;
+  stats.static_fallbacks = static_fallback_count_;
+  stats.paranoid_mismatches = paranoid_mismatch_count_;
   return stats;
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/composite_system.h"
 #include "online/online_front.h"
+#include "util/arena.h"
 #include "util/status.h"
 #include "workload/trace.h"
 
@@ -27,6 +28,28 @@ struct CertifierOptions {
 
   /// Prune automatically on Commit() and at epoch boundaries.
   bool auto_prune = true;
+
+  /// Static-analysis admission (DESIGN.md §13.4): skip the dynamic
+  /// certification machinery entirely and decide verdicts with the PR 4
+  /// whole-configuration analyzer.  Ingest then only maintains the
+  /// composite system and the seal bookkeeping — per-event cost drops to
+  /// the cs_ append — and Verdict() lazily analyzes the current system.
+  /// A SAFE or UNSAFE analysis is exact; a NEEDS_DYNAMIC analysis of a
+  /// well-formed system flags the session for a one-time irreversible
+  /// fallback to the dynamic engine (performed by the next Ingest), with
+  /// the interim verdict answered by batch CheckCompC.
+  ///
+  /// The analyzer verdict is exact only under the paper's semantics
+  /// (forgetting enabled), so this flag is ignored when `forgetting` is
+  /// false — such sessions always run dynamically.
+  bool static_admission = false;
+
+  /// Cross-check mode: run the full dynamic machinery as usual AND the
+  /// static analyzer at every (cache-missing) Verdict, counting
+  /// disagreements in CertifierStats::paranoid_mismatches.  The dynamic
+  /// answer stays authoritative.  Implies nothing about static_admission;
+  /// when both are set, paranoid wins (the session runs dynamically).
+  bool paranoid = false;
 };
 
 /// The answer to "is the execution ingested so far still certifiable?".
@@ -40,6 +63,9 @@ struct CertifierVerdict {
   bool certifiable = true;
   uint32_t order = 0;
   std::optional<OnlineFailure> failure;
+  /// True when the answer came from the static analyzer (or batch
+  /// CheckCompC while awaiting fallback) rather than the dynamic engine.
+  bool static_decided = false;
 };
 
 struct CertifierStats {
@@ -48,11 +74,17 @@ struct CertifierStats {
   uint64_t rebuilds = 0;        // schedule-level changes forcing a replay
   uint64_t prune_passes = 0;    // pruning attempts that removed something
   uint64_t pruned_nodes = 0;
+  uint64_t sealed_roots = 0;    // committed roots, pruned or not
+  uint64_t commit_watermark = 0;  // highest commit_through applied
   size_t live_nodes = 0;        // nodes not garbage-collected
   size_t observed_pairs = 0;
   size_t cc_edges = 0;
   size_t calc_edges = 0;
   size_t closure_pairs = 0;
+  bool static_mode = false;       // currently skipping dynamic certification
+  uint64_t static_analyses = 0;   // analyzer runs (static + paranoid)
+  uint64_t static_fallbacks = 0;  // one-time static -> dynamic switches
+  uint64_t paranoid_mismatches = 0;  // analyzer/engine disagreements
 };
 
 /// An online, incremental Comp-C certifier session.
@@ -83,14 +115,16 @@ struct CertifierStats {
 /// Committed roots are sealed: later events referencing their subtree are
 /// rejected, and epoch-based pruning removes a sealed subtree from every
 /// structure once nothing points into it anymore (such nodes can never lie
-/// on a future violation cycle, so the verdict is unaffected).
+/// on a future violation cycle, so the verdict is unaffected).  The prune
+/// pass walks only the sealed-but-unpruned roots, so its cost is bounded
+/// by the live window, not the session's history (DESIGN.md §13.1).
 ///
 /// Thread safety (audited for the certification service, PR 5): a
 /// Certifier has *no* static or global mutable state — every structure
 /// hangs off the instance — so distinct instances never interfere and may
 /// be driven from distinct threads freely (the service runs one instance
 /// per session, each drained by one worker at a time).  Within one
-/// instance, Ingest/Commit/Prune and the verdict readers
+/// instance, Ingest/IngestBatch/Commit/Prune and the verdict readers
 /// (Verdict/Certifiable/SerialWitness/Stats) serialize on the session
 /// lock `mu_`; the per-schedule shard locks additionally protect closure
 /// state so concurrent readers see consistent shards while an ingest is
@@ -112,6 +146,17 @@ class Certifier {
   /// unknown references, events referencing a sealed subtree, recursion-
   /// introducing `sub` events) leave the session unchanged.
   Status Ingest(const workload::TraceEvent& event);
+
+  /// Applies `events` in order under one lock acquisition, with the
+  /// engine's cycle-graph edges deferred into an arena-backed batch and
+  /// flushed once, and at most one pruning pass at the end.  Each event
+  /// is accepted or rejected exactly as the equivalent Ingest sequence
+  /// would decide (the handlers never read cycle-graph state, so edge
+  /// deferral cannot change an accept/reject outcome).  Returns the
+  /// number of rejected events; per-event statuses go to `statuses` when
+  /// non-null (resized to events.size()).
+  size_t IngestBatch(const std::vector<workload::TraceEvent>& events,
+                     std::vector<Status>* statuses = nullptr);
 
   /// Current verdict; failure is sticky while schedule levels are stable.
   CertifierVerdict Verdict() const;
@@ -139,7 +184,9 @@ class Certifier {
 
   /// While certifiable: live (unpruned) roots in a serializable order,
   /// read off the maintained topological order of the top-level front
-  /// (Theorem 1).  Empty when not certifiable.
+  /// (Theorem 1).  Empty when not certifiable.  Static-admission
+  /// sessions maintain no topological order; they derive the witness
+  /// from batch CheckCompC on demand (a diagnostic path, not hot).
   std::vector<NodeId> SerialWitness() const;
 
   CertifierStats Stats() const;
@@ -161,8 +208,21 @@ class Certifier {
     std::unordered_map<NodeId, IncrementalClosure> strong_intra;
   };
 
+  /// How verdicts are produced.  kStatic sessions maintain only cs_ and
+  /// the seal bookkeeping; a NEEDS_DYNAMIC analysis of a well-formed
+  /// system downgrades them (once, irreversibly) to kDynamic via
+  /// FallbackLocked.  kParanoid is kDynamic plus an analyzer cross-check
+  /// at Verdict time.
+  enum class Mode : uint8_t { kDynamic, kStatic, kParanoid };
+
+  bool DynamicActive() const { return mode_ != Mode::kStatic; }
+
   Status IngestLocked(const workload::TraceEvent& event);
   Status CheckNotSealed(NodeId id) const;
+
+  /// Seals `root` and its descendants; returns true if it was not
+  /// already sealed.  Prune scheduling is the caller's business.
+  bool SealRootLocked(NodeId root);
 
   /// Recomputes schedule levels from the invocation adjacency; returns
   /// true if any level (or the order) changed.
@@ -174,15 +234,37 @@ class Certifier {
   /// Resets the engine for the current levels and replays all closures.
   void Rebuild();
 
+  /// Requests a prune: immediate outside a batch, deferred to the batch
+  /// epilogue inside one (pruning reads engine state that batching
+  /// defers, and one pass per batch is the point of the epoch design).
+  void SchedulePruneLocked();
   void MaybePruneLocked();
   size_t PruneLocked();
   bool CanPrune(const std::vector<NodeId>& subtree) const;
   void RemoveSubtree(const std::vector<NodeId>& subtree);
 
+  /// One-time static -> dynamic switch: rebuilds the full dynamic state
+  /// by replaying the accumulated system through a fresh self (the
+  /// state_io restore discipline: SaveTrace order, then re-seal, then
+  /// prune).  Stream counters and the commit watermark survive.
+  void FallbackLocked();
+
+  /// Lazily (re)runs the static analyzer against the current system;
+  /// cached by events_accepted_.  Used by kStatic verdicts and kParanoid
+  /// cross-checks.  Must be called with mu_ held.
+  void RefreshAnalysisLocked() const;
+
+  // Seal/prune bit accessors (node_flags_ is indexed by NodeId::index()).
+  bool IsSealed(NodeId id) const;
+  bool IsPruned(NodeId id) const;
+  void MarkSealed(NodeId id);
+  void MarkPruned(NodeId id);
+
   ScheduleShard& shard(ScheduleId s) { return *shards_[s.index()]; }
   const ScheduleShard& shard(ScheduleId s) const { return *shards_[s.index()]; }
 
   const CertifierOptions options_;
+  Mode mode_ = Mode::kDynamic;
 
   mutable std::mutex mu_;  // session lock: cs_, engine_, levels, seals.
   CompositeSystem cs_;
@@ -196,16 +278,52 @@ class Certifier {
   std::vector<uint32_t> schedule_levels_;
   uint32_t order_ = 0;
 
-  std::unordered_set<NodeId> sealed_nodes_;
-  std::vector<NodeId> sealed_roots_;
-  std::unordered_set<NodeId> pruned_roots_;
-  std::unordered_set<NodeId> pruned_nodes_;
+  /// Root transactions in creation order.  cs_.Roots() scans every node;
+  /// this keeps SerialWitness and commit-watermark sealing O(roots) and
+  /// O(window) respectively.
+  std::vector<NodeId> roots_;
+
+  /// Per-node seal/prune bits (bit 0 = sealed, bit 1 = pruned), replacing
+  /// the former unordered_sets: O(1) lookups with 1 byte/node instead of
+  /// hash nodes, which matters at 10M-event scale.
+  std::vector<uint8_t> node_flags_;
+  size_t sealed_node_count_ = 0;
+  size_t pruned_node_count_ = 0;
+  size_t pruned_root_count_ = 0;
+
+  std::vector<NodeId> sealed_roots_;  // seal order, pruned or not
+
+  /// Sealed roots not yet pruned — the prune pass's entire worklist
+  /// (swap-removed when pruned), which is what makes PruneLocked
+  /// O(window) instead of O(all roots ever sealed).
+  std::vector<NodeId> unpruned_sealed_;
+
+  /// Highest kCommitThrough watermark applied (count of roots in
+  /// creation order known committed).
+  uint64_t commit_watermark_ = 0;
+
+  /// Per-epoch scratch: backs the engine's deferred-edge buffers during
+  /// IngestBatch; Reset after each flush+prune.
+  MonotonicArena arena_;
+  bool in_batch_ = false;
+  bool prune_pending_ = false;
 
   uint64_t events_accepted_ = 0;
   uint64_t events_rejected_ = 0;
   uint64_t rebuilds_ = 0;
   uint64_t prune_passes_ = 0;
   uint32_t events_since_prune_ = 0;
+  uint64_t static_fallback_count_ = 0;
+
+  // Static-analysis cache and cross-check state; mutated by const verdict
+  // readers under mu_, hence mutable.
+  mutable uint64_t analysis_cached_at_ = ~uint64_t{0};
+  mutable bool analysis_certifiable_ = true;
+  mutable bool analysis_exact_ = false;  // SAFE/UNSAFE on well-formed input
+  mutable std::optional<OnlineFailure> analysis_failure_;
+  mutable bool fallback_wanted_ = false;
+  mutable uint64_t static_analysis_count_ = 0;
+  mutable uint64_t paranoid_mismatch_count_ = 0;
 };
 
 }  // namespace comptx::online

@@ -77,51 +77,64 @@ bool IncrementalCycleGraph::AddEdge(NodeId a, NodeId b) {
   return true;
 }
 
+bool IncrementalCycleGraph::AddEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  for (const auto& [a, b] : edges) AddEdge(a, b);
+  return !cycle_;
+}
+
 bool IncrementalCycleGraph::Reorder(NodeId a, NodeId b) {
   const uint64_t lb = vertices_.at(b).ord;
   const uint64_t ub = vertices_.at(a).ord;
+  const uint64_t stamp = ++visit_stamp_;
 
   // Forward DFS from b over vertices with ord <= ub.  Reaching a means the
   // new edge a -> b closed a cycle; the DFS parents give the b ~> a path.
-  std::vector<NodeId> forward;
-  std::unordered_map<NodeId, NodeId> parent;
-  std::unordered_set<NodeId> seen_fwd;
-  std::vector<NodeId> stack = {b};
-  seen_fwd.insert(b);
-  while (!stack.empty()) {
-    NodeId u = stack.back();
-    stack.pop_back();
-    forward.push_back(u);
+  forward_.clear();
+  stack_.clear();
+  stack_.push_back(b);
+  vertices_.at(b).fwd_stamp = stamp;
+  while (!stack_.empty()) {
+    NodeId u = stack_.back();
+    stack_.pop_back();
+    forward_.push_back(u);
     if (u == a) {
       // Reconstruct b ~> a; with the closing edge a -> b this is a cycle.
       witness_.clear();
-      for (NodeId w = a; w != b; w = parent.at(w)) witness_.push_back(w);
+      for (NodeId w = a; w != b; w = vertices_.at(w).parent) {
+        witness_.push_back(w);
+      }
       witness_.push_back(b);
       std::reverse(witness_.begin(), witness_.end());
       return false;
     }
     for (NodeId w : vertices_.at(u).out) {
-      if (vertices_.at(w).ord > ub) continue;
-      if (seen_fwd.insert(w).second) {
-        parent.emplace(w, u);
-        stack.push_back(w);
+      Vertex& vw = vertices_.at(w);
+      if (vw.ord > ub) continue;
+      if (vw.fwd_stamp != stamp) {
+        vw.fwd_stamp = stamp;
+        vw.parent = u;
+        stack_.push_back(w);
       }
     }
   }
 
   // Backward DFS from a over vertices with ord >= lb.  Disjoint from the
   // forward set (overlap would have been a cycle caught above).
-  std::vector<NodeId> backward;
-  std::unordered_set<NodeId> seen_bwd;
-  stack.push_back(a);
-  seen_bwd.insert(a);
-  while (!stack.empty()) {
-    NodeId u = stack.back();
-    stack.pop_back();
-    backward.push_back(u);
+  backward_.clear();
+  stack_.push_back(a);
+  vertices_.at(a).bwd_stamp = stamp;
+  while (!stack_.empty()) {
+    NodeId u = stack_.back();
+    stack_.pop_back();
+    backward_.push_back(u);
     for (NodeId w : vertices_.at(u).in) {
-      if (vertices_.at(w).ord < lb) continue;
-      if (seen_bwd.insert(w).second) stack.push_back(w);
+      Vertex& vw = vertices_.at(w);
+      if (vw.ord < lb) continue;
+      if (vw.bwd_stamp != stamp) {
+        vw.bwd_stamp = stamp;
+        stack_.push_back(w);
+      }
     }
   }
 
@@ -131,18 +144,17 @@ bool IncrementalCycleGraph::Reorder(NodeId a, NodeId b) {
   auto by_ord = [this](NodeId x, NodeId y) {
     return vertices_.at(x).ord < vertices_.at(y).ord;
   };
-  std::sort(backward.begin(), backward.end(), by_ord);
-  std::sort(forward.begin(), forward.end(), by_ord);
+  std::sort(backward_.begin(), backward_.end(), by_ord);
+  std::sort(forward_.begin(), forward_.end(), by_ord);
 
-  std::vector<uint64_t> pool;
-  pool.reserve(backward.size() + forward.size());
-  for (NodeId x : backward) pool.push_back(vertices_.at(x).ord);
-  for (NodeId x : forward) pool.push_back(vertices_.at(x).ord);
-  std::sort(pool.begin(), pool.end());
+  pool_.clear();
+  for (NodeId x : backward_) pool_.push_back(vertices_.at(x).ord);
+  for (NodeId x : forward_) pool_.push_back(vertices_.at(x).ord);
+  std::sort(pool_.begin(), pool_.end());
 
   size_t slot = 0;
-  for (NodeId x : backward) vertices_.at(x).ord = pool[slot++];
-  for (NodeId x : forward) vertices_.at(x).ord = pool[slot++];
+  for (NodeId x : backward_) vertices_.at(x).ord = pool_[slot++];
+  for (NodeId x : forward_) vertices_.at(x).ord = pool_[slot++];
   return true;
 }
 

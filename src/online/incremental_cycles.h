@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/ids.h"
@@ -29,6 +30,12 @@ namespace comptx::online {
 /// bookkeeping) stays complete.  A failed structure only becomes clean
 /// again by rebuilding it from scratch, which is what the certifier does
 /// when schedule levels shift.
+///
+/// Allocation discipline: the Reorder pass marks visited vertices with a
+/// monotone stamp stored inline in each Vertex and accumulates its
+/// frontier in member scratch vectors, so steady-state edge insertion
+/// performs no per-call heap allocation (the scratch keeps its high-water
+/// capacity across calls).
 class IncrementalCycleGraph {
  public:
   IncrementalCycleGraph() = default;
@@ -40,6 +47,12 @@ class IncrementalCycleGraph {
   /// acyclic; returns false when the graph is in the failed state (either
   /// this edge closed a cycle, or a previous one did).
   bool AddEdge(NodeId a, NodeId b);
+
+  /// Adds every edge of `edges` in order, exactly as the equivalent
+  /// AddEdge sequence would (same sticky-failure semantics, same
+  /// witness).  Returns the final acyclicity: true iff no inserted edge —
+  /// this batch or earlier — closed a cycle.
+  bool AddEdges(const std::vector<std::pair<NodeId, NodeId>>& edges);
 
   bool HasEdge(NodeId a, NodeId b) const;
   bool Contains(NodeId id) const { return vertices_.count(id) > 0; }
@@ -80,6 +93,11 @@ class IncrementalCycleGraph {
     uint64_t ord = 0;
     std::unordered_set<NodeId> out;
     std::unordered_set<NodeId> in;
+    // Reorder scratch, inline so visited-set membership is one stamp
+    // compare instead of a hash probe (and zero allocation).
+    uint64_t fwd_stamp = 0;
+    uint64_t bwd_stamp = 0;
+    NodeId parent{};
   };
 
   Vertex& Ensure(NodeId id);
@@ -93,6 +111,13 @@ class IncrementalCycleGraph {
   size_t edge_count_ = 0;
   bool cycle_ = false;
   std::vector<NodeId> witness_;
+
+  // Reorder scratch, reused across calls (capacity persists).
+  uint64_t visit_stamp_ = 0;
+  std::vector<NodeId> forward_;
+  std::vector<NodeId> backward_;
+  std::vector<NodeId> stack_;
+  std::vector<uint64_t> pool_;
 };
 
 }  // namespace comptx::online

@@ -298,7 +298,7 @@ Status ReadVarint(const std::string& data, size_t& pos, uint64_t& value) {
 namespace {
 
 constexpr uint8_t kMaxEventKind =
-    static_cast<uint8_t>(workload::TraceEventKind::kCommit);
+    static_cast<uint8_t>(workload::TraceEventKind::kCommitThrough);
 
 void AppendString(std::string& out, const std::string& value) {
   AppendVarint(out, value.size());
@@ -372,6 +372,9 @@ void AppendEventBinary(std::string& out, const workload::TraceEvent& event) {
     case TraceEventKind::kCommit:
       AppendVarint(out, event.parent);
       break;
+    case TraceEventKind::kCommitThrough:
+      AppendVarint(out, event.a);
+      break;
   }
 }
 
@@ -415,6 +418,8 @@ Status ReadEventBinary(const std::string& data, size_t& pos,
       return ReadIndex(data, pos, event.b);
     case TraceEventKind::kCommit:
       return ReadIndex(data, pos, event.parent);
+    case TraceEventKind::kCommitThrough:
+      return ReadIndex(data, pos, event.a);
   }
   return Status::InvalidArgument("unreachable event kind");
 }

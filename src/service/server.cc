@@ -48,6 +48,23 @@ void AppendVerdictFields(const SessionVerdict& verdict, Response& response) {
   response.fields.emplace_back("order", StrCat(verdict.order));
   response.fields.emplace_back("accepted", StrCat(verdict.events_accepted));
   response.fields.emplace_back("rejected", StrCat(verdict.events_rejected));
+  // Window observability (new fields append after the existing ones, so
+  // v1 clients that read positionally keep working).
+  response.fields.emplace_back("live_nodes", StrCat(verdict.live_nodes));
+  response.fields.emplace_back("pruned_nodes", StrCat(verdict.pruned_nodes));
+  response.fields.emplace_back("sealed_roots", StrCat(verdict.sealed_roots));
+  response.fields.emplace_back("commit_watermark",
+                               StrCat(verdict.commit_watermark));
+  if (verdict.static_mode || verdict.static_fallbacks > 0) {
+    response.fields.emplace_back("static_mode",
+                                 verdict.static_mode ? "1" : "0");
+    response.fields.emplace_back("static_fallbacks",
+                                 StrCat(verdict.static_fallbacks));
+  }
+  if (verdict.paranoid_mismatches > 0) {
+    response.fields.emplace_back("paranoid_mismatches",
+                                 StrCat(verdict.paranoid_mismatches));
+  }
   // The failure diagnosis contains spaces, so it travels in the body.
   if (!verdict.failure.empty()) response.body = verdict.failure;
 }

@@ -69,6 +69,12 @@ StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
         return Status::InvalidArgument("queue_capacity must be positive");
       }
       options.queue_capacity = static_cast<size_t>(parsed);
+    } else if (key == "static_admission") {
+      COMPTX_ASSIGN_OR_RETURN(options.certifier.static_admission,
+                              ParseBool(key, value));
+    } else if (key == "paranoid") {
+      COMPTX_ASSIGN_OR_RETURN(options.certifier.paranoid,
+                              ParseBool(key, value));
     } else if (key == "resume") {
       COMPTX_ASSIGN_OR_RETURN(options.resume, ParseUint(key, value));
       if (options.resume == 0) {
@@ -178,10 +184,9 @@ bool Session::ProcessBatch(size_t max_events) {
   // Ingest outside the session lock: the scheduled_ flag guarantees this
   // is the only worker draining, so stream order is preserved, and
   // producers keep enqueueing (into the freed capacity) concurrently.
-  uint64_t rejected = 0;
-  for (const workload::TraceEvent& event : batch) {
-    if (!certifier_->Ingest(event).ok()) ++rejected;
-  }
+  // The whole drain goes through IngestBatch — one certifier lock hold,
+  // one Pearce-Kelly maintenance window, one prune pass per batch.
+  const uint64_t rejected = certifier_->IngestBatch(batch);
   // events_processed counts only successful ingests, so the invariant
   // events_enqueued == events_processed + events_rejected holds once
   // every queue drains.
@@ -282,6 +287,13 @@ SessionVerdict Session::Verdict() const {
   out.order = verdict.order;
   out.events_accepted = stats.events_accepted;
   out.events_rejected = stats.events_rejected;
+  out.live_nodes = stats.live_nodes;
+  out.pruned_nodes = stats.pruned_nodes;
+  out.sealed_roots = stats.sealed_roots;
+  out.commit_watermark = stats.commit_watermark;
+  out.static_mode = stats.static_mode;
+  out.static_fallbacks = stats.static_fallbacks;
+  out.paranoid_mismatches = stats.paranoid_mismatches;
   if (!verdict.certifiable && verdict.failure.has_value()) {
     out.failure = StrCat("level ", verdict.failure->level, " ",
                          StepName(verdict.failure->step), ": ",

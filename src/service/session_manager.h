@@ -38,7 +38,8 @@ struct SessionOptions {
 };
 
 /// Parses "key=value ..." OPEN options (forgetting, epoch_interval,
-/// auto_prune, queue_capacity, resume) over `defaults`.
+/// auto_prune, static_admission, paranoid, queue_capacity, resume) over
+/// `defaults`.
 StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
                                              const SessionOptions& defaults);
 
@@ -49,6 +50,15 @@ struct SessionVerdict {
   uint32_t order = 0;
   uint64_t events_accepted = 0;
   uint64_t events_rejected = 0;
+  // Window observability (DESIGN.md §13): how much state the session
+  // actually holds vs. how much of its history is sealed and reclaimed.
+  uint64_t live_nodes = 0;
+  uint64_t pruned_nodes = 0;
+  uint64_t sealed_roots = 0;
+  uint64_t commit_watermark = 0;
+  bool static_mode = false;
+  uint64_t static_fallbacks = 0;
+  uint64_t paranoid_mismatches = 0;
   std::string failure;  // empty while certifiable
 };
 

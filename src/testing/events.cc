@@ -117,6 +117,11 @@ std::vector<TraceEvent> FilterEvents(const std::vector<TraceEvent>& events,
         if (!kept || !node_ok(e.parent)) continue;
         r.parent = node_map[e.parent];
         break;
+      case TraceEventKind::kCommitThrough:
+        // The watermark counts roots by creation order, which the dense
+        // renumbering changes; dropping the record keeps the filtered
+        // trace self-consistent (commit markers never affect verdicts).
+        continue;
     }
     out.push_back(std::move(r));
   }

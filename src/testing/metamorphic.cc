@@ -102,6 +102,12 @@ std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
       case TraceEventKind::kCommit:
         dep_node(e.parent);
         break;
+      case TraceEventKind::kCommitThrough:
+        // The watermark counts roots in stream order, which a shuffle
+        // rewrites; there is no renumbering that preserves its meaning,
+        // so leave such traces unshuffled.
+        malformed = true;
+        break;
     }
   }
 

@@ -1,0 +1,142 @@
+#ifndef COMPTX_UTIL_ARENA_H_
+#define COMPTX_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace comptx {
+
+/// Monotonic bump allocator for per-epoch scratch (DESIGN.md §13.2): the
+/// online certifier allocates its deferred-edge buffers and prune scratch
+/// out of one arena and resets it wholesale after each epoch's
+/// flush+prune, so steady-state ingest performs zero heap allocation once
+/// the arena reaches its high-water size.
+///
+/// Allocation never constructs or destroys objects — callers place
+/// trivially-destructible data only (the certifier stores PODs).  Reset()
+/// rewinds every chunk without releasing memory; the chunk list keeps its
+/// high-water capacity for the session's lifetime.
+///
+/// Not thread-safe; the owner serializes access (the certifier uses it
+/// under its ingest mutex only).
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(size_t first_chunk_bytes = 4096)
+      : first_chunk_bytes_(first_chunk_bytes < 64 ? 64 : first_chunk_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two).  Grows by
+  /// doubling chunks; a request larger than the next chunk gets a chunk
+  /// of its own size, so huge one-off allocations don't balloon the
+  /// steady-state footprint.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    while (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      const size_t aligned = (chunk.used + align - 1) & ~(align - 1);
+      if (aligned + size <= chunk.size) {
+        chunk.used = aligned + size;
+        return chunk.data.get() + aligned;
+      }
+      // Exhausted: move on (its bytes stay allocated until Reset).
+      ++current_;
+    }
+    size_t next_size =
+        chunks_.empty() ? first_chunk_bytes_ : chunks_.back().size * 2;
+    if (next_size < size + align) next_size = size + align;
+    chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(next_size),
+                            next_size, 0});
+    // A fresh chunk's base is new[]-aligned, which satisfies every align
+    // this arena is asked for (the certifier stores PODs).
+    Chunk& chunk = chunks_.back();
+    chunk.used = size;
+    return chunk.data.get();
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every chunk; capacity (and the chunk list) is retained.
+  void Reset() {
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    current_ = 0;
+  }
+
+  /// Releases every chunk (used by tests asserting footprint).
+  void Release() {
+    chunks_.clear();
+    current_ = 0;
+  }
+
+  /// Total bytes currently reserved by the arena's chunks.
+  size_t CapacityBytes() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last Reset.
+  size_t UsedBytes() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.used;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  const size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;  // first chunk worth probing for space
+};
+
+/// STL-compatible allocator over a MonotonicArena.  deallocate is a no-op
+/// (memory is reclaimed by MonotonicArena::Reset), so containers using it
+/// must not outlive the next Reset.  Intended for short-lived per-epoch
+/// vectors: `std::vector<T, ArenaAllocator<T>> v(ArenaAllocator<T>(&arena))`.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t count) {
+    return static_cast<T*>(arena_->Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T*, size_t) {}  // reclaimed wholesale by Reset()
+
+  MonotonicArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+}  // namespace comptx
+
+#endif  // COMPTX_UTIL_ARENA_H_

@@ -59,6 +59,9 @@ StatusOr<std::optional<TraceEvent>> ParseLine(const std::string& line) {
   } else if (kind == "commit") {
     e.kind = TraceEventKind::kCommit;
     ok = static_cast<bool>(fields >> e.parent);
+  } else if (kind == "commit_through") {
+    e.kind = TraceEventKind::kCommitThrough;
+    ok = static_cast<bool>(fields >> e.a);
   } else {
     return Status::InvalidArgument(StrCat("unknown record kind '", kind, "'"));
   }
@@ -96,6 +99,8 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "intra_strong";
     case TraceEventKind::kCommit:
       return "commit";
+    case TraceEventKind::kCommitThrough:
+      return "commit_through";
   }
   return "unknown";
 }
@@ -123,6 +128,8 @@ std::string FormatTraceEvent(const TraceEvent& e) {
       return StrCat(kind, " ", e.parent, " ", e.a, " ", e.b);
     case TraceEventKind::kCommit:
       return StrCat(kind, " ", e.parent);
+    case TraceEventKind::kCommitThrough:
+      return StrCat(kind, " ", e.a);
   }
   return kind;
 }
@@ -192,6 +199,7 @@ Status ApplyTraceEvent(CompositeSystem& cs, const TraceEvent& e) {
     case TraceEventKind::kIntraStrong:
       return cs.AddIntraStrong(NodeId(e.parent), NodeId(e.a), NodeId(e.b));
     case TraceEventKind::kCommit:
+    case TraceEventKind::kCommitThrough:
       return Status::OK();
   }
   return Status::InvalidArgument("unknown event kind");

@@ -29,6 +29,11 @@ enum class TraceEventKind : uint8_t {
   kIntraWeak,     // intra_weak <txn> <a> <b>
   kIntraStrong,   // intra_strong <txn> <a> <b>
   kCommit,        // commit <root>
+  kCommitThrough, // commit_through <k>: every root with creation index < k
+                  // is committed.  A cumulative watermark form of kCommit,
+                  // counted in root-creation order so the value survives
+                  // SaveTrace round trips (which reorder relation events
+                  // but preserve node creation order).
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -41,7 +46,7 @@ struct TraceEvent {
   std::string name;                  // kSchedule/kRoot/kSub/kLeaf
   uint32_t schedule = kInvalidIndex; // kRoot/kSub/kWeakInput/kStrongInput
   uint32_t parent = kInvalidIndex;   // kSub/kLeaf parent; kIntra* txn; kCommit root
-  uint32_t a = kInvalidIndex;        // first pair member
+  uint32_t a = kInvalidIndex;        // first pair member; kCommitThrough watermark
   uint32_t b = kInvalidIndex;        // second pair member
 };
 

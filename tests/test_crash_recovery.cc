@@ -294,5 +294,238 @@ TEST(CrashRecoveryDrill, RandomizedKillsLoseNothingAndReplayExactly) {
   }
 }
 
+/// Streaming-window chain with trailing commit_through watermarks — the
+/// long-lived-session shape of DESIGN.md §13 (same stream comptx_load
+/// --commit-window and bench_longsession produce).  Every root conflicts
+/// with (and is weak-output-ordered after) its predecessor's leaf; one
+/// cumulative watermark per `window` roots lags the stream by `window`.
+std::vector<workload::TraceEvent> ChainEvents(uint32_t roots,
+                                              uint32_t window) {
+  using workload::TraceEvent;
+  using workload::TraceEventKind;
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSchedule;
+  e.name = "S";
+  events.push_back(e);
+  uint32_t next_id = 0;
+  uint32_t prev_leaf = kInvalidIndex;
+  for (uint32_t i = 0; i < roots; ++i) {
+    e = {};
+    e.kind = TraceEventKind::kRoot;
+    e.schedule = 0;
+    e.name = StrCat("T", i);
+    events.push_back(e);
+    const uint32_t root = next_id++;
+    e = {};
+    e.kind = TraceEventKind::kLeaf;
+    e.parent = root;
+    e.name = StrCat("x", i);
+    events.push_back(e);
+    const uint32_t leaf = next_id++;
+    if (prev_leaf != kInvalidIndex) {
+      e = {};
+      e.kind = TraceEventKind::kConflict;
+      e.a = prev_leaf;
+      e.b = leaf;
+      events.push_back(e);
+      e.kind = TraceEventKind::kWeakOutput;
+      events.push_back(e);
+    }
+    prev_leaf = leaf;
+    if ((i + 1) % window == 0 && i + 1 > window) {
+      e = {};
+      e.kind = TraceEventKind::kCommitThrough;
+      e.a = i + 1 - window;
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+/// Watermark variant of the drill: the stream carries commit_through
+/// events, so the WAL holds kCommitWatermark records and recovery replays
+/// only the live suffix of derived state — yet must reach exactly the
+/// verdict of a full (unpruned) replay and of the batch oracle.
+TEST(CrashRecoveryDrill, WatermarkedSessionsReplayLiveSuffixOnly) {
+  const size_t iterations = std::max<size_t>(1, (Iterations() + 3) / 4);
+  constexpr uint32_t kRoots = 240;
+  constexpr uint32_t kWindow = 8;
+  // Live derived state is O(window): a window of unsealed roots (2 nodes
+  // each) plus the not-yet-covered tail; 6x headroom, same bound the soak
+  // test enforces.  A recovery that replays the full history unpruned
+  // holds ~2*kRoots nodes and trips this immediately.
+  constexpr size_t kLiveBound = 6 * (kWindow + 1) * 2;
+  const std::vector<workload::TraceEvent> events =
+      ChainEvents(kRoots, kWindow);
+  const size_t first_watermark = [&] {
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == workload::TraceEventKind::kCommitThrough)
+        return i;
+    }
+    return events.size();
+  }();
+
+  size_t kills_before_finish = 0;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    SCOPED_TRACE(StrCat("iteration ", iter));
+    Rng rng(0xF10A7ull * (iter + 1));
+    const fs::path dir = Scratch() / StrCat("wm_iter_", iter);
+    const fs::path data = dir / "data";
+    const fs::path port_file = dir / "port.txt";
+    fs::create_directories(dir);
+
+    const uint64_t kill_delay_ms =
+        rng.UniformInt(10) + (iter % 5 == 4 ? 100 : 0);
+    const char* fsync = (iter % 2 == 0) ? "always" : "none";
+    // WAL-only on odd iterations so the kCommitWatermark records are
+    // still in the log when we read it back (snapshots compact them into
+    // the sealed-roots state).
+    const uint64_t snapshot_events = (iter % 2 == 0) ? 64 : 0;
+
+    const pid_t pid = SpawnServer(
+        {"--port", "0", "--port-file", port_file.string(), "--data-dir",
+         data.string(), "--fsync", fsync, "--fsync-interval-ms", "1",
+         "--snapshot-events", StrCat(snapshot_events), "--workers", "2"});
+    ASSERT_GT(pid, 0);
+    const int port = AwaitPort(port_file, pid);
+    ASSERT_GT(port, 0) << "server did not come up";
+    service::Endpoint endpoint;
+    endpoint.port = port;
+
+    StreamState stream;
+    stream.events = events;
+    {
+      auto control = service::ServiceClient::Dial(endpoint);
+      ASSERT_TRUE(control.ok()) << control.status().ToString();
+      auto id = control->Open("epoch_interval=16");
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      stream.id = *id;
+    }
+    std::atomic<bool> killed{false};
+    std::thread appender([&endpoint, &killed, &stream] {
+      auto client = service::ServiceClient::Dial(endpoint);
+      if (!client.ok()) return;
+      size_t cursor = 0;
+      while (cursor < stream.events.size()) {
+        const size_t n = std::min<size_t>(8, stream.events.size() - cursor);
+        std::vector<workload::TraceEvent> batch(
+            stream.events.begin() + cursor,
+            stream.events.begin() + cursor + n);
+        auto queued = client->Append(stream.id, batch);
+        if (!queued.ok()) {
+          EXPECT_TRUE(killed.load()) << queued.status().ToString();
+          return;
+        }
+        cursor += n;
+        stream.acked.store(cursor, std::memory_order_release);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_delay_ms));
+    killed.store(true);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    appender.join();
+    int wait_status = 0;
+    ASSERT_EQ(::waitpid(pid, &wait_status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+    const size_t acked = stream.acked.load(std::memory_order_acquire);
+    if (acked < stream.events.size()) ++kills_before_finish;
+
+    // ---- offline: watermark records are durable, and the rebuilt
+    // session holds only the live window of derived state.
+    auto state = durability::ReadSessionDurableState(data.string(),
+                                                     stream.id);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    ASSERT_GE(state->event_seq, acked);
+    ASSERT_LE(state->event_seq, stream.events.size());
+    if (snapshot_events == 0 && state->event_seq > first_watermark) {
+      size_t watermark_records = 0;
+      uint64_t highest = 0;
+      for (const auto& record : state->wal_records) {
+        if (record.type == durability::WalRecordType::kCommitWatermark) {
+          ++watermark_records;
+          highest = std::max(highest, record.commit_through);
+        }
+      }
+      EXPECT_GT(watermark_records, 0u)
+          << "durable stream passed a commit_through but the WAL holds no "
+          << "kCommitWatermark record";
+      EXPECT_GT(highest, 0u);
+      EXPECT_LE(highest, kRoots);
+    }
+    auto certifier = durability::RebuildCertifier(
+        *state, online::CertifierOptions{});
+    ASSERT_TRUE(certifier.ok()) << certifier.status().ToString();
+    ASSERT_TRUE(
+        durability::VerifyRecovery(**certifier, state->event_seq).ok());
+    const online::CertifierStats stats = (*certifier)->Stats();
+    EXPECT_LE(stats.live_nodes, kLiveBound)
+        << "recovery replayed more than the live suffix (event_seq="
+        << state->event_seq << ", watermark=" << stats.commit_watermark
+        << ")";
+    // Snapshot restore re-seals through synthesized commits, so the
+    // watermark counter itself only survives when the kCommitWatermark
+    // records are still in the WAL suffix.
+    if (snapshot_events == 0 && state->event_seq > first_watermark) {
+      EXPECT_GT(stats.commit_watermark, 0u);
+    }
+    // Same verdict as a full unpruned replay of the durable prefix, and
+    // as the batch oracle.
+    const std::vector<workload::TraceEvent> prefix(
+        stream.events.begin(), stream.events.begin() + state->event_seq);
+    online::CertifierOptions unpruned_options;
+    unpruned_options.auto_prune = false;
+    unpruned_options.epoch_interval = 0;
+    online::Certifier unpruned(unpruned_options);
+    for (const auto& event : prefix) {
+      ASSERT_TRUE(unpruned.Ingest(event).ok());
+    }
+    EXPECT_EQ((*certifier)->Certifiable(), unpruned.Certifiable());
+    EXPECT_EQ((*certifier)->Certifiable(), BatchVerdict(prefix));
+
+    // ---- online: restart, finish the stream, uninterrupted verdict.
+    fs::remove(port_file);
+    const pid_t pid2 = SpawnServer(
+        {"--port", "0", "--port-file", port_file.string(), "--data-dir",
+         data.string(), "--fsync", fsync, "--snapshot-events",
+         StrCat(snapshot_events), "--verify-recovery", "--workers", "2"});
+    ASSERT_GT(pid2, 0);
+    const int port2 = AwaitPort(port_file, pid2);
+    ASSERT_GT(port2, 0) << "restart failed (recovery refused?)";
+    endpoint.port = port2;
+    auto control = service::ServiceClient::Dial(endpoint);
+    ASSERT_TRUE(control.ok()) << control.status().ToString();
+    auto verdict = control->Query(stream.id);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    const uint64_t recovered =
+        verdict->events_accepted + verdict->events_rejected;
+    ASSERT_GE(recovered, acked);
+    ASSERT_LE(recovered, stream.events.size());
+    for (size_t cursor = recovered; cursor < stream.events.size();) {
+      const size_t n = std::min<size_t>(8, stream.events.size() - cursor);
+      std::vector<workload::TraceEvent> batch(
+          stream.events.begin() + cursor, stream.events.begin() + cursor + n);
+      ASSERT_TRUE(control->Append(stream.id, batch).ok());
+      cursor += n;
+    }
+    auto final_verdict = control->Close(stream.id);
+    ASSERT_TRUE(final_verdict.ok()) << final_verdict.status().ToString();
+    EXPECT_TRUE(final_verdict->certifiable);  // the chain is Comp-C
+    EXPECT_EQ(final_verdict->events_accepted + final_verdict->events_rejected,
+              stream.events.size());
+    ASSERT_TRUE(control->Shutdown().ok());
+    ASSERT_EQ(::waitpid(pid2, &wait_status, 0), pid2);
+    ASSERT_TRUE(WIFEXITED(wait_status));
+    ASSERT_EQ(WEXITSTATUS(wait_status), 0);
+    EXPECT_TRUE(durability::ListDurableSessionIds(data.string()).empty());
+    fs::remove_all(dir);
+  }
+  if (iterations >= 8) {
+    EXPECT_GE(kills_before_finish, iterations / 4)
+        << "kill delays never caught the load mid-flight; tighten them";
+  }
+}
+
 }  // namespace
 }  // namespace comptx

@@ -1,0 +1,607 @@
+// Long-lived session suite (ctest label `online`): proves the O(window)
+// hot-path claims of DESIGN.md §13 at the certifier layer.
+//
+//   * commit_through watermark semantics: text + wire round trips, exact
+//     equivalence with the corresponding kCommit sequence, monotonicity,
+//     and rejection of watermarks past the created-root count;
+//   * IngestBatch equivalence: arbitrary batch splits produce the same
+//     per-event statuses, verdicts and stats as sequential Ingest;
+//   * MonotonicArena unit behavior (the allocator behind batch mode);
+//   * the 500-trace property sweep: a pruned certifier (watermarks
+//     interleaved at safe positions) stays prefix-identical to an
+//     unpruned certifier and to analysis::BatchPrefixVerdicts, with
+//     seed + workload-spec repro strings on failure;
+//   * the soak: a 1M-event streaming-window session (10M under
+//     COMPTX_SOAK=1, the nightly ASan job) with live-node count bounded
+//     by the window, RSS growth bounded per event, and sampled-prefix
+//     verdicts equal to the batch oracle at oracle-feasible scales.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "core/correctness.h"
+#include "online/certifier.h"
+#include "service/protocol.h"
+#include "util/arena.h"
+#include "util/string_util.h"
+#include "workload/trace.h"
+#include "workload/workload_spec.h"
+
+namespace comptx::online {
+namespace {
+
+ReductionOptions BatchPrefixOptions() {
+  ReductionOptions options;
+  options.validate = false;
+  options.keep_fronts = false;
+  options.forgetting = true;
+  return options;
+}
+
+std::vector<workload::TraceEvent> GeneratedEvents(
+    const workload::WorkloadSpec& spec, uint64_t seed) {
+  auto cs = workload::GenerateSystem(spec, seed);
+  EXPECT_TRUE(cs.ok()) << cs.status().ToString();
+  auto text = workload::SaveTrace(*cs);
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  auto events = workload::ParseTraceEvents(*text);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  return std::move(events).value();
+}
+
+/// Interleaves cumulative commit_through watermarks (one per `window`
+/// roots) at the earliest position where no later event references the
+/// covered roots' subtrees — the same placement rule comptx_load's
+/// --commit-window uses, and the only placement that cannot turn a
+/// later event into a sealed-subtree rejection.
+std::vector<workload::TraceEvent> InterleaveWatermarks(
+    const std::vector<workload::TraceEvent>& events, size_t window) {
+  std::vector<size_t> node_root;   // node index -> root ordinal
+  std::vector<size_t> last_touch;  // root ordinal -> last event index
+  auto touch = [&](uint32_t node, size_t i) {
+    if (node < node_root.size()) last_touch[node_root[node]] = i;
+  };
+  for (size_t i = 0; i < events.size(); ++i) {
+    const workload::TraceEvent& e = events[i];
+    switch (e.kind) {
+      case workload::TraceEventKind::kRoot:
+        node_root.push_back(last_touch.size());
+        last_touch.push_back(i);
+        break;
+      case workload::TraceEventKind::kSub:
+      case workload::TraceEventKind::kLeaf:
+        if (e.parent < node_root.size()) {
+          node_root.push_back(node_root[e.parent]);
+          last_touch[node_root.back()] = i;
+        }
+        break;
+      case workload::TraceEventKind::kIntraWeak:
+      case workload::TraceEventKind::kIntraStrong:
+        touch(e.parent, i);
+        touch(e.a, i);
+        touch(e.b, i);
+        break;
+      case workload::TraceEventKind::kConflict:
+      case workload::TraceEventKind::kWeakOutput:
+      case workload::TraceEventKind::kStrongOutput:
+      case workload::TraceEventKind::kWeakInput:
+      case workload::TraceEventKind::kStrongInput:
+        touch(e.a, i);
+        touch(e.b, i);
+        break;
+      case workload::TraceEventKind::kCommit:
+        touch(e.parent, i);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<std::pair<size_t, uint64_t>> inserts;  // (after index, k)
+  size_t horizon = 0;
+  for (size_t k = window; k <= last_touch.size(); k += window) {
+    for (size_t r = k - window; r < k; ++r) {
+      horizon = std::max(horizon, last_touch[r]);
+    }
+    inserts.emplace_back(horizon, static_cast<uint64_t>(k));
+  }
+  std::vector<workload::TraceEvent> out;
+  out.reserve(events.size() + inserts.size());
+  size_t next = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    out.push_back(events[i]);
+    while (next < inserts.size() && inserts[next].first == i) {
+      workload::TraceEvent mark;
+      mark.kind = workload::TraceEventKind::kCommitThrough;
+      mark.a = static_cast<uint32_t>(inserts[next].second);
+      out.push_back(mark);
+      ++next;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- watermark semantics
+
+TEST(CommitThrough, TextAndWireRoundTrips) {
+  workload::TraceEvent mark;
+  mark.kind = workload::TraceEventKind::kCommitThrough;
+  mark.a = 12345;
+
+  // Trace text format.
+  const std::string line = workload::FormatTraceEvent(mark);
+  EXPECT_EQ(line, "commit_through 12345");
+  auto parsed = workload::ParseTraceEvents("comptx-trace v1\n" + line +
+                                           "\nend\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->front().kind, workload::TraceEventKind::kCommitThrough);
+  EXPECT_EQ(parsed->front().a, 12345u);
+
+  // Both wire protocols, through the real frame codec.
+  for (service::WireProtocol protocol :
+       {service::WireProtocol::kV1, service::WireProtocol::kV2}) {
+    service::Request append;
+    append.kind = service::CommandKind::kAppend;
+    append.session = 7;
+    append.events.push_back(mark);
+    const std::string bytes = service::EncodeRequestFrame(protocol, append);
+    service::FrameParser reader;
+    reader.Feed(bytes.data(), bytes.size());
+    service::WireFrame frame;
+    auto have = reader.Next(frame);
+    ASSERT_TRUE(have.ok() && *have) << static_cast<int>(protocol);
+    auto decoded = service::DecodeRequestFrame(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded->events.size(), 1u);
+    EXPECT_EQ(decoded->events[0].kind,
+              workload::TraceEventKind::kCommitThrough);
+    EXPECT_EQ(decoded->events[0].a, 12345u);
+  }
+}
+
+TEST(CommitThrough, EqualsExplicitCommitSequence) {
+  // On random traces, a trailing commit_through K must leave the
+  // certifier in the same observable state as committing the first K
+  // roots explicitly: same verdict, same seal/prune counters, same
+  // witness.
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.topology.kind = workload::TopologyKind::kLayeredDag;
+    spec.topology.depth = 2 + static_cast<uint32_t>(seed % 2);
+    spec.topology.branches = 2;
+    spec.topology.roots = 3;
+    spec.topology.fanout = 2;
+    spec.execution.conflict_prob = 0.3;
+    const auto events = GeneratedEvents(spec, 9000 + seed);
+    ASSERT_FALSE(events.empty());
+
+    Certifier by_watermark;
+    Certifier by_commits;
+    std::vector<NodeId> roots;
+    for (const auto& event : events) {
+      (void)by_watermark.Ingest(event);
+      (void)by_commits.Ingest(event);
+    }
+    roots = by_commits.system().Roots();
+    const uint64_t k = roots.size() - 1;  // leave one root live
+
+    workload::TraceEvent mark;
+    mark.kind = workload::TraceEventKind::kCommitThrough;
+    mark.a = static_cast<uint32_t>(k);
+    ASSERT_TRUE(by_watermark.Ingest(mark).ok()) << "seed " << seed;
+    for (uint64_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(by_commits.Commit(roots[i]).ok()) << "seed " << seed;
+    }
+    by_watermark.Prune();
+    by_commits.Prune();
+
+    EXPECT_EQ(by_watermark.Certifiable(), by_commits.Certifiable())
+        << "seed " << seed;
+    const CertifierStats a = by_watermark.Stats();
+    const CertifierStats b = by_commits.Stats();
+    EXPECT_EQ(a.sealed_roots, b.sealed_roots) << "seed " << seed;
+    EXPECT_EQ(a.pruned_nodes, b.pruned_nodes) << "seed " << seed;
+    EXPECT_EQ(a.live_nodes, b.live_nodes) << "seed " << seed;
+    EXPECT_EQ(by_watermark.SerialWitness(), by_commits.SerialWitness())
+        << "seed " << seed;
+    // Only the watermark session reports a watermark; explicit commits
+    // do not move it.
+    EXPECT_EQ(a.commit_watermark, k) << "seed " << seed;
+    EXPECT_EQ(b.commit_watermark, 0u) << "seed " << seed;
+  }
+}
+
+TEST(CommitThrough, RejectsWatermarkPastCreatedRoots) {
+  Certifier certifier;
+  workload::TraceEvent e;
+  e.kind = workload::TraceEventKind::kSchedule;
+  e.name = "S";
+  ASSERT_TRUE(certifier.Ingest(e).ok());
+  e = {};
+  e.kind = workload::TraceEventKind::kRoot;
+  e.schedule = 0;
+  e.name = "T";
+  ASSERT_TRUE(certifier.Ingest(e).ok());
+
+  workload::TraceEvent mark;
+  mark.kind = workload::TraceEventKind::kCommitThrough;
+  mark.a = 2;  // only one root exists
+  EXPECT_FALSE(certifier.Ingest(mark).ok());
+  EXPECT_EQ(certifier.Stats().commit_watermark, 0u);
+
+  mark.a = 1;
+  EXPECT_TRUE(certifier.Ingest(mark).ok());
+  EXPECT_EQ(certifier.Stats().commit_watermark, 1u);
+  EXPECT_EQ(certifier.Stats().sealed_roots, 1u);
+
+  // Watermarks are cumulative and monotone: replaying an older (or the
+  // same) one is an accepted no-op.
+  mark.a = 0;
+  EXPECT_TRUE(certifier.Ingest(mark).ok());
+  EXPECT_EQ(certifier.Stats().commit_watermark, 1u);
+  EXPECT_EQ(certifier.Stats().sealed_roots, 1u);
+}
+
+// ------------------------------------------------ batch-path equivalence
+
+TEST(IngestBatch, MatchesSequentialIngestOnRandomTraces) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.topology.kind = (seed % 2 == 0) ? workload::TopologyKind::kLayeredDag
+                                         : workload::TopologyKind::kFork;
+    spec.topology.depth = 2 + static_cast<uint32_t>(seed % 2);
+    spec.topology.branches = 2;
+    spec.topology.roots = 2 + static_cast<uint32_t>(seed % 3);
+    spec.topology.fanout = 2;
+    spec.execution.conflict_prob = 0.3;
+    spec.execution.disorder_prob = (seed % 2 == 0) ? 0.0 : 0.3;
+    auto events = GeneratedEvents(spec, 4200 + seed);
+    // Watermarks in the middle of the batch exercise the deferred-prune
+    // epilogue.
+    events = InterleaveWatermarks(events, 2);
+    const std::string repro =
+        StrCat(workload::DescribeWorkloadSpec(spec), " seed=", 4200 + seed);
+
+    Certifier sequential;
+    std::vector<bool> expected_ok;
+    std::vector<bool> expected_verdict;
+    for (const auto& event : events) {
+      expected_ok.push_back(sequential.Ingest(event).ok());
+      expected_verdict.push_back(sequential.Certifiable());
+    }
+
+    // Split the same stream into batches of varying size (the seed picks
+    // the split), including batches holding the whole stream.
+    const size_t batch_size = 1 + (seed % 2 == 0 ? seed % 7 : events.size());
+    Certifier batched;
+    size_t cursor = 0;
+    while (cursor < events.size()) {
+      const size_t n = std::min(batch_size, events.size() - cursor);
+      std::vector<workload::TraceEvent> chunk(events.begin() + cursor,
+                                              events.begin() + cursor + n);
+      std::vector<Status> statuses;
+      const size_t rejected = batched.IngestBatch(chunk, &statuses);
+      ASSERT_EQ(statuses.size(), n) << repro;
+      size_t rejected_expected = 0;
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(statuses[i].ok(), !!expected_ok[cursor + i])
+            << repro << " event " << cursor + i << ": "
+            << statuses[i].ToString();
+        if (!expected_ok[cursor + i]) ++rejected_expected;
+      }
+      EXPECT_EQ(rejected, rejected_expected) << repro;
+      cursor += n;
+    }
+
+    EXPECT_EQ(batched.Certifiable(), expected_verdict.back()) << repro;
+    const CertifierStats a = batched.Stats();
+    const CertifierStats b = sequential.Stats();
+    EXPECT_EQ(a.events_accepted, b.events_accepted) << repro;
+    EXPECT_EQ(a.events_rejected, b.events_rejected) << repro;
+    EXPECT_EQ(a.sealed_roots, b.sealed_roots) << repro;
+    EXPECT_EQ(a.pruned_nodes, b.pruned_nodes) << repro;
+    EXPECT_EQ(a.live_nodes, b.live_nodes) << repro;
+    // The witness is *a* valid serial order of the live roots, not a
+    // canonical one — batch edge flushing may break Pearce-Kelly ties
+    // differently — so compare the root sets, not the sequences.
+    std::vector<NodeId> wa = batched.SerialWitness();
+    std::vector<NodeId> wb = sequential.SerialWitness();
+    auto by_index = [](NodeId x, NodeId y) { return x.index() < y.index(); };
+    std::sort(wa.begin(), wa.end(), by_index);
+    std::sort(wb.begin(), wb.end(), by_index);
+    EXPECT_EQ(wa, wb) << repro;
+  }
+}
+
+// ---------------------------------------------------------- arena unit
+
+TEST(MonotonicArena, ReusesCapacityAcrossResets) {
+  MonotonicArena arena;
+  EXPECT_EQ(arena.UsedBytes(), 0u);
+  void* first = arena.Allocate(64, 8);
+  ASSERT_NE(first, nullptr);
+  EXPECT_GE(arena.UsedBytes(), 64u);
+  const size_t capacity_after_growth = [&] {
+    for (int i = 0; i < 1000; ++i) arena.Allocate(128, 8);
+    return arena.CapacityBytes();
+  }();
+  arena.Reset();
+  EXPECT_EQ(arena.UsedBytes(), 0u);
+  // Reset keeps the chunks: steady-state allocation must not grow.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 1000; ++i) arena.Allocate(128, 8);
+    EXPECT_EQ(arena.CapacityBytes(), capacity_after_growth)
+        << "round " << round;
+    arena.Reset();
+  }
+  arena.Release();
+  EXPECT_EQ(arena.CapacityBytes(), 0u);
+}
+
+TEST(MonotonicArena, AlignsAndServesOversizedBlocks) {
+  MonotonicArena arena;
+  // The arena's contract tops out at new[] alignment (fresh chunk bases
+  // are not over-aligned), which covers every POD the certifier stores.
+  for (size_t align : {size_t{1}, size_t{2}, size_t{8},
+                       alignof(std::max_align_t)}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+  }
+  // Larger than any chunk the arena would grow to on its own.
+  void* big = arena.Allocate(1 << 22, 16);
+  ASSERT_NE(big, nullptr);
+  memset(big, 0xAB, 1 << 22);
+
+  std::vector<int, ArenaAllocator<int>> vec{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 10000; ++i) vec.push_back(i);
+  EXPECT_EQ(vec[9999], 9999);
+}
+
+// ----------------------------------------------------- property sweep
+
+/// The 500-trace sweep: pruned (safe interleaved watermarks, aggressive
+/// epoch cadence) and unpruned certifier verdicts are prefix-identical
+/// to each other and to the batch oracle after every accepted event.
+TEST(LongSessionProperty, PrunedVerdictsPrefixIdenticalToOracle) {
+  const std::vector<workload::TopologyKind> kinds = {
+      workload::TopologyKind::kStack,
+      workload::TopologyKind::kFork,
+      workload::TopologyKind::kJoin,
+      workload::TopologyKind::kLayeredDag,
+  };
+  size_t traces = 0;
+  uint64_t pruned_nodes_total = 0;
+  for (workload::TopologyKind kind : kinds) {
+    for (uint64_t seed = 0; seed < 125; ++seed) {
+      workload::WorkloadSpec spec;
+      spec.topology.kind = kind;
+      spec.topology.depth = 2 + static_cast<uint32_t>(seed % 2);
+      spec.topology.branches = 2;
+      spec.topology.roots = 2 + static_cast<uint32_t>(seed % 3);
+      spec.topology.fanout = 2;
+      spec.execution.conflict_prob = 0.3;
+      spec.execution.disorder_prob = (seed % 2 == 0) ? 0.0 : 0.3;
+      const uint64_t full_seed = 77000 + seed * 4 + uint64_t(kind);
+      const std::string repro =
+          StrCat(workload::DescribeWorkloadSpec(spec), " seed=", full_seed);
+
+      const auto raw = GeneratedEvents(spec, full_seed);
+      ASSERT_FALSE(raw.empty()) << repro;
+
+      // Accepted subsequence via an unpruned reference session, with its
+      // per-accepted-event verdicts.
+      CertifierOptions unpruned_options;
+      unpruned_options.auto_prune = false;
+      unpruned_options.epoch_interval = 0;
+      Certifier unpruned(unpruned_options);
+      std::vector<workload::TraceEvent> accepted;
+      std::vector<bool> unpruned_verdicts;
+      for (const auto& event : raw) {
+        if (!unpruned.Ingest(event).ok()) continue;
+        accepted.push_back(event);
+        unpruned_verdicts.push_back(unpruned.Certifiable());
+      }
+
+      auto oracle = analysis::BatchPrefixVerdicts(accepted,
+                                                  BatchPrefixOptions());
+      ASSERT_TRUE(oracle.ok()) << repro << ": " << oracle.status().ToString();
+      ASSERT_EQ(oracle->size(), accepted.size()) << repro;
+      for (size_t i = 0; i < accepted.size(); ++i) {
+        ASSERT_EQ(!!unpruned_verdicts[i], !!(*oracle)[i])
+            << repro << ": unpruned diverges from oracle after accepted "
+            << "event " << i + 1 << " ("
+            << workload::FormatTraceEvent(accepted[i]) << ")";
+      }
+
+      // Pruned session: watermark every other root, epoch cadence of one
+      // event, so sealing + pruning interleave as densely as possible.
+      CertifierOptions pruned_options;
+      pruned_options.auto_prune = true;
+      pruned_options.epoch_interval = 1;
+      Certifier pruned(pruned_options);
+      const auto marked = InterleaveWatermarks(accepted, 2);
+      size_t accepted_index = 0;
+      for (const auto& event : marked) {
+        Status status = pruned.Ingest(event);
+        ASSERT_TRUE(status.ok())
+            << repro << ": pruned session rejected "
+            << workload::FormatTraceEvent(event) << ": " << status.ToString();
+        if (event.kind == workload::TraceEventKind::kCommitThrough) continue;
+        ASSERT_EQ(pruned.Certifiable(), !!(*oracle)[accepted_index])
+            << repro << ": pruned diverges from oracle after accepted event "
+            << accepted_index + 1 << " ("
+            << workload::FormatTraceEvent(event) << ")";
+        ++accepted_index;
+      }
+      ASSERT_EQ(accepted_index, accepted.size()) << repro;
+      pruned_nodes_total += pruned.Stats().pruned_nodes;
+      ++traces;
+    }
+  }
+  EXPECT_EQ(traces, 500u);
+  // The sweep must actually exercise pruning, not just tolerate it.
+  EXPECT_GT(pruned_nodes_total, 0u);
+}
+
+// -------------------------------------------------------------- soak
+
+uint64_t ReadVmRssBytes() {
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmRSS:") {
+      uint64_t kb = 0;
+      in >> kb;
+      return kb * 1024;
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return 0;
+}
+
+/// Streaming-window chain: roots forever, each conflicting with (and
+/// weak-output-ordered after) its predecessor's leaf, one cumulative
+/// watermark per `window` roots lagging the stream by `window`.  Same
+/// shape as bench_longsession (E15) and comptx_load --commit-window.
+class WindowStream {
+ public:
+  explicit WindowStream(uint32_t window) : window_(window) {}
+
+  void NextRoot(std::vector<workload::TraceEvent>& out) {
+    using workload::TraceEvent;
+    using workload::TraceEventKind;
+    TraceEvent e;
+    if (roots_ == 0) {
+      e.kind = TraceEventKind::kSchedule;
+      e.name = "S";
+      out.push_back(e);
+    }
+    e = {};
+    e.kind = TraceEventKind::kRoot;
+    e.schedule = 0;
+    e.name = "T" + std::to_string(roots_);
+    out.push_back(e);
+    const uint32_t root = next_id_++;
+    e = {};
+    e.kind = TraceEventKind::kLeaf;
+    e.parent = root;
+    e.name = "x" + std::to_string(roots_);
+    out.push_back(e);
+    const uint32_t leaf = next_id_++;
+    if (prev_leaf_ != kInvalidIndex) {
+      e = {};
+      e.kind = TraceEventKind::kConflict;
+      e.a = prev_leaf_;
+      e.b = leaf;
+      out.push_back(e);
+      e.kind = TraceEventKind::kWeakOutput;
+      out.push_back(e);
+    }
+    prev_leaf_ = leaf;
+    ++roots_;
+    if (roots_ % window_ == 0 && roots_ > window_) {
+      e = {};
+      e.kind = TraceEventKind::kCommitThrough;
+      e.a = roots_ - window_;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  const uint32_t window_;
+  uint64_t roots_ = 0;
+  uint32_t next_id_ = 0;
+  uint32_t prev_leaf_ = kInvalidIndex;
+};
+
+TEST(LongSessionSoak, MillionEventWindowStaysFlatAndAgreesWithOracle) {
+  // 1M events by default; COMPTX_SOAK=1 (the nightly ASan job) runs the
+  // full 10M-event version.
+  const bool soak = [] {
+    const char* env = std::getenv("COMPTX_SOAK");
+    return env != nullptr && env[0] == '1';
+  }();
+  const uint64_t total_events = soak ? 10'000'000ull : 1'000'000ull;
+  constexpr uint32_t kWindow = 32;   // roots per watermark
+  constexpr size_t kBatch = 256;     // service drain-worker batch size
+  // The live window holds kWindow roots of 2 nodes each plus up to a
+  // window of not-yet-sealed successors; 6x is comfortable headroom
+  // whose violation still means "live state scales with history".
+  constexpr uint64_t kLiveBound = 6ull * (kWindow + 1) * 2;
+
+  const uint64_t rss_before = ReadVmRssBytes();
+
+  Certifier certifier;  // defaults: forgetting, auto_prune, epoch cadence
+  WindowStream stream(kWindow);
+  CompositeSystem mirror;  // batch-oracle mirror of accepted events
+  std::vector<uint64_t> oracle_samples = {1000, 4000, 16000};
+  size_t next_sample = 0;
+  uint64_t ingested = 0;
+  uint64_t live_high_water = 0;
+  std::vector<workload::TraceEvent> chunk;
+  while (ingested < total_events) {
+    chunk.clear();
+    while (chunk.size() < kBatch) stream.NextRoot(chunk);
+    const size_t rejected = certifier.IngestBatch(chunk);
+    ASSERT_EQ(rejected, 0u) << "after ~" << ingested << " events";
+    // The mirror stays cheap: ApplyTraceEvent only, no per-event check.
+    for (const auto& event : chunk) {
+      ASSERT_TRUE(workload::ApplyTraceEvent(mirror, event).ok());
+    }
+    ingested += chunk.size();
+
+    if (ingested % (64 * kBatch) < kBatch) {
+      const CertifierStats stats = certifier.Stats();
+      live_high_water = std::max<uint64_t>(live_high_water, stats.live_nodes);
+      ASSERT_LE(stats.live_nodes, kLiveBound)
+          << "live state grew past the window after " << ingested
+          << " events (pruned=" << stats.pruned_nodes << ")";
+      ASSERT_TRUE(certifier.Certifiable()) << "after " << ingested;
+    }
+    // Sampled-prefix oracle agreement, at scales where the quadratic
+    // batch check is still feasible.
+    if (next_sample < oracle_samples.size() &&
+        ingested >= oracle_samples[next_sample]) {
+      auto batch = CheckCompC(mirror, BatchPrefixOptions());
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      ASSERT_EQ(certifier.Certifiable(), batch->correct)
+          << "oracle disagreement at " << ingested << " events";
+      ++next_sample;
+    }
+  }
+  ASSERT_EQ(next_sample, oracle_samples.size());
+
+  const CertifierStats stats = certifier.Stats();
+  EXPECT_TRUE(certifier.Certifiable());
+  EXPECT_GT(stats.prune_passes, 0u);
+  EXPECT_GT(stats.commit_watermark, 0u);
+  // Nearly the whole history must have been reclaimed.
+  EXPECT_GT(stats.pruned_nodes, (ingested / 4) * 2 * 9 / 10);
+  EXPECT_LE(live_high_water, kLiveBound);
+
+  // Memory high-water: the certifier's derived state is O(window); only
+  // the append-only CompositeSystem (ours and the mirror's) grows with
+  // the stream, at a small constant per event.  A super-linear structure
+  // (or an unpruned graph) blows through this immediately.
+  const uint64_t rss_after = ReadVmRssBytes();
+  if (rss_before > 0 && rss_after > rss_before) {
+    const uint64_t growth = rss_after - rss_before;
+    EXPECT_LT(growth / total_events, 1200u)
+        << "RSS grew " << growth << " bytes over " << total_events
+        << " events";
+  }
+}
+
+}  // namespace
+}  // namespace comptx::online

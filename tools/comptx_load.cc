@@ -9,10 +9,19 @@
 // Usage: comptx_load [--host H] [--port N] [--unix PATH]
 //                    [--sessions N] [--threads N] [--events N] [--batch N]
 //                    [--protocol v1|v2] [--theta Z] [--seed N]
+//                    [--commit-window N]
 //                    [--rate EVENTS_PER_SEC | --rates R1,R2,...]
 //                    [--no-verify] [--json PATH] [--shutdown]
 //                    [--kill-pid P --kill-after N --state PATH]
 //                    [--resume --state PATH]
+//
+//   --commit-window N interleaves commit_through watermark events into
+//   every generated stream: after each N roots, a cumulative watermark
+//   sealing them is inserted at the earliest point where no later event
+//   still references their subtrees.  This is how a long-lived client
+//   drives the server's epoch pruning (the sealed window becomes
+//   reclaimable), and what keeps the per-session live_nodes gauge flat
+//   under sustained load.
 //
 //   --events is the total event budget across all sessions.  The default
 //   loop is closed (each thread appends as fast as the server admits —
@@ -76,6 +85,7 @@ int Usage(int code) {
       << "usage: comptx_load [--host H] [--port N] [--unix PATH]\n"
          "                   [--sessions N] [--threads N] [--events N]\n"
          "                   [--batch N] [--protocol v1|v2] [--theta Z]\n"
+         "                   [--commit-window N]\n"
          "                   [--rate N | --rates R1,R2,...] [--seed N]\n"
          "                   [--no-verify] [--json PATH] [--shutdown]\n"
          "                   [--kill-pid P --kill-after N --state PATH]\n"
@@ -103,6 +113,7 @@ struct LoadOptions {
   size_t batch = 32;
   service::WireProtocol protocol = service::WireProtocol::kV1;
   double theta = 0.8;
+  size_t commit_window = 0;   // roots per commit_through watermark; 0 = none
   double rate = 0;            // open-loop aggregate events/sec; 0 = closed
   std::vector<double> rates;  // latency-under-throughput sweep points
   uint64_t seed = 20260806;
@@ -140,8 +151,87 @@ struct LoadResult {
   size_t mismatches = 0;
 };
 
+/// Interleaves cumulative commit_through watermarks: after every `window`
+/// roots, a watermark sealing them is inserted at the earliest position
+/// where no later event references their subtrees (sealing any earlier
+/// would make the certifier reject those events, diverging from the
+/// offline replay).  SaveTrace batches relation events after creations,
+/// so the safe positions trail the root creations — which is fine: the
+/// watermarks still seal every covered root, so pruning fires.
+std::vector<workload::TraceEvent> InterleaveWatermarks(
+    std::vector<workload::TraceEvent> events, size_t window) {
+  if (window == 0) return events;
+  // Node ids are assigned in creation order, so a running counter maps
+  // each creation event to its NodeId and each node to its root ordinal.
+  std::vector<size_t> node_root;   // node index -> root ordinal
+  std::vector<size_t> last_touch;  // root ordinal -> last event index
+  auto touch = [&](uint32_t node, size_t i) {
+    if (node < node_root.size()) last_touch[node_root[node]] = i;
+  };
+  for (size_t i = 0; i < events.size(); ++i) {
+    const workload::TraceEvent& e = events[i];
+    switch (e.kind) {
+      case workload::TraceEventKind::kRoot:
+        node_root.push_back(last_touch.size());
+        last_touch.push_back(i);
+        break;
+      case workload::TraceEventKind::kSub:
+      case workload::TraceEventKind::kLeaf:
+        if (e.parent < node_root.size()) {
+          node_root.push_back(node_root[e.parent]);
+          last_touch[node_root.back()] = i;
+        }
+        break;
+      case workload::TraceEventKind::kIntraWeak:
+      case workload::TraceEventKind::kIntraStrong:
+        touch(e.parent, i);
+        touch(e.a, i);
+        touch(e.b, i);
+        break;
+      case workload::TraceEventKind::kConflict:
+      case workload::TraceEventKind::kWeakOutput:
+      case workload::TraceEventKind::kStrongOutput:
+      case workload::TraceEventKind::kWeakInput:
+      case workload::TraceEventKind::kStrongInput:
+        touch(e.a, i);
+        touch(e.b, i);
+        break;
+      case workload::TraceEventKind::kCommit:
+        touch(e.parent, i);
+        break;
+      default:
+        break;
+    }
+  }
+  // A watermark covering the first k roots may go after the last event
+  // touching any of them (prefix max of last_touch).
+  std::vector<std::pair<size_t, uint64_t>> inserts;  // (after index, k)
+  size_t horizon = 0;
+  for (size_t k = window; k <= last_touch.size(); k += window) {
+    for (size_t r = k - window; r < k; ++r) {
+      horizon = std::max(horizon, last_touch[r]);
+    }
+    inserts.emplace_back(horizon, static_cast<uint64_t>(k));
+  }
+  std::vector<workload::TraceEvent> out;
+  out.reserve(events.size() + inserts.size());
+  size_t next = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    out.push_back(events[i]);
+    while (next < inserts.size() && inserts[next].first == i) {
+      workload::TraceEvent mark;
+      mark.kind = workload::TraceEventKind::kCommitThrough;
+      mark.a = static_cast<uint32_t>(inserts[next].second);
+      out.push_back(mark);
+      ++next;
+    }
+  }
+  return out;
+}
+
 std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
-                                                        uint64_t seed) {
+                                                        uint64_t seed,
+                                                        size_t commit_window) {
   workload::WorkloadSpec spec;
   spec.topology.kind = workload::TopologyKind::kLayeredDag;
   spec.topology.depth = 3;
@@ -162,7 +252,9 @@ std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
     COMPTX_CHECK(events.ok()) << events.status().ToString();
     if (events->size() >= quota || roots >= 4096) {
       if (events->size() > quota) events->resize(quota);
-      return std::move(events).value();
+      // Watermarks go in after the quota cut so they only cover roots
+      // whose events all made it into the stream.
+      return InterleaveWatermarks(std::move(events).value(), commit_window);
     }
     roots *= 2;
   }
@@ -201,6 +293,7 @@ struct DrillSession {
 struct DrillState {
   uint64_t seed = 0;
   size_t quota = 0;
+  size_t commit_window = 0;
   service::WireProtocol protocol = service::WireProtocol::kV1;
   size_t batch = 32;
   std::vector<DrillSession> sessions;
@@ -213,6 +306,9 @@ bool WriteDrillState(const std::string& path, const DrillState& state) {
       << "quota " << state.quota << "\n"
       << "protocol " << service::WireProtocolToString(state.protocol) << "\n"
       << "batch " << state.batch << "\n";
+  if (state.commit_window != 0) {
+    out << "commit_window " << state.commit_window << "\n";
+  }
   for (const DrillSession& s : state.sessions) {
     out << "session " << s.id << " " << s.planned << " " << s.acked << "\n";
   }
@@ -238,6 +334,8 @@ bool ReadDrillState(const std::string& path, DrillState* state) {
       fields >> state->seed;
     } else if (key == "quota") {
       fields >> state->quota;
+    } else if (key == "commit_window") {
+      fields >> state->commit_window;
     } else if (key == "protocol") {
       std::string name;
       fields >> name;
@@ -282,7 +380,8 @@ int RunResume(const LoadOptions& opt) {
   size_t resumed_events = 0;
   for (size_t i = 0; i < state.sessions.size(); ++i) {
     const DrillSession& s = state.sessions[i];
-    const auto events = GenerateSessionEvents(state.quota, state.seed + i);
+    const auto events =
+        GenerateSessionEvents(state.quota, state.seed + i, state.commit_window);
     if (events.size() != s.planned) {
       std::cerr << "session " << s.id << ": regenerated stream has "
                 << events.size() << " events, state says " << s.planned
@@ -485,6 +584,7 @@ int RunLoad(const LoadOptions& opt, double rate,
     DrillState state;
     state.seed = opt.seed;
     state.quota = std::max<size_t>(1, opt.total_events / opt.sessions);
+    state.commit_window = opt.commit_window;
     state.protocol = opt.protocol;
     state.batch = opt.batch;
     for (auto& w : work) {
@@ -561,13 +661,14 @@ int RunLoad(const LoadOptions& opt, double rate,
 
 std::vector<std::unique_ptr<SessionWork>> GenerateWork(size_t sessions,
                                                        size_t events,
-                                                       uint64_t seed) {
+                                                       uint64_t seed,
+                                                       size_t commit_window) {
   const size_t quota = std::max<size_t>(1, events / sessions);
   std::vector<std::unique_ptr<SessionWork>> work;
   work.reserve(sessions);
   for (size_t s = 0; s < sessions; ++s) {
     auto w = std::make_unique<SessionWork>();
-    w->events = GenerateSessionEvents(quota, seed + s);
+    w->events = GenerateSessionEvents(quota, seed + s, commit_window);
     work.push_back(std::move(w));
   }
   return work;
@@ -614,6 +715,8 @@ int main(int argc, char** argv) {
       opt.protocol = *protocol;
     } else if (arg == "--theta") {
       opt.theta = std::strtod(next("--theta"), nullptr);
+    } else if (arg == "--commit-window") {
+      opt.commit_window = std::strtoul(next("--commit-window"), nullptr, 10);
     } else if (arg == "--rate") {
       opt.rate = std::strtod(next("--rate"), nullptr);
     } else if (arg == "--rates") {
@@ -684,8 +787,8 @@ int main(int argc, char** argv) {
     std::cout << "rate_target  rate_achieved  append_p50_us  append_p95_us"
                  "  append_p99_us\n";
     for (size_t r = 0; r < opt.rates.size(); ++r) {
-      auto work =
-          GenerateWork(opt.sessions, per_point, opt.seed + 7919 * (r + 1));
+      auto work = GenerateWork(opt.sessions, per_point,
+                               opt.seed + 7919 * (r + 1), opt.commit_window);
       LoadResult result;
       const int code = RunLoad(opt, opt.rates[r], work, &result);
       if (code == 2) return 2;
@@ -729,7 +832,8 @@ int main(int argc, char** argv) {
     return mismatches == 0 ? 0 : 1;
   }
 
-  auto work = GenerateWork(opt.sessions, opt.total_events, opt.seed);
+  auto work = GenerateWork(opt.sessions, opt.total_events, opt.seed,
+                           opt.commit_window);
   LoadResult result;
   const int code = RunLoad(opt, opt.rate, work, &result);
   if (code != 0 && result.events == 0) return code;  // connect/usage failure

@@ -67,6 +67,9 @@ void DumpRecord(uint64_t lsn, const durability::WalRecord& record) {
                 << " rejected=" << record.rejected
                 << " certifiable=" << (record.certifiable ? 1 : 0);
       break;
+    case durability::WalRecordType::kCommitWatermark:
+      std::cout << " commit_through=" << record.commit_through;
+      break;
     default:
       break;
   }
@@ -109,6 +112,11 @@ bool CheckWal(const std::string& path, const CheckOptions& options) {
         break;
       case durability::WalRecordType::kClose:
         lifecycle = "closed";
+        break;
+      case durability::WalRecordType::kCommitWatermark:
+        // A watermark record occupies one event seq slot of its own.
+        ++events;
+        watermark = std::max(watermark, record.seq);
         break;
       case durability::WalRecordType::kOpen:
         break;
