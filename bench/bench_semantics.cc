@@ -1,0 +1,294 @@
+// Experiment E16 (DESIGN.md §14 / EXPERIMENTS.md): the semantic
+// commutativity layer at scale.
+//
+// Generates ADT-tagged workload mixes (built-in counter/set/queue/escrow
+// tables plus a uniform mixture) over the shared-bottom and layered-DAG
+// shapes, then measures two things per mix:
+//
+//   1. Admission: batch CheckCompC on the tagged systems against their
+//      spec-stripped raw twins (same events minus the five spec kinds, so
+//      the conflict bits are identical).  The semantic layer can only
+//      erase conflicts, so it must admit a superset — the headline
+//      `semantic_admits_extra` counts executions only the spec saves.
+//   2. Fast path: SweepCompC with and without the static fast path on the
+//      tagged systems.  On shared-bottom mixes the semantic shared-bottom
+//      rule decides configurations no bit-level theorem covers;
+//      `semantic_decided` counts its firings and the speedup column is
+//      the sweep wall-clock ratio, with bit-identical verdicts required.
+//
+// Plain chrono driver (no google-benchmark) so the output is a single
+// machine-readable JSON document, committed as BENCH_semantics.json.
+//
+// Usage: bench_semantics [output.json]
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "staticcheck/analyzer.h"
+#include "testing/events.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/schedule_gen.h"
+#include "workload/topology_gen.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+struct Mix {
+  std::string name;
+  workload::AdtMix adt = workload::AdtMix::kNone;
+  workload::TopologyKind kind = workload::TopologyKind::kSharedBottom;
+  uint32_t systems = 0;
+  // Shared-bottom defaults: order-3 chains (order 2 degenerates to a
+  // join that Theorem 4 decides bit-level, bypassing the semantic rule)
+  // with one chain per root and a single cross-root leaf pair on the
+  // shared bottom — the shape where the semantic rule actually decides.
+  uint32_t roots = 2;
+  uint32_t fanout = 1;
+  uint32_t instances = 2;
+};
+
+struct Row {
+  std::string mix;
+  uint32_t systems = 0;
+  size_t nodes = 0;
+  size_t erased_conflicts = 0;   // conflict bits the specs prove commuting
+  size_t comp_c_semantic = 0;    // batch verdicts with the spec attached
+  size_t comp_c_raw = 0;         // batch verdicts on the stripped twins
+  size_t static_decided = 0;     // fast-path verdicts without a reduction
+  size_t semantic_decided = 0;   // of those, decided by the semantic rule
+  bool agree = true;             // plain sweep == fast sweep, bit for bit
+  double semantic_us = 0;        // batch reduction, spec attached
+  double raw_us = 0;             // batch reduction, stripped twins
+  double fast_us = 0;            // fast-path sweep, spec attached
+
+  double Speedup() const { return fast_us == 0 ? 0 : semantic_us / fast_us; }
+};
+
+/// The same execution with the spec events dropped: identical conflict
+/// bits, nothing erased.  What a spec-unaware certifier would see.
+CompositeSystem StripSpec(const CompositeSystem& cs) {
+  auto events = testing::SystemToEvents(cs);
+  COMPTX_CHECK(events.ok()) << events.status().ToString();
+  std::vector<workload::TraceEvent> kept;
+  kept.reserve(events->size());
+  for (const workload::TraceEvent& e : *events) {
+    switch (e.kind) {
+      case workload::TraceEventKind::kAdtDecl:
+      case workload::TraceEventKind::kAdtOp:
+      case workload::TraceEventKind::kCommute:
+      case workload::TraceEventKind::kClash:
+      case workload::TraceEventKind::kTag:
+        continue;
+      default:
+        kept.push_back(e);
+    }
+  }
+  auto raw = testing::BuildSystem(kept);
+  COMPTX_CHECK(raw.ok()) << raw.status().ToString();
+  return *std::move(raw);
+}
+
+/// Conflict pairs of `cs` the attached spec erases, over all schedules.
+size_t CountErased(const CompositeSystem& cs) {
+  if (!cs.HasSpec()) return 0;
+  size_t erased = 0;
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    cs.schedule(ScheduleId(s)).conflicts.ForEach([&](NodeId a, NodeId b) {
+      if (a.index() < b.index() && cs.SemanticallyCommutes(a, b)) ++erased;
+    });
+  }
+  return erased;
+}
+
+Row RunMix(const Mix& mix) {
+  Row row;
+  row.mix = mix.name;
+  row.systems = mix.systems;
+
+  std::vector<CompositeSystem> tagged;
+  std::vector<CompositeSystem> raw;
+  tagged.reserve(mix.systems);
+  raw.reserve(mix.systems);
+  for (uint32_t i = 0; i < mix.systems; ++i) {
+    Rng rng(20260809u + i * 17u);
+    workload::TopologySpec tspec;
+    tspec.kind = mix.kind;
+    tspec.depth =
+        mix.kind == workload::TopologyKind::kSharedBottom ? 3 : 2;
+    tspec.branches = 2;
+    tspec.roots = mix.roots;
+    tspec.fanout = mix.fanout;
+    CompositeSystem cs = workload::GenerateTopology(tspec, rng);
+    workload::ExecutionGenSpec espec;
+    espec.adt = mix.adt;
+    espec.adt_instances = mix.instances;
+    auto populated = workload::PopulateExecution(cs, espec, rng);
+    COMPTX_CHECK(populated.ok()) << populated.ToString();
+    row.nodes += cs.NodeCount();
+    row.erased_conflicts += CountErased(cs);
+    raw.push_back(StripSpec(cs));
+    tagged.push_back(std::move(cs));
+  }
+  std::vector<const CompositeSystem*> tagged_ptrs;
+  std::vector<const CompositeSystem*> raw_ptrs;
+  for (const CompositeSystem& cs : tagged) tagged_ptrs.push_back(&cs);
+  for (const CompositeSystem& cs : raw) raw_ptrs.push_back(&cs);
+
+  analysis::SweepOptions plain;
+  plain.reduction.keep_fronts = false;
+  analysis::SweepOptions fast = plain;
+  fast.static_fast_path = true;
+
+  // Best of 3 interleaved passes to damp scheduling noise.
+  std::vector<analysis::SweepVerdict> semantic_verdicts;
+  std::vector<analysis::SweepVerdict> raw_verdicts;
+  std::vector<analysis::SweepVerdict> fast_verdicts;
+  for (int rep = 0; rep < 3; ++rep) {
+    Clock::time_point start = Clock::now();
+    auto sv = analysis::SweepCompC(tagged_ptrs, plain);
+    const double semantic_us = MicrosSince(start);
+    start = Clock::now();
+    auto rv = analysis::SweepCompC(raw_ptrs, plain);
+    const double raw_us = MicrosSince(start);
+    start = Clock::now();
+    auto fv = analysis::SweepCompC(tagged_ptrs, fast);
+    const double fast_us = MicrosSince(start);
+    if (rep == 0 || semantic_us < row.semantic_us) row.semantic_us = semantic_us;
+    if (rep == 0 || raw_us < row.raw_us) row.raw_us = raw_us;
+    if (rep == 0 || fast_us < row.fast_us) row.fast_us = fast_us;
+    semantic_verdicts = std::move(sv);
+    raw_verdicts = std::move(rv);
+    fast_verdicts = std::move(fv);
+  }
+
+  for (size_t i = 0; i < tagged.size(); ++i) {
+    COMPTX_CHECK(semantic_verdicts[i].ok) << semantic_verdicts[i].status_message;
+    COMPTX_CHECK(raw_verdicts[i].ok) << raw_verdicts[i].status_message;
+    COMPTX_CHECK(fast_verdicts[i].ok) << fast_verdicts[i].status_message;
+    row.comp_c_semantic += semantic_verdicts[i].comp_c ? 1 : 0;
+    row.comp_c_raw += raw_verdicts[i].comp_c ? 1 : 0;
+    row.agree =
+        row.agree && semantic_verdicts[i].comp_c == fast_verdicts[i].comp_c;
+    if (fast_verdicts[i].static_fast_path) {
+      ++row.static_decided;
+      staticcheck::AnalyzerOptions aopts;
+      aopts.assume_valid = true;
+      aopts.explain = false;
+      if (staticcheck::AnalyzeConfiguration(tagged[i], aopts).semantic) {
+        ++row.semantic_decided;
+      }
+    }
+    // Mask-only soundness: the spec can only admit, never reject.
+    COMPTX_CHECK(semantic_verdicts[i].comp_c || !raw_verdicts[i].comp_c)
+        << row.mix << " system " << i
+        << ": raw twin Comp-C but spec-attached system is not";
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_semantics.json";
+  using workload::AdtMix;
+  using workload::TopologyKind;
+  const std::vector<Mix> mixes = {
+      {"counter_shared_bottom", AdtMix::kCounter, TopologyKind::kSharedBottom,
+       150},
+      {"set_shared_bottom", AdtMix::kSet, TopologyKind::kSharedBottom, 150},
+      {"queue_shared_bottom", AdtMix::kQueue, TopologyKind::kSharedBottom,
+       150},
+      {"escrow_shared_bottom", AdtMix::kEscrow, TopologyKind::kSharedBottom,
+       150},
+      {"mixed_shared_bottom", AdtMix::kMixed, TopologyKind::kSharedBottom,
+       150},
+      // Dense single-instance counters: maximal same-instance pairs, so
+      // the erasure volume (and the admission gap) peaks here.
+      {"counter_dense", AdtMix::kCounter, TopologyKind::kSharedBottom, 150,
+       /*roots=*/3, /*fanout=*/2, /*instances=*/1},
+      // General layered DAGs: the semantic rule rarely applies, the
+      // admission gap must still be one-sided.
+      {"mixed_layered_dag", AdtMix::kMixed, TopologyKind::kLayeredDag, 100,
+       /*roots=*/3, /*fanout=*/2, /*instances=*/2},
+  };
+
+  std::vector<Row> rows;
+  for (const Mix& mix : mixes) {
+    rows.push_back(RunMix(mix));
+    const Row& r = rows.back();
+    std::cout << "mix=" << r.mix << " systems=" << r.systems
+              << " erased=" << r.erased_conflicts
+              << " comp_c semantic/raw=" << r.comp_c_semantic << "/"
+              << r.comp_c_raw << " static_decided=" << r.static_decided
+              << " semantic_decided=" << r.semantic_decided
+              << " semantic=" << r.semantic_us / 1000.0 << "ms"
+              << " raw=" << r.raw_us / 1000.0 << "ms"
+              << " fast=" << r.fast_us / 1000.0 << "ms"
+              << " speedup=" << r.Speedup()
+              << " agree=" << (r.agree ? "yes" : "NO") << "\n";
+  }
+
+  bool all_agree = true;
+  bool admission_one_sided = true;
+  size_t total_semantic_decided = 0;
+  size_t total_admits_extra = 0;
+  for (const Row& r : rows) {
+    all_agree = all_agree && r.agree;
+    admission_one_sided =
+        admission_one_sided && r.comp_c_semantic >= r.comp_c_raw;
+    total_semantic_decided += r.semantic_decided;
+    total_admits_extra += r.comp_c_semantic - r.comp_c_raw;
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"E16_semantic_commutativity\",\n"
+       << "  \"threads\": " << ThreadPool::Global().ThreadCount() << ",\n"
+       << "  \"all_verdicts_agree\": " << (all_agree ? "true" : "false")
+       << ",\n"
+       << "  \"admission_one_sided\": "
+       << (admission_one_sided ? "true" : "false") << ",\n"
+       << "  \"semantic_admits_extra\": " << total_admits_extra << ",\n"
+       << "  \"semantic_rule_decided\": " << total_semantic_decided << ",\n"
+       << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"mix\": \"" << r.mix << "\", \"systems\": " << r.systems
+         << ", \"nodes\": " << r.nodes
+         << ", \"erased_conflicts\": " << r.erased_conflicts
+         << ", \"comp_c_semantic\": " << r.comp_c_semantic
+         << ", \"comp_c_raw\": " << r.comp_c_raw
+         << ", \"static_decided\": " << r.static_decided
+         << ", \"semantic_decided\": " << r.semantic_decided
+         << ", \"reduction_semantic_us\": " << r.semantic_us
+         << ", \"reduction_raw_us\": " << r.raw_us
+         << ", \"sweep_fast_us\": " << r.fast_us
+         << ", \"speedup\": " << r.Speedup()
+         << ", \"verdicts_agree\": " << (r.agree ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  return (all_agree && admission_one_sided && total_semantic_decided > 0) ? 0
+                                                                          : 1;
+}

@@ -238,9 +238,9 @@ int main(int argc, char** argv) {
   std::string scaling_skipped;
   if (cores < largest_sweep) {
     std::ostringstream why;
-    why << "machine has " << cores << " core(s) but the sweep needs "
-        << largest_sweep
-        << "; the I/O-thread curve would be flat by construction, not a "
+    why << "detected hardware_concurrency=" << cores
+        << " but the I/O-thread sweep needs at least " << largest_sweep
+        << " cores; the curve would be flat by construction, not a "
            "measurement";
     scaling_skipped = why.str();
   }
@@ -347,7 +347,11 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"io_thread_scaling_8x_over_1x\": " << io_scaling << ",\n";
   if (!scaling_skipped.empty()) {
-    json << "  \"scaling_suite_skipped\": \"" << scaling_skipped << "\",\n";
+    // The refusal is an artifact row of its own: downstream tooling can
+    // tell "too small a machine" from "forgot to run the suite".
+    json << "  \"scaling_refusal\": {\"detected_hardware_concurrency\": "
+         << cores << ", \"minimum_required\": " << largest_sweep
+         << ", \"reason\": \"" << scaling_skipped << "\"},\n";
   }
   json << "  \"all_verdicts_match_batch_replay\": "
        << (total_mismatches == 0 ? "true" : "false") << ",\n"

@@ -38,10 +38,10 @@ graph::Digraph BuildCalculationConstraintGraph(const SystemContext& ctx,
         const NodeId b(to);
         // GeneralizedConflict specialized to a pair already known to be in
         // the observed order: cross-schedule pairs conflict by Def 11.2
-        // outright; only same-schedule pairs consult the schedule's CON_S.
+        // outright; only same-schedule pairs consult the schedule's CON_S
+        // (minus spec-proven commuting pairs).
         const ScheduleId hb = ctx.host_schedule[to];
-        if (!ha.valid() || ha != hb ||
-            cs.schedule(ha).conflicts.Contains(a, b)) {
+        if (!ha.valid() || ha != hb || cs.EffectiveConflict(ha, a, b)) {
           out.emplace_back(la, index.LocalOf(b));
         }
       }
@@ -65,6 +65,7 @@ graph::Digraph BuildCalculationConstraintGraph(const SystemContext& ctx,
       const Relation& closed_output = ctx.closed_weak_output[s];
       EdgeList& out = shards[s];
       sched.conflicts.ForEach([&](NodeId a, NodeId b) {
+        if (cs.SemanticallyCommutes(a, b)) return;
         auto la = index.TryLocalOf(a);
         auto lb = index.TryLocalOf(b);
         if (!la || !lb) return;

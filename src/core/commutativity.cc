@@ -1,0 +1,165 @@
+#include "core/commutativity.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace comptx {
+
+const char* CommuteEntryToString(CommuteEntry entry) {
+  switch (entry) {
+    case CommuteEntry::kUnspecified:
+      return "unspecified";
+    case CommuteEntry::kCommutes:
+      return "commutes";
+    case CommuteEntry::kConflicts:
+      return "conflicts";
+  }
+  return "unknown";
+}
+
+uint64_t CommutativitySpec::PackPair(uint32_t c1, uint32_t c2) {
+  if (c1 > c2) std::swap(c1, c2);
+  return (static_cast<uint64_t>(c1) << 32) | c2;
+}
+
+StatusOr<uint32_t> CommutativitySpec::DeclareAdt(std::string name) {
+  if (FindAdt(name) != kInvalidIndex) {
+    return Status::InvalidArgument(StrCat("duplicate ADT '", name, "'"));
+  }
+  AdtDecl decl;
+  decl.name = std::move(name);
+  adts_.push_back(std::move(decl));
+  return static_cast<uint32_t>(adts_.size() - 1);
+}
+
+StatusOr<uint32_t> CommutativitySpec::DeclareOpClass(uint32_t adt,
+                                                     std::string name) {
+  if (!HasAdt(adt)) {
+    return Status::InvalidArgument(StrCat("unknown ADT index ", adt));
+  }
+  if (FindClass(adt, name) != kInvalidIndex) {
+    return Status::InvalidArgument(StrCat("duplicate operation class '",
+                                          adts_[adt].name, ".", name, "'"));
+  }
+  AdtOpClass cls;
+  cls.name = std::move(name);
+  cls.adt = adt;
+  classes_.push_back(std::move(cls));
+  const uint32_t index = static_cast<uint32_t>(classes_.size() - 1);
+  adts_[adt].op_classes.push_back(index);
+  return index;
+}
+
+Status CommutativitySpec::SetEntry(uint32_t c1, uint32_t c2,
+                                   CommuteEntry entry) {
+  if (!HasClass(c1) || !HasClass(c2)) {
+    return Status::InvalidArgument(
+        StrCat("unknown operation class index ", HasClass(c1) ? c2 : c1));
+  }
+  if (entry == CommuteEntry::kUnspecified) {
+    return Status::InvalidArgument("cannot declare an unspecified entry");
+  }
+  const uint64_t key = PackPair(c1, c2);
+  auto [it, inserted] = table_.try_emplace(key, entry);
+  if (!inserted && it->second != entry) {
+    return Status::InvalidArgument(
+        StrCat("contradictory table entry for (", ClassLabel(c1), ", ",
+               ClassLabel(c2), "): declared both commutes and conflicts"));
+  }
+  return Status::OK();
+}
+
+CommuteEntry CommutativitySpec::Lookup(uint32_t c1, uint32_t c2) const {
+  auto it = table_.find(PackPair(c1, c2));
+  return it == table_.end() ? CommuteEntry::kUnspecified : it->second;
+}
+
+uint32_t CommutativitySpec::FindAdt(const std::string& name) const {
+  for (size_t i = 0; i < adts_.size(); ++i) {
+    if (adts_[i].name == name) return static_cast<uint32_t>(i);
+  }
+  return kInvalidIndex;
+}
+
+uint32_t CommutativitySpec::FindClass(uint32_t adt,
+                                      const std::string& name) const {
+  if (!HasAdt(adt)) return kInvalidIndex;
+  for (uint32_t cls : adts_[adt].op_classes) {
+    if (classes_[cls].name == name) return cls;
+  }
+  return kInvalidIndex;
+}
+
+std::string CommutativitySpec::ClassLabel(uint32_t cls) const {
+  if (!HasClass(cls)) return StrCat("class#", cls);
+  const AdtOpClass& c = classes_[cls];
+  if (!HasAdt(c.adt)) return c.name;
+  return StrCat(adts_[c.adt].name, ".", c.name);
+}
+
+size_t CommutativitySpec::CountEntries(CommuteEntry entry) const {
+  size_t n = 0;
+  for (const auto& [key, value] : table_) {
+    (void)key;
+    if (value == entry) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct BuiltinTable {
+  const char* adt;
+  std::vector<const char*> classes;
+  // Pairs of class positions (within `classes`) that commute; every other
+  // pair is declared conflicting so the table is total.
+  std::vector<std::pair<int, int>> commuting;
+};
+
+BuiltinTable BuiltinTableFor(BuiltinAdt adt) {
+  switch (adt) {
+    case BuiltinAdt::kCounter:
+      return {"counter",
+              {"inc", "dec", "read"},
+              {{0, 0}, {0, 1}, {1, 1}, {2, 2}}};
+    case BuiltinAdt::kSet:
+      return {"set",
+              {"add", "remove", "contains"},
+              {{0, 0}, {1, 1}, {2, 2}}};
+    case BuiltinAdt::kQueue:
+      return {"queue", {"enq", "deq"}, {}};
+    case BuiltinAdt::kEscrow:
+      return {"escrow",
+              {"deposit", "withdraw", "read"},
+              {{0, 0}, {0, 1}, {1, 1}, {2, 2}}};
+  }
+  return {"unknown", {}, {}};
+}
+
+}  // namespace
+
+StatusOr<uint32_t> DeclareBuiltinAdt(CommutativitySpec& spec, BuiltinAdt adt) {
+  const BuiltinTable table = BuiltinTableFor(adt);
+  COMPTX_ASSIGN_OR_RETURN(uint32_t adt_index, spec.DeclareAdt(table.adt));
+  std::vector<uint32_t> cls;
+  cls.reserve(table.classes.size());
+  for (const char* name : table.classes) {
+    COMPTX_ASSIGN_OR_RETURN(uint32_t c, spec.DeclareOpClass(adt_index, name));
+    cls.push_back(c);
+  }
+  for (size_t i = 0; i < cls.size(); ++i) {
+    for (size_t j = i; j < cls.size(); ++j) {
+      const bool commutes =
+          std::find(table.commuting.begin(), table.commuting.end(),
+                    std::make_pair(static_cast<int>(i), static_cast<int>(j))) !=
+          table.commuting.end();
+      COMPTX_RETURN_IF_ERROR(spec.SetEntry(
+          cls[i], cls[j],
+          commutes ? CommuteEntry::kCommutes : CommuteEntry::kConflicts));
+    }
+  }
+  return adt_index;
+}
+
+}  // namespace comptx

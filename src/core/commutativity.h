@@ -1,0 +1,121 @@
+#ifndef COMPTX_CORE_COMMUTATIVITY_H_
+#define COMPTX_CORE_COMMUTATIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "util/status.h"
+#include "util/status_or.h"
+
+namespace comptx {
+
+/// One cell of a Weihl-style commutativity table.  The table is total
+/// only by convention (lint flags undeclared pairs); an unspecified pair
+/// is treated as conflicting, so forgetting a table entry can only make
+/// verdicts more conservative, never unsound.
+enum class CommuteEntry : uint8_t {
+  kUnspecified,
+  kCommutes,
+  kConflicts,
+};
+
+const char* CommuteEntryToString(CommuteEntry entry);
+
+/// A named operation class of one ADT (e.g. counter.inc).  Classes are
+/// globally indexed by declaration order across all ADTs of a spec, so a
+/// class index is unambiguous without naming its ADT.
+struct AdtOpClass {
+  std::string name;
+  uint32_t adt = kInvalidIndex;  // owning ADT, by declaration order
+};
+
+/// A named abstract data type with its operation classes.
+struct AdtDecl {
+  std::string name;
+  std::vector<uint32_t> op_classes;  // global class indices, declaration order
+};
+
+/// A semantic conflict specification: ADTs, operation classes, and a
+/// symmetric commutes/conflicts table over class pairs (Weihl-style
+/// forward commutativity).  Instances are passive value types owned by a
+/// CompositeSystem; the system's EffectiveConflict() consults the table
+/// to *erase* declared conflict bits between commuting operations of the
+/// same ADT instance.  The spec can only mask CON_S, never extend it, so
+/// Def 3.1 validation on the raw bits stays meaningful.
+class CommutativitySpec {
+ public:
+  /// Declares an ADT; duplicate names are rejected.
+  StatusOr<uint32_t> DeclareAdt(std::string name);
+
+  /// Declares an operation class of `adt`; duplicate names within one ADT
+  /// are rejected.  Returns the global class index.
+  StatusOr<uint32_t> DeclareOpClass(uint32_t adt, std::string name);
+
+  /// Sets the symmetric table entry for {c1, c2}.  Re-declaring the same
+  /// value is idempotent; contradicting an earlier entry is an error
+  /// (lint reports it as CTX103).
+  Status SetEntry(uint32_t c1, uint32_t c2, CommuteEntry entry);
+
+  /// The table entry for {c1, c2}; kUnspecified when never declared.
+  CommuteEntry Lookup(uint32_t c1, uint32_t c2) const;
+
+  /// True iff the pair is explicitly declared commuting.
+  bool Commutes(uint32_t c1, uint32_t c2) const {
+    return Lookup(c1, c2) == CommuteEntry::kCommutes;
+  }
+
+  size_t AdtCount() const { return adts_.size(); }
+  size_t ClassCount() const { return classes_.size(); }
+  bool HasAdt(uint32_t adt) const { return adt < adts_.size(); }
+  bool HasClass(uint32_t cls) const { return cls < classes_.size(); }
+  const AdtDecl& adt(uint32_t index) const { return adts_[index]; }
+  const AdtOpClass& op_class(uint32_t index) const { return classes_[index]; }
+
+  /// Index of the ADT named `name`, or kInvalidIndex.
+  uint32_t FindAdt(const std::string& name) const;
+
+  /// Global index of `adt`'s class named `name`, or kInvalidIndex.
+  uint32_t FindClass(uint32_t adt, const std::string& name) const;
+
+  /// "adt.class" label for diagnostics and explanation trails.
+  std::string ClassLabel(uint32_t cls) const;
+
+  /// Number of explicitly declared table entries with the given value.
+  size_t CountEntries(CommuteEntry entry) const;
+
+  /// Visits every declared table entry as (c1 <= c2, entry).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, entry] : table_) {
+      fn(static_cast<uint32_t>(key >> 32),
+         static_cast<uint32_t>(key & 0xffffffffu), entry);
+    }
+  }
+
+ private:
+  static uint64_t PackPair(uint32_t c1, uint32_t c2);
+
+  std::vector<AdtDecl> adts_;
+  std::vector<AdtOpClass> classes_;
+  std::unordered_map<uint64_t, CommuteEntry> table_;
+};
+
+/// The library's built-in Weihl tables, usable as generator defaults and
+/// as the reference the scenario pack is written against.
+enum class BuiltinAdt : uint8_t {
+  kCounter,  // inc/dec/read: blind updates commute, reads clash with updates
+  kSet,      // add/remove/contains on one element
+  kQueue,    // enq/deq: FIFO order is observable, nothing commutes
+  kEscrow,   // deposit/withdraw/read: escrow updates commute (O'Neil)
+};
+
+/// Appends the built-in table for `adt` to `spec` and returns the new
+/// ADT's index.  Fails only if the ADT name is already declared.
+StatusOr<uint32_t> DeclareBuiltinAdt(CommutativitySpec& spec, BuiltinAdt adt);
+
+}  // namespace comptx
+
+#endif  // COMPTX_CORE_COMMUTATIVITY_H_

@@ -12,6 +12,7 @@ CompositeSystem CompositeSystem::Clone() const {
   CompositeSystem copy;
   copy.nodes_ = nodes_;
   copy.schedules_ = schedules_;
+  if (spec_) copy.spec_ = std::make_unique<CommutativitySpec>(*spec_);
   return copy;
 }
 
@@ -174,6 +175,62 @@ Status CompositeSystem::AddIntraStrong(NodeId txn, NodeId a, NodeId b) {
   COMPTX_RETURN_IF_ERROR(AddIntraWeak(txn, a, b));
   nodes_[txn.index()].strong_intra.Add(a, b);
   return Status::OK();
+}
+
+StatusOr<uint32_t> CompositeSystem::DeclareAdt(std::string name) {
+  if (!spec_) spec_ = std::make_unique<CommutativitySpec>();
+  return spec_->DeclareAdt(std::move(name));
+}
+
+StatusOr<uint32_t> CompositeSystem::DeclareAdtOp(uint32_t adt,
+                                                 std::string name) {
+  if (!spec_) spec_ = std::make_unique<CommutativitySpec>();
+  return spec_->DeclareOpClass(adt, std::move(name));
+}
+
+void CompositeSystem::AttachSpec(CommutativitySpec spec) {
+  spec_ = std::make_unique<CommutativitySpec>(std::move(spec));
+}
+
+Status CompositeSystem::DeclareCommute(uint32_t c1, uint32_t c2) {
+  if (!spec_) spec_ = std::make_unique<CommutativitySpec>();
+  return spec_->SetEntry(c1, c2, CommuteEntry::kCommutes);
+}
+
+Status CompositeSystem::DeclareClash(uint32_t c1, uint32_t c2) {
+  if (!spec_) spec_ = std::make_unique<CommutativitySpec>();
+  return spec_->SetEntry(c1, c2, CommuteEntry::kConflicts);
+}
+
+Status CompositeSystem::TagOperation(NodeId id, uint32_t op_class,
+                                     uint32_t instance) {
+  if (!HasNode(id)) {
+    return Status::InvalidArgument(StrCat("unknown node ", id));
+  }
+  if (!spec_ || !spec_->HasClass(op_class)) {
+    return Status::InvalidArgument(
+        StrCat("tag on ", id, " references undeclared operation class ",
+               op_class));
+  }
+  if (instance == kInvalidIndex) {
+    return Status::InvalidArgument(
+        StrCat("tag on ", id, " uses the reserved instance index"));
+  }
+  nodes_[id.index()].sem_class = op_class;
+  nodes_[id.index()].sem_instance = instance;
+  return Status::OK();
+}
+
+bool CompositeSystem::SemanticallyCommutes(NodeId a, NodeId b) const {
+  if (!spec_) return false;
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.sem_class == kInvalidIndex || nb.sem_class == kInvalidIndex) {
+    return false;
+  }
+  // Distinct ADT instances (or distinct ADTs) never interfere.
+  if (na.sem_instance != nb.sem_instance) return true;
+  return spec_->Commutes(na.sem_class, nb.sem_class);
 }
 
 const Node& CompositeSystem::node(NodeId id) const {

@@ -2,10 +2,12 @@
 #define COMPTX_CORE_COMPOSITE_SYSTEM_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/commutativity.h"
 #include "core/node.h"
 #include "core/schedule.h"
 #include "util/status.h"
@@ -83,6 +85,52 @@ class CompositeSystem {
   /// the weak intra order).
   Status AddIntraStrong(NodeId txn, NodeId a, NodeId b);
 
+  // ---- Semantic commutativity (ADT spec layer) ----------------------------
+  //
+  // An attached CommutativitySpec lets analyses *erase* declared conflict
+  // bits between operations known to commute semantically (Weihl tables).
+  // The spec is mask-only: EffectiveConflict(a, b) implies
+  // conflicts.Contains(a, b), so Def 3.1 validation of the raw bits stays
+  // valid and every spec-aware verdict is at least as permissive as the
+  // bit-level one.
+
+  /// Declares an ADT in the (lazily created) spec; returns its index.
+  StatusOr<uint32_t> DeclareAdt(std::string name);
+
+  /// Declares an operation class of ADT `adt`; returns its global index.
+  StatusOr<uint32_t> DeclareAdtOp(uint32_t adt, std::string name);
+
+  /// Declares that classes `c1` and `c2` commute (symmetric).
+  Status DeclareCommute(uint32_t c1, uint32_t c2);
+
+  /// Declares that classes `c1` and `c2` conflict (symmetric).
+  Status DeclareClash(uint32_t c1, uint32_t c2);
+
+  /// Tags `id` as an operation of class `op_class` on ADT instance
+  /// `instance`.  Requires a spec with that class declared.
+  Status TagOperation(NodeId id, uint32_t op_class, uint32_t instance);
+
+  /// Installs a pre-built commutativity spec (e.g., loaded from a
+  /// standalone "comptx-spec v1" file), replacing any spec declared
+  /// in-band so far.  Existing node tags keep their class indices, so
+  /// only attach a replacement that declares at least as many classes.
+  void AttachSpec(CommutativitySpec spec);
+
+  /// True iff a commutativity spec is attached (even an empty one).
+  bool HasSpec() const { return spec_ != nullptr; }
+  const CommutativitySpec* spec() const { return spec_.get(); }
+
+  /// True iff the attached spec proves `a` and `b` commute: both tagged,
+  /// and either they act on distinct ADT instances or their class pair is
+  /// declared commuting.  False without a spec or for untagged nodes.
+  bool SemanticallyCommutes(NodeId a, NodeId b) const;
+
+  /// The semantic conflict relation analyses consult: the declared CON_S
+  /// bit of `s` minus pairs the spec proves commuting.
+  bool EffectiveConflict(ScheduleId s, NodeId a, NodeId b) const {
+    return schedule(s).conflicts.Contains(a, b) && !SemanticallyCommutes(a, b);
+  }
+
   // ---- Accessors ----------------------------------------------------------
 
   size_t NodeCount() const { return nodes_.size(); }
@@ -157,6 +205,7 @@ class CompositeSystem {
 
   std::vector<Node> nodes_;
   std::vector<Schedule> schedules_;
+  std::unique_ptr<CommutativitySpec> spec_;
 };
 
 /// Preorder interval index over a CompositeSystem's forest, answering

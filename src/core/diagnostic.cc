@@ -84,6 +84,24 @@ const char* DiagCodeDescription(DiagCode code) {
       return "spec cannot be parsed or applied";
     case DiagCode::kInternalError:
       return "internal analyzer error (a comptx bug, please report)";
+    case DiagCode::kSpecMalformed:
+      return "commutativity spec cannot be parsed";
+    case DiagCode::kSpecDuplicateDecl:
+      return "duplicate ADT or operation-class declaration";
+    case DiagCode::kSpecUnknownClass:
+      return "table entry references an undeclared operation class";
+    case DiagCode::kSpecContradictoryEntry:
+      return "class pair declared both commuting and clashing";
+    case DiagCode::kSpecIncompleteTable:
+      return "same-ADT class pair left unspecified (table must be total)";
+    case DiagCode::kSpecAllCommute:
+      return "table declares every pair commuting (vacuous spec)";
+    case DiagCode::kSpecEmptyAdt:
+      return "ADT declares no operation classes";
+    case DiagCode::kSpecTagMismatch:
+      return "tag references an unknown node or operation class";
+    case DiagCode::kSpecUndeclaredSemConflict:
+      return "clashing same-instance operations carry no CON_S bit";
   }
   return "unknown diagnostic code";
 }

@@ -58,6 +58,18 @@ enum class DiagCode : uint16_t {
   // -- Container / parse level -------------------------------------------
   kMalformedSpec = 50,            // CTX050 unparsable trace / witness JSON
   kInternalError = 99,            // CTX099 the analyzer itself broke
+
+  // -- Commutativity-spec lint (ADT semantic layer) ----------------------
+  kSpecMalformed = 100,           // CTX100 unparsable commutativity spec
+  kSpecDuplicateDecl = 101,       // CTX101 duplicate ADT / operation class
+  kSpecUnknownClass = 102,        // CTX102 table entry names unknown class
+  kSpecContradictoryEntry = 103,  // CTX103 pair both commutes and clashes
+  kSpecIncompleteTable = 104,     // CTX104 same-ADT pair left unspecified
+  kSpecAllCommute = 105,          // CTX105 table makes everything commute
+  kSpecEmptyAdt = 106,            // CTX106 ADT declares no operation classes
+  kSpecTagMismatch = 107,         // CTX107 tag references unknown class/node
+  kSpecUndeclaredSemConflict = 108,  // CTX108 clashing same-instance pair
+                                     // has no CON_S bit
 };
 
 /// "CTX001"-style stable rendering of `code`.

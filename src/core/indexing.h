@@ -53,7 +53,8 @@ class NodeIndexMap {
   uint32_t LocalOf(NodeId id) const {
     std::optional<uint32_t> local = TryLocalOf(id);
     COMPTX_CHECK(local.has_value()) << "node not in index map: " << id;
-    return *local;
+    // The CHECK above aborts when disengaged; opaque to clang-tidy.
+    return *local;  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   std::optional<uint32_t> TryLocalOf(NodeId id) const {

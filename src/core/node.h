@@ -49,6 +49,14 @@ struct Node {
   /// Strong intra-transaction order over `children`; subset of weak_intra.
   Relation strong_intra;
 
+  /// Semantic tag: global operation-class index into the owning system's
+  /// CommutativitySpec, or kInvalidIndex when untagged.  Untagged nodes
+  /// never commute semantically, so tags only ever erase conflicts.
+  uint32_t sem_class = kInvalidIndex;
+  /// Semantic tag: the ADT instance (object identity) this operation acts
+  /// on.  Operations on distinct instances always commute.
+  uint32_t sem_instance = kInvalidIndex;
+
   bool IsTransaction() const { return kind == NodeKind::kTransaction; }
   bool IsLeaf() const { return kind == NodeKind::kLeaf; }
   bool IsRoot() const { return IsTransaction() && !parent.valid(); }

@@ -44,7 +44,8 @@ void ComputeGeneralizedConflicts(const SystemContext& ctx, Front& front) {
     if (ctx.ig.schedule_level[s] <= front.level) return;  // ops left the front
     std::vector<std::pair<NodeId, NodeId>>& out = shards[s];
     cs.schedule(ScheduleId(s)).conflicts.ForEach([&](NodeId a, NodeId b) {
-      if (membership.Contains(a) && membership.Contains(b)) {
+      if (membership.Contains(a) && membership.Contains(b) &&
+          !cs.SemanticallyCommutes(a, b)) {
         out.emplace_back(a, b);
       }
     });
@@ -79,7 +80,7 @@ bool GeneralizedConflict(const SystemContext& ctx, const Front& front,
   ScheduleId ha = ctx.host_schedule[a.index()];
   ScheduleId hb = ctx.host_schedule[b.index()];
   if (ha.valid() && ha == hb) {
-    return cs.schedule(ha).conflicts.Contains(a, b);
+    return cs.EffectiveConflict(ha, a, b);
   }
   return front.observed.Contains(a, b) || front.observed.Contains(b, a);
 }
@@ -98,8 +99,9 @@ std::optional<std::pair<NodeId, NodeId>> PullUpObservedPair(
   if (ha.valid() && ha == hb) {
     // Operations of one common schedule: the schedule is authoritative.
     // Conflicting pairs propagate to the parents (Def 10.2); commuting
-    // pairs are forgotten (the schedule knows the order is irrelevant).
-    if (cs.schedule(ha).conflicts.Contains(a, b) || !forgetting) {
+    // pairs — by absent CON_S bit or by an attached commutativity spec —
+    // are forgotten (the schedule knows the order is irrelevant).
+    if (cs.EffectiveConflict(ha, a, b) || !forgetting) {
       return std::make_pair(ra, rb);
     }
     return std::nullopt;

@@ -66,6 +66,7 @@ void AddScheduleSerializationOrders(const SystemContext& ctx,
     const Relation& closed_output = ctx.closed_weak_output[s.index()];
     std::vector<std::pair<NodeId, NodeId>>& out = shards[k];
     sched.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+      if (cs.SemanticallyCommutes(o1, o2)) return;
       NodeId t1 = cs.node(o1).parent;
       NodeId t2 = cs.node(o2).parent;
       if (t1 == t2) return;
@@ -185,10 +186,10 @@ StatusOr<ReductionResult> RunReduction(const CompositeSystem& cs,
     } else {
       // On a CC failure the reducer exposes the offending partial front;
       // keep it for diagnostics when fronts are retained.
-      if (options.keep_fronts &&
-          reducer.failure()->step ==
-              ReductionFailureStep::kConflictConsistency &&
-          reducer.failure()->level > 0) {
+      const std::optional<ReductionFailure>& failure = reducer.failure();
+      if (options.keep_fronts && failure.has_value() &&
+          failure->step == ReductionFailureStep::kConflictConsistency &&
+          failure->level > 0) {
         result.fronts.push_back(reducer.current());
       }
       break;

@@ -12,6 +12,7 @@ Relation ScheduleSerializationOrder(const CompositeSystem& cs,
   Relation closed_output = ClosureWithin(s.weak_output, cs.OperationsOf(sid));
   Relation ser;
   s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+    if (cs.SemanticallyCommutes(o1, o2)) return;
     NodeId t1 = cs.node(o1).parent;
     NodeId t2 = cs.node(o2).parent;
     if (t1 == t2) return;

@@ -14,6 +14,7 @@ bool IsFlatConflictSerializable(const CompositeSystem& cs) {
         ClosureWithin(sched.weak_output, cs.OperationsOf(ScheduleId(s)));
     sched.conflicts.ForEach([&](NodeId o1, NodeId o2) {
       if (!cs.node(o1).IsLeaf() || !cs.node(o2).IsLeaf()) return;
+      if (cs.SemanticallyCommutes(o1, o2)) return;
       NodeId r1 = cs.RootOf(o1);
       NodeId r2 = cs.RootOf(o2);
       if (r1 == r2) return;

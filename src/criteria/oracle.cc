@@ -19,10 +19,17 @@ struct Demands {
 
 /// Walks the ordering requirement a-before-b up the parent chains and
 /// records the surviving demand at the meet.  `can_die` enables the
-/// forgetting rule for intermediate common-schedule commuting pairs.
+/// forgetting rule for common-schedule commuting pairs.
+///
+/// The check runs on every iteration, including the first: a schedule
+/// exports an order upward only between pairs that *effectively*
+/// conflict on it, and for an input-order requirement the decision
+/// point is the pair's own host schedule (the caller that imposed the
+/// order).  Walks that start from a conflicting operation pair are
+/// unaffected — their first hop is the schedule recording the conflict,
+/// where EffectiveConflict is true by the caller's filter.
 void WalkUp(const CompositeSystem& cs, NodeId a, NodeId b, bool can_die,
             Demands& demands) {
-  bool first = true;
   while (true) {
     if (a == b) return;  // requirement internal to one node; vacuous.
     const Node& na = cs.node(a);
@@ -33,11 +40,10 @@ void WalkUp(const CompositeSystem& cs, NodeId a, NodeId b, bool can_die,
       demands.root_level.Add(a, b);
       return;
     }
-    if (!first && can_die) {
+    if (can_die) {
       ScheduleId ha = cs.HostScheduleOf(a);
       ScheduleId hb = cs.HostScheduleOf(b);
-      if (ha.valid() && ha == hb &&
-          !cs.schedule(ha).conflicts.Contains(a, b)) {
+      if (ha.valid() && ha == hb && !cs.EffectiveConflict(ha, a, b)) {
         // One common schedule vouches that a and b commute: the order is
         // irrelevant above this point (forgetting).
         return;
@@ -51,7 +57,6 @@ void WalkUp(const CompositeSystem& cs, NodeId a, NodeId b, bool can_die,
     }
     a = pa;
     b = pb;
-    first = false;
   }
 }
 
@@ -78,7 +83,10 @@ StatusOr<bool> HierarchicalSerializabilityOracle(const CompositeSystem& cs) {
     Relation strong_out = ClosureWithin(s.strong_output, ops);
 
     // Conflicting pairs demand their recorded direction (forgettable).
+    // Spec-proven commuting pairs demand nothing: their recorded order is
+    // an artifact, exactly like an undeclared conflict bit.
     s.conflicts.ForEach([&](NodeId o1, NodeId o2) {
+      if (cs.SemanticallyCommutes(o1, o2)) return;
       if (weak_out.Contains(o1, o2)) WalkUp(cs, o1, o2, true, demands);
       if (weak_out.Contains(o2, o1)) WalkUp(cs, o2, o1, true, demands);
     });

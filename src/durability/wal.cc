@@ -100,7 +100,7 @@ bool GetEvent(Cursor& cur, workload::TraceEvent& event) {
   const uint32_t name_len = cur.GetU32();
   event.name = cur.GetBytes(name_len);
   if (!cur.ok) return false;
-  if (kind > static_cast<uint8_t>(workload::TraceEventKind::kCommitThrough)) {
+  if (kind > static_cast<uint8_t>(workload::TraceEventKind::kTag)) {
     return false;
   }
   event.kind = static_cast<workload::TraceEventKind>(kind);

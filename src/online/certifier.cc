@@ -261,6 +261,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       COMPTX_RETURN_IF_ERROR(CheckNotSealed(a));
       COMPTX_RETURN_IF_ERROR(CheckNotSealed(b));
       COMPTX_RETURN_IF_ERROR(cs_.AddConflict(a, b));
+      saw_relational_event_ = true;
       if (!DynamicActive()) return Status::OK();
       const ScheduleId host = cs_.HostScheduleOf(a);
       bool wo_ab = false, wo_ba = false;
@@ -284,6 +285,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       COMPTX_RETURN_IF_ERROR(e.kind == TraceEventKind::kWeakOutput
                                  ? cs_.AddWeakOutput(a, b)
                                  : cs_.AddStrongOutput(a, b));
+      saw_relational_event_ = true;
       if (!DynamicActive()) return Status::OK();
       const ScheduleId host = cs_.HostScheduleOf(a);
       std::vector<std::pair<NodeId, NodeId>> new_pairs;
@@ -306,6 +308,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       const bool strong = e.kind == TraceEventKind::kStrongInput;
       COMPTX_RETURN_IF_ERROR(strong ? cs_.AddStrongInput(sched, a, b)
                                     : cs_.AddWeakInput(sched, a, b));
+      saw_relational_event_ = true;
       if (!DynamicActive()) return Status::OK();
       std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
       {
@@ -328,6 +331,7 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       const bool strong = e.kind == TraceEventKind::kIntraStrong;
       COMPTX_RETURN_IF_ERROR(strong ? cs_.AddIntraStrong(txn, a, b)
                                     : cs_.AddIntraWeak(txn, a, b));
+      saw_relational_event_ = true;
       if (!DynamicActive()) return Status::OK();
       const ScheduleId owner = cs_.node(txn).owner_schedule;
       std::vector<std::pair<NodeId, NodeId>> new_strong, new_weak;
@@ -371,6 +375,27 @@ Status Certifier::IngestLocked(const TraceEvent& e) {
       }
       commit_watermark_ = std::max(commit_watermark_, through);
       if (sealed_any && options_.auto_prune) SchedulePruneLocked();
+      return Status::OK();
+    }
+    case TraceEventKind::kAdtDecl:
+      return cs_.DeclareAdt(e.name).status();
+    case TraceEventKind::kAdtOp:
+      return cs_.DeclareAdtOp(e.a, e.name).status();
+    case TraceEventKind::kCommute:
+    case TraceEventKind::kClash: {
+      COMPTX_RETURN_IF_ERROR(e.kind == TraceEventKind::kCommute
+                                 ? cs_.DeclareCommute(e.a, e.b)
+                                 : cs_.DeclareClash(e.a, e.b));
+      // Retroactive spec change: conflicts already ingested may have been
+      // derived under the old table.  Replay from the retained closures.
+      if (saw_relational_event_ && DynamicActive()) Rebuild();
+      return Status::OK();
+    }
+    case TraceEventKind::kTag: {
+      const NodeId target(e.parent);
+      COMPTX_RETURN_IF_ERROR(CheckNotSealed(target));
+      COMPTX_RETURN_IF_ERROR(cs_.TagOperation(target, e.a, e.b));
+      if (saw_relational_event_ && DynamicActive()) Rebuild();
       return Status::OK();
     }
   }

@@ -308,6 +308,13 @@ class Certifier {
   bool in_batch_ = false;
   bool prune_pending_ = false;
 
+  /// True once any conflict or order event has been accepted.  A semantic
+  /// event (commute/clash/tag) arriving later is retroactive — it can
+  /// erase conflicts whose consequences the engine already derived — so
+  /// it forces a Rebuild.  Well-behaved producers ship the spec and tags
+  /// before the relational stream and never pay this.
+  bool saw_relational_event_ = false;
+
   uint64_t events_accepted_ = 0;
   uint64_t events_rejected_ = 0;
   uint64_t rebuilds_ = 0;

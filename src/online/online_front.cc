@@ -191,7 +191,7 @@ bool OnlineFrontEngine::BindingObserved(NodeId a, NodeId b) const {
   ScheduleId ha = cs_->HostScheduleOf(a);
   ScheduleId hb = cs_->HostScheduleOf(b);
   if (ha.valid() && ha == hb) {
-    return cs_->schedule(ha).conflicts.Contains(a, b);
+    return cs_->EffectiveConflict(ha, a, b);
   }
   return true;  // cross-schedule pairs are observed-related by construction.
 }
@@ -329,6 +329,11 @@ void OnlineFrontEngine::OnNodeAdded(NodeId x) {
 void OnlineFrontEngine::OnConflict(NodeId a, NodeId b, bool weak_out_ab,
                                    bool weak_out_ba) {
   const ScheduleId s = cs_->HostScheduleOf(a);
+  // A pair the spec proves commuting behaves like an undeclared conflict:
+  // it binds nothing and its observed pairs stay forgettable.  (Semantic
+  // events arriving after the conflict are handled by a certifier
+  // Rebuild, not here.)
+  if (cs_->SemanticallyCommutes(a, b)) return;
   const uint32_t level = schedule_levels_[s.index()];
   const uint32_t lo = std::max(SpanBegin(a), SpanBegin(b));
   const uint32_t hi = std::min(SpanEnd(a), SpanEnd(b));
@@ -365,7 +370,7 @@ void OnlineFrontEngine::OnClosedWeakOutput(ScheduleId s, NodeId a, NodeId b) {
   const uint32_t lo = std::max(SpanBegin(a), SpanBegin(b));
   const uint32_t hi = std::min(SpanEnd(a), SpanEnd(b));
   const bool leafy = cs_->node(a).IsLeaf() || cs_->node(b).IsLeaf();
-  const bool con = cs_->schedule(s).conflicts.Contains(a, b);
+  const bool con = cs_->EffectiveConflict(s, a, b);
   for (uint32_t j = lo; j <= hi; ++j) {
     // Leaf atomicity rule (Def 10 point 1).
     if (leafy) AddObserved(j, a, b);

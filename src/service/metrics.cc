@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <functional>
+#include <sstream>
 #include <thread>
 
 #include "util/string_util.h"
@@ -90,6 +92,53 @@ uint64_t LatencyHistogram::Snapshot::ValueAt(double q) const {
 std::string LatencyHistogram::Snapshot::Summary() const {
   return StrCat("count=", count, " mean=", mean, " p50=", p50, " p95=", p95,
                 " p99=", p99, " max=", max);
+}
+
+void LatencyHistogram::Snapshot::Merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  const double total_sum = mean * static_cast<double>(count) +
+                           other.mean * static_cast<double>(other.count);
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  mean = total_sum / static_cast<double>(count);
+  p50 = ValueAt(0.50);
+  p95 = ValueAt(0.95);
+  p99 = ValueAt(0.99);
+}
+
+std::string LatencyHistogram::Snapshot::SerializeText() const {
+  std::string out = StrCat(count, " ", min, " ", max, " ", mean);
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] != 0) out = StrCat(out, " ", i, ":", buckets[i]);
+  }
+  return out;
+}
+
+std::optional<LatencyHistogram::Snapshot>
+LatencyHistogram::Snapshot::ParseText(const std::string& text) {
+  Snapshot snap;
+  std::istringstream in(text);
+  if (!(in >> snap.count >> snap.min >> snap.max >> snap.mean)) {
+    return std::nullopt;
+  }
+  std::string entry;
+  while (in >> entry) {
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    char* end = nullptr;
+    const size_t index = std::strtoul(entry.c_str(), &end, 10);
+    if (end != entry.c_str() + colon || index >= kBucketCount) {
+      return std::nullopt;
+    }
+    snap.buckets[index] = std::strtoull(entry.c_str() + colon + 1, &end, 10);
+    if (*end != '\0') return std::nullopt;
+  }
+  snap.p50 = snap.ValueAt(0.50);
+  snap.p95 = snap.ValueAt(0.95);
+  snap.p99 = snap.ValueAt(0.99);
+  return snap;
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {

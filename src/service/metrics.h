@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "durability/wal.h"
@@ -73,6 +74,17 @@ class LatencyHistogram {
 
     /// "count=12 mean=3.4 p50=3 p95=9 p99=12 max=15" (microseconds).
     std::string Summary() const;
+
+    /// Adds `other`'s samples into this snapshot and recomputes the
+    /// derived fields.  Bucket counts merge exactly, so the quantiles of
+    /// the union are as accurate as any single snapshot's — this is how
+    /// comptx_load --processes aggregates its children's histograms.
+    void Merge(const Snapshot& other);
+
+    /// One-line "count min max mean idx:n idx:n ..." rendering (nonzero
+    /// buckets only) and its inverse — the --processes pipe format.
+    std::string SerializeText() const;
+    static std::optional<Snapshot> ParseText(const std::string& text);
 
    private:
     friend class LatencyHistogram;

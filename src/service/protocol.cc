@@ -298,7 +298,7 @@ Status ReadVarint(const std::string& data, size_t& pos, uint64_t& value) {
 namespace {
 
 constexpr uint8_t kMaxEventKind =
-    static_cast<uint8_t>(workload::TraceEventKind::kCommitThrough);
+    static_cast<uint8_t>(workload::TraceEventKind::kTag);
 
 void AppendString(std::string& out, const std::string& value) {
   AppendVarint(out, value.size());
@@ -375,6 +375,23 @@ void AppendEventBinary(std::string& out, const workload::TraceEvent& event) {
     case TraceEventKind::kCommitThrough:
       AppendVarint(out, event.a);
       break;
+    case TraceEventKind::kAdtDecl:
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kAdtOp:
+      AppendVarint(out, event.a);
+      AppendString(out, event.name);
+      break;
+    case TraceEventKind::kCommute:
+    case TraceEventKind::kClash:
+      AppendVarint(out, event.a);
+      AppendVarint(out, event.b);
+      break;
+    case TraceEventKind::kTag:
+      AppendVarint(out, event.parent);
+      AppendVarint(out, event.a);
+      AppendVarint(out, event.b);
+      break;
   }
 }
 
@@ -420,6 +437,19 @@ Status ReadEventBinary(const std::string& data, size_t& pos,
       return ReadIndex(data, pos, event.parent);
     case TraceEventKind::kCommitThrough:
       return ReadIndex(data, pos, event.a);
+    case TraceEventKind::kAdtDecl:
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kAdtOp:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadString(data, pos, event.name);
+    case TraceEventKind::kCommute:
+    case TraceEventKind::kClash:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadIndex(data, pos, event.b);
+    case TraceEventKind::kTag:
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.parent));
+      COMPTX_RETURN_IF_ERROR(ReadIndex(data, pos, event.a));
+      return ReadIndex(data, pos, event.b);
   }
   return Status::InvalidArgument("unreachable event kind");
 }

@@ -46,6 +46,45 @@ const char* ConfigShapeToString(ConfigShape shape) {
 
 namespace {
 
+/// One trail line for a cross-root conflict pair: which rule of the
+/// commutativity spec decides it, e.g.
+///   "t3.inc / t7.inc: counter.inc x counter.inc -> commutes"
+std::string SemanticTrailLine(const CompositeSystem& cs, NodeId a, NodeId b) {
+  const Node& na = cs.node(a);
+  const Node& nb = cs.node(b);
+  const CommutativitySpec* spec = cs.spec();
+  std::string line = StrCat(na.name, " / ", nb.name, ": ");
+  if (na.sem_class == kInvalidIndex || nb.sem_class == kInvalidIndex) {
+    return StrCat(line, "untagged operation -> conflicts (no table entry "
+                  "applies)");
+  }
+  const std::string ca = spec->ClassLabel(na.sem_class);
+  const std::string cb = spec->ClassLabel(nb.sem_class);
+  if (na.sem_instance != nb.sem_instance) {
+    return StrCat(line, ca, "#", na.sem_instance, " x ", cb, "#",
+                  nb.sem_instance, " -> distinct instances commute");
+  }
+  const CommuteEntry entry = spec->Lookup(na.sem_class, nb.sem_class);
+  return StrCat(line, ca, " x ", cb, " -> table says ",
+                CommuteEntryToString(entry));
+}
+
+/// True iff the system carries any strong order (output, input, or
+/// intra).  Strong pairs are pulled down across subtrees and are the one
+/// mechanism that couples different hosts' observed orders at low levels,
+/// so the semantic shared-bottom rule refuses to fire in their presence.
+bool HasStrongOrders(const CompositeSystem& cs) {
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& sched = cs.schedule(ScheduleId(s));
+    if (sched.strong_output.PairCount() > 0) return true;
+    if (sched.strong_input.PairCount() > 0) return true;
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    if (cs.node(NodeId(v)).strong_intra.PairCount() > 0) return true;
+  }
+  return false;
+}
+
 /// Fills per-scheduler explanations: sharing, cross-root conflict
 /// coverage, local conflict consistency, and the first CC violation
 /// witness found (schedule order).
@@ -68,6 +107,10 @@ void ExplainSchedules(const CompositeSystem& cs,
       if (!cs.node(a).IsRoot() && !cs.node(b).IsRoot()) {
         ++ex.pulled_up_cross_conflicts;
       }
+      if (cs.SemanticallyCommutes(a, b)) ++ex.semantically_covered;
+      if (cs.HasSpec()) {
+        ex.semantic_trail.push_back(SemanticTrailLine(cs, a, b));
+      }
     }
     if (auto violation = criteria::FindScheduleCCViolation(cs, sid)) {
       ex.conflict_consistent = false;
@@ -76,6 +119,12 @@ void ExplainSchedules(const CompositeSystem& cs,
       if (!analysis.witness.has_value()) {
         analysis.witness = std::move(*violation);
       }
+    } else if (ex.meet && ex.pulled_up_cross_conflicts > 0 &&
+               ex.semantically_covered == ex.cross_root_conflicts) {
+      ex.detail = StrCat("meet schedule; all ", ex.cross_root_conflicts,
+                         " cross-root conflict pair(s) semantically commute "
+                         "(spec-covered): every exported order is forgotten "
+                         "on pull-up");
     } else if (ex.meet && ex.pulled_up_cross_conflicts > 0) {
       ex.detail = StrCat("meet schedule with ", ex.pulled_up_cross_conflicts,
                          " pulled-up cross-root conflict pair(s): pull-up "
@@ -211,6 +260,61 @@ StaticAnalysis AnalyzeConfiguration(const CompositeSystem& cs,
     return analysis;
   }
 
+  // Semantic shared-bottom rule.  With a commutativity spec attached, a
+  // configuration the bit-level theorems cannot cover is still provably
+  // SAFE when it decomposes into per-root invocation chains over
+  // bottom-level meet schedules whose cross-root conflicts all commute
+  // semantically:
+  //   - no strong orders exist anywhere, so CollectPulledDownPairs never
+  //     couples different roots' subtrees;
+  //   - every meet schedule sits at level 1 and is fully spec-covered, so
+  //     each cross-root order it exports is forgotten on the level-1
+  //     pull-up (Def 10.2 with the effective conflict relation) and its
+  //     own CC check (serialization ∪ input over T_S, semantic) is
+  //     exactly the level-1 front consistency test;
+  //   - every other schedule serves one root and forms a chain, so from
+  //     level 2 on the fronts are vertex-disjoint unions of per-root
+  //     stacks and Theorem 2 applies per root (local CC suffices).
+  // all_cc holds here (the UNSAFE branch returned above), so the verdict
+  // is SAFE whenever the shape conditions hold.
+  if (cs.HasSpec() && !HasStrongOrders(cs)) {
+    // Distinct invoked schedules per invoker (inert schedules excluded).
+    std::vector<size_t> invokee_count(cs.ScheduleCount(), 0);
+    for (uint32_t t = 0; t < cs.ScheduleCount(); ++t) {
+      if (cs.schedule(ScheduleId(t)).transactions.empty()) continue;
+      for (ScheduleId h : cs.InvokersOf(ScheduleId(t))) {
+        ++invokee_count[h.index()];
+      }
+    }
+    bool decomposes = true;
+    size_t covered_meets = 0;
+    for (const ScheduleExplanation& ex : analysis.schedules) {
+      if (cs.schedule(ex.id).transactions.empty()) continue;
+      if (ex.meet) {
+        if (ex.level != 1 ||
+            ex.semantically_covered != ex.cross_root_conflicts) {
+          decomposes = false;
+          break;
+        }
+        ++covered_meets;
+      } else if (ex.shared || invokee_count[ex.id.index()] > 1) {
+        decomposes = false;
+        break;
+      }
+    }
+    if (decomposes) {
+      analysis.semantic = true;
+      analysis.verdict = SafetyVerdict::kSafe;
+      analysis.reason = StrCat(
+          "semantic shared-bottom decomposition: ", covered_meets,
+          " bottom-level meet schedule(s) fully covered by the "
+          "commutativity spec, per-root chains conflict consistent "
+          "(Theorem 2 per root; cross-root orders all forgotten on "
+          "pull-up)");
+      return analysis;
+    }
+  }
+
   analysis.verdict = SafetyVerdict::kNeedsDynamic;
   analysis.reason = StrCat(
       "no structural theorem covers this ", ConfigShapeToString(analysis.shape),
@@ -228,6 +332,9 @@ std::string FormatStaticAnalysis(const StaticAnalysis& analysis) {
   for (const ScheduleExplanation& ex : analysis.schedules) {
     out = StrCat(out, "  schedule ", ex.name, " (level ", ex.level,
                  "): ", ex.detail, "\n");
+    for (const std::string& line : ex.semantic_trail) {
+      out = StrCat(out, "    ", line, "\n");
+    }
   }
   if (analysis.witness.has_value()) {
     out = StrCat(out, "  witness: ", analysis.witness->description, "\n");

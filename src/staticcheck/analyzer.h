@@ -76,8 +76,22 @@ struct ScheduleExplanation {
   /// roots are already at the final level).  Nonzero is the Fig 4 hazard.
   size_t pulled_up_cross_conflicts = 0;
 
-  /// Serialization ∪ weak-input order over T_S is acyclic.
+  /// Serialization ∪ weak-input order over T_S is acyclic.  Computed on
+  /// the *effective* conflicts: an attached commutativity spec erases
+  /// bit-level conflicts between commuting operations first.
   bool conflict_consistent = true;
+
+  /// Of `cross_root_conflicts`, how many pairs the attached commutativity
+  /// spec proves commuting.  Equal to cross_root_conflicts means the meet
+  /// is semantically covered: every order it exports across roots is
+  /// forgotten on pull-up.  Zero without a spec.
+  size_t semantically_covered = 0;
+
+  /// Explanation trail of the semantic analyzer: one line per cross-root
+  /// conflict pair naming the operations, their ADT operation classes,
+  /// and the table entry (or instance disjointness) that decides them.
+  /// Filled only when the system has a spec and AnalyzerOptions::explain.
+  std::vector<std::string> semantic_trail;
 
   /// One-line human-readable reason.
   std::string detail;
@@ -93,6 +107,11 @@ struct StaticAnalysis {
 
   SafetyVerdict verdict = SafetyVerdict::kNeedsDynamic;
   ConfigShape shape = ConfigShape::kGeneralDag;
+
+  /// True when the verdict was decided by the semantic commutativity rule
+  /// (shared-bottom decomposition), i.e. the bit-level analyzer alone
+  /// would have answered kNeedsDynamic.
+  bool semantic = false;
 
   /// The order N of the composite system (0 when ill-formed).
   uint32_t order = 0;

@@ -19,7 +19,11 @@ namespace {
 /// Shared replay state for the event linter.
 class EventLinter {
  public:
-  explicit EventLinter(std::vector<Diagnostic>& out) : out_(out) {}
+  explicit EventLinter(std::vector<Diagnostic>& out,
+                       const CommutativitySpec* preload = nullptr)
+      : out_(out) {
+    if (preload != nullptr) cs_.AttachSpec(*preload);
+  }
 
   /// Lints and (when well formed) applies one event.  Ill-formed events
   /// are reported and skipped so the scan continues.
@@ -108,6 +112,103 @@ class EventLinter {
         // checking it against the live root count is the certifier's job
         // (it rejects watermarks past the roots created so far).
         return true;
+      case TraceEventKind::kAdtDecl:
+        return CheckAdtDecl(e);
+      case TraceEventKind::kAdtOp:
+        return CheckAdtOp(e);
+      case TraceEventKind::kCommute:
+      case TraceEventKind::kClash:
+        return CheckSpecEntry(e);
+      case TraceEventKind::kTag:
+        return CheckNodeRef(e.parent, "tag") & CheckTag(e);
+    }
+    return true;
+  }
+
+  // Spec-event lint.  Checking before ApplyTraceEvent keeps the codes
+  // specific: the apply path would fold every rejection into CTX050.
+
+  bool CheckAdtDecl(const TraceEvent& e) {
+    const CommutativitySpec* spec = cs_.spec();
+    if (spec != nullptr && spec->FindAdt(e.name) != kInvalidIndex) {
+      Report(DiagCode::kSpecDuplicateDecl, DiagSeverity::kError,
+             StrCat("ADT '", e.name, "' is declared more than once"),
+             "remove the duplicate declaration");
+      has_errors_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool CheckAdtOp(const TraceEvent& e) {
+    const CommutativitySpec* spec = cs_.spec();
+    const size_t adts = spec != nullptr ? spec->AdtCount() : 0;
+    if (e.a >= adts) {
+      Report(DiagCode::kSpecUnknownClass, DiagSeverity::kError,
+             StrCat("adtop references ADT ", e.a, " but only ", adts,
+                    " ADT(s) are declared"),
+             "declare the ADT before its operation classes");
+      has_errors_ = true;
+      return false;
+    }
+    if (spec->FindClass(e.a, e.name) != kInvalidIndex) {
+      Report(DiagCode::kSpecDuplicateDecl, DiagSeverity::kError,
+             StrCat("operation class '", spec->adt(e.a).name, ".", e.name,
+                    "' is declared more than once"),
+             "remove the duplicate declaration");
+      has_errors_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool CheckSpecEntry(const TraceEvent& e) {
+    const CommutativitySpec* spec = cs_.spec();
+    const size_t classes = spec != nullptr ? spec->ClassCount() : 0;
+    const char* kind =
+        e.kind == TraceEventKind::kCommute ? "commute" : "clash";
+    if (e.a >= classes || e.b >= classes) {
+      Report(DiagCode::kSpecUnknownClass, DiagSeverity::kError,
+             StrCat(kind, " entry references class ",
+                    e.a >= classes ? e.a : e.b, " but only ", classes,
+                    " class(es) are declared"),
+             "declare the operation class before using it in the table");
+      has_errors_ = true;
+      return false;
+    }
+    const CommuteEntry desired = e.kind == TraceEventKind::kCommute
+                                     ? CommuteEntry::kCommutes
+                                     : CommuteEntry::kConflicts;
+    const CommuteEntry existing = spec->Lookup(e.a, e.b);
+    if (existing != CommuteEntry::kUnspecified && existing != desired) {
+      Report(DiagCode::kSpecContradictoryEntry, DiagSeverity::kError,
+             StrCat("pair ", spec->ClassLabel(e.a), " x ",
+                    spec->ClassLabel(e.b),
+                    " is declared both commuting and clashing"),
+             "keep exactly one of the two entries");
+      has_errors_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool CheckTag(const TraceEvent& e) {
+    const CommutativitySpec* spec = cs_.spec();
+    const size_t classes = spec != nullptr ? spec->ClassCount() : 0;
+    if (e.a >= classes) {
+      Report(DiagCode::kSpecTagMismatch, DiagSeverity::kError,
+             StrCat("tag references operation class ", e.a, " but only ",
+                    classes, " class(es) are declared"),
+             "declare the class (or pass --spec) before tagging");
+      has_errors_ = true;
+      return false;
+    }
+    if (e.b == kInvalidIndex) {
+      Report(DiagCode::kSpecTagMismatch, DiagSeverity::kError,
+             StrCat("tag instance ", e.b, " is the reserved invalid index"),
+             "use a smaller instance number");
+      has_errors_ = true;
+      return false;
     }
     return true;
   }
@@ -189,6 +290,88 @@ void LintStructure(const CompositeSystem& cs, std::vector<Diagnostic>& out) {
   }
 }
 
+/// Table-level advisories on a commutativity spec: empty ADTs (CTX106),
+/// same-ADT pairs left unspecified (CTX104 — the table must be total
+/// within an ADT), and vacuous all-commuting tables (CTX105).
+void LintSpecTable(const CommutativitySpec& spec,
+                   std::vector<Diagnostic>& out) {
+  for (uint32_t a = 0; a < spec.AdtCount(); ++a) {
+    const AdtDecl& adt = spec.adt(a);
+    if (adt.op_classes.empty()) {
+      out.push_back({DiagSeverity::kWarning, DiagCode::kSpecEmptyAdt,
+                     StrCat("adt ", adt.name), 0,
+                     StrCat("ADT ", adt.name,
+                            " declares no operation classes"),
+                     "declare at least one adtop or drop the ADT"});
+      continue;
+    }
+    for (size_t i = 0; i < adt.op_classes.size(); ++i) {
+      for (size_t j = i; j < adt.op_classes.size(); ++j) {
+        const uint32_t c1 = adt.op_classes[i];
+        const uint32_t c2 = adt.op_classes[j];
+        if (spec.Lookup(c1, c2) == CommuteEntry::kUnspecified) {
+          out.push_back(
+              {DiagSeverity::kError, DiagCode::kSpecIncompleteTable,
+               StrCat("adt ", adt.name), 0,
+               StrCat("pair ", spec.ClassLabel(c1), " x ",
+                      spec.ClassLabel(c2), " is left unspecified; the "
+                      "commutativity table must be total within an ADT"),
+               "declare the pair commute or clash"});
+        }
+      }
+    }
+  }
+  if (spec.ClassCount() > 0 &&
+      spec.CountEntries(CommuteEntry::kConflicts) == 0 &&
+      spec.CountEntries(CommuteEntry::kCommutes) > 0) {
+    out.push_back(
+        {DiagSeverity::kWarning, DiagCode::kSpecAllCommute, "spec", 0,
+         "every declared pair commutes: the spec erases all conflicts "
+         "between tagged operations (vacuous table)",
+         "declare at least one clashing pair or drop the spec"});
+  }
+}
+
+/// CTX108: two same-schedule operations tagged with a clashing class
+/// pair on one instance must carry a CON_S bit.  The spec can only
+/// *erase* declared conflicts (mask-only), so a missing bit means the
+/// bit-level model silently under-approximates the declared semantics.
+void LintSemanticConflicts(const CompositeSystem& cs,
+                           std::vector<Diagnostic>& out) {
+  const CommutativitySpec& spec = *cs.spec();
+  std::vector<std::vector<NodeId>> tagged(cs.ScheduleCount());
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const NodeId id(v);
+    if (cs.node(id).sem_class == kInvalidIndex) continue;
+    const ScheduleId host = cs.HostScheduleOf(id);
+    if (host.valid()) tagged[host.index()].push_back(id);
+  }
+  for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {
+    const Schedule& schedule = cs.schedule(ScheduleId(s));
+    const std::vector<NodeId>& ops = tagged[s];
+    for (size_t i = 0; i < ops.size(); ++i) {
+      for (size_t j = i + 1; j < ops.size(); ++j) {
+        const Node& a = cs.node(ops[i]);
+        const Node& b = cs.node(ops[j]);
+        if (a.sem_instance != b.sem_instance) continue;
+        if (spec.Lookup(a.sem_class, b.sem_class) !=
+            CommuteEntry::kConflicts) {
+          continue;
+        }
+        if (schedule.conflicts.Contains(ops[i], ops[j])) continue;
+        out.push_back(
+            {DiagSeverity::kWarning, DiagCode::kSpecUndeclaredSemConflict,
+             StrCat("schedule ", schedule.name), 0,
+             StrCat("operations ", a.name, " and ", b.name,
+                    " clash semantically (", spec.ClassLabel(a.sem_class),
+                    " x ", spec.ClassLabel(b.sem_class),
+                    " on one instance) but carry no CON_S bit"),
+             "declare the conflict; the spec only erases declared bits"});
+      }
+    }
+  }
+}
+
 LintResult FinishLint(EventLinter& linter, const LintOptions& options,
                       std::vector<Diagnostic> diags) {
   LintResult result;
@@ -197,6 +380,10 @@ LintResult FinishLint(EventLinter& linter, const LintOptions& options,
   result.buildable = true;
   if (options.structure) {
     LintStructure(linter.system(), result.diagnostics);
+    if (linter.system().HasSpec()) {
+      LintSpecTable(*linter.system().spec(), result.diagnostics);
+      LintSemanticConflicts(linter.system(), result.diagnostics);
+    }
   }
   if (options.model_rules) {
     for (Diagnostic& d : CollectModelDiagnostics(linter.system())) {
@@ -212,7 +399,7 @@ LintResult FinishLint(EventLinter& linter, const LintOptions& options,
 LintResult LintTraceEvents(const std::vector<TraceEvent>& events,
                            const LintOptions& options) {
   std::vector<Diagnostic> diags;
-  EventLinter linter(diags);
+  EventLinter linter(diags, options.spec);
   for (size_t i = 0; i < events.size(); ++i) {
     linter.Consume(events[i], StrCat("event ", i + 1), 0);
   }
@@ -223,7 +410,7 @@ LintResult LintTraceText(const std::string& text, const LintOptions& options) {
   // Mirror ParseTraceEvents' framing so diagnostics carry real line
   // numbers, but keep scanning past bad records.
   std::vector<Diagnostic> diags;
-  EventLinter linter(diags);
+  EventLinter linter(diags, options.spec);
   std::istringstream in(text);
   std::string line;
   uint32_t line_number = 0;
@@ -370,6 +557,14 @@ std::vector<Diagnostic> LintWorkloadSpec(const workload::WorkloadSpec& spec) {
   check_size(spec.topology.branches, "branches");
   check_size(spec.topology.roots, "roots");
   check_size(spec.topology.fanout, "fanout");
+  if (spec.execution.adt != workload::AdtMix::kNone &&
+      spec.execution.adt_instances == 0) {
+    diags.push_back({DiagSeverity::kWarning, DiagCode::kDegenerateWorkload,
+                     "spec.adt_instances", 0,
+                     "adt_instances = 0 is clamped to one instance (every "
+                     "tagged pair then shares it)",
+                     "use a positive instance count"});
+  }
 
   if (spec.execution.order_preserving_outputs &&
       spec.execution.disorder_prob > 0.0) {
@@ -381,6 +576,138 @@ std::vector<Diagnostic> LintWorkloadSpec(const workload::WorkloadSpec& spec) {
          "set disorder_prob to 0 or disable order_preserving_outputs"});
   }
   return diags;
+}
+
+SpecLintResult LintSpecText(const std::string& text) {
+  SpecLintResult result;
+  CommutativitySpec spec;
+  std::istringstream in(text);
+  std::string line;
+  uint32_t line_number = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  bool apply_errors = false;
+  auto report = [&](DiagCode code, DiagSeverity severity, std::string message,
+                    std::string fix) {
+    if (severity == DiagSeverity::kError) apply_errors = true;
+    result.diagnostics.push_back({severity, code, "spec", line_number,
+                                  std::move(message), std::move(fix)});
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "comptx-spec v1") {
+        report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+               "missing comptx-spec v1 header",
+               "start the file with 'comptx-spec v1'");
+        return result;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) break;
+    if (line == "end" || StartsWith(line, "end ")) {
+      saw_end = true;
+      continue;
+    }
+    auto parsed = workload::ParseTraceEventLine(line);
+    if (!parsed.ok()) {
+      report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+             parsed.status().message(), "fix the record syntax");
+      continue;
+    }
+    const TraceEvent& e = *parsed;
+    switch (e.kind) {
+      case TraceEventKind::kAdtDecl: {
+        if (spec.FindAdt(e.name) != kInvalidIndex) {
+          report(DiagCode::kSpecDuplicateDecl, DiagSeverity::kError,
+                 StrCat("ADT '", e.name, "' is declared more than once"),
+                 "remove the duplicate declaration");
+          break;
+        }
+        Status applied = spec.DeclareAdt(e.name).status();
+        if (!applied.ok()) {
+          report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+                 applied.message(), "fix the declaration");
+        }
+        break;
+      }
+      case TraceEventKind::kAdtOp: {
+        if (e.a >= spec.AdtCount()) {
+          report(DiagCode::kSpecUnknownClass, DiagSeverity::kError,
+                 StrCat("adtop references ADT ", e.a, " but only ",
+                        spec.AdtCount(), " ADT(s) are declared"),
+                 "declare the ADT before its operation classes");
+          break;
+        }
+        if (spec.FindClass(e.a, e.name) != kInvalidIndex) {
+          report(DiagCode::kSpecDuplicateDecl, DiagSeverity::kError,
+                 StrCat("operation class '", spec.adt(e.a).name, ".", e.name,
+                        "' is declared more than once"),
+                 "remove the duplicate declaration");
+          break;
+        }
+        Status applied = spec.DeclareOpClass(e.a, e.name).status();
+        if (!applied.ok()) {
+          report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+                 applied.message(), "fix the declaration");
+        }
+        break;
+      }
+      case TraceEventKind::kCommute:
+      case TraceEventKind::kClash: {
+        const char* kind =
+            e.kind == TraceEventKind::kCommute ? "commute" : "clash";
+        if (e.a >= spec.ClassCount() || e.b >= spec.ClassCount()) {
+          report(DiagCode::kSpecUnknownClass, DiagSeverity::kError,
+                 StrCat(kind, " entry references class ",
+                        e.a >= spec.ClassCount() ? e.a : e.b, " but only ",
+                        spec.ClassCount(), " class(es) are declared"),
+                 "declare the operation class before using it in the table");
+          break;
+        }
+        const CommuteEntry desired = e.kind == TraceEventKind::kCommute
+                                         ? CommuteEntry::kCommutes
+                                         : CommuteEntry::kConflicts;
+        const CommuteEntry existing = spec.Lookup(e.a, e.b);
+        if (existing != CommuteEntry::kUnspecified && existing != desired) {
+          report(DiagCode::kSpecContradictoryEntry, DiagSeverity::kError,
+                 StrCat("pair ", spec.ClassLabel(e.a), " x ",
+                        spec.ClassLabel(e.b),
+                        " is declared both commuting and clashing"),
+                 "keep exactly one of the two entries");
+          break;
+        }
+        Status applied = spec.SetEntry(e.a, e.b, desired);
+        if (!applied.ok()) {
+          report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+                 applied.message(), "fix the entry");
+        }
+        break;
+      }
+      default:
+        report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+               StrCat("'", workload::TraceEventKindToString(e.kind),
+                      "' records are not part of a commutativity spec"),
+               "only adt, adtop, commute and clash records are allowed");
+    }
+  }
+  if (!saw_header) {
+    report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+           "missing comptx-spec v1 header",
+           "start the file with 'comptx-spec v1'");
+    return result;
+  }
+  if (!saw_end) {
+    report(DiagCode::kSpecMalformed, DiagSeverity::kError,
+           "spec missing 'end' record", "terminate the file with 'end'");
+  }
+  if (apply_errors) return result;
+  result.buildable = true;
+  LintSpecTable(spec, result.diagnostics);
+  result.spec = std::move(spec);
+  return result;
 }
 
 }  // namespace comptx::staticcheck

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/commutativity.h"
 #include "core/composite_system.h"
 #include "core/diagnostic.h"
 #include "workload/trace.h"
@@ -20,8 +21,15 @@ struct LintOptions {
 
   /// After a clean replay, emit structural advisories: empty system
   /// (CTX020), orphan schedulers (CTX021), forgotten-order hazards from
-  /// shared schedulers with cross-root conflicts (CTX029).
+  /// shared schedulers with cross-root conflicts (CTX029), and — when a
+  /// commutativity spec is attached — the CTX104-CTX108 table checks.
   bool structure = true;
+
+  /// Pre-built commutativity spec to attach before replaying events (the
+  /// `comptx_lint --spec` path).  The trace's tags are then checked
+  /// against these classes; in-band adt/adtop declarations extend it.
+  /// Not owned; must outlive the lint call.
+  const CommutativitySpec* spec = nullptr;
 };
 
 /// Result of linting one spec (trace or witness).
@@ -61,6 +69,27 @@ LintResult LintWitnessJson(const std::string& json,
 /// degenerate sizes that generate empty workloads (CTX041), and
 /// incompatible flag combinations (CTX042).
 std::vector<Diagnostic> LintWorkloadSpec(const workload::WorkloadSpec& spec);
+
+/// Result of linting a standalone commutativity-spec document.
+struct SpecLintResult {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True iff the document parsed and every declaration applied cleanly;
+  /// `spec` then holds the built table.  Table-level findings (an
+  /// incomplete table, CTX104) may still be present — the unspecified
+  /// pairs conservatively conflict, so the spec stays sound to use.
+  bool buildable = false;
+  std::optional<CommutativitySpec> spec;
+};
+
+/// Parses `text` as a "comptx-spec v1" document — adt / adtop / commute /
+/// clash records terminated by "end" — and lints it.  Parse errors and
+/// foreign record kinds are CTX100; duplicate declarations CTX101;
+/// references to undeclared ADTs or classes CTX102; contradictory table
+/// entries CTX103; same-ADT pairs left unspecified CTX104 (error: the
+/// table must be total); all-commuting tables CTX105 (warning); ADTs
+/// without operation classes CTX106 (warning).
+SpecLintResult LintSpecText(const std::string& text);
 
 }  // namespace comptx::staticcheck
 

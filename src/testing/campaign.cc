@@ -59,6 +59,18 @@ workload::WorkloadSpec RandomSpec(Rng& rng) {
   spec.execution.disorder_prob = 0.6 * rng.UniformDouble();
   spec.execution.intra_weak_prob = 0.4 * rng.UniformDouble();
   spec.execution.intra_strong_prob = 0.5 * spec.execution.intra_weak_prob;
+  // A third of the stream carries a commutativity spec, so the semantic
+  // layer (EffectiveConflict in every decider, the semantic-mask check,
+  // the semantic static rule) is fuzzed alongside the bit-level paths.
+  if (rng.UniformInt(3) == 0) {
+    const workload::AdtMix mixes[] = {
+        workload::AdtMix::kCounter, workload::AdtMix::kSet,
+        workload::AdtMix::kQueue, workload::AdtMix::kEscrow,
+        workload::AdtMix::kMixed};
+    spec.execution.adt = mixes[rng.UniformInt(5)];
+    spec.execution.adt_instances =
+        1 + static_cast<uint32_t>(rng.UniformInt(4));
+  }
   return spec;
 }
 

@@ -29,6 +29,8 @@ const char* InjectedBugToString(InjectedBug bug) {
       return "flip-criteria";
     case InjectedBug::kFlipStatic:
       return "flip-static";
+    case InjectedBug::kFlipCommutes:
+      return "flip-commutes";
   }
   return "unknown";
 }
@@ -218,6 +220,80 @@ void CheckStatic(const CompositeSystem& cs, const CompCResult& batch,
   }
 }
 
+/// The semantic conflict layer is a pure mask: EffectiveConflict(s, a, b)
+/// is the declared bit minus spec-proven commutation.  So a clone whose
+/// raw bits ARE the masked set — every erased pair's conflict event
+/// dropped, no spec attached — must reduce to the identical verdict.  A
+/// mismatch means some decision path consulted raw bits where the mask
+/// applies (or applied the mask twice).  kFlipCommutes keeps the first
+/// erased pair in the clone, modeling exactly that bug.
+void CheckSemanticMask(const CompositeSystem& cs, const CompCResult& batch,
+                       const DifferentialOptions& options,
+                       DifferentialReport& report) {
+  if (!cs.HasSpec()) return;
+  auto events = SystemToEvents(cs);
+  if (!events.ok()) {
+    report.disagreements.push_back(
+        {"batch-vs-semantic",
+         StrCat("trace serialization failed: ", events.status().message())});
+    return;
+  }
+  const bool flip = options.inject == InjectedBug::kFlipCommutes;
+  bool flipped = false;
+  size_t erased = 0;
+  std::vector<workload::TraceEvent> masked;
+  masked.reserve(events->size());
+  for (const workload::TraceEvent& e : *events) {
+    switch (e.kind) {
+      case workload::TraceEventKind::kAdtDecl:
+      case workload::TraceEventKind::kAdtOp:
+      case workload::TraceEventKind::kCommute:
+      case workload::TraceEventKind::kClash:
+      case workload::TraceEventKind::kTag:
+        // The clone carries no spec; its raw bits are the effective set.
+        continue;
+      case workload::TraceEventKind::kConflict:
+        if (cs.SemanticallyCommutes(NodeId(e.a), NodeId(e.b))) {
+          if (flip && !flipped) {
+            flipped = true;  // re-materialize one pair the spec erases
+            break;
+          }
+          ++erased;
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    masked.push_back(e);
+  }
+  auto clone = BuildSystem(masked);
+  if (!clone.ok()) {
+    report.disagreements.push_back(
+        {"batch-vs-semantic",
+         StrCat("masked clone rebuild failed: ", clone.status().message())});
+    return;
+  }
+  ReductionOptions ropts;
+  ropts.validate = false;  // mask-only: the clone's bits are a subset
+  ropts.keep_fronts = false;
+  auto masked_batch = CheckCompC(*clone, ropts);
+  if (!masked_batch.ok()) {
+    report.disagreements.push_back(
+        {"batch-vs-semantic", StrCat("masked clone reduction failed: ",
+                                     masked_batch.status().message())});
+    return;
+  }
+  if (masked_batch->correct != batch.correct) {
+    report.disagreements.push_back(
+        {"batch-vs-semantic",
+         StrCat("spec-attached batch says ", Verdict(batch.correct),
+                ", materialized mask (", erased,
+                " conflict pair(s) erased) says ",
+                Verdict(masked_batch->correct))});
+  }
+}
+
 }  // namespace
 
 StatusOr<DifferentialReport> CheckConformance(
@@ -258,6 +334,9 @@ StatusOr<DifferentialReport> CheckConformance(
   }
   if (options.check_static) {
     CheckStatic(cs, batch, options, report);
+  }
+  if (options.check_semantics) {
+    CheckSemanticMask(cs, batch, options, report);
   }
   return report;
 }

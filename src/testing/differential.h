@@ -23,6 +23,11 @@ enum class InjectedBug : uint8_t {
   kFlipCriteria,
   /// Negate the static analyzer's SAFE/UNSAFE verdict when it decides.
   kFlipStatic,
+  /// Corrupt the semantic conflict layer: keep one conflict pair the
+  /// attached spec erases, simulating a decider that consults raw bits
+  /// where EffectiveConflict applies.  Only bites on systems with a spec
+  /// that masks at least one load-bearing pair.
+  kFlipCommutes,
 };
 
 const char* InjectedBugToString(InjectedBug bug);
@@ -43,6 +48,13 @@ struct DifferentialOptions {
   /// (SAFE or UNSAFE — exact verdicts, never conservative), the verdict
   /// must match the batch reduction.
   bool check_static = true;
+
+  /// Cross-check the semantic conflict layer on spec-carrying systems:
+  /// materialize the spec's erasure into raw conflict bits (drop every
+  /// declared pair the spec proves commuting), detach the spec, and
+  /// re-run the batch reduction.  EffectiveConflict is definitionally
+  /// this masking, so the verdicts must be identical.
+  bool check_semantics = true;
 
   /// Verify the serial witness of an accepted execution (Theorem 1 "if"):
   /// the serial front it induces must be serial and level-N-contain the

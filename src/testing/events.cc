@@ -45,13 +45,23 @@ std::vector<TraceEvent> FilterEvents(const std::vector<TraceEvent>& events,
   // kInvalidIndex marks a dropped (or never-created) entity.
   std::vector<uint32_t> sched_map;
   std::vector<uint32_t> node_map;
+  std::vector<uint32_t> adt_map;
+  std::vector<uint32_t> class_map;
   uint32_t next_sched = 0;
   uint32_t next_node = 0;
+  uint32_t next_adt = 0;
+  uint32_t next_class = 0;
   auto sched_ok = [&](uint32_t s) {
     return s < sched_map.size() && sched_map[s] != kInvalidIndex;
   };
   auto node_ok = [&](uint32_t v) {
     return v < node_map.size() && node_map[v] != kInvalidIndex;
+  };
+  auto adt_ok = [&](uint32_t a) {
+    return a < adt_map.size() && adt_map[a] != kInvalidIndex;
+  };
+  auto class_ok = [&](uint32_t c) {
+    return c < class_map.size() && class_map[c] != kInvalidIndex;
   };
 
   std::vector<TraceEvent> out;
@@ -122,6 +132,29 @@ std::vector<TraceEvent> FilterEvents(const std::vector<TraceEvent>& events,
         // renumbering changes; dropping the record keeps the filtered
         // trace self-consistent (commit markers never affect verdicts).
         continue;
+      case TraceEventKind::kAdtDecl:
+        adt_map.push_back(kept ? next_adt : kInvalidIndex);
+        if (!kept) continue;
+        ++next_adt;
+        break;
+      case TraceEventKind::kAdtOp:
+        kept = kept && adt_ok(e.a);
+        class_map.push_back(kept ? next_class : kInvalidIndex);
+        if (!kept) continue;
+        r.a = adt_map[e.a];
+        ++next_class;
+        break;
+      case TraceEventKind::kCommute:
+      case TraceEventKind::kClash:
+        if (!kept || !class_ok(e.a) || !class_ok(e.b)) continue;
+        r.a = class_map[e.a];
+        r.b = class_map[e.b];
+        break;
+      case TraceEventKind::kTag:
+        if (!kept || !node_ok(e.parent) || !class_ok(e.a)) continue;
+        r.parent = node_map[e.parent];
+        r.a = class_map[e.a];
+        break;
     }
     out.push_back(std::move(r));
   }

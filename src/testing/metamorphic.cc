@@ -43,9 +43,12 @@ std::vector<TraceEvent> Rename(std::vector<TraceEvent> events, Rng& rng) {
 std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
                                 Rng& rng) {
   const size_t n = events.size();
-  // Creation event index of each schedule / node (old numbering).
+  // Creation event index of each schedule / node / ADT / op class (old
+  // numbering).
   std::vector<size_t> sched_event;
   std::vector<size_t> node_event;
+  std::vector<size_t> adt_event;
+  std::vector<size_t> class_event;
   std::vector<std::vector<size_t>> deps(n);
   bool malformed = false;  // forward/out-of-range refs: leave stream as is
   for (size_t i = 0; i < n; ++i) {
@@ -60,6 +63,20 @@ std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
     auto dep_node = [&](uint32_t v) {
       if (v < node_event.size()) {
         deps[i].push_back(node_event[v]);
+      } else {
+        malformed = true;
+      }
+    };
+    auto dep_adt = [&](uint32_t a) {
+      if (a < adt_event.size()) {
+        deps[i].push_back(adt_event[a]);
+      } else {
+        malformed = true;
+      }
+    };
+    auto dep_class = [&](uint32_t c) {
+      if (c < class_event.size()) {
+        deps[i].push_back(class_event[c]);
       } else {
         malformed = true;
       }
@@ -108,6 +125,22 @@ std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
         // so leave such traces unshuffled.
         malformed = true;
         break;
+      case TraceEventKind::kAdtDecl:
+        adt_event.push_back(i);
+        break;
+      case TraceEventKind::kAdtOp:
+        dep_adt(e.a);
+        class_event.push_back(i);
+        break;
+      case TraceEventKind::kCommute:
+      case TraceEventKind::kClash:
+        dep_class(e.a);
+        dep_class(e.b);
+        break;
+      case TraceEventKind::kTag:
+        dep_node(e.parent);
+        dep_class(e.a);
+        break;
     }
   }
 
@@ -143,17 +176,29 @@ std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
   // Re-emit in the new order, renumbering creation indices.
   std::vector<uint32_t> sched_map(sched_event.size(), kInvalidIndex);
   std::vector<uint32_t> node_map(node_event.size(), kInvalidIndex);
+  std::vector<uint32_t> adt_map(adt_event.size(), kInvalidIndex);
+  std::vector<uint32_t> class_map(class_event.size(), kInvalidIndex);
   // Old creation index of each creation event (inverse of *_event).
   std::vector<uint32_t> sched_of_event(n, kInvalidIndex);
   std::vector<uint32_t> node_of_event(n, kInvalidIndex);
+  std::vector<uint32_t> adt_of_event(n, kInvalidIndex);
+  std::vector<uint32_t> class_of_event(n, kInvalidIndex);
   for (size_t s = 0; s < sched_event.size(); ++s) {
     sched_of_event[sched_event[s]] = static_cast<uint32_t>(s);
   }
   for (size_t v = 0; v < node_event.size(); ++v) {
     node_of_event[node_event[v]] = static_cast<uint32_t>(v);
   }
+  for (size_t a = 0; a < adt_event.size(); ++a) {
+    adt_of_event[adt_event[a]] = static_cast<uint32_t>(a);
+  }
+  for (size_t c = 0; c < class_event.size(); ++c) {
+    class_of_event[class_event[c]] = static_cast<uint32_t>(c);
+  }
   uint32_t next_sched = 0;
   uint32_t next_node = 0;
+  uint32_t next_adt = 0;
+  uint32_t next_class = 0;
   std::vector<TraceEvent> out;
   out.reserve(n);
   for (size_t i : order) {
@@ -163,6 +208,36 @@ std::vector<TraceEvent> Shuffle(const std::vector<TraceEvent>& events,
     }
     if (node_of_event[i] != kInvalidIndex) {
       node_map[node_of_event[i]] = next_node++;
+    }
+    if (adt_of_event[i] != kInvalidIndex) {
+      adt_map[adt_of_event[i]] = next_adt++;
+    }
+    if (class_of_event[i] != kInvalidIndex) {
+      class_map[class_of_event[i]] = next_class++;
+    }
+    // The spec kinds index ADTs and classes, not nodes, so they bypass the
+    // generic node renumbering below (kTag's b is a literal instance).
+    switch (r.kind) {
+      case TraceEventKind::kAdtDecl:
+        out.push_back(std::move(r));
+        continue;
+      case TraceEventKind::kAdtOp:
+        r.a = adt_map[r.a];
+        out.push_back(std::move(r));
+        continue;
+      case TraceEventKind::kCommute:
+      case TraceEventKind::kClash:
+        r.a = class_map[r.a];
+        r.b = class_map[r.b];
+        out.push_back(std::move(r));
+        continue;
+      case TraceEventKind::kTag:
+        r.parent = node_map[r.parent];
+        r.a = class_map[r.a];
+        out.push_back(std::move(r));
+        continue;
+      default:
+        break;
     }
     switch (r.kind) {
       case TraceEventKind::kRoot:

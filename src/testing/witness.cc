@@ -261,6 +261,7 @@ std::optional<InjectedBug> ParseInjectedBug(const std::string& name) {
   if (name == "flip-online") return InjectedBug::kFlipOnline;
   if (name == "flip-criteria") return InjectedBug::kFlipCriteria;
   if (name == "flip-static") return InjectedBug::kFlipStatic;
+  if (name == "flip-commutes") return InjectedBug::kFlipCommutes;
   return std::nullopt;
 }
 

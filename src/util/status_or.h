@@ -38,6 +38,11 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // The class invariant ties ok() to value_.has_value(): the value
+  // constructor engages both, the status constructor neither, and no
+  // mutator breaks the pairing.  The COMPTX_CHECK aborts on violation,
+  // which clang-tidy's optional-access analysis cannot see through.
+  // NOLINTBEGIN(bugprone-unchecked-optional-access)
   const T& value() const& {
     COMPTX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
     return *value_;
@@ -50,6 +55,7 @@ class StatusOr {
     COMPTX_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
     return std::move(*value_);
   }
+  // NOLINTEND(bugprone-unchecked-optional-access)
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }

@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/commutativity.h"
 #include "core/indexing.h"
 #include "core/invocation_graph.h"
 #include "graph/digraph.h"
+#include "util/string_util.h"
 
 namespace comptx::workload {
+
+const char* AdtMixToString(AdtMix mix) {
+  switch (mix) {
+    case AdtMix::kNone:
+      return "none";
+    case AdtMix::kCounter:
+      return "counter";
+    case AdtMix::kSet:
+      return "set";
+    case AdtMix::kQueue:
+      return "queue";
+    case AdtMix::kEscrow:
+      return "escrow";
+    case AdtMix::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+StatusOr<AdtMix> ParseAdtMix(const std::string& name) {
+  for (AdtMix mix : {AdtMix::kNone, AdtMix::kCounter, AdtMix::kSet,
+                     AdtMix::kQueue, AdtMix::kEscrow, AdtMix::kMixed}) {
+    if (name == AdtMixToString(mix)) return mix;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown ADT mix \"", name,
+             "\" (want none|counter|set|queue|escrow|mixed)"));
+}
 
 namespace {
 
@@ -61,6 +91,55 @@ std::vector<uint32_t> RandomTopologicalOrder(const graph::Digraph& g,
   return order;
 }
 
+/// Attaches the built-in tables of `spec.adt` and tags every leaf with a
+/// random (class, instance).  Instance numbers are partitioned per ADT so
+/// leaves of different ADTs never share an instance.
+Status ApplyAdtProfile(CompositeSystem& cs, const ExecutionGenSpec& spec,
+                       Rng& rng) {
+  std::vector<BuiltinAdt> kinds;
+  switch (spec.adt) {
+    case AdtMix::kNone:
+      return Status::OK();
+    case AdtMix::kCounter:
+      kinds = {BuiltinAdt::kCounter};
+      break;
+    case AdtMix::kSet:
+      kinds = {BuiltinAdt::kSet};
+      break;
+    case AdtMix::kQueue:
+      kinds = {BuiltinAdt::kQueue};
+      break;
+    case AdtMix::kEscrow:
+      kinds = {BuiltinAdt::kEscrow};
+      break;
+    case AdtMix::kMixed:
+      kinds = {BuiltinAdt::kCounter, BuiltinAdt::kSet, BuiltinAdt::kQueue,
+               BuiltinAdt::kEscrow};
+      break;
+  }
+  CommutativitySpec built;
+  std::vector<std::vector<uint32_t>> classes;
+  for (BuiltinAdt kind : kinds) {
+    COMPTX_ASSIGN_OR_RETURN(uint32_t adt, DeclareBuiltinAdt(built, kind));
+    classes.push_back(built.adt(adt).op_classes);
+  }
+  cs.AttachSpec(std::move(built));
+  const uint32_t instances = std::max(1u, spec.adt_instances);
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const NodeId id(v);
+    if (!cs.node(id).IsLeaf()) continue;
+    const size_t pick =
+        kinds.size() == 1 ? 0 : static_cast<size_t>(rng.UniformInt(kinds.size()));
+    const std::vector<uint32_t>& cls = classes[pick];
+    const uint32_t op_class = cls[rng.UniformInt(cls.size())];
+    const uint32_t instance =
+        static_cast<uint32_t>(pick) * instances +
+        static_cast<uint32_t>(rng.UniformInt(instances));
+    COMPTX_RETURN_IF_ERROR(cs.TagOperation(id, op_class, instance));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status PopulateExecution(CompositeSystem& cs, const ExecutionGenSpec& spec,
@@ -70,6 +149,7 @@ Status PopulateExecution(CompositeSystem& cs, const ExecutionGenSpec& spec,
         "order_preserving_outputs requires disorder_prob == 0");
   }
   COMPTX_ASSIGN_OR_RETURN(InvocationGraphResult ig, BuildInvocationGraph(cs));
+  COMPTX_RETURN_IF_ERROR(ApplyAdtProfile(cs, spec, rng));
 
   // Random intra-transaction orders along one permutation per transaction.
   for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
@@ -103,11 +183,20 @@ Status PopulateExecution(CompositeSystem& cs, const ExecutionGenSpec& spec,
     if (ops.empty()) continue;
     NodeIndexMap index(ops);
 
-    // Random conflicts between operations of distinct transactions.
+    // Conflicts between operations of distinct transactions.  Tagged
+    // pairs are decided by their instances: same instance always gets a
+    // bit (the pessimistic syntactic CON a spec can then erase), distinct
+    // instances never do.  Pairs with an untagged member stay random.
     for (size_t i = 0; i < ops.size(); ++i) {
       for (size_t j = i + 1; j < ops.size(); ++j) {
-        if (cs.node(ops[i]).parent == cs.node(ops[j]).parent) continue;
-        if (rng.Bernoulli(spec.conflict_prob)) {
+        const Node& na = cs.node(ops[i]);
+        const Node& nb = cs.node(ops[j]);
+        if (na.parent == nb.parent) continue;
+        if (na.sem_class != kInvalidIndex && nb.sem_class != kInvalidIndex) {
+          if (na.sem_instance == nb.sem_instance) {
+            COMPTX_RETURN_IF_ERROR(cs.AddConflict(ops[i], ops[j]));
+          }
+        } else if (rng.Bernoulli(spec.conflict_prob)) {
           COMPTX_RETURN_IF_ERROR(cs.AddConflict(ops[i], ops[j]));
         }
       }

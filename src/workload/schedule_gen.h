@@ -1,11 +1,30 @@
 #ifndef COMPTX_WORKLOAD_SCHEDULE_GEN_H_
 #define COMPTX_WORKLOAD_SCHEDULE_GEN_H_
 
+#include <string>
+
 #include "core/composite_system.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/status_or.h"
 
 namespace comptx::workload {
+
+/// Which built-in ADT tables tag the generated leaf operations.
+enum class AdtMix : uint8_t {
+  kNone,     // no spec: pure bit-level workload
+  kCounter,  // every leaf is a counter op (inc/dec/read)
+  kSet,      // every leaf is a set op (add/remove/contains)
+  kQueue,    // every leaf is a queue op (enq/deq)
+  kEscrow,   // every leaf is an escrow op (deposit/withdraw/read)
+  kMixed,    // leaves drawn uniformly from all four ADTs
+};
+
+const char* AdtMixToString(AdtMix mix);
+
+/// Inverse of AdtMixToString ("none", "counter", "set", "queue",
+/// "escrow", "mixed") — the accepted values of the tools' --adt flag.
+StatusOr<AdtMix> ParseAdtMix(const std::string& name);
 
 /// Parameters for PopulateExecution.
 struct ExecutionGenSpec {
@@ -33,6 +52,19 @@ struct ExecutionGenSpec {
 
   /// Probability that such an intra order is also strong.
   double intra_strong_prob = 0.05;
+
+  /// When not kNone, attach the built-in commutativity tables and tag
+  /// every leaf operation with a random (class, instance) of the chosen
+  /// mix.  Conflict bits between tagged leaves are then *deterministic*
+  /// and pessimistic — every same-instance pair gets a CON_S bit, as a
+  /// syntactic analyzer would declare — so the semantic layer has
+  /// exactly the commuting subset to erase.  `conflict_prob` still
+  /// drives pairs with an untagged member (subtransaction operations).
+  AdtMix adt = AdtMix::kNone;
+
+  /// Distinct instances per ADT that tagged leaves are spread over.
+  /// Fewer instances mean denser same-instance (conflicting) pairs.
+  uint32_t adt_instances = 4;
 };
 
 /// Fills a structural composite system (from GenerateTopology) with a

@@ -17,6 +17,8 @@ const char* TopologyKindToString(TopologyKind kind) {
       return "join";
     case TopologyKind::kLayeredDag:
       return "layered_dag";
+    case TopologyKind::kSharedBottom:
+      return "shared_bottom";
   }
   return "unknown";
 }
@@ -143,6 +145,47 @@ CompositeSystem GenerateLayeredDag(const TopologySpec& spec, Rng& rng) {
   return cs;
 }
 
+// Per-root chains of depth-1 schedules over one common bottom schedule
+// SB whose operations are all leaves.  SB is a meet at level 1; every
+// chain schedule serves one root and invokes exactly one schedule — the
+// shape the semantic shared-bottom rule decides statically.
+CompositeSystem GenerateSharedBottom(const TopologySpec& spec) {
+  CompositeSystem cs;
+  const uint32_t chain = spec.depth > 1 ? spec.depth - 1 : 1;
+  std::vector<std::vector<ScheduleId>> chains(spec.roots);
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    for (uint32_t l = 0; l < chain; ++l) {
+      chains[r].push_back(
+          cs.AddSchedule(StrCat("C", r + 1, "_", chain - l)));
+    }
+  }
+  ScheduleId bottom = cs.AddSchedule("SB");
+  uint32_t counter = 0;
+  for (uint32_t r = 0; r < spec.roots; ++r) {
+    std::vector<NodeId> frontier;
+    frontier.push_back(
+        MustAdd(cs.AddRootTransaction(chains[r][0], StrCat("T", r + 1))));
+    for (uint32_t l = 1; l < chain; ++l) {
+      std::vector<NodeId> next;
+      for (NodeId txn : frontier) {
+        for (uint32_t i = 0; i < spec.fanout; ++i) {
+          next.push_back(MustAdd(cs.AddSubtransaction(
+              txn, chains[r][l], StrCat("t", counter++))));
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (NodeId txn : frontier) {
+      for (uint32_t i = 0; i < spec.fanout; ++i) {
+        NodeId sub = MustAdd(
+            cs.AddSubtransaction(txn, bottom, StrCat("t", counter++)));
+        AddLeaves(cs, sub, spec.fanout, counter);
+      }
+    }
+  }
+  return cs;
+}
+
 }  // namespace
 
 CompositeSystem GenerateTopology(const TopologySpec& spec, Rng& rng) {
@@ -159,6 +202,8 @@ CompositeSystem GenerateTopology(const TopologySpec& spec, Rng& rng) {
       return GenerateJoin(spec, rng);
     case TopologyKind::kLayeredDag:
       return GenerateLayeredDag(spec, rng);
+    case TopologyKind::kSharedBottom:
+      return GenerateSharedBottom(spec);
   }
   COMPTX_CHECK(false) << "unreachable";
   return CompositeSystem();

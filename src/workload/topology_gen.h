@@ -15,6 +15,15 @@ enum class TopologyKind : uint8_t {
   kFork,
   kJoin,
   kLayeredDag,
+
+  /// Per-root invocation chains meeting in one shared bottom-level
+  /// schedule (the schedulers-with-a-common-resource-manager picture):
+  /// root r runs on its own stack of depth-1 schedules and every
+  /// bottom-level subtransaction executes on the common schedule SB,
+  /// whose operations are all leaves.  No structural theorem covers the
+  /// shape, but the semantic shared-bottom rule decides it statically
+  /// when SB's cross-root conflicts all commute.
+  kSharedBottom,
 };
 
 const char* TopologyKindToString(TopologyKind kind);

@@ -1,7 +1,9 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
+#include <tuple>
 
 #include "util/string_util.h"
 
@@ -62,6 +64,19 @@ StatusOr<std::optional<TraceEvent>> ParseLine(const std::string& line) {
   } else if (kind == "commit_through") {
     e.kind = TraceEventKind::kCommitThrough;
     ok = static_cast<bool>(fields >> e.a);
+  } else if (kind == "adt") {
+    e.kind = TraceEventKind::kAdtDecl;
+    ok = static_cast<bool>(fields >> e.name);
+  } else if (kind == "adtop") {
+    e.kind = TraceEventKind::kAdtOp;
+    ok = static_cast<bool>(fields >> e.a >> e.name);
+  } else if (kind == "commute" || kind == "clash") {
+    e.kind = kind == "commute" ? TraceEventKind::kCommute
+                               : TraceEventKind::kClash;
+    ok = static_cast<bool>(fields >> e.a >> e.b);
+  } else if (kind == "tag") {
+    e.kind = TraceEventKind::kTag;
+    ok = static_cast<bool>(fields >> e.parent >> e.a >> e.b);
   } else {
     return Status::InvalidArgument(StrCat("unknown record kind '", kind, "'"));
   }
@@ -101,6 +116,16 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "commit";
     case TraceEventKind::kCommitThrough:
       return "commit_through";
+    case TraceEventKind::kAdtDecl:
+      return "adt";
+    case TraceEventKind::kAdtOp:
+      return "adtop";
+    case TraceEventKind::kCommute:
+      return "commute";
+    case TraceEventKind::kClash:
+      return "clash";
+    case TraceEventKind::kTag:
+      return "tag";
   }
   return "unknown";
 }
@@ -130,6 +155,15 @@ std::string FormatTraceEvent(const TraceEvent& e) {
       return StrCat(kind, " ", e.parent);
     case TraceEventKind::kCommitThrough:
       return StrCat(kind, " ", e.a);
+    case TraceEventKind::kAdtDecl:
+      return StrCat(kind, " ", e.name);
+    case TraceEventKind::kAdtOp:
+      return StrCat(kind, " ", e.a, " ", e.name);
+    case TraceEventKind::kCommute:
+    case TraceEventKind::kClash:
+      return StrCat(kind, " ", e.a, " ", e.b);
+    case TraceEventKind::kTag:
+      return StrCat(kind, " ", e.parent, " ", e.a, " ", e.b);
   }
   return kind;
 }
@@ -201,6 +235,16 @@ Status ApplyTraceEvent(CompositeSystem& cs, const TraceEvent& e) {
     case TraceEventKind::kCommit:
     case TraceEventKind::kCommitThrough:
       return Status::OK();
+    case TraceEventKind::kAdtDecl:
+      return cs.DeclareAdt(e.name).status();
+    case TraceEventKind::kAdtOp:
+      return cs.DeclareAdtOp(e.a, e.name).status();
+    case TraceEventKind::kCommute:
+      return cs.DeclareCommute(e.a, e.b);
+    case TraceEventKind::kClash:
+      return cs.DeclareClash(e.a, e.b);
+    case TraceEventKind::kTag:
+      return cs.TagOperation(NodeId(e.parent), e.a, e.b);
   }
   return Status::InvalidArgument("unknown event kind");
 }
@@ -213,6 +257,27 @@ StatusOr<std::string> SaveTrace(const CompositeSystem& cs) {
     COMPTX_RETURN_IF_ERROR(CheckName(sched.name));
     out << "schedule " << sched.name << "\n";
   }
+  if (const CommutativitySpec* spec = cs.spec()) {
+    for (uint32_t a = 0; a < spec->AdtCount(); ++a) {
+      COMPTX_RETURN_IF_ERROR(CheckName(spec->adt(a).name));
+      out << "adt " << spec->adt(a).name << "\n";
+    }
+    for (uint32_t c = 0; c < spec->ClassCount(); ++c) {
+      COMPTX_RETURN_IF_ERROR(CheckName(spec->op_class(c).name));
+      out << "adtop " << spec->op_class(c).adt << " "
+          << spec->op_class(c).name << "\n";
+    }
+    // Deterministic order: entries sorted by packed pair.
+    std::vector<std::tuple<uint32_t, uint32_t, CommuteEntry>> entries;
+    spec->ForEachEntry([&](uint32_t c1, uint32_t c2, CommuteEntry e) {
+      entries.emplace_back(c1, c2, e);
+    });
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [c1, c2, e] : entries) {
+      out << (e == CommuteEntry::kCommutes ? "commute " : "clash ") << c1
+          << " " << c2 << "\n";
+    }
+  }
   for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
     const Node& n = cs.node(NodeId(v));
     COMPTX_RETURN_IF_ERROR(CheckName(n.name));
@@ -223,6 +288,13 @@ StatusOr<std::string> SaveTrace(const CompositeSystem& cs) {
           << " " << n.name << "\n";
     } else {
       out << "leaf " << n.parent.index() << " " << n.name << "\n";
+    }
+  }
+  for (uint32_t v = 0; v < cs.NodeCount(); ++v) {
+    const Node& n = cs.node(NodeId(v));
+    if (n.sem_class != kInvalidIndex) {
+      out << "tag " << v << " " << n.sem_class << " " << n.sem_instance
+          << "\n";
     }
   }
   for (uint32_t s = 0; s < cs.ScheduleCount(); ++s) {

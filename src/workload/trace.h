@@ -34,6 +34,14 @@ enum class TraceEventKind : uint8_t {
                   // counted in root-creation order so the value survives
                   // SaveTrace round trips (which reorder relation events
                   // but preserve node creation order).
+  // Semantic commutativity layer (ADT specs).  ADTs and operation classes
+  // are referenced by declaration-order index, like nodes and schedules;
+  // class indices are global across ADTs.
+  kAdtDecl,       // adt <name>
+  kAdtOp,         // adtop <adt> <name>
+  kCommute,       // commute <class1> <class2>
+  kClash,         // clash <class1> <class2>
+  kTag,           // tag <node> <class> <instance>
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -43,11 +51,13 @@ const char* TraceEventKindToString(TraceEventKind kind);
 /// kInvalidIndex.
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kSchedule;
-  std::string name;                  // kSchedule/kRoot/kSub/kLeaf
+  std::string name;                  // kSchedule/kRoot/kSub/kLeaf/kAdtDecl/kAdtOp
   uint32_t schedule = kInvalidIndex; // kRoot/kSub/kWeakInput/kStrongInput
-  uint32_t parent = kInvalidIndex;   // kSub/kLeaf parent; kIntra* txn; kCommit root
-  uint32_t a = kInvalidIndex;        // first pair member; kCommitThrough watermark
-  uint32_t b = kInvalidIndex;        // second pair member
+  uint32_t parent = kInvalidIndex;   // kSub/kLeaf parent; kIntra* txn;
+                                     // kCommit root; kTag node
+  uint32_t a = kInvalidIndex;        // first pair member; kCommitThrough
+                                     // watermark; kAdtOp adt; kTag class
+  uint32_t b = kInvalidIndex;        // second pair member; kTag instance
 };
 
 /// Renders `event` as one trace line (without trailing newline).

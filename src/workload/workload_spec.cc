@@ -24,7 +24,9 @@ std::string DescribeWorkloadSpec(const WorkloadSpec& spec) {
                 " conflict_prob=", spec.execution.conflict_prob,
                 " disorder_prob=", spec.execution.disorder_prob,
                 " intra_weak_prob=", spec.execution.intra_weak_prob,
-                " intra_strong_prob=", spec.execution.intra_strong_prob);
+                " intra_strong_prob=", spec.execution.intra_strong_prob,
+                " adt=", AdtMixToString(spec.execution.adt),
+                " adt_instances=", spec.execution.adt_instances);
 }
 
 }  // namespace comptx::workload

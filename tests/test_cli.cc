@@ -186,6 +186,17 @@ TEST(LintCliTest, SeededCorpusFlagsTheDocumentedCodes) {
       {"deep_cycle.trace", "CTX001", 1},
       {"commute_contradiction.json", "CTX027", 1},
       {"dangling_scheduler.json", "CTX022", 1},
+      // The ill-formed commutativity-spec corpus, one file per CTX1xx
+      // code (DESIGN.md §14).
+      {"spec_no_header.spec", "CTX100", 1},
+      {"spec_dup_adt.spec", "CTX101", 1},
+      {"spec_unknown_class.spec", "CTX102", 1},
+      {"spec_contradiction.spec", "CTX103", 1},
+      {"spec_incomplete_table.spec", "CTX104", 1},
+      {"spec_all_commute.spec", "CTX105", 0},   // warning, not an error
+      {"spec_empty_adt.spec", "CTX106", 0},     // warning, not an error
+      {"tag_mismatch.trace", "CTX107", 1},
+      {"undeclared_sem_conflict.trace", "CTX108", 0},  // warning
   };
   for (const auto& c : cases) {
     RunResult r = RunCli(StrCat(COMPTX_LINT_BIN, " ", CorpusFile(c.file)));

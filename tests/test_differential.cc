@@ -119,6 +119,67 @@ TEST(DifferentialTest, InjectedFaultsAreDetectedOnStacks) {
   }
 }
 
+TEST(DifferentialTest, AllDecidersAgreeOnAdtWorkloads) {
+  // Spec-carrying systems: every decider consults EffectiveConflict, and
+  // the semantic-mask decider cross-checks the materialized erasure.
+  constexpr workload::AdtMix kMixes[] = {
+      workload::AdtMix::kCounter, workload::AdtMix::kEscrow,
+      workload::AdtMix::kMixed};
+  for (TopologyKind kind : kAllKinds) {
+    for (workload::AdtMix mix : kMixes) {
+      workload::WorkloadSpec spec = MakeSpec(kind);
+      spec.execution.adt = mix;
+      spec.execution.adt_instances = 2;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        auto cs = workload::GenerateSystem(spec, seed);
+        ASSERT_TRUE(cs.ok())
+            << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+            << "): " << cs.status().ToString();
+        ASSERT_TRUE(cs->HasSpec());
+        testing::DifferentialOptions options;
+        auto report = testing::CheckConformance(*cs, options);
+        ASSERT_TRUE(report.ok())
+            << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+            << "): " << report.status().ToString();
+        EXPECT_TRUE(report->agreed())
+            << "seed " << seed << " (" << workload::DescribeWorkloadSpec(spec)
+            << "): " << report->Summary();
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, FlipCommutesIsDetectedOnForgottenOrderDemo) {
+  // The demo's verdict hinges on the one erased pair, so re-materializing
+  // it (the injected bug) must flip the masked clone's verdict.
+  testing::SemanticCrossDemo demo = testing::MakeSemanticCrossDemo(true);
+  {
+    auto clean = testing::CheckConformance(demo.cs);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_TRUE(clean->comp_c) << "spec should rescue the cross anomaly";
+    EXPECT_TRUE(clean->agreed()) << clean->Summary();
+  }
+  testing::DifferentialOptions options;
+  options.inject = testing::InjectedBug::kFlipCommutes;
+  auto report = testing::CheckConformance(demo.cs, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const bool found = std::any_of(
+      report->disagreements.begin(), report->disagreements.end(),
+      [](const testing::Disagreement& d) {
+        return d.check == "batch-vs-semantic";
+      });
+  EXPECT_TRUE(found) << "flip-commutes not reported as batch-vs-semantic: "
+                     << report->Summary();
+}
+
+TEST(DifferentialTest, UntaggedCrossDemoStaysIncorrect) {
+  testing::SemanticCrossDemo demo = testing::MakeSemanticCrossDemo(false);
+  auto report = testing::CheckConformance(demo.cs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->comp_c);
+  EXPECT_TRUE(report->agreed()) << report->Summary();
+}
+
 TEST(MetamorphicTest, TransformsPreserveEveryVerdict) {
   for (TopologyKind kind : kAllKinds) {
     const workload::WorkloadSpec spec = MakeSpec(kind);

@@ -3,6 +3,7 @@
 
 #include "analysis/builder.h"
 #include "core/composite_system.h"
+#include "util/logging.h"
 
 namespace comptx::testing {
 
@@ -83,6 +84,57 @@ inline CompositeSystem MakeCrossAnomaly(bool top_conflicts) {
     b.WeakIn(right, b2, b1);
   }
   return std::move(b.Take());
+}
+
+/// The forgotten-order demo for the semantic conflict layer: the
+/// MakeCrossAnomaly(true) shape — two roots serialized in opposite
+/// directions by two leaf schedules, both subtransaction pairs declared
+/// conflicting at the top — which the raw bits reject (the top schedule
+/// observes T1 -> T2 and T2 -> T1).  With `tag`, the left pair a1, a2 is
+/// tagged as commuting counter increments on one instance: the spec
+/// erases that conflict, its orders are forgotten on pull-up, only the
+/// right pair's T2 -> T1 survives, and the execution is Comp-C.
+struct SemanticCrossDemo {
+  CompositeSystem cs;
+  NodeId a1, a2;      // the (possibly) commuting top-level pair
+  uint32_t inc = 0;   // global class index of counter.inc (when tagged)
+};
+
+inline SemanticCrossDemo MakeSemanticCrossDemo(bool tag) {
+  analysis::CompositeSystemBuilder b;
+  ScheduleId top = b.Schedule("ST");
+  ScheduleId left = b.Schedule("SL");
+  ScheduleId right = b.Schedule("SR");
+  NodeId t1 = b.Root(top, "T1");
+  NodeId t2 = b.Root(top, "T2");
+  SemanticCrossDemo out;
+  out.a1 = b.Sub(t1, left, "a1");
+  out.a2 = b.Sub(t2, left, "a2");
+  NodeId b1 = b.Sub(t1, right, "b1");
+  NodeId b2 = b.Sub(t2, right, "b2");
+  NodeId xa1 = b.Leaf(out.a1, "xa1");
+  NodeId xa2 = b.Leaf(out.a2, "xa2");
+  NodeId xb1 = b.Leaf(b1, "xb1");
+  NodeId xb2 = b.Leaf(b2, "xb2");
+  b.Conflict(xa1, xa2);
+  b.WeakOut(xa1, xa2);  // left says T1 before T2.
+  b.Conflict(xb2, xb1);
+  b.WeakOut(xb2, xb1);  // right says T2 before T1.
+  b.Conflict(out.a1, out.a2);
+  b.WeakOut(out.a1, out.a2);
+  b.WeakIn(left, out.a1, out.a2);
+  b.Conflict(b2, b1);
+  b.WeakOut(b2, b1);
+  b.WeakIn(right, b2, b1);
+  out.cs = std::move(b.Take());
+  if (tag) {
+    uint32_t counter = out.cs.DeclareAdt("counter").value();
+    out.inc = out.cs.DeclareAdtOp(counter, "inc").value();
+    COMPTX_CHECK(out.cs.DeclareCommute(out.inc, out.inc).ok());
+    COMPTX_CHECK(out.cs.TagOperation(out.a1, out.inc, 0).ok());
+    COMPTX_CHECK(out.cs.TagOperation(out.a2, out.inc, 0).ok());
+  }
+  return out;
 }
 
 }  // namespace comptx::testing

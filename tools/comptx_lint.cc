@@ -5,21 +5,30 @@
 // the whole-configuration static safety verdict (SAFE / UNSAFE /
 // NEEDS_DYNAMIC) with per-scheduler explanations.
 //
-// Usage: comptx_lint [--json] [--verdict] [--no-model] <file>...
+// Usage: comptx_lint [--json] [--verdict] [--no-model] [--spec FILE]
+//                    <file>...
 //
 //   --json      machine-readable output (one JSON object per run)
 //   --verdict   run the static configuration analyzer on buildable specs
 //   --no-model  skip the Def 2-4 model checks (structural lint only)
+//   --spec F    lint the "comptx-spec v1" commutativity spec F and, when
+//               buildable, attach it while linting the trace files (tags
+//               are then checked against its classes, CTX100-CTX108)
+//
+// Standalone commutativity-spec documents passed as positional files are
+// detected by their "comptx-spec v1" header and linted as specs.
 //
 // Exit codes: 0 = no error diagnostics, 1 = at least one error-severity
 // diagnostic in any input, 2 = usage or I/O error.
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/commutativity.h"
 #include "core/diagnostic.h"
 #include "staticcheck/analyzer.h"
 #include "staticcheck/lint.h"
@@ -33,6 +42,9 @@ struct CliOptions {
   bool json = false;
   bool verdict = false;
   bool model_rules = true;
+
+  /// Spec preloaded via --spec, attached while linting every trace file.
+  std::optional<CommutativitySpec> spec;
 };
 
 struct FileReport {
@@ -66,12 +78,32 @@ bool LooksLikeJson(const std::string& text) {
   return false;
 }
 
+bool LooksLikeCommutativitySpec(const std::string& text) {
+  const size_t start = text.find_first_not_of(" \t\n\r");
+  return start != std::string::npos &&
+         text.compare(start, 14, "comptx-spec v1") == 0;
+}
+
+/// A `.spec` path is linted as a commutativity spec even when its header
+/// is missing or mangled — that is exactly the case whose diagnostic
+/// (CTX100) would otherwise be misreported as a trace-header error.
+bool HasSpecExtension(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".spec") == 0;
+}
+
 FileReport LintFile(const std::string& path, const std::string& text,
                     const CliOptions& cli) {
   FileReport report;
   report.path = path;
+  if (HasSpecExtension(path) || LooksLikeCommutativitySpec(text)) {
+    staticcheck::SpecLintResult spec_result = staticcheck::LintSpecText(text);
+    report.diagnostics = std::move(spec_result.diagnostics);
+    report.buildable = spec_result.buildable;
+    return report;
+  }
   staticcheck::LintOptions options;
   options.model_rules = cli.model_rules;
+  if (cli.spec.has_value()) options.spec = &*cli.spec;
   staticcheck::LintResult result =
       LooksLikeJson(text) ? staticcheck::LintWitnessJson(text, options)
                           : staticcheck::LintTraceText(text, options);
@@ -129,6 +161,7 @@ std::string ToJson(const std::vector<FileReport>& reports, bool failed) {
 int main(int argc, char** argv) {
   CliOptions cli;
   std::vector<std::string> paths;
+  std::string spec_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--version") {
@@ -136,7 +169,7 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: comptx_lint [--json] [--verdict] [--no-model] "
-                   "<file>...\n";
+                   "[--spec FILE] <file>...\n";
       return 0;
     } else if (arg == "--json") {
       cli.json = true;
@@ -144,6 +177,12 @@ int main(int argc, char** argv) {
       cli.verdict = true;
     } else if (arg == "--no-model") {
       cli.model_rules = false;
+    } else if (arg == "--spec") {
+      if (++i >= argc) {
+        std::cerr << "--spec requires a file argument\n";
+        return 2;
+      }
+      spec_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
@@ -151,14 +190,34 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() && spec_path.empty()) {
     std::cerr << "usage: comptx_lint [--json] [--verdict] [--no-model] "
-                 "<file>...\n";
+                 "[--spec FILE] <file>...\n";
     return 2;
   }
 
   std::vector<FileReport> reports;
   bool failed = false;
+  if (!spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::cerr << "cannot open " << spec_path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    staticcheck::SpecLintResult spec_result =
+        staticcheck::LintSpecText(buffer.str());
+    FileReport report;
+    report.path = spec_path;
+    report.diagnostics = std::move(spec_result.diagnostics);
+    report.buildable = spec_result.buildable;
+    failed = HasErrors(report.diagnostics);
+    reports.push_back(std::move(report));
+    if (spec_result.spec.has_value()) {
+      cli.spec = std::move(*spec_result.spec);
+    }
+  }
   for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) {

@@ -8,12 +8,22 @@
 //
 // Usage: comptx_load [--host H] [--port N] [--unix PATH]
 //                    [--sessions N] [--threads N] [--events N] [--batch N]
-//                    [--protocol v1|v2] [--theta Z] [--seed N]
-//                    [--commit-window N]
+//                    [--processes N] [--protocol v1|v2] [--theta Z]
+//                    [--adt none|counter|set|queue|escrow|mixed]
+//                    [--adt-instances N]
+//                    [--seed N] [--commit-window N]
 //                    [--rate EVENTS_PER_SEC | --rates R1,R2,...]
 //                    [--no-verify] [--json PATH] [--shutdown]
 //                    [--kill-pid P --kill-after N --state PATH]
 //                    [--resume --state PATH]
+//
+//   --processes N forks N worker processes, each running the configured
+//   sessions x threads against its share of the event budget with a
+//   distinct seed — a multi-process client mix, the closest a single
+//   driver gets to N independent tenants.  Each child streams its result
+//   (including full latency histogram buckets) back over a pipe; the
+//   parent merges the buckets exactly, so the reported percentiles are
+//   those of the union, not an average of per-child percentiles.
 //
 //   --commit-window N interleaves commit_through watermark events into
 //   every generated stream: after each N roots, a cumulative watermark
@@ -51,7 +61,10 @@
 //             1 = mismatch or acked-event loss, 2 = usage/connect.
 
 #include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -84,7 +97,10 @@ int Usage(int code) {
   (code == 0 ? std::cout : std::cerr)
       << "usage: comptx_load [--host H] [--port N] [--unix PATH]\n"
          "                   [--sessions N] [--threads N] [--events N]\n"
-         "                   [--batch N] [--protocol v1|v2] [--theta Z]\n"
+         "                   [--batch N] [--processes N]\n"
+         "                   [--protocol v1|v2] [--theta Z]\n"
+         "                   [--adt none|counter|set|queue|escrow|mixed]\n"
+         "                   [--adt-instances N]\n"
          "                   [--commit-window N]\n"
          "                   [--rate N | --rates R1,R2,...] [--seed N]\n"
          "                   [--no-verify] [--json PATH] [--shutdown]\n"
@@ -94,6 +110,10 @@ int Usage(int code) {
          "Streams generated traces into concurrent certification sessions\n"
          "(Zipf-skewed choice, closed loop unless --rate) and verifies\n"
          "every server verdict against an offline batch replay.\n"
+         "--adt tags the generated leaf operations with a builtin\n"
+         "commutativity spec (shipped in-stream), so the server's\n"
+         "semantic layer erases the commuting conflicts;\n"
+         "--adt-instances spreads the tags over N ADT instances.\n"
          "--protocol picks the wire framing (v1 textual, v2 binary with\n"
          "BATCH_APPEND).  --rate runs an open loop with coordinated-\n"
          "omission-safe latency (measured from intended send times);\n"
@@ -111,11 +131,17 @@ struct LoadOptions {
   size_t threads = 8;
   size_t total_events = 20000;
   size_t batch = 32;
+  size_t processes = 1;  // >1 forks worker processes (aggregated results)
   service::WireProtocol protocol = service::WireProtocol::kV1;
   double theta = 0.8;
   size_t commit_window = 0;   // roots per commit_through watermark; 0 = none
   double rate = 0;            // open-loop aggregate events/sec; 0 = closed
   std::vector<double> rates;  // latency-under-throughput sweep points
+  // ADT operation mix of the generated streams: kNone is the bit-level
+  // workload; anything else ships a builtin spec plus tags so the
+  // server's semantic layer has conflicts to erase.
+  workload::AdtMix adt = workload::AdtMix::kNone;
+  uint32_t adt_instances = 4;
   uint64_t seed = 20260806;
   bool verify = true;
   bool send_shutdown = false;
@@ -229,9 +255,9 @@ std::vector<workload::TraceEvent> InterleaveWatermarks(
   return out;
 }
 
-std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
-                                                        uint64_t seed,
-                                                        size_t commit_window) {
+std::vector<workload::TraceEvent> GenerateSessionEvents(
+    size_t quota, uint64_t seed, size_t commit_window, workload::AdtMix adt,
+    uint32_t adt_instances) {
   workload::WorkloadSpec spec;
   spec.topology.kind = workload::TopologyKind::kLayeredDag;
   spec.topology.depth = 3;
@@ -239,6 +265,8 @@ std::vector<workload::TraceEvent> GenerateSessionEvents(size_t quota,
   spec.topology.fanout = 2;
   spec.execution.conflict_prob = 0.15;
   spec.execution.intra_weak_prob = 0.2;
+  spec.execution.adt = adt;
+  spec.execution.adt_instances = adt_instances;
   // Event count is a property of the generated execution, not a knob:
   // grow the root count until the stream covers the quota, then cut.
   uint32_t roots = 2;
@@ -296,6 +324,8 @@ struct DrillState {
   size_t commit_window = 0;
   service::WireProtocol protocol = service::WireProtocol::kV1;
   size_t batch = 32;
+  workload::AdtMix adt = workload::AdtMix::kNone;
+  uint32_t adt_instances = 4;
   std::vector<DrillSession> sessions;
 };
 
@@ -308,6 +338,10 @@ bool WriteDrillState(const std::string& path, const DrillState& state) {
       << "batch " << state.batch << "\n";
   if (state.commit_window != 0) {
     out << "commit_window " << state.commit_window << "\n";
+  }
+  if (state.adt != workload::AdtMix::kNone) {
+    out << "adt " << workload::AdtMixToString(state.adt) << " "
+        << state.adt_instances << "\n";
   }
   for (const DrillSession& s : state.sessions) {
     out << "session " << s.id << " " << s.planned << " " << s.acked << "\n";
@@ -336,6 +370,12 @@ bool ReadDrillState(const std::string& path, DrillState* state) {
       fields >> state->quota;
     } else if (key == "commit_window") {
       fields >> state->commit_window;
+    } else if (key == "adt") {
+      std::string name;
+      fields >> name >> state->adt_instances;
+      auto mix = workload::ParseAdtMix(name);
+      if (!mix.ok() || state->adt_instances == 0) return false;
+      state->adt = *mix;
     } else if (key == "protocol") {
       std::string name;
       fields >> name;
@@ -366,6 +406,8 @@ int RunResume(const LoadOptions& opt) {
   DrillState state;
   state.protocol = opt.protocol;
   state.batch = opt.batch;
+  state.adt = opt.adt;
+  state.adt_instances = opt.adt_instances;
   if (!ReadDrillState(opt.state_path, &state)) {
     std::cerr << "cannot read drill state " << opt.state_path << "\n";
     return 2;
@@ -381,7 +423,8 @@ int RunResume(const LoadOptions& opt) {
   for (size_t i = 0; i < state.sessions.size(); ++i) {
     const DrillSession& s = state.sessions[i];
     const auto events =
-        GenerateSessionEvents(state.quota, state.seed + i, state.commit_window);
+        GenerateSessionEvents(state.quota, state.seed + i, state.commit_window,
+                              state.adt, state.adt_instances);
     if (events.size() != s.planned) {
       std::cerr << "session " << s.id << ": regenerated stream has "
                 << events.size() << " events, state says " << s.planned
@@ -587,6 +630,8 @@ int RunLoad(const LoadOptions& opt, double rate,
     state.commit_window = opt.commit_window;
     state.protocol = opt.protocol;
     state.batch = opt.batch;
+    state.adt = opt.adt;
+    state.adt_instances = opt.adt_instances;
     for (auto& w : work) {
       state.sessions.push_back(DrillSession{w->id, w->events.size(), w->acked});
     }
@@ -659,16 +704,180 @@ int RunLoad(const LoadOptions& opt, double rate,
   return mismatches == 0 ? 0 : 1;
 }
 
-std::vector<std::unique_ptr<SessionWork>> GenerateWork(size_t sessions,
-                                                       size_t events,
-                                                       uint64_t seed,
-                                                       size_t commit_window) {
+std::vector<std::unique_ptr<SessionWork>> GenerateWork(
+    size_t sessions, size_t events, uint64_t seed, size_t commit_window,
+    workload::AdtMix adt, uint32_t adt_instances);
+
+/// The --processes mode: fork N children, each running the full
+/// sessions x threads load against events/N of the budget with a
+/// distinct seed, then aggregate their results.  Children report over a
+/// pipe — one "result" line plus the two latency histograms with full
+/// bucket counts, so the parent's percentiles are computed on the exact
+/// union of all samples.
+int RunMultiProcess(const LoadOptions& opt) {
+  const size_t n = opt.processes;
+  std::vector<std::array<int, 2>> pipes(n);
+  std::vector<pid_t> pids(n, -1);
+  for (size_t p = 0; p < n; ++p) {
+    if (pipe(pipes[p].data()) != 0) {
+      std::cerr << "pipe failed\n";
+      return 2;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 2;
+    }
+    if (pid == 0) {
+      close(pipes[p][0]);
+      LoadOptions child = opt;
+      child.processes = 1;
+      child.total_events =
+          std::max<size_t>(child.sessions, opt.total_events / n);
+      child.seed = opt.seed + 104729ull * (p + 1);
+      child.send_shutdown = false;
+      child.json_path.clear();
+      auto work = GenerateWork(child.sessions, child.total_events, child.seed,
+                               child.commit_window, child.adt,
+                               child.adt_instances);
+      LoadResult result;
+      const int code = RunLoad(child, child.rate, work, &result);
+      std::ostringstream report;
+      report << "result " << result.events << " " << result.seconds << " "
+             << result.mismatches << "\n"
+             << "append " << result.append.SerializeText() << "\n"
+             << "verdict " << result.verdict.SerializeText() << "\n";
+      const std::string text = report.str();
+      size_t written = 0;
+      while (written < text.size()) {
+        const ssize_t w = write(pipes[p][1], text.data() + written,
+                                text.size() - written);
+        if (w <= 0) break;
+        written += static_cast<size_t>(w);
+      }
+      close(pipes[p][1]);
+      _exit(code);
+    }
+    pids[p] = pid;
+    close(pipes[p][1]);
+  }
+
+  LoadResult total;
+  size_t failures = 0;
+  for (size_t p = 0; p < n; ++p) {
+    std::string text;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t r = read(pipes[p][0], buffer, sizeof(buffer));
+      if (r <= 0) break;
+      text.append(buffer, static_cast<size_t>(r));
+    }
+    close(pipes[p][0]);
+    int status = 0;
+    waitpid(pids[p], &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+    if (code != 0) ++failures;
+    std::istringstream lines(text);
+    std::string line;
+    bool parsed = false;
+    LoadResult child;
+    while (std::getline(lines, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "result") {
+        fields >> child.events >> child.seconds >> child.mismatches;
+        parsed = !fields.fail();
+      } else if (key == "append" || key == "verdict") {
+        std::string rest;
+        std::getline(fields, rest);
+        auto snap = service::LatencyHistogram::Snapshot::ParseText(rest);
+        if (!snap.has_value()) {
+          parsed = false;
+          break;
+        }
+        (key == "append" ? child.append : child.verdict) = *snap;
+      }
+    }
+    if (!parsed) {
+      std::cerr << "process " << p << " (pid " << pids[p]
+                << ") reported no result (exit code " << code << ")\n";
+      ++failures;
+      continue;
+    }
+    total.events += child.events;
+    total.seconds = std::max(total.seconds, child.seconds);
+    total.mismatches += child.mismatches;
+    total.append.Merge(child.append);
+    total.verdict.Merge(child.verdict);
+  }
+  total.throughput =
+      total.seconds > 0 ? double(total.events) / total.seconds : 0;
+
+  if (opt.send_shutdown) {
+    auto control = service::ServiceClient::Dial(opt.endpoint, opt.protocol);
+    if (!control.ok() || !control->Shutdown().ok()) {
+      std::cerr << "SHUTDOWN failed\n";
+      return 2;
+    }
+  }
+
+  std::cout << "processes=" << n << " sessions=" << opt.sessions
+            << " threads=" << opt.threads << " events=" << total.events
+            << " theta=" << opt.theta << " protocol="
+            << service::WireProtocolToString(opt.protocol)
+            << " batch=" << opt.batch << "\n"
+            << "load_seconds=" << total.seconds
+            << " events_per_second=" << total.throughput << "\n"
+            << "append_us: " << total.append.Summary() << "\n"
+            << "verdict_us: " << total.verdict.Summary() << "\n"
+            << "mismatches=" << total.mismatches
+            << (opt.verify ? "" : " (verification disabled)") << "\n";
+
+  if (!opt.json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"processes\": " << n << ",\n"
+         << "  \"sessions\": " << opt.sessions << ",\n"
+         << "  \"threads\": " << opt.threads << ",\n"
+         << "  \"events\": " << total.events << ",\n"
+         << "  \"theta\": " << opt.theta << ",\n"
+         << "  \"protocol\": \""
+         << service::WireProtocolToString(opt.protocol) << "\",\n"
+         << "  \"batch\": " << opt.batch << ",\n"
+         << "  \"load_seconds\": " << total.seconds << ",\n"
+         << "  \"events_per_second\": " << total.throughput << ",\n"
+         << "  \"append_p50_us\": " << total.append.p50 << ",\n"
+         << "  \"append_p95_us\": " << total.append.p95 << ",\n"
+         << "  \"append_p99_us\": " << total.append.p99 << ",\n"
+         << "  \"verdict_p50_us\": " << total.verdict.p50 << ",\n"
+         << "  \"verdict_p95_us\": " << total.verdict.p95 << ",\n"
+         << "  \"verdict_p99_us\": " << total.verdict.p99 << ",\n"
+         << "  \"mismatches\": " << total.mismatches << ",\n"
+         << "  \"failed_processes\": " << failures << "\n"
+         << "}\n";
+    std::ofstream out(opt.json_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+  }
+  if (failures > 0) return 2;
+  return total.mismatches == 0 ? 0 : 1;
+}
+
+std::vector<std::unique_ptr<SessionWork>> GenerateWork(
+    size_t sessions, size_t events, uint64_t seed, size_t commit_window,
+    workload::AdtMix adt, uint32_t adt_instances) {
   const size_t quota = std::max<size_t>(1, events / sessions);
   std::vector<std::unique_ptr<SessionWork>> work;
   work.reserve(sessions);
   for (size_t s = 0; s < sessions; ++s) {
     auto w = std::make_unique<SessionWork>();
-    w->events = GenerateSessionEvents(quota, seed + s, commit_window);
+    w->events =
+        GenerateSessionEvents(quota, seed + s, commit_window, adt,
+                              adt_instances);
     work.push_back(std::move(w));
   }
   return work;
@@ -706,6 +915,12 @@ int main(int argc, char** argv) {
       opt.total_events = std::strtoul(next("--events"), nullptr, 10);
     } else if (arg == "--batch") {
       opt.batch = std::strtoul(next("--batch"), nullptr, 10);
+    } else if (arg == "--processes") {
+      opt.processes = std::strtoul(next("--processes"), nullptr, 10);
+      if (opt.processes == 0) {
+        std::cerr << "--processes must be positive\n";
+        return 2;
+      }
     } else if (arg == "--protocol") {
       auto protocol = service::ParseWireProtocol(next("--protocol"));
       if (!protocol.ok()) {
@@ -715,6 +930,21 @@ int main(int argc, char** argv) {
       opt.protocol = *protocol;
     } else if (arg == "--theta") {
       opt.theta = std::strtod(next("--theta"), nullptr);
+    } else if (arg == "--adt") {
+      auto mix = workload::ParseAdtMix(next("--adt"));
+      if (!mix.ok()) {
+        std::cerr << "--adt: " << mix.status().message() << "\n";
+        return 2;
+      }
+      opt.adt = *mix;
+    } else if (arg == "--adt-instances") {
+      opt.adt_instances =
+          static_cast<uint32_t>(std::strtoul(next("--adt-instances"),
+                                             nullptr, 10));
+      if (opt.adt_instances == 0) {
+        std::cerr << "--adt-instances must be positive\n";
+        return 2;
+      }
     } else if (arg == "--commit-window") {
       opt.commit_window = std::strtoul(next("--commit-window"), nullptr, 10);
     } else if (arg == "--rate") {
@@ -778,6 +1008,14 @@ int main(int argc, char** argv) {
     return RunResume(opt);
   }
 
+  if (opt.processes > 1) {
+    if (kill_mode || !opt.rates.empty()) {
+      std::cerr << "--processes excludes --rates and the kill drill\n";
+      return 2;
+    }
+    return RunMultiProcess(opt);
+  }
+
   // Latency-under-throughput sweep: split the event budget across the
   // rate points; each point streams into its own fresh sessions.
   if (!opt.rates.empty()) {
@@ -788,7 +1026,8 @@ int main(int argc, char** argv) {
                  "  append_p99_us\n";
     for (size_t r = 0; r < opt.rates.size(); ++r) {
       auto work = GenerateWork(opt.sessions, per_point,
-                               opt.seed + 7919 * (r + 1), opt.commit_window);
+                               opt.seed + 7919 * (r + 1), opt.commit_window,
+                               opt.adt, opt.adt_instances);
       LoadResult result;
       const int code = RunLoad(opt, opt.rates[r], work, &result);
       if (code == 2) return 2;
@@ -833,7 +1072,7 @@ int main(int argc, char** argv) {
   }
 
   auto work = GenerateWork(opt.sessions, opt.total_events, opt.seed,
-                           opt.commit_window);
+                           opt.commit_window, opt.adt, opt.adt_instances);
   LoadResult result;
   const int code = RunLoad(opt, opt.rate, work, &result);
   if (code != 0 && result.events == 0) return code;  // connect/usage failure

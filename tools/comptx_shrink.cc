@@ -9,7 +9,7 @@
 //
 // Usage:
 //   comptx_shrink [--seed N] [--traces N] [--out DIR] [--threads N]
-//                 [--inject-bug none|flip-oracle|flip-online|flip-criteria]
+//                 [--inject-bug none|flip-oracle|flip-online|flip-criteria|flip-static|flip-commutes]
 //                 [--no-metamorphic] [--max-shrink-calls N] [--quiet]
 //   comptx_shrink --replay FILE...   re-check stored witnesses
 //
@@ -40,7 +40,8 @@ int Usage() {
   std::cerr
       << "usage: comptx_shrink [--seed N] [--traces N] [--out DIR]\n"
          "                     [--inject-bug none|flip-oracle|flip-online|"
-         "flip-criteria]\n"
+         "flip-criteria|\n"
+         "                                  flip-static|flip-commutes]\n"
          "                     [--no-metamorphic] [--threads N]\n"
          "                     [--max-shrink-calls N] [--quiet]\n"
          "       comptx_shrink --replay FILE...\n";
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
       auto bug = testing::ParseInjectedBug(v);
       if (!bug.has_value()) {
         std::cerr << "unknown --inject-bug '" << v
-                  << "' (none|flip-oracle|flip-online|flip-criteria)\n";
+                  << "' (none|flip-oracle|flip-online|flip-criteria|flip-static|flip-commutes)\n";
         return 2;
       }
       options.differential.inject = *bug;
