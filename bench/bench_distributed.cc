@@ -1,0 +1,284 @@
+// Experiment E17 (DESIGN.md §15 / EXPERIMENTS.md): distributed composite
+// certification — a 3-process fork/join topology vs a single comptx_serve
+// process vs the bare in-process engine, on identical workloads.
+//
+// For each workload size the same grouped trace (distributed::
+// GenerateGroupedTrace — the workload comptx_topology drives) is
+// certified three ways:
+//
+//   engine      — one online::Certifier in-process, no service stack;
+//                 the floor any service configuration pays against.
+//   single      — a degenerate one-node topology: one comptx_serve
+//                 child process, the same phased append/barrier/commit
+//                 driver, fsync always.
+//   distributed — the root/left/right fork/join: three comptx_serve
+//                 processes, the trace partitioned across both leaves,
+//                 ORDER_STREAM replication up to the root, and the
+//                 cross-node two-phase commit per phase.
+//
+// Every cell's verdict must agree with the others on the same trace; the
+// headline ratio is distributed vs single events/second — the price of
+// the replication hop and the cross-node commit, with the service stack
+// itself factored out.
+//
+// Plain chrono driver (no google-benchmark) so the output is a single
+// machine-readable JSON document, committed as BENCH_distributed.json.
+//
+// Usage: bench_distributed [--serve BIN] [--data-dir DIR] [output.json]
+//   --serve defaults to <bench dir>/../tools/comptx_serve, which is
+//   right when the bench runs from the build tree.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "distributed/topology.h"
+#include "online/certifier.h"
+#include "util/logging.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace comptx;  // NOLINT
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSeed = 20260814;
+constexpr size_t kPhases = 3;
+
+const char kSingleSpec[] =
+    "# comptx-topology v1\n"
+    "node solo\n";
+
+const char kForkJoinSpec[] =
+    "# comptx-topology v1\n"
+    "node root\n"
+    "node left\n"
+    "node right\n"
+    "edge root left\n"
+    "edge root right\n";
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Cell {
+  std::string mode;
+  size_t processes = 0;
+  double seconds = 0;
+  double events_per_second = 0;
+  bool certifiable = false;
+  uint64_t commit_watermark = 0;
+  uint64_t resubscribes = 0;
+};
+
+struct Row {
+  uint32_t roots = 0;
+  size_t events = 0;
+  std::vector<Cell> cells;
+  bool verdicts_agree = false;
+};
+
+/// The in-process floor: one certifier, the whole trace, one trailing
+/// commit_through watermark.
+Cell RunEngine(const std::vector<workload::TraceEvent>& trace,
+               uint64_t roots) {
+  Cell cell;
+  cell.mode = "engine";
+  cell.processes = 0;
+  const auto start = Clock::now();
+  online::Certifier certifier{online::CertifierOptions{}};
+  for (const auto& event : trace) (void)certifier.Ingest(event);
+  workload::TraceEvent commit;
+  commit.kind = workload::TraceEventKind::kCommitThrough;
+  commit.a = static_cast<uint32_t>(roots);
+  (void)certifier.Ingest(commit);
+  cell.certifiable = certifier.Verdict().certifiable;
+  cell.seconds = SecondsSince(start);
+  cell.commit_watermark = certifier.Stats().commit_watermark;
+  cell.events_per_second =
+      cell.seconds > 0 ? double(trace.size()) / cell.seconds : 0;
+  return cell;
+}
+
+/// One topology run: spawn (untimed), drive the phased trace (timed),
+/// report the final phase verdict.
+StatusOr<Cell> RunTopology(const std::string& mode, const char* spec_text,
+                           const std::vector<workload::TraceEvent>& trace,
+                           const std::string& serve_binary,
+                           const std::string& data_dir) {
+  Cell cell;
+  cell.mode = mode;
+  std::error_code ec;
+  fs::remove_all(data_dir, ec);
+  COMPTX_ASSIGN_OR_RETURN(distributed::TopologySpec spec,
+                          distributed::ParseTopologySpec(spec_text));
+  cell.processes = spec.nodes.size();
+  distributed::RunnerOptions options;
+  options.serve_binary = serve_binary;
+  options.data_root = data_dir;
+  options.phases = kPhases;
+  distributed::TopologyRunner runner(spec, options);
+  COMPTX_RETURN_IF_ERROR(runner.Start());
+  const auto start = Clock::now();
+  auto report = runner.Drive(trace);
+  cell.seconds = SecondsSince(start);
+  const Status down = runner.Shutdown();
+  COMPTX_RETURN_IF_ERROR(report.status());
+  if (!down.ok()) COMPTX_LOG(Warn) << "shutdown: " << down;
+  if (report->phases.empty()) {
+    return Status::Internal("topology run produced no phase verdicts");
+  }
+  cell.certifiable = report->phases.back().certifiable;
+  cell.commit_watermark = report->phases.back().commit_watermark;
+  cell.resubscribes = report->resubscribes;
+  cell.events_per_second =
+      cell.seconds > 0 ? double(trace.size()) / cell.seconds : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string serve_binary;
+  std::string data_root;
+  std::string out_path = "BENCH_distributed.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--serve") {
+      serve_binary = next("--serve");
+    } else if (arg == "--data-dir") {
+      data_root = next("--data-dir");
+    } else {
+      out_path = arg;
+    }
+  }
+  if (serve_binary.empty()) {
+    // Run from the build tree: bench/ and tools/ are siblings.
+    serve_binary =
+        (fs::path(argv[0]).parent_path() / ".." / "tools" / "comptx_serve")
+            .lexically_normal()
+            .string();
+  }
+  if (!fs::exists(serve_binary)) {
+    std::cerr << "comptx_serve not found at " << serve_binary
+              << " (pass --serve)\n";
+    return 2;
+  }
+  if (data_root.empty()) {
+    data_root = (fs::temp_directory_path() / "comptx_bench_distributed")
+                    .string();
+  }
+
+  const std::vector<uint32_t> sweep = {6, 12, 24};
+  std::vector<Row> rows;
+  size_t mismatches = 0;
+  for (const uint32_t roots : sweep) {
+    auto trace = distributed::GenerateGroupedTrace(roots, kSeed, 0.0);
+    if (!trace.ok()) {
+      std::cerr << "workload generation failed: " << trace.status() << "\n";
+      return 2;
+    }
+    Row row;
+    row.roots = roots;
+    row.events = trace->size();
+    row.cells.push_back(RunEngine(*trace, roots));
+    for (const auto& [mode, spec] :
+         {std::pair<const char*, const char*>{"single", kSingleSpec},
+          std::pair<const char*, const char*>{"distributed",
+                                              kForkJoinSpec}}) {
+      auto cell = RunTopology(mode, spec, *trace, serve_binary,
+                              data_root + "/" + mode + "_" +
+                                  std::to_string(roots));
+      if (!cell.ok()) {
+        std::cerr << mode << " run failed at roots=" << roots << ": "
+                  << cell.status() << "\n";
+        return 2;
+      }
+      row.cells.push_back(*cell);
+    }
+    row.verdicts_agree = true;
+    for (const Cell& cell : row.cells) {
+      if (cell.certifiable != row.cells.front().certifiable ||
+          cell.commit_watermark != row.cells.front().commit_watermark) {
+        row.verdicts_agree = false;
+        ++mismatches;
+      }
+    }
+    std::cout << "roots=" << roots << " events=" << row.events;
+    for (const Cell& cell : row.cells) {
+      std::cout << "  " << cell.mode << "=" << std::fixed
+                << cell.events_per_second << " ev/s";
+    }
+    std::cout << (row.verdicts_agree ? "" : "  VERDICT MISMATCH") << "\n";
+    rows.push_back(std::move(row));
+  }
+
+  // Headline: what the replication hop + cross-node commit cost over the
+  // same service stack in one process, at the largest size.
+  double overhead = 0;
+  if (!rows.empty()) {
+    const auto& cells = rows.back().cells;
+    double single_eps = 0, dist_eps = 0;
+    for (const Cell& cell : cells) {
+      if (cell.mode == "single") single_eps = cell.events_per_second;
+      if (cell.mode == "distributed") dist_eps = cell.events_per_second;
+    }
+    overhead = dist_eps > 0 ? single_eps / dist_eps : 0;
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"E17_distributed_certification\",\n"
+       << "  \"topology\": \"fork_join_3_process\",\n"
+       << "  \"phases\": " << kPhases << ",\n"
+       << "  \"fsync\": \"always\",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"single_over_distributed_events_per_second\": " << overhead
+       << ",\n"
+       << "  \"all_verdicts_agree\": " << (mismatches == 0 ? "true" : "false")
+       << ",\n"
+       << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"roots\": " << row.roots << ", \"events\": " << row.events
+         << ", \"verdicts_agree\": " << (row.verdicts_agree ? "true" : "false")
+         << ", \"cells\": [\n";
+    for (size_t j = 0; j < row.cells.size(); ++j) {
+      const Cell& cell = row.cells[j];
+      json << "      {\"mode\": \"" << cell.mode
+           << "\", \"processes\": " << cell.processes
+           << ", \"seconds\": " << cell.seconds
+           << ", \"events_per_second\": " << cell.events_per_second
+           << ", \"certifiable\": " << (cell.certifiable ? "true" : "false")
+           << ", \"commit_watermark\": " << cell.commit_watermark
+           << ", \"resubscribes\": " << cell.resubscribes << "}"
+           << (j + 1 < row.cells.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  std::error_code ec;
+  fs::remove_all(data_root, ec);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#ifndef COMPTX_DISTRIBUTED_INGEST_H_
+#define COMPTX_DISTRIBUTED_INGEST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/metrics.h"
+#include "util/status_or.h"
+#include "workload/trace.h"
+
+namespace comptx::distributed {
+
+/// Configuration of one upstream edge: which child process/session to
+/// pull from, and into which local session the remapped events flow.
+struct EdgeConfig {
+  uint64_t edge = 0;            // globally unique edge id (the `sub` id)
+  uint64_t local_session = 0;   // downstream session fed by this edge
+  uint64_t remote_session = 0;  // child's stream session
+  std::string host;
+  uint16_t port = 0;
+
+  uint64_t batch_max = 256;     // events per STREAM fetch
+  uint64_t poll_wait_ms = 500;  // long-poll window; doubles as heartbeat
+  uint64_t backoff_ms = 100;    // initial reconnect backoff (doubles to 2s)
+  uint32_t down_after = 5;      // consecutive failures before "down"
+};
+
+/// The consumer side of one ORDER_STREAM edge: a thread that long-polls
+/// the child's STREAM endpoint and hands each fetched batch to its
+/// delegate (the NodeController), which remaps and ingests it and owns
+/// the durable cursor.
+///
+/// Delivery protocol (DESIGN.md §15.2): every fetch asks for
+/// `from = cursor + 1` and carries `ack = cursor`, so the child can trim
+/// its in-memory log to what the parent has durably applied — the
+/// parent-side buffering is bounded by one batch, and the child-side
+/// buffering by the unacked window.  A reply whose `from` field does not
+/// match the request is a gap: the ingestor drops the connection and
+/// resubscribes from the durable cursor (counted in edge_resubscribes).
+/// The long poll doubles as the heartbeat: any reply — even an empty
+/// one — proves the child is alive, and `down_after` consecutive
+/// failures mark the edge down until a fetch succeeds again.
+class UpstreamIngestor {
+ public:
+  class Delegate {
+   public:
+    virtual ~Delegate() = default;
+
+    /// Applies one fetched batch: remap, ingest, advance the durable
+    /// cursor to `from + events.size() - 1`.  Returns the new cursor.
+    virtual StatusOr<uint64_t> ApplyBatch(
+        uint64_t edge, uint64_t from,
+        const std::vector<workload::TraceEvent>& events) = 0;
+
+    /// The edge's durable cursor (highest upstream seq applied and
+    /// logged); fetches resume from the value + 1.
+    virtual uint64_t DurableCursor(uint64_t edge) = 0;
+
+    /// Liveness transitions, for logging and PREPARE fail-fast.
+    virtual void OnEdgeState(uint64_t edge, bool up) = 0;
+  };
+
+  UpstreamIngestor(EdgeConfig config, Delegate* delegate,
+                   service::ServiceMetrics* metrics);
+  ~UpstreamIngestor();
+
+  UpstreamIngestor(const UpstreamIngestor&) = delete;
+  UpstreamIngestor& operator=(const UpstreamIngestor&) = delete;
+
+  void Start();
+
+  /// Signals the loop and joins the thread.  Bounded by one poll window
+  /// plus one backoff sleep.
+  void Stop();
+
+  bool up() const { return up_.load(std::memory_order_relaxed); }
+  const EdgeConfig& config() const { return config_; }
+
+ private:
+  void Loop();
+
+  /// Dials the child and validates the cursor with SUBSCRIBE.
+  StatusOr<service::ServiceClient> Connect(uint64_t cursor);
+
+  /// Interruptible sleep; returns false when stopping.
+  bool SleepFor(uint64_t ms);
+
+  void SetUp(bool up);
+
+  const EdgeConfig config_;
+  Delegate* const delegate_;
+  service::ServiceMetrics* const metrics_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> up_{false};
+  uint32_t failures_ = 0;  // loop-thread only
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace comptx::distributed
+
+#endif  // COMPTX_DISTRIBUTED_INGEST_H_

@@ -54,6 +54,21 @@ Status SessionLog::LogAppend(const std::vector<workload::TraceEvent>& events) {
   return Status::OK();
 }
 
+Status SessionLog::LogStreamCursor(uint64_t edge, uint64_t cursor_seq,
+                                   const std::string& mapping) {
+  WalRecord record;
+  record.type = WalRecordType::kStreamCursor;
+  record.seq = logged_.load(std::memory_order_relaxed);
+  record.edge = edge;
+  record.cursor_seq = cursor_seq;
+  record.mapping = mapping;
+  return writer_->Append(record).status();
+}
+
+void SessionLog::SetSnapshotExempt() {
+  snapshot_exempt_.store(true, std::memory_order_relaxed);
+}
+
 Status SessionLog::SyncForAck() { return writer_->SyncForAck(); }
 
 void SessionLog::OnIngested(size_t n) {
@@ -61,6 +76,7 @@ void SessionLog::OnIngested(size_t n) {
 }
 
 bool SessionLog::SnapshotDue() const {
+  if (snapshot_exempt_.load(std::memory_order_relaxed)) return false;
   const uint64_t interval = manager_->options().snapshot_events;
   if (interval == 0) return false;
   return ingested_.load(std::memory_order_relaxed) -
@@ -100,7 +116,9 @@ Status SessionLog::WriteSnapshot(const online::Certifier& certifier) {
 }
 
 Status SessionLog::PersistEvicted(const online::Certifier& certifier) {
-  COMPTX_RETURN_IF_ERROR(WriteSnapshot(certifier));
+  if (!snapshot_exempt_.load(std::memory_order_relaxed)) {
+    COMPTX_RETURN_IF_ERROR(WriteSnapshot(certifier));
+  }
   WalRecord record;
   record.type = WalRecordType::kEvict;
   record.seq = ingested_.load(std::memory_order_relaxed);
@@ -109,7 +127,9 @@ Status SessionLog::PersistEvicted(const online::Certifier& certifier) {
 }
 
 Status SessionLog::PersistShutdown(const online::Certifier& certifier) {
-  COMPTX_RETURN_IF_ERROR(WriteSnapshot(certifier));
+  if (!snapshot_exempt_.load(std::memory_order_relaxed)) {
+    COMPTX_RETURN_IF_ERROR(WriteSnapshot(certifier));
+  }
   return writer_->SyncNow();
 }
 

@@ -64,6 +64,22 @@ class SessionLog {
   /// numbers).  Caller must serialize with other LogAppend calls.
   Status LogAppend(const std::vector<workload::TraceEvent>& events);
 
+  /// Appends one kStreamCursor record: the session has durably applied
+  /// upstream edge `edge` through `cursor_seq`, creating the (opaque)
+  /// remap `mapping` delta.  Written *after* the batch's LogAppend, so a
+  /// crash between the two refetches the batch — a tolerated duplicate
+  /// (name-keyed dedup upstream), never a loss.  Cursor records do not
+  /// consume event seq slots.  Caller serializes with LogAppend.
+  Status LogStreamCursor(uint64_t edge, uint64_t cursor_seq,
+                         const std::string& mapping);
+
+  /// Marks this session as a stream (replication-log) session: the WAL
+  /// is the upstream subscribers' resync source, so it must retain the
+  /// full event history.  SnapshotDue() becomes false and the persist
+  /// paths skip snapshot+compaction (they still sync and write lifecycle
+  /// markers); recovery replays the whole log instead.
+  void SetSnapshotExempt();
+
   /// Ack barrier: under the `always` policy, blocks until every record
   /// appended so far is fsynced (group commit); otherwise a no-op.
   Status SyncForAck();
@@ -118,6 +134,7 @@ class SessionLog {
   std::atomic<uint64_t> logged_{0};    // events appended to the WAL
   std::atomic<uint64_t> ingested_{0};  // events the worker consumed
   std::atomic<uint64_t> snapshotted_{0};  // ingest watermark of last snap
+  std::atomic<bool> snapshot_exempt_{false};  // stream session: never snap
 };
 
 /// Owns the durability directory: creates per-session logs, re-opens

@@ -118,6 +118,9 @@ StatusOr<SessionDurableState> ReadSessionDurableState(const std::string& dir,
           state.event_seq = std::max(state.event_seq, record.seq);
           break;
         case WalRecordType::kSeal:
+        case WalRecordType::kStreamCursor:
+          // Cursor records do not consume event seq slots; the
+          // distributed layer folds them out of wal_records itself.
           break;
       }
     }
@@ -145,7 +148,8 @@ Status RemoveSessionFiles(const std::string& dir, uint64_t id) {
 }
 
 StatusOr<std::unique_ptr<online::Certifier>> RebuildCertifier(
-    const SessionDurableState& state, const online::CertifierOptions& options) {
+    const SessionDurableState& state, const online::CertifierOptions& options,
+    std::vector<workload::TraceEvent>* accepted_stream) {
   std::unique_ptr<online::Certifier> certifier;
   if (state.has_snapshot) {
     COMPTX_ASSIGN_OR_RETURN(
@@ -158,7 +162,12 @@ StatusOr<std::unique_ptr<online::Certifier>> RebuildCertifier(
   // rejected event is replayed into the same rejection and the rebuilt
   // counters match the uninterrupted run's.
   for (const auto& event : state.SuffixEvents()) {
-    (void)certifier->Ingest(event);
+    const Status status = certifier->Ingest(event);
+    if (accepted_stream != nullptr && status.ok() &&
+        event.kind != workload::TraceEventKind::kCommit &&
+        event.kind != workload::TraceEventKind::kCommitThrough) {
+      accepted_stream->push_back(event);
+    }
   }
   return certifier;
 }

@@ -69,8 +69,16 @@ Status RemoveSessionFiles(const std::string& dir, uint64_t id);
 /// replay the WAL suffix through Ingest.  Replay repeats the original
 /// accept/reject decisions, so the rebuilt counters equal the original
 /// stream's.
+/// When `accepted_stream` is non-null, every replayed event the certifier
+/// accepted — excluding kCommit/kCommitThrough, which are never published
+/// upstream — is appended to it in ingest order.  This is how a stream
+/// (`stream=1`) session rebuilds its order-stream log after a restart:
+/// such sessions never snapshot, so the replayed suffix is the whole
+/// history and the collected subsequence reproduces the pre-crash stream
+/// sequence numbers exactly.
 StatusOr<std::unique_ptr<online::Certifier>> RebuildCertifier(
-    const SessionDurableState& state, const online::CertifierOptions& options);
+    const SessionDurableState& state, const online::CertifierOptions& options,
+    std::vector<workload::TraceEvent>* accepted_stream = nullptr);
 
 /// The RecoveryVerifier differential check (reuses the PR 3 harness): a
 /// recovered session's online verdict must match batch CheckCompC over

@@ -113,7 +113,7 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord& record,
   const uint8_t type = cur.GetU8();
   record.seq = cur.GetU64();
   if (!cur.ok || type < static_cast<uint8_t>(WalRecordType::kOpen) ||
-      type > static_cast<uint8_t>(WalRecordType::kCommitWatermark)) {
+      type > static_cast<uint8_t>(WalRecordType::kStreamCursor)) {
     error = "unknown record type";
     return false;
   }
@@ -147,6 +147,13 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord& record,
     }
     case WalRecordType::kCommitWatermark: {
       record.commit_through = cur.GetU64();
+      break;
+    }
+    case WalRecordType::kStreamCursor: {
+      record.edge = cur.GetU64();
+      record.cursor_seq = cur.GetU64();
+      const uint32_t len = cur.GetU32();
+      record.mapping = cur.GetBytes(len);
       break;
     }
     case WalRecordType::kEvict:
@@ -243,6 +250,8 @@ const char* WalRecordTypeName(WalRecordType type) {
       return "CLOSE";
     case WalRecordType::kCommitWatermark:
       return "COMMIT";
+    case WalRecordType::kStreamCursor:
+      return "CURSOR";
   }
   return "?";
 }
@@ -267,6 +276,12 @@ std::string EncodeWalRecord(const WalRecord& record) {
       break;
     case WalRecordType::kCommitWatermark:
       PutU64(payload, record.commit_through);
+      break;
+    case WalRecordType::kStreamCursor:
+      PutU64(payload, record.edge);
+      PutU64(payload, record.cursor_seq);
+      PutU32(payload, static_cast<uint32_t>(record.mapping.size()));
+      payload.append(record.mapping);
       break;
     case WalRecordType::kEvict:
     case WalRecordType::kResume:
@@ -480,6 +495,13 @@ Status WalWriter::CompactThrough(uint64_t watermark, const WalRecord& open,
       // A commit watermark occupies exactly one event seq slot; keep it
       // only while the snapshot does not cover it.
       if (record.seq > watermark) records.push_back(std::move(record));
+      continue;
+    }
+    if (record.type == WalRecordType::kStreamCursor) {
+      // Cursor records carry incremental remap deltas: recovering an
+      // edge's translation tables folds every delta, so compaction must
+      // never drop one (they are a few dozen bytes each).
+      records.push_back(std::move(record));
       continue;
     }
     if (record.type != WalRecordType::kAppend || record.events.empty()) {

@@ -52,6 +52,13 @@ enum class WalRecordType : uint8_t {
                          // one event seq slot so replay interleaves it at
                          // its original stream position, and compaction
                          // can drop records the latest snapshot covers.
+  kStreamCursor = 8,     // distributed ingest cursor: the downstream
+                         // session has durably applied the upstream edge's
+                         // stream through `cursor_seq`, together with the
+                         // index-mapping delta that batch created.  Does
+                         // not consume an event seq slot (certifier replay
+                         // skips it); resubscribe-from-LSN folds these to
+                         // recover per-edge cursors and remap tables.
 };
 
 const char* WalRecordTypeName(WalRecordType type);
@@ -71,6 +78,10 @@ struct WalRecord {
   uint64_t rejected = 0;                     //   at the snapshot watermark
   bool certifiable = true;                   // kSeal: verdict at watermark
   uint64_t commit_through = 0;               // kCommitWatermark: root count
+  uint64_t edge = 0;                         // kStreamCursor: edge id
+  uint64_t cursor_seq = 0;                   // kStreamCursor: upstream seq
+  std::string mapping;                       // kStreamCursor: opaque delta
+                                             //   (distributed-layer codec)
 };
 
 /// Durability counter block, plain atomics so it can live inside

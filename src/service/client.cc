@@ -11,19 +11,32 @@ StatusOr<ServiceClient> ServiceClient::Dial(const Endpoint& endpoint,
   return ServiceClient(std::move(*socket), protocol);
 }
 
-StatusOr<Response> ServiceClient::RoundTrip(const Request& request) {
+StatusOr<Response> ServiceClient::Transport(const Request& request) {
   const std::string frame = EncodeRequestFrame(protocol_, request);
   Status sent = WriteWireBytes(socket_.fd(), frame);
   if (!sent.ok()) return sent;
   auto reply = ReadWireFrame(socket_.fd(), parser_);
   if (!reply.ok()) return reply.status();
-  auto response = DecodeResponseFrame(*reply);
+  return DecodeResponseFrame(*reply);
+}
+
+StatusOr<Response> ServiceClient::RoundTrip(const Request& request) {
+  auto response = Transport(request);
   if (!response.ok()) return response.status();
   if (!response->ok) {
     return Status::FailedPrecondition(
         StrCat(response->error_code, ": ", response->error_message));
   }
   return response;
+}
+
+StatusOr<Response> ServiceClient::Command(CommandKind kind, uint64_t session,
+                                          const std::string& options) {
+  Request request;
+  request.kind = kind;
+  request.session = session;
+  request.options = options;
+  return Transport(request);
 }
 
 SessionVerdict ServiceClient::VerdictFrom(const Response& response) {
@@ -33,6 +46,13 @@ SessionVerdict ServiceClient::VerdictFrom(const Response& response) {
   verdict.order = static_cast<uint32_t>(response.FieldInt("order"));
   verdict.events_accepted = response.FieldInt("accepted");
   verdict.events_rejected = response.FieldInt("rejected");
+  verdict.live_nodes = response.FieldInt("live_nodes");
+  verdict.pruned_nodes = response.FieldInt("pruned_nodes");
+  verdict.sealed_roots = response.FieldInt("sealed_roots");
+  verdict.commit_watermark = response.FieldInt("commit_watermark");
+  verdict.static_mode = response.FieldInt("static_mode") == 1;
+  verdict.static_fallbacks = response.FieldInt("static_fallbacks");
+  verdict.paranoid_mismatches = response.FieldInt("paranoid_mismatches");
   verdict.failure = response.body;
   return verdict;
 }
@@ -71,9 +91,10 @@ StatusOr<SessionVerdict> ServiceClient::Close(uint64_t session) {
   return VerdictFrom(response);
 }
 
-StatusOr<std::string> ServiceClient::Stats() {
+StatusOr<std::string> ServiceClient::Stats(bool json) {
   Request request;
   request.kind = CommandKind::kStats;
+  if (json) request.options = "json=1";
   COMPTX_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
   return response.body;
 }

@@ -41,8 +41,17 @@ class ServiceClient {
   StatusOr<SessionVerdict> Query(uint64_t session);
   StatusOr<SessionVerdict> Close(uint64_t session);
 
-  /// STATS body ("key value" lines).
-  StatusOr<std::string> Stats();
+  /// STATS body ("key value" lines; `json` asks for the JSON rendering).
+  StatusOr<std::string> Stats(bool json = false);
+
+  /// Generic round trip for the ORDER_STREAM command family
+  /// (SUBSCRIBE/STREAM/ATTACH/DETACH/PREPARE/DECIDE) and other
+  /// options-only commands.  Unlike the typed wrappers, ERR replies come
+  /// back as a Response with ok=false rather than as a Status, so callers
+  /// can branch on the wire error code (e.g. "gap" → resubscribe from the
+  /// durable cursor).  Transport failures are still a non-OK Status.
+  StatusOr<Response> Command(CommandKind kind, uint64_t session,
+                             const std::string& options = "");
 
   Status Ping();
 
@@ -56,6 +65,7 @@ class ServiceClient {
       : socket_(std::move(socket)), protocol_(protocol) {}
 
   StatusOr<Response> RoundTrip(const Request& request);
+  StatusOr<Response> Transport(const Request& request);
   static SessionVerdict VerdictFrom(const Response& response);
 
   Socket socket_;

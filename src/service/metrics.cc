@@ -204,6 +204,15 @@ std::string ServiceMetrics::RenderText() const {
        certifier_live_nodes.load(std::memory_order_relaxed));
   line("certifier_prune_passes", certifier_prune_passes.Value());
   line("certifier_pruned_nodes", certifier_pruned_nodes.Value());
+  line("stream_fetches", stream_fetches.Value());
+  line("stream_events_published", stream_events_published.Value());
+  line("remote_batches", remote_batches.Value());
+  line("remote_events_ingested", remote_events_ingested.Value());
+  line("remote_events_deduped", remote_events_deduped.Value());
+  line("remote_remap_drops", remote_remap_drops.Value());
+  line("edge_resubscribes", edge_resubscribes.Value());
+  line("prepares", prepares.Value());
+  line("decides", decides.Value());
   const auto counter = [](const std::atomic<uint64_t>& value) {
     return value.load(std::memory_order_relaxed);
   };
@@ -219,6 +228,72 @@ std::string ServiceMetrics::RenderText() const {
   line("append_latency_us", append.Summary());
   line("verdict_latency_us", verdict.Summary());
   return out;
+}
+
+std::string ServiceMetrics::RenderJson() const {
+  const LatencyHistogram::Snapshot append = append_latency.Snap();
+  const LatencyHistogram::Snapshot verdict = verdict_latency.Snap();
+  std::ostringstream out;
+  bool first = true;
+  const auto field = [&](const char* key, const auto& value) {
+    out << (first ? "" : ", ") << "\"" << key << "\": " << value;
+    first = false;
+  };
+  const auto histogram = [&](const char* key,
+                             const LatencyHistogram::Snapshot& snap) {
+    out << (first ? "" : ", ") << "\"" << key << "\": {\"count\": "
+        << snap.count << ", \"min\": " << snap.min << ", \"max\": " << snap.max
+        << ", \"mean\": " << snap.mean << ", \"p50\": " << snap.p50
+        << ", \"p95\": " << snap.p95 << ", \"p99\": " << snap.p99 << "}";
+    first = false;
+  };
+  const auto counter = [](const std::atomic<uint64_t>& value) {
+    return value.load(std::memory_order_relaxed);
+  };
+  out << "{";
+  field("uptime_seconds", UptimeSeconds());
+  field("active_sessions", active_sessions.load(std::memory_order_relaxed));
+  field("active_connections",
+        active_connections.load(std::memory_order_relaxed));
+  field("connections_accepted", connections_accepted.Value());
+  field("queue_depth", queue_depth.load(std::memory_order_relaxed));
+  field("sessions_opened", sessions_opened.Value());
+  field("sessions_closed", sessions_closed.Value());
+  field("sessions_evicted", sessions_evicted.Value());
+  field("events_enqueued", events_enqueued.Value());
+  field("events_processed", events_processed.Value());
+  field("events_rejected", events_rejected.Value());
+  field("events_per_second", EventsPerSecond());
+  field("append_batches", append_batches.Value());
+  field("verdict_queries", verdict_queries.Value());
+  field("backpressure_waits", backpressure_waits.Value());
+  field("protocol_errors", protocol_errors.Value());
+  field("certifier_live_nodes",
+        certifier_live_nodes.load(std::memory_order_relaxed));
+  field("certifier_prune_passes", certifier_prune_passes.Value());
+  field("certifier_pruned_nodes", certifier_pruned_nodes.Value());
+  field("stream_fetches", stream_fetches.Value());
+  field("stream_events_published", stream_events_published.Value());
+  field("remote_batches", remote_batches.Value());
+  field("remote_events_ingested", remote_events_ingested.Value());
+  field("remote_events_deduped", remote_events_deduped.Value());
+  field("remote_remap_drops", remote_remap_drops.Value());
+  field("edge_resubscribes", edge_resubscribes.Value());
+  field("prepares", prepares.Value());
+  field("decides", decides.Value());
+  field("wal_appends", counter(durability.wal_appends));
+  field("wal_append_events", counter(durability.wal_append_events));
+  field("wal_bytes", counter(durability.wal_bytes));
+  field("fsyncs", counter(durability.fsyncs));
+  field("snapshots_written", counter(durability.snapshots_written));
+  field("sessions_recovered", counter(durability.sessions_recovered));
+  field("records_truncated", counter(durability.records_truncated));
+  field("recovered_events", counter(durability.recovered_events));
+  field("recovery_mismatches", counter(durability.recovery_mismatches));
+  histogram("append_latency_us", append);
+  histogram("verdict_latency_us", verdict);
+  out << "}";
+  return out.str();
 }
 
 std::string ServiceMetrics::RenderLine() const {

@@ -133,6 +133,19 @@ class ServiceMetrics {
   StripedCounter protocol_errors;
   StripedCounter connections_accepted;
 
+  // Distributed topology (DESIGN.md §15): the ORDER_STREAM publisher
+  // side (stream_*), the upstream-edge consumer side (remote_*), and the
+  // cross-node commit protocol (prepares/decides).
+  StripedCounter stream_fetches;           // STREAM requests served
+  StripedCounter stream_events_published;  // events shipped in replies
+  StripedCounter remote_batches;           // upstream batches applied
+  StripedCounter remote_events_ingested;   // remapped events forwarded
+  StripedCounter remote_events_deduped;    // creation events already known
+  StripedCounter remote_remap_drops;       // events the shadow rejected
+  StripedCounter edge_resubscribes;        // cursor resets after reconnect
+  StripedCounter prepares;                 // PREPARE commands handled
+  StripedCounter decides;                  // DECIDE commands handled
+
   // Certifier memory behavior (online::CertifierStats), aggregated over
   // live sessions: each session publishes deltas at the end of a worker
   // batch (while it is still the certifier's one writer) and retires its
@@ -168,6 +181,11 @@ class ServiceMetrics {
   /// of the periodic server log line (single-line variant).
   std::string RenderText() const;
   std::string RenderLine() const;
+
+  /// One JSON object with the same keys as RenderText (histograms as
+  /// nested objects) — the `STATS json=1` body, so the topology launcher
+  /// and CI scrape counters without parsing the text format.
+  std::string RenderJson() const;
 
  private:
   std::chrono::steady_clock::time_point start_;

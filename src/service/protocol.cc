@@ -26,18 +26,22 @@ void SplitPayload(const std::string& payload, std::string& head,
   }
 }
 
+StatusOr<uint64_t> ParseSessionIdToken(const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || token.empty()) {
+    return Status::InvalidArgument(StrCat("bad session id '", token, "'"));
+  }
+  return static_cast<uint64_t>(id);
+}
+
 StatusOr<uint64_t> ParseSessionId(const std::vector<std::string>& tokens) {
   if (tokens.size() != 2) {
     return Status::InvalidArgument(
         StrCat(tokens[0], " needs exactly one session id"));
   }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long id = std::strtoull(tokens[1].c_str(), &end, 10);
-  if (errno != 0 || end == nullptr || *end != '\0' || tokens[1].empty()) {
-    return Status::InvalidArgument(StrCat("bad session id '", tokens[1], "'"));
-  }
-  return static_cast<uint64_t>(id);
+  return ParseSessionIdToken(tokens[1]);
 }
 
 }  // namespace
@@ -58,6 +62,18 @@ const char* CommandKindToString(CommandKind kind) {
       return "PING";
     case CommandKind::kShutdown:
       return "SHUTDOWN";
+    case CommandKind::kSubscribe:
+      return "SUBSCRIBE";
+    case CommandKind::kStream:
+      return "STREAM";
+    case CommandKind::kAttach:
+      return "ATTACH";
+    case CommandKind::kDetach:
+      return "DETACH";
+    case CommandKind::kPrepare:
+      return "PREPARE";
+    case CommandKind::kDecide:
+      return "DECIDE";
   }
   return "?";
 }
@@ -96,8 +112,19 @@ std::string FormatRequest(const Request& request) {
       payload += StrCat(" ", request.session);
       break;
     case CommandKind::kStats:
+      if (!request.options.empty()) payload += StrCat(" ", request.options);
+      break;
     case CommandKind::kPing:
     case CommandKind::kShutdown:
+      break;
+    case CommandKind::kSubscribe:
+    case CommandKind::kStream:
+    case CommandKind::kAttach:
+    case CommandKind::kDetach:
+    case CommandKind::kPrepare:
+    case CommandKind::kDecide:
+      payload += StrCat(" ", request.session);
+      if (!request.options.empty()) payload += StrCat(" ", request.options);
       break;
   }
   return payload;
@@ -153,6 +180,26 @@ StatusOr<Request> ParseRequest(const std::string& payload) {
   }
   if (command == "STATS") {
     request.kind = CommandKind::kStats;
+    const size_t space = head.find(' ');
+    if (space != std::string::npos) request.options = head.substr(space + 1);
+    return request;
+  }
+  if (command == "SUBSCRIBE" || command == "STREAM" || command == "ATTACH" ||
+      command == "DETACH" || command == "PREPARE" || command == "DECIDE") {
+    request.kind = command == "SUBSCRIBE" ? CommandKind::kSubscribe
+                   : command == "STREAM"  ? CommandKind::kStream
+                   : command == "ATTACH"  ? CommandKind::kAttach
+                   : command == "DETACH"  ? CommandKind::kDetach
+                   : command == "PREPARE" ? CommandKind::kPrepare
+                                          : CommandKind::kDecide;
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument(StrCat(command, " needs a session id"));
+    }
+    COMPTX_ASSIGN_OR_RETURN(request.session, ParseSessionIdToken(tokens[1]));
+    // Everything past the session id is the options text, verbatim.
+    size_t pos = head.find(' ');                       // before the id
+    if (pos != std::string::npos) pos = head.find(' ', pos + 1);  // after it
+    if (pos != std::string::npos) request.options = head.substr(pos + 1);
     return request;
   }
   if (command == "PING") {
@@ -495,7 +542,7 @@ uint64_t GetU64(const char* data) {
 
 bool ValidOpcode(uint8_t opcode) {
   return (opcode >= static_cast<uint8_t>(Opcode::kOpen) &&
-          opcode <= static_cast<uint8_t>(Opcode::kShutdown)) ||
+          opcode <= static_cast<uint8_t>(Opcode::kDecide)) ||
          opcode == static_cast<uint8_t>(Opcode::kReply);
 }
 
@@ -642,12 +689,31 @@ std::string EncodeRequestFrame(WireProtocol protocol, const Request& request) {
       break;
     case CommandKind::kStats:
       opcode = Opcode::kStats;
+      payload = request.options;
       break;
     case CommandKind::kPing:
       opcode = Opcode::kPing;
       break;
     case CommandKind::kShutdown:
       opcode = Opcode::kShutdown;
+      break;
+    case CommandKind::kSubscribe:
+    case CommandKind::kStream:
+    case CommandKind::kAttach:
+    case CommandKind::kDetach:
+    case CommandKind::kPrepare:
+    case CommandKind::kDecide:
+      // The ORDER_STREAM family carries its options text as payload,
+      // mirroring OPEN: the fields are small and cold next to the event
+      // bodies flowing the other way.
+      opcode = request.kind == CommandKind::kSubscribe ? Opcode::kSubscribe
+               : request.kind == CommandKind::kStream  ? Opcode::kStream
+               : request.kind == CommandKind::kAttach  ? Opcode::kAttach
+               : request.kind == CommandKind::kDetach  ? Opcode::kDetach
+               : request.kind == CommandKind::kPrepare ? Opcode::kPrepare
+                                                       : Opcode::kDecide;
+      session = request.session;
+      payload = request.options;
       break;
   }
   std::string frame = WireHeader(opcode, session, payload.size());
@@ -720,12 +786,37 @@ StatusOr<Request> DecodeRequestFrame(const WireFrame& frame) {
       return request;
     case Opcode::kStats:
       request.kind = CommandKind::kStats;
+      request.options = frame.payload;
       return request;
     case Opcode::kPing:
       request.kind = CommandKind::kPing;
       return request;
     case Opcode::kShutdown:
       request.kind = CommandKind::kShutdown;
+      return request;
+    case Opcode::kSubscribe:
+      request.kind = CommandKind::kSubscribe;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kStream:
+      request.kind = CommandKind::kStream;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kAttach:
+      request.kind = CommandKind::kAttach;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kDetach:
+      request.kind = CommandKind::kDetach;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kPrepare:
+      request.kind = CommandKind::kPrepare;
+      request.options = frame.payload;
+      return request;
+    case Opcode::kDecide:
+      request.kind = CommandKind::kDecide;
+      request.options = frame.payload;
       return request;
     case Opcode::kReply:
       break;

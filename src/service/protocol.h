@@ -36,9 +36,17 @@ namespace comptx::service {
 ///     APPEND <session-id>         body: one trace event line per line
 ///     QUERY <session-id>          drain barrier + verdict
 ///     CLOSE <session-id>          drain + final verdict + free the slot
-///     STATS                       metrics snapshot
+///     STATS [json=1]              metrics snapshot (json=1: JSON body)
 ///     PING                        liveness probe
 ///     SHUTDOWN                    graceful drain, then the server exits
+///     SUBSCRIBE <id> [k=v ...]    ORDER_STREAM handshake: from=<seq>
+///     STREAM <id> [k=v ...]       long-poll fetch: from, max, wait_ms,
+///                                 ack, sub; reply body = event lines
+///     ATTACH <id> [k=v ...]       wire an upstream edge: edge, host,
+///                                 port, remote, prefix
+///     DETACH <id> [k=v ...]       tear an edge down: edge=<id>
+///     PREPARE <id> [k=v ...]      2PC phase 1: k=<watermark>
+///     DECIDE <id> [k=v ...]       2PC phase 2: k=<watermark>
 ///
 /// Response payloads:
 ///
@@ -109,6 +117,16 @@ enum class Opcode : uint8_t {
   kStats = 6,
   kPing = 7,
   kShutdown = 8,
+  // ORDER_STREAM family (DESIGN.md §15): distributed composite
+  // certification.  All five carry a "key=value ..." options text as
+  // payload, exactly like OPEN, so the family can grow fields without
+  // another frame format.
+  kSubscribe = 9,    // validate a stream cursor against a session
+  kStream = 10,      // long-poll fetch of accepted events past a cursor
+  kAttach = 11,      // wire an upstream edge into a local session
+  kDetach = 12,      // tear one edge down
+  kPrepare = 13,     // 2PC phase 1: seal the subtree through watermark k
+  kDecide = 14,      // 2PC phase 2: broadcast the commit decision
   kReply = 0x80,
 };
 
@@ -120,14 +138,21 @@ enum class CommandKind : uint8_t {
   kStats,
   kPing,
   kShutdown,
+  kSubscribe,
+  kStream,
+  kAttach,
+  kDetach,
+  kPrepare,
+  kDecide,
 };
 
 const char* CommandKindToString(CommandKind kind);
 
 struct Request {
   CommandKind kind = CommandKind::kPing;
-  uint64_t session = 0;               // APPEND / QUERY / CLOSE
-  std::string options;                // OPEN: "key=value ..." verbatim
+  uint64_t session = 0;  // APPEND / QUERY / CLOSE / ORDER_STREAM family
+  std::string options;   // OPEN + ORDER_STREAM family + STATS: "key=value
+                         // ..." verbatim (STATS accepts "json=1")
   std::vector<workload::TraceEvent> events;  // APPEND body
 };
 

@@ -30,6 +30,10 @@ const char* ErrorCode(const Status& status) {
       // A lifecycle race (APPEND vs CLOSE/eviction), not a malformed
       // request: the client should re-OPEN, not fix its framing.
       return "session_closing";
+    case StatusCode::kOutOfRange:
+      // STREAM asked for a seq at or below the trimmed prefix: the
+      // subscriber must resubscribe from its durable cursor.
+      return "gap";
     case StatusCode::kInternal:
       return "internal";
     default:
@@ -67,6 +71,58 @@ void AppendVerdictFields(const SessionVerdict& verdict, Response& response) {
   }
   // The failure diagnosis contains spaces, so it travels in the body.
   if (!verdict.failure.empty()) response.body = verdict.failure;
+}
+
+/// The ORDER_STREAM commands carry "key=value ..." options like OPEN.
+struct StreamOptions {
+  uint64_t from = 1;
+  uint64_t max = 512;
+  uint64_t wait_ms = 0;
+  uint64_t ack = 0;
+  uint64_t sub = 0;
+};
+
+StatusOr<StreamOptions> ParseStreamOptions(const std::string& text) {
+  StreamOptions options;
+  for (const std::string& token : StrSplit(text, ' ')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("stream option '", token, "' is not key=value"));
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat(key, "=", value, " is not an unsigned integer"));
+    }
+    uint64_t parsed = 0;
+    for (const char c : value) {
+      if (parsed > (~0ull - (c - '0')) / 10) {
+        return Status::InvalidArgument(StrCat(key, "=", value, " overflows"));
+      }
+      parsed = parsed * 10 + (c - '0');
+    }
+    if (key == "from") {
+      options.from = parsed;
+    } else if (key == "max") {
+      options.max = parsed;
+    } else if (key == "wait_ms") {
+      options.wait_ms = parsed;
+    } else if (key == "ack") {
+      options.ack = parsed;
+    } else if (key == "sub") {
+      options.sub = parsed;
+    } else {
+      // No silent defaulting: the family is versionless, so a typoed key
+      // must fail loudly rather than quietly fetch from seq 1.
+      return Status::InvalidArgument(StrCat("unknown stream option '", key,
+                                            "'"));
+    }
+  }
+  return options;
 }
 
 }  // namespace
@@ -194,10 +250,18 @@ size_t CertificationServer::EvictIdleNow() {
 }
 
 Response CertificationServer::Handle(const Request& request) {
+  // SUBSCRIBE/STREAM are deliberately *not* in the mutating set: a
+  // long-poll STREAM parked in FetchStream would hold the in-flight count
+  // and stall Shutdown's drain; instead BeginClose wakes the poll (the
+  // subscriber sees a clean empty reply and reconnects elsewhere).
   const bool mutating = request.kind == CommandKind::kOpen ||
                         request.kind == CommandKind::kAppend ||
                         request.kind == CommandKind::kQuery ||
-                        request.kind == CommandKind::kClose;
+                        request.kind == CommandKind::kClose ||
+                        request.kind == CommandKind::kAttach ||
+                        request.kind == CommandKind::kDetach ||
+                        request.kind == CommandKind::kPrepare ||
+                        request.kind == CommandKind::kDecide;
   if (!mutating) return Dispatch(request);
   // The draining check and the in-flight count share state_mu_ with
   // Shutdown's flag flip: a request either observes shutting_down_ and is
@@ -230,7 +294,19 @@ Response CertificationServer::Dispatch(const Request& request) {
     case CommandKind::kClose:
       return HandleQueryOrClose(request, /*close=*/true);
     case CommandKind::kStats:
-      return HandleStats();
+      return HandleStats(request);
+    case CommandKind::kSubscribe:
+      return HandleSubscribe(request);
+    case CommandKind::kStream:
+      return HandleStream(request);
+    case CommandKind::kAttach:
+    case CommandKind::kDetach:
+    case CommandKind::kPrepare:
+    case CommandKind::kDecide: {
+      if (distributed_handler_) return distributed_handler_(request);
+      return ErrorResponse("unsupported",
+                           "no distributed controller attached");
+    }
     case CommandKind::kPing: {
       Response response = OkResponse();
       response.fields.emplace_back("pong", "1");
@@ -313,10 +389,104 @@ Response CertificationServer::HandleQueryOrClose(const Request& request,
   return response;
 }
 
-Response CertificationServer::HandleStats() {
+Response CertificationServer::HandleStats(const Request& request) {
+  bool json = false;
+  for (const std::string& token : StrSplit(request.options, ' ')) {
+    if (token.empty()) continue;
+    if (token == "json=1") {
+      json = true;
+    } else if (token == "json=0") {
+      json = false;
+    } else {
+      metrics_.protocol_errors.Increment();
+      return ErrorResponse("bad_request",
+                           StrCat("unknown STATS option '", token, "'"));
+    }
+  }
   Response response = OkResponse();
-  response.body = metrics_.RenderText();
+  response.body = json ? metrics_.RenderJson() : metrics_.RenderText();
   return response;
+}
+
+Response CertificationServer::HandleSubscribe(const Request& request) {
+  auto session = sessions_.Find(request.session);
+  if (!session.ok()) return StatusResponse(session.status());
+  auto options = ParseStreamOptions(request.options);
+  if (!options.ok()) {
+    metrics_.protocol_errors.Increment();
+    return StatusResponse(options.status());
+  }
+  // The handshake is a zero-event fetch: it validates the cursor against
+  // the trimmed prefix (OutOfRange → "gap") and reports where the stream
+  // currently stands, without blocking or consuming anything.
+  auto result = (*session)->FetchStream(options->sub, options->from,
+                                        /*max=*/0, /*wait_ms=*/0,
+                                        /*ack=*/0);
+  if (!result.ok()) return StatusResponse(result.status());
+  if (options->from > result->watermark + 1) {
+    // The subscriber believes the publisher holds events it never
+    // accepted (e.g. the publisher recovered from a truncated WAL).
+    // That is a configuration fault, not a transient gap.
+    return ErrorResponse(
+        "bad_request",
+        StrCat("from=", options->from, " is past watermark ",
+               result->watermark, "+1"));
+  }
+  Response response = OkResponse();
+  response.fields.emplace_back("watermark", StrCat(result->watermark));
+  response.fields.emplace_back("trimmed", StrCat(result->trimmed));
+  return response;
+}
+
+Response CertificationServer::HandleStream(const Request& request) {
+  auto session = sessions_.Find(request.session);
+  if (!session.ok()) return StatusResponse(session.status());
+  auto options = ParseStreamOptions(request.options);
+  if (!options.ok()) {
+    metrics_.protocol_errors.Increment();
+    return StatusResponse(options.status());
+  }
+  auto result = (*session)->FetchStream(options->sub, options->from,
+                                        options->max, options->wait_ms,
+                                        options->ack);
+  if (!result.ok()) return StatusResponse(result.status());
+  metrics_.stream_fetches.Increment();
+  metrics_.stream_events_published.Add(result->events.size());
+  Response response = OkResponse();
+  response.fields.emplace_back("from", StrCat(result->from));
+  response.fields.emplace_back("count", StrCat(result->events.size()));
+  response.fields.emplace_back("watermark", StrCat(result->watermark));
+  response.fields.emplace_back("trimmed", StrCat(result->trimmed));
+  std::string body;
+  for (const workload::TraceEvent& event : result->events) {
+    if (!body.empty()) body += '\n';
+    body += workload::FormatTraceEvent(event);
+  }
+  response.body = std::move(body);
+  return response;
+}
+
+void CertificationServer::SetDistributedHandler(DistributedHandler handler) {
+  distributed_handler_ = std::move(handler);
+}
+
+StatusOr<std::shared_ptr<Session>> CertificationServer::FindSession(
+    uint64_t id) const {
+  return sessions_.Find(id);
+}
+
+Status CertificationServer::IngestRemote(
+    uint64_t session, std::vector<workload::TraceEvent> events, uint64_t edge,
+    uint64_t cursor_seq, const std::string& mapping) {
+  COMPTX_ASSIGN_OR_RETURN(std::shared_ptr<Session> found,
+                          sessions_.Find(session));
+  const size_t count = events.size();
+  COMPTX_RETURN_IF_ERROR(found->EnqueueIngested(
+      std::move(events), edge, cursor_seq, mapping,
+      [this, &found] { ScheduleSession(found); }));
+  metrics_.remote_batches.Increment();
+  metrics_.remote_events_ingested.Add(count);
+  return Status::OK();
 }
 
 StatusOr<uint64_t> CertificationServer::Open(const std::string& options) {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -98,6 +99,29 @@ class CertificationServer {
   const ServerOptions& options() const { return options_; }
   size_t SessionCount() const { return sessions_.Count(); }
 
+  // ---- distributed extension (DESIGN.md §15) -----------------------
+  /// Handler for the ATTACH/DETACH/PREPARE/DECIDE command family.  The
+  /// server serves the *publisher* side of ORDER_STREAM
+  /// (SUBSCRIBE/STREAM) natively; the consumer/commit side lives in
+  /// src/distributed, which links against this library — so comptx_serve
+  /// and the distributed tests inject the controller here instead of the
+  /// server depending upward.  Set before serving (not thread-safe
+  /// against concurrent Handle); while unset the four commands answer
+  /// `unsupported`.
+  using DistributedHandler = std::function<Response(const Request&)>;
+  void SetDistributedHandler(DistributedHandler handler);
+
+  /// Distributed-layer access: resolves a live session by id.
+  StatusOr<std::shared_ptr<Session>> FindSession(uint64_t id) const;
+
+  /// Hands a remotely ingested (already remapped) batch to `session`:
+  /// Session::EnqueueIngested logs the events and edge cursor in one WAL
+  /// hold, then the session joins the run queue.  `events` may be empty —
+  /// a fully deduplicated batch still advances the durable cursor.
+  Status IngestRemote(uint64_t session,
+                      std::vector<workload::TraceEvent> events, uint64_t edge,
+                      uint64_t cursor_seq, const std::string& mapping);
+
   /// Durability/recovery outcome of construction.  Non-OK when the data
   /// dir could not be set up, a session failed to rebuild, or (with
   /// verify_recovery) a recovered verdict diverged from the batch oracle.
@@ -141,10 +165,13 @@ class CertificationServer {
   Response HandleOpen(const Request& request);
   Response HandleAppend(const Request& request);
   Response HandleQueryOrClose(const Request& request, bool close);
-  Response HandleStats();
+  Response HandleStats(const Request& request);
+  Response HandleSubscribe(const Request& request);
+  Response HandleStream(const Request& request);
 
   const ServerOptions options_;
   ServiceMetrics metrics_;
+  DistributedHandler distributed_handler_;
   // Declared before sessions_: the session manager holds a raw pointer
   // into the durability manager, so construction/destruction order
   // matters.  init_status_ collects durability setup + recovery failures

@@ -80,6 +80,8 @@ StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
       if (options.resume == 0) {
         return Status::InvalidArgument("resume needs a session id");
       }
+    } else if (key == "stream") {
+      COMPTX_ASSIGN_OR_RETURN(options.stream, ParseBool(key, value));
     } else {
       return Status::InvalidArgument(StrCat("unknown OPEN option '", key, "'"));
     }
@@ -99,10 +101,15 @@ Session::Session(uint64_t id, const SessionOptions& options,
                  std::unique_ptr<online::Certifier> certifier)
     : id_(id),
       queue_capacity_(options.queue_capacity),
+      stream_enabled_(options.stream),
       metrics_(metrics),
       certifier_(std::move(certifier)),
       log_(std::move(log)),
-      last_activity_(std::chrono::steady_clock::now()) {}
+      last_activity_(std::chrono::steady_clock::now()) {
+  // A stream session's WAL is its subscribers' resync source: exempt it
+  // from snapshot+compaction so the full history survives on disk.
+  if (stream_enabled_ && log_ != nullptr) log_->SetSnapshotExempt();
+}
 
 void Session::ScheduleLocked(const std::function<void()>& schedule) {
   if (scheduled_ || queue_.empty()) return;
@@ -115,6 +122,20 @@ void Session::ScheduleLocked(const std::function<void()>& schedule) {
 
 Status Session::Enqueue(std::vector<workload::TraceEvent> events,
                         const std::function<void()>& schedule) {
+  return EnqueueInternal(std::move(events), nullptr, schedule);
+}
+
+Status Session::EnqueueIngested(std::vector<workload::TraceEvent> events,
+                                uint64_t edge, uint64_t cursor_seq,
+                                const std::string& mapping,
+                                const std::function<void()>& schedule) {
+  const StreamCursorRecord cursor{edge, cursor_seq, &mapping};
+  return EnqueueInternal(std::move(events), &cursor, schedule);
+}
+
+Status Session::EnqueueInternal(std::vector<workload::TraceEvent> events,
+                                const StreamCursorRecord* cursor,
+                                const std::function<void()>& schedule) {
   // Whole-batch serialization: holding append_mu_ across the entire call
   // (including backpressure waits) keeps WAL record order identical to
   // queue order, so recovery replay reproduces the ingest stream.  The
@@ -137,6 +158,13 @@ Status Session::Enqueue(std::vector<workload::TraceEvent> events,
     // batch — harmless: recovery replays it once and a resuming client
     // continues from the recovered event count.
     COMPTX_RETURN_IF_ERROR(log_->LogAppend(events));
+    if (cursor != nullptr) {
+      // Events first, cursor second: a crash in between re-fetches the
+      // batch from the upstream (deduplicated on arrival) — the reverse
+      // order would durably skip events that never landed.
+      COMPTX_RETURN_IF_ERROR(log_->LogStreamCursor(
+          cursor->edge, cursor->cursor_seq, *cursor->mapping));
+    }
   }
   std::unique_lock<std::mutex> lock(mu_);
   last_activity_ = std::chrono::steady_clock::now();
@@ -186,7 +214,25 @@ bool Session::ProcessBatch(size_t max_events) {
   // producers keep enqueueing (into the freed capacity) concurrently.
   // The whole drain goes through IngestBatch — one certifier lock hold,
   // one Pearce-Kelly maintenance window, one prune pass per batch.
-  const uint64_t rejected = certifier_->IngestBatch(batch);
+  std::vector<Status> statuses;
+  const uint64_t rejected =
+      certifier_->IngestBatch(batch, stream_enabled_ ? &statuses : nullptr);
+  if (stream_enabled_) {
+    // Publish the accepted subsequence to the stream log.  Commits are
+    // excluded: commit decisions flow *down* the topology via PREPARE/
+    // DECIDE, never up, so the stream carries exactly the pulled-up
+    // observed orders and effective-conflict structure.
+    std::lock_guard<std::mutex> stream_lock(stream_mu_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!statuses[i].ok()) continue;
+      if (batch[i].kind == workload::TraceEventKind::kCommit ||
+          batch[i].kind == workload::TraceEventKind::kCommitThrough) {
+        continue;
+      }
+      stream_log_.push_back(batch[i]);
+    }
+    stream_cv_.notify_all();
+  }
   // events_processed counts only successful ingests, so the invariant
   // events_enqueued == events_processed + events_rejected holds once
   // every queue drains.
@@ -252,9 +298,14 @@ void Session::WaitDrained() {
 }
 
 void Session::BeginClose() {
-  std::unique_lock<std::mutex> lock(mu_);
-  closing_ = true;
-  space_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    closing_ = true;
+    space_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  closing_stream_ = true;
+  stream_cv_.notify_all();
 }
 
 Status Session::PersistEvicted() {
@@ -318,7 +369,75 @@ bool Session::CloseIfIdle(std::chrono::steady_clock::time_point cutoff) {
   // an acknowledged enqueue into an evicted session.
   closing_ = true;
   space_cv_.notify_all();
+  lock.unlock();
+  std::lock_guard<std::mutex> stream_lock(stream_mu_);
+  closing_stream_ = true;
+  stream_cv_.notify_all();
   return true;
+}
+
+StatusOr<StreamFetchResult> Session::FetchStream(uint64_t sub, uint64_t from,
+                                                 uint64_t max,
+                                                 uint64_t wait_ms,
+                                                 uint64_t ack) {
+  if (!stream_enabled_) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id_, " is not a stream session (open stream=1)"));
+  }
+  if (from == 0) {
+    return Status::InvalidArgument("stream seqs are 1-based; from=0");
+  }
+  std::unique_lock<std::mutex> lock(stream_mu_);
+  if (sub != 0) {
+    uint64_t& acked = stream_acks_[sub];
+    acked = std::max(acked, ack);
+    // Trim through the minimum ack: every subscriber has durably applied
+    // that prefix, so the WAL alone covers any future resubscribe below
+    // it (which, by the ack invariant, never happens).
+    uint64_t min_ack = ~0ull;
+    for (const auto& [s, a] : stream_acks_) min_ack = std::min(min_ack, a);
+    if (min_ack != ~0ull && min_ack > stream_base_) {
+      const uint64_t watermark = stream_base_ + stream_log_.size();
+      const uint64_t trim_to = std::min(min_ack, watermark);
+      stream_log_.erase(stream_log_.begin(),
+                        stream_log_.begin() + (trim_to - stream_base_));
+      stream_base_ = trim_to;
+    }
+  }
+  if (from <= stream_base_) {
+    return Status::OutOfRange(
+        StrCat("stream trimmed through ", stream_base_, "; cannot fetch ",
+               from, " (resubscribe from the durable cursor)"));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  while (stream_base_ + stream_log_.size() < from && !closing_stream_) {
+    if (wait_ms == 0 ||
+        stream_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  StreamFetchResult result;
+  result.from = from;
+  result.trimmed = stream_base_;
+  result.watermark = stream_base_ + stream_log_.size();
+  const uint64_t start = from - stream_base_ - 1;  // index into the log
+  for (uint64_t i = start; i < stream_log_.size() && result.events.size() < max;
+       ++i) {
+    result.events.push_back(stream_log_[i]);
+  }
+  return result;
+}
+
+uint64_t Session::StreamWatermark() const {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  return stream_base_ + stream_log_.size();
+}
+
+void Session::AdoptStreamLog(std::vector<workload::TraceEvent> events) {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  stream_base_ = 0;
+  stream_log_ = std::move(events);
 }
 
 SessionManager::SessionManager(size_t max_sessions, ServiceMetrics* metrics,
@@ -375,8 +494,12 @@ StatusOr<std::shared_ptr<Session>> SessionManager::Open(
 StatusOr<std::shared_ptr<Session>> SessionManager::RestoreLocked(
     const durability::SessionDurableState& state, const SessionOptions& options,
     bool resume, bool verify) {
-  COMPTX_ASSIGN_OR_RETURN(auto certifier,
-                          durability::RebuildCertifier(state, options.certifier));
+  std::vector<workload::TraceEvent> accepted_stream;
+  COMPTX_ASSIGN_OR_RETURN(
+      auto certifier,
+      durability::RebuildCertifier(state, options.certifier,
+                                   options.stream ? &accepted_stream
+                                                  : nullptr));
   if (verify) {
     const Status verdict = durability::VerifyRecovery(*certifier, state.event_seq);
     if (!verdict.ok()) {
@@ -389,6 +512,12 @@ StatusOr<std::shared_ptr<Session>> SessionManager::RestoreLocked(
   COMPTX_ASSIGN_OR_RETURN(auto log, durability_->AdoptLog(state, resume));
   auto session = std::make_shared<Session>(state.id, options, metrics_,
                                            std::move(log), std::move(certifier));
+  if (options.stream) {
+    // Stream sessions never snapshot, so the replayed history is complete
+    // and the rebuilt log reproduces the pre-crash sequence numbers —
+    // subscribers resume from their durable cursors without a gap.
+    session->AdoptStreamLog(std::move(accepted_stream));
+  }
   ShardFor(state.id).sessions.emplace(state.id, session);
   BumpNextId(state.id + 1);
 

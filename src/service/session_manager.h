@@ -35,11 +35,21 @@ struct SessionOptions {
   /// session with that id from the durability directory instead of
   /// creating a new session.  Requires the server to run with a data dir.
   uint64_t resume = 0;
+
+  /// Stream (ORDER_STREAM publisher) session: every accepted non-commit
+  /// event is appended to an in-memory stream log with a 1-based
+  /// monotonic sequence number that downstream subscribers fetch via
+  /// STREAM.  The session's WAL doubles as the replication log — it is
+  /// exempted from snapshots and compaction so a restart replays the full
+  /// history and reproduces the exact sequence numbering (resubscribe-
+  /// from-LSN).  Sessions that ATTACH upstream edges must also run in
+  /// this mode, so their merged WAL stays a complete, ordered trace.
+  bool stream = false;
 };
 
 /// Parses "key=value ..." OPEN options (forgetting, epoch_interval,
-/// auto_prune, static_admission, paranoid, queue_capacity, resume) over
-/// `defaults`.
+/// auto_prune, static_admission, paranoid, queue_capacity, resume,
+/// stream) over `defaults`.
 StatusOr<SessionOptions> ParseSessionOptions(const std::string& text,
                                              const SessionOptions& defaults);
 
@@ -60,6 +70,17 @@ struct SessionVerdict {
   uint64_t static_fallbacks = 0;
   uint64_t paranoid_mismatches = 0;
   std::string failure;  // empty while certifiable
+};
+
+/// One STREAM fetch's result: events carry stream sequence numbers
+/// `from`, `from+1`, ... contiguously; `watermark` is the highest stream
+/// seq the session currently holds, `trimmed` the highest seq no longer
+/// fetchable from memory (acked by every subscriber and released).
+struct StreamFetchResult {
+  uint64_t from = 0;
+  std::vector<workload::TraceEvent> events;
+  uint64_t watermark = 0;
+  uint64_t trimmed = 0;
 };
 
 /// One certification session: an online::Certifier behind a bounded event
@@ -93,6 +114,17 @@ class Session {
   /// idle session.  Fails once the session is closing.
   Status Enqueue(std::vector<workload::TraceEvent> events,
                  const std::function<void()>& schedule);
+
+  /// Enqueue variant for the distributed ingest path: after logging the
+  /// batch's APPEND record(s) it appends one kStreamCursor record (edge /
+  /// cursor_seq / opaque mapping delta) under the same append_mu_ hold,
+  /// so WAL order stays events-then-cursor and a crash between the two
+  /// refetches the batch instead of losing it.  `events` may be empty
+  /// (a fully deduplicated batch still advances the durable cursor).
+  Status EnqueueIngested(std::vector<workload::TraceEvent> events,
+                         uint64_t edge, uint64_t cursor_seq,
+                         const std::string& mapping,
+                         const std::function<void()>& schedule);
 
   /// Worker side: ingests up to `max_events` queued events.  Returns true
   /// when events remain (the worker re-schedules the session), false when
@@ -143,13 +175,50 @@ class Session {
   /// cumulative prune counters stay.
   void RetireCertifierStats();
 
+  // ---- ORDER_STREAM publisher side (stream=1 sessions) ---------------
+
+  bool stream_enabled() const { return stream_enabled_; }
+
+  /// Long-poll fetch of the accepted-event stream: returns events with
+  /// seqs in [from, from+max), blocking up to `wait_ms` for the first one
+  /// (the poll doubles as the subscriber's heartbeat — an empty reply
+  /// after the wait proves liveness).  `sub`/`ack` (both optional, 0 to
+  /// skip) record that subscriber `sub` has durably applied through seq
+  /// `ack`; the in-memory log trims to the minimum ack over subscribers.
+  /// Fails FailedPrecondition on a non-stream session and OutOfRange when
+  /// `from` is at or below the trimmed prefix (the subscriber must
+  /// resubscribe from its durable cursor — which can never be below the
+  /// trim point, because trims only follow acks).
+  StatusOr<StreamFetchResult> FetchStream(uint64_t sub, uint64_t from,
+                                          uint64_t max, uint64_t wait_ms,
+                                          uint64_t ack);
+
+  /// Highest stream seq currently held (0 on a fresh/non-stream session).
+  uint64_t StreamWatermark() const;
+
+  /// Recovery: installs the replayed accepted-event history as the stream
+  /// log (seqs 1..events.size()).  Called before the session is published.
+  void AdoptStreamLog(std::vector<workload::TraceEvent> events);
+
  private:
   /// Hands the session to the run queue via `schedule` when it holds
   /// events but no worker.  Caller holds mu_.
   void ScheduleLocked(const std::function<void()>& schedule);
 
+  /// Shared body of Enqueue / EnqueueIngested; `cursor` null for plain
+  /// appends.
+  struct StreamCursorRecord {
+    uint64_t edge;
+    uint64_t cursor_seq;
+    const std::string* mapping;
+  };
+  Status EnqueueInternal(std::vector<workload::TraceEvent> events,
+                         const StreamCursorRecord* cursor,
+                         const std::function<void()>& schedule);
+
   const uint64_t id_;
   const size_t queue_capacity_;
+  const bool stream_enabled_;
   ServiceMetrics* const metrics_;
   std::unique_ptr<online::Certifier> certifier_;
   std::shared_ptr<durability::SessionLog> log_;
@@ -173,6 +242,16 @@ class Session {
   /// Last stats published to the service metrics.  Touched only by the
   /// certifier's sole writer (see PublishCertifierStats), so no lock.
   online::CertifierStats published_stats_{};
+
+  /// Stream log state, under its own lock so long-polling subscribers
+  /// never contend with producers on mu_.  closing_stream_ mirrors
+  /// closing_ (set in BeginClose/CloseIfIdle) to wake parked fetches.
+  mutable std::mutex stream_mu_;
+  std::condition_variable stream_cv_;
+  std::vector<workload::TraceEvent> stream_log_;  // seqs base+1..base+size
+  uint64_t stream_base_ = 0;                      // trimmed prefix length
+  std::unordered_map<uint64_t, uint64_t> stream_acks_;  // sub -> acked seq
+  bool closing_stream_ = false;
 };
 
 /// Owns the session table: admission control (max_sessions), id

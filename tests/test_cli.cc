@@ -425,5 +425,133 @@ TEST(WalcheckCliTest, VerifyDetectRepairCycleOnARealWal) {
       << again.stdout_text;
 }
 
+// ----------------------------------------------------------- topology
+
+// The multi-process distributed drill: a 3-process fork/join driven by
+// comptx_topology, with one leaf SIGKILLed mid-run and respawned.  The
+// tool exits 0 only if the distributed verdict sequence matches the
+// single-process differential and the batch oracle on the merged trace,
+// so this one invocation covers ordered delivery, dedup accounting,
+// resubscribe-from-LSN recovery, and the cross-node two-phase commit.
+TEST(TopologyCliTest, ForkJoinKillDrillConvergesAndMatchesOracle) {
+  const std::filesystem::path dir = Scratch() / "topology_drill";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path spec = dir / "forkjoin.topo";
+  {
+    std::ofstream out(spec);
+    out << "# comptx-topology v1\n"
+           "node root\nnode left\nnode right\n"
+           "edge root left\nedge root right\n";
+  }
+  RunResult r = RunCli(StrCat(
+      COMPTX_TOPOLOGY_BIN, " --spec ", spec.string(), " --serve ",
+      COMPTX_SERVE_BIN, " --data-dir ", (dir / "run").string(),
+      // 9 roots = 3 components round-robined over 2 leaves, so "left"
+      // owns components 0 and 2: killing it after phase 0 forces phase
+      // 2 to replicate through the respawned process — the barrier
+      // cannot pass without a successful resubscribe-from-LSN.
+      " --roots 9 --phases 3 --kill left --kill-phase 0"));
+  EXPECT_EQ(r.exit_code, 0) << r.stdout_text << r.stderr_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "\"ok\": true")) << r.stdout_text;
+  EXPECT_TRUE(Contains(r.stdout_text, "\"drill\": true")) << r.stdout_text;
+  EXPECT_FALSE(Contains(r.stdout_text, "\"resubscribes\": 0,"))
+      << r.stdout_text;
+}
+
+TEST(TopologyCliTest, BadSpecIsASetupError) {
+  const std::filesystem::path dir = Scratch() / "topology_bad";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path spec = dir / "bad.topo";
+  {
+    std::ofstream out(spec);
+    out << "# comptx-topology v1\nnode a\nedge a a\n";
+  }
+  RunResult r = RunCli(StrCat(
+      COMPTX_TOPOLOGY_BIN, " --spec ", spec.string(), " --serve ",
+      COMPTX_SERVE_BIN, " --data-dir ", (dir / "run").string(),
+      " --roots 3"));
+  EXPECT_EQ(r.exit_code, 2) << r.stdout_text;
+  EXPECT_TRUE(Contains(r.stderr_text, "bad topology spec")) << r.stderr_text;
+}
+
+TEST(WalcheckCliTest, StreamCursorRecordsVerifyAndDump) {
+  // A distributed node's WAL: appends interleaved with the kStreamCursor
+  // records its edge ingestors write (DESIGN.md §15).  walcheck must
+  // verify them, summarize the furthest durable cursor per edge, and
+  // render them under --dump.
+  const std::filesystem::path dir = Scratch() / "walcheck_cursor_data";
+  std::filesystem::create_directories(dir);
+  durability::Counters counters;
+  const std::string wal = durability::WalPath(dir.string(), 3);
+  {
+    auto writer = durability::WalWriter::Create(
+        wal, durability::FsyncPolicy::kNone, &counters);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    durability::WalRecord open;
+    open.type = durability::WalRecordType::kOpen;
+    open.options = "stream=1";
+    ASSERT_TRUE((*writer)->Append(open).ok());
+    durability::WalRecord append;
+    append.type = durability::WalRecordType::kAppend;
+    append.seq = 1;
+    workload::TraceEvent event;
+    event.kind = workload::TraceEventKind::kConflict;
+    event.a = 0;
+    event.b = 1;
+    append.events.push_back(event);
+    ASSERT_TRUE((*writer)->Append(append).ok());
+    // Two cursors on edge 7 (the later one supersedes) and one on 9.
+    for (const auto& [edge, cursor] :
+         {std::pair<uint64_t, uint64_t>{7, 128},
+          std::pair<uint64_t, uint64_t>{9, 64},
+          std::pair<uint64_t, uint64_t>{7, 256}}) {
+      durability::WalRecord record;
+      record.type = durability::WalRecordType::kStreamCursor;
+      record.seq = 1;
+      record.edge = edge;
+      record.cursor_seq = cursor;
+      record.mapping = "delta";
+      ASSERT_TRUE((*writer)->Append(record).ok());
+    }
+    ASSERT_TRUE((*writer)->SyncNow().ok());
+  }
+
+  RunResult clean = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(clean.exit_code, 0) << clean.stdout_text << clean.stderr_text;
+  EXPECT_TRUE(Contains(clean.stdout_text, "3 stream cursor(s) on 2 edge(s)"))
+      << clean.stdout_text;
+  EXPECT_TRUE(Contains(clean.stdout_text, "edge 7 @256"))
+      << clean.stdout_text;
+  EXPECT_TRUE(Contains(clean.stdout_text, "edge 9 @64")) << clean.stdout_text;
+
+  RunResult dump =
+      RunCli(StrCat(COMPTX_WALCHECK_BIN, " --dump ", dir.string()));
+  EXPECT_EQ(dump.exit_code, 0);
+  EXPECT_TRUE(Contains(dump.stdout_text,
+                       "CURSOR seq=1 edge=7 cursor_seq=128 mapping_bytes=5"))
+      << dump.stdout_text;
+
+  // Tear through the last cursor record: damage is detected (exit 1)
+  // and repair truncates back to a clean prefix (exit 0).
+  {
+    std::ifstream in(wal, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 2));
+  }
+  RunResult torn = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(torn.exit_code, 1) << torn.stdout_text;
+  EXPECT_TRUE(Contains(torn.stdout_text, "TORN")) << torn.stdout_text;
+  RunResult repair =
+      RunCli(StrCat(COMPTX_WALCHECK_BIN, " --repair ", dir.string()));
+  EXPECT_EQ(repair.exit_code, 0) << repair.stdout_text;
+  RunResult again = RunCli(StrCat(COMPTX_WALCHECK_BIN, " ", dir.string()));
+  EXPECT_EQ(again.exit_code, 0) << again.stdout_text;
+  EXPECT_TRUE(Contains(again.stdout_text, "2 stream cursor(s) on 2 edge(s)"))
+      << again.stdout_text;
+}
+
 }  // namespace
 }  // namespace comptx

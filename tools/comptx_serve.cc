@@ -45,6 +45,15 @@
 //   (0 disables snapshots), and --verify-recovery cross-checks every
 //   recovered session against an offline batch replay before serving.
 //
+//   Every daemon is also a distributed-topology node (DESIGN.md §15): a
+//   NodeController answers ATTACH/DETACH/PREPARE/DECIDE, pulls attached
+//   children's ORDER_STREAMs into local sessions, and runs the
+//   cross-node two-phase commit.  comptx_topology wires fork/join DAGs
+//   of these daemons.
+//
+//   SIGUSR1 dumps the full metrics registry as one JSON line on stdout
+//   (the same rendering STATS json=1 returns over the wire).
+//
 // Exit codes: 0 = clean shutdown, 2 = usage, bind or recovery error.
 
 #include <csignal>
@@ -53,6 +62,7 @@
 #include <iostream>
 #include <string>
 
+#include "distributed/controller.h"
 #include "durability/wal.h"
 #include "service/server.h"
 #include "util/logging.h"
@@ -67,6 +77,12 @@ using namespace comptx;  // NOLINT
 volatile std::sig_atomic_t g_signal = 0;
 
 void HandleSignal(int) { g_signal = 1; }
+
+// SIGUSR1 asks for a metrics dump; the main loop renders it (JSON, one
+// line on stdout) outside signal context.
+volatile std::sig_atomic_t g_dump_metrics = 0;
+
+void HandleMetricsSignal(int) { g_dump_metrics = 1; }
 
 int Usage(int code) {
   (code == 0 ? std::cout : std::cerr)
@@ -194,6 +210,19 @@ int main(int argc, char** argv) {
     std::cerr << "durability init failed: " << server.InitStatus() << "\n";
     return 2;
   }
+
+  // Distributed topology support (DESIGN.md §15): the controller owns
+  // this node's upstream edges and the cross-node commit; injecting its
+  // handler keeps the service library free of a dependency on it.  It is
+  // wired before Listen so no ATTACH can race the binding.
+  distributed::ControllerOptions controller_options;
+  controller_options.data_dir = options.durability.dir;
+  distributed::NodeController controller(&server, controller_options);
+  server.SetDistributedHandler(
+      [&controller](const service::Request& request) {
+        return controller.Handle(request);
+      });
+
   Status listening = server.Listen(endpoint);
   if (!listening.ok()) {
     std::cerr << "cannot listen on " << endpoint.ToString() << ": "
@@ -212,10 +241,15 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleMetricsSignal);
 
   // Park until a SHUTDOWN command arrives or a signal does; poll the
-  // signal flag at a human-scale interval.
+  // signal flags at a human-scale interval.
   while (!server.ShuttingDown() && g_signal == 0) {
+    if (g_dump_metrics != 0) {
+      g_dump_metrics = 0;
+      std::cout << server.metrics().RenderJson() << std::endl;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   if (g_signal != 0) {

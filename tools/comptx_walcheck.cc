@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,11 @@ void DumpRecord(uint64_t lsn, const durability::WalRecord& record) {
     case durability::WalRecordType::kCommitWatermark:
       std::cout << " commit_through=" << record.commit_through;
       break;
+    case durability::WalRecordType::kStreamCursor:
+      std::cout << " edge=" << record.edge << " cursor_seq="
+                << record.cursor_seq << " mapping_bytes="
+                << record.mapping.size();
+      break;
     default:
       break;
   }
@@ -90,6 +96,10 @@ bool CheckWal(const std::string& path, const CheckOptions& options) {
   }
   uint64_t events = 0;
   uint64_t watermark = 0;
+  uint64_t stream_cursors = 0;
+  // Distinct upstream edges with at least one cursor record, and the
+  // furthest durable cursor seen per edge (later records supersede).
+  std::map<uint64_t, uint64_t> edge_cursors;
   std::string lifecycle = "live";
   for (const auto& record : scan->records) {
     switch (record.type) {
@@ -118,6 +128,13 @@ bool CheckWal(const std::string& path, const CheckOptions& options) {
         ++events;
         watermark = std::max(watermark, record.seq);
         break;
+      case durability::WalRecordType::kStreamCursor:
+        // Does not consume an event seq slot (certifier replay skips
+        // it); track the furthest durable cursor per upstream edge.
+        ++stream_cursors;
+        edge_cursors[record.edge] =
+            std::max(edge_cursors[record.edge], record.cursor_seq);
+        break;
       case durability::WalRecordType::kOpen:
         break;
     }
@@ -126,6 +143,17 @@ bool CheckWal(const std::string& path, const CheckOptions& options) {
     std::cout << path << ": " << scan->records.size() << " record(s), "
               << events << " event(s), watermark=" << watermark << ", "
               << lifecycle;
+    if (stream_cursors > 0) {
+      std::cout << ", " << stream_cursors << " stream cursor(s) on "
+                << edge_cursors.size() << " edge(s) [";
+      bool first = true;
+      for (const auto& [edge, cursor] : edge_cursors) {
+        if (!first) std::cout << " ";
+        first = false;
+        std::cout << "edge " << edge << " @" << cursor;
+      }
+      std::cout << "]";
+    }
     if (scan->clean) {
       std::cout << ", clean\n";
     } else {
